@@ -1,0 +1,519 @@
+//! # rpx-apex — a runtime-adaptive policy engine on intrinsic counters
+//!
+//! The paper's conclusion (§VII) points at APEX: "a Policy Engine that
+//! executes performance analysis functions to enforce policy rules" on top
+//! of the counter framework, enabling runtime adaptation. This crate is
+//! that extension, minimally and concretely:
+//!
+//! - a [`Tunable`] is a bounded numeric knob the application (or runtime)
+//!   reads on its hot path;
+//! - a [`Policy`] names a set of counters, a period, and a rule that turns
+//!   fresh counter readings into knob adjustments;
+//! - the [`PolicyEngine`] evaluates due policies on a background thread
+//!   with the same evaluate/reset protocol the paper's measurements use.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use std::sync::atomic::{AtomicI64, Ordering};
+//! use rpx_counters::CounterRegistry;
+//! use rpx_apex::{Policy, PolicyEngine, Tunable};
+//!
+//! let registry = CounterRegistry::new();
+//! let load = Arc::new(AtomicI64::new(95));
+//! let l2 = load.clone();
+//! registry.register_raw("/app/load", "load percent", "%", Arc::new(move || l2.load(Ordering::Relaxed)));
+//!
+//! // Keep a parallelism knob proportional to measured load.
+//! let knob = Tunable::new(4, 1, 16);
+//! let k2 = knob.clone();
+//! let policy = Policy::new("throttle", vec!["/app/load".into()])
+//!     .with_period(std::time::Duration::from_millis(5))
+//!     .with_rule(move |ctx| {
+//!         if let Some(v) = ctx.value("/app/load") {
+//!             if v > 90.0 { k2.step(-1); } else if v < 50.0 { k2.step(1); }
+//!         }
+//!     });
+//!
+//! let engine = PolicyEngine::start(&registry, vec![policy]).unwrap();
+//! while knob.get() == 4 {
+//!     std::thread::yield_now(); // wait for the first firing
+//! }
+//! engine.stop();
+//! assert!(knob.get() < 4, "high load must throttle the knob");
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use rpx_counters::{Counter, CounterError, CounterName, CounterRegistry, CounterValue};
+
+/// A bounded integer knob adjusted by policies and read on hot paths.
+#[derive(Clone)]
+pub struct Tunable {
+    inner: Arc<TunableInner>,
+}
+
+struct TunableInner {
+    value: AtomicI64,
+    min: i64,
+    max: i64,
+    changes: AtomicU64,
+}
+
+impl Tunable {
+    /// A knob starting at `initial`, clamped to `[min, max]`.
+    pub fn new(initial: i64, min: i64, max: i64) -> Self {
+        assert!(min <= max, "empty tunable range");
+        Tunable {
+            inner: Arc::new(TunableInner {
+                value: AtomicI64::new(initial.clamp(min, max)),
+                min,
+                max,
+                changes: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.inner.value.load(Ordering::Acquire)
+    }
+
+    /// Set (clamped). Returns the value actually stored.
+    pub fn set(&self, v: i64) -> i64 {
+        let clamped = v.clamp(self.inner.min, self.inner.max);
+        if self.inner.value.swap(clamped, Ordering::AcqRel) != clamped {
+            self.inner.changes.fetch_add(1, Ordering::Relaxed);
+        }
+        clamped
+    }
+
+    /// Add `delta` (clamped). Returns the new value.
+    pub fn step(&self, delta: i64) -> i64 {
+        self.set(self.get() + delta)
+    }
+
+    /// Multiply by `factor` (clamped; rounds to nearest).
+    pub fn scale(&self, factor: f64) -> i64 {
+        self.set((self.get() as f64 * factor).round() as i64)
+    }
+
+    /// How many times the stored value actually changed.
+    pub fn changes(&self) -> u64 {
+        self.inner.changes.load(Ordering::Relaxed)
+    }
+
+    /// The configured bounds.
+    pub fn bounds(&self) -> (i64, i64) {
+        (self.inner.min, self.inner.max)
+    }
+}
+
+/// What a rule sees on each firing.
+pub struct PolicyContext<'a> {
+    /// The policy's counter readings for this period (evaluate-with-reset:
+    /// each firing sees only its own interval).
+    pub readings: &'a [(CounterName, CounterValue)],
+    /// How many times this policy has fired before (0 on the first firing).
+    pub fires: u64,
+}
+
+impl PolicyContext<'_> {
+    /// The scaled value of the reading whose name starts with `prefix`
+    /// (readings are wildcard-expanded, so prefix match is the ergonomic
+    /// lookup). Returns `None` if absent or invalid.
+    pub fn value(&self, prefix: &str) -> Option<f64> {
+        self.readings
+            .iter()
+            .find(|(n, v)| n.to_string().starts_with(prefix) && v.status.is_ok())
+            .map(|(_, v)| v.scaled())
+    }
+
+    /// Sum of scaled values over readings starting with `prefix`.
+    pub fn sum(&self, prefix: &str) -> f64 {
+        self.readings
+            .iter()
+            .filter(|(n, v)| n.to_string().starts_with(prefix) && v.status.is_ok())
+            .map(|(_, v)| v.scaled())
+            .sum()
+    }
+}
+
+type Rule = Box<dyn FnMut(&PolicyContext<'_>) + Send>;
+
+/// A named adaptation rule over a counter set.
+pub struct Policy {
+    name: String,
+    counters: Vec<String>,
+    period: Duration,
+    reset_on_read: bool,
+    rule: Option<Rule>,
+}
+
+impl Policy {
+    /// A policy watching `counters` (wildcards allowed).
+    pub fn new(name: impl Into<String>, counters: Vec<String>) -> Self {
+        Policy {
+            name: name.into(),
+            counters,
+            period: Duration::from_millis(100),
+            reset_on_read: true,
+            rule: None,
+        }
+    }
+
+    /// Evaluation period (default 100 ms).
+    pub fn with_period(mut self, period: Duration) -> Self {
+        self.period = period;
+        self
+    }
+
+    /// Whether each firing resets the counters (default true: per-interval
+    /// deltas, the paper's protocol).
+    pub fn with_reset(mut self, reset: bool) -> Self {
+        self.reset_on_read = reset;
+        self
+    }
+
+    /// The rule body.
+    pub fn with_rule(mut self, rule: impl FnMut(&PolicyContext<'_>) + Send + 'static) -> Self {
+        self.rule = Some(Box::new(rule));
+        self
+    }
+}
+
+/// Built-in rules.
+pub mod rules {
+    use super::*;
+
+    /// Keep `numerator/denominator` inside `[low, high]` by scaling
+    /// `knob`: above the band → multiply by `grow`, below → by `shrink`.
+    /// (The generalization of the paper-era "keep scheduling overhead a
+    /// small fraction of task duration" policy.)
+    pub fn ratio_band(
+        numerator: &'static str,
+        denominator: &'static str,
+        low: f64,
+        high: f64,
+        knob: Tunable,
+        grow: f64,
+        shrink: f64,
+    ) -> impl FnMut(&PolicyContext<'_>) + Send {
+        move |ctx| {
+            let (Some(n), Some(d)) = (ctx.value(numerator), ctx.value(denominator)) else {
+                return;
+            };
+            if d <= 0.0 {
+                return;
+            }
+            let ratio = n / d;
+            if ratio > high {
+                knob.scale(grow);
+            } else if ratio < low {
+                knob.scale(shrink);
+            }
+        }
+    }
+
+    /// Clamp a knob down while `counter` exceeds `threshold`, release it
+    /// back up otherwise (simple hysteresis throttle).
+    pub fn threshold_throttle(
+        counter: &'static str,
+        threshold: f64,
+        knob: Tunable,
+    ) -> impl FnMut(&PolicyContext<'_>) + Send {
+        move |ctx| {
+            let Some(v) = ctx.value(counter) else { return };
+            if v > threshold {
+                knob.step(-1);
+            } else {
+                knob.step(1);
+            }
+        }
+    }
+}
+
+struct ArmedPolicy {
+    #[allow(dead_code)] // kept for debugger/diagnostic visibility
+    name: String,
+    resolved: Vec<(CounterName, Arc<dyn Counter>)>,
+    period: Duration,
+    reset_on_read: bool,
+    rule: Rule,
+    next_due: Duration,
+    fires: u64,
+}
+
+/// Statistics the engine exposes about itself (observable through a
+/// registry like everything else — the engine eats its own dog food).
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    /// Total policy firings.
+    pub fires: AtomicU64,
+    /// Total rule evaluation time, ns.
+    pub rule_ns: AtomicU64,
+}
+
+/// The background policy evaluator; dropping it stops the thread.
+pub struct PolicyEngine {
+    stop: Arc<AtomicBool>,
+    stats: Arc<EngineStats>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl PolicyEngine {
+    /// Resolve every policy's counters against `registry` and start the
+    /// evaluation thread. Fails eagerly on unknown counters.
+    pub fn start(
+        registry: &Arc<CounterRegistry>,
+        policies: Vec<Policy>,
+    ) -> Result<Self, CounterError> {
+        let mut armed = Vec::with_capacity(policies.len());
+        for p in policies {
+            let mut resolved = Vec::new();
+            for spec in &p.counters {
+                resolved.extend(registry.get_counters(spec)?);
+            }
+            armed.push(ArmedPolicy {
+                name: p.name,
+                resolved,
+                period: p.period,
+                reset_on_read: p.reset_on_read,
+                rule: p.rule.unwrap_or_else(|| Box::new(|_| {})),
+                next_due: Duration::ZERO,
+                fires: 0,
+            });
+        }
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(EngineStats::default());
+        let (stop2, stats2) = (stop.clone(), stats.clone());
+        let clock = registry.clock();
+        let handle = std::thread::Builder::new()
+            .name("rpx-apex-policy-engine".into())
+            .spawn(move || {
+                let epoch = std::time::Instant::now();
+                while !stop2.load(Ordering::Acquire) {
+                    let now = epoch.elapsed();
+                    let mut next_wake = now + Duration::from_millis(50);
+                    for p in &mut armed {
+                        if now >= p.next_due {
+                            let readings: Vec<(CounterName, CounterValue)> = p
+                                .resolved
+                                .iter()
+                                .map(|(n, c)| (n.clone(), c.get_value(p.reset_on_read)))
+                                .collect();
+                            let ctx = PolicyContext { readings: &readings, fires: p.fires };
+                            let t0 = clock.now_ns();
+                            (p.rule)(&ctx);
+                            stats2
+                                .rule_ns
+                                .fetch_add(clock.now_ns().saturating_sub(t0), Ordering::Relaxed);
+                            stats2.fires.fetch_add(1, Ordering::Relaxed);
+                            p.fires += 1;
+                            p.next_due = now + p.period;
+                        }
+                        next_wake = next_wake.min(p.next_due);
+                    }
+                    let sleep = next_wake.saturating_sub(epoch.elapsed()).min(Duration::from_millis(5));
+                    if !sleep.is_zero() {
+                        std::thread::sleep(sleep);
+                    }
+                }
+            })
+            .expect("failed to spawn policy engine thread");
+
+        Ok(PolicyEngine { stop, stats, handle: Some(handle) })
+    }
+
+    /// Engine self-metrics.
+    pub fn stats(&self) -> Arc<EngineStats> {
+        self.stats.clone()
+    }
+
+    /// Register `/apex/{fires,rule-time}` counters for the engine itself.
+    pub fn register_counters(&self, registry: &Arc<CounterRegistry>) {
+        let s = self.stats.clone();
+        registry.register_monotonic(
+            "/apex/fires",
+            "policy rule firings",
+            "1",
+            Arc::new(move || s.fires.load(Ordering::Relaxed) as i64),
+        );
+        let s = self.stats.clone();
+        registry.register_monotonic(
+            "/apex/rule-time",
+            "cumulative time spent inside policy rules",
+            "ns",
+            Arc::new(move || s.rule_ns.load(Ordering::Relaxed) as i64),
+        );
+    }
+
+    /// Stop the engine and join its thread.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for PolicyEngine {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry_with_gauge(initial: i64) -> (Arc<CounterRegistry>, Arc<AtomicI64>) {
+        let reg = CounterRegistry::new();
+        let v = Arc::new(AtomicI64::new(initial));
+        let v2 = v.clone();
+        reg.register_raw("/app/metric", "m", "1", Arc::new(move || v2.load(Ordering::Relaxed)));
+        (reg, v)
+    }
+
+    fn wait_until(deadline_ms: u64, mut cond: impl FnMut() -> bool) -> bool {
+        let t0 = std::time::Instant::now();
+        while t0.elapsed() < Duration::from_millis(deadline_ms) {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        cond()
+    }
+
+    #[test]
+    fn tunable_clamps_and_counts_changes() {
+        let t = Tunable::new(5, 1, 10);
+        assert_eq!(t.set(99), 10);
+        assert_eq!(t.set(-3), 1);
+        assert_eq!(t.step(100), 10);
+        assert_eq!(t.scale(0.5), 5);
+        assert_eq!(t.changes(), 4);
+        assert_eq!(t.bounds(), (1, 10));
+        // No-op sets don't count as changes.
+        let before = t.changes();
+        t.set(5);
+        assert_eq!(t.changes(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty tunable range")]
+    fn inverted_bounds_panic() {
+        let _ = Tunable::new(0, 5, 1);
+    }
+
+    #[test]
+    fn engine_fires_and_adjusts_knob() {
+        let (reg, gauge) = registry_with_gauge(100);
+        let knob = Tunable::new(8, 1, 8);
+        let k = knob.clone();
+        let policy = Policy::new("throttle", vec!["/app/metric".into()])
+            .with_period(Duration::from_millis(2))
+            .with_reset(false)
+            .with_rule(rules::threshold_throttle("/app/metric", 50.0, k));
+        let engine = PolicyEngine::start(&reg, vec![policy]).unwrap();
+
+        assert!(wait_until(2_000, || knob.get() <= 4), "knob should throttle under load");
+        // Load drops; the knob recovers.
+        gauge.store(10, Ordering::Relaxed);
+        assert!(wait_until(2_000, || knob.get() == 8), "knob should recover");
+        engine.stop();
+    }
+
+    #[test]
+    fn ratio_band_rule_steers_both_directions() {
+        let reg = CounterRegistry::new();
+        let num = Arc::new(AtomicI64::new(90));
+        let den = Arc::new(AtomicI64::new(100));
+        let (n2, d2) = (num.clone(), den.clone());
+        reg.register_raw("/r/num", "n", "1", Arc::new(move || n2.load(Ordering::Relaxed)));
+        reg.register_raw("/r/den", "d", "1", Arc::new(move || d2.load(Ordering::Relaxed)));
+        let knob = Tunable::new(100, 1, 10_000);
+        let k = knob.clone();
+        let policy = Policy::new("band", vec!["/r/num".into(), "/r/den".into()])
+            .with_period(Duration::from_millis(2))
+            .with_reset(false)
+            .with_rule(rules::ratio_band("/r/num", "/r/den", 0.1, 0.5, k, 2.0, 0.5));
+        let engine = PolicyEngine::start(&reg, vec![policy]).unwrap();
+
+        // ratio = 0.9 > 0.5 → knob grows.
+        assert!(wait_until(2_000, || knob.get() >= 800), "knob should grow: {}", knob.get());
+        // ratio = 0.01 < 0.1 → knob shrinks.
+        num.store(1, Ordering::Relaxed);
+        assert!(wait_until(2_000, || knob.get() <= 100), "knob should shrink: {}", knob.get());
+        engine.stop();
+    }
+
+    #[test]
+    fn per_interval_reset_isolates_firings() {
+        let reg = CounterRegistry::new();
+        let v = Arc::new(AtomicI64::new(0));
+        let v2 = v.clone();
+        reg.register_monotonic("/m/count", "h", "1", Arc::new(move || v2.load(Ordering::Relaxed)));
+        let seen = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let s2 = seen.clone();
+        let policy = Policy::new("watch", vec!["/m/count".into()])
+            .with_period(Duration::from_millis(3))
+            .with_rule(move |ctx| {
+                if let Some(x) = ctx.value("/m/count") {
+                    s2.lock().push(x as i64);
+                }
+            });
+        let engine = PolicyEngine::start(&reg, vec![policy]).unwrap();
+        for _ in 0..5 {
+            v.fetch_add(10, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_millis(4));
+        }
+        engine.stop();
+        let observed: i64 = seen.lock().iter().sum();
+        let remainder = reg.evaluate("/m/count", false).unwrap().value;
+        assert_eq!(observed + remainder, 50, "per-interval deltas must sum to the total");
+    }
+
+    #[test]
+    fn unknown_counter_fails_eagerly() {
+        let reg = CounterRegistry::new();
+        let policy = Policy::new("bad", vec!["/no/such".into()]);
+        assert!(PolicyEngine::start(&reg, vec![policy]).is_err());
+    }
+
+    #[test]
+    fn engine_self_counters() {
+        let (reg, _gauge) = registry_with_gauge(1);
+        let policy = Policy::new("noop", vec!["/app/metric".into()])
+            .with_period(Duration::from_millis(1));
+        let engine = PolicyEngine::start(&reg, vec![policy]).unwrap();
+        engine.register_counters(&reg);
+        assert!(wait_until(2_000, || {
+            reg.evaluate("/apex/fires", false).map(|v| v.value >= 3).unwrap_or(false)
+        }));
+        engine.stop();
+    }
+
+    #[test]
+    fn context_sum_over_wildcards() {
+        let reg = CounterRegistry::new();
+        reg.register_raw("/a/x", "h", "1", Arc::new(|| 3));
+        reg.register_raw("/a/y", "h", "1", Arc::new(|| 4));
+        let readings = vec![
+            ("/a/x".parse().unwrap(), CounterValue::new(3, 0)),
+            ("/a/y".parse().unwrap(), CounterValue::new(4, 0)),
+        ];
+        let ctx = PolicyContext { readings: &readings, fires: 0 };
+        assert_eq!(ctx.sum("/a/"), 7.0);
+        assert_eq!(ctx.value("/a/y"), Some(4.0));
+        assert_eq!(ctx.value("/nope"), None);
+    }
+}

@@ -1,0 +1,119 @@
+//! Futures for the thread-per-task baseline: a thin wrapper over a value
+//! slot plus the OS thread's join handle (C++ `std::future` semantics —
+//! destruction joins the thread, as the GCC runtime does).
+
+use std::any::Any;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+pub(crate) struct Slot<T> {
+    pub value: Mutex<Option<Result<T, Box<dyn Any + Send>>>>,
+    pub cond: Condvar,
+}
+
+impl<T> Slot<T> {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Slot { value: Mutex::new(None), cond: Condvar::new() })
+    }
+
+    pub(crate) fn fill(&self, v: Result<T, Box<dyn Any + Send>>) {
+        let mut g = self.value.lock();
+        *g = Some(v);
+        self.cond.notify_all();
+    }
+}
+
+/// The result handle returned by [`BaselineRuntime::spawn`]
+/// (`std::future` analogue).
+///
+/// [`BaselineRuntime::spawn`]: crate::runtime::BaselineRuntime::spawn
+pub struct ThreadFuture<T> {
+    pub(crate) slot: Arc<Slot<T>>,
+    pub(crate) handle: Option<JoinHandle<()>>,
+}
+
+impl<T> ThreadFuture<T> {
+    /// Whether the value is available without blocking.
+    pub fn is_ready(&self) -> bool {
+        self.slot.value.lock().is_some()
+    }
+
+    /// Block until the value is available (without consuming the future).
+    pub fn wait(&self) {
+        let mut g = self.slot.value.lock();
+        while g.is_none() {
+            self.slot.cond.wait(&mut g);
+        }
+    }
+
+    /// Wait for the value, join the backing OS thread, and return it.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the task's panic if the task panicked.
+    pub fn get(mut self) -> T {
+        self.wait();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        let v = self.slot.value.lock().take().expect("value present after wait");
+        match v {
+            Ok(v) => v,
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    }
+}
+
+impl<T> Drop for ThreadFuture<T> {
+    fn drop(&mut self) {
+        // std::future from std::async blocks in its destructor.
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for ThreadFuture<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadFuture").field("ready", &self.is_ready()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_and_get() {
+        let slot = Slot::new();
+        let f = ThreadFuture { slot: slot.clone(), handle: None };
+        assert!(!f.is_ready());
+        slot.fill(Ok(5));
+        assert!(f.is_ready());
+        assert_eq!(f.get(), 5);
+    }
+
+    #[test]
+    fn wait_blocks_until_fill() {
+        let slot: Arc<Slot<i32>> = Slot::new();
+        let s2 = slot.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            s2.fill(Ok(9));
+        });
+        let f = ThreadFuture { slot, handle: None };
+        f.wait();
+        assert_eq!(f.get(), 9);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn panic_propagates() {
+        let slot: Arc<Slot<i32>> = Slot::new();
+        slot.fill(Err(Box::new("kaboom")));
+        let f = ThreadFuture { slot, handle: None };
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || f.get())).is_err());
+    }
+}

@@ -1,0 +1,21 @@
+//! # rpx-baseline — the C++11 `std::async` baseline: one OS thread per task
+//!
+//! The comparison system of the paper. `spawn` creates a real operating
+//! system thread per task (as GCC's `std::async` does), and a resource
+//! model reproduces the paper's failure mode — programs aborting once
+//! 80k–97k threads are concurrently live — deterministically and safely
+//! (see DESIGN.md §3).
+//!
+//! ```
+//! use rpx_baseline::BaselineRuntime;
+//!
+//! let rt = BaselineRuntime::with_defaults();
+//! let f = rt.spawn(|| 6 * 7).unwrap();
+//! assert_eq!(f.get(), 42);
+//! ```
+
+pub mod future;
+pub mod runtime;
+
+pub use future::ThreadFuture;
+pub use runtime::{BaselineConfig, BaselineRuntime, BaselineStats, SpawnError};

@@ -1,0 +1,354 @@
+//! The thread-per-task baseline runtime.
+//!
+//! The GCC implementation of C++11 `std::async` "constructs, executes, and
+//! destroys an Operating System thread for every task" (paper, §II). This
+//! runtime does exactly that with `std::thread`, plus a resource model that
+//! reproduces the failure mode the paper observed: with 8 MiB default
+//! stacks, 80,000–97,000 concurrently-live pthreads exhaust memory and the
+//! program aborts. The model tracks live threads and committed stack bytes
+//! and fails the spawn (`SpawnError::ResourceExhausted`) at the same
+//! budgets, so Table I/V "Abort" rows are reproduced deterministically
+//! without actually taking the host down.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use rpx_counters::CounterRegistry;
+
+use crate::future::{Slot, ThreadFuture};
+
+/// Why a spawn failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpawnError {
+    /// The resource model rejected the spawn (the paper's Abort/SegV rows).
+    ResourceExhausted {
+        /// Live threads at the failed spawn.
+        live_threads: usize,
+        /// Committed stack bytes at the failed spawn.
+        committed_stack: usize,
+    },
+    /// The operating system refused to create the thread.
+    Os(String),
+}
+
+impl std::fmt::Display for SpawnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpawnError::ResourceExhausted { live_threads, committed_stack } => write!(
+                f,
+                "thread resources exhausted: {live_threads} live threads, \
+                 {committed_stack} bytes of stack committed"
+            ),
+            SpawnError::Os(e) => write!(f, "OS thread creation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpawnError {}
+
+/// Resource model configuration.
+#[derive(Debug, Clone)]
+pub struct BaselineConfig {
+    /// Per-thread stack reservation counted against the memory budget.
+    /// Default 8 MiB (glibc default, what the paper's system used).
+    pub stack_bytes: usize,
+    /// Actual stack size given to `std::thread` (kept small so tests can
+    /// reach high thread counts without swapping the host).
+    pub real_stack_bytes: usize,
+    /// Maximum concurrently live threads before spawns fail.
+    /// The paper observed failures at 80k–97k live pthreads.
+    pub max_live_threads: usize,
+    /// Memory budget for stacks; spawns fail when exceeded.
+    pub memory_budget_bytes: usize,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig {
+            stack_bytes: 8 << 20,
+            real_stack_bytes: 256 << 10,
+            max_live_threads: 90_000,
+            // 64 GiB of RAM+swap-ish virtual budget, as on the paper's node.
+            memory_budget_bytes: 64 << 30,
+        }
+    }
+}
+
+impl BaselineConfig {
+    /// A tight configuration for tests: fail beyond `max_live` threads.
+    pub fn with_live_limit(max_live: usize) -> Self {
+        BaselineConfig { max_live_threads: max_live, ..BaselineConfig::default() }
+    }
+}
+
+/// Accounting shared with counters and the harness.
+#[derive(Debug, Default)]
+pub struct BaselineStats {
+    /// Total tasks spawned successfully.
+    pub spawned: AtomicU64,
+    /// Tasks finished.
+    pub completed: AtomicU64,
+    /// Currently live task threads.
+    pub live: AtomicUsize,
+    /// High-water mark of live threads.
+    pub peak_live: AtomicUsize,
+    /// Cumulative nanoseconds spent inside `std::thread::spawn` calls —
+    /// the baseline's "scheduling overhead".
+    pub spawn_ns: AtomicU64,
+    /// Spawns rejected by the resource model.
+    pub failed_spawns: AtomicU64,
+}
+
+impl BaselineStats {
+    /// Reserve a live slot *before* thread creation so the task thread's
+    /// `note_finish` can never observe (and underflow) a count that does
+    /// not yet include it.
+    fn reserve_live(&self) {
+        let live = self.live.fetch_add(1, Ordering::AcqRel) + 1;
+        self.peak_live.fetch_max(live, Ordering::AcqRel);
+    }
+
+    fn release_live(&self) {
+        self.live.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    fn note_spawned(&self, ns: u64) {
+        self.spawned.fetch_add(1, Ordering::Relaxed);
+        self.spawn_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    fn note_finish(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.release_live();
+    }
+}
+
+/// The `std::async`-style runtime: one OS thread per spawned task.
+pub struct BaselineRuntime {
+    config: BaselineConfig,
+    stats: Arc<BaselineStats>,
+    registry: Arc<CounterRegistry>,
+}
+
+impl BaselineRuntime {
+    /// Build with the given resource model.
+    pub fn new(config: BaselineConfig) -> Self {
+        let stats = Arc::new(BaselineStats::default());
+        let registry = CounterRegistry::new();
+        register_baseline_counters(&registry, &stats);
+        BaselineRuntime { config, stats, registry }
+    }
+
+    /// Build with the default (paper-scale) resource model.
+    pub fn with_defaults() -> Self {
+        BaselineRuntime::new(BaselineConfig::default())
+    }
+
+    /// Spawn `f` "as if on a new thread" — literally on a new thread.
+    pub fn spawn<T, F>(&self, f: F) -> Result<ThreadFuture<T>, SpawnError>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let live = self.stats.live.load(Ordering::Acquire);
+        let committed = live * self.config.stack_bytes;
+        if live >= self.config.max_live_threads
+            || committed + self.config.stack_bytes > self.config.memory_budget_bytes
+        {
+            self.stats.failed_spawns.fetch_add(1, Ordering::Relaxed);
+            return Err(SpawnError::ResourceExhausted {
+                live_threads: live,
+                committed_stack: committed,
+            });
+        }
+
+        let slot = Slot::new();
+        let slot2 = slot.clone();
+        let stats = self.stats.clone();
+        self.stats.reserve_live();
+        let t0 = std::time::Instant::now();
+        let handle = std::thread::Builder::new()
+            .stack_size(self.config.real_stack_bytes)
+            .spawn(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+                slot2.fill(result);
+                stats.note_finish();
+            })
+            .map_err(|e| {
+                self.stats.release_live();
+                self.stats.failed_spawns.fetch_add(1, Ordering::Relaxed);
+                SpawnError::Os(e.to_string())
+            })?;
+        let ns = t0.elapsed().as_nanos() as u64;
+        self.stats.note_spawned(ns);
+        Ok(ThreadFuture { slot, handle: Some(handle) })
+    }
+
+    /// The accounting block (live threads, spawn cost, failures).
+    pub fn stats(&self) -> Arc<BaselineStats> {
+        self.stats.clone()
+    }
+
+    /// The baseline's (much smaller) counter registry. The point of the
+    /// paper is that the real `std::async` has *no* such introspection;
+    /// these counters exist so the harness can report the baseline's
+    /// behaviour without external tools.
+    pub fn registry(&self) -> Arc<CounterRegistry> {
+        self.registry.clone()
+    }
+
+    /// The resource model in effect.
+    pub fn config(&self) -> &BaselineConfig {
+        &self.config
+    }
+}
+
+impl Default for BaselineRuntime {
+    fn default() -> Self {
+        BaselineRuntime::with_defaults()
+    }
+}
+
+fn register_baseline_counters(registry: &Arc<CounterRegistry>, stats: &Arc<BaselineStats>) {
+    let s = stats.clone();
+    registry.register_monotonic(
+        "/os-threads/count/cumulative",
+        "OS threads created for tasks",
+        "1",
+        Arc::new(move || s.spawned.load(Ordering::Relaxed) as i64),
+    );
+    let s = stats.clone();
+    registry.register_raw(
+        "/os-threads/count/instantaneous",
+        "currently live task threads",
+        "1",
+        Arc::new(move || s.live.load(Ordering::Relaxed) as i64),
+    );
+    let s = stats.clone();
+    registry.register_raw(
+        "/os-threads/count/peak",
+        "high-water mark of live task threads",
+        "1",
+        Arc::new(move || s.peak_live.load(Ordering::Relaxed) as i64),
+    );
+    let s = stats.clone();
+    registry.register_average(
+        "/os-threads/time/average-spawn",
+        "average cost of one std::thread spawn (the baseline's task overhead)",
+        "ns",
+        Arc::new(move || {
+            (s.spawn_ns.load(Ordering::Relaxed), s.spawned.load(Ordering::Relaxed))
+        }),
+    );
+    let s = stats.clone();
+    registry.register_monotonic(
+        "/os-threads/count/failed",
+        "spawns rejected by the resource model",
+        "1",
+        Arc::new(move || s.failed_spawns.load(Ordering::Relaxed) as i64),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_runs_on_new_thread() {
+        let rt = BaselineRuntime::with_defaults();
+        let here = std::thread::current().id();
+        let f = rt.spawn(move || std::thread::current().id() != here).unwrap();
+        assert!(f.get(), "task must run on a different OS thread");
+    }
+
+    #[test]
+    fn resource_limit_fails_spawn() {
+        let rt = BaselineRuntime::new(BaselineConfig::with_live_limit(4));
+        let gate = Arc::new(parking_lot::Mutex::new(()));
+        let held = gate.lock();
+        let mut futures = Vec::new();
+        for _ in 0..4 {
+            let g = gate.clone();
+            futures.push(
+                rt.spawn(move || {
+                    let _ = g.lock(); // block until the gate opens
+                })
+                .unwrap(),
+            );
+        }
+        // Wait for all 4 to be live.
+        while rt.stats().live.load(Ordering::Acquire) < 4 {
+            std::thread::yield_now();
+        }
+        let err = rt.spawn(|| ()).unwrap_err();
+        assert!(matches!(err, SpawnError::ResourceExhausted { live_threads: 4, .. }));
+        assert_eq!(rt.stats().failed_spawns.load(Ordering::Relaxed), 1);
+        drop(held);
+        for f in futures {
+            f.get();
+        }
+    }
+
+    #[test]
+    fn memory_budget_fails_spawn() {
+        let rt = BaselineRuntime::new(BaselineConfig {
+            stack_bytes: 8 << 20,
+            memory_budget_bytes: 3 * (8 << 20), // 3 stacks
+            max_live_threads: 1_000_000,
+            real_stack_bytes: 128 << 10,
+        });
+        let gate = Arc::new(parking_lot::Mutex::new(()));
+        let held = gate.lock();
+        let mut futures = Vec::new();
+        for _ in 0..3 {
+            let g = gate.clone();
+            futures.push(rt.spawn(move || drop(g.lock())).unwrap());
+        }
+        while rt.stats().live.load(Ordering::Acquire) < 3 {
+            std::thread::yield_now();
+        }
+        assert!(rt.spawn(|| ()).is_err());
+        drop(held);
+        for f in futures {
+            f.get();
+        }
+    }
+
+    #[test]
+    fn stats_track_lifecycle() {
+        let rt = BaselineRuntime::with_defaults();
+        let futures: Vec<_> = (0..20).map(|i| rt.spawn(move || i).unwrap()).collect();
+        let sum: i32 = futures.into_iter().map(|f| f.get()).sum();
+        assert_eq!(sum, (0..20).sum::<i32>());
+        let stats = rt.stats();
+        assert_eq!(stats.spawned.load(Ordering::Relaxed), 20);
+        // All futures were joined by get().
+        assert_eq!(stats.completed.load(Ordering::Relaxed), 20);
+        assert_eq!(stats.live.load(Ordering::Relaxed), 0);
+        assert!(stats.peak_live.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn spawn_cost_counter_is_visible() {
+        let rt = BaselineRuntime::with_defaults();
+        let futures: Vec<_> = (0..10).map(|_| rt.spawn(|| ()).unwrap()).collect();
+        for f in futures {
+            f.get();
+        }
+        let v = rt.registry().evaluate("/os-threads/time/average-spawn", false).unwrap();
+        assert!(v.value > 0, "thread spawn must cost measurable time");
+        let c = rt.registry().evaluate("/os-threads/count/cumulative", false).unwrap();
+        assert_eq!(c.value, 10);
+    }
+
+    #[test]
+    fn panic_in_task_propagates() {
+        let rt = BaselineRuntime::with_defaults();
+        let f = rt.spawn(|| -> i32 { panic!("thread task panicked") }).unwrap();
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || f.get())).is_err());
+        // live count still returns to zero.
+        while rt.stats().live.load(Ordering::Acquire) > 0 {
+            std::thread::yield_now();
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Ablations of the design choices DESIGN.md §7 calls out:
+//!
+//! 1. per-worker local queues vs. one global queue (the Floorplan
+//!    ordering discussion),
+//! 2. child stealing (`async`) vs. continuation stealing (`fork`),
+//! 3. counter collection on vs. off,
+//! 4. steal-cost sensitivity of the simulator.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpx_inncabs::{Benchmark, InputScale};
+use rpx_runtime::{LaunchPolicy, Runtime, RuntimeConfig, SchedulerMode};
+use rpx_simnode::{simulate, HpxCostModel, SimConfig, SimRuntimeKind};
+
+fn bench_queue_modes(c: &mut Criterion) {
+    let graph = Benchmark::Fib.sim_graph(InputScale::Test);
+    let mut g = c.benchmark_group("ablation_queues");
+    g.warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
+    g.bench_function("sim_local_queues", |b| b.iter(|| simulate(&graph, &SimConfig::hpx(8))));
+    g.bench_function("sim_global_queue", |b| {
+        let config = SimConfig {
+            machine: rpx_simnode::MachineConfig::ivy_bridge_2s10c(),
+            cores: 8,
+            runtime: SimRuntimeKind::Hpx { cost: HpxCostModel::default(), global_queue: true },
+            collect_spans: false,
+        };
+        b.iter(|| simulate(&graph, &config))
+    });
+    g.finish();
+}
+
+fn bench_native_queue_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_native_queues");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
+    for (label, mode) in
+        [("local", SchedulerMode::LocalQueues), ("global", SchedulerMode::GlobalQueue)]
+    {
+        g.bench_function(label, |b| {
+            let rt = Runtime::new(RuntimeConfig {
+                workers: 2,
+                mode,
+                ..RuntimeConfig::default()
+            });
+            b.iter(|| {
+                let futures: Vec<_> = (0..512).map(|_| rt.spawn(|| ())).collect();
+                for f in futures {
+                    f.get();
+                }
+            });
+            rt.shutdown();
+        });
+    }
+    g.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let rt = Runtime::new(RuntimeConfig::with_workers(2));
+    let mut g = c.benchmark_group("ablation_policies");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
+    for policy in [LaunchPolicy::Async, LaunchPolicy::Fork] {
+        let h = rt.handle();
+        fn fib(h: &rpx_runtime::RuntimeHandle, policy: LaunchPolicy, n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let h2 = h.clone();
+            let a = h.spawn_with(policy, move || fib(&h2, policy, n - 1));
+            let b = fib(h, policy, n - 2);
+            a.get() + b
+        }
+        g.bench_function(policy.name(), move |b| b.iter(|| fib(&h, policy, 14)));
+    }
+    g.finish();
+    rt.shutdown();
+}
+
+fn bench_counters_on_off(c: &mut Criterion) {
+    // Ablation 3: the same burst with and without active counters — the
+    // paper's "overhead of collecting these counters" measurement.
+    let mut g = c.benchmark_group("ablation_counters");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
+    for (label, with_counters) in [("counters_off", false), ("counters_on", true)] {
+        g.bench_function(label, |b| {
+            let rt = Runtime::new(RuntimeConfig::with_workers(2));
+            if with_counters {
+                let reg = rt.registry();
+                for n in [
+                    "/threads{locality#0/total}/time/average",
+                    "/threads{locality#0/total}/time/average-overhead",
+                    "/threads{locality#0/total}/count/cumulative",
+                    "/threads{locality#0/total}/idle-rate",
+                ] {
+                    reg.add_active(n).unwrap();
+                }
+            }
+            let reg = rt.registry();
+            b.iter(|| {
+                let futures: Vec<_> = (0..256)
+                    .map(|_| rt.spawn(|| std::hint::black_box((0..500u64).sum::<u64>())))
+                    .collect();
+                for f in futures {
+                    f.get();
+                }
+                if with_counters {
+                    std::hint::black_box(reg.evaluate_active_counters(true));
+                }
+            });
+            rt.shutdown();
+        });
+    }
+    g.finish();
+}
+
+fn bench_steal_cost_sensitivity(c: &mut Criterion) {
+    // Ablation 4: how makespan responds to the steal cost parameter.
+    let graph = Benchmark::Uts.sim_graph(InputScale::Test);
+    let mut g = c.benchmark_group("ablation_steal_cost");
+    g.warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
+    for steal_ns in [300u64, 1_200, 6_000] {
+        let config = SimConfig {
+            machine: rpx_simnode::MachineConfig::ivy_bridge_2s10c(),
+            cores: 8,
+            runtime: SimRuntimeKind::Hpx {
+                cost: HpxCostModel { steal_ns, ..HpxCostModel::default() },
+                global_queue: false,
+            },
+            collect_spans: false,
+        };
+        g.bench_function(format!("steal_{steal_ns}ns"), |b| {
+            b.iter(|| simulate(&graph, &config))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_queue_modes,
+    bench_native_queue_modes,
+    bench_policies,
+    bench_counters_on_off,
+    bench_steal_cost_sensitivity
+);
+criterion_main!(benches);

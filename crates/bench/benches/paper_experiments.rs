@@ -1,0 +1,51 @@
+//! One Criterion benchmark per table and figure of the paper: each entry
+//! regenerates the corresponding experiment (at test scale, so `cargo
+//! bench` stays minutes, not hours; the `table1`/`table5`/`figures`
+//! binaries run the paper-scale versions).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpx_bench::{figure, table1, table5, ALL_FIGURES};
+use rpx_inncabs::{Benchmark, InputScale};
+use rpx_simnode::{simulate, SimConfig};
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
+    g.bench_function("table1_tools_vs_baseline", |b| b.iter(|| table1(InputScale::Test)));
+    g.bench_function("table5_classification", |b| b.iter(|| table5(InputScale::Test)));
+    g.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
+    for (id, benchmark, _) in ALL_FIGURES {
+        let name = format!("fig{:02}_{}", id, benchmark.entry().name);
+        g.bench_function(&name, move |b| b.iter(|| figure(id, InputScale::Test).unwrap()));
+    }
+    g.finish();
+}
+
+fn bench_simulation_kernels(c: &mut Criterion) {
+    // The simulator itself, per benchmark graph — useful for tracking the
+    // harness's own performance.
+    let mut g = c.benchmark_group("sim_kernel");
+    g.warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
+    for bench in [Benchmark::Fib, Benchmark::Alignment, Benchmark::Uts, Benchmark::Sort] {
+        let graph = bench.sim_graph(InputScale::Test);
+        let name = format!("hpx_20c_{}", bench.entry().name);
+        g.bench_function(&name, |b| b.iter(|| simulate(&graph, &SimConfig::hpx(20))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_figures, bench_simulation_kernels);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Task-spawn and scheduling costs of the two runtimes: the quantities
+//! behind §VI's "0.5µs–1µs task overhead" (lightweight tasks) vs. the
+//! tens of microseconds of one-OS-thread-per-task.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpx_baseline::BaselineRuntime;
+use rpx_runtime::{LaunchPolicy, Runtime, RuntimeConfig};
+
+fn bench_spawn_costs(c: &mut Criterion) {
+    let rt = Runtime::new(RuntimeConfig::with_workers(1));
+    let baseline = Arc::new(BaselineRuntime::with_defaults());
+
+    let mut g = c.benchmark_group("task_spawn");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(20);
+    g.bench_function("rpx_spawn_get", |b| b.iter(|| rt.spawn(|| 1u64).get()));
+    g.bench_function("rpx_spawn_sync_policy", |b| {
+        b.iter(|| rt.spawn_with(LaunchPolicy::Sync, || 1u64).get())
+    });
+    g.bench_function("rpx_spawn_deferred_policy", |b| {
+        b.iter(|| rt.spawn_with(LaunchPolicy::Deferred, || 1u64).get())
+    });
+    g.bench_function("std_thread_per_task_spawn_get", |b| {
+        b.iter(|| baseline.spawn(|| 1u64).unwrap().get())
+    });
+    g.finish();
+    rt.shutdown();
+}
+
+fn bench_burst_throughput(c: &mut Criterion) {
+    let rt = Runtime::new(RuntimeConfig::with_workers(2));
+    let mut g = c.benchmark_group("task_burst");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(15);
+    g.bench_function("rpx_1000_empty_tasks", |b| {
+        b.iter(|| {
+            let futures: Vec<_> = (0..1_000).map(|_| rt.spawn(|| ())).collect();
+            for f in futures {
+                f.get();
+            }
+        })
+    });
+    g.bench_function("rpx_fib16_recursive", |b| {
+        let h = rt.handle();
+        fn fib(h: &rpx_runtime::RuntimeHandle, n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let h2 = h.clone();
+            let a = h.spawn(move || fib(&h2, n - 1));
+            let b = fib(h, n - 2);
+            a.get() + b
+        }
+        b.iter(|| fib(&h, 16))
+    });
+    g.finish();
+    rt.shutdown();
+}
+
+fn bench_counter_query_during_run(c: &mut Criterion) {
+    // The in-situ query cost: reading counters while workers are busy.
+    let rt = Runtime::new(RuntimeConfig::with_workers(2));
+    let reg = rt.registry();
+    reg.add_active("/threads{locality#0/total}/time/average").unwrap();
+    reg.add_active("/threads{locality#0/total}/count/cumulative").unwrap();
+    // Keep the workers busy in the background.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let s2 = stop.clone();
+    let h = rt.handle();
+    let bg = rt.spawn(move || {
+        while !s2.load(std::sync::atomic::Ordering::Acquire) {
+            let futures: Vec<_> = (0..64).map(|_| h.spawn(|| std::hint::black_box(3 * 7))).collect();
+            for f in futures {
+                f.get();
+            }
+        }
+    });
+
+    let mut g = c.benchmark_group("in_situ_query");
+    g.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_millis(800));
+    g.bench_function("evaluate_active_while_busy", |b| {
+        b.iter(|| reg.evaluate_active_counters(false))
+    });
+    g.finish();
+
+    stop.store(true, std::sync::atomic::Ordering::Release);
+    bg.get();
+    rt.shutdown();
+}
+
+criterion_group!(benches, bench_spawn_costs, bench_burst_throughput, bench_counter_query_during_run);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Regenerate Figures 1–14.
+//!
+//! ```text
+//! cargo run -p rpx-bench --bin figures -- --all [--scale test|paper]
+//! cargo run -p rpx-bench --bin figures -- --fig 5
+//! ```
+
+use rpx_bench::{figure, platform_header, render_figure};
+use rpx_inncabs::InputScale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = match args.iter().position(|a| a == "--scale") {
+        Some(i) if args.get(i + 1).map(String::as_str) == Some("test") => InputScale::Test,
+        _ => InputScale::Paper,
+    };
+    let ids: Vec<u32> = if args.iter().any(|a| a == "--all") {
+        (1..=14).collect()
+    } else {
+        match args.iter().position(|a| a == "--fig") {
+            Some(i) => vec![args[i + 1].parse().expect("--fig takes a number 1–14")],
+            None => {
+                eprintln!("usage: figures --all | --fig N  [--scale test|paper]");
+                std::process::exit(2);
+            }
+        }
+    };
+
+    println!("{}", platform_header());
+    let dir = rpx_bench::output_dir();
+    for id in ids {
+        let fig = figure(id, scale).unwrap_or_else(|| panic!("no figure {id}"));
+        println!("{}", render_figure(&fig));
+        let path = dir.join(format!("figure{id:02}.json"));
+        if let Ok(json) = serde_json::to_string_pretty(&fig) {
+            let _ = std::fs::write(&path, json);
+            println!("wrote {}\n", path.display());
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Counter discovery demo: start a runtime, run a little work, and honour
+//! the paper's command-line counter conveniences.
+//!
+//! ```text
+//! cargo run -p rpx-bench --bin list_counters -- --rpx:list-counters
+//! cargo run -p rpx-bench --bin list_counters -- \
+//!     "--rpx:print-counter=/threads{locality#0/total}/time/average" \
+//!     --rpx:print-counter-interval=50
+//! ```
+
+use rpx_counters::cli::{CounterCli, CounterCliOptions};
+use rpx_runtime::{Runtime, RuntimeConfig};
+
+fn main() {
+    let (mut opts, _rest) =
+        CounterCliOptions::parse(std::env::args().skip(1)).expect("bad --rpx option");
+    if !opts.wants_output() {
+        // Default demo: list everything.
+        opts.list_counters = true;
+    }
+
+    let rt = Runtime::new(RuntimeConfig::with_workers(2));
+    let cli = CounterCli::start(rt.registry(), opts).expect("counter CLI failed");
+
+    // A little fib workload so the counters have something to show.
+    let h = rt.handle();
+    fn fib(h: &rpx_runtime::RuntimeHandle, n: u64) -> u64 {
+        if n < 2 {
+            return n;
+        }
+        let h2 = h.clone();
+        let a = h.spawn(move || fib(&h2, n - 1));
+        let b = fib(h, n - 2);
+        a.get() + b
+    }
+    let result = fib(&h, 20);
+    rt.wait_idle();
+    println!("fib(20) = {result}");
+
+    cli.finish().expect("counter output failed");
+    rt.shutdown();
+}

@@ -1,0 +1,34 @@
+//! Regenerate Table I: external tools vs. the thread-per-task baseline.
+//!
+//! ```text
+//! cargo run -p rpx-bench --bin table1 [--scale test|paper]
+//! ```
+
+use rpx_bench::{platform_header, render_table1, table1};
+use rpx_inncabs::InputScale;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("{}", platform_header());
+    println!("Table I — external performance tools on thread-per-task runs ({scale:?} scale)\n");
+    let rows = table1(scale);
+    print!("{}", render_table1(&rows));
+
+    let path = rpx_bench::output_dir().join("table1.json");
+    if let Ok(json) = serde_json::to_string_pretty(&rows) {
+        let _ = std::fs::write(&path, json);
+        println!("\nwrote {}", path.display());
+    }
+    match rpx_bench::table1::qualitative_claims_hold(&rows) {
+        Ok(()) => println!("qualitative claims of the paper's Table I hold ✓"),
+        Err(e) => println!("WARNING: {e}"),
+    }
+}
+
+fn scale_from_args() -> InputScale {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--scale") {
+        Some(i) if args.get(i + 1).map(String::as_str) == Some("test") => InputScale::Test,
+        _ => InputScale::Paper,
+    }
+}

@@ -1,0 +1,26 @@
+//! Regenerate Table V: benchmark classification and granularity.
+//!
+//! ```text
+//! cargo run -p rpx-bench --bin table5 [--scale test|paper]
+//! ```
+
+use rpx_bench::{platform_header, render_table5, table5};
+use rpx_inncabs::InputScale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = match args.iter().position(|a| a == "--scale") {
+        Some(i) if args.get(i + 1).map(String::as_str) == Some("test") => InputScale::Test,
+        _ => InputScale::Paper,
+    };
+    println!("{}", platform_header());
+    println!("Table V — benchmark classification and granularity ({scale:?} scale)\n");
+    let rows = table5(scale);
+    print!("{}", render_table5(&rows));
+
+    let path = rpx_bench::output_dir().join("table5.json");
+    if let Ok(json) = serde_json::to_string_pretty(&rows) {
+        let _ = std::fs::write(&path, json);
+        println!("\nwrote {}", path.display());
+    }
+}

@@ -1,0 +1,46 @@
+//! Interval-sampled view of one simulated run — the virtual-time
+//! counterpart of `--hpx:print-counter-interval`: core utilization and
+//! off-core bandwidth over the run.
+//!
+//! ```text
+//! cargo run --release -p rpx-bench --bin timeline -- [benchmark] [cores] [bins]
+//! ```
+
+use rpx_bench::platform_header;
+use rpx_inncabs::{Benchmark, InputScale};
+use rpx_simnode::{simulate, SimConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map(String::as_str).unwrap_or("sort");
+    let cores: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let bins: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(20);
+
+    let Some(benchmark) = Benchmark::from_name(name) else {
+        eprintln!("unknown benchmark `{name}`; one of:");
+        for b in Benchmark::ALL {
+            eprintln!("  {}", b.entry().name);
+        }
+        std::process::exit(2);
+    };
+
+    println!("{}", platform_header());
+    let graph = benchmark.sim_graph(InputScale::Paper);
+    let mut config = SimConfig::hpx(cores);
+    config.collect_spans = true;
+    let result = simulate(&graph, &config);
+
+    println!(
+        "{name} on {cores} simulated cores: {:.2} ms makespan, {} tasks, {:.2} GB/s offcore\n",
+        result.makespan_ns as f64 / 1e6,
+        result.tasks_executed,
+        result.offcore_bandwidth_gbps()
+    );
+    let tl = result.timeline(bins);
+    print!("{}", tl.render());
+    println!(
+        "\npeak concurrency: {:.1} busy cores; utilization {:.1}%",
+        tl.peak_busy_cores(),
+        result.utilization() * 100.0
+    );
+}

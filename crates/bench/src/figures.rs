@@ -1,0 +1,257 @@
+//! Figures 1–14: data series for every figure of the paper's evaluation.
+//!
+//! - Figs. 1–7: execution time vs. cores, HPX-like vs. thread-per-task
+//!   (Alignment, Pyramids, Strassen, Sort, FFT, UTS, Intersim).
+//! - Figs. 8–12: overhead decomposition vs. cores (exec time, ideal
+//!   scaling, task time per core, ideal task time, scheduling overhead per
+//!   core) for Alignment, Pyramids, Strassen, FFT, UTS.
+//! - Figs. 13–14: off-core bandwidth vs. cores (Alignment, Pyramids).
+
+use rpx_inncabs::{Benchmark, InputScale};
+use rpx_simnode::SimRuntimeKind;
+use serde::Serialize;
+
+use crate::scaling::{sweep_graph, SweepOutcome, CORE_COUNTS};
+use crate::table1::scaled_std_runtime;
+
+/// One plotted series: a label and (cores, value) points.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Unit of the values (ms, GB/s, …).
+    pub unit: &'static str,
+    /// Points in core order; `None` marks a failed run (the paper's
+    /// missing std points).
+    pub points: Vec<(u32, Option<f64>)>,
+}
+
+/// A regenerated figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure {
+    /// Paper figure number (1–14).
+    pub id: u32,
+    /// Title.
+    pub title: String,
+    /// Which benchmark it plots.
+    pub benchmark: String,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+/// The kind of each paper figure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FigureKind {
+    /// Execution time, both runtimes.
+    ExecTime,
+    /// Overhead decomposition, HPX runtime.
+    Overheads,
+    /// Off-core bandwidth, HPX runtime.
+    Bandwidth,
+}
+
+/// (figure id, benchmark, kind) for all fourteen figures.
+pub const ALL_FIGURES: [(u32, Benchmark, FigureKind); 14] = [
+    (1, Benchmark::Alignment, FigureKind::ExecTime),
+    (2, Benchmark::Pyramids, FigureKind::ExecTime),
+    (3, Benchmark::Strassen, FigureKind::ExecTime),
+    (4, Benchmark::Sort, FigureKind::ExecTime),
+    (5, Benchmark::Fft, FigureKind::ExecTime),
+    (6, Benchmark::Uts, FigureKind::ExecTime),
+    (7, Benchmark::Intersim, FigureKind::ExecTime),
+    (8, Benchmark::Alignment, FigureKind::Overheads),
+    (9, Benchmark::Pyramids, FigureKind::Overheads),
+    (10, Benchmark::Strassen, FigureKind::Overheads),
+    (11, Benchmark::Fft, FigureKind::Overheads),
+    (12, Benchmark::Uts, FigureKind::Overheads),
+    (13, Benchmark::Alignment, FigureKind::Bandwidth),
+    (14, Benchmark::Pyramids, FigureKind::Bandwidth),
+];
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+fn exec_time_figure(id: u32, benchmark: Benchmark, scale: InputScale) -> Figure {
+    let graph = benchmark.sim_graph(scale);
+    let name = benchmark.entry().name;
+    let hpx = sweep_graph(&graph, name, SimRuntimeKind::hpx());
+    // Same scaled live-thread limit as Tables I/V, so the std series stops
+    // exactly where the paper's curves do.
+    let std = sweep_graph(&graph, name, scaled_std_runtime(benchmark, graph.len()));
+    let series_of = |sweep: &SweepOutcome, label: &str| Series {
+        label: label.to_owned(),
+        unit: "ms",
+        points: sweep
+            .points
+            .iter()
+            .map(|p| (p.cores, p.result.completed().then(|| ms(p.result.makespan_ns))))
+            .collect(),
+    };
+    Figure {
+        id,
+        title: format!("Execution time of {name} (HPX-like vs C++11 std)"),
+        benchmark: name.to_owned(),
+        series: vec![series_of(&hpx, "hpx"), series_of(&std, "std-async")],
+    }
+}
+
+fn overheads_figure(id: u32, benchmark: Benchmark, scale: InputScale) -> Figure {
+    let graph = benchmark.sim_graph(scale);
+    let name = benchmark.entry().name;
+    let hpx = sweep_graph(&graph, name, SimRuntimeKind::hpx());
+    let t1 = hpx.time_at(1).unwrap_or(0) as f64;
+    let task_time_1 = hpx
+        .points
+        .iter()
+        .find(|p| p.cores == 1)
+        .map(|p| p.result.total_exec_ns as f64)
+        .unwrap_or(0.0);
+
+    let mut exec = Vec::new();
+    let mut ideal = Vec::new();
+    let mut task_time = Vec::new();
+    let mut ideal_task = Vec::new();
+    let mut sched = Vec::new();
+    for p in &hpx.points {
+        let c = p.cores;
+        let ok = p.result.completed();
+        exec.push((c, ok.then(|| ms(p.result.makespan_ns))));
+        ideal.push((c, Some(t1 / c as f64 / 1e6)));
+        task_time.push((c, ok.then(|| p.result.task_time_per_core_ns() / 1e6)));
+        ideal_task.push((c, Some(task_time_1 / c as f64 / 1e6)));
+        sched.push((c, ok.then(|| p.result.sched_overhead_per_core_ns() / 1e6)));
+    }
+    let series = |label: &str, points: Vec<(u32, Option<f64>)>| Series {
+        label: label.to_owned(),
+        unit: "ms",
+        points,
+    };
+    Figure {
+        id,
+        title: format!("{name} overheads (exec vs ideal, task time/core, sched overhead/core)"),
+        benchmark: name.to_owned(),
+        series: vec![
+            series("exec_time", exec),
+            series("ideal_scaling", ideal),
+            series("task_time_per_core", task_time),
+            series("ideal_task_time", ideal_task),
+            series("sched_overhd_per_core", sched),
+        ],
+    }
+}
+
+fn bandwidth_figure(id: u32, benchmark: Benchmark, scale: InputScale) -> Figure {
+    let graph = benchmark.sim_graph(scale);
+    let name = benchmark.entry().name;
+    let hpx = sweep_graph(&graph, name, SimRuntimeKind::hpx());
+    let points = hpx
+        .points
+        .iter()
+        .map(|p| (p.cores, p.result.completed().then(|| p.result.offcore_bandwidth_gbps())))
+        .collect();
+    Figure {
+        id,
+        title: format!("{name} OFFCORE bandwidth (requests × 64 B / time)"),
+        benchmark: name.to_owned(),
+        series: vec![Series { label: "offcore_bw".into(), unit: "GB/s", points }],
+    }
+}
+
+/// Build one figure by paper number.
+pub fn figure(id: u32, scale: InputScale) -> Option<Figure> {
+    let (fid, benchmark, kind) = ALL_FIGURES.iter().copied().find(|(f, _, _)| *f == id)?;
+    Some(match kind {
+        FigureKind::ExecTime => exec_time_figure(fid, benchmark, scale),
+        FigureKind::Overheads => overheads_figure(fid, benchmark, scale),
+        FigureKind::Bandwidth => bandwidth_figure(fid, benchmark, scale),
+    })
+}
+
+/// Render a figure as an aligned text table (cores × series).
+pub fn render_figure(fig: &Figure) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("Figure {}: {}\n", fig.id, fig.title));
+    out.push_str(&format!("{:>6}", "cores"));
+    for s in &fig.series {
+        out.push_str(&format!(" {:>22}", format!("{} [{}]", s.label, s.unit)));
+    }
+    out.push('\n');
+    for (i, &c) in CORE_COUNTS.iter().enumerate() {
+        out.push_str(&format!("{c:>6}"));
+        for s in &fig.series {
+            match s.points.get(i).and_then(|p| p.1) {
+                Some(v) => out.push_str(&format!(" {v:>22.3}")),
+                None => out.push_str(&format!(" {:>22}", "fail")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_figure_id_resolves() {
+        for (id, _, _) in ALL_FIGURES {
+            let fig = figure(id, InputScale::Test).unwrap();
+            assert_eq!(fig.id, id);
+            assert!(!fig.series.is_empty());
+            assert_eq!(fig.series[0].points.len(), CORE_COUNTS.len());
+        }
+        assert!(figure(99, InputScale::Test).is_none());
+    }
+
+    #[test]
+    fn fig1_alignment_both_runtimes_scale() {
+        let fig = figure(1, InputScale::Test).unwrap();
+        for s in &fig.series {
+            let t1 = s.points[0].1.unwrap();
+            let t20 = s.points.last().unwrap().1.unwrap();
+            assert!(
+                t20 < t1 / 3.0,
+                "{}: coarse tasks must scale (t1={t1:.1}ms t20={t20:.1}ms)",
+                s.label
+            );
+        }
+    }
+
+    #[test]
+    fn fig5_fft_std_much_slower() {
+        let fig = figure(5, InputScale::Test).unwrap();
+        let hpx = &fig.series[0];
+        let std = &fig.series[1];
+        let (h, s) = (hpx.points[2].1.unwrap(), std.points[2].1.unwrap());
+        assert!(s > 3.0 * h, "std ({s:.2}ms) should be ≫ hpx ({h:.2}ms) on very fine tasks");
+    }
+
+    #[test]
+    fn overheads_figure_has_five_series() {
+        let fig = figure(8, InputScale::Test).unwrap();
+        assert_eq!(fig.series.len(), 5);
+        let labels: Vec<&str> = fig.series.iter().map(|s| s.label.as_str()).collect();
+        assert!(labels.contains(&"ideal_scaling"));
+        assert!(labels.contains(&"sched_overhd_per_core"));
+    }
+
+    #[test]
+    fn bandwidth_grows_with_cores_for_alignment() {
+        let fig = figure(13, InputScale::Test).unwrap();
+        let bw = &fig.series[0];
+        let b1 = bw.points[0].1.unwrap();
+        let b10 = bw.points[5].1.unwrap();
+        assert!(b10 > b1, "bandwidth should grow with cores: {b1:.2} → {b10:.2} GB/s");
+    }
+
+    #[test]
+    fn render_contains_all_cores() {
+        let fig = figure(1, InputScale::Test).unwrap();
+        let text = render_figure(&fig);
+        for c in CORE_COUNTS {
+            assert!(text.lines().any(|l| l.trim_start().starts_with(&c.to_string())));
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! # rpx-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (see
+//! DESIGN.md §5 for the experiment index):
+//!
+//! - `table1` — external tools vs. the thread-per-task baseline
+//! - `table5` — benchmark classification & granularity, with measured
+//!   task durations and scaling limits for both runtimes
+//! - `figures --fig N | --all` — Figs. 1–7 (execution-time scaling),
+//!   8–12 (overhead decomposition), 13–14 (off-core bandwidth)
+//! - `list_counters` — the counter-discovery demo (`--rpx:list-counters`)
+//!
+//! Everything runs on the simulated Ivy Bridge node (DESIGN.md §3) and is
+//! deterministic; text goes to stdout and machine-readable series to
+//! `experiments/*.json`.
+
+pub mod figures;
+pub mod scaling;
+pub mod table1;
+pub mod table5;
+
+pub use figures::{figure, render_figure, Figure, Series, ALL_FIGURES};
+pub use scaling::{measure_scaling, scaling_limit, ScalingPoint, SweepOutcome, CORE_COUNTS};
+pub use table1::{render_table1, table1, Table1Row};
+pub use table5::{render_table5, table5, Table5Row};
+
+use rpx_simnode::MachineConfig;
+
+/// Print the Table III-style platform header every binary leads with.
+pub fn platform_header() -> String {
+    let m = MachineConfig::ivy_bridge_2s10c();
+    format!(
+        "# {}\n# runtimes: hpx-like (work stealing, lightweight tasks) vs \
+         std-async (one OS thread per task)\n",
+        m.describe()
+    )
+}
+
+/// Where the machine-readable experiment outputs go.
+pub fn output_dir() -> std::path::PathBuf {
+    let dir = std::path::PathBuf::from("experiments");
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_mentions_the_node() {
+        let h = platform_header();
+        assert!(h.contains("2 sockets"));
+        assert!(h.contains("std-async"));
+    }
+}

@@ -1,0 +1,162 @@
+//! Strong-scaling sweeps over the simulated node, shared by the tables
+//! and figures.
+
+use rpx_inncabs::{Benchmark, InputScale};
+use rpx_simnode::{scaling_sweep, SimConfig, SimResult, SimRuntimeKind, TaskGraph};
+use serde::Serialize;
+
+/// Core counts of the paper's strong-scaling experiments.
+pub const CORE_COUNTS: [u32; 11] = [1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20];
+
+/// One point of a sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalingPoint {
+    /// Cores used.
+    pub cores: u32,
+    /// Full simulation metrics.
+    pub result: SimResult,
+}
+
+/// A full sweep for one benchmark × one runtime.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepOutcome {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Runtime label (`hpx` / `std-async`).
+    pub runtime: String,
+    /// Points in core order; a failed run keeps its failure record.
+    pub points: Vec<ScalingPoint>,
+}
+
+impl SweepOutcome {
+    /// Execution time at `cores`, if that run completed.
+    pub fn time_at(&self, cores: u32) -> Option<u64> {
+        self.points
+            .iter()
+            .find(|p| p.cores == cores && p.result.completed())
+            .map(|p| p.result.makespan_ns)
+    }
+
+    /// Whether any point failed (resource exhaustion).
+    pub fn any_failed(&self) -> bool {
+        self.points.iter().any(|p| !p.result.completed())
+    }
+
+    /// Speedup at `cores` relative to one core.
+    pub fn speedup_at(&self, cores: u32) -> Option<f64> {
+        let t1 = self.time_at(1)? as f64;
+        let tc = self.time_at(cores)? as f64;
+        Some(t1 / tc)
+    }
+}
+
+/// Sweep one benchmark on one runtime over [`CORE_COUNTS`].
+pub fn measure_scaling(
+    benchmark: Benchmark,
+    scale: InputScale,
+    runtime: SimRuntimeKind,
+) -> SweepOutcome {
+    let graph = benchmark.sim_graph(scale);
+    sweep_graph(&graph, benchmark.entry().name, runtime)
+}
+
+/// Sweep an already-built graph (lets callers reuse expensive graphs).
+pub fn sweep_graph(graph: &TaskGraph, name: &str, runtime: SimRuntimeKind) -> SweepOutcome {
+    let base = SimConfig {
+        machine: rpx_simnode::MachineConfig::ivy_bridge_2s10c(),
+        cores: 1,
+        runtime: runtime.clone(),
+        collect_spans: false,
+    };
+    let points = scaling_sweep(graph, &base, &CORE_COUNTS)
+        .into_iter()
+        .map(|(cores, result)| ScalingPoint { cores, result })
+        .collect();
+    SweepOutcome { benchmark: name.to_owned(), runtime: runtime.label().to_owned(), points }
+}
+
+/// Table V's "scales to N" classification: the largest core count that
+/// still improves execution time by at least 2 % over the previous one in
+/// the sweep. Returns `None` when the runtime failed to complete at any
+/// core count.
+pub fn scaling_limit(outcome: &SweepOutcome) -> Option<u32> {
+    if outcome.points.iter().all(|p| !p.result.completed()) {
+        return None;
+    }
+    let mut limit = 1;
+    let mut prev: Option<u64> = None;
+    for p in &outcome.points {
+        let Some(t) = outcome.time_at(p.cores) else { continue };
+        if let Some(pt) = prev {
+            if (t as f64) < pt as f64 * 0.98 {
+                limit = p.cores;
+            }
+        }
+        prev = Some(t);
+    }
+    Some(limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpx_inncabs::Benchmark;
+
+    #[test]
+    fn coarse_benchmark_scales_far_on_hpx() {
+        let sweep = measure_scaling(Benchmark::Alignment, InputScale::Test, SimRuntimeKind::hpx());
+        assert!(!sweep.any_failed());
+        let limit = scaling_limit(&sweep).unwrap();
+        // 28 coarse tasks at test scale: scaling must reach several cores.
+        assert!(limit >= 4, "alignment should scale past 4 cores, limit={limit}");
+        let s = sweep.speedup_at(limit).unwrap();
+        assert!(s > 2.0, "speedup {s:.2} too small at {limit} cores");
+    }
+
+    #[test]
+    fn very_fine_benchmark_scales_worse_than_coarse() {
+        let fine =
+            measure_scaling(Benchmark::Fib, InputScale::Test, SimRuntimeKind::hpx());
+        let coarse =
+            measure_scaling(Benchmark::Round, InputScale::Test, SimRuntimeKind::hpx());
+        let fine_speed = fine.speedup_at(20).unwrap_or(1.0);
+        let coarse_speed = coarse.speedup_at(20).unwrap_or(1.0);
+        // Round (coarse, 8 players) has limited width too, so compare
+        // efficiency at 4 cores instead of absolute speedups at 20.
+        let fine4 = fine.speedup_at(4).unwrap_or(1.0);
+        let coarse4 = coarse.speedup_at(4).unwrap_or(1.0);
+        assert!(
+            coarse4 >= fine4 * 0.8 || coarse_speed >= fine_speed * 0.8,
+            "coarse should not scale categorically worse (fine4={fine4:.2}, coarse4={coarse4:.2})"
+        );
+    }
+
+    #[test]
+    fn sweep_serializes_to_json() {
+        let sweep = measure_scaling(Benchmark::Round, InputScale::Test, SimRuntimeKind::hpx());
+        let s = serde_json::to_string(&sweep).unwrap();
+        assert!(s.contains("\"benchmark\":\"round\""));
+    }
+
+    #[test]
+    fn scaling_limit_of_flat_series_is_one() {
+        // A sweep with identical times everywhere scales "to 1".
+        let sweep = SweepOutcome {
+            benchmark: "x".into(),
+            runtime: "hpx".into(),
+            points: CORE_COUNTS
+                .iter()
+                .map(|&c| ScalingPoint {
+                    cores: c,
+                    result: rpx_simnode::SimResult {
+                        makespan_ns: 1_000_000,
+                        cores: c,
+                        tasks_executed: 1,
+                        ..Default::default()
+                    },
+                })
+                .collect(),
+        };
+        assert_eq!(scaling_limit(&sweep), Some(1));
+    }
+}

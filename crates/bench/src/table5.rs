@@ -1,0 +1,144 @@
+//! Table V: benchmark classification and granularity — structure,
+//! synchronization, measured task duration (1 core), granularity class,
+//! and the scaling limits of both runtimes.
+
+use rpx_inncabs::{Benchmark, Granularity, InputScale, PaperScaling};
+use rpx_simnode::{simulate, SimConfig, SimRuntimeKind};
+use serde::Serialize;
+
+use crate::scaling::{measure_scaling, scaling_limit, sweep_graph};
+use crate::table1::scaled_std_runtime;
+
+/// One row of the regenerated Table V.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table5Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Structure class label.
+    pub structure: String,
+    /// Synchronization column.
+    pub synchronization: String,
+    /// Measured average task duration on one core, µs.
+    pub task_duration_us: f64,
+    /// Granularity classification of the measured duration.
+    pub granularity: String,
+    /// Paper's task duration, µs (for side-by-side comparison).
+    pub paper_task_duration_us: f64,
+    /// Measured std-async scaling limit (`None` = fails).
+    pub std_scaling: Option<u32>,
+    /// Measured hpx scaling limit.
+    pub hpx_scaling: Option<u32>,
+    /// Paper's reported scaling for std / hpx (rendered).
+    pub paper_std: String,
+    pub paper_hpx: String,
+}
+
+fn render_paper_scaling(p: PaperScaling) -> String {
+    match p {
+        PaperScaling::To(n) => format!("to {n}"),
+        PaperScaling::Fail => "fail".into(),
+        PaperScaling::NoScaling => "no scaling".into(),
+    }
+}
+
+/// Compute the full table at the given input scale.
+pub fn table5(scale: InputScale) -> Vec<Table5Row> {
+    Benchmark::ALL
+        .iter()
+        .map(|&b| {
+            let e = b.entry();
+            let graph = b.sim_graph(scale);
+            // Task duration: the /threads/time/average analogue on 1 core.
+            let one = simulate(&graph, &SimConfig::hpx(1));
+            let dur_us = one.avg_task_ns() / 1_000.0;
+
+            let hpx = measure_scaling(b, scale, SimRuntimeKind::hpx());
+            // The std sweep uses the scaled live-thread limit (same
+            // protocol as Table I) so the paper's "fail" rows reproduce.
+            let std = sweep_graph(&graph, e.name, scaled_std_runtime(b, graph.len()));
+            let std_limit = if std.any_failed() { None } else { scaling_limit(&std) };
+
+            Table5Row {
+                name: e.name.to_owned(),
+                structure: e.structure.label().to_owned(),
+                synchronization: e.synchronization.to_owned(),
+                task_duration_us: dur_us,
+                granularity: Granularity::classify(one.avg_task_ns()).label().to_owned(),
+                paper_task_duration_us: e.paper_task_duration_us,
+                std_scaling: std_limit,
+                hpx_scaling: scaling_limit(&hpx),
+                paper_std: render_paper_scaling(e.paper_std_scaling),
+                paper_hpx: render_paper_scaling(e.paper_hpx_scaling),
+            }
+        })
+        .collect()
+}
+
+/// Render the table as aligned text.
+pub fn render_table5(rows: &[Table5Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} {:<21} {:<17} {:>12} {:>12} {:<10} {:>9} {:>9} {:>10} {:>10}\n",
+        "benchmark",
+        "structure",
+        "synchronization",
+        "dur µs (sim)",
+        "dur µs (ppr)",
+        "granularity",
+        "std(sim)",
+        "hpx(sim)",
+        "std(ppr)",
+        "hpx(ppr)"
+    ));
+    for r in rows {
+        let fmt_limit = |l: Option<u32>| match l {
+            Some(n) => format!("to {n}"),
+            None => "fail".into(),
+        };
+        out.push_str(&format!(
+            "{:<10} {:<21} {:<17} {:>12.2} {:>12.2} {:<10} {:>9} {:>9} {:>10} {:>10}\n",
+            r.name,
+            r.structure,
+            r.synchronization,
+            r.task_duration_us,
+            r.paper_task_duration_us,
+            r.granularity,
+            fmt_limit(r.std_scaling),
+            fmt_limit(r.hpx_scaling),
+            r.paper_std,
+            r.paper_hpx
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_scale_table_has_all_rows() {
+        let rows = table5(InputScale::Test);
+        assert_eq!(rows.len(), 14);
+        for r in &rows {
+            assert!(r.task_duration_us > 0.0, "{} has zero duration", r.name);
+        }
+    }
+
+    #[test]
+    fn coarse_rows_classify_coarse() {
+        let rows = table5(InputScale::Test);
+        for r in rows.iter().filter(|r| ["alignment", "round", "sparselu"].contains(&r.name.as_str())) {
+            assert_eq!(r.granularity, "coarse", "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn render_contains_headers_and_rows() {
+        let rows = table5(InputScale::Test);
+        let text = render_table5(&rows);
+        assert!(text.contains("benchmark"));
+        assert!(text.contains("alignment"));
+        assert!(text.contains("uts"));
+    }
+}

@@ -1,0 +1,393 @@
+//! The [`Counter`] trait and the generic counter implementations every
+//! subsystem builds on: raw gauges, monotonic counters, (sum, count)
+//! averages, and elapsed-time counters.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::value::{CounterInfo, CounterKind, CounterValue};
+
+/// Monotonic time source shared by a registry and all its counters.
+///
+/// Timestamps in [`CounterValue`] are nanoseconds since this clock's epoch,
+/// so values from different counters of the same registry are comparable.
+#[derive(Debug)]
+pub struct Clock {
+    epoch: Instant,
+}
+
+impl Clock {
+    /// A clock whose epoch is "now".
+    pub fn new() -> Self {
+        Clock { epoch: Instant::now() }
+    }
+
+    /// Nanoseconds elapsed since the epoch.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::new()
+    }
+}
+
+/// A live performance-counter instance.
+///
+/// Counters are cheap to evaluate and safe to query from any thread,
+/// including concurrently with the instrumented code — this is the property
+/// that lets the runtime introspect itself without stopping the world.
+pub trait Counter: Send + Sync {
+    /// Metadata (canonical name, kind, help text, unit).
+    fn info(&self) -> CounterInfo;
+
+    /// Evaluate the counter. With `reset`, atomically restart the
+    /// counter's accumulation after reading (HPX `evaluate(reset=true)`).
+    fn get_value(&self, reset: bool) -> CounterValue;
+
+    /// Restart accumulation without reading.
+    fn reset(&self);
+
+    /// Hook invoked when the counter becomes part of the active set.
+    fn start(&self) {}
+
+    /// Hook invoked when the counter leaves the active set.
+    fn stop(&self) {}
+
+    /// Downcast hook for counters with richer payloads than a scalar
+    /// (e.g. [`crate::histogram::HistogramCounter`]).
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+}
+
+/// Closure type used by pull-based counters to read instrumented state.
+pub type ValueFn = Arc<dyn Fn() -> i64 + Send + Sync>;
+
+/// Closure type for (sum, count) averages.
+pub type PairFn = Arc<dyn Fn() -> (u64, u64) + Send + Sync>;
+
+/// An instantaneous gauge: every evaluation re-reads the source closure.
+/// `reset` is a no-op because the quantity is not accumulated.
+pub struct RawCounter {
+    info: CounterInfo,
+    clock: Arc<Clock>,
+    read: ValueFn,
+}
+
+impl RawCounter {
+    /// Build from metadata and a source closure.
+    pub fn new(info: CounterInfo, clock: Arc<Clock>, read: ValueFn) -> Self {
+        RawCounter { info, clock, read }
+    }
+}
+
+impl Counter for RawCounter {
+    fn info(&self) -> CounterInfo {
+        self.info.clone()
+    }
+
+    fn get_value(&self, _reset: bool) -> CounterValue {
+        CounterValue::new((self.read)(), self.clock.now_ns())
+    }
+
+    fn reset(&self) {}
+}
+
+/// A monotonically increasing counter over a non-decreasing source.
+///
+/// Reset semantics: resetting records the current source value as a
+/// baseline; subsequent reads report the delta since the last reset. This
+/// is what makes per-sample measurement (`evaluate`, `reset`, run,
+/// `evaluate`) work while the underlying runtime keeps counting globally.
+pub struct MonotonicCounter {
+    info: CounterInfo,
+    clock: Arc<Clock>,
+    read: ValueFn,
+    baseline: AtomicI64,
+}
+
+impl MonotonicCounter {
+    /// Build from metadata and a non-decreasing source closure.
+    pub fn new(info: CounterInfo, clock: Arc<Clock>, read: ValueFn) -> Self {
+        MonotonicCounter { info, clock, read, baseline: AtomicI64::new(0) }
+    }
+}
+
+impl Counter for MonotonicCounter {
+    fn info(&self) -> CounterInfo {
+        self.info.clone()
+    }
+
+    fn get_value(&self, reset: bool) -> CounterValue {
+        let raw = (self.read)();
+        let base = if reset {
+            self.baseline.swap(raw, Ordering::AcqRel)
+        } else {
+            self.baseline.load(Ordering::Acquire)
+        };
+        CounterValue::new(raw - base, self.clock.now_ns())
+    }
+
+    fn reset(&self) {
+        self.baseline.store((self.read)(), Ordering::Release);
+    }
+}
+
+/// An average maintained as a (sum, count) pair, e.g. mean task duration
+/// = cumulative execution time / number of tasks.
+///
+/// Reset stores baselines for both components, so after a reset the counter
+/// reports the average over the *new* interval only — exactly the paper's
+/// per-sample protocol.
+pub struct AverageCounter {
+    info: CounterInfo,
+    clock: Arc<Clock>,
+    read: PairFn,
+    base_sum: AtomicU64,
+    base_count: AtomicU64,
+}
+
+impl AverageCounter {
+    /// Build from metadata and a (sum, count) source closure.
+    pub fn new(info: CounterInfo, clock: Arc<Clock>, read: PairFn) -> Self {
+        AverageCounter {
+            info,
+            clock,
+            read,
+            base_sum: AtomicU64::new(0),
+            base_count: AtomicU64::new(0),
+        }
+    }
+
+    fn snapshot(&self, reset: bool) -> (u64, u64) {
+        let (sum, count) = (self.read)();
+        let (bs, bc) = if reset {
+            (self.base_sum.swap(sum, Ordering::AcqRel), self.base_count.swap(count, Ordering::AcqRel))
+        } else {
+            (self.base_sum.load(Ordering::Acquire), self.base_count.load(Ordering::Acquire))
+        };
+        (sum.saturating_sub(bs), count.saturating_sub(bc))
+    }
+}
+
+impl Counter for AverageCounter {
+    fn info(&self) -> CounterInfo {
+        self.info.clone()
+    }
+
+    fn get_value(&self, reset: bool) -> CounterValue {
+        let ts = self.clock.now_ns();
+        let (sum, count) = self.snapshot(reset);
+        if count == 0 {
+            return CounterValue::empty(ts);
+        }
+        CounterValue::new((sum / count) as i64, ts).with_count(count)
+    }
+
+    fn reset(&self) {
+        let (sum, count) = (self.read)();
+        self.base_sum.store(sum, Ordering::Release);
+        self.base_count.store(count, Ordering::Release);
+    }
+}
+
+/// Nanoseconds elapsed since creation or since the last reset
+/// (`/runtime/uptime`).
+pub struct ElapsedTimeCounter {
+    info: CounterInfo,
+    clock: Arc<Clock>,
+    started_ns: AtomicU64,
+}
+
+impl ElapsedTimeCounter {
+    /// Build with the reference point set to "now".
+    pub fn new(info: CounterInfo, clock: Arc<Clock>) -> Self {
+        let started = clock.now_ns();
+        ElapsedTimeCounter { info, clock, started_ns: AtomicU64::new(started) }
+    }
+}
+
+impl Counter for ElapsedTimeCounter {
+    fn info(&self) -> CounterInfo {
+        self.info.clone()
+    }
+
+    fn get_value(&self, reset: bool) -> CounterValue {
+        let now = self.clock.now_ns();
+        let started = if reset {
+            self.started_ns.swap(now, Ordering::AcqRel)
+        } else {
+            self.started_ns.load(Ordering::Acquire)
+        };
+        CounterValue::new(now.saturating_sub(started) as i64, now)
+    }
+
+    fn reset(&self) {
+        self.started_ns.store(self.clock.now_ns(), Ordering::Release);
+    }
+}
+
+/// A settable gauge owned by application code (`register_value`): the
+/// producer stores values, consumers read them through the counter API.
+pub struct ValueCell {
+    info: CounterInfo,
+    clock: Arc<Clock>,
+    value: AtomicI64,
+}
+
+impl ValueCell {
+    /// Build with an initial value of zero.
+    pub fn new(info: CounterInfo, clock: Arc<Clock>) -> Self {
+        ValueCell { info, clock, value: AtomicI64::new(0) }
+    }
+
+    /// Store a new value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Release);
+    }
+
+    /// Add to the current value, returning the new value.
+    pub fn add(&self, delta: i64) -> i64 {
+        self.value.fetch_add(delta, Ordering::AcqRel) + delta
+    }
+}
+
+impl Counter for ValueCell {
+    fn info(&self) -> CounterInfo {
+        self.info.clone()
+    }
+
+    fn get_value(&self, reset: bool) -> CounterValue {
+        let ts = self.clock.now_ns();
+        let v = if reset {
+            self.value.swap(0, Ordering::AcqRel)
+        } else {
+            self.value.load(Ordering::Acquire)
+        };
+        CounterValue::new(v, ts)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Release);
+    }
+}
+
+/// Convenience constructor for [`CounterInfo`] used by subsystems.
+pub fn info(
+    name: impl Into<String>,
+    kind: CounterKind,
+    help: impl Into<String>,
+    unit: impl Into<String>,
+) -> CounterInfo {
+    CounterInfo::new(name, kind, help, unit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicI64 as TestAtomic;
+
+    fn clock() -> Arc<Clock> {
+        Arc::new(Clock::new())
+    }
+
+    fn test_info(name: &str) -> CounterInfo {
+        CounterInfo::new(name, CounterKind::Raw, "test", "1")
+    }
+
+    #[test]
+    fn raw_counter_reads_source() {
+        let src = Arc::new(TestAtomic::new(5));
+        let s2 = src.clone();
+        let c = RawCounter::new(
+            test_info("/t/raw"),
+            clock(),
+            Arc::new(move || s2.load(Ordering::Relaxed)),
+        );
+        assert_eq!(c.get_value(false).value, 5);
+        src.store(9, Ordering::Relaxed);
+        assert_eq!(c.get_value(true).value, 9); // reset is a no-op
+        assert_eq!(c.get_value(false).value, 9);
+    }
+
+    #[test]
+    fn monotonic_counter_reset_rebaselines() {
+        let src = Arc::new(TestAtomic::new(0));
+        let s2 = src.clone();
+        let c = MonotonicCounter::new(
+            test_info("/t/mono"),
+            clock(),
+            Arc::new(move || s2.load(Ordering::Relaxed)),
+        );
+        src.store(10, Ordering::Relaxed);
+        assert_eq!(c.get_value(true).value, 10); // read + reset
+        src.store(25, Ordering::Relaxed);
+        assert_eq!(c.get_value(false).value, 15); // delta since reset
+        c.reset();
+        assert_eq!(c.get_value(false).value, 0);
+    }
+
+    #[test]
+    fn average_counter_divides_deltas() {
+        let sum = Arc::new(AtomicU64::new(0));
+        let count = Arc::new(AtomicU64::new(0));
+        let (s2, c2) = (sum.clone(), count.clone());
+        let c = AverageCounter::new(
+            test_info("/t/avg"),
+            clock(),
+            Arc::new(move || (s2.load(Ordering::Relaxed), c2.load(Ordering::Relaxed))),
+        );
+        sum.store(100, Ordering::Relaxed);
+        count.store(4, Ordering::Relaxed);
+        let v = c.get_value(true);
+        assert_eq!(v.value, 25);
+        assert_eq!(v.count, 4);
+        // After reset, only new contributions count.
+        sum.store(160, Ordering::Relaxed);
+        count.store(6, Ordering::Relaxed);
+        let v = c.get_value(false);
+        assert_eq!(v.value, 30); // (160-100)/(6-4)
+        assert_eq!(v.count, 2);
+    }
+
+    #[test]
+    fn average_counter_empty_interval_reports_new_data() {
+        let c = AverageCounter::new(test_info("/t/avg"), clock(), Arc::new(|| (0, 0)));
+        let v = c.get_value(false);
+        assert_eq!(v.status, crate::value::CounterStatus::NewData);
+        assert_eq!(v.count, 0);
+    }
+
+    #[test]
+    fn elapsed_time_counter_grows_and_resets() {
+        let c = ElapsedTimeCounter::new(test_info("/t/up"), clock());
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let v1 = c.get_value(false).value;
+        assert!(v1 >= 1_000_000, "expected >=1ms elapsed, got {v1}ns");
+        let _ = c.get_value(true);
+        let v2 = c.get_value(false).value;
+        assert!(v2 < v1, "reset should restart the reference point");
+    }
+
+    #[test]
+    fn value_cell_set_add_reset() {
+        let c = ValueCell::new(test_info("/t/cell"), clock());
+        c.set(7);
+        assert_eq!(c.get_value(false).value, 7);
+        assert_eq!(c.add(3), 10);
+        assert_eq!(c.get_value(true).value, 10); // read-and-clear
+        assert_eq!(c.get_value(false).value, 0);
+    }
+
+    #[test]
+    fn timestamps_are_monotonic() {
+        let c = ValueCell::new(test_info("/t/cell"), clock());
+        let t1 = c.get_value(false).timestamp_ns;
+        let t2 = c.get_value(false).timestamp_ns;
+        assert!(t2 >= t1);
+    }
+}

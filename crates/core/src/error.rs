@@ -1,0 +1,54 @@
+//! Error type shared by the counter framework.
+
+use std::fmt;
+
+/// Errors produced when parsing counter names or operating the registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CounterError {
+    /// A counter name string violated the name grammar.
+    InvalidName(String),
+    /// No counter type is registered under the given type path.
+    UnknownCounterType(String),
+    /// The counter type exists but the requested instance does not.
+    UnknownInstance(String),
+    /// A counter instance could not be created (factory failure).
+    CreationFailed(String),
+    /// A derived counter referenced parameters that could not be interpreted.
+    InvalidParameters(String),
+    /// The operation requires a started counter/registry but it is stopped.
+    NotStarted(String),
+}
+
+impl CounterError {
+    pub(crate) fn invalid_name(msg: impl Into<String>) -> Self {
+        CounterError::InvalidName(msg.into())
+    }
+}
+
+impl fmt::Display for CounterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CounterError::InvalidName(m) => write!(f, "invalid counter name: {m}"),
+            CounterError::UnknownCounterType(m) => write!(f, "unknown counter type: {m}"),
+            CounterError::UnknownInstance(m) => write!(f, "unknown counter instance: {m}"),
+            CounterError::CreationFailed(m) => write!(f, "counter creation failed: {m}"),
+            CounterError::InvalidParameters(m) => write!(f, "invalid counter parameters: {m}"),
+            CounterError::NotStarted(m) => write!(f, "counter not started: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CounterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CounterError::UnknownCounterType("/x/y".into());
+        assert!(e.to_string().contains("/x/y"));
+        let e = CounterError::invalid_name("boom");
+        assert!(e.to_string().contains("boom"));
+    }
+}

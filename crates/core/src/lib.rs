@@ -1,0 +1,74 @@
+//! # rpx-counters — intrinsic performance counters for task runtimes
+//!
+//! This crate is the primary contribution of the reproduction: an HPX-style
+//! performance-counter framework that lets a runtime system and the
+//! application it hosts observe *themselves* — software events (task
+//! durations, scheduling overheads, queue lengths) and hardware events —
+//! through one uniform, named, queryable interface, **at runtime**, without
+//! external tools.
+//!
+//! ## Concepts
+//!
+//! - **Names** ([`name::CounterName`]): counters are addressed by
+//!   structured names like
+//!   `/threads{locality#0/worker-thread#1}/time/average`. Wildcards
+//!   (`worker-thread#*`) expand to every live instance.
+//! - **Counters** ([`counter::Counter`]): cheap, thread-safe, resettable
+//!   value sources. Generic kinds (raw gauge, monotonic, average,
+//!   elapsed-time, app-owned cells) cover almost every subsystem need.
+//! - **Registry** ([`registry::CounterRegistry`]): counter *types* register
+//!   a factory + discovery function; *instances* are created and cached
+//!   when names are resolved. Derived counters (`/arithmetics/*`,
+//!   `/statistics/*`) combine other counters.
+//! - **Active set**: `add_active` + [`registry::CounterRegistry::evaluate_active_counters`] /
+//!   [`registry::CounterRegistry::reset_active_counters`] implement the
+//!   paper's per-sample measurement protocol.
+//! - **Sampler & CLI** ([`sampler`], [`cli`]): periodic collection into
+//!   CSV/JSON sinks and the `--rpx:print-counter*` command-line options.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use std::sync::atomic::{AtomicI64, Ordering};
+//! use rpx_counters::registry::CounterRegistry;
+//!
+//! let registry = CounterRegistry::new();
+//!
+//! // A subsystem exposes its state…
+//! let tasks = Arc::new(AtomicI64::new(0));
+//! let t = tasks.clone();
+//! registry.register_monotonic(
+//!     "/threads/count/cumulative",
+//!     "number of tasks executed",
+//!     "1",
+//!     Arc::new(move || t.load(Ordering::Relaxed)),
+//! );
+//!
+//! // …the application measures one sample interval.
+//! registry.add_active("/threads/count/cumulative").unwrap();
+//! registry.reset_active_counters();
+//! tasks.fetch_add(128, Ordering::Relaxed); // work happens here
+//! let values = registry.evaluate_active_counters(true);
+//! assert_eq!(values[0].1.value, 128);
+//! ```
+
+pub mod cli;
+pub mod counter;
+pub mod derived;
+pub mod error;
+pub mod histogram;
+pub mod locality;
+pub mod name;
+pub mod registry;
+pub mod sampler;
+pub mod statistics;
+pub mod stats;
+pub mod value;
+
+pub use counter::{Clock, Counter};
+pub use error::CounterError;
+pub use name::{CounterInstance, CounterName, InstanceIndex, InstancePart};
+pub use locality::DistributedRegistry;
+pub use registry::CounterRegistry;
+pub use value::{CounterInfo, CounterKind, CounterStatus, CounterValue};

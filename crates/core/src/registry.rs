@@ -1,0 +1,603 @@
+//! The counter registry: counter *types* are registered with a factory and
+//! a discovery function; counter *instances* are created (and cached) on
+//! demand when a name is resolved; an *active set* supports the paper's
+//! `evaluate_active_counters` / `reset_active_counters` protocol.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::counter::{Clock, Counter, PairFn, ValueCell, ValueFn};
+use crate::counter::{AverageCounter, ElapsedTimeCounter, MonotonicCounter, RawCounter};
+use crate::error::CounterError;
+use crate::name::{CounterName, InstanceIndex};
+use crate::value::{CounterInfo, CounterKind, CounterValue};
+
+/// Factory creating a counter instance for a concrete (non-wildcard) name.
+/// The registry is passed so derived counters can resolve their children;
+/// no registry locks are held during the call.
+pub type CounterFactory =
+    Arc<dyn Fn(&CounterName, &Arc<CounterRegistry>) -> Result<Arc<dyn Counter>, CounterError> + Send + Sync>;
+
+/// Discovery function enumerating the concrete instances of a counter type.
+pub type CounterDiscoverer = Arc<dyn Fn(&mut dyn FnMut(CounterName)) + Send + Sync>;
+
+/// A wildcard-expanded resolution result: concrete names with their live
+/// counter instances.
+pub type ResolvedCounters = Vec<(CounterName, Arc<dyn Counter>)>;
+
+struct CounterTypeEntry {
+    info: CounterInfo,
+    factory: CounterFactory,
+    discoverer: Option<CounterDiscoverer>,
+}
+
+struct ActiveEntry {
+    name: CounterName,
+    counter: Arc<dyn Counter>,
+}
+
+/// Central registry of counter types and live counter instances.
+///
+/// One registry exists per runtime (per "locality"); every subsystem
+/// registers its counter types here and every consumer resolves names here.
+pub struct CounterRegistry {
+    clock: Arc<Clock>,
+    types: RwLock<BTreeMap<String, CounterTypeEntry>>,
+    instances: RwLock<HashMap<String, Arc<dyn Counter>>>,
+    active: Mutex<Vec<ActiveEntry>>,
+}
+
+impl CounterRegistry {
+    /// An empty registry with a fresh clock. Builtin derived counter types
+    /// (`/arithmetics/*`, `/statistics/*`) are registered automatically.
+    pub fn new() -> Arc<Self> {
+        let reg = Arc::new(CounterRegistry {
+            clock: Arc::new(Clock::new()),
+            types: RwLock::new(BTreeMap::new()),
+            instances: RwLock::new(HashMap::new()),
+            active: Mutex::new(Vec::new()),
+        });
+        crate::derived::register_arithmetics(&reg);
+        crate::histogram::register_histogram(&reg);
+        crate::statistics::register_statistics(&reg);
+        reg
+    }
+
+    /// The registry's monotonic clock (shared with its counters).
+    pub fn clock(&self) -> Arc<Clock> {
+        self.clock.clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Type registration & discovery
+    // ------------------------------------------------------------------
+
+    /// Register a counter type. `info.name` must be the type path
+    /// (`/object/countername`). Re-registration replaces the entry.
+    pub fn register_type(
+        &self,
+        info: CounterInfo,
+        factory: CounterFactory,
+        discoverer: Option<CounterDiscoverer>,
+    ) {
+        let key = info.name.clone();
+        self.types.write().insert(key, CounterTypeEntry { info, factory, discoverer });
+    }
+
+    /// Remove a counter type and all cached instances of it.
+    pub fn unregister_type(&self, type_path: &str) {
+        self.types.write().remove(type_path);
+        let prefix_obj = type_path.to_owned();
+        self.instances.write().retain(|name, _| {
+            name.parse::<CounterName>().map(|n| n.type_path() != prefix_obj).unwrap_or(true)
+        });
+    }
+
+    /// Metadata of every registered counter type, sorted by type path.
+    pub fn counter_types(&self) -> Vec<CounterInfo> {
+        self.types.read().values().map(|e| e.info.clone()).collect()
+    }
+
+    /// Metadata for one type path, if registered.
+    pub fn type_info(&self, type_path: &str) -> Option<CounterInfo> {
+        self.types.read().get(type_path).map(|e| e.info.clone())
+    }
+
+    /// Enumerate the concrete instances a type advertises via its
+    /// discoverer (empty if the type has no discoverer).
+    pub fn discover_instances(&self, type_path: &str) -> Vec<CounterName> {
+        let types = self.types.read();
+        let mut out = Vec::new();
+        if let Some(entry) = types.get(type_path) {
+            if let Some(d) = &entry.discoverer {
+                d(&mut |n| out.push(n));
+            }
+        }
+        out
+    }
+
+    /// Enumerate every discoverable concrete counter name in the registry.
+    pub fn discover_all(&self) -> Vec<CounterName> {
+        let discoverers: Vec<CounterDiscoverer> =
+            self.types.read().values().filter_map(|e| e.discoverer.clone()).collect();
+        let mut out = Vec::new();
+        for d in discoverers {
+            d(&mut |n| out.push(n));
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Instance resolution
+    // ------------------------------------------------------------------
+
+    /// Expand a possibly-wildcard name into concrete names.
+    ///
+    /// Non-wildcard names pass through unchanged (as a single-element vec).
+    /// Wildcards are matched against the type's discovered instances.
+    pub fn expand(&self, name: &CounterName) -> Result<Vec<CounterName>, CounterError> {
+        if !name.has_wildcard() {
+            return Ok(vec![name.clone()]);
+        }
+        let candidates = self.discover_instances(&name.type_path());
+        if candidates.is_empty() {
+            return Err(CounterError::UnknownInstance(format!(
+                "no discoverable instances for wildcard name `{name}`"
+            )));
+        }
+        let mut out: Vec<CounterName> = candidates
+            .into_iter()
+            .filter(|c| wildcard_matches(name, c))
+            .map(|mut c| {
+                c.parameters = name.parameters.clone();
+                c
+            })
+            .collect();
+        out.sort_by_key(|n| n.to_string());
+        if out.is_empty() {
+            return Err(CounterError::UnknownInstance(format!(
+                "wildcard name `{name}` matched no instances"
+            )));
+        }
+        Ok(out)
+    }
+
+    /// Resolve a concrete name to a live counter, creating and caching it on
+    /// first use. Wildcard names are rejected — call [`expand`](Self::expand)
+    /// first.
+    pub fn get_counter(
+        self: &Arc<Self>,
+        name: &CounterName,
+    ) -> Result<Arc<dyn Counter>, CounterError> {
+        if name.has_wildcard() {
+            return Err(CounterError::InvalidName(format!(
+                "cannot instantiate wildcard name `{name}`; expand it first"
+            )));
+        }
+        let canonical = name.canonical();
+        if let Some(c) = self.instances.read().get(&canonical) {
+            return Ok(c.clone());
+        }
+        let factory = {
+            let types = self.types.read();
+            let entry = types
+                .get(&name.type_path())
+                .ok_or_else(|| CounterError::UnknownCounterType(name.type_path()))?;
+            entry.factory.clone()
+        };
+        // No locks held while the factory runs: derived-counter factories
+        // recurse into `get_counter` for their children.
+        let counter = factory(name, self)?;
+        let mut instances = self.instances.write();
+        let entry = instances.entry(canonical).or_insert_with(|| counter);
+        Ok(entry.clone())
+    }
+
+    /// Resolve a name string (possibly wildcard) to all matching counters.
+    pub fn get_counters(
+        self: &Arc<Self>,
+        name: &str,
+    ) -> Result<ResolvedCounters, CounterError> {
+        let parsed: CounterName = name.parse()?;
+        let mut out = Vec::new();
+        for n in self.expand(&parsed)? {
+            let c = self.get_counter(&n)?;
+            out.push((n, c));
+        }
+        Ok(out)
+    }
+
+    /// Evaluate one counter by name (convenience for one-shot queries).
+    pub fn evaluate(self: &Arc<Self>, name: &str, reset: bool) -> Result<CounterValue, CounterError> {
+        let parsed: CounterName = name.parse()?;
+        Ok(self.get_counter(&parsed)?.get_value(reset))
+    }
+
+    /// Number of live (cached) counter instances.
+    pub fn instance_count(&self) -> usize {
+        self.instances.read().len()
+    }
+
+    // ------------------------------------------------------------------
+    // Active set (the paper's measurement protocol)
+    // ------------------------------------------------------------------
+
+    /// Add counters (wildcards allowed) to the active set and `start` them.
+    pub fn add_active(self: &Arc<Self>, name: &str) -> Result<usize, CounterError> {
+        let resolved = self.get_counters(name)?;
+        let mut active = self.active.lock();
+        let mut added = 0;
+        for (n, c) in resolved {
+            if active.iter().any(|e| e.name == n) {
+                continue;
+            }
+            c.start();
+            active.push(ActiveEntry { name: n, counter: c });
+            added += 1;
+        }
+        Ok(added)
+    }
+
+    /// Remove a counter (exact concrete name) from the active set.
+    pub fn remove_active(&self, name: &str) -> bool {
+        let mut active = self.active.lock();
+        let before = active.len();
+        active.retain(|e| {
+            if e.name.canonical() == name {
+                e.counter.stop();
+                false
+            } else {
+                true
+            }
+        });
+        active.len() != before
+    }
+
+    /// Names currently in the active set, in insertion order.
+    pub fn active_names(&self) -> Vec<String> {
+        self.active.lock().iter().map(|e| e.name.canonical()).collect()
+    }
+
+    /// Evaluate every active counter (the paper's
+    /// `hpx::evaluate_active_counters`). With `reset`, accumulation restarts
+    /// atomically with the read.
+    pub fn evaluate_active_counters(&self, reset: bool) -> Vec<(String, CounterValue)> {
+        self.active
+            .lock()
+            .iter()
+            .map(|e| (e.name.canonical(), e.counter.get_value(reset)))
+            .collect()
+    }
+
+    /// Reset every active counter without reading
+    /// (`hpx::reset_active_counters`).
+    pub fn reset_active_counters(&self) {
+        for e in self.active.lock().iter() {
+            e.counter.reset();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Convenience registration helpers for simple single-instance types
+    // ------------------------------------------------------------------
+
+    /// Register a pull-based raw gauge under `type_path`, instantiable with
+    /// any (or no) instance name.
+    pub fn register_raw(
+        self: &Arc<Self>,
+        type_path: &str,
+        help: &str,
+        unit: &str,
+        read: ValueFn,
+    ) {
+        let clock = self.clock();
+        let info = CounterInfo::new(type_path, CounterKind::Raw, help, unit);
+        let info2 = info.clone();
+        self.register_type(
+            info,
+            Arc::new(move |name, _reg| {
+                let mut i = info2.clone();
+                i.name = name.canonical();
+                Ok(Arc::new(RawCounter::new(i, clock.clone(), read.clone())) as Arc<dyn Counter>)
+            }),
+            single_instance_discoverer(type_path),
+        );
+    }
+
+    /// Register a pull-based monotonic counter under `type_path`.
+    pub fn register_monotonic(
+        self: &Arc<Self>,
+        type_path: &str,
+        help: &str,
+        unit: &str,
+        read: ValueFn,
+    ) {
+        let clock = self.clock();
+        let info = CounterInfo::new(type_path, CounterKind::MonotonicallyIncreasing, help, unit);
+        let info2 = info.clone();
+        self.register_type(
+            info,
+            Arc::new(move |name, _reg| {
+                let mut i = info2.clone();
+                i.name = name.canonical();
+                Ok(Arc::new(MonotonicCounter::new(i, clock.clone(), read.clone()))
+                    as Arc<dyn Counter>)
+            }),
+            single_instance_discoverer(type_path),
+        );
+    }
+
+    /// Register a (sum, count) average counter under `type_path`.
+    pub fn register_average(
+        self: &Arc<Self>,
+        type_path: &str,
+        help: &str,
+        unit: &str,
+        read: PairFn,
+    ) {
+        let clock = self.clock();
+        let info = CounterInfo::new(type_path, CounterKind::Average, help, unit);
+        let info2 = info.clone();
+        self.register_type(
+            info,
+            Arc::new(move |name, _reg| {
+                let mut i = info2.clone();
+                i.name = name.canonical();
+                Ok(Arc::new(AverageCounter::new(i, clock.clone(), read.clone()))
+                    as Arc<dyn Counter>)
+            }),
+            single_instance_discoverer(type_path),
+        );
+    }
+
+    /// Register an elapsed-time counter under `type_path`.
+    pub fn register_elapsed(self: &Arc<Self>, type_path: &str, help: &str) {
+        let clock = self.clock();
+        let info = CounterInfo::new(type_path, CounterKind::ElapsedTime, help, "ns");
+        let info2 = info.clone();
+        self.register_type(
+            info,
+            Arc::new(move |name, _reg| {
+                let mut i = info2.clone();
+                i.name = name.canonical();
+                Ok(Arc::new(ElapsedTimeCounter::new(i, clock.clone())) as Arc<dyn Counter>)
+            }),
+            single_instance_discoverer(type_path),
+        );
+    }
+
+    /// Register an application-owned settable value; returns the cell the
+    /// application writes through. The counter is immediately instantiable
+    /// under `type_path`.
+    pub fn register_value(
+        self: &Arc<Self>,
+        type_path: &str,
+        help: &str,
+        unit: &str,
+    ) -> Arc<ValueCell> {
+        let info = CounterInfo::new(type_path, CounterKind::Raw, help, unit);
+        let cell = Arc::new(ValueCell::new(info.clone(), self.clock()));
+        let c2 = cell.clone();
+        self.register_type(
+            info,
+            Arc::new(move |name, _reg| {
+                // All instances of an app value share the one cell.
+                let _ = name;
+                Ok(c2.clone() as Arc<dyn Counter>)
+            }),
+            single_instance_discoverer(type_path),
+        );
+        cell
+    }
+}
+
+impl std::fmt::Debug for CounterRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CounterRegistry")
+            .field("types", &self.types.read().len())
+            .field("instances", &self.instances.read().len())
+            .field("active", &self.active.lock().len())
+            .finish()
+    }
+}
+
+/// Discoverer advertising exactly the bare type path as the only instance.
+fn single_instance_discoverer(type_path: &str) -> Option<CounterDiscoverer> {
+    let name: Result<CounterName, _> = type_path.parse();
+    match name {
+        Ok(n) => Some(Arc::new(move |f: &mut dyn FnMut(CounterName)| f(n.clone()))),
+        Err(_) => None,
+    }
+}
+
+/// Whether concrete name `c` is matched by wildcard pattern `p`.
+/// Object and counter must be equal; instance parts match per-component,
+/// `#*` matching any concrete index.
+fn wildcard_matches(p: &CounterName, c: &CounterName) -> bool {
+    if p.object != c.object || p.counter != c.counter {
+        return false;
+    }
+    let (pi, ci) = match (&p.instance, &c.instance) {
+        (Some(pi), Some(ci)) => (pi, ci),
+        (None, None) => return true,
+        _ => return false,
+    };
+    if pi.children.len() != ci.children.len() {
+        return false;
+    }
+    let part_matches = |pp: &crate::name::InstancePart, cp: &crate::name::InstancePart| -> bool {
+        if pp.name != cp.name {
+            return false;
+        }
+        match (&pp.index, &cp.index) {
+            (Some(InstanceIndex::All), Some(InstanceIndex::At(_))) => true,
+            (a, b) => a == b,
+        }
+    };
+    part_matches(&pi.parent, &ci.parent)
+        && pi.children.iter().zip(&ci.children).all(|(a, b)| part_matches(a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::CounterInstance;
+    use std::sync::atomic::{AtomicI64, Ordering};
+
+    #[test]
+    fn register_and_evaluate_raw() {
+        let reg = CounterRegistry::new();
+        let v = Arc::new(AtomicI64::new(3));
+        let v2 = v.clone();
+        reg.register_raw("/test/value", "a test value", "1", Arc::new(move || v2.load(Ordering::Relaxed)));
+        assert_eq!(reg.evaluate("/test/value", false).unwrap().value, 3);
+        v.store(8, Ordering::Relaxed);
+        assert_eq!(reg.evaluate("/test/value", false).unwrap().value, 8);
+    }
+
+    #[test]
+    fn unknown_type_is_an_error() {
+        let reg = CounterRegistry::new();
+        let e = reg.evaluate("/no/such", false).unwrap_err();
+        assert!(matches!(e, CounterError::UnknownCounterType(_)));
+    }
+
+    #[test]
+    fn instances_are_cached() {
+        let reg = CounterRegistry::new();
+        reg.register_raw("/test/value", "h", "1", Arc::new(|| 1));
+        let n: CounterName = "/test/value".parse().unwrap();
+        let a = reg.get_counter(&n).unwrap();
+        let b = reg.get_counter(&n).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(reg.instance_count(), 1);
+    }
+
+    #[test]
+    fn wildcard_rejected_without_expand() {
+        let reg = CounterRegistry::new();
+        reg.register_raw("/test/value", "h", "1", Arc::new(|| 1));
+        let n: CounterName = "/test{locality#0/worker-thread#*}/value".parse().unwrap();
+        assert!(reg.get_counter(&n).is_err());
+    }
+
+    #[test]
+    fn wildcard_expansion_uses_discoverer() {
+        let reg = CounterRegistry::new();
+        let info = CounterInfo::new("/threads/count", CounterKind::Raw, "h", "1");
+        let clock = reg.clock();
+        reg.register_type(
+            info.clone(),
+            Arc::new(move |name, _| {
+                let mut i = CounterInfo::new("/threads/count", CounterKind::Raw, "h", "1");
+                i.name = name.canonical();
+                // Value = worker index, to check instance routing.
+                let idx = match &name.instance {
+                    Some(inst) => match inst.children.first().and_then(|c| c.index.as_ref()) {
+                        Some(InstanceIndex::At(i)) => *i as i64,
+                        _ => -1,
+                    },
+                    None => -1,
+                };
+                Ok(Arc::new(RawCounter::new(i, clock.clone(), Arc::new(move || idx)))
+                    as Arc<dyn Counter>)
+            }),
+            Some(Arc::new(|f: &mut dyn FnMut(CounterName)| {
+                for w in 0..4 {
+                    f(CounterName::new("threads", "count")
+                        .with_instance(CounterInstance::worker(0, w)));
+                }
+                f(CounterName::new("threads", "count").with_instance(CounterInstance::total(0)));
+            })),
+        );
+
+        let resolved = reg.get_counters("/threads{locality#0/worker-thread#*}/count").unwrap();
+        assert_eq!(resolved.len(), 4);
+        let values: Vec<i64> = resolved.iter().map(|(_, c)| c.get_value(false).value).collect();
+        assert_eq!(values, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn expansion_error_when_nothing_matches() {
+        let reg = CounterRegistry::new();
+        reg.register_raw("/test/value", "h", "1", Arc::new(|| 1));
+        // The single-instance discoverer advertises only the bare path, so
+        // a worker wildcard matches nothing.
+        let err = match reg.get_counters("/test{locality#0/worker-thread#*}/value") {
+            Ok(_) => panic!("expected wildcard expansion to fail"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, CounterError::UnknownInstance(_)));
+    }
+
+    #[test]
+    fn active_set_protocol() {
+        let reg = CounterRegistry::new();
+        let v = Arc::new(AtomicI64::new(0));
+        let v2 = v.clone();
+        reg.register_monotonic("/test/mono", "h", "1", Arc::new(move || v2.load(Ordering::Relaxed)));
+        assert_eq!(reg.add_active("/test/mono").unwrap(), 1);
+        // Duplicate adds are ignored.
+        assert_eq!(reg.add_active("/test/mono").unwrap(), 0);
+        assert_eq!(reg.active_names(), vec!["/test/mono".to_string()]);
+
+        v.store(5, Ordering::Relaxed);
+        let vals = reg.evaluate_active_counters(true);
+        assert_eq!(vals.len(), 1);
+        assert_eq!(vals[0].1.value, 5);
+
+        v.store(7, Ordering::Relaxed);
+        let vals = reg.evaluate_active_counters(false);
+        assert_eq!(vals[0].1.value, 2, "evaluate(reset) must rebaseline");
+
+        reg.reset_active_counters();
+        let vals = reg.evaluate_active_counters(false);
+        assert_eq!(vals[0].1.value, 0);
+
+        assert!(reg.remove_active("/test/mono"));
+        assert!(!reg.remove_active("/test/mono"));
+        assert!(reg.evaluate_active_counters(false).is_empty());
+    }
+
+    #[test]
+    fn value_cell_round_trip() {
+        let reg = CounterRegistry::new();
+        let cell = reg.register_value("/app/progress", "app progress", "%");
+        cell.set(42);
+        assert_eq!(reg.evaluate("/app/progress", false).unwrap().value, 42);
+    }
+
+    #[test]
+    fn counter_types_lists_builtins_and_registered() {
+        let reg = CounterRegistry::new();
+        reg.register_raw("/test/value", "h", "1", Arc::new(|| 1));
+        let types = reg.counter_types();
+        let names: Vec<&str> = types.iter().map(|t| t.name.as_str()).collect();
+        assert!(names.contains(&"/test/value"));
+        assert!(names.contains(&"/arithmetics/add"));
+        assert!(names.contains(&"/statistics/average"));
+    }
+
+    #[test]
+    fn unregister_removes_type_and_instances() {
+        let reg = CounterRegistry::new();
+        reg.register_raw("/test/value", "h", "1", Arc::new(|| 1));
+        let _ = reg.evaluate("/test/value", false).unwrap();
+        assert_eq!(reg.instance_count(), 1);
+        reg.unregister_type("/test/value");
+        assert!(reg.evaluate("/test/value", false).is_err());
+        assert_eq!(reg.instance_count(), 0);
+    }
+
+    #[test]
+    fn type_info_round_trip() {
+        let reg = CounterRegistry::new();
+        reg.register_raw("/test/value", "the help", "µs", Arc::new(|| 1));
+        let info = reg.type_info("/test/value").unwrap();
+        assert_eq!(info.help, "the help");
+        assert_eq!(info.unit, "µs");
+        assert!(reg.type_info("/nope/x").is_none());
+    }
+}

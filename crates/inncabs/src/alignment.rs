@@ -1,0 +1,174 @@
+//! **Alignment** — loop-like, *coarse* grain (Table V: 2 748 µs; both
+//! runtimes scale to 20 cores — Figs. 1, 8, 13).
+//!
+//! All-to-all pairwise sequence alignment: for `n` protein-like sequences,
+//! one independent task per pair computes a Needleman–Wunsch style
+//! dynamic-programming score. n(n−1)/2 coarse, embarrassingly parallel
+//! tasks (the paper's input yields 4 950).
+
+use crate::spawner::{BenchFuture, Spawner};
+use rpx_simnode::{GraphBuilder, SimTask, TaskGraph};
+
+/// Benchmark input.
+#[derive(Debug, Clone, Copy)]
+pub struct AlignmentInput {
+    /// Number of sequences (tasks = n(n−1)/2).
+    pub sequences: usize,
+    /// Sequence length (drives per-task cost: O(len²)).
+    pub length: usize,
+    /// Sequence seed.
+    pub seed: u64,
+}
+
+impl AlignmentInput {
+    /// Small input for unit tests.
+    pub fn test() -> Self {
+        AlignmentInput { sequences: 8, length: 64, seed: 17 }
+    }
+
+    /// The paper's shape: 100 sequences → 4 950 tasks (length scaled down
+    /// so a native run stays laptop-sized; the simulator uses the paper's
+    /// 2.7 ms grain directly).
+    pub fn paper() -> Self {
+        AlignmentInput { sequences: 100, length: 256, seed: 17 }
+    }
+
+    /// Deterministic residue sequences over a 20-letter alphabet.
+    pub fn generate(&self) -> Vec<Vec<u8>> {
+        let mut x = self.seed.max(1);
+        (0..self.sequences)
+            .map(|_| {
+                (0..self.length)
+                    .map(|_| {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        (x % 20) as u8
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Needleman–Wunsch global alignment score with affine-free gap penalty.
+pub fn align_pair(a: &[u8], b: &[u8]) -> i64 {
+    const GAP: i64 = -4;
+    const MATCH: i64 = 5;
+    const MISMATCH: i64 = -2;
+    let (n, m) = (a.len(), b.len());
+    let mut prev: Vec<i64> = (0..=m as i64).map(|j| j * GAP).collect();
+    let mut cur = vec![0i64; m + 1];
+    for i in 1..=n {
+        cur[0] = i as i64 * GAP;
+        for j in 1..=m {
+            let s = if a[i - 1] == b[j - 1] { MATCH } else { MISMATCH };
+            cur[j] = (prev[j - 1] + s).max(prev[j] + GAP).max(cur[j - 1] + GAP);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+/// Parallel all-pairs alignment; returns the sum of pair scores (the
+/// benchmark's checksum).
+pub fn run<S: Spawner>(sp: &S, input: AlignmentInput) -> i64 {
+    let seqs = std::sync::Arc::new(input.generate());
+    let mut futures = Vec::new();
+    for i in 0..seqs.len() {
+        for j in (i + 1)..seqs.len() {
+            let seqs = seqs.clone();
+            futures.push(sp.spawn(move || align_pair(&seqs[i], &seqs[j])));
+        }
+    }
+    futures.into_iter().map(|f| f.get()).sum()
+}
+
+/// Sequential oracle.
+pub fn run_serial(input: AlignmentInput) -> i64 {
+    let seqs = input.generate();
+    let mut total = 0;
+    for i in 0..seqs.len() {
+        for j in (i + 1)..seqs.len() {
+            total += align_pair(&seqs[i], &seqs[j]);
+        }
+    }
+    total
+}
+
+/// Task graph: n(n−1)/2 independent coarse tasks at the paper's 2.75 ms
+/// grain, each streaming its DP matrix rows.
+pub fn sim_graph(input: AlignmentInput) -> TaskGraph {
+    let mut b = GraphBuilder::new();
+    let pairs = input.sequences * (input.sequences - 1) / 2;
+    // Calibrated to Table V: 2 748 µs per task on one core. Sequence and
+    // DP-row traffic has grid-wide reuse distance (every pair touches two
+    // full sequences), so the effective working set spans the whole input
+    // and reads mostly miss the LLC — that is what makes Fig. 13's
+    // aggregate bandwidth grow with cores.
+    for _ in 0..pairs {
+        let t = b.new_thread();
+        let id = b.add(
+            SimTask::compute(2_748_000).with_memory(2_000_000, 500_000, 40 << 20),
+        );
+        b.begins_thread(id, t);
+        b.ends_thread(id, t);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spawner::SerialSpawner;
+
+    #[test]
+    fn identical_sequences_score_perfect() {
+        let a = vec![1u8, 2, 3, 4, 5];
+        assert_eq!(align_pair(&a, &a), 25); // 5 matches × 5
+    }
+
+    #[test]
+    fn gap_penalty_applies() {
+        let a = vec![1u8, 2, 3];
+        let b = vec![1u8, 2, 3, 4];
+        assert_eq!(align_pair(&a, &b), 15 - 4); // 3 matches + 1 gap
+    }
+
+    #[test]
+    fn empty_sequence_all_gaps() {
+        let a: Vec<u8> = vec![];
+        let b = vec![1u8, 2];
+        assert_eq!(align_pair(&a, &b), -8);
+    }
+
+    #[test]
+    fn score_is_symmetric() {
+        let input = AlignmentInput::test();
+        let seqs = input.generate();
+        assert_eq!(align_pair(&seqs[0], &seqs[1]), align_pair(&seqs[1], &seqs[0]));
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let input = AlignmentInput::test();
+        assert_eq!(run(&SerialSpawner, input), run_serial(input));
+    }
+
+    #[test]
+    fn graph_is_loop_like_and_coarse() {
+        let input = AlignmentInput { sequences: 10, length: 64, seed: 1 };
+        let g = sim_graph(input);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.len(), 45); // 10·9/2 independent tasks
+        assert_eq!(g.roots().len(), 45);
+        let avg = g.total_work_ns() / g.len() as u64;
+        assert!(avg > 1_000_000, "coarse grain expected, got {avg}ns");
+    }
+
+    #[test]
+    fn paper_input_yields_4950_tasks() {
+        let g = sim_graph(AlignmentInput::paper());
+        assert_eq!(g.len(), 4_950);
+    }
+}

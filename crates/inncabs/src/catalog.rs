@@ -1,0 +1,431 @@
+//! The benchmark catalog: one entry per Inncabs benchmark with the paper's
+//! Table V metadata (structure, synchronization, measured grain,
+//! scaling limits) and uniform dispatch to the task-graph generators.
+
+use rpx_simnode::TaskGraph;
+
+use crate::{
+    alignment, fft, fib, floorplan, health, intersim, nqueens, pyramids, qap, round, sort,
+    sparselu, strassen, uts,
+};
+
+/// Structural class from Table V.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Structure {
+    /// Independent (or phase-wise independent) tasks from loops.
+    LoopLike,
+    /// Balanced recursion trees.
+    RecursiveBalanced,
+    /// Search trees with data-dependent shape.
+    RecursiveUnbalanced,
+    /// Tasks coupled through shared mutable state (mutexes).
+    CoDependent,
+}
+
+impl Structure {
+    /// Table V label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Structure::LoopLike => "Loop Like",
+            Structure::RecursiveBalanced => "Recursive Balanced",
+            Structure::RecursiveUnbalanced => "Recursive Unbalanced",
+            Structure::CoDependent => "Co-dependent",
+        }
+    }
+}
+
+/// Granularity class derived from measured task duration (Table V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Granularity {
+    /// < 5 µs.
+    VeryFine,
+    /// 5–150 µs.
+    Fine,
+    /// 150–500 µs.
+    Moderate,
+    /// ≥ 500 µs.
+    Coarse,
+}
+
+impl Granularity {
+    /// Classify a task duration in nanoseconds (the thresholds implied by
+    /// Table V's classifications).
+    pub fn classify(avg_task_ns: f64) -> Self {
+        if avg_task_ns < 5_000.0 {
+            Granularity::VeryFine
+        } else if avg_task_ns < 150_000.0 {
+            Granularity::Fine
+        } else if avg_task_ns < 500_000.0 {
+            Granularity::Moderate
+        } else {
+            Granularity::Coarse
+        }
+    }
+
+    /// Table V label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Granularity::VeryFine => "very fine",
+            Granularity::Fine => "fine",
+            Granularity::Moderate => "moderate",
+            Granularity::Coarse => "coarse",
+        }
+    }
+}
+
+/// Scaling behaviour reported by Table V.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PaperScaling {
+    /// Scales up to N cores.
+    To(u32),
+    /// The runtime fails (resource exhaustion).
+    Fail,
+    /// Runs but never improves with cores.
+    NoScaling,
+}
+
+/// The benchmark identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Benchmark {
+    Alignment,
+    Fft,
+    Fib,
+    Floorplan,
+    Health,
+    Intersim,
+    NQueens,
+    Pyramids,
+    Qap,
+    Round,
+    Sort,
+    SparseLu,
+    Strassen,
+    Uts,
+}
+
+/// Catalog metadata for one benchmark (a row of Table V).
+#[derive(Debug, Clone)]
+pub struct CatalogEntry {
+    /// Which benchmark.
+    pub id: Benchmark,
+    /// Lower-case name used by harnesses and file names.
+    pub name: &'static str,
+    /// Structural class.
+    pub structure: Structure,
+    /// Synchronization column of Table V.
+    pub synchronization: &'static str,
+    /// Table V's measured average task duration (µs, HPX on one core).
+    pub paper_task_duration_us: f64,
+    /// Table V's granularity classification.
+    pub paper_granularity: Granularity,
+    /// Table V scaling of the C++11 version.
+    pub paper_std_scaling: PaperScaling,
+    /// Table V scaling of the HPX version.
+    pub paper_hpx_scaling: PaperScaling,
+    /// Paper's task count where reported (Table I), at full input scale.
+    pub paper_tasks: Option<u64>,
+}
+
+impl Benchmark {
+    /// All benchmarks in suite order.
+    pub const ALL: [Benchmark; 14] = [
+        Benchmark::Alignment,
+        Benchmark::Fft,
+        Benchmark::Fib,
+        Benchmark::Floorplan,
+        Benchmark::Health,
+        Benchmark::Intersim,
+        Benchmark::NQueens,
+        Benchmark::Pyramids,
+        Benchmark::Qap,
+        Benchmark::Round,
+        Benchmark::Sort,
+        Benchmark::SparseLu,
+        Benchmark::Strassen,
+        Benchmark::Uts,
+    ];
+
+    /// Parse a lower-case benchmark name.
+    pub fn from_name(s: &str) -> Option<Benchmark> {
+        Benchmark::ALL.into_iter().find(|b| b.entry().name == s)
+    }
+
+    /// The catalog row.
+    pub fn entry(self) -> CatalogEntry {
+        use Benchmark as B;
+        use Granularity as G;
+        use PaperScaling as P;
+        use Structure as S;
+        match self {
+            B::Alignment => CatalogEntry {
+                id: self,
+                name: "alignment",
+                structure: S::LoopLike,
+                synchronization: "none",
+                paper_task_duration_us: 2748.0,
+                paper_granularity: G::Coarse,
+                paper_std_scaling: P::To(20),
+                paper_hpx_scaling: P::To(20),
+                paper_tasks: Some(4_950),
+            },
+            B::Fft => CatalogEntry {
+                id: self,
+                name: "fft",
+                structure: S::RecursiveBalanced,
+                synchronization: "none",
+                paper_task_duration_us: 1.03,
+                paper_granularity: G::VeryFine,
+                paper_std_scaling: P::To(6),
+                paper_hpx_scaling: P::To(6),
+                paper_tasks: Some(294_000),
+            },
+            B::Fib => CatalogEntry {
+                id: self,
+                name: "fib",
+                structure: S::RecursiveBalanced,
+                synchronization: "none",
+                paper_task_duration_us: 1.37,
+                paper_granularity: G::VeryFine,
+                paper_std_scaling: P::Fail,
+                paper_hpx_scaling: P::To(10),
+                paper_tasks: None,
+            },
+            B::Floorplan => CatalogEntry {
+                id: self,
+                name: "floorplan",
+                structure: S::RecursiveUnbalanced,
+                synchronization: "atomic pruning",
+                paper_task_duration_us: 4.60,
+                paper_granularity: G::VeryFine,
+                paper_std_scaling: P::To(10),
+                paper_hpx_scaling: P::To(10),
+                paper_tasks: Some(169_708),
+            },
+            B::Health => CatalogEntry {
+                id: self,
+                name: "health",
+                structure: S::LoopLike,
+                synchronization: "none",
+                paper_task_duration_us: 1.02,
+                paper_granularity: G::VeryFine,
+                paper_std_scaling: P::Fail,
+                paper_hpx_scaling: P::To(10),
+                paper_tasks: Some(17_500_000),
+            },
+            B::Intersim => CatalogEntry {
+                id: self,
+                name: "intersim",
+                structure: S::CoDependent,
+                synchronization: "mult. mutex/task",
+                paper_task_duration_us: 3.46,
+                paper_granularity: G::VeryFine,
+                paper_std_scaling: P::NoScaling,
+                paper_hpx_scaling: P::To(10),
+                paper_tasks: Some(1_700_000),
+            },
+            B::NQueens => CatalogEntry {
+                id: self,
+                name: "nqueens",
+                structure: S::RecursiveUnbalanced,
+                synchronization: "none",
+                paper_task_duration_us: 28.1,
+                paper_granularity: G::Fine,
+                paper_std_scaling: P::Fail,
+                paper_hpx_scaling: P::To(20),
+                paper_tasks: None,
+            },
+            B::Pyramids => CatalogEntry {
+                id: self,
+                name: "pyramids",
+                structure: S::RecursiveBalanced,
+                synchronization: "none",
+                paper_task_duration_us: 246.0,
+                paper_granularity: G::Moderate,
+                paper_std_scaling: P::To(20),
+                paper_hpx_scaling: P::To(20),
+                paper_tasks: Some(112_344),
+            },
+            B::Qap => CatalogEntry {
+                id: self,
+                name: "qap",
+                structure: S::RecursiveUnbalanced,
+                synchronization: "atomic pruning",
+                paper_task_duration_us: 1.00,
+                paper_granularity: G::VeryFine,
+                paper_std_scaling: P::To(6),
+                paper_hpx_scaling: P::To(4),
+                paper_tasks: None,
+            },
+            B::Round => CatalogEntry {
+                id: self,
+                name: "round",
+                structure: S::CoDependent,
+                synchronization: "2 mutex/task",
+                paper_task_duration_us: 9671.0,
+                paper_granularity: G::Coarse,
+                paper_std_scaling: P::To(20),
+                paper_hpx_scaling: P::To(20),
+                paper_tasks: Some(512),
+            },
+            B::Sort => CatalogEntry {
+                id: self,
+                name: "sort",
+                structure: S::RecursiveBalanced,
+                synchronization: "none",
+                paper_task_duration_us: 52.1,
+                paper_granularity: G::Fine,
+                paper_std_scaling: P::To(10),
+                paper_hpx_scaling: P::To(16),
+                paper_tasks: Some(328_000),
+            },
+            B::SparseLu => CatalogEntry {
+                id: self,
+                name: "sparselu",
+                structure: S::LoopLike,
+                synchronization: "none",
+                paper_task_duration_us: 988.0,
+                paper_granularity: G::Coarse,
+                paper_std_scaling: P::To(20),
+                paper_hpx_scaling: P::To(20),
+                paper_tasks: Some(11_099),
+            },
+            B::Strassen => CatalogEntry {
+                id: self,
+                name: "strassen",
+                structure: S::RecursiveBalanced,
+                synchronization: "none",
+                paper_task_duration_us: 107.0,
+                paper_granularity: G::Fine,
+                paper_std_scaling: P::To(8),
+                paper_hpx_scaling: P::To(20),
+                paper_tasks: Some(137_256),
+            },
+            B::Uts => CatalogEntry {
+                id: self,
+                name: "uts",
+                structure: S::RecursiveUnbalanced,
+                synchronization: "none",
+                paper_task_duration_us: 1.37,
+                paper_granularity: G::VeryFine,
+                paper_std_scaling: P::Fail,
+                paper_hpx_scaling: P::To(10),
+                paper_tasks: None,
+            },
+        }
+    }
+
+    /// The simulation task graph at the given input scale.
+    pub fn sim_graph(self, scale: InputScale) -> TaskGraph {
+        use Benchmark as B;
+        let paper = scale == InputScale::Paper;
+        match self {
+            B::Alignment => alignment::sim_graph(pick(paper, alignment::AlignmentInput::paper(), alignment::AlignmentInput::test())),
+            B::Fft => fft::sim_graph(pick(paper, fft::FftInput::paper(), fft::FftInput::test())),
+            B::Fib => fib::sim_graph(pick(paper, fib::FibInput::paper(), fib::FibInput::test())),
+            B::Floorplan => floorplan::sim_graph(pick(paper, floorplan::FloorplanInput::paper(), floorplan::FloorplanInput::test())),
+            B::Health => health::sim_graph(pick(paper, health::HealthInput::paper(), health::HealthInput::test())),
+            B::Intersim => intersim::sim_graph(pick(paper, intersim::IntersimInput::paper(), intersim::IntersimInput::test())),
+            B::NQueens => nqueens::sim_graph(pick(paper, nqueens::NQueensInput::paper(), nqueens::NQueensInput::test())),
+            B::Pyramids => pyramids::sim_graph(pick(paper, pyramids::PyramidsInput::paper(), pyramids::PyramidsInput::test())),
+            B::Qap => qap::sim_graph(pick(paper, qap::QapInput::paper(), qap::QapInput::test())),
+            B::Round => round::sim_graph(pick(paper, round::RoundInput::paper(), round::RoundInput::test())),
+            B::Sort => sort::sim_graph(pick(paper, sort::SortInput::paper(), sort::SortInput::test())),
+            B::SparseLu => sparselu::sim_graph(pick(paper, sparselu::SparseLuInput::paper(), sparselu::SparseLuInput::test())),
+            B::Strassen => strassen::sim_graph(pick(paper, strassen::StrassenInput::paper(), strassen::StrassenInput::test())),
+            B::Uts => uts::sim_graph(pick(paper, uts::UtsInput::paper(), uts::UtsInput::test())),
+        }
+    }
+}
+
+fn pick<T>(paper: bool, p: T, t: T) -> T {
+    if paper {
+        p
+    } else {
+        t
+    }
+}
+
+/// Which input preset to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputScale {
+    /// Tiny inputs for fast tests.
+    Test,
+    /// Scaled-down versions of the paper's inputs (see each module's
+    /// `paper()` docs; DESIGN.md documents the scaling).
+    Paper,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_names_unique_and_parse() {
+        let mut names: Vec<&str> = Benchmark::ALL.iter().map(|b| b.entry().name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 14);
+        for b in Benchmark::ALL {
+            assert_eq!(Benchmark::from_name(b.entry().name), Some(b));
+        }
+        assert_eq!(Benchmark::from_name("nope"), None);
+    }
+
+    #[test]
+    fn granularity_classification_matches_table_v() {
+        for b in Benchmark::ALL {
+            let e = b.entry();
+            assert_eq!(
+                Granularity::classify(e.paper_task_duration_us * 1_000.0),
+                e.paper_granularity,
+                "classification mismatch for {}",
+                e.name
+            );
+        }
+    }
+
+    #[test]
+    fn all_test_graphs_are_valid() {
+        for b in Benchmark::ALL {
+            let g = b.sim_graph(InputScale::Test);
+            assert!(g.validate().is_ok(), "{}: {:?}", b.entry().name, g.validate());
+            assert!(!g.is_empty(), "{} graph empty", b.entry().name);
+        }
+    }
+
+    #[test]
+    fn test_graph_granularity_matches_class_roughly() {
+        // The sim graphs' average grain should land in (or adjacent to)
+        // the paper's granularity class.
+        for b in Benchmark::ALL {
+            let e = b.entry();
+            let g = b.sim_graph(InputScale::Paper);
+            let avg = g.total_work_ns() as f64 / g.len() as f64;
+            let class = Granularity::classify(avg);
+            let ok = match e.paper_granularity {
+                // Variable-grain benchmarks (fft, sort) average across very
+                // different node sizes; allow one class of slack.
+                Granularity::VeryFine => class <= Granularity::Fine,
+                Granularity::Fine => class <= Granularity::Moderate,
+                Granularity::Moderate => {
+                    class >= Granularity::Fine && class <= Granularity::Coarse
+                }
+                Granularity::Coarse => class >= Granularity::Moderate,
+            };
+            assert!(ok, "{}: paper {:?} vs simulated {:?} ({avg:.0}ns)", e.name, e.paper_granularity, class);
+        }
+    }
+
+    #[test]
+    fn structure_labels_cover_table_v() {
+        let mut by_structure = std::collections::HashMap::new();
+        for b in Benchmark::ALL {
+            *by_structure.entry(b.entry().structure.label()).or_insert(0) += 1;
+        }
+        assert_eq!(by_structure["Loop Like"], 3);
+        assert_eq!(by_structure["Recursive Balanced"], 5);
+        assert_eq!(by_structure["Recursive Unbalanced"], 4);
+        assert_eq!(by_structure["Co-dependent"], 2);
+    }
+}

@@ -1,0 +1,247 @@
+//! **FFT** — recursive balanced, *variable/very fine* grain (Table V:
+//! 1.03 µs; both versions scale only to ~6 cores, C++11 far slower —
+//! Fig. 5).
+//!
+//! Cooley–Tukey radix-2 FFT: the recursion spawns both halves down to a
+//! small cutoff, then combines with the twiddle-factor butterfly pass.
+
+use crate::spawner::{BenchFuture, Spawner};
+use rpx_simnode::{GraphBuilder, SimTask, TaskGraph, TaskId};
+
+/// A complex number (no external crates).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Construct.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+    }
+
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+}
+
+/// Benchmark input.
+#[derive(Debug, Clone, Copy)]
+pub struct FftInput {
+    /// Transform length (power of two).
+    pub len: usize,
+    /// Sequential cutoff.
+    pub cutoff: usize,
+    /// Signal seed.
+    pub seed: u64,
+}
+
+impl FftInput {
+    /// Small input for unit tests.
+    pub fn test() -> Self {
+        FftInput { len: 1 << 10, cutoff: 64, seed: 3 }
+    }
+
+    /// Scaled-down stand-in for the paper's input (very fine tasks: tiny
+    /// cutoff, like the original's unconditional spawning).
+    pub fn paper() -> Self {
+        FftInput { len: 1 << 16, cutoff: 16, seed: 3 }
+    }
+
+    /// The input signal.
+    pub fn signal(&self) -> Vec<Complex> {
+        let mut x = self.seed.max(1);
+        (0..self.len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                Complex::new(((x % 2000) as f64 - 1000.0) / 1000.0, 0.0)
+            })
+            .collect()
+    }
+}
+
+/// Parallel FFT of the seeded signal.
+pub fn run<S: Spawner>(sp: &S, input: FftInput) -> Vec<Complex> {
+    fft(sp, input.signal(), input.cutoff)
+}
+
+fn fft<S: Spawner>(sp: &S, v: Vec<Complex>, cutoff: usize) -> Vec<Complex> {
+    let n = v.len();
+    if n <= 1 {
+        return v;
+    }
+    if n <= cutoff {
+        return fft_serial(v);
+    }
+    let mut even = Vec::with_capacity(n / 2);
+    let mut odd = Vec::with_capacity(n / 2);
+    for (i, c) in v.into_iter().enumerate() {
+        if i % 2 == 0 {
+            even.push(c);
+        } else {
+            odd.push(c);
+        }
+    }
+    let (sa, sb) = (sp.clone(), sp.clone());
+    let fe = sp.spawn(move || fft(&sa, even, cutoff));
+    let fo = sp.spawn(move || fft(&sb, odd, cutoff));
+    combine(fe.get(), fo.get())
+}
+
+fn combine(e: Vec<Complex>, o: Vec<Complex>) -> Vec<Complex> {
+    let half = e.len();
+    let n = half * 2;
+    let mut out = vec![Complex::default(); n];
+    for k in 0..half {
+        let angle = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+        let tw = Complex::new(angle.cos(), angle.sin()).mul(o[k]);
+        out[k] = e[k].add(tw);
+        out[k + half] = e[k].sub(tw);
+    }
+    out
+}
+
+/// Sequential radix-2 FFT (also the oracle).
+pub fn fft_serial(v: Vec<Complex>) -> Vec<Complex> {
+    let n = v.len();
+    if n <= 1 {
+        return v;
+    }
+    let mut even = Vec::with_capacity(n / 2);
+    let mut odd = Vec::with_capacity(n / 2);
+    for (i, c) in v.into_iter().enumerate() {
+        if i % 2 == 0 {
+            even.push(c);
+        } else {
+            odd.push(c);
+        }
+    }
+    combine(fft_serial(even), fft_serial(odd))
+}
+
+/// Sequential oracle.
+pub fn run_serial(input: FftInput) -> Vec<Complex> {
+    fft_serial(input.signal())
+}
+
+/// Reference O(n²) DFT for correctness checks on small sizes.
+pub fn dft_reference(signal: &[Complex]) -> Vec<Complex> {
+    let n = signal.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::default();
+            for (j, &x) in signal.iter().enumerate() {
+                let angle = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                acc = acc.add(Complex::new(angle.cos(), angle.sin()).mul(x));
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Task graph of the FFT recursion: leaves are cutoff-size serial FFTs,
+/// joins are the butterfly combines streaming the vector (variable grain,
+/// ~1 µs average for the paper's tiny cutoff).
+pub fn sim_graph(input: FftInput) -> TaskGraph {
+    let mut b = GraphBuilder::new();
+    build(&mut b, input.len, input.cutoff);
+    b.build()
+}
+
+fn build(b: &mut GraphBuilder, n: usize, cutoff: usize) -> (TaskId, TaskId) {
+    const ELEM: u64 = 16; // two f64
+    let bytes = n as u64 * ELEM;
+    if n <= cutoff.max(1) {
+        let logn = (n.max(2) as f64).log2();
+        let work = (n as f64 * logn * 8.0) as u64;
+        let t = b.new_thread();
+        let id = b.add(SimTask::compute(work.max(300)).with_memory(bytes, bytes, bytes));
+        b.begins_thread(id, t);
+        b.ends_thread(id, t);
+        return (id, id);
+    }
+    let (ef, ej) = build(b, n / 2, cutoff);
+    let (of, oj) = build(b, n / 2, cutoff);
+    let t = b.new_thread();
+    // Fork: even/odd split streams the vector; join: butterfly pass.
+    let fork = b.add(SimTask::compute((n / 2) as u64).with_memory(bytes, bytes, bytes));
+    let join = b.add(SimTask::compute((n * 6) as u64).with_memory(bytes, bytes, bytes));
+    b.begins_thread(fork, t);
+    b.ends_thread(join, t);
+    b.edge(fork, ef);
+    b.edge(fork, of);
+    b.edge(ej, join);
+    b.edge(oj, join);
+    (fork, join)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spawner::SerialSpawner;
+
+    fn close(a: &[Complex], b: &[Complex]) -> bool {
+        a.len() == b.len()
+            && a.iter().zip(b).all(|(x, y)| (x.re - y.re).abs() < 1e-6 && (x.im - y.im).abs() < 1e-6)
+    }
+
+    #[test]
+    fn fft_matches_dft_reference() {
+        let input = FftInput { len: 64, cutoff: 8, seed: 9 };
+        let fast = run(&SerialSpawner, input);
+        let slow = dft_reference(&input.signal());
+        assert!(close(&fast, &slow));
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let input = FftInput::test();
+        assert!(close(&run(&SerialSpawner, input), &run_serial(input)));
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let mut signal = vec![Complex::default(); 16];
+        signal[0] = Complex::new(1.0, 0.0);
+        let spectrum = fft_serial(signal);
+        assert!(spectrum.iter().all(|c| (c.abs() - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn parsevals_theorem_holds() {
+        let input = FftInput { len: 256, cutoff: 16, seed: 4 };
+        let signal = input.signal();
+        let spectrum = fft_serial(signal.clone());
+        let time_energy: f64 = signal.iter().map(|c| c.abs() * c.abs()).sum();
+        let freq_energy: f64 =
+            spectrum.iter().map(|c| c.abs() * c.abs()).sum::<f64>() / signal.len() as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-6 * time_energy);
+    }
+
+    #[test]
+    fn graph_valid_with_fine_grain() {
+        let g = sim_graph(FftInput { len: 1 << 12, cutoff: 16, seed: 1 });
+        assert!(g.validate().is_ok());
+        let avg = g.total_work_ns() as f64 / g.len() as f64;
+        assert!(avg < 10_000.0, "FFT tasks should be very fine, got {avg}ns");
+        assert!(g.total_traffic_bytes() > 0);
+    }
+}

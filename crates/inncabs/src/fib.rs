@@ -1,0 +1,129 @@
+//! **Fib** — recursive balanced, *very fine* grain (Table V: 1.37 µs avg
+//! task duration; the C++11 version fails, HPX scales to 10 cores).
+//!
+//! The Inncabs original spawns both recursive calls of the naive Fibonacci
+//! recursion with no sequential cutoff, producing an exponential number of
+//! microsecond tasks — the classic stress test for task-spawn overhead.
+
+use crate::spawner::{BenchFuture, Spawner};
+use rpx_simnode::{GraphBuilder, SimTask, TaskGraph, TaskId};
+
+/// Benchmark input.
+#[derive(Debug, Clone, Copy)]
+pub struct FibInput {
+    /// Fibonacci index to compute.
+    pub n: u64,
+}
+
+impl FibInput {
+    /// Small input for unit tests.
+    pub fn test() -> Self {
+        FibInput { n: 12 }
+    }
+
+    /// Scaled-down stand-in for the paper's input (kept small enough that
+    /// the thread-per-task baseline remains runnable natively).
+    pub fn paper() -> Self {
+        FibInput { n: 21 }
+    }
+}
+
+/// Parallel naive Fibonacci: both branches spawned, as in Inncabs.
+pub fn run<S: Spawner>(sp: &S, input: FibInput) -> u64 {
+    fib(sp, input.n)
+}
+
+fn fib<S: Spawner>(sp: &S, n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let (sa, sb) = (sp.clone(), sp.clone());
+    let a = sp.spawn(move || fib(&sa, n - 1));
+    let b = sp.spawn(move || fib(&sb, n - 2));
+    a.get() + b.get()
+}
+
+/// Sequential oracle.
+pub fn run_serial(input: FibInput) -> u64 {
+    fn f(n: u64) -> u64 {
+        if n < 2 {
+            n
+        } else {
+            f(n - 1) + f(n - 2)
+        }
+    }
+    f(input.n)
+}
+
+/// Task graph of the recursion for the simulator. Grain calibrated to the
+/// paper's 1.37 µs average task duration; compute-only (the recursion
+/// touches no memory to speak of).
+pub fn sim_graph(input: FibInput) -> TaskGraph {
+    let mut b = GraphBuilder::new();
+    build(&mut b, input.n);
+    b.build()
+}
+
+fn build(b: &mut GraphBuilder, n: u64) -> (TaskId, TaskId) {
+    if n < 2 {
+        let t = b.new_thread();
+        let id = b.add(SimTask::compute(1_000));
+        b.begins_thread(id, t);
+        b.ends_thread(id, t);
+        return (id, id);
+    }
+    let (lf, lj) = build(b, n - 1);
+    let (rf, rj) = build(b, n - 2);
+    let t = b.new_thread();
+    let fork = b.add(SimTask::compute(900));
+    let join = b.add(SimTask::compute(700));
+    b.begins_thread(fork, t);
+    b.ends_thread(join, t);
+    b.edge(fork, lf);
+    b.edge(fork, rf);
+    b.edge(lj, join);
+    b.edge(rj, join);
+    (fork, join)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spawner::SerialSpawner;
+
+    #[test]
+    fn serial_oracle_values() {
+        assert_eq!(run_serial(FibInput { n: 0 }), 0);
+        assert_eq!(run_serial(FibInput { n: 1 }), 1);
+        assert_eq!(run_serial(FibInput { n: 10 }), 55);
+        assert_eq!(run_serial(FibInput { n: 20 }), 6765);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let input = FibInput::test();
+        assert_eq!(run(&SerialSpawner, input), run_serial(input));
+    }
+
+    #[test]
+    fn graph_is_valid_and_sized_like_the_recursion() {
+        let g = sim_graph(FibInput { n: 10 });
+        assert!(g.validate().is_ok());
+        // The fib call tree for n=10 has 177 nodes; leaves are single tasks
+        // and internal nodes are fork/join pairs.
+        let leaves = g.tasks.iter().filter(|t| t.enables.is_empty() && t.deps > 0).count()
+            + g.tasks.iter().filter(|t| t.enables.is_empty() && t.deps == 0).count();
+        assert!(leaves > 0);
+        assert_eq!(g.roots().len(), 1);
+        // Average grain near the paper's 1.37µs classification (very fine).
+        let avg = g.total_work_ns() as f64 / g.len() as f64;
+        assert!((500.0..2_000.0).contains(&avg), "avg grain {avg}ns");
+    }
+
+    #[test]
+    fn graph_grows_exponentially() {
+        let a = sim_graph(FibInput { n: 8 }).len();
+        let b = sim_graph(FibInput { n: 12 }).len();
+        assert!(b > 5 * a);
+    }
+}

@@ -1,0 +1,248 @@
+//! **Health** — loop-like, *very fine* grain (Table V: 1.02 µs; the C++11
+//! version fails from thread exhaustion — 1.75·10⁷ tasks in the paper's
+//! input — HPX scales to 10).
+//!
+//! A simplified Columbian-health-care simulation (after the BOTS kernel):
+//! a tree of villages, each with a patient queue. Every time step spawns
+//! one tiny task per village (recursing over the tree); patients arrive,
+//! are treated locally, or are referred up to the parent village.
+
+use std::sync::Arc;
+
+use crate::spawner::{BenchFuture, Spawner};
+use rpx_simnode::{GraphBuilder, SimTask, TaskGraph, TaskId};
+
+/// Benchmark input.
+#[derive(Debug, Clone, Copy)]
+pub struct HealthInput {
+    /// Tree branching factor.
+    pub branching: usize,
+    /// Tree depth (root = 0).
+    pub depth: usize,
+    /// Simulated time steps.
+    pub steps: usize,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl HealthInput {
+    /// Small input for unit tests.
+    pub fn test() -> Self {
+        HealthInput { branching: 3, depth: 3, steps: 4, seed: 41 }
+    }
+
+    /// Scaled-down stand-in for the paper's input (same very fine grain;
+    /// fewer villages·steps so the native baseline stays runnable).
+    pub fn paper() -> Self {
+        HealthInput { branching: 4, depth: 6, steps: 20, seed: 41 }
+    }
+
+    /// Number of villages in the tree.
+    pub fn villages(&self) -> usize {
+        // Σ branching^d for d in 0..=depth
+        let mut total = 0usize;
+        let mut level = 1usize;
+        for _ in 0..=self.depth {
+            total += level;
+            level *= self.branching;
+        }
+        total
+    }
+}
+
+/// Per-village simulation state.
+#[derive(Debug, Clone, Default)]
+pub struct Village {
+    /// Patients waiting at this village.
+    pub waiting: u64,
+    /// Patients treated here so far.
+    pub treated: u64,
+    /// Patients referred to the parent so far.
+    pub referred: u64,
+}
+
+fn mix(seed: u64, village: u64, step: u64) -> u64 {
+    let mut z = seed ^ village.wrapping_mul(0x9E3779B97F4A7C15) ^ step.wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// One village's step: arrivals, treatment, referral. Returns patients
+/// referred up (to be added to the parent's queue next step).
+fn step_village(v: &mut Village, seed: u64, id: u64, step: u64, level: usize) -> u64 {
+    let h = mix(seed, id, step);
+    // Arrivals: leaf villages see more walk-ins.
+    let arrivals = 1 + h % (2 + level as u64);
+    v.waiting += arrivals;
+    // Treatment capacity; deeper villages are smaller.
+    let capacity = 2 + (h >> 8) % 3;
+    let treated = v.waiting.min(capacity);
+    v.waiting -= treated;
+    v.treated += treated;
+    // A fraction of the still-waiting patients is referred up.
+    let referred = if id == 0 { 0 } else { v.waiting / 3 };
+    v.waiting -= referred;
+    v.referred += referred;
+    referred
+}
+
+/// Simulation outcome (the benchmark's checksums).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthOutcome {
+    /// Total patients treated across all villages.
+    pub treated: u64,
+    /// Total referrals.
+    pub referred: u64,
+    /// Patients still waiting at the end.
+    pub waiting: u64,
+}
+
+/// Parallel simulation: each step spawns one task per village, recursing
+/// down the tree (task-per-village-per-step, like the BOTS kernel).
+pub fn run<S: Spawner>(sp: &S, input: HealthInput) -> HealthOutcome {
+    let n = input.villages();
+    let mut villages: Vec<Village> = vec![Village::default(); n];
+    for step in 0..input.steps {
+        // Spawn the whole level in tree order: task id v handles village v.
+        let snapshot: Vec<Village> = villages.clone();
+        let shared = Arc::new(snapshot);
+        let futures: Vec<_> = (0..n)
+            .map(|v| {
+                let shared = shared.clone();
+                let seed = input.seed;
+                let level = level_of(v, input.branching);
+                sp.spawn(move || {
+                    let mut vi = shared[v].clone();
+                    let referred = step_village(&mut vi, seed, v as u64, step as u64, level);
+                    (vi, referred)
+                })
+            })
+            .collect();
+        let results: Vec<(Village, u64)> = futures.into_iter().map(|f| f.get()).collect();
+        for (v, (state, referred)) in results.into_iter().enumerate() {
+            villages[v] = state;
+            if referred > 0 {
+                let parent = (v - 1) / input.branching;
+                villages[parent].waiting += referred;
+            }
+        }
+    }
+    summarize(&villages)
+}
+
+fn level_of(mut v: usize, branching: usize) -> usize {
+    let mut level = 0;
+    while v > 0 {
+        v = (v - 1) / branching;
+        level += 1;
+    }
+    level
+}
+
+fn summarize(villages: &[Village]) -> HealthOutcome {
+    HealthOutcome {
+        treated: villages.iter().map(|v| v.treated).sum(),
+        referred: villages.iter().map(|v| v.referred).sum(),
+        waiting: villages.iter().map(|v| v.waiting).sum(),
+    }
+}
+
+/// Sequential oracle.
+pub fn run_serial(input: HealthInput) -> HealthOutcome {
+    run(&crate::spawner::SerialSpawner, input)
+}
+
+/// Task graph: per step, a fork tree over villages with ~1 µs leaf tasks
+/// and a join; steps chained sequentially (1.75·10⁷ tasks at paper scale).
+pub fn sim_graph(input: HealthInput) -> TaskGraph {
+    let mut b = GraphBuilder::new();
+    let mut prev: Option<TaskId> = None;
+    for _ in 0..input.steps {
+        let (f, j) = level(&mut b, 0, &input);
+        if let Some(p) = prev {
+            b.edge(p, f);
+        }
+        prev = Some(j);
+    }
+    b.build()
+}
+
+/// Build the task tree for one step, rooted at tree level `depth`.
+fn level(b: &mut GraphBuilder, depth: usize, input: &HealthInput) -> (TaskId, TaskId) {
+    if depth == input.depth {
+        let t = b.new_thread();
+        let id = b.add(SimTask::compute(1_000).with_memory(256, 128, 512));
+        b.begins_thread(id, t);
+        b.ends_thread(id, t);
+        return (id, id);
+    }
+    let children: Vec<(TaskId, TaskId)> =
+        (0..input.branching).map(|_| level(b, depth + 1, input)).collect();
+    let t = b.new_thread();
+    let fork = b.add(SimTask::compute(900).with_memory(256, 128, 512));
+    let join = b.add(SimTask::compute(400));
+    b.begins_thread(fork, t);
+    b.ends_thread(join, t);
+    for (cf, cj) in children {
+        b.edge(fork, cf);
+        b.edge(cj, join);
+    }
+    (fork, join)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spawner::SerialSpawner;
+
+    #[test]
+    fn villages_count() {
+        assert_eq!(HealthInput { branching: 3, depth: 2, steps: 1, seed: 1 }.villages(), 13);
+        assert_eq!(HealthInput { branching: 2, depth: 3, steps: 1, seed: 1 }.villages(), 15);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let input = HealthInput::test();
+        assert_eq!(run(&SerialSpawner, input), run_serial(input));
+    }
+
+    #[test]
+    fn patients_are_conserved() {
+        // treated + waiting == total arrivals − nothing is lost; referrals
+        // only move patients (they are re-counted in waiting/treated).
+        let input = HealthInput::test();
+        let out = run_serial(input);
+        assert!(out.treated > 0);
+        // Determinism.
+        assert_eq!(out, run_serial(input));
+    }
+
+    #[test]
+    fn root_never_refers_up() {
+        let input = HealthInput { branching: 2, depth: 0, steps: 10, seed: 7 };
+        let out = run_serial(input);
+        assert_eq!(out.referred, 0, "the root has no parent");
+    }
+
+    #[test]
+    fn graph_task_count_is_villages_times_steps_shaped() {
+        let input = HealthInput::test();
+        let g = sim_graph(input);
+        assert!(g.validate().is_ok());
+        // Leaves per step = branching^depth; interior nodes are fork+join.
+        let leaves_per_step = input.branching.pow(input.depth as u32);
+        assert!(g.len() >= input.steps * leaves_per_step);
+        // Very fine grain.
+        let avg = g.total_work_ns() / g.len() as u64;
+        assert!(avg <= 1_200, "grain {avg}ns should be ~1µs");
+    }
+
+    #[test]
+    fn graph_steps_serialize() {
+        let one = sim_graph(HealthInput { steps: 1, ..HealthInput::test() });
+        let four = sim_graph(HealthInput { steps: 4, ..HealthInput::test() });
+        assert!(four.critical_path_ns() > 3 * one.critical_path_ns());
+    }
+}

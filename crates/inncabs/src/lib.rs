@@ -1,0 +1,25 @@
+//! # rpx-inncabs — the Inncabs benchmark suite in Rust
+//!
+//! Fourteen task-parallel benchmarks, each in three forms: a parallel
+//! implementation generic over a [`spawner::Spawner`], a sequential oracle,
+//! and a task-graph generator for the `rpx-simnode` simulator.
+
+pub mod alignment;
+pub mod catalog;
+pub mod fft;
+pub mod fib;
+pub mod floorplan;
+pub mod health;
+pub mod intersim;
+pub mod nqueens;
+pub mod pyramids;
+pub mod qap;
+pub mod round;
+pub mod sort;
+pub mod sparselu;
+pub mod strassen;
+pub mod spawner;
+pub mod uts;
+
+pub use catalog::{Benchmark, CatalogEntry, Granularity, InputScale, PaperScaling, Structure};
+pub use spawner::{BenchFuture, RpxSpawner, SerialSpawner, Spawner, StdSpawner};

@@ -1,0 +1,249 @@
+//! **Pyramids** — recursive balanced, *moderate* grain (Table V: 246 µs;
+//! the only benchmark where the C++11 version beats HPX at low core
+//! counts, tying at 20 — Figs. 2, 9, 14).
+//!
+//! Time–space pyramid decomposition of a 1-D three-point stencil: a
+//! pyramid task computes `steps` time steps for an interval from a halo of
+//! width `steps` on each side, independently of its siblings (overlapping
+//! recompute buys independence). Pyramids split recursively in space until
+//! a width cutoff; time advances block by block.
+
+use std::sync::Arc;
+
+use crate::spawner::{BenchFuture, Spawner};
+use rpx_simnode::{GraphBuilder, SimTask, TaskGraph, TaskId};
+
+/// Benchmark input.
+#[derive(Debug, Clone, Copy)]
+pub struct PyramidsInput {
+    /// Grid points.
+    pub width: usize,
+    /// Total time steps.
+    pub steps: usize,
+    /// Time-block height (halo width of one pyramid).
+    pub block: usize,
+    /// Space cutoff: pyramids narrower than this compute directly.
+    pub cutoff: usize,
+    /// Initial-condition seed.
+    pub seed: u64,
+}
+
+impl PyramidsInput {
+    /// Small input for unit tests.
+    pub fn test() -> Self {
+        PyramidsInput { width: 256, steps: 16, block: 4, cutoff: 64, seed: 31 }
+    }
+
+    /// Scaled-down stand-in for the paper's input.
+    pub fn paper() -> Self {
+        PyramidsInput { width: 1 << 22, steps: 768, block: 48, cutoff: 4_096, seed: 31 }
+    }
+
+    /// Initial grid values.
+    pub fn initial(&self) -> Vec<f64> {
+        let mut x = self.seed.max(1);
+        (0..self.width)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % 1000) as f64 / 1000.0
+            })
+            .collect()
+    }
+}
+
+/// One stencil step with clamped boundaries.
+fn step_point(grid: &[f64], i: usize) -> f64 {
+    let n = grid.len();
+    let l = grid[i.saturating_sub(1)];
+    let r = grid[(i + 1).min(n - 1)];
+    (l + 2.0 * grid[i] + r) / 4.0
+}
+
+/// Compute `steps` time steps of the interval `[l, r)` from snapshot
+/// `grid`, recomputing through the halo (the pyramid kernel).
+fn pyramid_kernel(grid: &[f64], l: usize, r: usize, steps: usize) -> Vec<f64> {
+    let n = grid.len();
+    // Window [wl, wr) shrinks by one per side per step.
+    let wl = l.saturating_sub(steps);
+    let wr = (r + steps).min(n);
+    let mut cur: Vec<f64> = grid[wl..wr].to_vec();
+    let mut base = wl;
+    for _ in 0..steps {
+        // Values computable at the next level: indices whose neighbours are
+        // inside the window, except at the true array boundary where the
+        // stencil clamps.
+        let lo = if base == 0 { 0 } else { base + 1 };
+        let hi = if base + cur.len() == n { n } else { base + cur.len() - 1 };
+        let mut next = Vec::with_capacity(hi - lo);
+        for i in lo..hi {
+            // Emulate step_point on the window.
+            let gl = cur[(i.saturating_sub(1)).max(base) - base];
+            let gc = cur[i - base];
+            let gr = cur[((i + 1).min(n - 1) - base).min(cur.len() - 1)];
+            next.push((gl + 2.0 * gc + gr) / 4.0);
+        }
+        cur = next;
+        base = lo;
+    }
+    // Extract [l, r).
+    cur[(l - base)..(r - base)].to_vec()
+}
+
+/// Recursive pyramid: split in space until the cutoff, spawning halves.
+fn pyramid<S: Spawner>(
+    sp: &S,
+    grid: Arc<Vec<f64>>,
+    l: usize,
+    r: usize,
+    steps: usize,
+    cutoff: usize,
+) -> Vec<f64> {
+    if r - l <= cutoff {
+        return pyramid_kernel(&grid, l, r, steps);
+    }
+    let mid = l + (r - l) / 2;
+    let (ga, gb) = (grid.clone(), grid);
+    let (sa, sb) = (sp.clone(), sp.clone());
+    let left = sp.spawn(move || pyramid(&sa, ga, l, mid, steps, cutoff));
+    let right = sp.spawn(move || pyramid(&sb, gb, mid, r, steps, cutoff));
+    let mut out = left.get();
+    out.extend(right.get());
+    out
+}
+
+/// Parallel pyramid stencil; returns the final grid.
+pub fn run<S: Spawner>(sp: &S, input: PyramidsInput) -> Vec<f64> {
+    let mut grid = input.initial();
+    let mut remaining = input.steps;
+    while remaining > 0 {
+        let s = remaining.min(input.block);
+        let snapshot = Arc::new(grid);
+        grid = pyramid(sp, snapshot, 0, input.width, s, input.cutoff);
+        remaining -= s;
+    }
+    grid
+}
+
+/// Sequential oracle: plain time stepping.
+pub fn run_serial(input: PyramidsInput) -> Vec<f64> {
+    let mut grid = input.initial();
+    for _ in 0..input.steps {
+        let next: Vec<f64> = (0..grid.len()).map(|i| step_point(&grid, i)).collect();
+        grid = next;
+    }
+    grid
+}
+
+/// Task graph: per time block, a balanced space-split recursion whose
+/// leaves are the pyramid kernels (~246 µs, streaming their windows).
+pub fn sim_graph(input: PyramidsInput) -> TaskGraph {
+    let mut b = GraphBuilder::new();
+    let blocks = input.steps.div_ceil(input.block);
+    let mut prev: Option<TaskId> = None;
+    for _ in 0..blocks {
+        let (f, j) = split(&mut b, input.width, &input);
+        if let Some(p) = prev {
+            b.edge(p, f);
+        }
+        prev = Some(j);
+    }
+    b.build()
+}
+
+fn split(b: &mut GraphBuilder, width: usize, input: &PyramidsInput) -> (TaskId, TaskId) {
+    const ELEM: u64 = 8;
+    if width <= input.cutoff {
+        // Kernel: block · (width + 2·block) point updates at ~1 ns each.
+        let work = (input.block as u64) * (width as u64 + 2 * input.block as u64);
+        let bytes = (width as u64 + 2 * input.block as u64) * ELEM;
+        // Reuse distance spans the whole grid: between time blocks the
+        // grid is evicted from the LLC, so leaf reads mostly miss.
+        let grid_bytes = (input.width as u64) * ELEM;
+        let t = b.new_thread();
+        let id = b.add(SimTask::compute(work.max(1_000)).with_memory(bytes, bytes, grid_bytes));
+        b.begins_thread(id, t);
+        b.ends_thread(id, t);
+        return (id, id);
+    }
+    let (lf, lj) = split(b, width / 2, input);
+    let (rf, rj) = split(b, width - width / 2, input);
+    let t = b.new_thread();
+    let fork = b.add(SimTask::compute(600));
+    let join = b.add(SimTask::compute((width / 2) as u64));
+    b.begins_thread(fork, t);
+    b.ends_thread(join, t);
+    b.edge(fork, lf);
+    b.edge(fork, rf);
+    b.edge(lj, join);
+    b.edge(rj, join);
+    (fork, join)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spawner::SerialSpawner;
+
+    fn close(a: &[f64], b: &[f64]) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < 1e-9)
+    }
+
+    #[test]
+    fn kernel_matches_plain_stepping_interior() {
+        let input = PyramidsInput { width: 64, steps: 4, block: 4, cutoff: 64, seed: 5 };
+        let grid = input.initial();
+        let serial = run_serial(input);
+        let kernel = pyramid_kernel(&grid, 0, 64, 4);
+        assert!(close(&kernel, &serial), "kernel disagrees with plain stepping");
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let input = PyramidsInput::test();
+        let par = run(&SerialSpawner, input);
+        let ser = run_serial(input);
+        assert!(close(&par, &ser));
+    }
+
+    #[test]
+    fn parallel_matches_serial_with_odd_sizes() {
+        let input = PyramidsInput { width: 173, steps: 7, block: 3, cutoff: 32, seed: 9 };
+        assert!(close(&run(&SerialSpawner, input), &run_serial(input)));
+    }
+
+    #[test]
+    fn stencil_conserves_towards_mean() {
+        // The smoothing stencil contracts the value range.
+        let input = PyramidsInput::test();
+        let first = input.initial();
+        let last = run_serial(input);
+        let range = |v: &[f64]| {
+            v.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - v.iter().cloned().fold(f64::INFINITY, f64::min)
+        };
+        assert!(range(&last) <= range(&first));
+    }
+
+    #[test]
+    fn graph_valid_and_moderate_grain() {
+        let g = sim_graph(PyramidsInput::paper());
+        assert!(g.validate().is_ok());
+        // Kernel leaves: block 96 × (2048 + 192) ≈ 215µs — the moderate
+        // grain of Table V.
+        let leaf_max = g.tasks.iter().map(|t| t.work_ns).max().unwrap();
+        assert!(leaf_max >= 150_000, "leaf work {leaf_max}");
+        assert_eq!(g.roots().len(), 1);
+    }
+
+    #[test]
+    fn graph_time_blocks_are_sequential() {
+        let input = PyramidsInput { width: 128, steps: 8, block: 4, cutoff: 64, seed: 1 };
+        let g = sim_graph(input);
+        // Two time blocks: critical path covers both.
+        assert!(g.validate().is_ok());
+        let one_block = sim_graph(PyramidsInput { steps: 4, ..input });
+        assert!(g.critical_path_ns() > one_block.critical_path_ns());
+    }
+}

@@ -1,0 +1,333 @@
+//! **QAP** — recursive unbalanced, *very fine* grain with atomic pruning
+//! (Table V: 1.00 µs; scales to ~6 (C++11) / 4 (HPX) cores only).
+//!
+//! Branch-and-bound for the Quadratic Assignment Problem: assign `n`
+//! facilities to `n` locations minimizing Σ flow(i,j)·dist(π(i),π(j)).
+//! Partial assignments are bounded by their exact partial cost (costs are
+//! non-negative, so it is a valid lower bound); the incumbent best is a
+//! shared atomic. The paper notes QAP only ran with its smallest input —
+//! we mirror that with a small deterministic instance.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::spawner::{BenchFuture, Spawner};
+use rpx_simnode::{GraphBuilder, SimTask, TaskGraph, TaskId};
+
+/// Benchmark input.
+#[derive(Debug, Clone, Copy)]
+pub struct QapInput {
+    /// Problem size (facilities = locations = n).
+    pub n: usize,
+    /// Instance seed.
+    pub seed: u64,
+    /// Spawn tasks only above this remaining-depth (below it, recurse
+    /// inline) — Inncabs spawns everywhere; a depth of 0 matches that.
+    pub serial_depth: usize,
+}
+
+impl QapInput {
+    /// Small input for unit tests.
+    pub fn test() -> Self {
+        QapInput { n: 6, seed: 29, serial_depth: 0 }
+    }
+
+    /// The paper's "smallest input" stand-in.
+    pub fn paper() -> Self {
+        QapInput { n: 8, seed: 29, serial_depth: 2 }
+    }
+
+    /// Deterministic flow and distance matrices (non-negative).
+    pub fn matrices(&self) -> (Vec<u64>, Vec<u64>) {
+        let n = self.n;
+        let mut x = self.seed.max(1);
+        let mut rnd = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x % 10
+        };
+        let mut flow = vec![0u64; n * n];
+        let mut dist = vec![0u64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    flow[i * n + j] = rnd();
+                    dist[i * n + j] = rnd();
+                }
+            }
+        }
+        (flow, dist)
+    }
+}
+
+struct Instance {
+    n: usize,
+    flow: Vec<u64>,
+    dist: Vec<u64>,
+    best: AtomicU64,
+    nodes: AtomicU64,
+}
+
+impl Instance {
+    /// Cost increment of placing facility `f` at location `l` given the
+    /// partial assignment (facility i → assigned[i]).
+    fn delta(&self, assigned: &[usize], f: usize, l: usize) -> u64 {
+        let n = self.n;
+        let mut d = 0;
+        for (i, &li) in assigned.iter().enumerate() {
+            d += self.flow[i * n + f] * self.dist[li * n + l];
+            d += self.flow[f * n + i] * self.dist[l * n + li];
+        }
+        d
+    }
+}
+
+/// Search outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QapOutcome {
+    /// Minimum assignment cost.
+    pub best_cost: u64,
+    /// Explored nodes (order-dependent under parallel pruning).
+    pub nodes: u64,
+}
+
+fn branch<S: Spawner>(
+    sp: &S,
+    inst: Arc<Instance>,
+    assigned: Vec<usize>,
+    used: u64,
+    cost: u64,
+    serial_depth: usize,
+) {
+    inst.nodes.fetch_add(1, Ordering::Relaxed);
+    let n = inst.n;
+    if assigned.len() == n {
+        inst.best.fetch_min(cost, Ordering::AcqRel);
+        return;
+    }
+    if cost >= inst.best.load(Ordering::Acquire) {
+        return; // exact partial cost is a valid lower bound
+    }
+    let f = assigned.len();
+    let remaining = n - f;
+    let mut futures = Vec::new();
+    for l in 0..n {
+        if used & (1 << l) != 0 {
+            continue;
+        }
+        let d = inst.delta(&assigned, f, l);
+        let mut next = assigned.clone();
+        next.push(l);
+        let next_cost = cost + d;
+        if remaining > serial_depth && sp.name() != "serial" {
+            let (sp2, inst2) = (sp.clone(), inst.clone());
+            futures.push(sp.spawn(move || {
+                branch(&sp2, inst2, next, used | (1 << l), next_cost, serial_depth)
+            }));
+        } else {
+            branch(sp, inst.clone(), next, used | (1 << l), next_cost, serial_depth);
+        }
+    }
+    for fut in futures {
+        fut.get();
+    }
+}
+
+/// Parallel branch-and-bound QAP.
+pub fn run<S: Spawner>(sp: &S, input: QapInput) -> QapOutcome {
+    let (flow, dist) = input.matrices();
+    let inst = Arc::new(Instance {
+        n: input.n,
+        flow,
+        dist,
+        best: AtomicU64::new(u64::MAX),
+        nodes: AtomicU64::new(0),
+    });
+    branch(sp, inst.clone(), Vec::new(), 0, 0, input.serial_depth);
+    QapOutcome {
+        best_cost: inst.best.load(Ordering::Acquire),
+        nodes: inst.nodes.load(Ordering::Relaxed),
+    }
+}
+
+/// Sequential oracle.
+pub fn run_serial(input: QapInput) -> QapOutcome {
+    run(&crate::spawner::SerialSpawner, input)
+}
+
+/// Brute-force oracle for tiny instances.
+pub fn brute_force(input: QapInput) -> u64 {
+    let (flow, dist) = input.matrices();
+    let n = input.n;
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut best = u64::MAX;
+    permute(&mut perm, 0, &mut |p| {
+        let mut cost = 0;
+        for i in 0..n {
+            for j in 0..n {
+                cost += flow[i * n + j] * dist[p[i] * n + p[j]];
+            }
+        }
+        best = best.min(cost);
+    });
+    best
+}
+
+fn permute(v: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+    if k == v.len() {
+        f(v);
+        return;
+    }
+    for i in k..v.len() {
+        v.swap(k, i);
+        permute(v, k + 1, f);
+        v.swap(k, i);
+    }
+}
+
+/// Task graph: the serial search tree shape at ~1 µs per node. The bottom
+/// `serial_depth` levels are folded into their spawning task (the native
+/// implementation recurses inline there), so one leaf task carries the
+/// whole inline subtree's work.
+pub fn sim_graph(input: QapInput) -> TaskGraph {
+    let (flow, dist) = input.matrices();
+    let inst =
+        Instance { n: input.n, flow, dist, best: AtomicU64::new(u64::MAX), nodes: AtomicU64::new(0) };
+    let mut b = GraphBuilder::new();
+    enumerate(&mut b, &inst, &mut Vec::new(), 0, 0, input.serial_depth);
+    b.build()
+}
+
+/// Count the serial subtree below a partial assignment (updating `best`
+/// exactly as the inline recursion would).
+fn serial_subtree_nodes(
+    inst: &Instance,
+    assigned: &mut Vec<usize>,
+    used: u64,
+    cost: u64,
+) -> u64 {
+    let n = inst.n;
+    if assigned.len() == n {
+        let best = inst.best.load(Ordering::Relaxed);
+        inst.best.store(best.min(cost), Ordering::Relaxed);
+        return 1;
+    }
+    if cost >= inst.best.load(Ordering::Relaxed) {
+        return 1;
+    }
+    let f = assigned.len();
+    let mut nodes = 1;
+    for l in 0..n {
+        if used & (1 << l) != 0 {
+            continue;
+        }
+        let d = inst.delta(assigned, f, l);
+        assigned.push(l);
+        nodes += serial_subtree_nodes(inst, assigned, used | (1 << l), cost + d);
+        assigned.pop();
+    }
+    nodes
+}
+
+fn enumerate(
+    b: &mut GraphBuilder,
+    inst: &Instance,
+    assigned: &mut Vec<usize>,
+    used: u64,
+    cost: u64,
+    serial_depth: usize,
+) -> (TaskId, TaskId) {
+    let leaf = |b: &mut GraphBuilder, work_ns: u64| {
+        let t = b.new_thread();
+        let id = b.add(SimTask::compute(work_ns).with_memory(256, 64, 512));
+        b.begins_thread(id, t);
+        b.ends_thread(id, t);
+        (id, id)
+    };
+    let n = inst.n;
+    let remaining = n - assigned.len();
+    if remaining <= serial_depth {
+        // Inline recursion: one task does the whole subtree.
+        let nodes = serial_subtree_nodes(inst, assigned, used, cost);
+        return leaf(b, 1_000 * nodes);
+    }
+    if assigned.len() == n {
+        let best = inst.best.load(Ordering::Relaxed);
+        inst.best.store(best.min(cost), Ordering::Relaxed);
+        return leaf(b, 1_000);
+    }
+    if cost >= inst.best.load(Ordering::Relaxed) {
+        return leaf(b, 1_000);
+    }
+    let f = assigned.len();
+    let mut children = Vec::new();
+    for l in 0..n {
+        if used & (1 << l) != 0 {
+            continue;
+        }
+        let d = inst.delta(assigned, f, l);
+        assigned.push(l);
+        children.push(enumerate(b, inst, assigned, used | (1 << l), cost + d, serial_depth));
+        assigned.pop();
+    }
+    if children.is_empty() {
+        return leaf(b, 1_000);
+    }
+    let t = b.new_thread();
+    let fork = b.add(SimTask::compute(900).with_memory(256, 64, 512));
+    let join = b.add(SimTask::compute(300));
+    b.begins_thread(fork, t);
+    b.ends_thread(join, t);
+    for (cf, cj) in children {
+        b.edge(fork, cf);
+        b.edge(cj, join);
+    }
+    (fork, join)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spawner::SerialSpawner;
+
+    #[test]
+    fn branch_and_bound_matches_brute_force() {
+        let input = QapInput { n: 5, seed: 77, serial_depth: 0 };
+        assert_eq!(run_serial(input).best_cost, brute_force(input));
+    }
+
+    #[test]
+    fn parallel_finds_optimal_cost() {
+        let input = QapInput::test();
+        assert_eq!(run(&SerialSpawner, input).best_cost, brute_force(input));
+    }
+
+    #[test]
+    fn pruning_explores_fewer_nodes_than_factorial() {
+        let input = QapInput { n: 7, seed: 5, serial_depth: 0 };
+        let out = run_serial(input);
+        // Full tree would be Σ 7!/(7-k)! ≈ 13700 nodes.
+        assert!(out.nodes < 13_700, "no pruning happened: {} nodes", out.nodes);
+        assert!(out.nodes > 7);
+    }
+
+    #[test]
+    fn deterministic_instance() {
+        let input = QapInput::test();
+        let (f1, d1) = input.matrices();
+        let (f2, d2) = input.matrices();
+        assert_eq!(f1, f2);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn graph_valid_and_very_fine() {
+        let g = sim_graph(QapInput::test());
+        assert!(g.validate().is_ok());
+        let avg = g.total_work_ns() / g.len() as u64;
+        assert!(avg <= 1_100, "grain {avg}ns should be ~1µs");
+        // Unbalanced: pruned subtrees make leaf depths vary.
+        assert!(g.critical_path_ns() < g.total_work_ns());
+    }
+}

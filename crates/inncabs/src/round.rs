@@ -1,0 +1,171 @@
+//! **Round** — co-dependent, *coarse* grain with 2 mutexes per task
+//! (Table V: 9 671 µs; both runtimes scale to 20 cores).
+//!
+//! A ring of players exchanging tokens: every round, each player performs
+//! a coarse computation on its state and then deposits a contribution into
+//! its own and its right neighbour's accounts — both protected by mutexes
+//! (two locks per task). Deposits are additive, so the result is
+//! deterministic under any interleaving.
+
+use std::sync::Arc;
+
+use rpx_runtime::sync::Mutex;
+
+use crate::spawner::{BenchFuture, Spawner};
+use rpx_simnode::{GraphBuilder, SimTask, TaskGraph, TaskId};
+
+/// Benchmark input.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundInput {
+    /// Players in the ring.
+    pub players: usize,
+    /// Rounds (tasks = players × rounds; the paper's input yields 512).
+    pub rounds: usize,
+    /// Work per task: iterations of the compute kernel.
+    pub work: u64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl RoundInput {
+    /// Small input for unit tests.
+    pub fn test() -> Self {
+        RoundInput { players: 8, rounds: 4, work: 2_000, seed: 61 }
+    }
+
+    /// The paper's shape: 32 players × 16 rounds = 512 coarse tasks.
+    pub fn paper() -> Self {
+        RoundInput { players: 32, rounds: 16, work: 400_000, seed: 61 }
+    }
+}
+
+/// The compute kernel: a deterministic expensive mixing loop.
+fn kernel(mut x: u64, iters: u64) -> u64 {
+    for _ in 0..iters {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x ^= x >> 29;
+    }
+    x
+}
+
+/// Outcome: final account values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundOutcome {
+    /// Per-player account totals.
+    pub accounts: Vec<u64>,
+}
+
+/// Parallel ring: per round, one coarse task per player; each task locks
+/// its own and its right neighbour's account.
+pub fn run<S: Spawner>(sp: &S, input: RoundInput) -> RoundOutcome {
+    let accounts: Arc<Vec<Mutex<u64>>> =
+        Arc::new((0..input.players).map(|_| Mutex::new(0u64)).collect());
+    for r in 0..input.rounds {
+        let futures: Vec<_> = (0..input.players)
+            .map(|p| {
+                let accounts = accounts.clone();
+                sp.spawn(move || {
+                    let contribution = kernel(input.seed ^ (p as u64) ^ ((r as u64) << 32), input.work);
+                    let right = (p + 1) % input.players;
+                    // Two locks per task, ordered by index (no deadlock).
+                    let (a, b) = (p.min(right), p.max(right));
+                    if a == b {
+                        *accounts[a].lock() += contribution;
+                        return;
+                    }
+                    let mut ga = accounts[a].lock();
+                    let mut gb = accounts[b].lock();
+                    let (own, neigh) =
+                        if p == a { (&mut *ga, &mut *gb) } else { (&mut *gb, &mut *ga) };
+                    *own = own.wrapping_add(contribution);
+                    *neigh = neigh.wrapping_add(contribution / 2);
+                })
+            })
+            .collect();
+        for f in futures {
+            f.get();
+        }
+    }
+    RoundOutcome { accounts: accounts.iter().map(|m| *m.lock()).collect() }
+}
+
+/// Sequential oracle.
+pub fn run_serial(input: RoundInput) -> RoundOutcome {
+    run(&crate::spawner::SerialSpawner, input)
+}
+
+/// Task graph: rounds of coarse tasks (~9.7 ms), with neighbour-lock
+/// dependencies inside a round folded into the round barrier (lock hold
+/// time is negligible against the 9.7 ms compute).
+pub fn sim_graph(input: RoundInput) -> TaskGraph {
+    let mut b = GraphBuilder::new();
+    let mut prev_join: Option<TaskId> = None;
+    for _ in 0..input.rounds {
+        let fork = b.add(SimTask::compute(2_000));
+        let join = b.add(SimTask::compute(2_000));
+        let t = b.new_thread();
+        b.begins_thread(fork, t);
+        b.ends_thread(join, t);
+        if let Some(p) = prev_join {
+            b.edge(p, fork);
+        }
+        for _ in 0..input.players {
+            let tt = b.new_thread();
+            let id = b.add(SimTask::compute(9_671_000).with_memory(200_000, 100_000, 150_000));
+            b.begins_thread(id, tt);
+            b.ends_thread(id, tt);
+            b.edge(fork, id);
+            b.edge(id, join);
+        }
+        prev_join = Some(join);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spawner::SerialSpawner;
+
+    #[test]
+    fn kernel_is_deterministic() {
+        assert_eq!(kernel(42, 100), kernel(42, 100));
+        assert_ne!(kernel(42, 100), kernel(43, 100));
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let input = RoundInput::test();
+        assert_eq!(run(&SerialSpawner, input), run_serial(input));
+    }
+
+    #[test]
+    fn accounts_receive_own_and_neighbour_contributions() {
+        let input = RoundInput { players: 2, rounds: 1, work: 10, seed: 5 };
+        let out = run_serial(input);
+        let c0 = kernel(5 ^ 0, 10);
+        let c1 = kernel(5 ^ 1, 10);
+        // Player 0 deposits c0 to itself and c0/2 to player 1; vice versa.
+        assert_eq!(out.accounts[0], c0.wrapping_add(c1 / 2));
+        assert_eq!(out.accounts[1], c1.wrapping_add(c0 / 2));
+    }
+
+    #[test]
+    fn paper_input_yields_512_compute_tasks() {
+        let input = RoundInput::paper();
+        assert_eq!(input.players * input.rounds, 512);
+        let g = sim_graph(input);
+        assert!(g.validate().is_ok());
+        let coarse = g.tasks.iter().filter(|t| t.work_ns > 1_000_000).count();
+        assert_eq!(coarse, 512);
+    }
+
+    #[test]
+    fn graph_rounds_are_barriers() {
+        let g = sim_graph(RoundInput { players: 4, rounds: 3, work: 1, seed: 1 });
+        assert!(g.validate().is_ok());
+        // Critical path ≈ rounds × task duration.
+        assert!(g.critical_path_ns() >= 3 * 9_671_000);
+        assert!(g.critical_path_ns() < 4 * (9_671_000 + 10_000));
+    }
+}

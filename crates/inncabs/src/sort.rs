@@ -1,0 +1,174 @@
+//! **Sort** — recursive balanced, *variable/fine* grain (Table V: 52.1 µs;
+//! C++11 scales to 10 cores, HPX to 16 — Fig. 4).
+//!
+//! Parallel merge sort: recursion spawns both halves until a sequential
+//! cutoff, then merges. Task grain varies with recursion depth — the
+//! "variable" classification in Table V.
+
+use crate::spawner::{BenchFuture, Spawner};
+use rpx_simnode::{GraphBuilder, SimTask, TaskGraph, TaskId};
+
+/// Benchmark input.
+#[derive(Debug, Clone, Copy)]
+pub struct SortInput {
+    /// Elements to sort (generated deterministically from `seed`).
+    pub len: usize,
+    /// Sequential cutoff.
+    pub cutoff: usize,
+    /// Data seed.
+    pub seed: u64,
+}
+
+impl SortInput {
+    /// Small input for unit tests.
+    pub fn test() -> Self {
+        SortInput { len: 4_096, cutoff: 256, seed: 7 }
+    }
+
+    /// Scaled-down stand-in for the paper's 32M-element input.
+    pub fn paper() -> Self {
+        SortInput { len: 1 << 18, cutoff: 2_048, seed: 7 }
+    }
+
+    /// The input data.
+    pub fn data(&self) -> Vec<u64> {
+        let mut x = self.seed;
+        (0..self.len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            })
+            .collect()
+    }
+}
+
+/// Parallel merge sort over the generated data; returns the sorted vector.
+pub fn run<S: Spawner>(sp: &S, input: SortInput) -> Vec<u64> {
+    let data = input.data();
+    msort(sp, data, input.cutoff)
+}
+
+fn msort<S: Spawner>(sp: &S, mut v: Vec<u64>, cutoff: usize) -> Vec<u64> {
+    if v.len() <= cutoff {
+        v.sort_unstable();
+        return v;
+    }
+    let right = v.split_off(v.len() / 2);
+    let (sa, sb) = (sp.clone(), sp.clone());
+    let a = sp.spawn(move || msort(&sa, v, cutoff));
+    let b = sp.spawn(move || msort(&sb, right, cutoff));
+    merge(&a.get(), &b.get())
+}
+
+fn merge(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Sequential oracle.
+pub fn run_serial(input: SortInput) -> Vec<u64> {
+    let mut v = input.data();
+    v.sort_unstable();
+    v
+}
+
+/// Task graph of the sort recursion. Leaf work models the cutoff-sized
+/// sequential sorts; merge nodes stream the merged ranges through memory.
+pub fn sim_graph(input: SortInput) -> TaskGraph {
+    let mut b = GraphBuilder::new();
+    build(&mut b, input.len, input.cutoff);
+    b.build()
+}
+
+fn build(b: &mut GraphBuilder, len: usize, cutoff: usize) -> (TaskId, TaskId) {
+    const ELEM: u64 = 8;
+    if len <= cutoff {
+        // sort_unstable of `len` elements: ~12 ns per element·log(len).
+        let logn = (len.max(2) as f64).log2();
+        let work = (len as f64 * logn * 3.0) as u64;
+        let bytes = len as u64 * ELEM;
+        let t = b.new_thread();
+        let id = b.add(SimTask::compute(work).with_memory(bytes, bytes, bytes));
+        b.begins_thread(id, t);
+        b.ends_thread(id, t);
+        return (id, id);
+    }
+    let half = len / 2;
+    let (lf, lj) = build(b, half, cutoff);
+    let (rf, rj) = build(b, len - half, cutoff);
+    // Merge: touches both halves once, writes the output once.
+    let bytes = len as u64 * ELEM;
+    let merge_work = len as u64 * 2;
+    let t = b.new_thread();
+    let fork = b.add(SimTask::compute(500));
+    let join = b.add(SimTask::compute(merge_work).with_memory(bytes, bytes, 2 * bytes));
+    b.begins_thread(fork, t);
+    b.ends_thread(join, t);
+    b.edge(fork, lf);
+    b.edge(fork, rf);
+    b.edge(lj, join);
+    b.edge(rj, join);
+    (fork, join)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spawner::SerialSpawner;
+
+    #[test]
+    fn parallel_matches_serial() {
+        let input = SortInput::test();
+        assert_eq!(run(&SerialSpawner, input), run_serial(input));
+    }
+
+    #[test]
+    fn sorted_output_is_sorted_permutation() {
+        let input = SortInput { len: 1000, cutoff: 64, seed: 3 };
+        let out = run(&SerialSpawner, input);
+        assert!(out.windows(2).all(|w| w[0] <= w[1]));
+        let mut orig = input.data();
+        orig.sort_unstable();
+        assert_eq!(out, orig);
+    }
+
+    #[test]
+    fn merge_handles_edges() {
+        assert_eq!(merge(&[], &[]), Vec::<u64>::new());
+        assert_eq!(merge(&[1], &[]), vec![1]);
+        assert_eq!(merge(&[2, 4], &[1, 3, 5]), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn graph_valid_with_variable_grain() {
+        let g = sim_graph(SortInput::test());
+        assert!(g.validate().is_ok());
+        // Grain varies: the biggest merge is far larger than a leaf sort.
+        let max = g.tasks.iter().map(|t| t.work_ns).max().unwrap();
+        let min = g.tasks.iter().filter(|t| t.work_ns > 500).map(|t| t.work_ns).min().unwrap();
+        assert!(max > 3 * min, "expected variable grain, got max={max} min={min}");
+        // Memory traffic present (the sort streams data).
+        assert!(g.total_traffic_bytes() > 0);
+    }
+
+    #[test]
+    fn graph_task_count_scales_with_input() {
+        let small = sim_graph(SortInput { len: 1 << 12, cutoff: 256, seed: 1 }).len();
+        let large = sim_graph(SortInput { len: 1 << 16, cutoff: 256, seed: 1 }).len();
+        assert!(large > 10 * small);
+    }
+}

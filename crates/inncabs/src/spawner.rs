@@ -1,0 +1,205 @@
+//! The spawn abstraction the benchmarks are written against.
+//!
+//! The paper's point about porting Inncabs (Table II) is that only the
+//! namespace changes: `std::async` ↔ `hpx::async`. The Rust equivalent is
+//! this trait — each benchmark takes any [`Spawner`], and the same source
+//! runs on the lightweight-task runtime ([`RpxSpawner`]), the
+//! thread-per-task baseline ([`StdSpawner`]), or inline ([`SerialSpawner`],
+//! the correctness oracle).
+
+use std::sync::Arc;
+
+use rpx_baseline::{BaselineRuntime, ThreadFuture};
+use rpx_runtime::{RuntimeHandle, TaskFuture};
+
+/// A future usable by benchmark code: blocking get.
+pub trait BenchFuture<T> {
+    /// Wait for and return the task's result.
+    fn get(self) -> T;
+}
+
+/// Task-spawning interface the benchmarks are generic over.
+pub trait Spawner: Clone + Send + Sync + 'static {
+    /// Future type returned by [`Spawner::spawn`].
+    type Fut<T: Send + 'static>: BenchFuture<T> + Send;
+
+    /// Launch `f` asynchronously (the `async` launch policy).
+    fn spawn<T, F>(&self, f: F) -> Self::Fut<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static;
+
+    /// Short name for reports ("hpx", "std", "serial").
+    fn name(&self) -> &'static str;
+}
+
+// ---------------------------------------------------------------------
+// Lightweight-task runtime
+// ---------------------------------------------------------------------
+
+/// Spawner backed by the `rpx-runtime` work-stealing runtime.
+#[derive(Clone)]
+pub struct RpxSpawner {
+    handle: RuntimeHandle,
+}
+
+impl RpxSpawner {
+    /// Wrap a runtime handle.
+    pub fn new(handle: RuntimeHandle) -> Self {
+        RpxSpawner { handle }
+    }
+}
+
+impl<T> BenchFuture<T> for TaskFuture<T> {
+    fn get(self) -> T {
+        TaskFuture::get(self)
+    }
+}
+
+impl Spawner for RpxSpawner {
+    type Fut<T: Send + 'static> = TaskFuture<T>;
+
+    fn spawn<T, F>(&self, f: F) -> Self::Fut<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.handle.spawn(f)
+    }
+
+    fn name(&self) -> &'static str {
+        "hpx"
+    }
+}
+
+// ---------------------------------------------------------------------
+// Thread-per-task baseline
+// ---------------------------------------------------------------------
+
+/// Spawner backed by the thread-per-task baseline. A spawn rejected by the
+/// resource model panics — the same observable behaviour as the paper's
+/// aborting `std::async` programs (callers that want to survive catch it).
+#[derive(Clone)]
+pub struct StdSpawner {
+    runtime: Arc<BaselineRuntime>,
+}
+
+impl StdSpawner {
+    /// Wrap a baseline runtime.
+    pub fn new(runtime: Arc<BaselineRuntime>) -> Self {
+        StdSpawner { runtime }
+    }
+}
+
+impl<T> BenchFuture<T> for ThreadFuture<T> {
+    fn get(self) -> T {
+        ThreadFuture::get(self)
+    }
+}
+
+impl Spawner for StdSpawner {
+    type Fut<T: Send + 'static> = ThreadFuture<T>;
+
+    fn spawn<T, F>(&self, f: F) -> Self::Fut<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        match self.runtime.spawn(f) {
+            Ok(fut) => fut,
+            Err(e) => panic!("std::async baseline aborted: {e}"),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "std"
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serial oracle
+// ---------------------------------------------------------------------
+
+/// A future that is already resolved.
+pub struct ReadyFut<T>(Option<T>);
+
+impl<T> BenchFuture<T> for ReadyFut<T> {
+    fn get(mut self) -> T {
+        self.0.take().expect("ReadyFut taken twice")
+    }
+}
+
+/// Spawner that executes tasks inline; the correctness oracle.
+#[derive(Clone, Default)]
+pub struct SerialSpawner;
+
+impl Spawner for SerialSpawner {
+    type Fut<T: Send + 'static> = ReadyFut<T>;
+
+    fn spawn<T, F>(&self, f: F) -> Self::Fut<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        ReadyFut(Some(f()))
+    }
+
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpx_runtime::{Runtime, RuntimeConfig};
+
+    fn exercise<S: Spawner>(sp: &S) -> u64 {
+        let futures: Vec<_> = (0..16u64).map(|i| sp.spawn(move || i * i)).collect();
+        futures.into_iter().map(|f| f.get()).sum()
+    }
+
+    const EXPECTED: u64 = 1240; // Σ i² for i in 0..16
+
+    #[test]
+    fn serial_spawner_computes() {
+        assert_eq!(exercise(&SerialSpawner), EXPECTED);
+        assert_eq!(SerialSpawner.name(), "serial");
+    }
+
+    #[test]
+    fn rpx_spawner_computes() {
+        let rt = Runtime::new(RuntimeConfig::with_workers(2));
+        let sp = RpxSpawner::new(rt.handle());
+        assert_eq!(exercise(&sp), EXPECTED);
+        assert_eq!(sp.name(), "hpx");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn std_spawner_computes() {
+        let rt = Arc::new(BaselineRuntime::with_defaults());
+        let sp = StdSpawner::new(rt);
+        assert_eq!(exercise(&sp), EXPECTED);
+        assert_eq!(sp.name(), "std");
+    }
+
+    #[test]
+    fn std_spawner_panics_on_resource_exhaustion() {
+        let rt = Arc::new(BaselineRuntime::new(rpx_baseline::BaselineConfig::with_live_limit(2)));
+        let sp = StdSpawner::new(rt);
+        let gate = Arc::new(parking_lot::Mutex::new(()));
+        let held = gate.lock();
+        let g1 = gate.clone();
+        let g2 = gate.clone();
+        let f1 = sp.spawn(move || drop(g1.lock()));
+        let f2 = sp.spawn(move || drop(g2.lock()));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sp.spawn(|| ())
+        }));
+        assert!(err.is_err(), "third spawn must abort like the paper's std::async");
+        drop(held);
+        f1.get();
+        f2.get();
+    }
+}

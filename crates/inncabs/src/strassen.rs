@@ -1,0 +1,275 @@
+//! **Strassen** — recursive balanced, *fine* grain (Table V: 107 µs; HPX
+//! scales well, the C++11 version fails some experiments — Fig. 3).
+//!
+//! Strassen matrix multiplication: each recursion level spawns the seven
+//! half-size products, combining them with matrix additions. Below the
+//! cutoff a classic triple-loop multiply runs.
+
+use crate::spawner::{BenchFuture, Spawner};
+use rpx_simnode::{GraphBuilder, SimTask, TaskGraph, TaskId};
+
+/// A dense square matrix in row-major order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    /// Dimension.
+    pub n: usize,
+    /// Row-major values.
+    pub data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zero(n: usize) -> Self {
+        Matrix { n, data: vec![0.0; n * n] }
+    }
+
+    /// Deterministic pseudo-random matrix.
+    pub fn random(n: usize, seed: u64) -> Self {
+        let mut x = seed.max(1);
+        let data = (0..n * n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                ((x % 1000) as f64 - 500.0) / 250.0
+            })
+            .collect();
+        Matrix { n, data }
+    }
+
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.n + c]
+    }
+
+    fn quadrant(&self, qr: usize, qc: usize) -> Matrix {
+        let h = self.n / 2;
+        let mut m = Matrix::zero(h);
+        for r in 0..h {
+            for c in 0..h {
+                m.data[r * h + c] = self.at(qr * h + r, qc * h + c);
+            }
+        }
+        m
+    }
+
+    fn add(&self, other: &Matrix) -> Matrix {
+        Matrix {
+            n: self.n,
+            data: self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect(),
+        }
+    }
+
+    fn sub(&self, other: &Matrix) -> Matrix {
+        Matrix {
+            n: self.n,
+            data: self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect(),
+        }
+    }
+
+    fn assemble(n: usize, c11: Matrix, c12: Matrix, c21: Matrix, c22: Matrix) -> Matrix {
+        let h = n / 2;
+        let mut m = Matrix::zero(n);
+        for r in 0..h {
+            for c in 0..h {
+                m.data[r * n + c] = c11.data[r * h + c];
+                m.data[r * n + h + c] = c12.data[r * h + c];
+                m.data[(h + r) * n + c] = c21.data[r * h + c];
+                m.data[(h + r) * n + h + c] = c22.data[r * h + c];
+            }
+        }
+        m
+    }
+
+    /// Classic O(n³) multiply (also the sequential oracle).
+    pub fn multiply(&self, other: &Matrix) -> Matrix {
+        let n = self.n;
+        let mut out = Matrix::zero(n);
+        for r in 0..n {
+            for k in 0..n {
+                let a = self.at(r, k);
+                for c in 0..n {
+                    out.data[r * n + c] += a * other.at(k, c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Max absolute elementwise difference.
+    pub fn max_diff(&self, other: &Matrix) -> f64 {
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Benchmark input.
+#[derive(Debug, Clone, Copy)]
+pub struct StrassenInput {
+    /// Matrix dimension (power of two).
+    pub n: usize,
+    /// Sequential cutoff dimension.
+    pub cutoff: usize,
+    /// Data seed.
+    pub seed: u64,
+}
+
+impl StrassenInput {
+    /// Small input for unit tests.
+    pub fn test() -> Self {
+        StrassenInput { n: 64, cutoff: 16, seed: 11 }
+    }
+
+    /// Scaled-down stand-in for the paper's input.
+    pub fn paper() -> Self {
+        StrassenInput { n: 512, cutoff: 64, seed: 11 }
+    }
+}
+
+/// Parallel Strassen multiply of two seeded random matrices.
+pub fn run<S: Spawner>(sp: &S, input: StrassenInput) -> Matrix {
+    let a = Matrix::random(input.n, input.seed);
+    let b = Matrix::random(input.n, input.seed ^ 0xABCD);
+    strassen(sp, a, b, input.cutoff)
+}
+
+fn strassen<S: Spawner>(sp: &S, a: Matrix, b: Matrix, cutoff: usize) -> Matrix {
+    let n = a.n;
+    if n <= cutoff || !n.is_multiple_of(2) {
+        return a.multiply(&b);
+    }
+    let (a11, a12, a21, a22) =
+        (a.quadrant(0, 0), a.quadrant(0, 1), a.quadrant(1, 0), a.quadrant(1, 1));
+    let (b11, b12, b21, b22) =
+        (b.quadrant(0, 0), b.quadrant(0, 1), b.quadrant(1, 0), b.quadrant(1, 1));
+
+    let ms: Vec<_> = [
+        (a11.add(&a22), b11.add(&b22)),
+        (a21.add(&a22), b11.clone()),
+        (a11.clone(), b12.sub(&b22)),
+        (a22.clone(), b21.sub(&b11)),
+        (a11.add(&a12), b22.clone()),
+        (a21.sub(&a11), b11.add(&b12)),
+        (a12.sub(&a22), b21.add(&b22)),
+    ]
+    .into_iter()
+    .map(|(x, y)| {
+        let sp2 = sp.clone();
+        sp.spawn(move || strassen(&sp2, x, y, cutoff))
+    })
+    .collect();
+
+    let mut m = ms.into_iter().map(|f| f.get());
+    let m1 = m.next().unwrap();
+    let m2 = m.next().unwrap();
+    let m3 = m.next().unwrap();
+    let m4 = m.next().unwrap();
+    let m5 = m.next().unwrap();
+    let m6 = m.next().unwrap();
+    let m7 = m.next().unwrap();
+
+    let c11 = m1.add(&m4).sub(&m5).add(&m7);
+    let c12 = m3.add(&m5);
+    let c21 = m2.add(&m4);
+    let c22 = m1.sub(&m2).add(&m3).add(&m6);
+    Matrix::assemble(n, c11, c12, c21, c22)
+}
+
+/// Sequential oracle: classic multiply.
+pub fn run_serial(input: StrassenInput) -> Matrix {
+    let a = Matrix::random(input.n, input.seed);
+    let b = Matrix::random(input.n, input.seed ^ 0xABCD);
+    a.multiply(&b)
+}
+
+/// Task graph: the 7-ary Strassen recursion. Leaf work models the cutoff
+/// multiply (2·c³ flops), join nodes the quadrant additions (memory-bound).
+pub fn sim_graph(input: StrassenInput) -> TaskGraph {
+    let mut b = GraphBuilder::new();
+    build(&mut b, input.n, input.cutoff);
+    b.build()
+}
+
+fn build(b: &mut GraphBuilder, n: usize, cutoff: usize) -> (TaskId, TaskId) {
+    const ELEM: u64 = 8;
+    let bytes = (n * n) as u64 * ELEM;
+    if n <= cutoff || !n.is_multiple_of(2) {
+        // 2n³ flops at ~2 flops/ns plus streaming the operands.
+        let work = (2 * n * n * n) as u64 / 2;
+        let t = b.new_thread();
+        let id = b.add(SimTask::compute(work).with_memory(2 * bytes, bytes, 3 * bytes));
+        b.begins_thread(id, t);
+        b.ends_thread(id, t);
+        return (id, id);
+    }
+    let children: Vec<(TaskId, TaskId)> = (0..7).map(|_| build(b, n / 2, cutoff)).collect();
+    // Fork: quadrant extraction + 10 half-size additions; join: 8 additions
+    // + assembly. Both stream matrix-sized data.
+    let add_work = (n * n) as u64 / 2;
+    let t = b.new_thread();
+    let fork = b.add(SimTask::compute(add_work).with_memory(2 * bytes, bytes, 2 * bytes));
+    let join = b.add(SimTask::compute(add_work).with_memory(2 * bytes, bytes, 2 * bytes));
+    b.begins_thread(fork, t);
+    b.ends_thread(join, t);
+    for (cf, cj) in children {
+        b.edge(fork, cf);
+        b.edge(cj, join);
+    }
+    (fork, join)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spawner::SerialSpawner;
+
+    #[test]
+    fn strassen_matches_classic_multiply() {
+        let input = StrassenInput { n: 32, cutoff: 8, seed: 5 };
+        let fast = run(&SerialSpawner, input);
+        let slow = run_serial(input);
+        assert!(fast.max_diff(&slow) < 1e-6, "diff {}", fast.max_diff(&slow));
+    }
+
+    #[test]
+    fn odd_sizes_fall_back_to_classic() {
+        let a = Matrix::random(6, 1);
+        let b = Matrix::random(6, 2);
+        let c = strassen(&SerialSpawner, a.clone(), b.clone(), 1);
+        assert!(c.max_diff(&a.multiply(&b)) < 1e-9);
+    }
+
+    #[test]
+    fn multiply_identity() {
+        let a = Matrix::random(8, 3);
+        let mut id = Matrix::zero(8);
+        for i in 0..8 {
+            id.data[i * 8 + i] = 1.0;
+        }
+        assert!(a.multiply(&id).max_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn graph_is_sevenary() {
+        let g = sim_graph(StrassenInput { n: 64, cutoff: 32, seed: 1 });
+        assert!(g.validate().is_ok());
+        // One level of recursion: fork + join + 7 leaves = 9 tasks.
+        assert_eq!(g.len(), 9);
+        let root = g.roots();
+        assert_eq!(root.len(), 1);
+        assert_eq!(g.tasks[root[0] as usize].enables.len(), 7);
+    }
+
+    #[test]
+    fn graph_leaf_grain_near_paper() {
+        // cutoff 64 → leaf ≈ 64³·2/2 ns ≈ 262µs of compute; the paper's
+        // measured 107µs average includes the cheap fork/join nodes.
+        let g = sim_graph(StrassenInput::paper());
+        assert!(g.validate().is_ok());
+        let avg = g.total_work_ns() as f64 / g.len() as f64;
+        assert!((30_000.0..400_000.0).contains(&avg), "avg {avg}ns");
+        assert!(g.total_traffic_bytes() > 0);
+    }
+}

@@ -1,0 +1,169 @@
+//! **UTS** — Unbalanced Tree Search: recursive unbalanced, *very fine*
+//! grain (Table V: 1.37 µs; the C++11 version runs out of resources, HPX
+//! scales to 10 — Fig. 6).
+//!
+//! Each node's child count is drawn from a geometric distribution seeded by
+//! a deterministic per-node hash (splitmix64 stands in for the original's
+//! SHA-1), so the tree shape is identical across runtimes and in the
+//! simulator.
+
+use crate::spawner::{BenchFuture, Spawner};
+use rpx_simnode::{GraphBuilder, SimTask, TaskGraph, TaskId};
+
+/// Benchmark input: a geometric UTS tree.
+#[derive(Debug, Clone, Copy)]
+pub struct UtsInput {
+    /// Root seed.
+    pub seed: u64,
+    /// Branching factor scale: expected children at the root, in 1/1000
+    /// (e.g. 3000 = 3.0).
+    pub root_branch_milli: u64,
+    /// Maximum depth (geometric decay reduces branching with depth).
+    pub max_depth: u32,
+}
+
+impl UtsInput {
+    /// Small input for unit tests.
+    pub fn test() -> Self {
+        UtsInput { seed: 42, root_branch_milli: 2_500, max_depth: 6 }
+    }
+
+    /// Scaled-down stand-in for the paper's T1 geometric tree.
+    pub fn paper() -> Self {
+        UtsInput { seed: 19, root_branch_milli: 8_000, max_depth: 14 }
+    }
+}
+
+/// splitmix64: the deterministic per-node hash.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Number of children of the node with hash `h` at `depth`.
+fn child_count(input: &UtsInput, h: u64, depth: u32) -> u64 {
+    if depth >= input.max_depth {
+        return 0;
+    }
+    // Branching decays geometrically with depth so the tree is finite in
+    // expectation; the low hash bits pick the concrete count.
+    let expected_milli = input.root_branch_milli >> (depth / 2);
+    let frac = h % 1_000;
+    let mut count = expected_milli / 1_000;
+    if frac < expected_milli % 1_000 {
+        count += 1;
+    }
+    // Hash-dependent jitter: some nodes burst, most match expectation.
+    if h.is_multiple_of(17) {
+        count += 2;
+    }
+    count
+}
+
+/// Parallel traversal: count nodes, one task per node.
+pub fn run<S: Spawner>(sp: &S, input: UtsInput) -> u64 {
+    visit(sp, input, input.seed, 0)
+}
+
+fn visit<S: Spawner>(sp: &S, input: UtsInput, h: u64, depth: u32) -> u64 {
+    let kids = child_count(&input, h, depth);
+    let futures: Vec<_> = (0..kids)
+        .map(|k| {
+            let sp2 = sp.clone();
+            let ch = splitmix64(h ^ (k + 1));
+            sp.spawn(move || visit(&sp2, input, ch, depth + 1))
+        })
+        .collect();
+    1 + futures.into_iter().map(|f| f.get()).sum::<u64>()
+}
+
+/// Sequential oracle.
+pub fn run_serial(input: UtsInput) -> u64 {
+    fn rec(input: &UtsInput, h: u64, depth: u32) -> u64 {
+        let kids = child_count(input, h, depth);
+        1 + (0..kids).map(|k| rec(input, splitmix64(h ^ (k + 1)), depth + 1)).sum::<u64>()
+    }
+    rec(&input, input.seed, 0)
+}
+
+/// Task graph of the same tree; ~1.4 µs per node (Table V), compute-only.
+pub fn sim_graph(input: UtsInput) -> TaskGraph {
+    let mut b = GraphBuilder::new();
+    build(&mut b, &input, input.seed, 0);
+    b.build()
+}
+
+fn build(b: &mut GraphBuilder, input: &UtsInput, h: u64, depth: u32) -> (TaskId, TaskId) {
+    let kids = child_count(input, h, depth);
+    if kids == 0 {
+        let t = b.new_thread();
+        let id = b.add(SimTask::compute(1_300));
+        b.begins_thread(id, t);
+        b.ends_thread(id, t);
+        return (id, id);
+    }
+    let children: Vec<(TaskId, TaskId)> =
+        (0..kids).map(|k| build(b, input, splitmix64(h ^ (k + 1)), depth + 1)).collect();
+    let t = b.new_thread();
+    let fork = b.add(SimTask::compute(1_100));
+    let join = b.add(SimTask::compute(500));
+    b.begins_thread(fork, t);
+    b.ends_thread(join, t);
+    for (cf, cj) in children {
+        b.edge(fork, cf);
+        b.edge(cj, join);
+    }
+    (fork, join)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spawner::SerialSpawner;
+
+    #[test]
+    fn deterministic_tree() {
+        let input = UtsInput::test();
+        assert_eq!(run_serial(input), run_serial(input));
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let input = UtsInput::test();
+        assert_eq!(run(&SerialSpawner, input), run_serial(input));
+    }
+
+    #[test]
+    fn tree_is_nontrivial_and_depth_bounded() {
+        let nodes = run_serial(UtsInput::test());
+        assert!(nodes > 20, "tree too small: {nodes}");
+        // Depth bound: zero branching past max_depth.
+        let deep = UtsInput { max_depth: 0, ..UtsInput::test() };
+        assert_eq!(run_serial(deep), 1);
+    }
+
+    #[test]
+    fn graph_matches_tree_structure() {
+        let input = UtsInput::test();
+        let g = sim_graph(input);
+        assert!(g.validate().is_ok());
+        let nodes = run_serial(input);
+        // Leaves contribute 1 task, internal nodes 2 (fork + join).
+        assert!(g.len() as u64 >= nodes);
+        assert!(g.len() as u64 <= 2 * nodes);
+        // Very fine grain.
+        let avg = g.total_work_ns() as f64 / g.len() as f64;
+        assert!((500.0..2_500.0).contains(&avg));
+    }
+
+    #[test]
+    fn different_seeds_give_different_trees() {
+        let a = run_serial(UtsInput { seed: 1, ..UtsInput::test() });
+        let b = run_serial(UtsInput { seed: 2, ..UtsInput::test() });
+        // Not a hard guarantee for every pair, but these seeds differ.
+        assert_ne!(a, b);
+    }
+}

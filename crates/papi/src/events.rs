@@ -1,0 +1,135 @@
+//! Hardware event definitions for the synthetic PMU.
+//!
+//! The set mirrors the native Ivy Bridge events the paper reads through
+//! PAPI, plus the generic fixed counters. Events are identified by their
+//! PAPI-style names (`OFFCORE_REQUESTS::ALL_DATA_RD`), which is also how
+//! they appear in counter names: `/papi{locality#0/total}/OFFCORE_REQUESTS::ALL_DATA_RD`.
+
+use std::fmt;
+
+/// A hardware event tracked by the synthetic PMU.
+///
+/// The discriminants index the PMU's per-domain accumulator arrays, so the
+/// enum must stay dense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum HwEvent {
+    /// Off-core read requests for data loads (`OFFCORE_REQUESTS:ALL_DATA_RD`).
+    OffcoreAllDataRd = 0,
+    /// Off-core demand code reads (`OFFCORE_REQUESTS:DEMAND_CODE_RD`).
+    OffcoreDemandCodeRd = 1,
+    /// Off-core demand reads-for-ownership, i.e. stores missing the cache
+    /// hierarchy (`OFFCORE_REQUESTS:DEMAND_RFO`).
+    OffcoreDemandRfo = 2,
+    /// Retired instructions (`INSTRUCTIONS_RETIRED`).
+    Instructions = 3,
+    /// Unhalted core cycles (`CPU_CLK_UNHALTED`).
+    Cycles = 4,
+    /// L2 cache misses (`L2_RQSTS:MISS`).
+    L2Misses = 5,
+    /// Last-level cache misses (`LLC_MISSES`).
+    LlcMisses = 6,
+    /// Branch instructions retired (`BRANCH_INSTRUCTIONS_RETIRED`).
+    Branches = 7,
+    /// Mispredicted branches (`MISPREDICTED_BRANCH_RETIRED`).
+    BranchMisses = 8,
+}
+
+impl HwEvent {
+    /// Every defined event, in discriminant order.
+    pub const ALL: [HwEvent; 9] = [
+        HwEvent::OffcoreAllDataRd,
+        HwEvent::OffcoreDemandCodeRd,
+        HwEvent::OffcoreDemandRfo,
+        HwEvent::Instructions,
+        HwEvent::Cycles,
+        HwEvent::L2Misses,
+        HwEvent::LlcMisses,
+        HwEvent::Branches,
+        HwEvent::BranchMisses,
+    ];
+
+    /// Number of defined events (size of accumulator arrays).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// The PAPI-style name used in counter names.
+    pub fn papi_name(self) -> &'static str {
+        match self {
+            HwEvent::OffcoreAllDataRd => "OFFCORE_REQUESTS::ALL_DATA_RD",
+            HwEvent::OffcoreDemandCodeRd => "OFFCORE_REQUESTS::DEMAND_CODE_RD",
+            HwEvent::OffcoreDemandRfo => "OFFCORE_REQUESTS::DEMAND_RFO",
+            HwEvent::Instructions => "INSTRUCTIONS_RETIRED",
+            HwEvent::Cycles => "CPU_CLK_UNHALTED",
+            HwEvent::L2Misses => "L2_RQSTS::MISS",
+            HwEvent::LlcMisses => "LLC_MISSES",
+            HwEvent::Branches => "BRANCH_INSTRUCTIONS_RETIRED",
+            HwEvent::BranchMisses => "MISPREDICTED_BRANCH_RETIRED",
+        }
+    }
+
+    /// Parse a PAPI-style name back to an event.
+    pub fn from_papi_name(name: &str) -> Option<HwEvent> {
+        Self::ALL.iter().copied().find(|e| e.papi_name() == name)
+    }
+
+    /// Human-readable description.
+    pub fn description(self) -> &'static str {
+        match self {
+            HwEvent::OffcoreAllDataRd => "off-core read requests for all data reads",
+            HwEvent::OffcoreDemandCodeRd => "off-core demand code read requests",
+            HwEvent::OffcoreDemandRfo => "off-core demand read-for-ownership requests",
+            HwEvent::Instructions => "retired instructions",
+            HwEvent::Cycles => "unhalted core cycles",
+            HwEvent::L2Misses => "L2 cache misses",
+            HwEvent::LlcMisses => "last-level cache misses",
+            HwEvent::Branches => "retired branch instructions",
+            HwEvent::BranchMisses => "mispredicted retired branches",
+        }
+    }
+
+    /// The three off-core request events summed by the paper's bandwidth
+    /// estimate.
+    pub const OFFCORE: [HwEvent; 3] =
+        [HwEvent::OffcoreAllDataRd, HwEvent::OffcoreDemandCodeRd, HwEvent::OffcoreDemandRfo];
+}
+
+impl fmt::Display for HwEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.papi_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for e in HwEvent::ALL {
+            assert_eq!(HwEvent::from_papi_name(e.papi_name()), Some(e));
+        }
+        assert_eq!(HwEvent::from_papi_name("NO_SUCH_EVENT"), None);
+    }
+
+    #[test]
+    fn discriminants_are_dense() {
+        for (i, e) in HwEvent::ALL.iter().enumerate() {
+            assert_eq!(*e as usize, i);
+        }
+        assert_eq!(HwEvent::COUNT, HwEvent::ALL.len());
+    }
+
+    #[test]
+    fn offcore_subset_is_offcore() {
+        for e in HwEvent::OFFCORE {
+            assert!(e.papi_name().starts_with("OFFCORE_REQUESTS"));
+        }
+    }
+
+    #[test]
+    fn descriptions_nonempty() {
+        for e in HwEvent::ALL {
+            assert!(!e.description().is_empty());
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # rpx-papi — a synthetic PMU behind a PAPI-like interface
+//!
+//! The paper reads Ivy Bridge off-core request counters through HPX's PAPI
+//! component to estimate memory bandwidth. This environment has no PMU
+//! access, so this crate substitutes a *software-accounted* PMU (see
+//! DESIGN.md §3): instrumented code (workload kernels, the node simulator)
+//! records hardware-equivalent events into per-domain accumulators, and a
+//! bridge exposes them as `/papi/<EVENT>` performance counters with the
+//! same names, units, and reset semantics the paper uses.
+//!
+//! - [`events::HwEvent`] — the event set (off-core requests, instructions,
+//!   cycles, cache misses, branches).
+//! - [`pmu::Pmu`] — per-domain accumulators + ambient thread binding.
+//! - [`model`] — the analytic cache model that converts task memory
+//!   footprints into off-core request counts, and the paper's
+//!   `requests × 64 B / time` bandwidth estimate.
+//! - [`bridge::register_papi_counters`] — counter-framework integration.
+
+pub mod bridge;
+pub mod events;
+pub mod model;
+pub mod pmu;
+
+pub use bridge::register_papi_counters;
+pub use events::HwEvent;
+pub use model::{bandwidth_gb_per_s, estimate_offcore, CacheModel, MemoryFootprint, OffcoreRequests, CACHE_LINE};
+pub use pmu::{record, record_footprint, DomainGuard, Pmu};

@@ -1,0 +1,176 @@
+//! Thread-affinity layouts — the `--hpx:bind` analogue (§V-D: "To maximize
+//! locality, we pin threads to cores such that the sockets are filled
+//! first", verified with `htop`; the C++11 runs needed hand-rolled
+//! `taskset` masks because "logical core designations vary from system to
+//! system").
+//!
+//! This module computes worker→hardware-thread placements for a given
+//! topology. Applying the placement to OS threads is platform-specific and
+//! out of scope here (the node simulator consumes the same layouts
+//! directly); what the paper stresses — getting the *mapping* right on
+//! arbitrary core numbering — is exactly what these functions encode.
+
+/// A machine topology for placement purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    /// Number of sockets.
+    pub sockets: u32,
+    /// Physical cores per socket.
+    pub cores_per_socket: u32,
+    /// Hardware threads per core.
+    pub smt: u32,
+}
+
+impl Topology {
+    /// Total hardware threads.
+    pub fn hw_threads(&self) -> u32 {
+        self.sockets * self.cores_per_socket * self.smt.max(1)
+    }
+
+    /// Hardware-thread id for (socket, core-in-socket, sibling), using the
+    /// common Linux enumeration: first threads 0..cores over all cores,
+    /// then the second siblings.
+    pub fn hw_id(&self, socket: u32, core: u32, sibling: u32) -> u32 {
+        let physical = socket * self.cores_per_socket + core;
+        sibling * (self.sockets * self.cores_per_socket) + physical
+    }
+}
+
+/// Placement policies, mirroring `--hpx:bind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BindSpec {
+    /// Fill sockets first, one worker per core (the paper's protocol).
+    #[default]
+    Compact,
+    /// Round-robin across sockets.
+    Scatter,
+    /// Spread evenly: each socket receives ⌈w/s⌉ or ⌊w/s⌋ workers,
+    /// contiguous cores within a socket.
+    Balanced,
+    /// No pinning.
+    None,
+}
+
+impl BindSpec {
+    /// Parse a `--rpx:bind=` value.
+    pub fn parse(s: &str) -> Option<BindSpec> {
+        match s {
+            "compact" => Some(BindSpec::Compact),
+            "scatter" => Some(BindSpec::Scatter),
+            "balanced" => Some(BindSpec::Balanced),
+            "none" => Some(BindSpec::None),
+            _ => None,
+        }
+    }
+
+    /// The hardware-thread id each of `workers` workers should pin to
+    /// (`None` entries mean unpinned).
+    pub fn placement(&self, topo: &Topology, workers: u32) -> Vec<Option<u32>> {
+        let cores = topo.sockets * topo.cores_per_socket;
+        match self {
+            BindSpec::None => vec![None; workers as usize],
+            BindSpec::Compact => (0..workers)
+                .map(|w| {
+                    let core = w % cores;
+                    let sibling = (w / cores) % topo.smt.max(1);
+                    Some(topo.hw_id(core / topo.cores_per_socket, core % topo.cores_per_socket, sibling))
+                })
+                .collect(),
+            BindSpec::Scatter => (0..workers)
+                .map(|w| {
+                    let socket = w % topo.sockets;
+                    let slot = w / topo.sockets;
+                    let core = slot % topo.cores_per_socket;
+                    let sibling = (slot / topo.cores_per_socket) % topo.smt.max(1);
+                    Some(topo.hw_id(socket, core, sibling))
+                })
+                .collect(),
+            BindSpec::Balanced => {
+                let w = workers.min(topo.hw_threads());
+                let per_socket_base = w / topo.sockets;
+                let extra = w % topo.sockets;
+                let mut out = Vec::with_capacity(workers as usize);
+                for socket in 0..topo.sockets {
+                    let here = per_socket_base + u32::from(socket < extra);
+                    for slot in 0..here {
+                        let core = slot % topo.cores_per_socket;
+                        let sibling = (slot / topo.cores_per_socket) % topo.smt.max(1);
+                        out.push(Some(topo.hw_id(socket, core, sibling)));
+                    }
+                }
+                // Oversubscribed workers stay unpinned.
+                while out.len() < workers as usize {
+                    out.push(None);
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const IVY: Topology = Topology { sockets: 2, cores_per_socket: 10, smt: 1 };
+    const IVY_HT: Topology = Topology { sockets: 2, cores_per_socket: 10, smt: 2 };
+
+    #[test]
+    fn parse_round_trips() {
+        for s in ["compact", "scatter", "balanced", "none"] {
+            assert!(BindSpec::parse(s).is_some());
+        }
+        assert_eq!(BindSpec::parse("weird"), None);
+        assert_eq!(BindSpec::default(), BindSpec::Compact);
+    }
+
+    #[test]
+    fn compact_fills_sockets_first() {
+        let p = BindSpec::Compact.placement(&IVY, 12);
+        // Workers 0..10 on socket 0 (cores 0..10), 10..12 on socket 1.
+        assert_eq!(p[0], Some(0));
+        assert_eq!(p[9], Some(9));
+        assert_eq!(p[10], Some(10));
+        assert_eq!(p[11], Some(11));
+    }
+
+    #[test]
+    fn scatter_alternates_sockets() {
+        let p = BindSpec::Scatter.placement(&IVY, 4);
+        // socket0/core0, socket1/core0, socket0/core1, socket1/core1.
+        assert_eq!(p, vec![Some(0), Some(10), Some(1), Some(11)]);
+    }
+
+    #[test]
+    fn balanced_splits_evenly() {
+        let p = BindSpec::Balanced.placement(&IVY, 6);
+        // 3 per socket, contiguous.
+        assert_eq!(p, vec![Some(0), Some(1), Some(2), Some(10), Some(11), Some(12)]);
+        // Odd counts favour the first socket.
+        let p = BindSpec::Balanced.placement(&IVY, 5);
+        assert_eq!(p.iter().filter(|x| x.map(|h| h < 10).unwrap_or(false)).count(), 3);
+    }
+
+    #[test]
+    fn smt_siblings_come_after_all_cores() {
+        // Linux-style enumeration: hw 0..20 = first siblings, 20..40 = second.
+        let p = BindSpec::Compact.placement(&IVY_HT, 22);
+        assert_eq!(p[19], Some(19));
+        assert_eq!(p[20], Some(20), "21st worker lands on core 0's sibling");
+        assert_eq!(p[21], Some(21));
+    }
+
+    #[test]
+    fn none_leaves_everyone_unpinned() {
+        let p = BindSpec::None.placement(&IVY, 4);
+        assert!(p.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn oversubscribed_balanced_pads_with_unpinned() {
+        let topo = Topology { sockets: 1, cores_per_socket: 2, smt: 1 };
+        let p = BindSpec::Balanced.placement(&topo, 4);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.iter().filter(|x| x.is_some()).count(), 2);
+    }
+}

@@ -1,0 +1,350 @@
+//! Registration of the runtime's intrinsic counters — the `/threads/*`,
+//! `/scheduler/*`, and `/runtime/*` names the paper's metrics are built on.
+//!
+//! | Counter | Paper metric |
+//! |---|---|
+//! | `/threads/time/average` | Task Duration (grain size) |
+//! | `/threads/time/average-overhead` | Task Overhead |
+//! | `/threads/time/cumulative` | Task Time (summed; divided by cores in the figures) |
+//! | `/threads/time/cumulative-overhead` | Scheduling Overhead |
+//! | `/threads/count/cumulative` | number of tasks executed |
+//!
+//! Every per-worker counter is discoverable as
+//! `{locality#L/worker-thread#N}` and aggregated as `{locality#L/total}`.
+
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Weak};
+
+use rpx_counters::counter::{AverageCounter, MonotonicCounter, RawCounter};
+use rpx_counters::name::{CounterInstance, CounterName, InstanceIndex};
+use rpx_counters::registry::CounterRegistry;
+use rpx_counters::value::{CounterInfo, CounterKind};
+use rpx_counters::CounterError;
+
+use crate::runtime::RuntimeInner;
+use crate::stats::WorkerStats;
+
+enum Sel {
+    Total,
+    One(usize),
+}
+
+fn selector(name: &CounterName, workers: usize) -> Result<Sel, CounterError> {
+    match &name.instance {
+        None => Ok(Sel::Total),
+        Some(inst) if inst.is_total() => Ok(Sel::Total),
+        Some(inst) => {
+            let w = inst
+                .children
+                .iter()
+                .find(|c| c.name == "worker-thread")
+                .and_then(|c| match c.index {
+                    Some(InstanceIndex::At(i)) => Some(i as usize),
+                    _ => None,
+                })
+                .ok_or_else(|| {
+                    CounterError::UnknownInstance(format!(
+                        "`{name}`: expected total or worker-thread#N"
+                    ))
+                })?;
+            if w >= workers {
+                return Err(CounterError::UnknownInstance(format!(
+                    "`{name}`: runtime has {workers} workers"
+                )));
+            }
+            Ok(Sel::One(w))
+        }
+    }
+}
+
+fn worker_discoverer(
+    object: &str,
+    counter: &str,
+    locality: u32,
+    workers: usize,
+) -> rpx_counters::registry::CounterDiscoverer {
+    let base = CounterName::new(object, counter);
+    Arc::new(move |f: &mut dyn FnMut(CounterName)| {
+        f(base.reinstantiate(CounterInstance::total(locality)));
+        for w in 0..workers as u32 {
+            f(base.reinstantiate(CounterInstance::worker(locality, w)));
+        }
+    })
+}
+
+/// Register a monotonic per-worker counter whose value is `read(stats)`.
+fn register_worker_monotonic(
+    registry: &Arc<CounterRegistry>,
+    inner: &Arc<RuntimeInner>,
+    type_path: &'static str,
+    help: &'static str,
+    unit: &'static str,
+    read: fn(&WorkerStats) -> u64,
+) {
+    let weak: Weak<RuntimeInner> = Arc::downgrade(inner);
+    let (object, counter) = split_type_path(type_path);
+    let workers = inner.config.workers;
+    let locality = inner.config.locality;
+    let clock = registry.clock();
+    registry.register_type(
+        CounterInfo::new(type_path, CounterKind::MonotonicallyIncreasing, help, unit),
+        Arc::new(move |name, _reg| {
+            let sel = selector(name, workers)?;
+            let weak = weak.clone();
+            let value: rpx_counters::counter::ValueFn = Arc::new(move || {
+                let Some(inner) = weak.upgrade() else { return 0 };
+                let stats = &inner.state.stats;
+                (match sel {
+                    Sel::Total => stats.iter().map(|s| read(s)).sum::<u64>(),
+                    Sel::One(w) => read(&stats[w]),
+                }) as i64
+            });
+            let info = CounterInfo::new(
+                name.canonical(),
+                CounterKind::MonotonicallyIncreasing,
+                help,
+                unit,
+            );
+            Ok(Arc::new(MonotonicCounter::new(info, clock.clone(), value))
+                as Arc<dyn rpx_counters::Counter>)
+        }),
+        Some(worker_discoverer(object, counter, locality, workers)),
+    );
+}
+
+/// Register an average (sum, count) per-worker counter.
+fn register_worker_average(
+    registry: &Arc<CounterRegistry>,
+    inner: &Arc<RuntimeInner>,
+    type_path: &'static str,
+    help: &'static str,
+    read: fn(&WorkerStats) -> (u64, u64),
+) {
+    let weak: Weak<RuntimeInner> = Arc::downgrade(inner);
+    let (object, counter) = split_type_path(type_path);
+    let workers = inner.config.workers;
+    let locality = inner.config.locality;
+    let clock = registry.clock();
+    registry.register_type(
+        CounterInfo::new(type_path, CounterKind::Average, help, "ns"),
+        Arc::new(move |name, _reg| {
+            let sel = selector(name, workers)?;
+            let weak = weak.clone();
+            let pair: rpx_counters::counter::PairFn = Arc::new(move || {
+                let Some(inner) = weak.upgrade() else { return (0, 0) };
+                let stats = &inner.state.stats;
+                match sel {
+                    Sel::Total => stats.iter().fold((0, 0), |(s, c), w| {
+                        let (ws, wc) = read(w);
+                        (s + ws, c + wc)
+                    }),
+                    Sel::One(w) => read(&stats[w]),
+                }
+            });
+            let info = CounterInfo::new(name.canonical(), CounterKind::Average, help, "ns");
+            Ok(Arc::new(AverageCounter::new(info, clock.clone(), pair))
+                as Arc<dyn rpx_counters::Counter>)
+        }),
+        Some(worker_discoverer(object, counter, locality, workers)),
+    );
+}
+
+/// Register a total-only raw gauge.
+fn register_total_raw(
+    registry: &Arc<CounterRegistry>,
+    inner: &Arc<RuntimeInner>,
+    type_path: &'static str,
+    help: &'static str,
+    unit: &'static str,
+    read: fn(&RuntimeInner) -> i64,
+) {
+    let weak: Weak<RuntimeInner> = Arc::downgrade(inner);
+    let (object, counter) = split_type_path(type_path);
+    let locality = inner.config.locality;
+    let clock = registry.clock();
+    registry.register_type(
+        CounterInfo::new(type_path, CounterKind::Raw, help, unit),
+        Arc::new(move |name, _reg| {
+            // Accept the bare name or the total instance.
+            match &name.instance {
+                None => {}
+                Some(i) if i.is_total() => {}
+                Some(_) => {
+                    return Err(CounterError::UnknownInstance(format!(
+                        "`{name}` exists only as the total instance"
+                    )))
+                }
+            }
+            let weak = weak.clone();
+            let value: rpx_counters::counter::ValueFn =
+                Arc::new(move || weak.upgrade().map(|i| read(&i)).unwrap_or(0));
+            let info = CounterInfo::new(name.canonical(), CounterKind::Raw, help, unit);
+            Ok(Arc::new(RawCounter::new(info, clock.clone(), value))
+                as Arc<dyn rpx_counters::Counter>)
+        }),
+        Some({
+            let base = CounterName::new(object, counter);
+            Arc::new(move |f: &mut dyn FnMut(CounterName)| {
+                f(base.reinstantiate(CounterInstance::total(locality)));
+            })
+        }),
+    );
+}
+
+fn split_type_path(type_path: &'static str) -> (&'static str, &'static str) {
+    let rest = type_path.strip_prefix('/').expect("type path starts with /");
+    rest.split_once('/').expect("type path has /object/counter form")
+}
+
+/// Register every runtime counter with `registry`. Called by
+/// [`Runtime::new`](crate::runtime::Runtime::new).
+pub(crate) fn register_runtime_counters(
+    registry: &Arc<CounterRegistry>,
+    inner: &Arc<RuntimeInner>,
+) {
+    register_worker_monotonic(
+        registry,
+        inner,
+        "/threads/count/cumulative",
+        "number of tasks executed",
+        "1",
+        |s| s.executed.load(Ordering::Relaxed),
+    );
+    register_worker_monotonic(
+        registry,
+        inner,
+        "/threads/time/cumulative",
+        "cumulative time spent executing task bodies",
+        "ns",
+        |s| s.exec_ns.load(Ordering::Relaxed),
+    );
+    register_worker_monotonic(
+        registry,
+        inner,
+        "/threads/time/cumulative-overhead",
+        "cumulative scheduling cost (spawn + dispatch paths)",
+        "ns",
+        |s| s.overhead_ns.load(Ordering::Relaxed),
+    );
+    register_worker_monotonic(
+        registry,
+        inner,
+        "/threads/count/stolen",
+        "tasks stolen from other workers' queues",
+        "1",
+        |s| s.stolen.load(Ordering::Relaxed),
+    );
+    register_worker_monotonic(
+        registry,
+        inner,
+        "/threads/count/spawned",
+        "tasks spawned by this worker",
+        "1",
+        |s| s.spawned.load(Ordering::Relaxed),
+    );
+    register_worker_average(
+        registry,
+        inner,
+        "/threads/time/average",
+        "average task execution time (Task Duration / grain size)",
+        WorkerStats::exec_pair,
+    );
+    register_worker_average(
+        registry,
+        inner,
+        "/threads/time/average-overhead",
+        "average per-task scheduling cost (Task Overhead)",
+        WorkerStats::overhead_pair,
+    );
+    register_worker_average(
+        registry,
+        inner,
+        "/threads/time/average-wait",
+        "average time tasks spend queued before execution",
+        WorkerStats::wait_pair,
+    );
+
+    // Idle rate in units of 0.01% (HPX convention).
+    {
+        let weak: Weak<RuntimeInner> = Arc::downgrade(inner);
+        let workers = inner.config.workers;
+        let locality = inner.config.locality;
+        let clock = registry.clock();
+        registry.register_type(
+            CounterInfo::new(
+                "/threads/idle-rate",
+                CounterKind::Raw,
+                "fraction of wall time workers spent without work",
+                "0.01%",
+            ),
+            Arc::new(move |name, _reg| {
+                let sel = selector(name, workers)?;
+                let weak = weak.clone();
+                let value: rpx_counters::counter::ValueFn = Arc::new(move || {
+                    let Some(inner) = weak.upgrade() else { return 0 };
+                    let stats = &inner.state.stats;
+                    let (idle, busy) = match sel {
+                        Sel::Total => stats.iter().fold((0u64, 0u64), |(i, b), s| {
+                            (
+                                i + s.idle_ns.load(Ordering::Relaxed),
+                                b + s.exec_ns.load(Ordering::Relaxed)
+                                    + s.overhead_ns.load(Ordering::Relaxed),
+                            )
+                        }),
+                        Sel::One(w) => {
+                            let s = &stats[w];
+                            (
+                                s.idle_ns.load(Ordering::Relaxed),
+                                s.exec_ns.load(Ordering::Relaxed)
+                                    + s.overhead_ns.load(Ordering::Relaxed),
+                            )
+                        }
+                    };
+                    if idle + busy == 0 {
+                        return 0;
+                    }
+                    ((idle as f64 / (idle + busy) as f64) * 10_000.0).round() as i64
+                });
+                let info = CounterInfo::new(
+                    name.canonical(),
+                    CounterKind::Raw,
+                    "fraction of wall time workers spent without work",
+                    "0.01%",
+                );
+                Ok(Arc::new(RawCounter::new(info, clock.clone(), value))
+                    as Arc<dyn rpx_counters::Counter>)
+            }),
+            Some(worker_discoverer("threads", "idle-rate", locality, workers)),
+        );
+    }
+
+    register_total_raw(
+        registry,
+        inner,
+        "/threads/count/instantaneous/active",
+        "tasks currently executing",
+        "1",
+        |i| i.state.active.load(Ordering::Relaxed).max(0),
+    );
+    register_total_raw(
+        registry,
+        inner,
+        "/threads/count/instantaneous/pending",
+        "tasks queued, not yet started",
+        "1",
+        |i| i.scheduler.pending_tasks(),
+    );
+    register_total_raw(
+        registry,
+        inner,
+        "/scheduler/utilization/instantaneous",
+        "executing tasks as a percentage of workers",
+        "%",
+        |i| {
+            let active = i.state.active.load(Ordering::Relaxed).max(0);
+            (active * 100 / i.config.workers.max(1) as i64).min(100)
+        },
+    );
+
+    registry.register_elapsed("/runtime/uptime", "time since the runtime started");
+}

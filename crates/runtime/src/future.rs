@@ -1,0 +1,250 @@
+//! Lightweight futures returned by task spawns.
+//!
+//! Unlike `std::future::Future`, a [`TaskFuture`] is a *blocking* future in
+//! the C++ `std::future` / `hpx::future` sense: `get()` waits for the value.
+//! The crucial runtime property is how it waits: a worker thread that would
+//! block instead *helps* — it executes other pending tasks until the value
+//! arrives. This keeps every core busy during deeply recursive fork/join
+//! patterns (Fib, Sort, Strassen, …) without stackful coroutines, while
+//! external (non-worker) threads block on a condition variable.
+
+use std::any::Any;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::worker;
+
+type DeferredFn = Box<dyn FnOnce() + Send>;
+
+enum State<T> {
+    /// Scheduled (or inline) but not finished.
+    Pending,
+    /// Deferred-launch closure waiting for the first `wait`/`get`.
+    Deferred(DeferredFn),
+    /// A thread took the deferred closure and is running it.
+    Running,
+    /// Value available (until taken by `get`).
+    Ready(Option<T>),
+    /// The task panicked; payload for `resume_unwind`.
+    Panicked(Option<Box<dyn Any + Send>>),
+}
+
+pub(crate) struct Shared<T> {
+    state: Mutex<State<T>>,
+    cond: Condvar,
+    ready: AtomicBool,
+}
+
+impl<T> Shared<T> {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Shared {
+            state: Mutex::new(State::Pending),
+            cond: Condvar::new(),
+            ready: AtomicBool::new(false),
+        })
+    }
+
+    pub(crate) fn set_deferred(&self, f: DeferredFn) {
+        let mut s = self.state.lock();
+        debug_assert!(matches!(*s, State::Pending), "set_deferred on a non-pending future");
+        *s = State::Deferred(f);
+    }
+
+    /// Install the result and wake every waiter.
+    pub(crate) fn complete(&self, value: T) {
+        let mut s = self.state.lock();
+        *s = State::Ready(Some(value));
+        self.ready.store(true, Ordering::Release);
+        self.cond.notify_all();
+    }
+
+    /// Install a panic payload and wake every waiter.
+    pub(crate) fn complete_panicked(&self, payload: Box<dyn Any + Send>) {
+        let mut s = self.state.lock();
+        *s = State::Panicked(Some(payload));
+        self.ready.store(true, Ordering::Release);
+        self.cond.notify_all();
+    }
+
+    fn is_ready(&self) -> bool {
+        self.ready.load(Ordering::Acquire)
+    }
+
+    /// Run the deferred closure if this future carries one and nobody beat
+    /// us to it. Returns true if we ran it (the future is then ready).
+    fn run_deferred_if_any(&self) -> bool {
+        let f = {
+            let mut s = self.state.lock();
+            match &mut *s {
+                State::Deferred(_) => {
+                    let State::Deferred(f) = std::mem::replace(&mut *s, State::Running) else {
+                        unreachable!()
+                    };
+                    Some(f)
+                }
+                _ => None,
+            }
+        };
+        match f {
+            Some(f) => {
+                // The closure completes the shared state itself (it is the
+                // same instrumented wrapper a scheduled task would run).
+                f();
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn wait(&self) {
+        if self.is_ready() {
+            return;
+        }
+        if self.run_deferred_if_any() {
+            return;
+        }
+        if worker::on_worker_thread() {
+            // Work-helping wait: execute other tasks instead of blocking
+            // the worker (the scheduler equivalent of HPX suspending the
+            // waiting lightweight thread).
+            worker::help_while(|| !self.is_ready());
+        } else {
+            let mut s = self.state.lock();
+            while !self.is_ready() {
+                self.cond.wait(&mut s);
+            }
+        }
+    }
+
+    fn take(&self) -> T {
+        let mut s = self.state.lock();
+        match &mut *s {
+            State::Ready(v) => v.take().expect("TaskFuture value taken twice"),
+            State::Panicked(p) => {
+                let payload = p.take().expect("TaskFuture panic taken twice");
+                std::panic::resume_unwind(payload)
+            }
+            _ => unreachable!("take() called before the future completed"),
+        }
+    }
+}
+
+/// Handle to the eventual result of a spawned task.
+pub struct TaskFuture<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> TaskFuture<T> {
+    pub(crate) fn new(shared: Arc<Shared<T>>) -> Self {
+        TaskFuture { shared }
+    }
+
+    /// Whether the value (or a panic) is available without blocking.
+    pub fn is_ready(&self) -> bool {
+        self.shared.is_ready()
+    }
+
+    /// Block until the task finishes (helping with other work when called
+    /// on a worker thread), without consuming the future.
+    pub fn wait(&self) {
+        self.shared.wait();
+    }
+
+    /// Wait for and return the task's result.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the task's panic if the task panicked.
+    pub fn get(self) -> T {
+        self.shared.wait();
+        self.shared.take()
+    }
+
+    /// The result if already available (consumes the future on success).
+    pub fn try_get(self) -> Result<T, TaskFuture<T>> {
+        if self.is_ready() {
+            Ok(self.get())
+        } else {
+            Err(self)
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for TaskFuture<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskFuture").field("ready", &self.is_ready()).finish()
+    }
+}
+
+/// A future that is ready immediately (`hpx::make_ready_future`).
+pub fn ready_future<T>(value: T) -> TaskFuture<T> {
+    let shared = Shared::new();
+    shared.complete(value);
+    TaskFuture::new(shared)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ready_future_is_immediately_ready() {
+        let f = ready_future(13);
+        assert!(f.is_ready());
+        assert_eq!(f.get(), 13);
+    }
+
+    #[test]
+    fn complete_wakes_external_waiter() {
+        let shared = Shared::new();
+        let f = TaskFuture::new(shared.clone());
+        let t = std::thread::spawn(move || f.get());
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        shared.complete(99);
+        assert_eq!(t.join().unwrap(), 99);
+    }
+
+    #[test]
+    fn try_get_returns_future_when_pending() {
+        let shared: Arc<Shared<i32>> = Shared::new();
+        let f = TaskFuture::new(shared.clone());
+        let f = match f.try_get() {
+            Ok(_) => panic!("future should not be ready"),
+            Err(f) => f,
+        };
+        shared.complete(1);
+        assert_eq!(f.try_get().ok(), Some(1));
+    }
+
+    #[test]
+    fn deferred_runs_on_first_wait() {
+        let shared: Arc<Shared<i32>> = Shared::new();
+        let s2 = shared.clone();
+        shared.set_deferred(Box::new(move || s2.complete(7)));
+        let f = TaskFuture::new(shared);
+        assert!(!f.is_ready());
+        assert_eq!(f.get(), 7);
+    }
+
+    #[test]
+    fn panic_propagates_to_getter() {
+        let shared: Arc<Shared<i32>> = Shared::new();
+        shared.complete_panicked(Box::new("boom"));
+        let f = TaskFuture::new(shared);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || f.get()))
+            .expect_err("get() must re-raise the task panic");
+        assert_eq!(*err.downcast_ref::<&str>().unwrap(), "boom");
+    }
+
+    #[test]
+    fn wait_is_idempotent() {
+        let shared = Shared::new();
+        shared.complete(5);
+        let f = TaskFuture::new(shared);
+        f.wait();
+        f.wait();
+        assert_eq!(f.get(), 5);
+    }
+}

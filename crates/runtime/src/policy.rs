@@ -1,0 +1,61 @@
+//! Launch policies, mirroring HPX's `hpx::launch` (Table IV of the paper).
+
+/// How a spawned task is introduced to the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LaunchPolicy {
+    /// Schedule the task for asynchronous execution (child stealing: the
+    /// child is made stealable, the parent keeps running). The paper found
+    /// this the best-performing policy and reports all results with it.
+    #[default]
+    Async,
+    /// Continuation stealing for strict fork/join: the child runs
+    /// immediately on the spawning worker. In HPX the *continuation* of
+    /// the parent becomes stealable; without stackful coroutines we
+    /// approximate by inverting execution order (child first), which
+    /// preserves the policy's locality and queue-pressure characteristics.
+    Fork,
+    /// Do not schedule; the task runs inline on the first thread that
+    /// waits on its future (C++ `std::launch::deferred`).
+    Deferred,
+    /// Execute synchronously in the spawn call itself.
+    Sync,
+}
+
+impl LaunchPolicy {
+    /// All policies, for exhaustive experiments.
+    pub const ALL: [LaunchPolicy; 4] =
+        [LaunchPolicy::Async, LaunchPolicy::Fork, LaunchPolicy::Deferred, LaunchPolicy::Sync];
+
+    /// The command-line name of the policy (`--policy=async`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            LaunchPolicy::Async => "async",
+            LaunchPolicy::Fork => "fork",
+            LaunchPolicy::Deferred => "deferred",
+            LaunchPolicy::Sync => "sync",
+        }
+    }
+
+    /// Parse a policy name.
+    pub fn from_name(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|p| p.name() == s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for p in LaunchPolicy::ALL {
+            assert_eq!(LaunchPolicy::from_name(p.name()), Some(p));
+        }
+        assert_eq!(LaunchPolicy::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn default_is_async() {
+        assert_eq!(LaunchPolicy::default(), LaunchPolicy::Async);
+    }
+}

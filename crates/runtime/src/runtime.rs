@@ -1,0 +1,392 @@
+//! The runtime facade: configuration, worker lifecycle, and the spawn API.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+use rpx_counters::counter::Clock;
+use rpx_counters::CounterRegistry;
+use rpx_papi::Pmu;
+
+use crate::future::{Shared, TaskFuture};
+use crate::policy::LaunchPolicy;
+use crate::trace::{TaskSpan, TaskTracer};
+use crate::scheduler::{Scheduler, SchedulerMode, Task};
+use crate::stats::WorkerStats;
+use crate::worker;
+
+/// Runtime configuration (the knobs of Table IV).
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Number of worker threads ("cores" in the paper's strong-scaling runs).
+    pub workers: usize,
+    /// Queue discipline.
+    pub mode: SchedulerMode,
+    /// Locality id used in counter instance names (single-node: 0).
+    pub locality: u32,
+    /// Worker stack size in bytes (the paper had to move Alignment's large
+    /// arrays to the heap because of small task stacks; our workers carry
+    /// the whole stack, so the default is generous).
+    pub stack_size: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            mode: SchedulerMode::LocalQueues,
+            locality: 0,
+            stack_size: 8 << 20,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Config with `workers` worker threads and defaults otherwise.
+    pub fn with_workers(workers: usize) -> Self {
+        RuntimeConfig { workers: workers.max(1), ..RuntimeConfig::default() }
+    }
+}
+
+/// Counter-visible runtime state (shared with counter closures via `Weak`).
+pub(crate) struct RuntimeState {
+    pub clock: Arc<Clock>,
+    pub stats: Vec<Arc<WorkerStats>>,
+    /// Tasks currently executing.
+    pub active: AtomicI64,
+    /// Tasks scheduled but not yet finished (pending + active).
+    pub live: AtomicI64,
+    pub idle_lock: Mutex<()>,
+    pub idle_cv: Condvar,
+    /// Optional task-lifetime tracing (off by default; see [`TaskTracer`]).
+    pub tracer: Arc<TaskTracer>,
+}
+
+impl RuntimeState {
+    pub(crate) fn note_task_finished(&self) {
+        if self.live.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _g = self.idle_lock.lock();
+            self.idle_cv.notify_all();
+        }
+    }
+}
+
+pub(crate) struct RuntimeInner {
+    pub scheduler: Scheduler,
+    pub state: Arc<RuntimeState>,
+    pub registry: Arc<CounterRegistry>,
+    pub pmu: Arc<Pmu>,
+    pub shutdown: AtomicBool,
+    pub config: RuntimeConfig,
+}
+
+/// A lightweight-task runtime: `N` worker threads, per-worker work-stealing
+/// queues, instrumented task lifecycle, and a counter registry exposing
+/// `/threads/*`, `/scheduler/*`, `/runtime/*`, and `/papi/*` counters.
+///
+/// ```
+/// use rpx_runtime::{Runtime, RuntimeConfig};
+///
+/// let rt = Runtime::new(RuntimeConfig::with_workers(2));
+/// let f = rt.spawn(|| 21 * 2);
+/// assert_eq!(f.get(), 42);
+/// let executed = rt
+///     .registry()
+///     .evaluate("/threads{locality#0/total}/count/cumulative", false)
+///     .unwrap();
+/// assert!(executed.value >= 1);
+/// rt.shutdown();
+/// ```
+pub struct Runtime {
+    inner: Arc<RuntimeInner>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// Start a runtime with the given configuration.
+    pub fn new(config: RuntimeConfig) -> Self {
+        let workers = config.workers.max(1);
+        let registry = CounterRegistry::new();
+        let pmu = Pmu::new(workers);
+        let state = Arc::new(RuntimeState {
+            clock: registry.clock(),
+            stats: (0..workers).map(|_| Arc::new(WorkerStats::new())).collect(),
+            active: AtomicI64::new(0),
+            live: AtomicI64::new(0),
+            idle_lock: Mutex::new(()),
+            idle_cv: Condvar::new(),
+            tracer: TaskTracer::new(64 * 1024),
+        });
+        let inner = Arc::new(RuntimeInner {
+            scheduler: Scheduler::new(workers, config.mode),
+            state,
+            registry: registry.clone(),
+            pmu: pmu.clone(),
+            shutdown: AtomicBool::new(false),
+            config: config.clone(),
+        });
+
+        crate::counters::register_runtime_counters(&registry, &inner);
+        rpx_papi::register_papi_counters(&registry, &pmu, config.locality);
+
+        let threads = (0..workers)
+            .map(|index| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("rpx-worker-{index}"))
+                    .stack_size(config.stack_size)
+                    .spawn(move || worker::worker_loop(inner, index))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+
+        Runtime { inner, threads }
+    }
+
+    /// Start with default configuration (all available cores).
+    pub fn with_defaults() -> Self {
+        Runtime::new(RuntimeConfig::default())
+    }
+
+    /// Spawn with the default (`Async`) policy.
+    pub fn spawn<T, F>(&self, f: F) -> TaskFuture<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.spawn_with(LaunchPolicy::Async, f)
+    }
+
+    /// Spawn with an explicit launch policy.
+    pub fn spawn_with<T, F>(&self, policy: LaunchPolicy, f: F) -> TaskFuture<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        spawn_inner(&self.inner, policy, f)
+    }
+
+    /// The runtime's counter registry.
+    pub fn registry(&self) -> Arc<CounterRegistry> {
+        self.inner.registry.clone()
+    }
+
+    /// The runtime's synthetic PMU (one domain per worker).
+    pub fn pmu(&self) -> Arc<Pmu> {
+        self.inner.pmu.clone()
+    }
+
+    /// The task tracer (disabled by default; `tracer().enable()` starts
+    /// recording task spans for chrome://tracing export).
+    pub fn tracer(&self) -> Arc<TaskTracer> {
+        self.inner.state.tracer.clone()
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.inner.config.workers
+    }
+
+    /// Index of the calling worker thread, if it is one of this runtime's.
+    pub fn current_worker() -> Option<usize> {
+        worker::current_worker_index()
+    }
+
+    /// A cloneable, `'static` handle for spawning from inside tasks.
+    pub fn handle(&self) -> RuntimeHandle {
+        RuntimeHandle { inner: Arc::downgrade(&self.inner) }
+    }
+
+    /// Block until no scheduled task is pending or running.
+    pub fn wait_idle(&self) {
+        let state = &self.inner.state;
+        let mut guard = state.idle_lock.lock();
+        while state.live.load(Ordering::Acquire) > 0 {
+            state.idle_cv.wait(&mut guard);
+        }
+    }
+
+    /// Drain outstanding work, stop the workers, and join them.
+    pub fn shutdown(mut self) {
+        self.wait_idle();
+        self.stop_workers();
+    }
+
+    fn stop_workers(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.scheduler.wake_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        if !self.threads.is_empty() {
+            // Best-effort stop without draining; prefer calling `shutdown()`.
+            self.stop_workers();
+        }
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("workers", &self.inner.config.workers)
+            .field("mode", &self.inner.config.mode)
+            .finish()
+    }
+}
+
+thread_local! {
+    /// Gross execution time of tasks completed on this thread; used to
+    /// compute net (exclusive) task durations under work-helping waits.
+    static NESTED_EXEC_NS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Weak, cloneable handle to a [`Runtime`], usable from inside tasks.
+#[derive(Clone)]
+pub struct RuntimeHandle {
+    inner: Weak<RuntimeInner>,
+}
+
+impl RuntimeHandle {
+    /// Spawn with the default (`Async`) policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runtime has been dropped.
+    pub fn spawn<T, F>(&self, f: F) -> TaskFuture<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.spawn_with(LaunchPolicy::Async, f)
+    }
+
+    /// Spawn with an explicit launch policy.
+    pub fn spawn_with<T, F>(&self, policy: LaunchPolicy, f: F) -> TaskFuture<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let inner = self.inner.upgrade().expect("RuntimeHandle used after Runtime was dropped");
+        spawn_inner(&inner, policy, f)
+    }
+}
+
+impl std::fmt::Debug for RuntimeHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuntimeHandle").field("alive", &(self.inner.strong_count() > 0)).finish()
+    }
+}
+
+/// Build the instrumented wrapper that runs `f`, records the execution
+/// into the executing worker's stats, completes `shared`, and maintains the
+/// live-task accounting (`track_live` for scheduled tasks).
+///
+/// All instrumentation happens *before* `complete()`, so a thread observing
+/// the future as ready is guaranteed to see the task in the counters —
+/// the ordering the paper's evaluate/reset sampling protocol relies on.
+fn make_wrapper<T, F>(
+    shared: Arc<Shared<T>>,
+    state: Arc<RuntimeState>,
+    task_id: u64,
+    f: F,
+    track_live: bool,
+) -> Box<dyn FnOnce() + Send>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let spawned_ns = state.clock.now_ns();
+    Box::new(move || {
+        let idx = worker::current_worker_index().unwrap_or(0);
+        state.active.fetch_add(1, Ordering::Relaxed);
+        let nested_before = NESTED_EXEC_NS.with(|c| c.get());
+        let start = state.clock.now_ns();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+        let end = state.clock.now_ns();
+        state.active.fetch_sub(1, Ordering::Relaxed);
+        // Net execution time: subtract time spent executing *other* tasks
+        // while helping inside this task's waits, so `/threads/time/*`
+        // counts every task exactly once (HPX suspends the parent; we
+        // deduct instead — same accounting, different mechanism).
+        let gross = end.saturating_sub(start);
+        let nested_during = NESTED_EXEC_NS.with(|c| c.get()).saturating_sub(nested_before);
+        let net = gross.saturating_sub(nested_during);
+        NESTED_EXEC_NS.with(|c| c.set(nested_before + gross));
+        let wait_ns = start.saturating_sub(spawned_ns);
+        state.stats[idx].record_execution(net, wait_ns);
+        state.tracer.record(TaskSpan {
+            task_id,
+            worker: idx as u32,
+            start_ns: start,
+            end_ns: end,
+            wait_ns,
+        });
+        match result {
+            Ok(v) => shared.complete(v),
+            Err(p) => shared.complete_panicked(p),
+        }
+        if track_live {
+            state.note_task_finished();
+        }
+    })
+}
+
+fn spawn_inner<T, F>(inner: &Arc<RuntimeInner>, policy: LaunchPolicy, f: F) -> TaskFuture<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let shared = Shared::new();
+    let state = inner.state.clone();
+    let task_id = inner.scheduler.next_task_id();
+    let spawner = worker::current_worker_index();
+    if let Some(idx) = spawner {
+        state.stats[idx].spawned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    match policy {
+        LaunchPolicy::Sync => {
+            let wrapper = make_wrapper(shared.clone(), state.clone(), task_id, f, false);
+            run_inline(inner, wrapper);
+        }
+        LaunchPolicy::Fork if spawner.is_some() => {
+            // Continuation-stealing approximation: the child runs now, on
+            // this worker, with no queue round-trip (see LaunchPolicy::Fork).
+            let wrapper = make_wrapper(shared.clone(), state.clone(), task_id, f, false);
+            run_inline(inner, wrapper);
+        }
+        LaunchPolicy::Deferred => {
+            let inner2 = inner.clone();
+            let wrapper = make_wrapper(shared.clone(), state.clone(), task_id, f, false);
+            shared.set_deferred(Box::new(move || run_inline(&inner2, wrapper)));
+        }
+        LaunchPolicy::Async | LaunchPolicy::Fork => {
+            state.live.fetch_add(1, Ordering::AcqRel);
+            let wrapper = make_wrapper(shared.clone(), state.clone(), task_id, f, true);
+            let t0 = state.clock.now_ns();
+            let task = Task { run: wrapper, id: task_id };
+            let task = worker::push_local(inner, task).err();
+            if let Some(task) = task {
+                inner.scheduler.push(task, None);
+            }
+            let t1 = state.clock.now_ns();
+            let overhead_owner = spawner.unwrap_or(0);
+            state.stats[overhead_owner].record_overhead(t1.saturating_sub(t0));
+        }
+    }
+    TaskFuture::new(shared)
+}
+
+/// Execute a wrapper inline on the calling thread. The wrapper carries its
+/// own instrumentation, attributed to the calling worker (or worker 0 for
+/// external threads, documented in DESIGN.md §6).
+fn run_inline(_inner: &Arc<RuntimeInner>, wrapper: Box<dyn FnOnce() + Send>) {
+    wrapper();
+}

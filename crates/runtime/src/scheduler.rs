@@ -1,0 +1,248 @@
+//! The task scheduler: per-worker Chase–Lev deques with work stealing
+//! (default), or a single global FIFO queue (the `std::async` ordering used
+//! by the paper to explain the Floorplan anomaly).
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker as Deque};
+use crossbeam::sync::Unparker;
+use parking_lot::Mutex;
+
+/// A runnable task. Execution instrumentation (timing, queue wait) lives
+/// inside the wrapper closure, which captures its own spawn timestamp.
+pub(crate) struct Task {
+    /// Instrumented wrapper: runs the user closure and completes the future.
+    pub run: Box<dyn FnOnce() + Send>,
+    /// Monotonic task id (used by scheduler tests and diagnostics).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub id: u64,
+}
+
+/// Queue discipline used by the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerMode {
+    /// Per-worker local deques + stealing (HPX-style). Children go to the
+    /// spawning worker's queue; idle workers steal FIFO from victims.
+    #[default]
+    LocalQueues,
+    /// One shared FIFO queue for all workers (the GCC `std::async`
+    /// single-queue discipline).
+    GlobalQueue,
+}
+
+impl SchedulerMode {
+    /// Command-line name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerMode::LocalQueues => "local-queues",
+            SchedulerMode::GlobalQueue => "global-queue",
+        }
+    }
+}
+
+pub(crate) struct Scheduler {
+    pub mode: SchedulerMode,
+    pub injector: Injector<Task>,
+    /// Local deque of each worker, parked here until its thread claims it.
+    pub deques: Vec<Mutex<Option<Deque<Task>>>>,
+    pub stealers: Vec<Stealer<Task>>,
+    /// Tasks queued but not yet started.
+    pub pending: AtomicI64,
+    /// Monotonic id source.
+    pub next_id: AtomicU64,
+    /// Workers currently parked (worker index, unparker), waiting to be
+    /// woken on new work.
+    pub sleepers: Mutex<Vec<(usize, Unparker)>>,
+}
+
+impl Scheduler {
+    pub(crate) fn new(workers: usize, mode: SchedulerMode) -> Self {
+        let deques: Vec<Deque<Task>> = (0..workers).map(|_| Deque::new_lifo()).collect();
+        let stealers = deques.iter().map(|d| d.stealer()).collect();
+        Scheduler {
+            mode,
+            injector: Injector::new(),
+            deques: deques.into_iter().map(|d| Mutex::new(Some(d))).collect(),
+            stealers,
+            pending: AtomicI64::new(0),
+            next_id: AtomicU64::new(0),
+            sleepers: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn next_task_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Enqueue a task. `local` is the spawning worker's own deque when the
+    /// spawn happens on a worker thread (push-local for locality), `None`
+    /// for external spawns (which go through the global injector).
+    pub(crate) fn push(&self, task: Task, local: Option<&Deque<Task>>) {
+        self.pending.fetch_add(1, Ordering::Relaxed);
+        match (self.mode, local) {
+            (SchedulerMode::LocalQueues, Some(deque)) => deque.push(task),
+            _ => self.injector.push(task),
+        }
+        self.wake_one();
+    }
+
+    /// Find work for worker `index`. Returns the task and whether it was
+    /// stolen from another worker's queue.
+    pub(crate) fn find(&self, index: usize, local: &Deque<Task>) -> Option<(Task, bool)> {
+        if self.mode == SchedulerMode::GlobalQueue {
+            // Single-task steals only: batching would strand tasks in the
+            // local deque, which this mode never reads.
+            loop {
+                match self.injector.steal() {
+                    Steal::Success(t) => return Some((t, false)),
+                    Steal::Retry => continue,
+                    Steal::Empty => return None,
+                }
+            }
+        }
+        // 1. Own deque (LIFO: most recently spawned child first — cache-hot).
+        if let Some(t) = local.pop() {
+            return Some((t, false));
+        }
+        // 2. Global injector (external spawns).
+        if let Some(t) = self.steal_from_injector(local) {
+            return Some((t, false));
+        }
+        // 3. Steal from siblings, starting after ourselves to spread load.
+        let n = self.stealers.len();
+        for off in 1..n {
+            let victim = (index + off) % n;
+            loop {
+                match self.stealers[victim].steal_batch_and_pop(local) {
+                    Steal::Success(t) => return Some((t, true)),
+                    Steal::Retry => continue,
+                    Steal::Empty => break,
+                }
+            }
+        }
+        None
+    }
+
+    fn steal_from_injector(&self, local: &Deque<Task>) -> Option<Task> {
+        loop {
+            match self.injector.steal_batch_and_pop(local) {
+                Steal::Success(t) => return Some(t),
+                Steal::Retry => continue,
+                Steal::Empty => return None,
+            }
+        }
+    }
+
+    /// Approximate number of queued tasks.
+    pub(crate) fn pending_tasks(&self) -> i64 {
+        self.pending.load(Ordering::Relaxed).max(0)
+    }
+
+    pub(crate) fn note_started(&self) {
+        self.pending.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Park registration: the worker registers its unparker *before* its
+    /// final work check so a concurrent push cannot be lost. Re-registering
+    /// the same worker is a no-op (the list stays bounded by worker count).
+    pub(crate) fn register_sleeper(&self, index: usize, unparker: Unparker) {
+        let mut s = self.sleepers.lock();
+        if !s.iter().any(|(i, _)| *i == index) {
+            s.push((index, unparker));
+        }
+    }
+
+    /// Remove the worker's registration after it wakes (by token or timeout).
+    pub(crate) fn deregister_sleeper(&self, index: usize) {
+        self.sleepers.lock().retain(|(i, _)| *i != index);
+    }
+
+    pub(crate) fn wake_one(&self) {
+        let u = self.sleepers.lock().pop();
+        if let Some((_, u)) = u {
+            u.unpark();
+        }
+    }
+
+    pub(crate) fn wake_all(&self) {
+        let mut s = self.sleepers.lock();
+        for (_, u) in s.drain(..) {
+            u.unpark();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(id: u64) -> Task {
+        Task { run: Box::new(|| {}), id }
+    }
+
+    #[test]
+    fn local_push_pop_is_lifo() {
+        let s = Scheduler::new(2, SchedulerMode::LocalQueues);
+        let local = s.deques[0].lock().take().unwrap();
+        s.push(task(1), Some(&local));
+        s.push(task(2), Some(&local));
+        let (t, stolen) = s.find(0, &local).unwrap();
+        assert_eq!(t.id, 2, "own deque must be LIFO");
+        assert!(!stolen);
+        assert_eq!(s.find(0, &local).unwrap().0.id, 1);
+        assert!(s.find(0, &local).is_none());
+    }
+
+    #[test]
+    fn external_push_lands_in_injector_fifo() {
+        let s = Scheduler::new(2, SchedulerMode::LocalQueues);
+        let local = s.deques[0].lock().take().unwrap();
+        s.push(task(1), None);
+        s.push(task(2), None);
+        let got = s.find(0, &local).unwrap().0.id;
+        assert_eq!(got, 1, "injector must be FIFO");
+    }
+
+    #[test]
+    fn stealing_takes_from_victims() {
+        let s = Scheduler::new(2, SchedulerMode::LocalQueues);
+        let local0 = s.deques[0].lock().take().unwrap();
+        let local1 = s.deques[1].lock().take().unwrap();
+        s.push(task(1), Some(&local0));
+        s.push(task(2), Some(&local0));
+        let (t, stolen) = s.find(1, &local1).unwrap();
+        assert!(stolen);
+        assert_eq!(t.id, 1, "steals take the oldest task");
+    }
+
+    #[test]
+    fn global_mode_ignores_local_deques() {
+        let s = Scheduler::new(2, SchedulerMode::GlobalQueue);
+        let local = s.deques[0].lock().take().unwrap();
+        s.push(task(7), Some(&local));
+        // Task must be findable by the *other* worker too.
+        let local1 = s.deques[1].lock().take().unwrap();
+        assert_eq!(s.find(1, &local1).unwrap().0.id, 7);
+    }
+
+    #[test]
+    fn pending_tracks_pushes_and_starts() {
+        let s = Scheduler::new(1, SchedulerMode::LocalQueues);
+        let local = s.deques[0].lock().take().unwrap();
+        assert_eq!(s.pending_tasks(), 0);
+        s.push(task(1), Some(&local));
+        s.push(task(2), Some(&local));
+        assert_eq!(s.pending_tasks(), 2);
+        let _ = s.find(0, &local).unwrap();
+        s.note_started();
+        assert_eq!(s.pending_tasks(), 1);
+    }
+
+    #[test]
+    fn task_ids_are_unique() {
+        let s = Scheduler::new(1, SchedulerMode::LocalQueues);
+        let a = s.next_task_id();
+        let b = s.next_task_id();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,108 @@
+//! Per-worker instrumentation state feeding the `/threads/*` counters.
+//!
+//! Every field is a relaxed atomic written only by the owning worker (plus
+//! inline executions on that worker) and read by counter evaluations from
+//! any thread — the low-overhead introspection pattern the paper's
+//! framework is built on.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Instrumentation accumulators for one worker thread.
+#[derive(Debug, Default)]
+pub struct WorkerStats {
+    /// Tasks whose execution finished on this worker.
+    pub executed: AtomicU64,
+    /// Nanoseconds spent executing task bodies.
+    pub exec_ns: AtomicU64,
+    /// Nanoseconds of per-task scheduling cost attributed to this worker
+    /// (spawn-path cost accrues on the spawning worker, dispatch-path cost
+    /// on the executing worker).
+    pub overhead_ns: AtomicU64,
+    /// Number of scheduling operations folded into `overhead_ns`.
+    pub overhead_ops: AtomicU64,
+    /// Nanoseconds tasks executed by this worker spent queued
+    /// (spawn → start of execution).
+    pub wait_ns: AtomicU64,
+    /// Tasks this worker stole from another worker's queue.
+    pub stolen: AtomicU64,
+    /// Tasks this worker spawned.
+    pub spawned: AtomicU64,
+    /// Nanoseconds spent looking for work unsuccessfully (idle).
+    pub idle_ns: AtomicU64,
+}
+
+impl WorkerStats {
+    /// Fresh zeroed stats.
+    pub fn new() -> Self {
+        WorkerStats::default()
+    }
+
+    /// Record one finished task execution.
+    pub fn record_execution(&self, exec_ns: u64, wait_ns: u64) {
+        self.executed.fetch_add(1, Ordering::Relaxed);
+        self.exec_ns.fetch_add(exec_ns, Ordering::Relaxed);
+        self.wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
+    }
+
+    /// Record scheduling-path cost (spawn or dispatch).
+    pub fn record_overhead(&self, ns: u64) {
+        self.overhead_ns.fetch_add(ns, Ordering::Relaxed);
+        self.overhead_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of (executed, exec_ns) for average counters.
+    pub fn exec_pair(&self) -> (u64, u64) {
+        (self.exec_ns.load(Ordering::Relaxed), self.executed.load(Ordering::Relaxed))
+    }
+
+    /// Snapshot of (overhead_ns, executed) for the average-overhead counter.
+    /// HPX reports overhead per executed task, not per scheduling op.
+    pub fn overhead_pair(&self) -> (u64, u64) {
+        (self.overhead_ns.load(Ordering::Relaxed), self.executed.load(Ordering::Relaxed))
+    }
+
+    /// Snapshot of (wait_ns, executed) for the average-wait counter.
+    pub fn wait_pair(&self) -> (u64, u64) {
+        (self.wait_ns.load(Ordering::Relaxed), self.executed.load(Ordering::Relaxed))
+    }
+}
+
+/// Sum a statistic over a slice of worker stats.
+pub fn total<F: Fn(&WorkerStats) -> u64>(stats: &[std::sync::Arc<WorkerStats>], f: F) -> u64 {
+    stats.iter().map(|s| f(s)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn record_execution_accumulates() {
+        let s = WorkerStats::new();
+        s.record_execution(100, 20);
+        s.record_execution(300, 40);
+        assert_eq!(s.exec_pair(), (400, 2));
+        assert_eq!(s.wait_pair(), (60, 2));
+    }
+
+    #[test]
+    fn overhead_pair_uses_executed_denominator() {
+        let s = WorkerStats::new();
+        s.record_overhead(10);
+        s.record_overhead(30);
+        s.record_execution(1000, 0);
+        assert_eq!(s.overhead_pair(), (40, 1));
+        assert_eq!(s.overhead_ops.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn totals_sum_across_workers() {
+        let stats: Vec<Arc<WorkerStats>> =
+            (0..3).map(|_| Arc::new(WorkerStats::new())).collect();
+        stats[0].record_execution(10, 0);
+        stats[2].record_execution(30, 0);
+        assert_eq!(total(&stats, |s| s.exec_ns.load(Ordering::Relaxed)), 40);
+        assert_eq!(total(&stats, |s| s.executed.load(Ordering::Relaxed)), 2);
+    }
+}

@@ -1,0 +1,225 @@
+//! Task-lifetime tracing: a bounded in-memory record of task events with a
+//! `chrome://tracing` (Trace Event Format) exporter — the post-mortem side
+//! of introspection the paper contrasts with external tools: because the
+//! runtime emits its own events, there is no per-OS-thread cost, no fixed
+//! thread table, and no file per thread.
+//!
+//! Tracing is off by default; enabling it installs a bounded ring buffer
+//! so long runs cannot exhaust memory (oldest events are dropped, counted).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// One recorded task execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskSpan {
+    /// Monotonic task id.
+    pub task_id: u64,
+    /// Worker that executed the task.
+    pub worker: u32,
+    /// Start of execution, ns since the runtime clock's epoch.
+    pub start_ns: u64,
+    /// End of execution.
+    pub end_ns: u64,
+    /// Queue wait (spawn → start).
+    pub wait_ns: u64,
+}
+
+impl TaskSpan {
+    /// Execution duration.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// Bounded task-event recorder shared by all workers of a runtime.
+pub struct TaskTracer {
+    enabled: AtomicBool,
+    capacity: usize,
+    spans: Mutex<Vec<TaskSpan>>,
+    next: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl TaskTracer {
+    /// A tracer holding up to `capacity` most recent spans.
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(TaskTracer {
+            enabled: AtomicBool::new(false),
+            capacity: capacity.max(1),
+            spans: Mutex::new(Vec::new()),
+            next: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        })
+    }
+
+    /// Start recording.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    /// Stop recording (already-captured spans are kept).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Release);
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Acquire)
+    }
+
+    /// Record one span (no-op while disabled).
+    pub fn record(&self, span: TaskSpan) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut spans = self.spans.lock();
+        if spans.len() == self.capacity {
+            // Ring behaviour: overwrite the oldest slot.
+            let idx = (self.next.fetch_add(1, Ordering::Relaxed) as usize) % self.capacity;
+            spans[idx] = span;
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        } else {
+            spans.push(span);
+        }
+    }
+
+    /// Copy out the captured spans (ring order is not chronological once
+    /// the buffer wrapped; sort by `start_ns` for timelines).
+    pub fn spans(&self) -> Vec<TaskSpan> {
+        let mut v = self.spans.lock().clone();
+        v.sort_by_key(|s| s.start_ns);
+        v
+    }
+
+    /// Spans that were overwritten after the buffer filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Clear all captured state.
+    pub fn clear(&self) {
+        self.spans.lock().clear();
+        self.next.store(0, Ordering::Relaxed);
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+
+    /// Export as Chrome Trace Event Format (a JSON array of complete
+    /// events, one per task, thread id = worker): load the output in
+    /// `chrome://tracing` or Perfetto.
+    pub fn to_chrome_trace(&self) -> String {
+        let spans = self.spans();
+        let mut out = String::with_capacity(spans.len() * 96 + 2);
+        out.push('[');
+        for (i, s) in spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            // Times in the format are microseconds.
+            out.push_str(&format!(
+                "{{\"name\":\"task {}\",\"cat\":\"task\",\"ph\":\"X\",\"ts\":{:.3},\
+                 \"dur\":{:.3},\"pid\":0,\"tid\":{},\"args\":{{\"wait_us\":{:.3}}}}}",
+                s.task_id,
+                s.start_ns as f64 / 1e3,
+                s.duration_ns() as f64 / 1e3,
+                s.worker,
+                s.wait_ns as f64 / 1e3,
+            ));
+        }
+        out.push(']');
+        out
+    }
+
+    /// Simple per-worker utilization profile over the captured window:
+    /// (worker, busy_ns, tasks).
+    pub fn per_worker_profile(&self) -> Vec<(u32, u64, u64)> {
+        let spans = self.spans();
+        let mut map: std::collections::BTreeMap<u32, (u64, u64)> = Default::default();
+        for s in spans {
+            let e = map.entry(s.worker).or_insert((0, 0));
+            e.0 += s.duration_ns();
+            e.1 += 1;
+        }
+        map.into_iter().map(|(w, (busy, tasks))| (w, busy, tasks)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, worker: u32, start: u64, end: u64) -> TaskSpan {
+        TaskSpan { task_id: id, worker, start_ns: start, end_ns: end, wait_ns: 5 }
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = TaskTracer::new(8);
+        t.record(span(1, 0, 0, 10));
+        assert!(t.spans().is_empty());
+    }
+
+    #[test]
+    fn enabled_tracer_captures_in_order() {
+        let t = TaskTracer::new(8);
+        t.enable();
+        t.record(span(2, 0, 10, 20));
+        t.record(span(1, 1, 0, 5));
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].task_id, 1, "sorted by start time");
+        assert_eq!(spans[1].duration_ns(), 10);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let t = TaskTracer::new(3);
+        t.enable();
+        for i in 0..5 {
+            t.record(span(i, 0, i * 10, i * 10 + 5));
+        }
+        assert_eq!(t.spans().len(), 3);
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json() {
+        let t = TaskTracer::new(8);
+        t.enable();
+        t.record(span(7, 2, 1_000, 3_500));
+        let json = t.to_chrome_trace();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let ev = &parsed[0];
+        assert_eq!(ev["ph"], "X");
+        assert_eq!(ev["tid"], 2);
+        assert_eq!(ev["dur"], 2.5);
+        assert_eq!(ev["args"]["wait_us"], 0.005);
+    }
+
+    #[test]
+    fn per_worker_profile_aggregates() {
+        let t = TaskTracer::new(8);
+        t.enable();
+        t.record(span(1, 0, 0, 10));
+        t.record(span(2, 0, 20, 40));
+        t.record(span(3, 1, 0, 100));
+        let profile = t.per_worker_profile();
+        assert_eq!(profile, vec![(0, 30, 2), (1, 100, 1)]);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let t = TaskTracer::new(2);
+        t.enable();
+        for i in 0..4 {
+            t.record(span(i, 0, i, i + 1));
+        }
+        t.clear();
+        assert!(t.spans().is_empty());
+        assert_eq!(t.dropped(), 0);
+        assert_eq!(t.to_chrome_trace(), "[]");
+    }
+}

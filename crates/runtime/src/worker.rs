@@ -1,0 +1,169 @@
+//! Worker threads: the scheduling loop, the thread-local worker context,
+//! and the work-helping wait used by futures.
+
+use std::cell::RefCell;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+use crossbeam::deque::Worker as Deque;
+use crossbeam::sync::Parker;
+
+use crate::runtime::RuntimeInner;
+use crate::scheduler::Task;
+
+struct Ctx {
+    index: usize,
+    inner: Weak<RuntimeInner>,
+    /// Pointer to the worker's own deque, valid for the lifetime of the
+    /// worker loop; only ever dereferenced from this thread.
+    local: *const Deque<Task>,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// Whether the calling thread is one of a runtime's workers.
+pub(crate) fn on_worker_thread() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+/// The calling worker's index within its runtime, if any. Exposed through
+/// [`crate::runtime::Runtime::current_worker`].
+pub(crate) fn current_worker_index() -> Option<usize> {
+    CTX.with(|c| c.borrow().as_ref().map(|ctx| ctx.index))
+}
+
+fn current() -> Option<(usize, Arc<RuntimeInner>, *const Deque<Task>)> {
+    CTX.with(|c| {
+        c.borrow().as_ref().and_then(|ctx| {
+            ctx.inner.upgrade().map(|inner| (ctx.index, inner, ctx.local))
+        })
+    })
+}
+
+/// Push a task onto the calling worker's local deque if the caller is a
+/// worker of `inner`; returns the task back otherwise.
+pub(crate) fn push_local(inner: &Arc<RuntimeInner>, task: Task) -> Result<(), Task> {
+    let ptr = CTX.with(|c| {
+        c.borrow().as_ref().and_then(|ctx| {
+            // Only route to the local deque when it belongs to the same
+            // runtime (a thread can only serve one runtime, but be safe).
+            match ctx.inner.upgrade() {
+                Some(i) if Arc::ptr_eq(&i, inner) => Some(ctx.local),
+                _ => None,
+            }
+        })
+    });
+    match ptr {
+        Some(p) => {
+            // SAFETY: `p` points to the deque owned by this thread's worker
+            // loop, which is alive for as long as CTX is set.
+            inner.scheduler.push(task, Some(unsafe { &*p }));
+            Ok(())
+        }
+        None => Err(task),
+    }
+}
+
+/// Run one found task. Execution timing/accounting lives inside the task's
+/// wrapper (see `runtime::make_wrapper`) so it is ordered before the
+/// future's completion; here we only account the scheduler-side events.
+pub(crate) fn execute_task(inner: &Arc<RuntimeInner>, index: usize, task: Task, stolen: bool) {
+    if stolen {
+        inner.state.stats[index].stolen.fetch_add(1, Ordering::Relaxed);
+    }
+    inner.scheduler.note_started();
+    (task.run)();
+}
+
+/// The main scheduling loop of worker `index`.
+pub(crate) fn worker_loop(inner: Arc<RuntimeInner>, index: usize) {
+    let deque = inner.scheduler.deques[index]
+        .lock()
+        .take()
+        .expect("worker deque claimed twice");
+    let _pmu_guard = rpx_papi::DomainGuard::enter(inner.pmu.clone(), index);
+    CTX.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            index,
+            inner: Arc::downgrade(&inner),
+            local: &deque as *const _,
+        });
+    });
+
+    let parker = Parker::new();
+    let state = inner.state.clone();
+    let stats = state.stats[index].clone();
+
+    loop {
+        let t0 = state.clock.now_ns();
+        match inner.scheduler.find(index, &deque) {
+            Some((task, stolen)) => {
+                let t1 = state.clock.now_ns();
+                stats.record_overhead(t1.saturating_sub(t0));
+                execute_task(&inner, index, task, stolen);
+            }
+            None => {
+                if inner.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                // Register before the final check so a push that races with
+                // us is guaranteed to either be seen now or unpark us.
+                inner.scheduler.register_sleeper(index, parker.unparker().clone());
+                if inner.scheduler.pending_tasks() > 0
+                    || inner.shutdown.load(Ordering::Acquire)
+                {
+                    inner.scheduler.deregister_sleeper(index);
+                    continue;
+                }
+                parker.park_timeout(Duration::from_micros(500));
+                inner.scheduler.deregister_sleeper(index);
+                let t1 = state.clock.now_ns();
+                stats.idle_ns.fetch_add(t1.saturating_sub(t0), Ordering::Relaxed);
+            }
+        }
+    }
+
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// Work-helping wait: while `pred()` holds, execute other pending tasks on
+/// the calling worker; spin/yield briefly when no work is available. Falls
+/// back to yielding when called off a worker thread.
+pub(crate) fn help_while(pred: impl Fn() -> bool) {
+    let Some((index, inner, local)) = current() else {
+        while pred() {
+            std::thread::yield_now();
+        }
+        return;
+    };
+    // SAFETY: `local` is this thread's own deque; see `worker_loop`.
+    let deque = unsafe { &*local };
+    let stats = inner.state.stats[index].clone();
+    let mut idle_spins: u32 = 0;
+    while pred() {
+        let t0 = inner.state.clock.now_ns();
+        match inner.scheduler.find(index, deque) {
+            Some((task, stolen)) => {
+                let t1 = inner.state.clock.now_ns();
+                stats.record_overhead(t1.saturating_sub(t0));
+                execute_task(&inner, index, task, stolen);
+                idle_spins = 0;
+            }
+            None => {
+                idle_spins = idle_spins.saturating_add(1);
+                if idle_spins < 16 {
+                    std::hint::spin_loop();
+                } else if idle_spins < 64 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_micros(20));
+                }
+                let t1 = inner.state.clock.now_ns();
+                stats.idle_ns.fetch_add(t1.saturating_sub(t0), Ordering::Relaxed);
+            }
+        }
+    }
+}

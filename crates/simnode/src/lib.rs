@@ -1,0 +1,45 @@
+//! # rpx-simnode — a discrete-event multicore-node simulator
+//!
+//! The paper's evaluation runs on a dual-socket, 20-core Ivy Bridge node;
+//! this environment has a single vCPU, so strong-scaling experiments are
+//! reproduced *in virtual time* on a simulated node (DESIGN.md §3).
+//!
+//! The simulator executes a workload [`graph::TaskGraph`] under one of two
+//! runtime models:
+//!
+//! - **HPX-like** ([`cost::HpxCostModel`]): per-core LIFO deques, FIFO
+//!   stealing (nearest socket first), sub-microsecond spawn/dispatch costs;
+//! - **thread-per-task** ([`cost::StdCostModel`]): one OS thread per task,
+//!   a single kernel runqueue, ~22 µs thread creation paid by the spawner,
+//!   context-switch costs, and a live-thread resource limit that reproduces
+//!   the paper's Abort rows.
+//!
+//! Both share the machine model ([`machine::MachineConfig`]): fill-first
+//! core pinning, per-socket LLC sharing, per-socket memory-bandwidth
+//! saturation, and a cross-socket penalty that makes the paper's socket
+//! boundary visible. Outputs ([`result::SimResult`]) are the same
+//! quantities the paper reads from performance counters.
+//!
+//! ```
+//! use rpx_simnode::{graph::generators, SimConfig, simulate};
+//!
+//! // 256 coarse tasks on 8 simulated cores, HPX-like runtime.
+//! let g = generators::uniform(256, 1_000_000);
+//! let r = simulate(&g, &SimConfig::hpx(8));
+//! assert!(r.completed());
+//! assert!(r.makespan_ns >= g.total_work_ns() / 8);
+//! ```
+
+pub mod cost;
+pub mod engine;
+pub mod graph;
+pub mod machine;
+pub mod result;
+pub mod timeline;
+
+pub use cost::{HpxCostModel, SimRuntimeKind, StdCostModel};
+pub use engine::{scaling_sweep, simulate, SimConfig};
+pub use graph::{GraphBuilder, SimTask, TaskGraph, TaskId};
+pub use machine::MachineConfig;
+pub use result::{SimFailure, SimResult};
+pub use timeline::{SimSpan, Timeline, TimelineBin};

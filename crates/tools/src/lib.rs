@@ -1,0 +1,303 @@
+//! # rpx-tools — cost models of external profiling tools
+//!
+//! Section II of the paper shows that TAU and HPCToolkit, designed for a
+//! bounded number of long-lived OS threads, break down on thread-per-task
+//! programs: TAU's compile-time thread-slot table overflows (SegV even at
+//! 64 k slots), and HPCToolkit's per-thread file and unwind costs blow the
+//! run up or crash it (Table I). This crate models those documented
+//! failure causes so Table I can be regenerated against the simulated
+//! thread-per-task runs (DESIGN.md §3 records the substitution).
+//!
+//! The models are *descriptive*: each tool has a per-thread registration
+//! cost, a per-task sampling cost, a thread-capacity limit, and a memory /
+//! file-system budget; applying a model to a run summary yields either a
+//! slowed-down completion or the observed failure mode.
+
+use rpx_simnode::SimResult;
+
+/// Summary of an (instrumented) application run the tool attaches to.
+#[derive(Debug, Clone, Copy)]
+pub struct RunSummary {
+    /// Uninstrumented wall time, ns.
+    pub time_ns: u64,
+    /// Tasks executed — one OS thread each under the baseline runtime.
+    pub tasks: u64,
+    /// Peak concurrently-live threads.
+    pub peak_live_threads: u64,
+    /// Whether the uninstrumented run itself completed (the baseline
+    /// aborts on several Inncabs benchmarks before any tool is involved).
+    pub completed: bool,
+}
+
+impl RunSummary {
+    /// Build from a thread-per-task simulation result.
+    pub fn from_sim(result: &SimResult) -> Self {
+        RunSummary {
+            time_ns: result.makespan_ns,
+            tasks: result.tasks_executed,
+            peak_live_threads: result.peak_live_threads as u64,
+            completed: result.completed(),
+        }
+    }
+}
+
+/// What happened when the tool was attached (the cells of Table I).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ToolOutcome {
+    /// The run completed under the tool.
+    Completed {
+        /// Instrumented wall time, ns.
+        time_ns: u64,
+        /// Overhead relative to the uninstrumented run, percent.
+        overhead_pct: f64,
+    },
+    /// The tool crashed the program (thread table / address space).
+    SegV {
+        /// Threads at the crash.
+        at_threads: u64,
+    },
+    /// The program aborted on resource exhaustion (memory, file handles).
+    Abort,
+    /// The instrumented run exceeded the measurement time budget.
+    Timeout {
+        /// Projected instrumented time, ns.
+        projected_ns: u64,
+    },
+    /// Not applicable: the uninstrumented program already fails.
+    BaselineFails,
+}
+
+impl ToolOutcome {
+    /// Table I cell text.
+    pub fn cell(&self) -> String {
+        match self {
+            ToolOutcome::Completed { time_ns, overhead_pct } => {
+                format!("{:.0} ms ({overhead_pct:.0}%)", *time_ns as f64 / 1e6)
+            }
+            ToolOutcome::SegV { .. } => "SegV".into(),
+            ToolOutcome::Abort => "Abort".into(),
+            ToolOutcome::Timeout { .. } => "timeout".into(),
+            ToolOutcome::BaselineFails => "n/a".into(),
+        }
+    }
+
+    /// Whether the tool produced a usable measurement.
+    pub fn usable(&self) -> bool {
+        matches!(self, ToolOutcome::Completed { .. })
+    }
+}
+
+/// A profiling-tool cost model.
+#[derive(Debug, Clone)]
+pub struct ToolModel {
+    /// Tool name.
+    pub name: &'static str,
+    /// Fixed per-OS-thread cost (registration, per-thread buffers/files).
+    pub per_thread_ns: u64,
+    /// Per-task measurement cost (timers, samples, unwinds).
+    pub per_task_ns: u64,
+    /// Hard limit on threads the tool can register (TAU's compile-time
+    /// slot table); exceeding it crashes.
+    pub max_threads: Option<u64>,
+    /// Per-thread memory the tool commits; exceeding the budget aborts.
+    pub per_thread_bytes: u64,
+    /// Memory budget for tool data.
+    pub memory_budget_bytes: u64,
+    /// Per-thread file-system objects (HPCToolkit writes one file per
+    /// thread); exceeding the handle budget aborts.
+    pub files_per_thread: u64,
+    /// File-system object budget.
+    pub max_files: u64,
+    /// Measurement wall-clock budget; slower projected runs time out.
+    pub timeout_ns: u64,
+}
+
+impl ToolModel {
+    /// TAU with its documented behaviour: a thread-slot table fixed at
+    /// compile time (default 128; the paper raised it to 64 k and still
+    /// crashed because per-slot structures exhaust memory first).
+    pub fn tau(slots: u64) -> Self {
+        ToolModel {
+            name: "TAU",
+            per_thread_ns: 22_000_000, // registration + profile merge at churn
+            per_task_ns: 1_500,
+            max_threads: Some(slots),
+            per_thread_bytes: 4 << 20, // per-slot measurement structures
+            memory_budget_bytes: 64 << 30,
+            files_per_thread: 1,
+            max_files: u64::MAX,
+            timeout_ns: 30 * 60 * 1_000_000_000,
+        }
+    }
+
+    /// TAU at its default 128-thread table.
+    pub fn tau_default() -> Self {
+        ToolModel::tau(128)
+    }
+
+    /// TAU rebuilt with a 64 k table, as the paper attempted.
+    pub fn tau_64k() -> Self {
+        ToolModel::tau(64 * 1024)
+    }
+
+    /// HPCToolkit: no slot limit, but per-thread trace files and sampling
+    /// with call-stack unwinding; file-system pressure aborts large runs.
+    pub fn hpctoolkit() -> Self {
+        ToolModel {
+            name: "HPCToolkit",
+            per_thread_ns: 4_000_000, // file creation + thread attach
+            per_task_ns: 6_000,       // samples + unwinds per short task
+            max_threads: None,
+            per_thread_bytes: 1 << 20,
+            memory_budget_bytes: 64 << 30,
+            files_per_thread: 2, // measurements + trace
+            max_files: 120_000,
+            timeout_ns: 30 * 60 * 1_000_000_000,
+        }
+    }
+
+    /// Apply the model to a run.
+    pub fn apply(&self, run: &RunSummary) -> ToolOutcome {
+        if !run.completed {
+            return ToolOutcome::BaselineFails;
+        }
+        if let Some(max) = self.max_threads {
+            if run.tasks > max {
+                // The slot table overflows the moment thread #max+1 registers.
+                return ToolOutcome::SegV { at_threads: max + 1 };
+            }
+        }
+        if run.tasks.saturating_mul(self.per_thread_bytes) > self.memory_budget_bytes {
+            return ToolOutcome::Abort;
+        }
+        if run.tasks.saturating_mul(self.files_per_thread) > self.max_files {
+            return ToolOutcome::Abort;
+        }
+        let added = run
+            .tasks
+            .saturating_mul(self.per_thread_ns)
+            .saturating_add(run.tasks.saturating_mul(self.per_task_ns));
+        let projected = run.time_ns.saturating_add(added);
+        if projected > self.timeout_ns {
+            return ToolOutcome::Timeout { projected_ns: projected };
+        }
+        let overhead_pct = added as f64 / run.time_ns.max(1) as f64 * 100.0;
+        ToolOutcome::Completed { time_ns: projected, overhead_pct }
+    }
+}
+
+/// The intrinsic-counter "model" for comparison: the paper measures ≤10 %
+/// overhead for software counters (≤16 % with PAPI) even at very fine
+/// grain, with no per-thread state outside the runtime.
+pub fn intrinsic_counters_overhead_pct(avg_task_ns: f64, papi: bool) -> f64 {
+    // Per-task cost is bounded by a couple of relaxed atomic updates; the
+    // evaluate/reset queries amortize over whole sample intervals.
+    let per_task_cost = if papi { 160.0 } else { 60.0 };
+    (per_task_cost / avg_task_ns.max(1.0) * 100.0).min(if papi { 16.0 } else { 10.0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coarse_run() -> RunSummary {
+        // Alignment-like: 4 950 coarse tasks, ~1 s uninstrumented.
+        RunSummary { time_ns: 971_000_000, tasks: 4_950, peak_live_threads: 64, completed: true }
+    }
+
+    fn fine_run() -> RunSummary {
+        // Sort-like: 328 000 fine tasks.
+        RunSummary {
+            time_ns: 1_500_000_000,
+            tasks: 328_000,
+            peak_live_threads: 5_000,
+            completed: true,
+        }
+    }
+
+    #[test]
+    fn tau_default_crashes_beyond_128_threads() {
+        let out = ToolModel::tau_default().apply(&coarse_run());
+        assert_eq!(out, ToolOutcome::SegV { at_threads: 129 });
+    }
+
+    #[test]
+    fn tau_64k_completes_coarse_with_huge_overhead() {
+        let out = ToolModel::tau_64k().apply(&coarse_run());
+        match out {
+            ToolOutcome::Completed { overhead_pct, .. } => {
+                // Table I reports ~11 516 % on alignment.
+                assert!(
+                    (5_000.0..30_000.0).contains(&overhead_pct),
+                    "TAU overhead {overhead_pct:.0}% out of the Table I ballpark"
+                );
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tau_64k_still_fails_fine_grained_runs() {
+        let out = ToolModel::tau_64k().apply(&fine_run());
+        // 328k threads > 64k slots → SegV, exactly the paper's observation
+        // that even a 64k table does not save TAU.
+        assert!(matches!(out, ToolOutcome::SegV { .. }));
+    }
+
+    #[test]
+    fn hpctoolkit_aborts_on_file_pressure() {
+        let out = ToolModel::hpctoolkit().apply(&fine_run());
+        // 328k tasks × 2 files > 120k files.
+        assert_eq!(out, ToolOutcome::Abort);
+    }
+
+    #[test]
+    fn hpctoolkit_completes_coarse_with_overhead() {
+        let out = ToolModel::hpctoolkit().apply(&coarse_run());
+        match out {
+            ToolOutcome::Completed { overhead_pct, .. } => {
+                assert!(overhead_pct > 100.0, "per-thread files must hurt: {overhead_pct:.0}%");
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failing_baseline_yields_not_applicable() {
+        let run = RunSummary { time_ns: 0, tasks: 0, peak_live_threads: 97_000, completed: false };
+        assert_eq!(ToolModel::tau_64k().apply(&run), ToolOutcome::BaselineFails);
+        assert_eq!(ToolModel::hpctoolkit().apply(&run), ToolOutcome::BaselineFails);
+        assert_eq!(ToolOutcome::BaselineFails.cell(), "n/a");
+    }
+
+    #[test]
+    fn timeout_on_astronomical_projection() {
+        let run = RunSummary {
+            time_ns: 1_000_000_000,
+            tasks: 50_000,
+            peak_live_threads: 100,
+            completed: true,
+        };
+        let mut tool = ToolModel::tau(100_000);
+        tool.per_thread_ns = 100_000_000; // pathological registration cost
+        tool.per_thread_bytes = 0;
+        assert!(matches!(tool.apply(&run), ToolOutcome::Timeout { .. }));
+    }
+
+    #[test]
+    fn intrinsic_counters_stay_within_paper_bounds() {
+        // Very fine tasks (1 µs): bounded at 10 % / 16 %.
+        assert!(intrinsic_counters_overhead_pct(1_000.0, false) <= 10.0);
+        assert!(intrinsic_counters_overhead_pct(1_000.0, true) <= 16.0);
+        // Coarse tasks: negligible.
+        assert!(intrinsic_counters_overhead_pct(2_748_000.0, false) < 0.1);
+    }
+
+    #[test]
+    fn outcome_cells_format() {
+        let c = ToolOutcome::Completed { time_ns: 2_000_000_000, overhead_pct: 150.0 };
+        assert_eq!(c.cell(), "2000 ms (150%)");
+        assert!(c.usable());
+        assert!(!ToolOutcome::Abort.usable());
+    }
+}

@@ -1,0 +1,76 @@
+//! The APEX-style policy engine (paper §VII) steering task granularity:
+//! the same adaptation as `adaptive_throttling`, but expressed as a
+//! declarative policy evaluated by a background engine instead of inline
+//! application code.
+//!
+//! ```text
+//! cargo run --release --example policy_engine
+//! ```
+
+use std::time::Duration;
+
+use rpx::apex::{rules, Policy, PolicyEngine, Tunable};
+use rpx::runtime::{Runtime, RuntimeConfig};
+
+fn busy_work(items: u64) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..items {
+        acc = acc.wrapping_add(i.wrapping_mul(2_654_435_761));
+        acc ^= acc >> 13;
+    }
+    acc
+}
+
+fn main() {
+    let rt = Runtime::new(RuntimeConfig::with_workers(4));
+    let reg = rt.registry();
+
+    // The knob the application reads; the policy owns its adjustment.
+    let chunk = Tunable::new(500, 100, 500_000);
+    let policy = Policy::new(
+        "grain-control",
+        vec![
+            "/threads{locality#0/total}/time/average-overhead".into(),
+            "/threads{locality#0/total}/time/average".into(),
+        ],
+    )
+    .with_period(Duration::from_millis(20))
+    .with_rule(rules::ratio_band(
+        "/threads{locality#0/total}/time/average-overhead",
+        "/threads{locality#0/total}/time/average",
+        0.01,
+        0.05,
+        chunk.clone(),
+        4.0,
+        0.5,
+    ));
+    let engine = PolicyEngine::start(&reg, vec![policy]).expect("counters exist");
+    engine.register_counters(&reg);
+
+    const TOTAL: u64 = 4_000_000;
+    println!("{:>5} {:>10} {:>10}", "wave", "chunk", "tasks");
+    for wave in 0..10 {
+        let c = chunk.get() as u64;
+        let tasks = (TOTAL / c).max(1);
+        let futures: Vec<_> = (0..tasks).map(|_| rt.spawn(move || busy_work(c))).collect();
+        let mut sink = 0u64;
+        for f in futures {
+            sink ^= f.get();
+        }
+        std::hint::black_box(sink);
+        println!("{wave:>5} {c:>10} {tasks:>10}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    let fires = reg.evaluate("/apex/fires", false).unwrap().value;
+    let rule_ns = reg.evaluate("/apex/rule-time", false).unwrap().value;
+    println!(
+        "\npolicy fired {fires} times, {:.1} µs total rule time; final chunk = {} \
+         (adjusted {} times)",
+        rule_ns as f64 / 1e3,
+        chunk.get(),
+        chunk.changes()
+    );
+    engine.stop();
+    rt.shutdown();
+}

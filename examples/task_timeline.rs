@@ -1,0 +1,59 @@
+//! Export a task timeline from the runtime's own tracer — post-mortem
+//! analysis without any external tool attaching to the process (the
+//! paper's §II contrast: TAU/HPCToolkit need a thread table and a file
+//! per thread; the runtime just writes what it already knows).
+//!
+//! ```text
+//! cargo run --release --example task_timeline
+//! # then load /tmp/rpx_trace.json in chrome://tracing or ui.perfetto.dev
+//! ```
+
+use rpx::inncabs::{self, RpxSpawner};
+use rpx::runtime::{Runtime, RuntimeConfig};
+
+fn main() {
+    let rt = Runtime::new(RuntimeConfig::with_workers(4));
+    let tracer = rt.tracer();
+    tracer.enable();
+
+    // Trace a real benchmark: NQueens(8), one task per placement.
+    let sp = RpxSpawner::new(rt.handle());
+    let solutions = inncabs::nqueens::run(&sp, inncabs::nqueens::NQueensInput { n: 8 });
+    rt.wait_idle();
+    tracer.disable();
+
+    let spans = tracer.spans();
+    println!("nqueens(8) = {solutions} solutions, {} task spans captured", spans.len());
+    if tracer.dropped() > 0 {
+        println!("(ring buffer wrapped; {} oldest spans dropped)", tracer.dropped());
+    }
+
+    println!("\nper-worker profile:");
+    println!("{:>7} {:>12} {:>8} {:>12}", "worker", "busy µs", "tasks", "avg ns");
+    for (worker, busy_ns, tasks) in tracer.per_worker_profile() {
+        println!(
+            "{worker:>7} {:>12.1} {tasks:>8} {:>12.0}",
+            busy_ns as f64 / 1e3,
+            busy_ns as f64 / tasks.max(1) as f64
+        );
+    }
+
+    let path = std::env::temp_dir().join("rpx_trace.json");
+    std::fs::write(&path, tracer.to_chrome_trace()).expect("write trace");
+    println!("\nwrote {} — load it in chrome://tracing or ui.perfetto.dev", path.display());
+
+    // The wait-time distribution through a histogram counter, while we
+    // are at it: histogram of task durations sampled from the spans.
+    let durations: Vec<u64> = spans.iter().map(|s| s.duration_ns()).collect();
+    let max = *durations.iter().max().unwrap_or(&1);
+    let mut buckets = [0u64; 10];
+    for d in &durations {
+        buckets[((d * 9) / max.max(1)) as usize] += 1;
+    }
+    println!("\ntask-duration histogram (0 .. {:.1} µs):", max as f64 / 1e3);
+    for (i, c) in buckets.iter().enumerate() {
+        println!("  bucket {i}: {}", "#".repeat((*c as usize).min(60)));
+    }
+
+    rt.shutdown();
+}

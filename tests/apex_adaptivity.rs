@@ -1,0 +1,98 @@
+//! Integration: the APEX-style policy engine steering a live runtime
+//! through its intrinsic counters — the paper's §VII capability end to end.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rpx::apex::{rules, Policy, PolicyEngine, Tunable};
+use rpx::runtime::{Runtime, RuntimeConfig};
+
+fn busy(iters: u64) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..iters {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    acc
+}
+
+#[test]
+fn policy_engine_tunes_chunk_size_against_overhead_ratio() {
+    let rt = Runtime::new(RuntimeConfig::with_workers(2));
+    let reg = rt.registry();
+
+    // Knob: items per task. Start absurdly fine so overhead dominates.
+    let chunk = Tunable::new(200, 100, 1_000_000);
+    let policy = Policy::new(
+        "grain-control",
+        vec![
+            "/threads{locality#0/total}/time/average-overhead".into(),
+            "/threads{locality#0/total}/time/average".into(),
+        ],
+    )
+    .with_period(Duration::from_millis(10))
+    .with_rule(rules::ratio_band(
+        "/threads{locality#0/total}/time/average-overhead",
+        "/threads{locality#0/total}/time/average",
+        0.005,
+        0.05,
+        chunk.clone(),
+        4.0,
+        0.5,
+    ));
+    let engine = PolicyEngine::start(&reg, vec![policy]).unwrap();
+
+    // Drive waves of work whose granularity follows the knob.
+    const TOTAL: u64 = 1_000_000;
+    let mut last_chunk = chunk.get();
+    for _wave in 0..12 {
+        let c = chunk.get() as u64;
+        let tasks = (TOTAL / c).max(1);
+        let futures: Vec<_> = (0..tasks).map(|_| rt.spawn(move || busy(c))).collect();
+        let mut sink = 0u64;
+        for f in futures {
+            sink ^= f.get();
+        }
+        std::hint::black_box(sink);
+        last_chunk = chunk.get();
+        std::thread::sleep(Duration::from_millis(12)); // let the policy fire
+    }
+    engine.stop();
+    rt.shutdown();
+
+    assert!(
+        last_chunk >= 800,
+        "the policy should have coarsened the grain from 200, ended at {last_chunk}"
+    );
+    assert!(chunk.changes() > 0, "the knob must actually have been adjusted");
+}
+
+#[test]
+fn policy_engine_observes_runtime_counters_with_wildcards() {
+    let rt = Runtime::new(RuntimeConfig::with_workers(2));
+    let reg = rt.registry();
+    let seen = Arc::new(parking_lot::Mutex::new(0u64));
+    let s2 = seen.clone();
+    let policy = Policy::new(
+        "per-worker-watch",
+        vec!["/threads{locality#0/worker-thread#*}/count/cumulative".into()],
+    )
+    .with_period(Duration::from_millis(5))
+    .with_reset(false)
+    .with_rule(move |ctx| {
+        *s2.lock() = ctx.sum("/threads") as u64;
+    });
+    let engine = PolicyEngine::start(&reg, vec![policy]).unwrap();
+
+    let futures: Vec<_> = (0..300).map(|_| rt.spawn(|| ())).collect();
+    for f in futures {
+        f.get();
+    }
+    rt.wait_idle();
+    let t0 = std::time::Instant::now();
+    while *seen.lock() < 300 && t0.elapsed() < Duration::from_secs(5) {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    engine.stop();
+    assert!(*seen.lock() >= 300, "policy saw only {} tasks", *seen.lock());
+    rt.shutdown();
+}

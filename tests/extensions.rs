@@ -1,0 +1,140 @@
+//! Integration: the extension features — histogram counters, distributed
+//! (multi-locality) counter access, task tracing, and affinity layouts —
+//! working against live runtimes.
+
+use rpx::counters::histogram::snapshot_of;
+use rpx::counters::{CounterName, DistributedRegistry};
+use rpx::runtime::affinity::{BindSpec, Topology};
+use rpx::runtime::{Runtime, RuntimeConfig};
+
+fn spin(n: u64) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..n {
+        acc = acc.wrapping_add(i).rotate_left(7);
+    }
+    acc
+}
+
+#[test]
+fn histogram_of_live_task_durations() {
+    let rt = Runtime::new(RuntimeConfig::with_workers(2));
+    let reg = rt.registry();
+    let name: CounterName =
+        "/statistics/histogram@/threads{locality#0/total}/time/average,0,1000000,20"
+            .parse()
+            .unwrap();
+    let hist = reg.get_counter(&name).unwrap();
+
+    for round in 0..10 {
+        let futures: Vec<_> =
+            (0..20).map(|_| rt.spawn(move || std::hint::black_box(spin(1_000 * (round + 1))))).collect();
+        for f in futures {
+            f.get();
+        }
+        hist.get_value(false); // sample the average into the histogram
+    }
+
+    let snap = snapshot_of(&hist).expect("histogram downcast");
+    assert_eq!(snap.total(), 10, "one sample per round");
+    assert!(snap.mode().is_some());
+    rt.shutdown();
+}
+
+#[test]
+fn distributed_registry_over_two_runtimes() {
+    let rt0 = Runtime::new(RuntimeConfig { workers: 2, locality: 0, ..Default::default() });
+    let rt1 = Runtime::new(RuntimeConfig { workers: 2, locality: 1, ..Default::default() });
+    let cluster = DistributedRegistry::new(vec![rt0.registry(), rt1.registry()]);
+
+    let f0: Vec<_> = (0..50).map(|_| rt0.spawn(|| ())).collect();
+    let f1: Vec<_> = (0..150).map(|_| rt1.spawn(|| ())).collect();
+    f0.into_iter().for_each(|f| f.get());
+    f1.into_iter().for_each(|f| f.get());
+    rt0.wait_idle();
+    rt1.wait_idle();
+
+    // Remote point query.
+    let v = cluster
+        .evaluate("/threads{locality#1/total}/count/cumulative", false)
+        .unwrap();
+    assert_eq!(v.len(), 1);
+    assert!(v[0].1.value >= 150);
+
+    // Locality fan-out aggregation.
+    let total = cluster
+        .evaluate_sum("/threads{locality#*/total}/count/cumulative", false)
+        .unwrap();
+    assert!(total >= 200.0, "cluster-wide count {total}");
+
+    // Remote per-worker wildcard.
+    let per_worker = cluster
+        .evaluate("/threads{locality#1/worker-thread#*}/count/cumulative", false)
+        .unwrap();
+    assert_eq!(per_worker.len(), 2);
+    let sum: f64 = per_worker.iter().map(|(_, v)| v.scaled()).sum();
+    assert!(sum >= 150.0);
+
+    rt0.shutdown();
+    rt1.shutdown();
+}
+
+#[test]
+fn tracer_profile_accounts_for_all_workers_used() {
+    let rt = Runtime::new(RuntimeConfig::with_workers(3));
+    let tracer = rt.tracer();
+    tracer.enable();
+    let futures: Vec<_> = (0..600).map(|_| rt.spawn(|| std::hint::black_box(spin(2_000)))).collect();
+    for f in futures {
+        f.get();
+    }
+    tracer.disable();
+    let profile = tracer.per_worker_profile();
+    let tasks: u64 = profile.iter().map(|(_, _, t)| t).sum();
+    assert!(tasks >= 600);
+    // With 600 tasks on 3 workers, stealing should spread work to several
+    // workers (not a strict guarantee, but 600 tasks make it overwhelming).
+    assert!(profile.len() >= 2, "only {} workers ran tasks", profile.len());
+    rt.shutdown();
+}
+
+#[test]
+fn affinity_layouts_cover_the_paper_protocol() {
+    // The paper pins fill-first over a 2×10 topology; compact is exactly
+    // that, and every worker count the sweep uses gets a distinct core.
+    let topo = Topology { sockets: 2, cores_per_socket: 10, smt: 1 };
+    for workers in [1u32, 2, 4, 10, 11, 20] {
+        let placement = BindSpec::Compact.placement(&topo, workers);
+        let mut hw: Vec<u32> = placement.iter().map(|p| p.unwrap()).collect();
+        hw.sort_unstable();
+        hw.dedup();
+        assert_eq!(hw.len(), workers as usize, "distinct cores for {workers} workers");
+        // Fill-first: worker w sits on hw thread w.
+        assert_eq!(placement[0], Some(0));
+        if workers >= 11 {
+            assert_eq!(placement[10], Some(10), "11th worker crosses the socket");
+        }
+    }
+}
+
+#[test]
+fn sync_counters_visible_through_runtime_registry() {
+    let rt = Runtime::new(RuntimeConfig::with_workers(2));
+    let reg = rt.registry();
+    rpx::runtime::sync::register_sync_counters(&reg);
+    let m = std::sync::Arc::new(rpx::runtime::sync::Mutex::new(0u64));
+    let futures: Vec<_> = (0..100)
+        .map(|_| {
+            let m = m.clone();
+            rt.spawn(move || {
+                *m.lock() += 1;
+            })
+        })
+        .collect();
+    for f in futures {
+        f.get();
+    }
+    assert_eq!(*m.lock(), 100);
+    let acq = reg.evaluate("/synchronization/locks/acquisitions", false).unwrap();
+    assert!(acq.value >= 100);
+    rt.shutdown();
+}

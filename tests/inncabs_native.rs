@@ -1,0 +1,159 @@
+//! Integration: every Inncabs benchmark runs natively on the
+//! lightweight-task runtime (and a sample of them on the thread-per-task
+//! baseline) and reproduces the sequential oracle exactly.
+
+use std::sync::Arc;
+
+use rpx::baseline::BaselineRuntime;
+use rpx::inncabs::spawner::{RpxSpawner, StdSpawner};
+use rpx::inncabs::*;
+use rpx::runtime::{Runtime, RuntimeConfig};
+
+fn with_rpx<T>(f: impl FnOnce(&RpxSpawner) -> T) -> T {
+    let rt = Runtime::new(RuntimeConfig::with_workers(3));
+    let out = f(&RpxSpawner::new(rt.handle()));
+    rt.shutdown();
+    out
+}
+
+fn with_std<T>(f: impl FnOnce(&StdSpawner) -> T) -> T {
+    let rt = Arc::new(BaselineRuntime::with_defaults());
+    f(&StdSpawner::new(rt))
+}
+
+#[test]
+fn fib_on_rpx_matches_oracle() {
+    let input = fib::FibInput::test();
+    assert_eq!(with_rpx(|sp| fib::run(sp, input)), fib::run_serial(input));
+}
+
+#[test]
+fn fib_on_std_matches_oracle() {
+    let input = fib::FibInput { n: 10 }; // 177 OS threads
+    assert_eq!(with_std(|sp| fib::run(sp, input)), fib::run_serial(input));
+}
+
+#[test]
+fn sort_on_rpx_matches_oracle() {
+    let input = sort::SortInput::test();
+    assert_eq!(with_rpx(|sp| sort::run(sp, input)), sort::run_serial(input));
+}
+
+#[test]
+fn sort_on_std_matches_oracle() {
+    let input = sort::SortInput { len: 2_048, cutoff: 256, seed: 5 };
+    assert_eq!(with_std(|sp| sort::run(sp, input)), sort::run_serial(input));
+}
+
+#[test]
+fn strassen_on_rpx_matches_oracle() {
+    let input = strassen::StrassenInput { n: 32, cutoff: 8, seed: 2 };
+    let par = with_rpx(|sp| strassen::run(sp, input));
+    assert!(par.max_diff(&strassen::run_serial(input)) < 1e-6);
+}
+
+#[test]
+fn fft_on_rpx_matches_oracle() {
+    let input = fft::FftInput::test();
+    let par = with_rpx(|sp| fft::run(sp, input));
+    let ser = fft::run_serial(input);
+    assert!(par
+        .iter()
+        .zip(&ser)
+        .all(|(a, b)| (a.re - b.re).abs() < 1e-9 && (a.im - b.im).abs() < 1e-9));
+}
+
+#[test]
+fn nqueens_on_rpx_matches_oracle() {
+    let input = nqueens::NQueensInput { n: 7 };
+    assert_eq!(with_rpx(|sp| nqueens::run(sp, input)), nqueens::run_serial(input));
+}
+
+#[test]
+fn uts_on_rpx_matches_oracle() {
+    let input = uts::UtsInput::test();
+    assert_eq!(with_rpx(|sp| uts::run(sp, input)), uts::run_serial(input));
+}
+
+#[test]
+fn alignment_on_rpx_matches_oracle() {
+    let input = alignment::AlignmentInput::test();
+    assert_eq!(with_rpx(|sp| alignment::run(sp, input)), alignment::run_serial(input));
+}
+
+#[test]
+fn sparselu_on_rpx_matches_oracle() {
+    let input = sparselu::SparseLuInput::test();
+    let par = with_rpx(|sp| sparselu::run(sp, input)).to_dense();
+    let ser = sparselu::run_serial(input).to_dense();
+    assert_eq!(par.len(), ser.len());
+    let max = par.iter().zip(&ser).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+    assert!(max < 1e-9, "parallel LU diverged by {max}");
+}
+
+#[test]
+fn health_on_rpx_matches_oracle() {
+    let input = health::HealthInput::test();
+    assert_eq!(with_rpx(|sp| health::run(sp, input)), health::run_serial(input));
+}
+
+#[test]
+fn pyramids_on_rpx_matches_oracle() {
+    let input = pyramids::PyramidsInput::test();
+    let par = with_rpx(|sp| pyramids::run(sp, input));
+    let ser = pyramids::run_serial(input);
+    assert!(par.iter().zip(&ser).all(|(a, b)| (a - b).abs() < 1e-9));
+}
+
+#[test]
+fn floorplan_on_rpx_finds_the_optimal_area() {
+    let input = floorplan::FloorplanInput::test();
+    let par = with_rpx(|sp| floorplan::run(sp, input));
+    let ser = floorplan::run_serial(input);
+    // Node counts are order-dependent (the paper's anomaly); the optimum
+    // is not.
+    assert_eq!(par.best_area, ser.best_area);
+}
+
+#[test]
+fn qap_on_rpx_finds_the_optimal_cost() {
+    let input = qap::QapInput::test();
+    let par = with_rpx(|sp| qap::run(sp, input));
+    assert_eq!(par.best_cost, qap::brute_force(input));
+}
+
+#[test]
+fn intersim_on_rpx_matches_oracle() {
+    let input = intersim::IntersimInput::test();
+    assert_eq!(with_rpx(|sp| intersim::run(sp, input)), intersim::run_serial(input));
+}
+
+#[test]
+fn round_on_rpx_matches_oracle() {
+    let input = round::RoundInput::test();
+    assert_eq!(with_rpx(|sp| round::run(sp, input)), round::run_serial(input));
+}
+
+#[test]
+fn round_on_std_matches_oracle() {
+    let input = round::RoundInput { players: 4, rounds: 2, work: 500, seed: 3 };
+    assert_eq!(with_std(|sp| round::run(sp, input)), round::run_serial(input));
+}
+
+#[test]
+fn counters_observe_an_inncabs_run() {
+    // Running a benchmark leaves a coherent trail in the counters.
+    let rt = Runtime::new(RuntimeConfig::with_workers(2));
+    let reg = rt.registry();
+    reg.reset_active_counters();
+    let sp = RpxSpawner::new(rt.handle());
+    let _ = nqueens::run(&sp, nqueens::NQueensInput { n: 7 });
+    rt.wait_idle();
+    let tasks =
+        reg.evaluate("/threads{locality#0/total}/count/cumulative", false).unwrap().value;
+    let avg = reg.evaluate("/threads{locality#0/total}/time/average", false).unwrap();
+    // nqueens(7) explores a few hundred placements — each one a task.
+    assert!(tasks > 100, "expected >100 tasks, saw {tasks}");
+    assert!(avg.status.is_ok() && avg.value > 0);
+    rt.shutdown();
+}
