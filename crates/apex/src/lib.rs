@@ -305,7 +305,10 @@ impl PolicyEngine {
                                 .iter()
                                 .map(|(n, c)| (n.clone(), c.get_value(p.reset_on_read)))
                                 .collect();
-                            let ctx = PolicyContext { readings: &readings, fires: p.fires };
+                            let ctx = PolicyContext {
+                                readings: &readings,
+                                fires: p.fires,
+                            };
                             let t0 = clock.now_ns();
                             (p.rule)(&ctx);
                             stats2
@@ -317,7 +320,9 @@ impl PolicyEngine {
                         }
                         next_wake = next_wake.min(p.next_due);
                     }
-                    let sleep = next_wake.saturating_sub(epoch.elapsed()).min(Duration::from_millis(5));
+                    let sleep = next_wake
+                        .saturating_sub(epoch.elapsed())
+                        .min(Duration::from_millis(5));
                     if !sleep.is_zero() {
                         std::thread::sleep(sleep);
                     }
@@ -325,7 +330,11 @@ impl PolicyEngine {
             })
             .expect("failed to spawn policy engine thread");
 
-        Ok(PolicyEngine { stop, stats, handle: Some(handle) })
+        Ok(PolicyEngine {
+            stop,
+            stats,
+            handle: Some(handle),
+        })
     }
 
     /// Engine self-metrics.
@@ -378,7 +387,12 @@ mod tests {
         let reg = CounterRegistry::new();
         let v = Arc::new(AtomicI64::new(initial));
         let v2 = v.clone();
-        reg.register_raw("/app/metric", "m", "1", Arc::new(move || v2.load(Ordering::Relaxed)));
+        reg.register_raw(
+            "/app/metric",
+            "m",
+            "1",
+            Arc::new(move || v2.load(Ordering::Relaxed)),
+        );
         (reg, v)
     }
 
@@ -425,7 +439,10 @@ mod tests {
             .with_rule(rules::threshold_throttle("/app/metric", 50.0, k));
         let engine = PolicyEngine::start(&reg, vec![policy]).unwrap();
 
-        assert!(wait_until(2_000, || knob.get() <= 4), "knob should throttle under load");
+        assert!(
+            wait_until(2_000, || knob.get() <= 4),
+            "knob should throttle under load"
+        );
         // Load drops; the knob recovers.
         gauge.store(10, Ordering::Relaxed);
         assert!(wait_until(2_000, || knob.get() == 8), "knob should recover");
@@ -438,8 +455,18 @@ mod tests {
         let num = Arc::new(AtomicI64::new(90));
         let den = Arc::new(AtomicI64::new(100));
         let (n2, d2) = (num.clone(), den.clone());
-        reg.register_raw("/r/num", "n", "1", Arc::new(move || n2.load(Ordering::Relaxed)));
-        reg.register_raw("/r/den", "d", "1", Arc::new(move || d2.load(Ordering::Relaxed)));
+        reg.register_raw(
+            "/r/num",
+            "n",
+            "1",
+            Arc::new(move || n2.load(Ordering::Relaxed)),
+        );
+        reg.register_raw(
+            "/r/den",
+            "d",
+            "1",
+            Arc::new(move || d2.load(Ordering::Relaxed)),
+        );
         let knob = Tunable::new(100, 1, 10_000);
         let k = knob.clone();
         let policy = Policy::new("band", vec!["/r/num".into(), "/r/den".into()])
@@ -449,10 +476,18 @@ mod tests {
         let engine = PolicyEngine::start(&reg, vec![policy]).unwrap();
 
         // ratio = 0.9 > 0.5 → knob grows.
-        assert!(wait_until(2_000, || knob.get() >= 800), "knob should grow: {}", knob.get());
+        assert!(
+            wait_until(2_000, || knob.get() >= 800),
+            "knob should grow: {}",
+            knob.get()
+        );
         // ratio = 0.01 < 0.1 → knob shrinks.
         num.store(1, Ordering::Relaxed);
-        assert!(wait_until(2_000, || knob.get() <= 100), "knob should shrink: {}", knob.get());
+        assert!(
+            wait_until(2_000, || knob.get() <= 100),
+            "knob should shrink: {}",
+            knob.get()
+        );
         engine.stop();
     }
 
@@ -461,7 +496,12 @@ mod tests {
         let reg = CounterRegistry::new();
         let v = Arc::new(AtomicI64::new(0));
         let v2 = v.clone();
-        reg.register_monotonic("/m/count", "h", "1", Arc::new(move || v2.load(Ordering::Relaxed)));
+        reg.register_monotonic(
+            "/m/count",
+            "h",
+            "1",
+            Arc::new(move || v2.load(Ordering::Relaxed)),
+        );
         let seen = Arc::new(parking_lot::Mutex::new(Vec::new()));
         let s2 = seen.clone();
         let policy = Policy::new("watch", vec!["/m/count".into()])
@@ -479,7 +519,11 @@ mod tests {
         engine.stop();
         let observed: i64 = seen.lock().iter().sum();
         let remainder = reg.evaluate("/m/count", false).unwrap().value;
-        assert_eq!(observed + remainder, 50, "per-interval deltas must sum to the total");
+        assert_eq!(
+            observed + remainder,
+            50,
+            "per-interval deltas must sum to the total"
+        );
     }
 
     #[test]
@@ -492,12 +536,14 @@ mod tests {
     #[test]
     fn engine_self_counters() {
         let (reg, _gauge) = registry_with_gauge(1);
-        let policy = Policy::new("noop", vec!["/app/metric".into()])
-            .with_period(Duration::from_millis(1));
+        let policy =
+            Policy::new("noop", vec!["/app/metric".into()]).with_period(Duration::from_millis(1));
         let engine = PolicyEngine::start(&reg, vec![policy]).unwrap();
         engine.register_counters(&reg);
         assert!(wait_until(2_000, || {
-            reg.evaluate("/apex/fires", false).map(|v| v.value >= 3).unwrap_or(false)
+            reg.evaluate("/apex/fires", false)
+                .map(|v| v.value >= 3)
+                .unwrap_or(false)
         }));
         engine.stop();
     }
@@ -511,7 +557,10 @@ mod tests {
             ("/a/x".parse().unwrap(), CounterValue::new(3, 0)),
             ("/a/y".parse().unwrap(), CounterValue::new(4, 0)),
         ];
-        let ctx = PolicyContext { readings: &readings, fires: 0 };
+        let ctx = PolicyContext {
+            readings: &readings,
+            fires: 0,
+        };
         assert_eq!(ctx.sum("/a/"), 7.0);
         assert_eq!(ctx.value("/a/y"), Some(4.0));
         assert_eq!(ctx.value("/nope"), None);

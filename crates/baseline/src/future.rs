@@ -15,7 +15,10 @@ pub(crate) struct Slot<T> {
 
 impl<T> Slot<T> {
     pub(crate) fn new() -> Arc<Self> {
-        Arc::new(Slot { value: Mutex::new(None), cond: Condvar::new() })
+        Arc::new(Slot {
+            value: Mutex::new(None),
+            cond: Condvar::new(),
+        })
     }
 
     pub(crate) fn fill(&self, v: Result<T, Box<dyn Any + Send>>) {
@@ -58,7 +61,12 @@ impl<T> ThreadFuture<T> {
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
-        let v = self.slot.value.lock().take().expect("value present after wait");
+        let v = self
+            .slot
+            .value
+            .lock()
+            .take()
+            .expect("value present after wait");
         match v {
             Ok(v) => v,
             Err(p) => std::panic::resume_unwind(p),
@@ -77,7 +85,9 @@ impl<T> Drop for ThreadFuture<T> {
 
 impl<T> std::fmt::Debug for ThreadFuture<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ThreadFuture").field("ready", &self.is_ready()).finish()
+        f.debug_struct("ThreadFuture")
+            .field("ready", &self.is_ready())
+            .finish()
     }
 }
 
@@ -88,7 +98,10 @@ mod tests {
     #[test]
     fn fill_and_get() {
         let slot = Slot::new();
-        let f = ThreadFuture { slot: slot.clone(), handle: None };
+        let f = ThreadFuture {
+            slot: slot.clone(),
+            handle: None,
+        };
         assert!(!f.is_ready());
         slot.fill(Ok(5));
         assert!(f.is_ready());

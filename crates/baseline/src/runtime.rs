@@ -34,7 +34,10 @@ pub enum SpawnError {
 impl std::fmt::Display for SpawnError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SpawnError::ResourceExhausted { live_threads, committed_stack } => write!(
+            SpawnError::ResourceExhausted {
+                live_threads,
+                committed_stack,
+            } => write!(
                 f,
                 "thread resources exhausted: {live_threads} live threads, \
                  {committed_stack} bytes of stack committed"
@@ -77,7 +80,10 @@ impl Default for BaselineConfig {
 impl BaselineConfig {
     /// A tight configuration for tests: fail beyond `max_live` threads.
     pub fn with_live_limit(max_live: usize) -> Self {
-        BaselineConfig { max_live_threads: max_live, ..BaselineConfig::default() }
+        BaselineConfig {
+            max_live_threads: max_live,
+            ..BaselineConfig::default()
+        }
     }
 }
 
@@ -136,7 +142,11 @@ impl BaselineRuntime {
         let stats = Arc::new(BaselineStats::default());
         let registry = CounterRegistry::new();
         register_baseline_counters(&registry, &stats);
-        BaselineRuntime { config, stats, registry }
+        BaselineRuntime {
+            config,
+            stats,
+            registry,
+        }
     }
 
     /// Build with the default (paper-scale) resource model.
@@ -181,7 +191,10 @@ impl BaselineRuntime {
             })?;
         let ns = t0.elapsed().as_nanos() as u64;
         self.stats.note_spawned(ns);
-        Ok(ThreadFuture { slot, handle: Some(handle) })
+        Ok(ThreadFuture {
+            slot,
+            handle: Some(handle),
+        })
     }
 
     /// The accounting block (live threads, spawn cost, failures).
@@ -237,7 +250,10 @@ fn register_baseline_counters(registry: &Arc<CounterRegistry>, stats: &Arc<Basel
         "average cost of one std::thread spawn (the baseline's task overhead)",
         "ns",
         Arc::new(move || {
-            (s.spawn_ns.load(Ordering::Relaxed), s.spawned.load(Ordering::Relaxed))
+            (
+                s.spawn_ns.load(Ordering::Relaxed),
+                s.spawned.load(Ordering::Relaxed),
+            )
         }),
     );
     let s = stats.clone();
@@ -257,7 +273,9 @@ mod tests {
     fn spawn_runs_on_new_thread() {
         let rt = BaselineRuntime::with_defaults();
         let here = std::thread::current().id();
-        let f = rt.spawn(move || std::thread::current().id() != here).unwrap();
+        let f = rt
+            .spawn(move || std::thread::current().id() != here)
+            .unwrap();
         assert!(f.get(), "task must run on a different OS thread");
     }
 
@@ -281,7 +299,13 @@ mod tests {
             std::thread::yield_now();
         }
         let err = rt.spawn(|| ()).unwrap_err();
-        assert!(matches!(err, SpawnError::ResourceExhausted { live_threads: 4, .. }));
+        assert!(matches!(
+            err,
+            SpawnError::ResourceExhausted {
+                live_threads: 4,
+                ..
+            }
+        ));
         assert_eq!(rt.stats().failed_spawns.load(Ordering::Relaxed), 1);
         drop(held);
         for f in futures {
@@ -335,16 +359,24 @@ mod tests {
         for f in futures {
             f.get();
         }
-        let v = rt.registry().evaluate("/os-threads/time/average-spawn", false).unwrap();
+        let v = rt
+            .registry()
+            .evaluate("/os-threads/time/average-spawn", false)
+            .unwrap();
         assert!(v.value > 0, "thread spawn must cost measurable time");
-        let c = rt.registry().evaluate("/os-threads/count/cumulative", false).unwrap();
+        let c = rt
+            .registry()
+            .evaluate("/os-threads/count/cumulative", false)
+            .unwrap();
         assert_eq!(c.value, 10);
     }
 
     #[test]
     fn panic_in_task_propagates() {
         let rt = BaselineRuntime::with_defaults();
-        let f = rt.spawn(|| -> i32 { panic!("thread task panicked") }).unwrap();
+        let f = rt
+            .spawn(|| -> i32 { panic!("thread task panicked") })
+            .unwrap();
         assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || f.get())).is_err());
         // live count still returns to zero.
         while rt.stats().live.load(Ordering::Acquire) > 0 {

@@ -19,12 +19,17 @@ fn bench_queue_modes(c: &mut Criterion) {
     g.warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_secs(1))
         .sample_size(10);
-    g.bench_function("sim_local_queues", |b| b.iter(|| simulate(&graph, &SimConfig::hpx(8))));
+    g.bench_function("sim_local_queues", |b| {
+        b.iter(|| simulate(&graph, &SimConfig::hpx(8)))
+    });
     g.bench_function("sim_global_queue", |b| {
         let config = SimConfig {
             machine: rpx_simnode::MachineConfig::ivy_bridge_2s10c(),
             cores: 8,
-            runtime: SimRuntimeKind::Hpx { cost: HpxCostModel::default(), global_queue: true },
+            runtime: SimRuntimeKind::Hpx {
+                cost: HpxCostModel::default(),
+                global_queue: true,
+            },
             collect_spans: false,
         };
         b.iter(|| simulate(&graph, &config))
@@ -37,9 +42,10 @@ fn bench_native_queue_modes(c: &mut Criterion) {
     g.warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(1))
         .sample_size(10);
-    for (label, mode) in
-        [("local", SchedulerMode::LocalQueues), ("global", SchedulerMode::GlobalQueue)]
-    {
+    for (label, mode) in [
+        ("local", SchedulerMode::LocalQueues),
+        ("global", SchedulerMode::GlobalQueue),
+    ] {
         g.bench_function(label, |b| {
             let rt = Runtime::new(RuntimeConfig {
                 workers: 2,
@@ -132,7 +138,10 @@ fn bench_steal_cost_sensitivity(c: &mut Criterion) {
             machine: rpx_simnode::MachineConfig::ivy_bridge_2s10c(),
             cores: 8,
             runtime: SimRuntimeKind::Hpx {
-                cost: HpxCostModel { steal_ns, ..HpxCostModel::default() },
+                cost: HpxCostModel {
+                    steal_ns,
+                    ..HpxCostModel::default()
+                },
                 global_queue: false,
             },
             collect_spans: false,

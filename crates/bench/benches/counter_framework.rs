@@ -11,7 +11,8 @@ use rpx_counters::{CounterName, CounterRegistry};
 
 fn bench_name_parsing(c: &mut Criterion) {
     let mut g = c.benchmark_group("counter_names");
-    g.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_millis(800));
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
     g.bench_function("parse_plain", |b| {
         b.iter(|| "/threads/time/average".parse::<CounterName>().unwrap())
     });
@@ -23,8 +24,9 @@ fn bench_name_parsing(c: &mut Criterion) {
         })
     });
     g.bench_function("render", |b| {
-        let n: CounterName =
-            "/threads{locality#0/worker-thread#7}/time/average".parse().unwrap();
+        let n: CounterName = "/threads{locality#0/worker-thread#7}/time/average"
+            .parse()
+            .unwrap();
         b.iter(|| n.to_string())
     });
     g.finish();
@@ -34,9 +36,19 @@ fn registry_with_sources() -> (Arc<CounterRegistry>, Arc<AtomicI64>) {
     let reg = CounterRegistry::new();
     let v = Arc::new(AtomicI64::new(12345));
     let v2 = v.clone();
-    reg.register_raw("/x/raw", "h", "1", Arc::new(move || v2.load(Ordering::Relaxed)));
+    reg.register_raw(
+        "/x/raw",
+        "h",
+        "1",
+        Arc::new(move || v2.load(Ordering::Relaxed)),
+    );
     let v2 = v.clone();
-    reg.register_monotonic("/x/mono", "h", "1", Arc::new(move || v2.load(Ordering::Relaxed)));
+    reg.register_monotonic(
+        "/x/mono",
+        "h",
+        "1",
+        Arc::new(move || v2.load(Ordering::Relaxed)),
+    );
     let v2 = v.clone();
     reg.register_average(
         "/x/avg",
@@ -52,11 +64,16 @@ fn bench_evaluation(c: &mut Criterion) {
     let raw = reg.get_counter(&"/x/raw".parse().unwrap()).unwrap();
     let mono = reg.get_counter(&"/x/mono".parse().unwrap()).unwrap();
     let avg = reg.get_counter(&"/x/avg".parse().unwrap()).unwrap();
-    let derived = reg.get_counter(&"/arithmetics/add@/x/raw,/x/mono".parse().unwrap()).unwrap();
-    let stat = reg.get_counter(&"/statistics/rolling_average@/x/raw,64".parse().unwrap()).unwrap();
+    let derived = reg
+        .get_counter(&"/arithmetics/add@/x/raw,/x/mono".parse().unwrap())
+        .unwrap();
+    let stat = reg
+        .get_counter(&"/statistics/rolling_average@/x/raw,64".parse().unwrap())
+        .unwrap();
 
     let mut g = c.benchmark_group("counter_evaluation");
-    g.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_millis(800));
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
     g.bench_function("raw", |b| b.iter(|| raw.get_value(false)));
     g.bench_function("monotonic_with_reset", |b| b.iter(|| mono.get_value(true)));
     g.bench_function("average", |b| b.iter(|| avg.get_value(false)));
@@ -72,14 +89,24 @@ fn bench_active_set(c: &mut Criterion) {
     reg.add_active("/x/avg").unwrap();
 
     let mut g = c.benchmark_group("active_set");
-    g.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_millis(800));
-    g.bench_function("evaluate_3_counters", |b| b.iter(|| reg.evaluate_active_counters(false)));
-    g.bench_function("evaluate_reset_3_counters", |b| b.iter(|| reg.evaluate_active_counters(true)));
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    g.bench_function("evaluate_3_counters", |b| {
+        b.iter(|| reg.evaluate_active_counters(false))
+    });
+    g.bench_function("evaluate_reset_3_counters", |b| {
+        b.iter(|| reg.evaluate_active_counters(true))
+    });
     g.bench_function("resolve_by_name_cached", |b| {
         b.iter(|| reg.evaluate("/x/raw", false).unwrap())
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_name_parsing, bench_evaluation, bench_active_set);
+criterion_group!(
+    benches,
+    bench_name_parsing,
+    bench_evaluation,
+    bench_active_set
+);
 criterion_main!(benches);

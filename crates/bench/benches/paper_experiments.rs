@@ -15,8 +15,12 @@ fn bench_tables(c: &mut Criterion) {
     g.warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(2))
         .sample_size(10);
-    g.bench_function("table1_tools_vs_baseline", |b| b.iter(|| table1(InputScale::Test)));
-    g.bench_function("table5_classification", |b| b.iter(|| table5(InputScale::Test)));
+    g.bench_function("table1_tools_vs_baseline", |b| {
+        b.iter(|| table1(InputScale::Test))
+    });
+    g.bench_function("table5_classification", |b| {
+        b.iter(|| table5(InputScale::Test))
+    });
     g.finish();
 }
 
@@ -27,7 +31,9 @@ fn bench_figures(c: &mut Criterion) {
         .sample_size(10);
     for (id, benchmark, _) in ALL_FIGURES {
         let name = format!("fig{:02}_{}", id, benchmark.entry().name);
-        g.bench_function(&name, move |b| b.iter(|| figure(id, InputScale::Test).unwrap()));
+        g.bench_function(&name, move |b| {
+            b.iter(|| figure(id, InputScale::Test).unwrap())
+        });
     }
     g.finish();
 }
@@ -39,7 +45,12 @@ fn bench_simulation_kernels(c: &mut Criterion) {
     g.warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_secs(1))
         .sample_size(10);
-    for bench in [Benchmark::Fib, Benchmark::Alignment, Benchmark::Uts, Benchmark::Sort] {
+    for bench in [
+        Benchmark::Fib,
+        Benchmark::Alignment,
+        Benchmark::Uts,
+        Benchmark::Sort,
+    ] {
         let graph = bench.sim_graph(InputScale::Test);
         let name = format!("hpx_20c_{}", bench.entry().name);
         g.bench_function(&name, |b| b.iter(|| simulate(&graph, &SimConfig::hpx(20))));
@@ -47,5 +58,10 @@ fn bench_simulation_kernels(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_tables, bench_figures, bench_simulation_kernels);
+criterion_group!(
+    benches,
+    bench_tables,
+    bench_figures,
+    bench_simulation_kernels
+);
 criterion_main!(benches);

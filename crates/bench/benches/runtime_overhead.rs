@@ -66,15 +66,19 @@ fn bench_counter_query_during_run(c: &mut Criterion) {
     // The in-situ query cost: reading counters while workers are busy.
     let rt = Runtime::new(RuntimeConfig::with_workers(2));
     let reg = rt.registry();
-    reg.add_active("/threads{locality#0/total}/time/average").unwrap();
-    reg.add_active("/threads{locality#0/total}/count/cumulative").unwrap();
+    reg.add_active("/threads{locality#0/total}/time/average")
+        .unwrap();
+    reg.add_active("/threads{locality#0/total}/count/cumulative")
+        .unwrap();
     // Keep the workers busy in the background.
     let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
     let s2 = stop.clone();
     let h = rt.handle();
     let bg = rt.spawn(move || {
         while !s2.load(std::sync::atomic::Ordering::Acquire) {
-            let futures: Vec<_> = (0..64).map(|_| h.spawn(|| std::hint::black_box(3 * 7))).collect();
+            let futures: Vec<_> = (0..64)
+                .map(|_| h.spawn(|| std::hint::black_box(3 * 7)))
+                .collect();
             for f in futures {
                 f.get();
             }
@@ -82,7 +86,8 @@ fn bench_counter_query_during_run(c: &mut Criterion) {
     });
 
     let mut g = c.benchmark_group("in_situ_query");
-    g.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_millis(800));
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
     g.bench_function("evaluate_active_while_busy", |b| {
         b.iter(|| reg.evaluate_active_counters(false))
     });
@@ -93,5 +98,10 @@ fn bench_counter_query_during_run(c: &mut Criterion) {
     rt.shutdown();
 }
 
-criterion_group!(benches, bench_spawn_costs, bench_burst_throughput, bench_counter_query_during_run);
+criterion_group!(
+    benches,
+    bench_spawn_costs,
+    bench_burst_throughput,
+    bench_counter_query_during_run
+);
 criterion_main!(benches);

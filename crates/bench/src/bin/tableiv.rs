@@ -90,7 +90,10 @@ fn main() {
             machine: MachineConfig::ivy_bridge_2s10c(),
             cores: 16,
             runtime: SimRuntimeKind::Hpx {
-                cost: HpxCostModel { spawn_serial_ns: serial_ns, ..HpxCostModel::default() },
+                cost: HpxCostModel {
+                    spawn_serial_ns: serial_ns,
+                    ..HpxCostModel::default()
+                },
                 global_queue: false,
             },
             collect_spans: false,
@@ -103,10 +106,15 @@ fn main() {
     // 4. Queue discipline (native, 2 workers, 2000-task burst).
     // ------------------------------------------------------------------
     println!("\n4. Queue discipline (native, 2000-task burst, median of 5):");
-    for (label, mode) in
-        [("local-queues", SchedulerMode::LocalQueues), ("global-queue", SchedulerMode::GlobalQueue)]
-    {
-        let rt = Runtime::new(RuntimeConfig { workers: 2, mode, ..RuntimeConfig::default() });
+    for (label, mode) in [
+        ("local-queues", SchedulerMode::LocalQueues),
+        ("global-queue", SchedulerMode::GlobalQueue),
+    ] {
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 2,
+            mode,
+            ..RuntimeConfig::default()
+        });
         let samples: Vec<f64> = (0..5)
             .map(|_| {
                 let t0 = Instant::now();

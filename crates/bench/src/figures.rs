@@ -85,7 +85,12 @@ fn exec_time_figure(id: u32, benchmark: Benchmark, scale: InputScale) -> Figure 
         points: sweep
             .points
             .iter()
-            .map(|p| (p.cores, p.result.completed().then(|| ms(p.result.makespan_ns))))
+            .map(|p| {
+                (
+                    p.cores,
+                    p.result.completed().then(|| ms(p.result.makespan_ns)),
+                )
+            })
             .collect(),
     };
     Figure {
@@ -148,13 +153,24 @@ fn bandwidth_figure(id: u32, benchmark: Benchmark, scale: InputScale) -> Figure 
     let points = hpx
         .points
         .iter()
-        .map(|p| (p.cores, p.result.completed().then(|| p.result.offcore_bandwidth_gbps())))
+        .map(|p| {
+            (
+                p.cores,
+                p.result
+                    .completed()
+                    .then(|| p.result.offcore_bandwidth_gbps()),
+            )
+        })
         .collect();
     Figure {
         id,
         title: format!("{name} OFFCORE bandwidth (requests × 64 B / time)"),
         benchmark: name.to_owned(),
-        series: vec![Series { label: "offcore_bw".into(), unit: "GB/s", points }],
+        series: vec![Series {
+            label: "offcore_bw".into(),
+            unit: "GB/s",
+            points,
+        }],
     }
 }
 
@@ -225,7 +241,10 @@ mod tests {
         let hpx = &fig.series[0];
         let std = &fig.series[1];
         let (h, s) = (hpx.points[2].1.unwrap(), std.points[2].1.unwrap());
-        assert!(s > 3.0 * h, "std ({s:.2}ms) should be ≫ hpx ({h:.2}ms) on very fine tasks");
+        assert!(
+            s > 3.0 * h,
+            "std ({s:.2}ms) should be ≫ hpx ({h:.2}ms) on very fine tasks"
+        );
     }
 
     #[test]
@@ -243,7 +262,10 @@ mod tests {
         let bw = &fig.series[0];
         let b1 = bw.points[0].1.unwrap();
         let b10 = bw.points[5].1.unwrap();
-        assert!(b10 > b1, "bandwidth should grow with cores: {b1:.2} → {b10:.2} GB/s");
+        assert!(
+            b10 > b1,
+            "bandwidth should grow with cores: {b1:.2} → {b10:.2} GB/s"
+        );
     }
 
     #[test]
@@ -251,7 +273,9 @@ mod tests {
         let fig = figure(1, InputScale::Test).unwrap();
         let text = render_figure(&fig);
         for c in CORE_COUNTS {
-            assert!(text.lines().any(|l| l.trim_start().starts_with(&c.to_string())));
+            assert!(text
+                .lines()
+                .any(|l| l.trim_start().starts_with(&c.to_string())));
         }
     }
 }

@@ -72,7 +72,11 @@ pub fn sweep_graph(graph: &TaskGraph, name: &str, runtime: SimRuntimeKind) -> Sw
         .into_iter()
         .map(|(cores, result)| ScalingPoint { cores, result })
         .collect();
-    SweepOutcome { benchmark: name.to_owned(), runtime: runtime.label().to_owned(), points }
+    SweepOutcome {
+        benchmark: name.to_owned(),
+        runtime: runtime.label().to_owned(),
+        points,
+    }
 }
 
 /// Table V's "scales to N" classification: the largest core count that
@@ -86,7 +90,9 @@ pub fn scaling_limit(outcome: &SweepOutcome) -> Option<u32> {
     let mut limit = 1;
     let mut prev: Option<u64> = None;
     for p in &outcome.points {
-        let Some(t) = outcome.time_at(p.cores) else { continue };
+        let Some(t) = outcome.time_at(p.cores) else {
+            continue;
+        };
         if let Some(pt) = prev {
             if (t as f64) < pt as f64 * 0.98 {
                 limit = p.cores;
@@ -104,21 +110,26 @@ mod tests {
 
     #[test]
     fn coarse_benchmark_scales_far_on_hpx() {
-        let sweep = measure_scaling(Benchmark::Alignment, InputScale::Test, SimRuntimeKind::hpx());
+        let sweep = measure_scaling(
+            Benchmark::Alignment,
+            InputScale::Test,
+            SimRuntimeKind::hpx(),
+        );
         assert!(!sweep.any_failed());
         let limit = scaling_limit(&sweep).unwrap();
         // 28 coarse tasks at test scale: scaling must reach several cores.
-        assert!(limit >= 4, "alignment should scale past 4 cores, limit={limit}");
+        assert!(
+            limit >= 4,
+            "alignment should scale past 4 cores, limit={limit}"
+        );
         let s = sweep.speedup_at(limit).unwrap();
         assert!(s > 2.0, "speedup {s:.2} too small at {limit} cores");
     }
 
     #[test]
     fn very_fine_benchmark_scales_worse_than_coarse() {
-        let fine =
-            measure_scaling(Benchmark::Fib, InputScale::Test, SimRuntimeKind::hpx());
-        let coarse =
-            measure_scaling(Benchmark::Round, InputScale::Test, SimRuntimeKind::hpx());
+        let fine = measure_scaling(Benchmark::Fib, InputScale::Test, SimRuntimeKind::hpx());
+        let coarse = measure_scaling(Benchmark::Round, InputScale::Test, SimRuntimeKind::hpx());
         let fine_speed = fine.speedup_at(20).unwrap_or(1.0);
         let coarse_speed = coarse.speedup_at(20).unwrap_or(1.0);
         // Round (coarse, 8 players) has limited width too, so compare

@@ -18,10 +18,10 @@ use serde::Serialize;
 pub fn paper_tasks_full(b: Benchmark) -> u64 {
     let e = b.entry();
     e.paper_tasks.unwrap_or(match b {
-        Benchmark::Fib => 2_700_000,      // fib(30) call tree
-        Benchmark::NQueens => 1_500_000,  // n=13 search tree
-        Benchmark::Qap => 30_000,         // the smallest input (paper §V-D)
-        Benchmark::Uts => 4_000_000,      // the T1 geometric tree
+        Benchmark::Fib => 2_700_000,     // fib(30) call tree
+        Benchmark::NQueens => 1_500_000, // n=13 search tree
+        Benchmark::Qap => 30_000,        // the smallest input (paper §V-D)
+        Benchmark::Uts => 4_000_000,     // the T1 geometric tree
         _ => 100_000,
     })
 }
@@ -36,7 +36,10 @@ pub fn scaled_std_runtime(b: Benchmark, graph_len: usize) -> SimRuntimeKind {
     let ratio = graph_len as f64 / paper_tasks_full(b) as f64;
     let limit = ((90_000.0 * ratio * 1.15) as u32).clamp(1_000, 90_000);
     SimRuntimeKind::ThreadPerTask {
-        cost: StdCostModel { max_live_threads: limit, ..StdCostModel::default() },
+        cost: StdCostModel {
+            max_live_threads: limit,
+            ..StdCostModel::default()
+        },
     }
 }
 
@@ -106,7 +109,9 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
             "{:<10} {:>14} {:>10} {:>20} {:>20} {:>11.2}%\n",
             r.name,
             r.baseline,
-            r.tasks.map(|t| t.to_string()).unwrap_or_else(|| "n/a".into()),
+            r.tasks
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "n/a".into()),
             r.tau,
             r.hpctoolkit,
             r.intrinsic_pct
@@ -122,14 +127,20 @@ pub fn qualitative_claims_hold(rows: &[Table1Row]) -> Result<(), String> {
     // 1. The baseline itself aborts on the thread-hungry benchmarks.
     for name in ["fib", "health", "uts", "nqueens"] {
         if row(name).baseline != "Abort" {
-            return Err(format!("{name} baseline should Abort, got {}", row(name).baseline));
+            return Err(format!(
+                "{name} baseline should Abort, got {}",
+                row(name).baseline
+            ));
         }
     }
     // 2. Neither external tool produces a usable measurement for any
     //    fine-grained benchmark; intrinsic counters stay ≤ 10 %.
     for r in rows {
         if r.intrinsic_pct > 10.0 {
-            return Err(format!("{}: intrinsic overhead {}% > 10%", r.name, r.intrinsic_pct));
+            return Err(format!(
+                "{}: intrinsic overhead {}% > 10%",
+                r.name, r.intrinsic_pct
+            ));
         }
     }
     // 3. On the coarse loop-like benchmarks the tools "work" only with
@@ -163,7 +174,11 @@ mod tests {
         // The paper ran QAP only with its smallest input — it completes.
         let rows = table1(InputScale::Paper);
         let qap = rows.iter().find(|r| r.name == "qap").unwrap();
-        assert_ne!(qap.baseline, "Abort", "QAP should complete: {}", qap.baseline);
+        assert_ne!(
+            qap.baseline, "Abort",
+            "QAP should complete: {}",
+            qap.baseline
+        );
     }
 
     #[test]

@@ -56,7 +56,11 @@ pub fn table5(scale: InputScale) -> Vec<Table5Row> {
             // The std sweep uses the scaled live-thread limit (same
             // protocol as Table I) so the paper's "fail" rows reproduce.
             let std = sweep_graph(&graph, e.name, scaled_std_runtime(b, graph.len()));
-            let std_limit = if std.any_failed() { None } else { scaling_limit(&std) };
+            let std_limit = if std.any_failed() {
+                None
+            } else {
+                scaling_limit(&std)
+            };
 
             Table5Row {
                 name: e.name.to_owned(),
@@ -128,7 +132,10 @@ mod tests {
     #[test]
     fn coarse_rows_classify_coarse() {
         let rows = table5(InputScale::Test);
-        for r in rows.iter().filter(|r| ["alignment", "round", "sparselu"].contains(&r.name.as_str())) {
+        for r in rows
+            .iter()
+            .filter(|r| ["alignment", "round", "sparselu"].contains(&r.name.as_str()))
+        {
             assert_eq!(r.granularity, "coarse", "{}", r.name);
         }
     }

@@ -67,7 +67,11 @@ impl CounterCliOptions {
                 let ms: u64 = v.parse().map_err(|_| {
                     CounterError::InvalidParameters(format!("bad interval `{v}` (milliseconds)"))
                 })?;
-                opts.interval = if ms == 0 { None } else { Some(Duration::from_millis(ms)) };
+                opts.interval = if ms == 0 {
+                    None
+                } else {
+                    Some(Duration::from_millis(ms))
+                };
             } else if let Some(v) = a.strip_prefix("--rpx:print-counter-destination=") {
                 opts.destination = if v == "-" { None } else { Some(v.to_owned()) };
             } else if let Some(v) = a.strip_prefix("--rpx:print-counter-format=") {
@@ -101,8 +105,11 @@ impl CounterCliOptions {
 
 /// Render the list of discoverable counter names (one per line).
 pub fn render_counter_list(registry: &CounterRegistry) -> String {
-    let mut names: Vec<String> =
-        registry.discover_all().iter().map(|n| n.to_string()).collect();
+    let mut names: Vec<String> = registry
+        .discover_all()
+        .iter()
+        .map(|n| n.to_string())
+        .collect();
     names.sort();
     let mut out = String::new();
     for n in names {
@@ -115,7 +122,11 @@ pub fn render_counter_list(registry: &CounterRegistry) -> String {
 pub fn render_counter_infos(registry: &CounterRegistry) -> String {
     let mut out = String::new();
     for info in registry.counter_types() {
-        let _ = writeln!(out, "{}\t{:?}\t[{}]\t{}", info.name, info.kind, info.unit, info.help);
+        let _ = writeln!(
+            out,
+            "{}\t{:?}\t[{}]\t{}",
+            info.name, info.kind, info.unit, info.help
+        );
     }
     out
 }
@@ -144,14 +155,17 @@ impl CounterCli {
         let sampler = match (&options.interval, options.print_counters.is_empty()) {
             (Some(interval), false) => {
                 let sink = make_sink(&options)?;
-                let mut config =
-                    SamplerConfig::new(options.print_counters.clone(), *interval);
+                let mut config = SamplerConfig::new(options.print_counters.clone(), *interval);
                 config.reset_on_read = options.reset_on_read;
                 Some(Sampler::start(&registry, config, sink)?)
             }
             _ => None,
         };
-        Ok(CounterCli { registry, options, sampler })
+        Ok(CounterCli {
+            registry,
+            options,
+            sampler,
+        })
     }
 
     /// Finish the run: stop the sampler, or — when no interval was given —
@@ -228,15 +242,13 @@ mod tests {
 
     #[test]
     fn zero_interval_means_shutdown_only() {
-        let (opts, _) =
-            CounterCliOptions::parse(["--rpx:print-counter-interval=0"]).unwrap();
+        let (opts, _) = CounterCliOptions::parse(["--rpx:print-counter-interval=0"]).unwrap();
         assert_eq!(opts.interval, None);
     }
 
     #[test]
     fn stdout_destination_dash() {
-        let (opts, _) =
-            CounterCliOptions::parse(["--rpx:print-counter-destination=-"]).unwrap();
+        let (opts, _) = CounterCliOptions::parse(["--rpx:print-counter-destination=-"]).unwrap();
         assert_eq!(opts.destination, None);
     }
 

@@ -20,7 +20,9 @@ pub struct Clock {
 impl Clock {
     /// A clock whose epoch is "now".
     pub fn new() -> Self {
-        Clock { epoch: Instant::now() }
+        Clock {
+            epoch: Instant::now(),
+        }
     }
 
     /// Nanoseconds elapsed since the epoch.
@@ -113,7 +115,12 @@ pub struct MonotonicCounter {
 impl MonotonicCounter {
     /// Build from metadata and a non-decreasing source closure.
     pub fn new(info: CounterInfo, clock: Arc<Clock>, read: ValueFn) -> Self {
-        MonotonicCounter { info, clock, read, baseline: AtomicI64::new(0) }
+        MonotonicCounter {
+            info,
+            clock,
+            read,
+            baseline: AtomicI64::new(0),
+        }
     }
 }
 
@@ -166,9 +173,15 @@ impl AverageCounter {
     fn snapshot(&self, reset: bool) -> (u64, u64) {
         let (sum, count) = (self.read)();
         let (bs, bc) = if reset {
-            (self.base_sum.swap(sum, Ordering::AcqRel), self.base_count.swap(count, Ordering::AcqRel))
+            (
+                self.base_sum.swap(sum, Ordering::AcqRel),
+                self.base_count.swap(count, Ordering::AcqRel),
+            )
         } else {
-            (self.base_sum.load(Ordering::Acquire), self.base_count.load(Ordering::Acquire))
+            (
+                self.base_sum.load(Ordering::Acquire),
+                self.base_count.load(Ordering::Acquire),
+            )
         };
         (sum.saturating_sub(bs), count.saturating_sub(bc))
     }
@@ -207,7 +220,11 @@ impl ElapsedTimeCounter {
     /// Build with the reference point set to "now".
     pub fn new(info: CounterInfo, clock: Arc<Clock>) -> Self {
         let started = clock.now_ns();
-        ElapsedTimeCounter { info, clock, started_ns: AtomicU64::new(started) }
+        ElapsedTimeCounter {
+            info,
+            clock,
+            started_ns: AtomicU64::new(started),
+        }
     }
 }
 
@@ -227,7 +244,8 @@ impl Counter for ElapsedTimeCounter {
     }
 
     fn reset(&self) {
-        self.started_ns.store(self.clock.now_ns(), Ordering::Release);
+        self.started_ns
+            .store(self.clock.now_ns(), Ordering::Release);
     }
 }
 
@@ -242,7 +260,11 @@ pub struct ValueCell {
 impl ValueCell {
     /// Build with an initial value of zero.
     pub fn new(info: CounterInfo, clock: Arc<Clock>) -> Self {
-        ValueCell { info, clock, value: AtomicI64::new(0) }
+        ValueCell {
+            info,
+            clock,
+            value: AtomicI64::new(0),
+        }
     }
 
     /// Store a new value.

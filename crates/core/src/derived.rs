@@ -86,7 +86,10 @@ impl Op {
     ];
 
     fn from_counter(counter: &str) -> Option<Op> {
-        Self::ALL.iter().find(|(n, _)| *n == counter).map(|(_, o)| *o)
+        Self::ALL
+            .iter()
+            .find(|(n, _)| *n == counter)
+            .map(|(_, o)| *o)
     }
 
     fn apply(self, values: &[f64]) -> f64 {
@@ -122,7 +125,10 @@ impl Counter for ArithmeticCounter {
             let v = c.get_value(false);
             ts = ts.max(v.timestamp_ns);
             if !v.status.is_ok() {
-                return CounterValue { status: CounterStatus::Invalid, ..CounterValue::empty(ts) };
+                return CounterValue {
+                    status: CounterStatus::Invalid,
+                    ..CounterValue::empty(ts)
+                };
             }
             values.push(v.scaled());
         }
@@ -232,7 +238,12 @@ mod tests {
     #[test]
     fn add_subtract_multiply_divide() {
         let reg = reg_with_values(&[("/x/a", 10), ("/x/b", 4)]);
-        for (op, expect) in [("add", 14), ("subtract", 6), ("multiply", 40), ("divide", 3)] {
+        for (op, expect) in [
+            ("add", 14),
+            ("subtract", 6),
+            ("multiply", 40),
+            ("divide", 3),
+        ] {
             let name = format!("/arithmetics/{op}@/x/a,/x/b");
             let v = reg.evaluate(&name, false).unwrap();
             assert_eq!(v.value, expect, "op={op}");
@@ -242,7 +253,9 @@ mod tests {
     #[test]
     fn divide_by_zero_yields_zero() {
         let reg = reg_with_values(&[("/x/a", 10), ("/x/zero", 0)]);
-        let v = reg.evaluate("/arithmetics/divide@/x/a,/x/zero", false).unwrap();
+        let v = reg
+            .evaluate("/arithmetics/divide@/x/a,/x/zero", false)
+            .unwrap();
         assert_eq!(v.value, 0);
     }
 
@@ -259,7 +272,9 @@ mod tests {
     #[test]
     fn three_way_add() {
         let reg = reg_with_values(&[("/x/a", 1), ("/x/b", 2), ("/x/c", 3)]);
-        let v = reg.evaluate("/arithmetics/add@/x/a,/x/b,/x/c", false).unwrap();
+        let v = reg
+            .evaluate("/arithmetics/add@/x/a,/x/b,/x/c", false)
+            .unwrap();
         assert_eq!(v.value, 6);
     }
 
@@ -292,7 +307,12 @@ mod tests {
         let reg = CounterRegistry::new();
         let v = Arc::new(AtomicI64::new(0));
         let v2 = v.clone();
-        reg.register_monotonic("/x/m", "h", "1", Arc::new(move || v2.load(Ordering::Relaxed)));
+        reg.register_monotonic(
+            "/x/m",
+            "h",
+            "1",
+            Arc::new(move || v2.load(Ordering::Relaxed)),
+        );
         reg.register_raw("/x/one", "h", "1", Arc::new(|| 1));
         let name: CounterName = "/arithmetics/add@/x/m,/x/one".parse().unwrap();
         let c = reg.get_counter(&name).unwrap();
@@ -306,7 +326,10 @@ mod tests {
     fn paper_task_duration_from_cumulatives() {
         // /threads/time/average == cumulative time / cumulative count,
         // recomputed through an arithmetic counter.
-        let reg = reg_with_values(&[("/threads/time/cumulative", 120_000), ("/threads/count/cumulative", 60)]);
+        let reg = reg_with_values(&[
+            ("/threads/time/cumulative", 120_000),
+            ("/threads/count/cumulative", 60),
+        ]);
         let v = reg
             .evaluate(
                 "/arithmetics/divide@/threads/time/cumulative,/threads/count/cumulative",

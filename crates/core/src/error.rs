@@ -17,6 +17,8 @@ pub enum CounterError {
     InvalidParameters(String),
     /// The operation requires a started counter/registry but it is stopped.
     NotStarted(String),
+    /// A background thread (e.g. the sampler) could not be spawned.
+    SpawnFailed(String),
 }
 
 impl CounterError {
@@ -34,6 +36,7 @@ impl fmt::Display for CounterError {
             CounterError::CreationFailed(m) => write!(f, "counter creation failed: {m}"),
             CounterError::InvalidParameters(m) => write!(f, "invalid counter parameters: {m}"),
             CounterError::NotStarted(m) => write!(f, "counter not started: {m}"),
+            CounterError::SpawnFailed(m) => write!(f, "thread spawn failed: {m}"),
         }
     }
 }

@@ -198,7 +198,12 @@ mod tests {
         let reg = CounterRegistry::new();
         let src = Arc::new(AtomicI64::new(0));
         let s2 = src.clone();
-        reg.register_raw("/src/v", "h", "ns", Arc::new(move || s2.load(Ordering::Relaxed)));
+        reg.register_raw(
+            "/src/v",
+            "h",
+            "ns",
+            Arc::new(move || s2.load(Ordering::Relaxed)),
+        );
         let name: CounterName = "/statistics/histogram@/src/v,0,100,10".parse().unwrap();
         let c = reg.get_counter(&name).unwrap();
         (reg, src, c)
@@ -251,10 +256,10 @@ mod tests {
         let reg = CounterRegistry::new();
         reg.register_raw("/src/v", "h", "1", Arc::new(|| 0));
         for bad in [
-            "/statistics/histogram@/src/v",            // no range
-            "/statistics/histogram@/src/v,10,5,4",     // max < min
-            "/statistics/histogram@/src/v,0,10,0",     // zero buckets
-            "/statistics/histogram@/src/v,0,10,2.5",   // fractional buckets
+            "/statistics/histogram@/src/v",          // no range
+            "/statistics/histogram@/src/v,10,5,4",   // max < min
+            "/statistics/histogram@/src/v,0,10,0",   // zero buckets
+            "/statistics/histogram@/src/v,0,10,2.5", // fractional buckets
         ] {
             assert!(reg.evaluate(bad, false).is_err(), "`{bad}` should fail");
         }

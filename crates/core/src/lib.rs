@@ -68,7 +68,7 @@ pub mod value;
 
 pub use counter::{Clock, Counter};
 pub use error::CounterError;
-pub use name::{CounterInstance, CounterName, InstanceIndex, InstancePart};
 pub use locality::DistributedRegistry;
+pub use name::{CounterInstance, CounterName, InstanceIndex, InstancePart};
 pub use registry::CounterRegistry;
 pub use value::{CounterInfo, CounterKind, CounterStatus, CounterValue};

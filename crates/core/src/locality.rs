@@ -62,9 +62,7 @@ impl DistributedRegistry {
                             )))
                         }
                     }
-                    Some(InstanceIndex::All) => {
-                        Ok((0..self.localities.len() as u32).collect())
-                    }
+                    Some(InstanceIndex::All) => Ok((0..self.localities.len() as u32).collect()),
                     None => Err(CounterError::UnknownInstance(format!(
                         "`{name}`: locality needs an index"
                     ))),
@@ -109,7 +107,11 @@ impl DistributedRegistry {
     /// Evaluate and sum the scaled values across every matching counter —
     /// the cross-locality aggregation HPX exposes via aggregating counters.
     pub fn evaluate_sum(&self, name: &str, reset: bool) -> Result<f64, CounterError> {
-        Ok(self.evaluate(name, reset)?.iter().map(|(_, v)| v.scaled()).sum())
+        Ok(self
+            .evaluate(name, reset)?
+            .iter()
+            .map(|(_, v)| v.scaled())
+            .sum())
     }
 
     /// Every discoverable counter name across all localities, with the
@@ -177,7 +179,9 @@ mod tests {
         let (d, _) = make(4);
         let v = d.evaluate("/net{locality#*/total}/bytes", false).unwrap();
         assert_eq!(v.len(), 4);
-        let sum = d.evaluate_sum("/net{locality#*/total}/bytes", false).unwrap();
+        let sum = d
+            .evaluate_sum("/net{locality#*/total}/bytes", false)
+            .unwrap();
         assert_eq!(sum, (10 + 20 + 30 + 40) as f64);
     }
 

@@ -61,17 +61,26 @@ pub struct InstancePart {
 impl InstancePart {
     /// A named part without an index (e.g. `total`).
     pub fn plain(name: impl Into<String>) -> Self {
-        InstancePart { name: name.into(), index: None }
+        InstancePart {
+            name: name.into(),
+            index: None,
+        }
     }
 
     /// A named part with a concrete index (e.g. `worker-thread#3`).
     pub fn indexed(name: impl Into<String>, index: u32) -> Self {
-        InstancePart { name: name.into(), index: Some(InstanceIndex::At(index)) }
+        InstancePart {
+            name: name.into(),
+            index: Some(InstanceIndex::At(index)),
+        }
     }
 
     /// A named part with the `#*` wildcard.
     pub fn wildcard(name: impl Into<String>) -> Self {
-        InstancePart { name: name.into(), index: Some(InstanceIndex::All) }
+        InstancePart {
+            name: name.into(),
+            index: Some(InstanceIndex::All),
+        }
     }
 
     /// Whether this part carries the `#*` wildcard.
@@ -163,9 +172,13 @@ impl CounterInstance {
     fn parse(s: &str) -> Result<Self, CounterError> {
         let mut parts = s.split('/');
         let parent = InstancePart::parse(
-            parts.next().ok_or_else(|| CounterError::invalid_name("empty instance"))?,
+            parts
+                .next()
+                .ok_or_else(|| CounterError::invalid_name("empty instance"))?,
         )?;
-        let children = parts.map(InstancePart::parse).collect::<Result<Vec<_>, _>>()?;
+        let children = parts
+            .map(InstancePart::parse)
+            .collect::<Result<Vec<_>, _>>()?;
         Ok(CounterInstance { parent, children })
     }
 }
@@ -228,7 +241,10 @@ impl CounterName {
     /// Whether the name needs wildcard expansion before it can be resolved
     /// to concrete counter instances.
     pub fn has_wildcard(&self) -> bool {
-        self.instance.as_ref().map(CounterInstance::has_wildcard).unwrap_or(false)
+        self.instance
+            .as_ref()
+            .map(CounterInstance::has_wildcard)
+            .unwrap_or(false)
     }
 
     /// A copy of this name with the instance replaced.
@@ -331,7 +347,8 @@ mod tests {
     use super::*;
 
     fn parse(s: &str) -> CounterName {
-        s.parse().unwrap_or_else(|e| panic!("failed to parse `{s}`: {e}"))
+        s.parse()
+            .unwrap_or_else(|e| panic!("failed to parse `{s}`: {e}"))
     }
 
     #[test]
@@ -357,7 +374,10 @@ mod tests {
         let n = parse("/threads{locality#0/worker-thread#7}/idle-rate");
         let inst = n.instance.unwrap();
         assert!(!inst.is_total());
-        assert_eq!(inst.children, vec![InstancePart::indexed("worker-thread", 7)]);
+        assert_eq!(
+            inst.children,
+            vec![InstancePart::indexed("worker-thread", 7)]
+        );
     }
 
     #[test]
@@ -431,7 +451,10 @@ mod tests {
     fn reinstantiate_replaces_instance() {
         let n = parse("/threads{locality#0/worker-thread#*}/time/average");
         let c = n.reinstantiate(CounterInstance::worker(0, 4));
-        assert_eq!(c.to_string(), "/threads{locality#0/worker-thread#4}/time/average");
+        assert_eq!(
+            c.to_string(),
+            "/threads{locality#0/worker-thread#4}/time/average"
+        );
     }
 
     #[test]

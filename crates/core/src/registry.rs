@@ -8,8 +8,8 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
-use crate::counter::{Clock, Counter, PairFn, ValueCell, ValueFn};
 use crate::counter::{AverageCounter, ElapsedTimeCounter, MonotonicCounter, RawCounter};
+use crate::counter::{Clock, Counter, PairFn, ValueCell, ValueFn};
 use crate::error::CounterError;
 use crate::name::{CounterName, InstanceIndex};
 use crate::value::{CounterInfo, CounterKind, CounterValue};
@@ -17,8 +17,11 @@ use crate::value::{CounterInfo, CounterKind, CounterValue};
 /// Factory creating a counter instance for a concrete (non-wildcard) name.
 /// The registry is passed so derived counters can resolve their children;
 /// no registry locks are held during the call.
-pub type CounterFactory =
-    Arc<dyn Fn(&CounterName, &Arc<CounterRegistry>) -> Result<Arc<dyn Counter>, CounterError> + Send + Sync>;
+pub type CounterFactory = Arc<
+    dyn Fn(&CounterName, &Arc<CounterRegistry>) -> Result<Arc<dyn Counter>, CounterError>
+        + Send
+        + Sync,
+>;
 
 /// Discovery function enumerating the concrete instances of a counter type.
 pub type CounterDiscoverer = Arc<dyn Fn(&mut dyn FnMut(CounterName)) + Send + Sync>;
@@ -83,7 +86,14 @@ impl CounterRegistry {
         discoverer: Option<CounterDiscoverer>,
     ) {
         let key = info.name.clone();
-        self.types.write().insert(key, CounterTypeEntry { info, factory, discoverer });
+        self.types.write().insert(
+            key,
+            CounterTypeEntry {
+                info,
+                factory,
+                discoverer,
+            },
+        );
     }
 
     /// Remove a counter type and all cached instances of it.
@@ -91,7 +101,9 @@ impl CounterRegistry {
         self.types.write().remove(type_path);
         let prefix_obj = type_path.to_owned();
         self.instances.write().retain(|name, _| {
-            name.parse::<CounterName>().map(|n| n.type_path() != prefix_obj).unwrap_or(true)
+            name.parse::<CounterName>()
+                .map(|n| n.type_path() != prefix_obj)
+                .unwrap_or(true)
         });
     }
 
@@ -120,8 +132,12 @@ impl CounterRegistry {
 
     /// Enumerate every discoverable concrete counter name in the registry.
     pub fn discover_all(&self) -> Vec<CounterName> {
-        let discoverers: Vec<CounterDiscoverer> =
-            self.types.read().values().filter_map(|e| e.discoverer.clone()).collect();
+        let discoverers: Vec<CounterDiscoverer> = self
+            .types
+            .read()
+            .values()
+            .filter_map(|e| e.discoverer.clone())
+            .collect();
         let mut out = Vec::new();
         for d in discoverers {
             d(&mut |n| out.push(n));
@@ -196,10 +212,7 @@ impl CounterRegistry {
     }
 
     /// Resolve a name string (possibly wildcard) to all matching counters.
-    pub fn get_counters(
-        self: &Arc<Self>,
-        name: &str,
-    ) -> Result<ResolvedCounters, CounterError> {
+    pub fn get_counters(self: &Arc<Self>, name: &str) -> Result<ResolvedCounters, CounterError> {
         let parsed: CounterName = name.parse()?;
         let mut out = Vec::new();
         for n in self.expand(&parsed)? {
@@ -210,7 +223,11 @@ impl CounterRegistry {
     }
 
     /// Evaluate one counter by name (convenience for one-shot queries).
-    pub fn evaluate(self: &Arc<Self>, name: &str, reset: bool) -> Result<CounterValue, CounterError> {
+    pub fn evaluate(
+        self: &Arc<Self>,
+        name: &str,
+        reset: bool,
+    ) -> Result<CounterValue, CounterError> {
         let parsed: CounterName = name.parse()?;
         Ok(self.get_counter(&parsed)?.get_value(reset))
     }
@@ -234,7 +251,10 @@ impl CounterRegistry {
                 continue;
             }
             c.start();
-            active.push(ActiveEntry { name: n, counter: c });
+            active.push(ActiveEntry {
+                name: n,
+                counter: c,
+            });
             added += 1;
         }
         Ok(added)
@@ -257,7 +277,11 @@ impl CounterRegistry {
 
     /// Names currently in the active set, in insertion order.
     pub fn active_names(&self) -> Vec<String> {
-        self.active.lock().iter().map(|e| e.name.canonical()).collect()
+        self.active
+            .lock()
+            .iter()
+            .map(|e| e.name.canonical())
+            .collect()
     }
 
     /// Evaluate every active counter (the paper's
@@ -285,13 +309,7 @@ impl CounterRegistry {
 
     /// Register a pull-based raw gauge under `type_path`, instantiable with
     /// any (or no) instance name.
-    pub fn register_raw(
-        self: &Arc<Self>,
-        type_path: &str,
-        help: &str,
-        unit: &str,
-        read: ValueFn,
-    ) {
+    pub fn register_raw(self: &Arc<Self>, type_path: &str, help: &str, unit: &str, read: ValueFn) {
         let clock = self.clock();
         let info = CounterInfo::new(type_path, CounterKind::Raw, help, unit);
         let info2 = info.clone();
@@ -322,8 +340,10 @@ impl CounterRegistry {
             Arc::new(move |name, _reg| {
                 let mut i = info2.clone();
                 i.name = name.canonical();
-                Ok(Arc::new(MonotonicCounter::new(i, clock.clone(), read.clone()))
-                    as Arc<dyn Counter>)
+                Ok(
+                    Arc::new(MonotonicCounter::new(i, clock.clone(), read.clone()))
+                        as Arc<dyn Counter>,
+                )
             }),
             single_instance_discoverer(type_path),
         );
@@ -345,8 +365,10 @@ impl CounterRegistry {
             Arc::new(move |name, _reg| {
                 let mut i = info2.clone();
                 i.name = name.canonical();
-                Ok(Arc::new(AverageCounter::new(i, clock.clone(), read.clone()))
-                    as Arc<dyn Counter>)
+                Ok(
+                    Arc::new(AverageCounter::new(i, clock.clone(), read.clone()))
+                        as Arc<dyn Counter>,
+                )
             }),
             single_instance_discoverer(type_path),
         );
@@ -437,7 +459,11 @@ fn wildcard_matches(p: &CounterName, c: &CounterName) -> bool {
         }
     };
     part_matches(&pi.parent, &ci.parent)
-        && pi.children.iter().zip(&ci.children).all(|(a, b)| part_matches(a, b))
+        && pi
+            .children
+            .iter()
+            .zip(&ci.children)
+            .all(|(a, b)| part_matches(a, b))
 }
 
 #[cfg(test)]
@@ -451,7 +477,12 @@ mod tests {
         let reg = CounterRegistry::new();
         let v = Arc::new(AtomicI64::new(3));
         let v2 = v.clone();
-        reg.register_raw("/test/value", "a test value", "1", Arc::new(move || v2.load(Ordering::Relaxed)));
+        reg.register_raw(
+            "/test/value",
+            "a test value",
+            "1",
+            Arc::new(move || v2.load(Ordering::Relaxed)),
+        );
         assert_eq!(reg.evaluate("/test/value", false).unwrap().value, 3);
         v.store(8, Ordering::Relaxed);
         assert_eq!(reg.evaluate("/test/value", false).unwrap().value, 8);
@@ -501,8 +532,10 @@ mod tests {
                     },
                     None => -1,
                 };
-                Ok(Arc::new(RawCounter::new(i, clock.clone(), Arc::new(move || idx)))
-                    as Arc<dyn Counter>)
+                Ok(
+                    Arc::new(RawCounter::new(i, clock.clone(), Arc::new(move || idx)))
+                        as Arc<dyn Counter>,
+                )
             }),
             Some(Arc::new(|f: &mut dyn FnMut(CounterName)| {
                 for w in 0..4 {
@@ -513,9 +546,14 @@ mod tests {
             })),
         );
 
-        let resolved = reg.get_counters("/threads{locality#0/worker-thread#*}/count").unwrap();
+        let resolved = reg
+            .get_counters("/threads{locality#0/worker-thread#*}/count")
+            .unwrap();
         assert_eq!(resolved.len(), 4);
-        let values: Vec<i64> = resolved.iter().map(|(_, c)| c.get_value(false).value).collect();
+        let values: Vec<i64> = resolved
+            .iter()
+            .map(|(_, c)| c.get_value(false).value)
+            .collect();
         assert_eq!(values, vec![0, 1, 2, 3]);
     }
 
@@ -537,7 +575,12 @@ mod tests {
         let reg = CounterRegistry::new();
         let v = Arc::new(AtomicI64::new(0));
         let v2 = v.clone();
-        reg.register_monotonic("/test/mono", "h", "1", Arc::new(move || v2.load(Ordering::Relaxed)));
+        reg.register_monotonic(
+            "/test/mono",
+            "h",
+            "1",
+            Arc::new(move || v2.load(Ordering::Relaxed)),
+        );
         assert_eq!(reg.add_active("/test/mono").unwrap(), 1);
         // Duplicate adds are ignored.
         assert_eq!(reg.add_active("/test/mono").unwrap(), 0);

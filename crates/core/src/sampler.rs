@@ -2,9 +2,17 @@
 //! `--hpx:print-counter` / `--hpx:print-counter-interval` convenience
 //! layer: a background thread evaluates a set of counters periodically and
 //! hands each batch of readings to a sink (stdout, CSV, JSON, or custom).
+//!
+//! Sampling is *resilient*: a counter whose evaluation returns a non-ok
+//! status — or panics — does not kill the run. The failure is recorded in
+//! [`SamplerHealth`], the reading is emitted as an unavailable placeholder
+//! (an empty CSV cell; rows keep their full width), the remaining counters
+//! are still sampled, and the failing counter is backed off exponentially
+//! (with jitter, capped at 32 intervals) so a persistently broken counter
+//! cannot dominate the sampling budget.
 
 use std::io::Write;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -101,7 +109,11 @@ impl<W: Write + Send> SampleSink for JsonSink<W> {
         let row = Row {
             sequence: batch.sequence,
             timestamp_ns: batch.timestamp_ns,
-            readings: batch.readings.iter().map(|(n, v)| (n.as_str(), v)).collect(),
+            readings: batch
+                .readings
+                .iter()
+                .map(|(n, v)| (n.as_str(), v))
+                .collect(),
         };
         if let Ok(s) = serde_json::to_string(&row) {
             let _ = writeln!(self.out, "{s}");
@@ -150,14 +162,60 @@ pub struct SamplerConfig {
 impl SamplerConfig {
     /// Sample `counters` every `interval` without resetting.
     pub fn new(counters: Vec<String>, interval: Duration) -> Self {
-        SamplerConfig { counters, interval, reset_on_read: false }
+        SamplerConfig {
+            counters,
+            interval,
+            reset_on_read: false,
+        }
     }
+}
+
+/// Failure accounting of a sampling run, shared with the caller.
+#[derive(Debug, Default)]
+pub struct SamplerHealth {
+    /// Counter evaluations that failed (panicked or returned a non-ok
+    /// status) and were replaced by an unavailable placeholder.
+    read_errors: AtomicU64,
+    /// Times a repeatedly failing counter was put into (a longer) backoff.
+    backoffs: AtomicU64,
+}
+
+impl SamplerHealth {
+    /// Failed counter evaluations so far.
+    pub fn read_errors(&self) -> u64 {
+        self.read_errors.load(Ordering::Relaxed)
+    }
+
+    /// Backoff episodes entered so far.
+    pub fn backoffs(&self) -> u64 {
+        self.backoffs.load(Ordering::Relaxed)
+    }
+}
+
+/// Longest backoff, in sampling intervals, for a persistently failing
+/// counter.
+const MAX_BACKOFF_INTERVALS: u64 = 32;
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// A running background sampler; dropping it stops sampling.
 pub struct Sampler {
     stop: Arc<AtomicBool>,
+    health: Arc<SamplerHealth>,
     handle: Option<JoinHandle<()>>,
+}
+
+/// Per-counter resilience state inside the sampling loop.
+#[derive(Default, Clone)]
+struct ReadState {
+    consecutive_failures: u32,
+    /// Batches left to skip (emit a placeholder without evaluating).
+    skip: u64,
 }
 
 impl Sampler {
@@ -175,18 +233,36 @@ impl Sampler {
         let clock = registry.clock();
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = stop.clone();
+        let health = Arc::new(SamplerHealth::default());
+        let health2 = health.clone();
         let handle = std::thread::Builder::new()
             .name("rpx-counter-sampler".into())
             .spawn(move || {
                 sink.begin(&names);
-                let mut sequence = 0;
+                let mut sequence: u64 = 0;
+                let mut states = vec![ReadState::default(); resolved.len()];
                 while !stop2.load(Ordering::Acquire) {
                     let timestamp_ns = clock.now_ns();
                     let readings = resolved
                         .iter()
-                        .map(|(n, c)| (n.canonical(), c.get_value(config.reset_on_read)))
+                        .zip(states.iter_mut())
+                        .map(|((n, c), st)| {
+                            let v = sample_one(
+                                c,
+                                config.reset_on_read,
+                                st,
+                                &health2,
+                                timestamp_ns,
+                                sequence,
+                            );
+                            (n.canonical(), v)
+                        })
                         .collect();
-                    sink.record(&SampleBatch { sequence, timestamp_ns, readings });
+                    sink.record(&SampleBatch {
+                        sequence,
+                        timestamp_ns,
+                        readings,
+                    });
                     sequence += 1;
                     // Sleep in short slices so stop() is prompt.
                     let mut remaining = config.interval;
@@ -199,8 +275,18 @@ impl Sampler {
                 }
                 sink.finish();
             })
-            .expect("failed to spawn sampler thread");
-        Ok(Sampler { stop, handle: Some(handle) })
+            .map_err(|e| CounterError::SpawnFailed(format!("sampler thread: {e}")))?;
+        Ok(Sampler {
+            stop,
+            health,
+            handle: Some(handle),
+        })
+    }
+
+    /// Failure accounting of this sampling run (live; shared with the
+    /// sampling thread).
+    pub fn health(&self) -> Arc<SamplerHealth> {
+        self.health.clone()
     }
 
     /// Stop sampling and wait for the thread to flush its sink.
@@ -222,6 +308,49 @@ impl Drop for Sampler {
     }
 }
 
+/// Evaluate one counter defensively. A panic or non-ok status becomes an
+/// unavailable placeholder and pushes the counter into exponential backoff
+/// (skipped batches still emit the placeholder, so every batch keeps the
+/// full set of readings and CSV rows keep their width).
+fn sample_one(
+    counter: &Arc<dyn Counter>,
+    reset: bool,
+    st: &mut ReadState,
+    health: &SamplerHealth,
+    timestamp_ns: u64,
+    sequence: u64,
+) -> CounterValue {
+    if st.skip > 0 {
+        st.skip -= 1;
+        return CounterValue::unavailable(timestamp_ns);
+    }
+    let result =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| counter.get_value(reset)));
+    match result {
+        Ok(v) if v.status.is_ok() => {
+            st.consecutive_failures = 0;
+            v
+        }
+        _ => {
+            health.read_errors.fetch_add(1, Ordering::Relaxed);
+            st.consecutive_failures = st.consecutive_failures.saturating_add(1);
+            if st.consecutive_failures > 1 {
+                // Repeated failure: back off 2, 4, ... up to 32 intervals,
+                // jittered by one batch so a set of counters broken by the
+                // same cause doesn't retry in lockstep forever.
+                let base = 1u64
+                    .checked_shl(st.consecutive_failures.min(6))
+                    .unwrap_or(MAX_BACKOFF_INTERVALS)
+                    .min(MAX_BACKOFF_INTERVALS);
+                let jitter = splitmix64(sequence ^ (st.consecutive_failures as u64) << 32) & 1;
+                st.skip = base - 1 + jitter;
+                health.backoffs.fetch_add(1, Ordering::Relaxed);
+            }
+            CounterValue::unavailable(timestamp_ns)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,7 +361,12 @@ mod tests {
         let reg = CounterRegistry::new();
         let v = Arc::new(AtomicI64::new(1));
         let v2 = v.clone();
-        reg.register_raw("/test/v", "h", "1", Arc::new(move || v2.load(Ordering::Relaxed)));
+        reg.register_raw(
+            "/test/v",
+            "h",
+            "1",
+            Arc::new(move || v2.load(Ordering::Relaxed)),
+        );
 
         let sink = MemorySink::new();
         let batches = sink.batches();
@@ -265,7 +399,12 @@ mod tests {
         let reg = CounterRegistry::new();
         let v = Arc::new(AtomicI64::new(0));
         let v2 = v.clone();
-        reg.register_monotonic("/test/m", "h", "1", Arc::new(move || v2.load(Ordering::Relaxed)));
+        reg.register_monotonic(
+            "/test/m",
+            "h",
+            "1",
+            Arc::new(move || v2.load(Ordering::Relaxed)),
+        );
 
         let sink = MemorySink::new();
         let batches = sink.batches();
@@ -287,6 +426,87 @@ mod tests {
         let remainder = reg.evaluate("/test/m", false).unwrap().value;
         assert_eq!(sampled + remainder, v.load(Ordering::Relaxed));
         assert!(sampled > 0, "sampler should have observed some increments");
+    }
+
+    #[test]
+    fn sampler_survives_panicking_counter() {
+        let reg = CounterRegistry::new();
+        reg.register_raw(
+            "/test/bad",
+            "h",
+            "1",
+            Arc::new(|| panic!("injected counter failure")),
+        );
+        let v = Arc::new(AtomicI64::new(5));
+        let v2 = v.clone();
+        reg.register_raw(
+            "/test/good",
+            "h",
+            "1",
+            Arc::new(move || v2.load(Ordering::Relaxed)),
+        );
+
+        // Silence the default hook for the intentional panics.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+
+        let sink = MemorySink::new();
+        let batches = sink.batches();
+        let sampler = Sampler::start(
+            &reg,
+            SamplerConfig::new(
+                vec!["/test/bad".into(), "/test/good".into()],
+                Duration::from_millis(2),
+            ),
+            Box::new(sink),
+        )
+        .unwrap();
+        let health = sampler.health();
+
+        while batches.lock().len() < 10 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        sampler.stop();
+        std::panic::set_hook(prev);
+
+        let collected = batches.lock();
+        assert!(collected.len() >= 10);
+        assert!(health.read_errors() >= 1, "failures must be recorded");
+        assert!(health.backoffs() >= 1, "repeated failure must back off");
+        for (i, b) in collected.iter().enumerate() {
+            // Every batch keeps the full set of readings: the bad counter
+            // is an unavailable placeholder, the good one stays sampled.
+            assert_eq!(b.readings.len(), 2, "batch {i} lost a column");
+            assert_eq!(b.sequence, i as u64);
+            assert!(!b.readings[0].1.status.is_ok());
+        }
+        // The good counter was really evaluated, not placeholdered.
+        assert!(collected
+            .iter()
+            .all(|b| { b.readings[1].1.status.is_ok() && b.readings[1].1.value == 5 }));
+        // Backoff throttles the failing counter: far fewer evaluations
+        // than batches.
+        assert!(health.read_errors() < collected.len() as u64);
+    }
+
+    #[test]
+    fn csv_rows_keep_width_with_failing_counter() {
+        let mut buf = Vec::new();
+        {
+            let mut sink = CsvSink::new(&mut buf);
+            sink.begin(&["/a/bad".into(), "/a/good".into()]);
+            sink.record(&SampleBatch {
+                sequence: 0,
+                timestamp_ns: 50,
+                readings: vec![
+                    ("/a/bad".into(), CounterValue::unavailable(50)),
+                    ("/a/good".into(), CounterValue::new(8, 50)),
+                ],
+            });
+            sink.finish();
+        }
+        let s = String::from_utf8(buf).unwrap();
+        assert_eq!(s.lines().nth(1).unwrap(), "0,50,,8");
     }
 
     #[test]

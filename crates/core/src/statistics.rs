@@ -45,7 +45,14 @@ impl Stat {
     }
 
     fn all() -> [&'static str; 6] {
-        ["average", "rolling_average", "median", "stddev", "min", "max"]
+        [
+            "average",
+            "rolling_average",
+            "median",
+            "stddev",
+            "min",
+            "max",
+        ]
     }
 }
 
@@ -179,7 +186,12 @@ mod tests {
         let reg = CounterRegistry::new();
         let v = Arc::new(AtomicI64::new(0));
         let v2 = v.clone();
-        reg.register_raw("/src/value", "h", "ns", Arc::new(move || v2.load(Ordering::Relaxed)));
+        reg.register_raw(
+            "/src/value",
+            "h",
+            "ns",
+            Arc::new(move || v2.load(Ordering::Relaxed)),
+        );
         (reg, v)
     }
 
@@ -210,8 +222,12 @@ mod tests {
     fn rolling_average_uses_window() {
         let (reg, src) = reg_with_source();
         // Window of 2: after samples 10, 20, 30 the window holds {20, 30}.
-        let v =
-            sample_sequence(&reg, &src, "/statistics/rolling_average@/src/value,2", &[10, 20, 30]);
+        let v = sample_sequence(
+            &reg,
+            &src,
+            "/statistics/rolling_average@/src/value,2",
+            &[10, 20, 30],
+        );
         assert_eq!(v, 25);
     }
 
@@ -265,8 +281,12 @@ mod tests {
     #[test]
     fn bad_window_rejected() {
         let (reg, _src) = reg_with_source();
-        assert!(reg.evaluate("/statistics/median@/src/value,0", false).is_err());
-        assert!(reg.evaluate("/statistics/median@/src/value,2.5", false).is_err());
+        assert!(reg
+            .evaluate("/statistics/median@/src/value,0", false)
+            .is_err());
+        assert!(reg
+            .evaluate("/statistics/median@/src/value,2.5", false)
+            .is_err());
     }
 
     #[test]

@@ -16,7 +16,13 @@ pub struct RunningStats {
 impl RunningStats {
     /// A fresh, empty accumulator.
     pub fn new() -> Self {
-        RunningStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Fold one sample in.
@@ -94,7 +100,12 @@ impl SampleWindow {
     /// A window holding up to `capacity` most recent samples (min 1).
     pub fn new(capacity: usize) -> Self {
         let capacity = capacity.max(1);
-        SampleWindow { samples: Vec::with_capacity(capacity), capacity, next: 0, filled: false }
+        SampleWindow {
+            samples: Vec::with_capacity(capacity),
+            capacity,
+            next: 0,
+            filled: false,
+        }
     }
 
     /// Push a sample, evicting the oldest once full.
@@ -162,7 +173,10 @@ impl SampleWindow {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Population standard deviation over the window.

@@ -76,7 +76,10 @@ impl CounterValue {
 
     /// A valid value with a scale divisor.
     pub fn scaled_by(value: i64, scaling: i64, timestamp_ns: u64) -> Self {
-        CounterValue { scaling, ..CounterValue::new(value, timestamp_ns) }
+        CounterValue {
+            scaling,
+            ..CounterValue::new(value, timestamp_ns)
+        }
     }
 
     /// A placeholder for counters that have no data yet.
@@ -93,7 +96,10 @@ impl CounterValue {
 
     /// An unavailable/invalid marker.
     pub fn unavailable(timestamp_ns: u64) -> Self {
-        CounterValue { status: CounterStatus::Unavailable, ..CounterValue::empty(timestamp_ns) }
+        CounterValue {
+            status: CounterStatus::Unavailable,
+            ..CounterValue::empty(timestamp_ns)
+        }
     }
 
     /// The scaled value as a float: `value / scaling` (or `value * scaling`
@@ -142,14 +148,23 @@ impl CounterInfo {
         help: impl Into<String>,
         unit: impl Into<String>,
     ) -> Self {
-        CounterInfo { name: name.into(), kind, help: help.into(), unit: unit.into(), version: 1 }
+        CounterInfo {
+            name: name.into(),
+            kind,
+            help: help.into(),
+            unit: unit.into(),
+            version: 1,
+        }
     }
 }
 
 /// Wall-clock time in nanoseconds since the Unix epoch; used only for
 /// display, never for measuring intervals.
 pub fn wall_clock_ns() -> u64 {
-    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_nanos() as u64).unwrap_or(0)
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
 }
 
 #[cfg(test)]

@@ -23,14 +23,22 @@ pub struct AlignmentInput {
 impl AlignmentInput {
     /// Small input for unit tests.
     pub fn test() -> Self {
-        AlignmentInput { sequences: 8, length: 64, seed: 17 }
+        AlignmentInput {
+            sequences: 8,
+            length: 64,
+            seed: 17,
+        }
     }
 
     /// The paper's shape: 100 sequences → 4 950 tasks (length scaled down
     /// so a native run stays laptop-sized; the simulator uses the paper's
     /// 2.7 ms grain directly).
     pub fn paper() -> Self {
-        AlignmentInput { sequences: 100, length: 256, seed: 17 }
+        AlignmentInput {
+            sequences: 100,
+            length: 256,
+            seed: 17,
+        }
     }
 
     /// Deterministic residue sequences over a 20-letter alphabet.
@@ -62,7 +70,11 @@ pub fn align_pair(a: &[u8], b: &[u8]) -> i64 {
     for i in 1..=n {
         cur[0] = i as i64 * GAP;
         for j in 1..=m {
-            let s = if a[i - 1] == b[j - 1] { MATCH } else { MISMATCH };
+            let s = if a[i - 1] == b[j - 1] {
+                MATCH
+            } else {
+                MISMATCH
+            };
             cur[j] = (prev[j - 1] + s).max(prev[j] + GAP).max(cur[j - 1] + GAP);
         }
         std::mem::swap(&mut prev, &mut cur);
@@ -108,9 +120,7 @@ pub fn sim_graph(input: AlignmentInput) -> TaskGraph {
     // aggregate bandwidth grow with cores.
     for _ in 0..pairs {
         let t = b.new_thread();
-        let id = b.add(
-            SimTask::compute(2_748_000).with_memory(2_000_000, 500_000, 40 << 20),
-        );
+        let id = b.add(SimTask::compute(2_748_000).with_memory(2_000_000, 500_000, 40 << 20));
         b.begins_thread(id, t);
         b.ends_thread(id, t);
     }
@@ -146,7 +156,10 @@ mod tests {
     fn score_is_symmetric() {
         let input = AlignmentInput::test();
         let seqs = input.generate();
-        assert_eq!(align_pair(&seqs[0], &seqs[1]), align_pair(&seqs[1], &seqs[0]));
+        assert_eq!(
+            align_pair(&seqs[0], &seqs[1]),
+            align_pair(&seqs[1], &seqs[0])
+        );
     }
 
     #[test]
@@ -157,7 +170,11 @@ mod tests {
 
     #[test]
     fn graph_is_loop_like_and_coarse() {
-        let input = AlignmentInput { sequences: 10, length: 64, seed: 1 };
+        let input = AlignmentInput {
+            sequences: 10,
+            length: 64,
+            seed: 1,
+        };
         let g = sim_graph(input);
         assert!(g.validate().is_ok());
         assert_eq!(g.len(), 45); // 10·9/2 independent tasks

@@ -320,19 +320,59 @@ impl Benchmark {
         use Benchmark as B;
         let paper = scale == InputScale::Paper;
         match self {
-            B::Alignment => alignment::sim_graph(pick(paper, alignment::AlignmentInput::paper(), alignment::AlignmentInput::test())),
+            B::Alignment => alignment::sim_graph(pick(
+                paper,
+                alignment::AlignmentInput::paper(),
+                alignment::AlignmentInput::test(),
+            )),
             B::Fft => fft::sim_graph(pick(paper, fft::FftInput::paper(), fft::FftInput::test())),
             B::Fib => fib::sim_graph(pick(paper, fib::FibInput::paper(), fib::FibInput::test())),
-            B::Floorplan => floorplan::sim_graph(pick(paper, floorplan::FloorplanInput::paper(), floorplan::FloorplanInput::test())),
-            B::Health => health::sim_graph(pick(paper, health::HealthInput::paper(), health::HealthInput::test())),
-            B::Intersim => intersim::sim_graph(pick(paper, intersim::IntersimInput::paper(), intersim::IntersimInput::test())),
-            B::NQueens => nqueens::sim_graph(pick(paper, nqueens::NQueensInput::paper(), nqueens::NQueensInput::test())),
-            B::Pyramids => pyramids::sim_graph(pick(paper, pyramids::PyramidsInput::paper(), pyramids::PyramidsInput::test())),
+            B::Floorplan => floorplan::sim_graph(pick(
+                paper,
+                floorplan::FloorplanInput::paper(),
+                floorplan::FloorplanInput::test(),
+            )),
+            B::Health => health::sim_graph(pick(
+                paper,
+                health::HealthInput::paper(),
+                health::HealthInput::test(),
+            )),
+            B::Intersim => intersim::sim_graph(pick(
+                paper,
+                intersim::IntersimInput::paper(),
+                intersim::IntersimInput::test(),
+            )),
+            B::NQueens => nqueens::sim_graph(pick(
+                paper,
+                nqueens::NQueensInput::paper(),
+                nqueens::NQueensInput::test(),
+            )),
+            B::Pyramids => pyramids::sim_graph(pick(
+                paper,
+                pyramids::PyramidsInput::paper(),
+                pyramids::PyramidsInput::test(),
+            )),
             B::Qap => qap::sim_graph(pick(paper, qap::QapInput::paper(), qap::QapInput::test())),
-            B::Round => round::sim_graph(pick(paper, round::RoundInput::paper(), round::RoundInput::test())),
-            B::Sort => sort::sim_graph(pick(paper, sort::SortInput::paper(), sort::SortInput::test())),
-            B::SparseLu => sparselu::sim_graph(pick(paper, sparselu::SparseLuInput::paper(), sparselu::SparseLuInput::test())),
-            B::Strassen => strassen::sim_graph(pick(paper, strassen::StrassenInput::paper(), strassen::StrassenInput::test())),
+            B::Round => round::sim_graph(pick(
+                paper,
+                round::RoundInput::paper(),
+                round::RoundInput::test(),
+            )),
+            B::Sort => sort::sim_graph(pick(
+                paper,
+                sort::SortInput::paper(),
+                sort::SortInput::test(),
+            )),
+            B::SparseLu => sparselu::sim_graph(pick(
+                paper,
+                sparselu::SparseLuInput::paper(),
+                sparselu::SparseLuInput::test(),
+            )),
+            B::Strassen => strassen::sim_graph(pick(
+                paper,
+                strassen::StrassenInput::paper(),
+                strassen::StrassenInput::test(),
+            )),
             B::Uts => uts::sim_graph(pick(paper, uts::UtsInput::paper(), uts::UtsInput::test())),
         }
     }
@@ -389,7 +429,12 @@ mod tests {
     fn all_test_graphs_are_valid() {
         for b in Benchmark::ALL {
             let g = b.sim_graph(InputScale::Test);
-            assert!(g.validate().is_ok(), "{}: {:?}", b.entry().name, g.validate());
+            assert!(
+                g.validate().is_ok(),
+                "{}: {:?}",
+                b.entry().name,
+                g.validate()
+            );
             assert!(!g.is_empty(), "{} graph empty", b.entry().name);
         }
     }
@@ -408,12 +453,14 @@ mod tests {
                 // different node sizes; allow one class of slack.
                 Granularity::VeryFine => class <= Granularity::Fine,
                 Granularity::Fine => class <= Granularity::Moderate,
-                Granularity::Moderate => {
-                    class >= Granularity::Fine && class <= Granularity::Coarse
-                }
+                Granularity::Moderate => class >= Granularity::Fine && class <= Granularity::Coarse,
                 Granularity::Coarse => class >= Granularity::Moderate,
             };
-            assert!(ok, "{}: paper {:?} vs simulated {:?} ({avg:.0}ns)", e.name, e.paper_granularity, class);
+            assert!(
+                ok,
+                "{}: paper {:?} vs simulated {:?} ({avg:.0}ns)",
+                e.name, e.paper_granularity, class
+            );
         }
     }
 

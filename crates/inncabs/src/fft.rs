@@ -24,7 +24,10 @@ impl Complex {
     }
 
     fn mul(self, o: Complex) -> Complex {
-        Complex::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
     }
 
     fn add(self, o: Complex) -> Complex {
@@ -55,13 +58,21 @@ pub struct FftInput {
 impl FftInput {
     /// Small input for unit tests.
     pub fn test() -> Self {
-        FftInput { len: 1 << 10, cutoff: 64, seed: 3 }
+        FftInput {
+            len: 1 << 10,
+            cutoff: 64,
+            seed: 3,
+        }
     }
 
     /// Scaled-down stand-in for the paper's input (very fine tasks: tiny
     /// cutoff, like the original's unconditional spawning).
     pub fn paper() -> Self {
-        FftInput { len: 1 << 16, cutoff: 16, seed: 3 }
+        FftInput {
+            len: 1 << 16,
+            cutoff: 16,
+            seed: 3,
+        }
     }
 
     /// The input signal.
@@ -200,12 +211,18 @@ mod tests {
 
     fn close(a: &[Complex], b: &[Complex]) -> bool {
         a.len() == b.len()
-            && a.iter().zip(b).all(|(x, y)| (x.re - y.re).abs() < 1e-6 && (x.im - y.im).abs() < 1e-6)
+            && a.iter()
+                .zip(b)
+                .all(|(x, y)| (x.re - y.re).abs() < 1e-6 && (x.im - y.im).abs() < 1e-6)
     }
 
     #[test]
     fn fft_matches_dft_reference() {
-        let input = FftInput { len: 64, cutoff: 8, seed: 9 };
+        let input = FftInput {
+            len: 64,
+            cutoff: 8,
+            seed: 9,
+        };
         let fast = run(&SerialSpawner, input);
         let slow = dft_reference(&input.signal());
         assert!(close(&fast, &slow));
@@ -227,7 +244,11 @@ mod tests {
 
     #[test]
     fn parsevals_theorem_holds() {
-        let input = FftInput { len: 256, cutoff: 16, seed: 4 };
+        let input = FftInput {
+            len: 256,
+            cutoff: 16,
+            seed: 4,
+        };
         let signal = input.signal();
         let spectrum = fft_serial(signal.clone());
         let time_energy: f64 = signal.iter().map(|c| c.abs() * c.abs()).sum();
@@ -238,7 +259,11 @@ mod tests {
 
     #[test]
     fn graph_valid_with_fine_grain() {
-        let g = sim_graph(FftInput { len: 1 << 12, cutoff: 16, seed: 1 });
+        let g = sim_graph(FftInput {
+            len: 1 << 12,
+            cutoff: 16,
+            seed: 1,
+        });
         assert!(g.validate().is_ok());
         let avg = g.total_work_ns() as f64 / g.len() as f64;
         assert!(avg < 10_000.0, "FFT tasks should be very fine, got {avg}ns");

@@ -111,8 +111,15 @@ mod tests {
         assert!(g.validate().is_ok());
         // The fib call tree for n=10 has 177 nodes; leaves are single tasks
         // and internal nodes are fork/join pairs.
-        let leaves = g.tasks.iter().filter(|t| t.enables.is_empty() && t.deps > 0).count()
-            + g.tasks.iter().filter(|t| t.enables.is_empty() && t.deps == 0).count();
+        let leaves = g
+            .tasks
+            .iter()
+            .filter(|t| t.enables.is_empty() && t.deps > 0)
+            .count()
+            + g.tasks
+                .iter()
+                .filter(|t| t.enables.is_empty() && t.deps == 0)
+                .count();
         assert!(leaves > 0);
         assert_eq!(g.roots().len(), 1);
         // Average grain near the paper's 1.37µs classification (very fine).

@@ -29,12 +29,20 @@ pub struct FloorplanInput {
 impl FloorplanInput {
     /// Small input for unit tests.
     pub fn test() -> Self {
-        FloorplanInput { cells: 5, seed: 13, task_budget: None }
+        FloorplanInput {
+            cells: 5,
+            seed: 13,
+            task_budget: None,
+        }
     }
 
     /// Scaled-down stand-in for the paper's input.
     pub fn paper() -> Self {
-        FloorplanInput { cells: 7, seed: 13, task_budget: Some(200_000) }
+        FloorplanInput {
+            cells: 7,
+            seed: 13,
+            task_budget: Some(200_000),
+        }
     }
 
     /// Deterministic cell dimensions (w, h), small rectangles.
@@ -61,7 +69,11 @@ struct Layout {
 
 impl Layout {
     fn empty() -> Self {
-        Layout { placed: Vec::new(), width: 0, height: 0 }
+        Layout {
+            placed: Vec::new(),
+            width: 0,
+            height: 0,
+        }
     }
 
     fn area(&self) -> u64 {
@@ -261,7 +273,11 @@ mod tests {
     #[test]
     fn best_area_found_for_trivial_cases() {
         // One 2×3 cell: area 6.
-        let input = FloorplanInput { cells: 1, seed: 3, task_budget: None };
+        let input = FloorplanInput {
+            cells: 1,
+            seed: 3,
+            task_budget: None,
+        };
         let dims = input.cell_dims();
         let out = run_serial(input);
         assert_eq!(out.best_area, (dims[0].0 * dims[0].1) as u64);
@@ -295,10 +311,18 @@ mod tests {
 
     #[test]
     fn task_budget_bounds_the_graph() {
-        let bounded = sim_graph(FloorplanInput { cells: 8, seed: 1, task_budget: Some(100) });
+        let bounded = sim_graph(FloorplanInput {
+            cells: 8,
+            seed: 1,
+            task_budget: Some(100),
+        });
         assert!(bounded.validate().is_ok());
         // Each enumerated node adds ≤2 tasks.
-        assert!(bounded.len() <= 220, "budget ignored: {} tasks", bounded.len());
+        assert!(
+            bounded.len() <= 220,
+            "budget ignored: {} tasks",
+            bounded.len()
+        );
     }
 
     #[test]

@@ -28,13 +28,23 @@ pub struct HealthInput {
 impl HealthInput {
     /// Small input for unit tests.
     pub fn test() -> Self {
-        HealthInput { branching: 3, depth: 3, steps: 4, seed: 41 }
+        HealthInput {
+            branching: 3,
+            depth: 3,
+            steps: 4,
+            seed: 41,
+        }
     }
 
     /// Scaled-down stand-in for the paper's input (same very fine grain;
     /// fewer villages·steps so the native baseline stays runnable).
     pub fn paper() -> Self {
-        HealthInput { branching: 4, depth: 6, steps: 20, seed: 41 }
+        HealthInput {
+            branching: 4,
+            depth: 6,
+            steps: 20,
+            seed: 41,
+        }
     }
 
     /// Number of villages in the tree.
@@ -62,7 +72,8 @@ pub struct Village {
 }
 
 fn mix(seed: u64, village: u64, step: u64) -> u64 {
-    let mut z = seed ^ village.wrapping_mul(0x9E3779B97F4A7C15) ^ step.wrapping_mul(0xBF58476D1CE4E5B9);
+    let mut z =
+        seed ^ village.wrapping_mul(0x9E3779B97F4A7C15) ^ step.wrapping_mul(0xBF58476D1CE4E5B9);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
     z ^ (z >> 31)
@@ -177,8 +188,9 @@ fn level(b: &mut GraphBuilder, depth: usize, input: &HealthInput) -> (TaskId, Ta
         b.ends_thread(id, t);
         return (id, id);
     }
-    let children: Vec<(TaskId, TaskId)> =
-        (0..input.branching).map(|_| level(b, depth + 1, input)).collect();
+    let children: Vec<(TaskId, TaskId)> = (0..input.branching)
+        .map(|_| level(b, depth + 1, input))
+        .collect();
     let t = b.new_thread();
     let fork = b.add(SimTask::compute(900).with_memory(256, 128, 512));
     let join = b.add(SimTask::compute(400));
@@ -198,8 +210,26 @@ mod tests {
 
     #[test]
     fn villages_count() {
-        assert_eq!(HealthInput { branching: 3, depth: 2, steps: 1, seed: 1 }.villages(), 13);
-        assert_eq!(HealthInput { branching: 2, depth: 3, steps: 1, seed: 1 }.villages(), 15);
+        assert_eq!(
+            HealthInput {
+                branching: 3,
+                depth: 2,
+                steps: 1,
+                seed: 1
+            }
+            .villages(),
+            13
+        );
+        assert_eq!(
+            HealthInput {
+                branching: 2,
+                depth: 3,
+                steps: 1,
+                seed: 1
+            }
+            .villages(),
+            15
+        );
     }
 
     #[test]
@@ -221,7 +251,12 @@ mod tests {
 
     #[test]
     fn root_never_refers_up() {
-        let input = HealthInput { branching: 2, depth: 0, steps: 10, seed: 7 };
+        let input = HealthInput {
+            branching: 2,
+            depth: 0,
+            steps: 10,
+            seed: 7,
+        };
         let out = run_serial(input);
         assert_eq!(out.referred, 0, "the root has no parent");
     }
@@ -241,8 +276,14 @@ mod tests {
 
     #[test]
     fn graph_steps_serialize() {
-        let one = sim_graph(HealthInput { steps: 1, ..HealthInput::test() });
-        let four = sim_graph(HealthInput { steps: 4, ..HealthInput::test() });
+        let one = sim_graph(HealthInput {
+            steps: 1,
+            ..HealthInput::test()
+        });
+        let four = sim_graph(HealthInput {
+            steps: 4,
+            ..HealthInput::test()
+        });
         assert!(four.critical_path_ns() > 3 * one.critical_path_ns());
     }
 }

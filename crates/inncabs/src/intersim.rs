@@ -31,12 +31,22 @@ pub struct IntersimInput {
 impl IntersimInput {
     /// Small input for unit tests.
     pub fn test() -> Self {
-        IntersimInput { intersections: 8, vehicles: 16, rounds: 4, seed: 53 }
+        IntersimInput {
+            intersections: 8,
+            vehicles: 16,
+            rounds: 4,
+            seed: 53,
+        }
     }
 
     /// Scaled-down stand-in for the paper's 1.7·10⁶-task input.
     pub fn paper() -> Self {
-        IntersimInput { intersections: 64, vehicles: 256, rounds: 100, seed: 53 }
+        IntersimInput {
+            intersections: 64,
+            vehicles: 256,
+            rounds: 100,
+            seed: 53,
+        }
     }
 }
 
@@ -80,10 +90,14 @@ pub struct IntersimOutcome {
 /// Parallel simulation: one task per vehicle per round; tasks lock the two
 /// intersections they touch.
 pub fn run<S: Spawner>(sp: &S, input: IntersimInput) -> IntersimOutcome {
-    let grid: Arc<Vec<Mutex<Intersection>>> =
-        Arc::new((0..input.intersections).map(|_| Mutex::new(Intersection::default())).collect());
-    let mut positions: Vec<usize> =
-        (0..input.vehicles).map(|v| v % input.intersections).collect();
+    let grid: Arc<Vec<Mutex<Intersection>>> = Arc::new(
+        (0..input.intersections)
+            .map(|_| Mutex::new(Intersection::default()))
+            .collect(),
+    );
+    let mut positions: Vec<usize> = (0..input.vehicles)
+        .map(|v| v % input.intersections)
+        .collect();
     // Seed initial occupancy.
     for &p in &positions {
         grid[p].lock().occupancy += 1;
@@ -106,8 +120,11 @@ pub fn run<S: Spawner>(sp: &S, input: IntersimInput) -> IntersimOutcome {
                     }
                     let mut ga = grid[a].lock();
                     let mut gb = grid[bidx].lock();
-                    let (src, dst) =
-                        if from == a { (&mut *ga, &mut *gb) } else { (&mut *gb, &mut *ga) };
+                    let (src, dst) = if from == a {
+                        (&mut *ga, &mut *gb)
+                    } else {
+                        (&mut *gb, &mut *ga)
+                    };
                     src.occupancy -= 1;
                     src.departures += 1;
                     dst.occupancy += 1;
@@ -123,7 +140,11 @@ pub fn run<S: Spawner>(sp: &S, input: IntersimInput) -> IntersimOutcome {
 
     let occupancy: Vec<u64> = grid.iter().map(|m| m.lock().occupancy).collect();
     let arrivals: u64 = grid.iter().map(|m| m.lock().arrivals).sum();
-    IntersimOutcome { positions, arrivals, occupancy }
+    IntersimOutcome {
+        positions,
+        arrivals,
+        occupancy,
+    }
 }
 
 /// Sequential oracle.
@@ -138,8 +159,9 @@ pub fn sim_graph(input: IntersimInput) -> TaskGraph {
     let mut b = GraphBuilder::new();
     let mut last_user: Vec<Option<TaskId>> = vec![None; input.intersections];
     let mut last_move: Vec<Option<TaskId>> = vec![None; input.vehicles];
-    let mut positions: Vec<usize> =
-        (0..input.vehicles).map(|v| v % input.intersections).collect();
+    let mut positions: Vec<usize> = (0..input.vehicles)
+        .map(|v| v % input.intersections)
+        .collect();
     for r in 0..input.rounds {
         for v in 0..input.vehicles {
             let from = positions[v];
@@ -214,7 +236,12 @@ mod tests {
 
     #[test]
     fn graph_serializes_on_shared_intersections() {
-        let input = IntersimInput { intersections: 2, vehicles: 8, rounds: 4, seed: 1 };
+        let input = IntersimInput {
+            intersections: 2,
+            vehicles: 8,
+            rounds: 4,
+            seed: 1,
+        };
         let g = sim_graph(input);
         assert!(g.validate().is_ok());
         // With only 2 intersections everything serializes: the critical
@@ -224,7 +251,12 @@ mod tests {
 
     #[test]
     fn graph_with_many_intersections_has_parallelism() {
-        let input = IntersimInput { intersections: 64, vehicles: 64, rounds: 4, seed: 1 };
+        let input = IntersimInput {
+            intersections: 64,
+            vehicles: 64,
+            rounds: 4,
+            seed: 1,
+        };
         let g = sim_graph(input);
         assert!(g.validate().is_ok());
         assert!(g.critical_path_ns() < g.total_work_ns() / 2);

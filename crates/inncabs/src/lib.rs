@@ -17,8 +17,8 @@ pub mod qap;
 pub mod round;
 pub mod sort;
 pub mod sparselu;
-pub mod strassen;
 pub mod spawner;
+pub mod strassen;
 pub mod uts;
 
 pub use catalog::{Benchmark, CatalogEntry, Granularity, InputScale, PaperScaling, Structure};

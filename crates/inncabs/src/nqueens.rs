@@ -29,9 +29,10 @@ impl NQueensInput {
 
 fn safe(placed: &[usize], col: usize) -> bool {
     let row = placed.len();
-    placed.iter().enumerate().all(|(r, &c)| {
-        c != col && c + row != col + r && c + r != col + row
-    })
+    placed
+        .iter()
+        .enumerate()
+        .all(|(r, &c)| c != col && c + row != col + r && c + r != col + row)
 }
 
 /// Parallel solver: one task per valid placement in the next row.

@@ -31,12 +31,24 @@ pub struct PyramidsInput {
 impl PyramidsInput {
     /// Small input for unit tests.
     pub fn test() -> Self {
-        PyramidsInput { width: 256, steps: 16, block: 4, cutoff: 64, seed: 31 }
+        PyramidsInput {
+            width: 256,
+            steps: 16,
+            block: 4,
+            cutoff: 64,
+            seed: 31,
+        }
     }
 
     /// Scaled-down stand-in for the paper's input.
     pub fn paper() -> Self {
-        PyramidsInput { width: 1 << 22, steps: 768, block: 48, cutoff: 4_096, seed: 31 }
+        PyramidsInput {
+            width: 1 << 22,
+            steps: 768,
+            block: 48,
+            cutoff: 4_096,
+            seed: 31,
+        }
     }
 
     /// Initial grid values.
@@ -75,7 +87,11 @@ fn pyramid_kernel(grid: &[f64], l: usize, r: usize, steps: usize) -> Vec<f64> {
         // inside the window, except at the true array boundary where the
         // stencil clamps.
         let lo = if base == 0 { 0 } else { base + 1 };
-        let hi = if base + cur.len() == n { n } else { base + cur.len() - 1 };
+        let hi = if base + cur.len() == n {
+            n
+        } else {
+            base + cur.len() - 1
+        };
         let mut next = Vec::with_capacity(hi - lo);
         for i in lo..hi {
             // Emulate step_point on the window.
@@ -192,11 +208,20 @@ mod tests {
 
     #[test]
     fn kernel_matches_plain_stepping_interior() {
-        let input = PyramidsInput { width: 64, steps: 4, block: 4, cutoff: 64, seed: 5 };
+        let input = PyramidsInput {
+            width: 64,
+            steps: 4,
+            block: 4,
+            cutoff: 64,
+            seed: 5,
+        };
         let grid = input.initial();
         let serial = run_serial(input);
         let kernel = pyramid_kernel(&grid, 0, 64, 4);
-        assert!(close(&kernel, &serial), "kernel disagrees with plain stepping");
+        assert!(
+            close(&kernel, &serial),
+            "kernel disagrees with plain stepping"
+        );
     }
 
     #[test]
@@ -209,7 +234,13 @@ mod tests {
 
     #[test]
     fn parallel_matches_serial_with_odd_sizes() {
-        let input = PyramidsInput { width: 173, steps: 7, block: 3, cutoff: 32, seed: 9 };
+        let input = PyramidsInput {
+            width: 173,
+            steps: 7,
+            block: 3,
+            cutoff: 32,
+            seed: 9,
+        };
         assert!(close(&run(&SerialSpawner, input), &run_serial(input)));
     }
 
@@ -239,7 +270,13 @@ mod tests {
 
     #[test]
     fn graph_time_blocks_are_sequential() {
-        let input = PyramidsInput { width: 128, steps: 8, block: 4, cutoff: 64, seed: 1 };
+        let input = PyramidsInput {
+            width: 128,
+            steps: 8,
+            block: 4,
+            cutoff: 64,
+            seed: 1,
+        };
         let g = sim_graph(input);
         // Two time blocks: critical path covers both.
         assert!(g.validate().is_ok());

@@ -29,12 +29,20 @@ pub struct QapInput {
 impl QapInput {
     /// Small input for unit tests.
     pub fn test() -> Self {
-        QapInput { n: 6, seed: 29, serial_depth: 0 }
+        QapInput {
+            n: 6,
+            seed: 29,
+            serial_depth: 0,
+        }
     }
 
     /// The paper's "smallest input" stand-in.
     pub fn paper() -> Self {
-        QapInput { n: 8, seed: 29, serial_depth: 2 }
+        QapInput {
+            n: 8,
+            seed: 29,
+            serial_depth: 2,
+        }
     }
 
     /// Deterministic flow and distance matrices (non-negative).
@@ -126,7 +134,14 @@ fn branch<S: Spawner>(
                 branch(&sp2, inst2, next, used | (1 << l), next_cost, serial_depth)
             }));
         } else {
-            branch(sp, inst.clone(), next, used | (1 << l), next_cost, serial_depth);
+            branch(
+                sp,
+                inst.clone(),
+                next,
+                used | (1 << l),
+                next_cost,
+                serial_depth,
+            );
         }
     }
     for fut in futures {
@@ -192,8 +207,13 @@ fn permute(v: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
 /// whole inline subtree's work.
 pub fn sim_graph(input: QapInput) -> TaskGraph {
     let (flow, dist) = input.matrices();
-    let inst =
-        Instance { n: input.n, flow, dist, best: AtomicU64::new(u64::MAX), nodes: AtomicU64::new(0) };
+    let inst = Instance {
+        n: input.n,
+        flow,
+        dist,
+        best: AtomicU64::new(u64::MAX),
+        nodes: AtomicU64::new(0),
+    };
     let mut b = GraphBuilder::new();
     enumerate(&mut b, &inst, &mut Vec::new(), 0, 0, input.serial_depth);
     b.build()
@@ -201,12 +221,7 @@ pub fn sim_graph(input: QapInput) -> TaskGraph {
 
 /// Count the serial subtree below a partial assignment (updating `best`
 /// exactly as the inline recursion would).
-fn serial_subtree_nodes(
-    inst: &Instance,
-    assigned: &mut Vec<usize>,
-    used: u64,
-    cost: u64,
-) -> u64 {
+fn serial_subtree_nodes(inst: &Instance, assigned: &mut Vec<usize>, used: u64, cost: u64) -> u64 {
     let n = inst.n;
     if assigned.len() == n {
         let best = inst.best.load(Ordering::Relaxed);
@@ -268,7 +283,14 @@ fn enumerate(
         }
         let d = inst.delta(assigned, f, l);
         assigned.push(l);
-        children.push(enumerate(b, inst, assigned, used | (1 << l), cost + d, serial_depth));
+        children.push(enumerate(
+            b,
+            inst,
+            assigned,
+            used | (1 << l),
+            cost + d,
+            serial_depth,
+        ));
         assigned.pop();
     }
     if children.is_empty() {
@@ -293,7 +315,11 @@ mod tests {
 
     #[test]
     fn branch_and_bound_matches_brute_force() {
-        let input = QapInput { n: 5, seed: 77, serial_depth: 0 };
+        let input = QapInput {
+            n: 5,
+            seed: 77,
+            serial_depth: 0,
+        };
         assert_eq!(run_serial(input).best_cost, brute_force(input));
     }
 
@@ -305,10 +331,18 @@ mod tests {
 
     #[test]
     fn pruning_explores_fewer_nodes_than_factorial() {
-        let input = QapInput { n: 7, seed: 5, serial_depth: 0 };
+        let input = QapInput {
+            n: 7,
+            seed: 5,
+            serial_depth: 0,
+        };
         let out = run_serial(input);
         // Full tree would be Σ 7!/(7-k)! ≈ 13700 nodes.
-        assert!(out.nodes < 13_700, "no pruning happened: {} nodes", out.nodes);
+        assert!(
+            out.nodes < 13_700,
+            "no pruning happened: {} nodes",
+            out.nodes
+        );
         assert!(out.nodes > 7);
     }
 

@@ -30,19 +30,31 @@ pub struct RoundInput {
 impl RoundInput {
     /// Small input for unit tests.
     pub fn test() -> Self {
-        RoundInput { players: 8, rounds: 4, work: 2_000, seed: 61 }
+        RoundInput {
+            players: 8,
+            rounds: 4,
+            work: 2_000,
+            seed: 61,
+        }
     }
 
     /// The paper's shape: 32 players × 16 rounds = 512 coarse tasks.
     pub fn paper() -> Self {
-        RoundInput { players: 32, rounds: 16, work: 400_000, seed: 61 }
+        RoundInput {
+            players: 32,
+            rounds: 16,
+            work: 400_000,
+            seed: 61,
+        }
     }
 }
 
 /// The compute kernel: a deterministic expensive mixing loop.
 fn kernel(mut x: u64, iters: u64) -> u64 {
     for _ in 0..iters {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         x ^= x >> 29;
     }
     x
@@ -65,7 +77,8 @@ pub fn run<S: Spawner>(sp: &S, input: RoundInput) -> RoundOutcome {
             .map(|p| {
                 let accounts = accounts.clone();
                 sp.spawn(move || {
-                    let contribution = kernel(input.seed ^ (p as u64) ^ ((r as u64) << 32), input.work);
+                    let contribution =
+                        kernel(input.seed ^ (p as u64) ^ ((r as u64) << 32), input.work);
                     let right = (p + 1) % input.players;
                     // Two locks per task, ordered by index (no deadlock).
                     let (a, b) = (p.min(right), p.max(right));
@@ -75,8 +88,11 @@ pub fn run<S: Spawner>(sp: &S, input: RoundInput) -> RoundOutcome {
                     }
                     let mut ga = accounts[a].lock();
                     let mut gb = accounts[b].lock();
-                    let (own, neigh) =
-                        if p == a { (&mut *ga, &mut *gb) } else { (&mut *gb, &mut *ga) };
+                    let (own, neigh) = if p == a {
+                        (&mut *ga, &mut *gb)
+                    } else {
+                        (&mut *gb, &mut *ga)
+                    };
                     *own = own.wrapping_add(contribution);
                     *neigh = neigh.wrapping_add(contribution / 2);
                 })
@@ -86,7 +102,9 @@ pub fn run<S: Spawner>(sp: &S, input: RoundInput) -> RoundOutcome {
             f.get();
         }
     }
-    RoundOutcome { accounts: accounts.iter().map(|m| *m.lock()).collect() }
+    RoundOutcome {
+        accounts: accounts.iter().map(|m| *m.lock()).collect(),
+    }
 }
 
 /// Sequential oracle.
@@ -141,9 +159,14 @@ mod tests {
 
     #[test]
     fn accounts_receive_own_and_neighbour_contributions() {
-        let input = RoundInput { players: 2, rounds: 1, work: 10, seed: 5 };
+        let input = RoundInput {
+            players: 2,
+            rounds: 1,
+            work: 10,
+            seed: 5,
+        };
         let out = run_serial(input);
-        let c0 = kernel(5 ^ 0, 10);
+        let c0 = kernel(5, 10); // seed ^ player 0
         let c1 = kernel(5 ^ 1, 10);
         // Player 0 deposits c0 to itself and c0/2 to player 1; vice versa.
         assert_eq!(out.accounts[0], c0.wrapping_add(c1 / 2));
@@ -162,7 +185,12 @@ mod tests {
 
     #[test]
     fn graph_rounds_are_barriers() {
-        let g = sim_graph(RoundInput { players: 4, rounds: 3, work: 1, seed: 1 });
+        let g = sim_graph(RoundInput {
+            players: 4,
+            rounds: 3,
+            work: 1,
+            seed: 1,
+        });
         assert!(g.validate().is_ok());
         // Critical path ≈ rounds × task duration.
         assert!(g.critical_path_ns() >= 3 * 9_671_000);

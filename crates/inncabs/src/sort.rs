@@ -22,12 +22,20 @@ pub struct SortInput {
 impl SortInput {
     /// Small input for unit tests.
     pub fn test() -> Self {
-        SortInput { len: 4_096, cutoff: 256, seed: 7 }
+        SortInput {
+            len: 4_096,
+            cutoff: 256,
+            seed: 7,
+        }
     }
 
     /// Scaled-down stand-in for the paper's 32M-element input.
     pub fn paper() -> Self {
-        SortInput { len: 1 << 18, cutoff: 2_048, seed: 7 }
+        SortInput {
+            len: 1 << 18,
+            cutoff: 2_048,
+            seed: 7,
+        }
     }
 
     /// The input data.
@@ -138,7 +146,11 @@ mod tests {
 
     #[test]
     fn sorted_output_is_sorted_permutation() {
-        let input = SortInput { len: 1000, cutoff: 64, seed: 3 };
+        let input = SortInput {
+            len: 1000,
+            cutoff: 64,
+            seed: 3,
+        };
         let out = run(&SerialSpawner, input);
         assert!(out.windows(2).all(|w| w[0] <= w[1]));
         let mut orig = input.data();
@@ -159,16 +171,35 @@ mod tests {
         assert!(g.validate().is_ok());
         // Grain varies: the biggest merge is far larger than a leaf sort.
         let max = g.tasks.iter().map(|t| t.work_ns).max().unwrap();
-        let min = g.tasks.iter().filter(|t| t.work_ns > 500).map(|t| t.work_ns).min().unwrap();
-        assert!(max > 3 * min, "expected variable grain, got max={max} min={min}");
+        let min = g
+            .tasks
+            .iter()
+            .filter(|t| t.work_ns > 500)
+            .map(|t| t.work_ns)
+            .min()
+            .unwrap();
+        assert!(
+            max > 3 * min,
+            "expected variable grain, got max={max} min={min}"
+        );
         // Memory traffic present (the sort streams data).
         assert!(g.total_traffic_bytes() > 0);
     }
 
     #[test]
     fn graph_task_count_scales_with_input() {
-        let small = sim_graph(SortInput { len: 1 << 12, cutoff: 256, seed: 1 }).len();
-        let large = sim_graph(SortInput { len: 1 << 16, cutoff: 256, seed: 1 }).len();
+        let small = sim_graph(SortInput {
+            len: 1 << 12,
+            cutoff: 256,
+            seed: 1,
+        })
+        .len();
+        let large = sim_graph(SortInput {
+            len: 1 << 16,
+            cutoff: 256,
+            seed: 1,
+        })
+        .len();
         assert!(large > 10 * small);
     }
 }

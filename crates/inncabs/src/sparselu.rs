@@ -26,13 +26,21 @@ pub struct SparseLuInput {
 impl SparseLuInput {
     /// Small input for unit tests.
     pub fn test() -> Self {
-        SparseLuInput { blocks: 4, block_size: 8, seed: 23 }
+        SparseLuInput {
+            blocks: 4,
+            block_size: 8,
+            seed: 23,
+        }
     }
 
     /// Scaled-down stand-in for the paper's input (its 11 099 tasks come
     /// from a 50×50 block matrix; we default to 20×20 natively).
     pub fn paper() -> Self {
-        SparseLuInput { blocks: 20, block_size: 32, seed: 23 }
+        SparseLuInput {
+            blocks: 20,
+            block_size: 32,
+            seed: 23,
+        }
     }
 }
 
@@ -78,7 +86,11 @@ impl BlockMatrix {
                 }
             }
         }
-        BlockMatrix { blocks: nb, bs, data }
+        BlockMatrix {
+            blocks: nb,
+            bs,
+            data,
+        }
     }
 
     fn take(&mut self, i: usize, j: usize) -> Option<Block> {
@@ -98,8 +110,7 @@ impl BlockMatrix {
                 if let Some(block) = &self.data[bi * self.blocks + bj] {
                     for r in 0..self.bs {
                         for c in 0..self.bs {
-                            out[(bi * self.bs + r) * n + bj * self.bs + c] =
-                                block[r * self.bs + c];
+                            out[(bi * self.bs + r) * n + bj * self.bs + c] = block[r * self.bs + c];
                         }
                     }
                 }
@@ -177,51 +188,75 @@ pub fn run<S: Spawner>(sp: &S, input: SparseLuInput) -> BlockMatrix {
         for j in (k + 1)..nb {
             if let Some(mut block) = m.take(k, j) {
                 let d = diag.clone();
-                row_futs.push((j, sp.spawn(move || {
-                    fwd(&d, &mut block, bs);
-                    block
-                })));
+                row_futs.push((
+                    j,
+                    sp.spawn(move || {
+                        fwd(&d, &mut block, bs);
+                        block
+                    }),
+                ));
             }
         }
         let mut col_futs = Vec::new();
         for i in (k + 1)..nb {
             if let Some(mut block) = m.take(i, k) {
                 let d = diag.clone();
-                col_futs.push((i, sp.spawn(move || {
-                    bdiv(&d, &mut block, bs);
-                    block
-                })));
+                col_futs.push((
+                    i,
+                    sp.spawn(move || {
+                        bdiv(&d, &mut block, bs);
+                        block
+                    }),
+                ));
             }
         }
-        let rows: Vec<(usize, Arc<Block>)> =
-            row_futs.into_iter().map(|(j, f)| (j, Arc::new(f.get()))).collect();
-        let cols: Vec<(usize, Arc<Block>)> =
-            col_futs.into_iter().map(|(i, f)| (i, Arc::new(f.get()))).collect();
+        let rows: Vec<(usize, Arc<Block>)> = row_futs
+            .into_iter()
+            .map(|(j, f)| (j, Arc::new(f.get())))
+            .collect();
+        let cols: Vec<(usize, Arc<Block>)> = col_futs
+            .into_iter()
+            .map(|(i, f)| (i, Arc::new(f.get())))
+            .collect();
 
         // 3. bmod every interior block with both factors present (fill-in
         //    creates blocks that were structurally zero).
         let mut inner_futs = Vec::new();
         for &(i, ref col) in &cols {
             for &(j, ref row) in &rows {
-                let mut block =
-                    m.take(i, j).unwrap_or_else(|| vec![0.0; bs * bs]);
+                let mut block = m.take(i, j).unwrap_or_else(|| vec![0.0; bs * bs]);
                 let (c, r) = (col.clone(), row.clone());
-                inner_futs.push(((i, j), sp.spawn(move || {
-                    bmod(&r, &c, &mut block, bs);
-                    block
-                })));
+                inner_futs.push((
+                    (i, j),
+                    sp.spawn(move || {
+                        bmod(&r, &c, &mut block, bs);
+                        block
+                    }),
+                ));
             }
         }
         for ((i, j), f) in inner_futs {
             m.put(i, j, Some(f.get()));
         }
         for (j, row) in rows {
-            m.put(k, j, Some(Arc::try_unwrap(row).expect("row block uniquely owned")));
+            m.put(
+                k,
+                j,
+                Some(Arc::try_unwrap(row).expect("row block uniquely owned")),
+            );
         }
         for (i, col) in cols {
-            m.put(i, k, Some(Arc::try_unwrap(col).expect("col block uniquely owned")));
+            m.put(
+                i,
+                k,
+                Some(Arc::try_unwrap(col).expect("col block uniquely owned")),
+            );
         }
-        m.put(k, k, Some(Arc::try_unwrap(diag).expect("diag uniquely owned")));
+        m.put(
+            k,
+            k,
+            Some(Arc::try_unwrap(diag).expect("diag uniquely owned")),
+        );
     }
     m
 }
@@ -350,7 +385,11 @@ mod tests {
     #[test]
     fn lu_reconstructs_original_on_dense_pattern() {
         // Fully dense small case: L·U must equal A.
-        let input = SparseLuInput { blocks: 2, block_size: 4, seed: 999 };
+        let input = SparseLuInput {
+            blocks: 2,
+            block_size: 4,
+            seed: 999,
+        };
         let original = BlockMatrix::generate(&input).to_dense();
         let factored = run(&SerialSpawner, input);
         let rebuilt = lu_product_dense(&factored);
@@ -391,8 +430,18 @@ mod tests {
 
     #[test]
     fn graph_task_count_grows_with_blocks() {
-        let small = sim_graph(SparseLuInput { blocks: 4, block_size: 8, seed: 23 }).len();
-        let large = sim_graph(SparseLuInput { blocks: 8, block_size: 8, seed: 23 }).len();
+        let small = sim_graph(SparseLuInput {
+            blocks: 4,
+            block_size: 8,
+            seed: 23,
+        })
+        .len();
+        let large = sim_graph(SparseLuInput {
+            blocks: 8,
+            block_size: 8,
+            seed: 23,
+        })
+        .len();
         assert!(large > 3 * small);
     }
 }

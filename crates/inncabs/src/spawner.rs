@@ -186,7 +186,9 @@ mod tests {
 
     #[test]
     fn std_spawner_panics_on_resource_exhaustion() {
-        let rt = Arc::new(BaselineRuntime::new(rpx_baseline::BaselineConfig::with_live_limit(2)));
+        let rt = Arc::new(BaselineRuntime::new(
+            rpx_baseline::BaselineConfig::with_live_limit(2),
+        ));
         let sp = StdSpawner::new(rt);
         let gate = Arc::new(parking_lot::Mutex::new(()));
         let held = gate.lock();
@@ -194,10 +196,11 @@ mod tests {
         let g2 = gate.clone();
         let f1 = sp.spawn(move || drop(g1.lock()));
         let f2 = sp.spawn(move || drop(g2.lock()));
-        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            sp.spawn(|| ())
-        }));
-        assert!(err.is_err(), "third spawn must abort like the paper's std::async");
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sp.spawn(|| ())));
+        assert!(
+            err.is_err(),
+            "third spawn must abort like the paper's std::async"
+        );
         drop(held);
         f1.get();
         f2.get();

@@ -20,7 +20,10 @@ pub struct Matrix {
 impl Matrix {
     /// Zero matrix.
     pub fn zero(n: usize) -> Self {
-        Matrix { n, data: vec![0.0; n * n] }
+        Matrix {
+            n,
+            data: vec![0.0; n * n],
+        }
     }
 
     /// Deterministic pseudo-random matrix.
@@ -55,14 +58,24 @@ impl Matrix {
     fn add(&self, other: &Matrix) -> Matrix {
         Matrix {
             n: self.n,
-            data: self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a + b)
+                .collect(),
         }
     }
 
     fn sub(&self, other: &Matrix) -> Matrix {
         Matrix {
             n: self.n,
-            data: self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a - b)
+                .collect(),
         }
     }
 
@@ -119,12 +132,20 @@ pub struct StrassenInput {
 impl StrassenInput {
     /// Small input for unit tests.
     pub fn test() -> Self {
-        StrassenInput { n: 64, cutoff: 16, seed: 11 }
+        StrassenInput {
+            n: 64,
+            cutoff: 16,
+            seed: 11,
+        }
     }
 
     /// Scaled-down stand-in for the paper's input.
     pub fn paper() -> Self {
-        StrassenInput { n: 512, cutoff: 64, seed: 11 }
+        StrassenInput {
+            n: 512,
+            cutoff: 64,
+            seed: 11,
+        }
     }
 }
 
@@ -140,10 +161,18 @@ fn strassen<S: Spawner>(sp: &S, a: Matrix, b: Matrix, cutoff: usize) -> Matrix {
     if n <= cutoff || !n.is_multiple_of(2) {
         return a.multiply(&b);
     }
-    let (a11, a12, a21, a22) =
-        (a.quadrant(0, 0), a.quadrant(0, 1), a.quadrant(1, 0), a.quadrant(1, 1));
-    let (b11, b12, b21, b22) =
-        (b.quadrant(0, 0), b.quadrant(0, 1), b.quadrant(1, 0), b.quadrant(1, 1));
+    let (a11, a12, a21, a22) = (
+        a.quadrant(0, 0),
+        a.quadrant(0, 1),
+        a.quadrant(1, 0),
+        a.quadrant(1, 1),
+    );
+    let (b11, b12, b21, b22) = (
+        b.quadrant(0, 0),
+        b.quadrant(0, 1),
+        b.quadrant(1, 0),
+        b.quadrant(1, 1),
+    );
 
     let ms: Vec<_> = [
         (a11.add(&a22), b11.add(&b22)),
@@ -227,7 +256,11 @@ mod tests {
 
     #[test]
     fn strassen_matches_classic_multiply() {
-        let input = StrassenInput { n: 32, cutoff: 8, seed: 5 };
+        let input = StrassenInput {
+            n: 32,
+            cutoff: 8,
+            seed: 5,
+        };
         let fast = run(&SerialSpawner, input);
         let slow = run_serial(input);
         assert!(fast.max_diff(&slow) < 1e-6, "diff {}", fast.max_diff(&slow));
@@ -253,7 +286,11 @@ mod tests {
 
     #[test]
     fn graph_is_sevenary() {
-        let g = sim_graph(StrassenInput { n: 64, cutoff: 32, seed: 1 });
+        let g = sim_graph(StrassenInput {
+            n: 64,
+            cutoff: 32,
+            seed: 1,
+        });
         assert!(g.validate().is_ok());
         // One level of recursion: fork + join + 7 leaves = 9 tasks.
         assert_eq!(g.len(), 9);

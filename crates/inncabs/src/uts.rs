@@ -25,12 +25,20 @@ pub struct UtsInput {
 impl UtsInput {
     /// Small input for unit tests.
     pub fn test() -> Self {
-        UtsInput { seed: 42, root_branch_milli: 2_500, max_depth: 6 }
+        UtsInput {
+            seed: 42,
+            root_branch_milli: 2_500,
+            max_depth: 6,
+        }
     }
 
     /// Scaled-down stand-in for the paper's T1 geometric tree.
     pub fn paper() -> Self {
-        UtsInput { seed: 19, root_branch_milli: 8_000, max_depth: 14 }
+        UtsInput {
+            seed: 19,
+            root_branch_milli: 8_000,
+            max_depth: 14,
+        }
     }
 }
 
@@ -84,7 +92,9 @@ fn visit<S: Spawner>(sp: &S, input: UtsInput, h: u64, depth: u32) -> u64 {
 pub fn run_serial(input: UtsInput) -> u64 {
     fn rec(input: &UtsInput, h: u64, depth: u32) -> u64 {
         let kids = child_count(input, h, depth);
-        1 + (0..kids).map(|k| rec(input, splitmix64(h ^ (k + 1)), depth + 1)).sum::<u64>()
+        1 + (0..kids)
+            .map(|k| rec(input, splitmix64(h ^ (k + 1)), depth + 1))
+            .sum::<u64>()
     }
     rec(&input, input.seed, 0)
 }
@@ -105,8 +115,9 @@ fn build(b: &mut GraphBuilder, input: &UtsInput, h: u64, depth: u32) -> (TaskId,
         b.ends_thread(id, t);
         return (id, id);
     }
-    let children: Vec<(TaskId, TaskId)> =
-        (0..kids).map(|k| build(b, input, splitmix64(h ^ (k + 1)), depth + 1)).collect();
+    let children: Vec<(TaskId, TaskId)> = (0..kids)
+        .map(|k| build(b, input, splitmix64(h ^ (k + 1)), depth + 1))
+        .collect();
     let t = b.new_thread();
     let fork = b.add(SimTask::compute(1_100));
     let join = b.add(SimTask::compute(500));
@@ -141,7 +152,10 @@ mod tests {
         let nodes = run_serial(UtsInput::test());
         assert!(nodes > 20, "tree too small: {nodes}");
         // Depth bound: zero branching past max_depth.
-        let deep = UtsInput { max_depth: 0, ..UtsInput::test() };
+        let deep = UtsInput {
+            max_depth: 0,
+            ..UtsInput::test()
+        };
         assert_eq!(run_serial(deep), 1);
     }
 
@@ -161,8 +175,14 @@ mod tests {
 
     #[test]
     fn different_seeds_give_different_trees() {
-        let a = run_serial(UtsInput { seed: 1, ..UtsInput::test() });
-        let b = run_serial(UtsInput { seed: 2, ..UtsInput::test() });
+        let a = run_serial(UtsInput {
+            seed: 1,
+            ..UtsInput::test()
+        });
+        let b = run_serial(UtsInput {
+            seed: 2,
+            ..UtsInput::test()
+        });
         // Not a hard guarantee for every pair, but these seeds differ.
         assert_ne!(a, b);
     }

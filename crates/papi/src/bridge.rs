@@ -36,10 +36,11 @@ pub fn register_papi_counters(registry: &Arc<CounterRegistry>, pmu: &Arc<Pmu>, l
             info,
             Arc::new(move |name: &CounterName, _reg| {
                 let pmu = pmu_for_factory.clone();
-                let read: rpx_counters::counter::ValueFn = match domain_of(name, pmu.domain_count())? {
-                    DomainSel::Total => Arc::new(move || pmu.read_total(event) as i64),
-                    DomainSel::One(d) => Arc::new(move || pmu.read(d, event) as i64),
-                };
+                let read: rpx_counters::counter::ValueFn =
+                    match domain_of(name, pmu.domain_count())? {
+                        DomainSel::Total => Arc::new(move || pmu.read_total(event) as i64),
+                        DomainSel::One(d) => Arc::new(move || pmu.read(d, event) as i64),
+                    };
                 let info = rpx_counters::CounterInfo::new(
                     name.canonical(),
                     CounterKind::MonotonicallyIncreasing,
@@ -114,7 +115,10 @@ mod tests {
         pmu.record(0, HwEvent::OffcoreAllDataRd, 10);
         pmu.record(3, HwEvent::OffcoreAllDataRd, 5);
         let v = reg
-            .evaluate("/papi{locality#0/total}/OFFCORE_REQUESTS::ALL_DATA_RD", false)
+            .evaluate(
+                "/papi{locality#0/total}/OFFCORE_REQUESTS::ALL_DATA_RD",
+                false,
+            )
             .unwrap();
         assert_eq!(v.value, 15);
     }
@@ -132,11 +136,17 @@ mod tests {
         let (reg, pmu) = setup();
         pmu.record(2, HwEvent::Instructions, 7);
         let v = reg
-            .evaluate("/papi{locality#0/worker-thread#2}/INSTRUCTIONS_RETIRED", false)
+            .evaluate(
+                "/papi{locality#0/worker-thread#2}/INSTRUCTIONS_RETIRED",
+                false,
+            )
             .unwrap();
         assert_eq!(v.value, 7);
         let v = reg
-            .evaluate("/papi{locality#0/worker-thread#0}/INSTRUCTIONS_RETIRED", false)
+            .evaluate(
+                "/papi{locality#0/worker-thread#0}/INSTRUCTIONS_RETIRED",
+                false,
+            )
             .unwrap();
         assert_eq!(v.value, 0);
     }
@@ -147,8 +157,9 @@ mod tests {
         for d in 0..4 {
             pmu.record(d, HwEvent::LlcMisses, (d as u64 + 1) * 10);
         }
-        let counters =
-            reg.get_counters("/papi{locality#0/worker-thread#*}/LLC_MISSES").unwrap();
+        let counters = reg
+            .get_counters("/papi{locality#0/worker-thread#*}/LLC_MISSES")
+            .unwrap();
         assert_eq!(counters.len(), 4);
         let sum: i64 = counters.iter().map(|(_, c)| c.get_value(false).value).sum();
         assert_eq!(sum, 100);
@@ -165,7 +176,8 @@ mod tests {
     #[test]
     fn reset_protocol_measures_deltas() {
         let (reg, pmu) = setup();
-        reg.add_active("/papi{locality#0/total}/OFFCORE_REQUESTS::DEMAND_RFO").unwrap();
+        reg.add_active("/papi{locality#0/total}/OFFCORE_REQUESTS::DEMAND_RFO")
+            .unwrap();
         pmu.record(0, HwEvent::OffcoreDemandRfo, 100);
         let v = reg.evaluate_active_counters(true);
         assert_eq!(v[0].1.value, 100);

@@ -89,8 +89,11 @@ impl HwEvent {
 
     /// The three off-core request events summed by the paper's bandwidth
     /// estimate.
-    pub const OFFCORE: [HwEvent; 3] =
-        [HwEvent::OffcoreAllDataRd, HwEvent::OffcoreDemandCodeRd, HwEvent::OffcoreDemandRfo];
+    pub const OFFCORE: [HwEvent; 3] = [
+        HwEvent::OffcoreAllDataRd,
+        HwEvent::OffcoreDemandCodeRd,
+        HwEvent::OffcoreDemandRfo,
+    ];
 }
 
 impl fmt::Display for HwEvent {

@@ -23,5 +23,7 @@ pub mod pmu;
 
 pub use bridge::register_papi_counters;
 pub use events::HwEvent;
-pub use model::{bandwidth_gb_per_s, estimate_offcore, CacheModel, MemoryFootprint, OffcoreRequests, CACHE_LINE};
+pub use model::{
+    bandwidth_gb_per_s, estimate_offcore, CacheModel, MemoryFootprint, OffcoreRequests, CACHE_LINE,
+};
 pub use pmu::{record, record_footprint, DomainGuard, Pmu};

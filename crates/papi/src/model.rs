@@ -84,7 +84,12 @@ impl MemoryFootprint {
     /// A streaming footprint: reads `r` and writes `w` bytes with no reuse
     /// (working set = everything touched).
     pub fn streaming(r: u64, w: u64) -> Self {
-        MemoryFootprint { bytes_read: r, bytes_written: w, code_bytes: 0, working_set: r + w }
+        MemoryFootprint {
+            bytes_read: r,
+            bytes_written: w,
+            code_bytes: 0,
+            working_set: r + w,
+        }
     }
 }
 
@@ -131,7 +136,9 @@ pub fn estimate_offcore(
     cache: &CacheModel,
     llc_share_bytes: u64,
 ) -> OffcoreRequests {
-    let ws = footprint.working_set.max(footprint.bytes_read + footprint.bytes_written);
+    let ws = footprint
+        .working_set
+        .max(footprint.bytes_read + footprint.bytes_written);
     let miss = cache.offcore_miss_fraction(ws, llc_share_bytes);
     let lines = |bytes: u64| -> u64 {
         if bytes == 0 {
@@ -179,7 +186,10 @@ mod tests {
         let fp = MemoryFootprint::streaming(100 * 1024 * 1024, 0);
         let req = estimate_offcore(&fp, &cache, cache.llc_bytes);
         let lines = fp.bytes_read / CACHE_LINE;
-        assert!(req.data_rd > lines / 2, "expected mostly misses, got {req:?}");
+        assert!(
+            req.data_rd > lines / 2,
+            "expected mostly misses, got {req:?}"
+        );
         assert_eq!(req.rfo, 0);
     }
 
@@ -237,13 +247,22 @@ mod tests {
     #[test]
     fn record_into_pmu() {
         let pmu = Pmu::new(1);
-        OffcoreRequests { data_rd: 5, code_rd: 2, rfo: 1 }.record_into(&pmu, 0);
+        OffcoreRequests {
+            data_rd: 5,
+            code_rd: 2,
+            rfo: 1,
+        }
+        .record_into(&pmu, 0);
         assert_eq!(pmu.offcore_requests_total(), 8);
     }
 
     #[test]
     fn requests_bytes_total() {
-        let r = OffcoreRequests { data_rd: 1, code_rd: 1, rfo: 1 };
+        let r = OffcoreRequests {
+            data_rd: 1,
+            code_rd: 1,
+            rfo: 1,
+        };
         assert_eq!(r.total(), 3);
         assert_eq!(r.bytes(), 192);
     }

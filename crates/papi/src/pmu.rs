@@ -23,7 +23,10 @@ struct Domain {
 
 impl Domain {
     fn new() -> Self {
-        Domain { counts: std::array::from_fn(|_| AtomicU64::new(0)), _pad: [0; 7] }
+        Domain {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            _pad: [0; 7],
+        }
     }
 }
 
@@ -36,7 +39,9 @@ impl Pmu {
     /// A PMU with `domains` accounting domains (≥ 1).
     pub fn new(domains: usize) -> Arc<Self> {
         let domains = domains.max(1);
-        Arc::new(Pmu { domains: (0..domains).map(|_| Domain::new()).collect() })
+        Arc::new(Pmu {
+            domains: (0..domains).map(|_| Domain::new()).collect(),
+        })
     }
 
     /// Number of accounting domains.
@@ -61,7 +66,10 @@ impl Pmu {
 
     /// Current count of `event` summed over all domains.
     pub fn read_total(&self, event: HwEvent) -> u64 {
-        self.domains.iter().map(|d| d.counts[event as usize].load(Ordering::Relaxed)).sum()
+        self.domains
+            .iter()
+            .map(|d| d.counts[event as usize].load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Sum of the three off-core request events over all domains — the
@@ -97,8 +105,7 @@ pub struct DomainGuard {
 impl DomainGuard {
     /// Bind the calling thread to `domain` of `pmu`.
     pub fn enter(pmu: Arc<Pmu>, domain: usize) -> DomainGuard {
-        let previous =
-            CURRENT_DOMAIN.with(|c| c.replace(Some((domain, Arc::as_ptr(&pmu)))));
+        let previous = CURRENT_DOMAIN.with(|c| c.replace(Some((domain, Arc::as_ptr(&pmu)))));
         DomainGuard { pmu, previous }
     }
 }

@@ -73,7 +73,11 @@ impl BindSpec {
                 .map(|w| {
                     let core = w % cores;
                     let sibling = (w / cores) % topo.smt.max(1);
-                    Some(topo.hw_id(core / topo.cores_per_socket, core % topo.cores_per_socket, sibling))
+                    Some(topo.hw_id(
+                        core / topo.cores_per_socket,
+                        core % topo.cores_per_socket,
+                        sibling,
+                    ))
                 })
                 .collect(),
             BindSpec::Scatter => (0..workers)
@@ -112,8 +116,16 @@ impl BindSpec {
 mod tests {
     use super::*;
 
-    const IVY: Topology = Topology { sockets: 2, cores_per_socket: 10, smt: 1 };
-    const IVY_HT: Topology = Topology { sockets: 2, cores_per_socket: 10, smt: 2 };
+    const IVY: Topology = Topology {
+        sockets: 2,
+        cores_per_socket: 10,
+        smt: 1,
+    };
+    const IVY_HT: Topology = Topology {
+        sockets: 2,
+        cores_per_socket: 10,
+        smt: 2,
+    };
 
     #[test]
     fn parse_round_trips() {
@@ -145,10 +157,18 @@ mod tests {
     fn balanced_splits_evenly() {
         let p = BindSpec::Balanced.placement(&IVY, 6);
         // 3 per socket, contiguous.
-        assert_eq!(p, vec![Some(0), Some(1), Some(2), Some(10), Some(11), Some(12)]);
+        assert_eq!(
+            p,
+            vec![Some(0), Some(1), Some(2), Some(10), Some(11), Some(12)]
+        );
         // Odd counts favour the first socket.
         let p = BindSpec::Balanced.placement(&IVY, 5);
-        assert_eq!(p.iter().filter(|x| x.map(|h| h < 10).unwrap_or(false)).count(), 3);
+        assert_eq!(
+            p.iter()
+                .filter(|x| x.map(|h| h < 10).unwrap_or(false))
+                .count(),
+            3
+        );
     }
 
     #[test]
@@ -168,7 +188,11 @@ mod tests {
 
     #[test]
     fn oversubscribed_balanced_pads_with_unpinned() {
-        let topo = Topology { sockets: 1, cores_per_socket: 2, smt: 1 };
+        let topo = Topology {
+            sockets: 1,
+            cores_per_socket: 2,
+            smt: 1,
+        };
         let p = BindSpec::Balanced.placement(&topo, 4);
         assert_eq!(p.len(), 4);
         assert_eq!(p.iter().filter(|x| x.is_some()).count(), 2);

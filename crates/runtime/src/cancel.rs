@@ -1,0 +1,126 @@
+//! Cooperative task cancellation and deadlines.
+//!
+//! A [`CancelToken`] is a cheap, cloneable flag shared between the code
+//! that requests cancellation and the task that honours it. The runtime
+//! checks the token once at dispatch (just before the task body would
+//! run): a task whose token is cancelled — or whose deadline has passed —
+//! is dropped without executing, its future completes in the cancelled
+//! state, and the executing worker's `/runtime/health/cancelled-tasks`
+//! counter increments. Long-running task bodies can poll
+//! [`CancelToken::is_cancelled`] themselves to stop early (cooperative
+//! cancellation — the runtime never interrupts a running body).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Default)]
+struct Inner {
+    cancelled: AtomicBool,
+    /// Absolute deadline; `None` = no deadline. Set once at construction.
+    deadline: Option<Instant>,
+}
+
+/// Shared cancellation flag with an optional deadline.
+///
+/// ```
+/// use rpx_runtime::CancelToken;
+///
+/// let token = CancelToken::new();
+/// assert!(!token.is_cancelled());
+/// token.cancel();
+/// assert!(token.is_cancelled());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A token that is never cancelled until [`CancelToken::cancel`].
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that auto-cancels `after` from now.
+    pub fn with_deadline(after: Duration) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(Instant::now() + after),
+            }),
+        }
+    }
+
+    /// Request cancellation. Tasks not yet dispatched will be skipped;
+    /// running bodies observe it through [`CancelToken::is_cancelled`].
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation was requested or the deadline has passed.
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(d) => Instant::now() >= d,
+            None => false,
+        }
+    }
+
+    /// The absolute deadline, if one was set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+
+    /// Time left until the deadline (`None` when no deadline is set;
+    /// `Some(ZERO)` once it has passed).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.inner
+            .deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+/// Panic payload raised by [`TaskFuture::get`](crate::TaskFuture::get)
+/// when the awaited task was cancelled before it ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskCancelled;
+
+impl std::fmt::Display for TaskCancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("task was cancelled before it ran")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_flag_is_shared_between_clones() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_expires() {
+        let t = CancelToken::with_deadline(Duration::from_millis(10));
+        assert!(!t.is_cancelled());
+        assert!(t.remaining().unwrap() <= Duration::from_millis(10));
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(t.is_cancelled());
+        assert_eq!(t.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn no_deadline_means_no_expiry() {
+        let t = CancelToken::new();
+        assert_eq!(t.deadline(), None);
+        assert_eq!(t.remaining(), None);
+    }
+}

@@ -92,7 +92,9 @@ fn register_worker_monotonic(
             let sel = selector(name, workers)?;
             let weak = weak.clone();
             let value: rpx_counters::counter::ValueFn = Arc::new(move || {
-                let Some(inner) = weak.upgrade() else { return 0 };
+                let Some(inner) = weak.upgrade() else {
+                    return 0;
+                };
                 let stats = &inner.state.stats;
                 (match sel {
                     Sel::Total => stats.iter().map(|s| read(s)).sum::<u64>(),
@@ -131,7 +133,9 @@ fn register_worker_average(
             let sel = selector(name, workers)?;
             let weak = weak.clone();
             let pair: rpx_counters::counter::PairFn = Arc::new(move || {
-                let Some(inner) = weak.upgrade() else { return (0, 0) };
+                let Some(inner) = weak.upgrade() else {
+                    return (0, 0);
+                };
                 let stats = &inner.state.stats;
                 match sel {
                     Sel::Total => stats.iter().fold((0, 0), |(s, c), w| {
@@ -192,8 +196,11 @@ fn register_total_raw(
 }
 
 fn split_type_path(type_path: &'static str) -> (&'static str, &'static str) {
-    let rest = type_path.strip_prefix('/').expect("type path starts with /");
-    rest.split_once('/').expect("type path has /object/counter form")
+    let rest = type_path
+        .strip_prefix('/')
+        .expect("type path starts with /");
+    rest.split_once('/')
+        .expect("type path has /object/counter form")
 }
 
 /// Register every runtime counter with `registry`. Called by
@@ -242,6 +249,39 @@ pub(crate) fn register_runtime_counters(
         "1",
         |s| s.spawned.load(Ordering::Relaxed),
     );
+    // Health counters backing the fault-tolerance layer (DESIGN.md §health).
+    register_worker_monotonic(
+        registry,
+        inner,
+        "/runtime/health/restarts",
+        "worker-loop respawns after a panic escaped a task wrapper",
+        "1",
+        |s| s.restarts.load(Ordering::Relaxed),
+    );
+    register_worker_monotonic(
+        registry,
+        inner,
+        "/runtime/health/stalls",
+        "stall episodes detected by the watchdog (static heartbeat with work pending)",
+        "1",
+        |s| s.stalls.load(Ordering::Relaxed),
+    );
+    register_worker_monotonic(
+        registry,
+        inner,
+        "/runtime/health/cancelled-tasks",
+        "tasks skipped at dispatch because their cancel token was cancelled",
+        "1",
+        |s| s.cancelled.load(Ordering::Relaxed),
+    );
+    register_worker_monotonic(
+        registry,
+        inner,
+        "/runtime/health/recovered-tasks",
+        "injected task panics caught and retried at dispatch",
+        "1",
+        |s| s.recovered.load(Ordering::Relaxed),
+    );
     register_worker_average(
         registry,
         inner,
@@ -281,7 +321,9 @@ pub(crate) fn register_runtime_counters(
                 let sel = selector(name, workers)?;
                 let weak = weak.clone();
                 let value: rpx_counters::counter::ValueFn = Arc::new(move || {
-                    let Some(inner) = weak.upgrade() else { return 0 };
+                    let Some(inner) = weak.upgrade() else {
+                        return 0;
+                    };
                     let stats = &inner.state.stats;
                     let (idle, busy) = match sel {
                         Sel::Total => stats.iter().fold((0u64, 0u64), |(i, b), s| {

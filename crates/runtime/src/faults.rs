@@ -1,0 +1,370 @@
+//! Deterministic fault injection for chaos testing the runtime.
+//!
+//! A [`FaultPlan`] describes *which* faults to inject and *how often*
+//! (rates in parts-per-million, with a hard cap per category); a
+//! [`FaultInjector`] draws from a seeded splitmix64 stream and counts every
+//! fault it actually injects, so tests can assert that the runtime's
+//! `/runtime/health/*` counters match the injected counts **exactly**.
+//!
+//! Fault categories and where the runtime applies them:
+//!
+//! - **task panic** — at dispatch, a panic is raised and recovered before
+//!   the task body runs (a transient fault followed by retry); the task
+//!   still completes and `/runtime/health/recovered-tasks` increments.
+//! - **worker kill** — after a task finishes, the worker loop panics; the
+//!   thread-level supervisor re-enters the loop (the worker's deque is
+//!   re-parented to the respawned loop) and
+//!   `/runtime/health/restarts` increments.
+//! - **worker stall** — before running a found task the worker sleeps,
+//!   freezing its heartbeat; the watchdog records the episode in
+//!   `/runtime/health/stalls`.
+//! - **counter-read failure** — a counter registered through
+//!   [`register_flaky_counter`] panics on evaluation; the sampler must
+//!   recover and keep sampling the remaining counters.
+//!
+//! Plans come from the builder API ([`RuntimeConfig::faults`]
+//! (crate::RuntimeConfig)) or from `RPX_FAULT_*` environment variables
+//! (see [`FaultPlan::from_env`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rpx_counters::CounterRegistry;
+
+/// Panic payload used by every injected fault, so tests and panic hooks
+/// can tell injected unwinds from real bugs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedFault(pub &'static str);
+
+impl std::fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "injected fault: {}", self.0)
+    }
+}
+
+/// What to inject and how often. Rates are per-million per opportunity
+/// (one opportunity = one task dispatch, task completion, or counter
+/// read); `max_per_category` bounds every category so chaos runs stay
+/// finite and assertable.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed of the deterministic draw stream.
+    pub seed: u64,
+    /// Probability (ppm) a dispatched task suffers a recovered panic.
+    pub task_panic_ppm: u32,
+    /// Probability (ppm) the worker loop panics after a task completes.
+    pub worker_kill_ppm: u32,
+    /// Probability (ppm) a worker stalls before running a found task.
+    pub stall_ppm: u32,
+    /// How long an injected stall sleeps.
+    pub stall: Duration,
+    /// Probability (ppm) a flaky counter read fails.
+    pub counter_fail_ppm: u32,
+    /// Hard cap on injections per category.
+    pub max_per_category: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0x5eed,
+            task_panic_ppm: 0,
+            worker_kill_ppm: 0,
+            stall_ppm: 0,
+            stall: Duration::from_millis(200),
+            counter_fail_ppm: 0,
+            max_per_category: u64::MAX,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Read a plan from `RPX_FAULT_*` environment variables; `None` when no
+    /// fault variable is set (the common case — injection fully disabled).
+    ///
+    /// | Variable | Meaning | Default |
+    /// |---|---|---|
+    /// | `RPX_FAULT_SEED` | draw-stream seed | `0x5eed` |
+    /// | `RPX_FAULT_TASK_PANIC_PPM` | recovered task panics (ppm) | 0 |
+    /// | `RPX_FAULT_WORKER_KILL_PPM` | worker-loop kills (ppm) | 0 |
+    /// | `RPX_FAULT_STALL_PPM` | worker stalls (ppm) | 0 |
+    /// | `RPX_FAULT_STALL_MS` | stall duration (ms) | 200 |
+    /// | `RPX_FAULT_COUNTER_FAIL_PPM` | counter-read failures (ppm) | 0 |
+    /// | `RPX_FAULT_MAX` | cap per category | unlimited |
+    pub fn from_env() -> Option<Self> {
+        fn var(name: &str) -> Option<u64> {
+            let raw = std::env::var(name).ok()?;
+            let v = raw.trim();
+            let parsed = v
+                .strip_prefix("0x")
+                .map(|h| u64::from_str_radix(h, 16).ok())
+                .unwrap_or_else(|| v.parse().ok());
+            if parsed.is_none() {
+                eprintln!("rpx: ignoring unparseable {name}={raw:?} (want decimal or 0x-hex)");
+            }
+            parsed
+        }
+        let seed = var("RPX_FAULT_SEED");
+        let task_panic = var("RPX_FAULT_TASK_PANIC_PPM");
+        let worker_kill = var("RPX_FAULT_WORKER_KILL_PPM");
+        let stall = var("RPX_FAULT_STALL_PPM");
+        let stall_ms = var("RPX_FAULT_STALL_MS");
+        let counter_fail = var("RPX_FAULT_COUNTER_FAIL_PPM");
+        let max = var("RPX_FAULT_MAX");
+        if [
+            &seed,
+            &task_panic,
+            &worker_kill,
+            &stall,
+            &stall_ms,
+            &counter_fail,
+            &max,
+        ]
+        .iter()
+        .all(|v| v.is_none())
+        {
+            return None;
+        }
+        let defaults = FaultPlan::default();
+        Some(FaultPlan {
+            seed: seed.unwrap_or(defaults.seed),
+            task_panic_ppm: task_panic.unwrap_or(0) as u32,
+            worker_kill_ppm: worker_kill.unwrap_or(0) as u32,
+            stall_ppm: stall.unwrap_or(0) as u32,
+            stall: stall_ms
+                .map(Duration::from_millis)
+                .unwrap_or(defaults.stall),
+            counter_fail_ppm: counter_fail.unwrap_or(0) as u32,
+            max_per_category: max.unwrap_or(u64::MAX),
+        })
+    }
+
+    /// Whether any category can fire at all.
+    pub fn is_active(&self) -> bool {
+        (self.task_panic_ppm | self.worker_kill_ppm | self.stall_ppm | self.counter_fail_ppm) != 0
+            && self.max_per_category > 0
+    }
+}
+
+/// Draws faults from a seeded stream and counts every injection.
+///
+/// Each category draws from its own stream: outcome of draw `i` of a
+/// category is a pure function of (seed, category, i), so one category's
+/// activity never perturbs another's and a run with the same per-category
+/// draw counts injects the same faults. The assignment of draws to tasks
+/// depends on scheduling, but the *counts* the chaos tests assert on are
+/// exact by construction: each `inject_*` method increments its category
+/// counter if and only if it tells the caller to inject.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    task_panics: Category,
+    worker_kills: Category,
+    stalls: Category,
+    counter_fails: Category,
+}
+
+/// One fault category's draw stream and injection count.
+#[derive(Debug, Default)]
+struct Category {
+    draws: AtomicU64,
+    injected: AtomicU64,
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Wrap the current panic hook with a filter that swallows [`InjectedFault`]
+/// payloads. Injected faults unwind through `panic_any` thousands of times in
+/// a chaos run; without the filter the default hook floods stderr with a
+/// backtrace per injection (~1M lines for a fib(23) run at 8% ppm). Real
+/// panics still reach the previous hook untouched.
+fn silence_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedFault>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+impl FaultInjector {
+    /// Injector for the given plan. Installs a process-wide panic-hook
+    /// filter (once) so injected unwinds don't spam stderr.
+    pub fn new(plan: FaultPlan) -> Arc<Self> {
+        silence_injected_panics();
+        Arc::new(FaultInjector {
+            plan,
+            task_panics: Category::default(),
+            worker_kills: Category::default(),
+            stalls: Category::default(),
+            counter_fails: Category::default(),
+        })
+    }
+
+    /// The plan this injector draws from.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    fn roll(&self, ppm: u32, cat: &Category, salt: u64) -> bool {
+        if ppm == 0 {
+            return false;
+        }
+        let draw = cat.draws.fetch_add(1, Ordering::Relaxed);
+        let key = splitmix64(self.plan.seed ^ salt).wrapping_add(draw);
+        if splitmix64(key) % 1_000_000 >= u64::from(ppm) {
+            return false;
+        }
+        // Count under the cap atomically so concurrent rolls cannot
+        // overshoot — the counter is the ground truth tests compare with.
+        cat.injected
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| {
+                (c < self.plan.max_per_category).then_some(c + 1)
+            })
+            .is_ok()
+    }
+
+    /// Should this dispatch suffer a recovered task panic?
+    pub fn inject_task_panic(&self) -> bool {
+        self.roll(self.plan.task_panic_ppm, &self.task_panics, 1)
+    }
+
+    /// Should the worker loop panic now (task already completed)?
+    pub fn inject_worker_kill(&self) -> bool {
+        self.roll(self.plan.worker_kill_ppm, &self.worker_kills, 2)
+    }
+
+    /// Should the worker stall, and for how long?
+    pub fn inject_stall(&self) -> Option<Duration> {
+        self.roll(self.plan.stall_ppm, &self.stalls, 3)
+            .then_some(self.plan.stall)
+    }
+
+    /// Should this flaky-counter read fail?
+    pub fn inject_counter_fail(&self) -> bool {
+        self.roll(self.plan.counter_fail_ppm, &self.counter_fails, 4)
+    }
+
+    /// Recovered task panics injected so far.
+    pub fn task_panics(&self) -> u64 {
+        self.task_panics.injected.load(Ordering::Relaxed)
+    }
+
+    /// Worker-loop kills injected so far.
+    pub fn worker_kills(&self) -> u64 {
+        self.worker_kills.injected.load(Ordering::Relaxed)
+    }
+
+    /// Worker stalls injected so far.
+    pub fn stalls(&self) -> u64 {
+        self.stalls.injected.load(Ordering::Relaxed)
+    }
+
+    /// Counter-read failures injected so far.
+    pub fn counter_fails(&self) -> u64 {
+        self.counter_fails.injected.load(Ordering::Relaxed)
+    }
+}
+
+/// Register a raw counter at `type_path` that panics on evaluation whenever
+/// the injector says so — the chaos suite points the [`Sampler`]
+/// (rpx_counters::sampler::Sampler) at it to prove sampling survives
+/// counter-read failures.
+pub fn register_flaky_counter(
+    registry: &Arc<CounterRegistry>,
+    injector: &Arc<FaultInjector>,
+    type_path: &str,
+) {
+    let injector = injector.clone();
+    registry.register_raw(
+        type_path,
+        "fault-injection test counter; reads fail on injector demand",
+        "1",
+        Arc::new(move || {
+            if injector.inject_counter_fail() {
+                std::panic::panic_any(InjectedFault("counter-read"));
+            }
+            1
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_never_fires() {
+        let inj = FaultInjector::new(FaultPlan::default());
+        for _ in 0..1000 {
+            assert!(!inj.inject_task_panic());
+            assert!(inj.inject_stall().is_none());
+        }
+        assert_eq!(inj.task_panics(), 0);
+    }
+
+    #[test]
+    fn counts_match_injections_exactly() {
+        let plan = FaultPlan {
+            task_panic_ppm: 500_000,
+            ..FaultPlan::default()
+        };
+        let inj = FaultInjector::new(plan);
+        let mut fired = 0u64;
+        for _ in 0..1000 {
+            if inj.inject_task_panic() {
+                fired += 1;
+            }
+        }
+        assert!(fired > 0);
+        assert_eq!(inj.task_panics(), fired);
+    }
+
+    #[test]
+    fn cap_bounds_each_category() {
+        let plan = FaultPlan {
+            worker_kill_ppm: 1_000_000,
+            max_per_category: 3,
+            ..FaultPlan::default()
+        };
+        let inj = FaultInjector::new(plan);
+        let fired = (0..100).filter(|_| inj.inject_worker_kill()).count();
+        assert_eq!(fired, 3);
+        assert_eq!(inj.worker_kills(), 3);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let plan = FaultPlan {
+            stall_ppm: 250_000,
+            ..FaultPlan::default()
+        };
+        let a = FaultInjector::new(plan.clone());
+        let b = FaultInjector::new(plan);
+        let va: Vec<bool> = (0..200).map(|_| a.inject_stall().is_some()).collect();
+        let vb: Vec<bool> = (0..200).map(|_| b.inject_stall().is_some()).collect();
+        assert_eq!(va, vb);
+        assert!(va.iter().any(|&x| x));
+    }
+
+    #[test]
+    fn env_plan_round_trips() {
+        // Serialized access: env vars are process-global.
+        std::env::set_var("RPX_FAULT_TASK_PANIC_PPM", "1234");
+        std::env::set_var("RPX_FAULT_STALL_MS", "77");
+        let plan = FaultPlan::from_env().expect("plan when vars set");
+        assert_eq!(plan.task_panic_ppm, 1234);
+        assert_eq!(plan.stall, Duration::from_millis(77));
+        std::env::remove_var("RPX_FAULT_TASK_PANIC_PPM");
+        std::env::remove_var("RPX_FAULT_STALL_MS");
+    }
+}

@@ -11,9 +11,11 @@
 use std::any::Any;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::cancel::TaskCancelled;
 use crate::worker;
 
 type DeferredFn = Box<dyn FnOnce() + Send>;
@@ -29,6 +31,8 @@ enum State<T> {
     Ready(Option<T>),
     /// The task panicked; payload for `resume_unwind`.
     Panicked(Option<Box<dyn Any + Send>>),
+    /// The task was cancelled before its body ran.
+    Cancelled,
 }
 
 pub(crate) struct Shared<T> {
@@ -48,7 +52,10 @@ impl<T> Shared<T> {
 
     pub(crate) fn set_deferred(&self, f: DeferredFn) {
         let mut s = self.state.lock();
-        debug_assert!(matches!(*s, State::Pending), "set_deferred on a non-pending future");
+        debug_assert!(
+            matches!(*s, State::Pending),
+            "set_deferred on a non-pending future"
+        );
         *s = State::Deferred(f);
     }
 
@@ -68,8 +75,21 @@ impl<T> Shared<T> {
         self.cond.notify_all();
     }
 
+    /// Mark the future cancelled (task skipped at dispatch) and wake every
+    /// waiter; `get` re-raises [`TaskCancelled`].
+    pub(crate) fn complete_cancelled(&self) {
+        let mut s = self.state.lock();
+        *s = State::Cancelled;
+        self.ready.store(true, Ordering::Release);
+        self.cond.notify_all();
+    }
+
     fn is_ready(&self) -> bool {
         self.ready.load(Ordering::Acquire)
+    }
+
+    fn is_cancelled(&self) -> bool {
+        self.is_ready() && matches!(*self.state.lock(), State::Cancelled)
     }
 
     /// Run the deferred closure if this future carries one and nobody beat
@@ -118,6 +138,30 @@ impl<T> Shared<T> {
         }
     }
 
+    /// Bounded wait. Returns true when the future became ready in time.
+    fn wait_timeout(&self, timeout: Duration) -> bool {
+        if self.is_ready() {
+            return true;
+        }
+        if self.run_deferred_if_any() {
+            return true;
+        }
+        let deadline = Instant::now() + timeout;
+        if worker::on_worker_thread() {
+            worker::help_while(|| !self.is_ready() && Instant::now() < deadline);
+        } else {
+            let mut s = self.state.lock();
+            while !self.is_ready() {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                self.cond.wait_for(&mut s, deadline - now);
+            }
+        }
+        self.is_ready()
+    }
+
     fn take(&self) -> T {
         let mut s = self.state.lock();
         match &mut *s {
@@ -126,6 +170,7 @@ impl<T> Shared<T> {
                 let payload = p.take().expect("TaskFuture panic taken twice");
                 std::panic::resume_unwind(payload)
             }
+            State::Cancelled => std::panic::resume_unwind(Box::new(TaskCancelled)),
             _ => unreachable!("take() called before the future completed"),
         }
     }
@@ -170,11 +215,37 @@ impl<T> TaskFuture<T> {
             Err(self)
         }
     }
+
+    /// Whether the task was cancelled before it ran. `get` on a cancelled
+    /// future re-raises [`TaskCancelled`].
+    pub fn is_cancelled(&self) -> bool {
+        self.shared.is_cancelled()
+    }
+
+    /// Wait up to `timeout` for the result; on timeout the future is handed
+    /// back so the caller can keep waiting or cancel.
+    ///
+    /// On a worker thread the wait *helps* — it runs other pending tasks
+    /// until the deadline, so the timeout is best-effort (a helped task can
+    /// overrun it).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the task's panic (or [`TaskCancelled`]) like `get`.
+    pub fn get_timeout(self, timeout: Duration) -> Result<T, TaskFuture<T>> {
+        if self.shared.wait_timeout(timeout) {
+            Ok(self.shared.take())
+        } else {
+            Err(self)
+        }
+    }
 }
 
 impl<T> std::fmt::Debug for TaskFuture<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TaskFuture").field("ready", &self.is_ready()).finish()
+        f.debug_struct("TaskFuture")
+            .field("ready", &self.is_ready())
+            .finish()
     }
 }
 
@@ -236,6 +307,28 @@ mod tests {
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || f.get()))
             .expect_err("get() must re-raise the task panic");
         assert_eq!(*err.downcast_ref::<&str>().unwrap(), "boom");
+    }
+
+    #[test]
+    fn get_timeout_returns_future_on_expiry() {
+        let shared: Arc<Shared<i32>> = Shared::new();
+        let f = TaskFuture::new(shared.clone());
+        let f = f
+            .get_timeout(Duration::from_millis(10))
+            .expect_err("future must come back on timeout");
+        shared.complete(4);
+        assert_eq!(f.get_timeout(Duration::from_secs(1)).ok(), Some(4));
+    }
+
+    #[test]
+    fn cancelled_future_raises_task_cancelled() {
+        let shared: Arc<Shared<i32>> = Shared::new();
+        shared.complete_cancelled();
+        let f = TaskFuture::new(shared);
+        assert!(f.is_cancelled());
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || f.get()))
+            .expect_err("get() must raise on a cancelled future");
+        assert!(err.downcast_ref::<TaskCancelled>().is_some());
     }
 
     #[test]

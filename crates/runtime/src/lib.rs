@@ -18,7 +18,11 @@
 //! - Counters: `/threads/time/average`, `/threads/time/average-overhead`,
 //!   `/threads/time/cumulative`, `/threads/time/cumulative-overhead`,
 //!   `/threads/count/*`, `/threads/idle-rate`, `/scheduler/*`,
-//!   `/runtime/uptime`, `/papi/*`, `/synchronization/*`.
+//!   `/runtime/uptime`, `/runtime/health/*`, `/papi/*`,
+//!   `/synchronization/*`.
+//! - Fault tolerance: [`CancelToken`] cancellation/deadlines, a worker
+//!   watchdog + supervisor (stall and restart health counters), and a
+//!   deterministic fault-injection harness ([`FaultPlan`]) for chaos tests.
 //!
 //! ## Example
 //!
@@ -48,18 +52,23 @@
 //! ```
 
 pub mod affinity;
+pub mod cancel;
 mod counters;
+pub mod faults;
 pub mod future;
 pub mod policy;
 mod scheduler;
 pub mod stats;
 pub mod sync;
 pub mod trace;
+mod watchdog;
 mod worker;
 
 pub mod runtime;
 
 pub use affinity::{BindSpec, Topology};
+pub use cancel::{CancelToken, TaskCancelled};
+pub use faults::{FaultInjector, FaultPlan, InjectedFault};
 pub use future::{ready_future, TaskFuture};
 pub use policy::LaunchPolicy;
 pub use runtime::{Runtime, RuntimeConfig, RuntimeHandle};
@@ -159,8 +168,10 @@ mod tests {
     fn counters_reflect_executed_tasks() {
         let rt = small_rt();
         let reg = rt.registry();
-        reg.add_active("/threads{locality#0/total}/count/cumulative").unwrap();
-        reg.add_active("/threads{locality#0/total}/time/average").unwrap();
+        reg.add_active("/threads{locality#0/total}/count/cumulative")
+            .unwrap();
+        reg.add_active("/threads{locality#0/total}/time/average")
+            .unwrap();
         reg.reset_active_counters();
         let futures: Vec<_> = (0..100)
             .map(|_| {
@@ -189,10 +200,14 @@ mod tests {
             f.get();
         }
         rt.wait_idle();
-        let per_worker =
-            reg.get_counters("/threads{locality#0/worker-thread#*}/count/cumulative").unwrap();
+        let per_worker = reg
+            .get_counters("/threads{locality#0/worker-thread#*}/count/cumulative")
+            .unwrap();
         assert_eq!(per_worker.len(), 3);
-        let sum: i64 = per_worker.iter().map(|(_, c)| c.get_value(false).value).sum();
+        let sum: i64 = per_worker
+            .iter()
+            .map(|(_, c)| c.get_value(false).value)
+            .sum();
         let total = reg
             .evaluate("/threads{locality#0/total}/count/cumulative", false)
             .unwrap()
@@ -290,7 +305,7 @@ mod tests {
     #[test]
     fn current_worker_is_some_inside_task() {
         let rt = small_rt();
-        let f = rt.spawn(|| Runtime::current_worker());
+        let f = rt.spawn(Runtime::current_worker);
         assert!(f.get().is_some());
         assert_eq!(Runtime::current_worker(), None);
         rt.shutdown();
@@ -324,7 +339,9 @@ mod tests {
         assert!(tracer.spans().is_empty());
 
         tracer.enable();
-        let futures: Vec<_> = (0..50).map(|_| rt.spawn(|| std::hint::black_box(2 + 2))).collect();
+        let futures: Vec<_> = (0..50)
+            .map(|_| rt.spawn(|| std::hint::black_box(2 + 2)))
+            .collect();
         for f in futures {
             f.get();
         }
@@ -346,8 +363,15 @@ mod tests {
     fn idle_rate_reported_in_basis_points() {
         let rt = small_rt();
         std::thread::sleep(std::time::Duration::from_millis(20));
-        let v = rt.registry().evaluate("/threads{locality#0/total}/idle-rate", false).unwrap();
-        assert!(v.value >= 0 && v.value <= 10_000, "idle-rate out of range: {}", v.value);
+        let v = rt
+            .registry()
+            .evaluate("/threads{locality#0/total}/idle-rate", false)
+            .unwrap();
+        assert!(
+            v.value >= 0 && v.value <= 10_000,
+            "idle-rate out of range: {}",
+            v.value
+        );
         rt.shutdown();
     }
 }

@@ -23,8 +23,12 @@ pub enum LaunchPolicy {
 
 impl LaunchPolicy {
     /// All policies, for exhaustive experiments.
-    pub const ALL: [LaunchPolicy; 4] =
-        [LaunchPolicy::Async, LaunchPolicy::Fork, LaunchPolicy::Deferred, LaunchPolicy::Sync];
+    pub const ALL: [LaunchPolicy; 4] = [
+        LaunchPolicy::Async,
+        LaunchPolicy::Fork,
+        LaunchPolicy::Deferred,
+        LaunchPolicy::Sync,
+    ];
 
     /// The command-line name of the policy (`--policy=async`, …).
     pub fn name(self) -> &'static str {

@@ -3,6 +3,7 @@
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
@@ -10,12 +11,14 @@ use rpx_counters::counter::Clock;
 use rpx_counters::CounterRegistry;
 use rpx_papi::Pmu;
 
+use crate::cancel::CancelToken;
+use crate::faults::{FaultInjector, FaultPlan, InjectedFault};
 use crate::future::{Shared, TaskFuture};
 use crate::policy::LaunchPolicy;
-use crate::trace::{TaskSpan, TaskTracer};
 use crate::scheduler::{Scheduler, SchedulerMode, Task};
 use crate::stats::WorkerStats;
-use crate::worker;
+use crate::trace::{TaskSpan, TaskTracer};
+use crate::{watchdog, worker};
 
 /// Runtime configuration (the knobs of Table IV).
 #[derive(Debug, Clone)]
@@ -30,15 +33,29 @@ pub struct RuntimeConfig {
     /// arrays to the heap because of small task stacks; our workers carry
     /// the whole stack, so the default is generous).
     pub stack_size: usize,
+    /// Fault-injection plan for chaos testing; defaults to
+    /// [`FaultPlan::from_env`] (`None` — disabled — unless `RPX_FAULT_*`
+    /// variables are set).
+    pub faults: Option<FaultPlan>,
+    /// How often the watchdog samples worker heartbeats.
+    pub watchdog_interval: Duration,
+    /// How long a heartbeat may stay static (while work is live or
+    /// pending) before the watchdog counts a stall episode.
+    pub stall_threshold: Duration,
 }
 
 impl Default for RuntimeConfig {
     fn default() -> Self {
         RuntimeConfig {
-            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             mode: SchedulerMode::LocalQueues,
             locality: 0,
             stack_size: 8 << 20,
+            faults: FaultPlan::from_env(),
+            watchdog_interval: Duration::from_millis(20),
+            stall_threshold: Duration::from_millis(500),
         }
     }
 }
@@ -46,7 +63,10 @@ impl Default for RuntimeConfig {
 impl RuntimeConfig {
     /// Config with `workers` worker threads and defaults otherwise.
     pub fn with_workers(workers: usize) -> Self {
-        RuntimeConfig { workers: workers.max(1), ..RuntimeConfig::default() }
+        RuntimeConfig {
+            workers: workers.max(1),
+            ..RuntimeConfig::default()
+        }
     }
 }
 
@@ -80,6 +100,8 @@ pub(crate) struct RuntimeInner {
     pub pmu: Arc<Pmu>,
     pub shutdown: AtomicBool,
     pub config: RuntimeConfig,
+    /// Active fault injector (None when the configured plan is inactive).
+    pub faults: Option<Arc<FaultInjector>>,
 }
 
 /// A lightweight-task runtime: `N` worker threads, per-worker work-stealing
@@ -102,6 +124,7 @@ pub(crate) struct RuntimeInner {
 pub struct Runtime {
     inner: Arc<RuntimeInner>,
     threads: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
 }
 
 impl Runtime {
@@ -119,6 +142,11 @@ impl Runtime {
             idle_cv: Condvar::new(),
             tracer: TaskTracer::new(64 * 1024),
         });
+        let faults = config
+            .faults
+            .clone()
+            .filter(FaultPlan::is_active)
+            .map(FaultInjector::new);
         let inner = Arc::new(RuntimeInner {
             scheduler: Scheduler::new(workers, config.mode),
             state,
@@ -126,6 +154,7 @@ impl Runtime {
             pmu: pmu.clone(),
             shutdown: AtomicBool::new(false),
             config: config.clone(),
+            faults,
         });
 
         crate::counters::register_runtime_counters(&registry, &inner);
@@ -137,12 +166,38 @@ impl Runtime {
                 std::thread::Builder::new()
                     .name(format!("rpx-worker-{index}"))
                     .stack_size(config.stack_size)
-                    .spawn(move || worker::worker_loop(inner, index))
+                    // Supervisor loop: a panic escaping the worker loop (an
+                    // injected worker kill, or a real bug outside a task
+                    // wrapper) is caught here; the loop is re-entered on the
+                    // same thread and reclaims its re-parked deque, so
+                    // queued tasks survive. Counted in /runtime/health/
+                    // restarts.
+                    .spawn(move || loop {
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            worker::worker_loop(inner.clone(), index)
+                        }));
+                        match result {
+                            Ok(()) => break,
+                            Err(_) => {
+                                inner.state.stats[index]
+                                    .restarts
+                                    .fetch_add(1, Ordering::Relaxed);
+                                if inner.shutdown.load(Ordering::Acquire) {
+                                    break;
+                                }
+                            }
+                        }
+                    })
                     .expect("failed to spawn worker thread")
             })
             .collect();
 
-        Runtime { inner, threads }
+        let watchdog = Some(watchdog::spawn(&inner));
+        Runtime {
+            inner,
+            threads,
+            watchdog,
+        }
     }
 
     /// Start with default configuration (all available cores).
@@ -165,7 +220,44 @@ impl Runtime {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
-        spawn_inner(&self.inner, policy, f)
+        spawn_inner(&self.inner, policy, f, None)
+    }
+
+    /// Spawn a task bound to `token`: if the token is cancelled before the
+    /// task is dispatched, the body never runs, the future completes in the
+    /// cancelled state ([`TaskFuture::get`] re-raises
+    /// [`TaskCancelled`](crate::TaskCancelled)), and the worker's
+    /// `/runtime/health/cancelled-tasks` counter increments.
+    pub fn spawn_cancellable<T, F>(&self, token: &CancelToken, f: F) -> TaskFuture<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        spawn_inner(&self.inner, LaunchPolicy::Async, f, Some(token.clone()))
+    }
+
+    /// Spawn a task that auto-cancels if not dispatched within `deadline`.
+    /// Returns the future and the deadline token (for explicit earlier
+    /// cancellation or body-side polling).
+    pub fn spawn_with_deadline<T, F>(
+        &self,
+        deadline: Duration,
+        f: F,
+    ) -> (TaskFuture<T>, CancelToken)
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let token = CancelToken::with_deadline(deadline);
+        let fut = spawn_inner(&self.inner, LaunchPolicy::Async, f, Some(token.clone()));
+        (fut, token)
+    }
+
+    /// The active fault injector, if this runtime was configured with an
+    /// active [`FaultPlan`]. Chaos tests use it to compare injected counts
+    /// against the `/runtime/health/*` counters.
+    pub fn fault_injector(&self) -> Option<Arc<FaultInjector>> {
+        self.inner.faults.clone()
     }
 
     /// The runtime's counter registry.
@@ -196,7 +288,9 @@ impl Runtime {
 
     /// A cloneable, `'static` handle for spawning from inside tasks.
     pub fn handle(&self) -> RuntimeHandle {
-        RuntimeHandle { inner: Arc::downgrade(&self.inner) }
+        RuntimeHandle {
+            inner: Arc::downgrade(&self.inner),
+        }
     }
 
     /// Block until no scheduled task is pending or running.
@@ -219,6 +313,9 @@ impl Runtime {
         self.inner.scheduler.wake_all();
         for t in self.threads.drain(..) {
             let _ = t.join();
+        }
+        if let Some(w) = self.watchdog.take() {
+            let _ = w.join();
         }
     }
 }
@@ -273,14 +370,51 @@ impl RuntimeHandle {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
-        let inner = self.inner.upgrade().expect("RuntimeHandle used after Runtime was dropped");
-        spawn_inner(&inner, policy, f)
+        let inner = self
+            .inner
+            .upgrade()
+            .expect("RuntimeHandle used after Runtime was dropped");
+        spawn_inner(&inner, policy, f, None)
+    }
+
+    /// Spawn a task bound to `token`; see [`Runtime::spawn_cancellable`].
+    pub fn spawn_cancellable<T, F>(&self, token: &CancelToken, f: F) -> TaskFuture<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let inner = self
+            .inner
+            .upgrade()
+            .expect("RuntimeHandle used after Runtime was dropped");
+        spawn_inner(&inner, LaunchPolicy::Async, f, Some(token.clone()))
+    }
+
+    /// Spawn with a dispatch deadline; see [`Runtime::spawn_with_deadline`].
+    pub fn spawn_with_deadline<T, F>(
+        &self,
+        deadline: Duration,
+        f: F,
+    ) -> (TaskFuture<T>, CancelToken)
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let inner = self
+            .inner
+            .upgrade()
+            .expect("RuntimeHandle used after Runtime was dropped");
+        let token = CancelToken::with_deadline(deadline);
+        let fut = spawn_inner(&inner, LaunchPolicy::Async, f, Some(token.clone()));
+        (fut, token)
     }
 }
 
 impl std::fmt::Debug for RuntimeHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RuntimeHandle").field("alive", &(self.inner.strong_count() > 0)).finish()
+        f.debug_struct("RuntimeHandle")
+            .field("alive", &(self.inner.strong_count() > 0))
+            .finish()
     }
 }
 
@@ -291,12 +425,21 @@ impl std::fmt::Debug for RuntimeHandle {
 /// All instrumentation happens *before* `complete()`, so a thread observing
 /// the future as ready is guaranteed to see the task in the counters —
 /// the ordering the paper's evaluate/reset sampling protocol relies on.
+///
+/// A `token` makes the dispatch cancellable: a task whose token is
+/// cancelled by dispatch time is skipped, its future completes cancelled.
+/// `faults` injects *recovered* task panics: the wrapper raises and catches
+/// an [`InjectedFault`] unwind, counts it, then runs the real body — the
+/// result is still produced, which is what lets chaos tests assert both
+/// correct benchmark output and exact recovery counts.
 fn make_wrapper<T, F>(
     shared: Arc<Shared<T>>,
     state: Arc<RuntimeState>,
     task_id: u64,
     f: F,
     track_live: bool,
+    token: Option<CancelToken>,
+    faults: Option<Arc<FaultInjector>>,
 ) -> Box<dyn FnOnce() + Send>
 where
     T: Send + 'static,
@@ -305,6 +448,25 @@ where
     let spawned_ns = state.clock.now_ns();
     Box::new(move || {
         let idx = worker::current_worker_index().unwrap_or(0);
+        if let Some(token) = &token {
+            if token.is_cancelled() {
+                state.stats[idx].cancelled.fetch_add(1, Ordering::Relaxed);
+                shared.complete_cancelled();
+                if track_live {
+                    state.note_task_finished();
+                }
+                return;
+            }
+        }
+        if let Some(faults) = &faults {
+            if faults.inject_task_panic() {
+                // Transient-fault-with-retry: exercise the unwind path,
+                // recover, and run the real body.
+                let _ =
+                    std::panic::catch_unwind(|| std::panic::panic_any(InjectedFault("task-panic")));
+                state.stats[idx].recovered.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         state.active.fetch_add(1, Ordering::Relaxed);
         let nested_before = NESTED_EXEC_NS.with(|c| c.get());
         let start = state.clock.now_ns();
@@ -316,7 +478,9 @@ where
         // counts every task exactly once (HPX suspends the parent; we
         // deduct instead — same accounting, different mechanism).
         let gross = end.saturating_sub(start);
-        let nested_during = NESTED_EXEC_NS.with(|c| c.get()).saturating_sub(nested_before);
+        let nested_during = NESTED_EXEC_NS
+            .with(|c| c.get())
+            .saturating_sub(nested_before);
         let net = gross.saturating_sub(nested_during);
         NESTED_EXEC_NS.with(|c| c.set(nested_before + gross));
         let wait_ns = start.saturating_sub(spawned_ns);
@@ -338,13 +502,19 @@ where
     })
 }
 
-fn spawn_inner<T, F>(inner: &Arc<RuntimeInner>, policy: LaunchPolicy, f: F) -> TaskFuture<T>
+fn spawn_inner<T, F>(
+    inner: &Arc<RuntimeInner>,
+    policy: LaunchPolicy,
+    f: F,
+    token: Option<CancelToken>,
+) -> TaskFuture<T>
 where
     T: Send + 'static,
     F: FnOnce() -> T + Send + 'static,
 {
     let shared = Shared::new();
     let state = inner.state.clone();
+    let faults = inner.faults.clone();
     let task_id = inner.scheduler.next_task_id();
     let spawner = worker::current_worker_index();
     if let Some(idx) = spawner {
@@ -353,25 +523,60 @@ where
 
     match policy {
         LaunchPolicy::Sync => {
-            let wrapper = make_wrapper(shared.clone(), state.clone(), task_id, f, false);
+            let wrapper = make_wrapper(
+                shared.clone(),
+                state.clone(),
+                task_id,
+                f,
+                false,
+                token,
+                faults,
+            );
             run_inline(inner, wrapper);
         }
         LaunchPolicy::Fork if spawner.is_some() => {
             // Continuation-stealing approximation: the child runs now, on
             // this worker, with no queue round-trip (see LaunchPolicy::Fork).
-            let wrapper = make_wrapper(shared.clone(), state.clone(), task_id, f, false);
+            let wrapper = make_wrapper(
+                shared.clone(),
+                state.clone(),
+                task_id,
+                f,
+                false,
+                token,
+                faults,
+            );
             run_inline(inner, wrapper);
         }
         LaunchPolicy::Deferred => {
             let inner2 = inner.clone();
-            let wrapper = make_wrapper(shared.clone(), state.clone(), task_id, f, false);
+            let wrapper = make_wrapper(
+                shared.clone(),
+                state.clone(),
+                task_id,
+                f,
+                false,
+                token,
+                faults,
+            );
             shared.set_deferred(Box::new(move || run_inline(&inner2, wrapper)));
         }
         LaunchPolicy::Async | LaunchPolicy::Fork => {
             state.live.fetch_add(1, Ordering::AcqRel);
-            let wrapper = make_wrapper(shared.clone(), state.clone(), task_id, f, true);
+            let wrapper = make_wrapper(
+                shared.clone(),
+                state.clone(),
+                task_id,
+                f,
+                true,
+                token,
+                faults,
+            );
             let t0 = state.clock.now_ns();
-            let task = Task { run: wrapper, id: task_id };
+            let task = Task {
+                run: wrapper,
+                id: task_id,
+            };
             let task = worker::push_local(inner, task).err();
             if let Some(task) = task {
                 inner.scheduler.push(task, None);

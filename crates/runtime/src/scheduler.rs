@@ -177,7 +177,10 @@ mod tests {
     use super::*;
 
     fn task(id: u64) -> Task {
-        Task { run: Box::new(|| {}), id }
+        Task {
+            run: Box::new(|| {}),
+            id,
+        }
     }
 
     #[test]

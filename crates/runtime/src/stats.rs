@@ -29,6 +29,22 @@ pub struct WorkerStats {
     pub spawned: AtomicU64,
     /// Nanoseconds spent looking for work unsuccessfully (idle).
     pub idle_ns: AtomicU64,
+    /// Liveness heartbeat: bumped every scheduling-loop iteration (and
+    /// every work-helping iteration). A static value while work is pending
+    /// means the worker is stalled — the watchdog watches exactly this.
+    pub heartbeat: AtomicU64,
+    /// Times the worker loop was respawned after a panic escaped a task
+    /// wrapper (feeds `/runtime/health/restarts`).
+    pub restarts: AtomicU64,
+    /// Stall episodes the watchdog attributed to this worker
+    /// (feeds `/runtime/health/stalls`).
+    pub stalls: AtomicU64,
+    /// Tasks skipped at dispatch because their cancel token was cancelled
+    /// (feeds `/runtime/health/cancelled-tasks`).
+    pub cancelled: AtomicU64,
+    /// Injected task panics caught and retried at dispatch
+    /// (feeds `/runtime/health/recovered-tasks`).
+    pub recovered: AtomicU64,
 }
 
 impl WorkerStats {
@@ -44,6 +60,12 @@ impl WorkerStats {
         self.wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
     }
 
+    /// Bump the liveness heartbeat (called from scheduling loops only —
+    /// never from task bodies, so an injected stall freezes it).
+    pub fn beat(&self) {
+        self.heartbeat.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Record scheduling-path cost (spawn or dispatch).
     pub fn record_overhead(&self, ns: u64) {
         self.overhead_ns.fetch_add(ns, Ordering::Relaxed);
@@ -52,18 +74,27 @@ impl WorkerStats {
 
     /// Snapshot of (executed, exec_ns) for average counters.
     pub fn exec_pair(&self) -> (u64, u64) {
-        (self.exec_ns.load(Ordering::Relaxed), self.executed.load(Ordering::Relaxed))
+        (
+            self.exec_ns.load(Ordering::Relaxed),
+            self.executed.load(Ordering::Relaxed),
+        )
     }
 
     /// Snapshot of (overhead_ns, executed) for the average-overhead counter.
     /// HPX reports overhead per executed task, not per scheduling op.
     pub fn overhead_pair(&self) -> (u64, u64) {
-        (self.overhead_ns.load(Ordering::Relaxed), self.executed.load(Ordering::Relaxed))
+        (
+            self.overhead_ns.load(Ordering::Relaxed),
+            self.executed.load(Ordering::Relaxed),
+        )
     }
 
     /// Snapshot of (wait_ns, executed) for the average-wait counter.
     pub fn wait_pair(&self) -> (u64, u64) {
-        (self.wait_ns.load(Ordering::Relaxed), self.executed.load(Ordering::Relaxed))
+        (
+            self.wait_ns.load(Ordering::Relaxed),
+            self.executed.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -98,8 +129,7 @@ mod tests {
 
     #[test]
     fn totals_sum_across_workers() {
-        let stats: Vec<Arc<WorkerStats>> =
-            (0..3).map(|_| Arc::new(WorkerStats::new())).collect();
+        let stats: Vec<Arc<WorkerStats>> = (0..3).map(|_| Arc::new(WorkerStats::new())).collect();
         stats[0].record_execution(10, 0);
         stats[2].record_execution(30, 0);
         assert_eq!(total(&stats, |s| s.exec_ns.load(Ordering::Relaxed)), 40);

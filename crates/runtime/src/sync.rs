@@ -22,7 +22,9 @@ pub struct Mutex<T> {
 impl<T> Mutex<T> {
     /// A new instrumented mutex.
     pub fn new(value: T) -> Self {
-        Mutex { inner: parking_lot::Mutex::new(value) }
+        Mutex {
+            inner: parking_lot::Mutex::new(value),
+        }
     }
 
     /// Acquire the lock, recording whether the fast path succeeded.
@@ -59,7 +61,10 @@ impl<T: Default> Default for Mutex<T> {
 
 /// Current process-wide (acquisitions, contended acquisitions).
 pub fn lock_stats() -> (u64, u64) {
-    (LOCK_ACQUISITIONS.load(Ordering::Relaxed), LOCK_CONTENTIONS.load(Ordering::Relaxed))
+    (
+        LOCK_ACQUISITIONS.load(Ordering::Relaxed),
+        LOCK_CONTENTIONS.load(Ordering::Relaxed),
+    )
 }
 
 /// Register `/synchronization/locks/{acquisitions,contentions}` on a
@@ -130,7 +135,8 @@ mod tests {
     fn counters_visible_through_registry() {
         let reg = CounterRegistry::new();
         register_sync_counters(&reg);
-        reg.add_active("/synchronization/locks/acquisitions").unwrap();
+        reg.add_active("/synchronization/locks/acquisitions")
+            .unwrap();
         reg.reset_active_counters();
         let m = Mutex::new(());
         drop(m.lock());

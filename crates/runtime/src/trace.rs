@@ -142,7 +142,9 @@ impl TaskTracer {
             e.0 += s.duration_ns();
             e.1 += 1;
         }
-        map.into_iter().map(|(w, (busy, tasks))| (w, busy, tasks)).collect()
+        map.into_iter()
+            .map(|(w, (busy, tasks))| (w, busy, tasks))
+            .collect()
     }
 }
 
@@ -151,7 +153,13 @@ mod tests {
     use super::*;
 
     fn span(id: u64, worker: u32, start: u64, end: u64) -> TaskSpan {
-        TaskSpan { task_id: id, worker, start_ns: start, end_ns: end, wait_ns: 5 }
+        TaskSpan {
+            task_id: id,
+            worker,
+            start_ns: start,
+            end_ns: end,
+            wait_ns: 5,
+        }
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! Worker watchdog: a supervisor thread that heartbeats the workers and
+//! records stall episodes into the `/runtime/health/stalls` counter.
+//!
+//! Every worker bumps [`WorkerStats::heartbeat`](crate::stats::WorkerStats)
+//! once per scheduling-loop iteration and once per work-helping iteration —
+//! and from nowhere inside task bodies. The watchdog samples the heartbeats
+//! every `watchdog_interval`: a heartbeat that stays static for longer than
+//! `stall_threshold` while the runtime has live or pending work means the
+//! worker is wedged inside a task (a stall). Each episode is counted once
+//! (the flag clears when the heartbeat moves again), and the watchdog wakes
+//! the sleeping workers so the stalled worker's queued tasks get stolen
+//! rather than waiting it out.
+//!
+//! Worker *panics* are handled one level up: the thread-level supervisor
+//! loop in [`Runtime::new`](crate::Runtime::new) catches a panic escaping
+//! the worker loop, increments `/runtime/health/restarts`, and re-enters
+//! the loop on the same thread — the worker's deque was re-parked during
+//! the unwind, so no queued task is lost.
+
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::runtime::RuntimeInner;
+
+/// Per-worker observation state.
+struct Watch {
+    /// Last heartbeat value seen.
+    heartbeat: u64,
+    /// When that value was first seen.
+    since: Instant,
+    /// Whether the current static stretch was already counted as a stall.
+    in_stall: bool,
+}
+
+/// Spawn the watchdog thread for `inner`. The thread exits when the
+/// runtime shuts down (or is dropped); join the handle after setting the
+/// shutdown flag.
+pub(crate) fn spawn(inner: &Arc<RuntimeInner>) -> JoinHandle<()> {
+    let weak: Weak<RuntimeInner> = Arc::downgrade(inner);
+    let interval = inner.config.watchdog_interval;
+    let threshold = inner.config.stall_threshold;
+    std::thread::Builder::new()
+        .name("rpx-watchdog".into())
+        .spawn(move || {
+            let mut watches: Vec<Watch> = Vec::new();
+            loop {
+                std::thread::sleep(interval);
+                let Some(inner) = weak.upgrade() else { return };
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                let now = Instant::now();
+                let stats = &inner.state.stats;
+                if watches.len() != stats.len() {
+                    watches = stats
+                        .iter()
+                        .map(|s| Watch {
+                            heartbeat: s.heartbeat.load(Ordering::Relaxed),
+                            since: now,
+                            in_stall: false,
+                        })
+                        .collect();
+                    continue;
+                }
+                // Only a static heartbeat *while work exists* is a stall —
+                // parked idle workers still beat every park timeout, so
+                // this mostly guards against miscounting during startup.
+                let busy = inner.state.live.load(Ordering::Acquire) > 0
+                    || inner.scheduler.pending_tasks() > 0;
+                for (watch, s) in watches.iter_mut().zip(stats.iter()) {
+                    let heartbeat = s.heartbeat.load(Ordering::Relaxed);
+                    if heartbeat != watch.heartbeat {
+                        watch.heartbeat = heartbeat;
+                        watch.since = now;
+                        watch.in_stall = false;
+                    } else if busy
+                        && !watch.in_stall
+                        && now.duration_since(watch.since) >= threshold
+                    {
+                        watch.in_stall = true;
+                        s.stalls.fetch_add(1, Ordering::Relaxed);
+                        // Kick sleepers so the stalled worker's queued tasks
+                        // get stolen instead of waiting the stall out.
+                        inner.scheduler.wake_all();
+                    }
+                }
+            }
+        })
+        .expect("failed to spawn watchdog thread")
+}

@@ -9,6 +9,7 @@ use std::time::Duration;
 use crossbeam::deque::Worker as Deque;
 use crossbeam::sync::Parker;
 
+use crate::faults::InjectedFault;
 use crate::runtime::RuntimeInner;
 use crate::scheduler::Task;
 
@@ -38,7 +39,9 @@ pub(crate) fn current_worker_index() -> Option<usize> {
 fn current() -> Option<(usize, Arc<RuntimeInner>, *const Deque<Task>)> {
     CTX.with(|c| {
         c.borrow().as_ref().and_then(|ctx| {
-            ctx.inner.upgrade().map(|inner| (ctx.index, inner, ctx.local))
+            ctx.inner
+                .upgrade()
+                .map(|inner| (ctx.index, inner, ctx.local))
         })
     })
 }
@@ -72,10 +75,30 @@ pub(crate) fn push_local(inner: &Arc<RuntimeInner>, task: Task) -> Result<(), Ta
 /// future's completion; here we only account the scheduler-side events.
 pub(crate) fn execute_task(inner: &Arc<RuntimeInner>, index: usize, task: Task, stolen: bool) {
     if stolen {
-        inner.state.stats[index].stolen.fetch_add(1, Ordering::Relaxed);
+        inner.state.stats[index]
+            .stolen
+            .fetch_add(1, Ordering::Relaxed);
     }
     inner.scheduler.note_started();
     (task.run)();
+}
+
+/// Clears the worker context and re-parks the deque into its scheduler
+/// slot on every exit from the loop — normal shutdown *and* unwinds. The
+/// re-park is what makes worker respawn after an injected (or real) panic
+/// lossless: the next `worker_loop` on this slot claims the same deque
+/// with all queued tasks intact.
+struct LoopGuard<'a> {
+    inner: &'a Arc<RuntimeInner>,
+    index: usize,
+    deque: Option<Deque<Task>>,
+}
+
+impl Drop for LoopGuard<'_> {
+    fn drop(&mut self) {
+        CTX.with(|c| *c.borrow_mut() = None);
+        *self.inner.scheduler.deques[self.index].lock() = self.deque.take();
+    }
 }
 
 /// The main scheduling loop of worker `index`.
@@ -85,25 +108,53 @@ pub(crate) fn worker_loop(inner: Arc<RuntimeInner>, index: usize) {
         .take()
         .expect("worker deque claimed twice");
     let _pmu_guard = rpx_papi::DomainGuard::enter(inner.pmu.clone(), index);
+    let guard = LoopGuard {
+        inner: &inner,
+        index,
+        deque: Some(deque),
+    };
+    let local: *const Deque<Task> = guard.deque.as_ref().expect("deque just parked") as *const _;
     CTX.with(|c| {
         *c.borrow_mut() = Some(Ctx {
             index,
             inner: Arc::downgrade(&inner),
-            local: &deque as *const _,
+            local,
         });
     });
 
+    // SAFETY: `local` points into `guard`, which outlives `run_loop` and is
+    // not moved after the pointer is taken.
+    run_loop(&inner, index, unsafe { &*local });
+}
+
+fn run_loop(inner: &Arc<RuntimeInner>, index: usize, deque: &Deque<Task>) {
     let parker = Parker::new();
     let state = inner.state.clone();
     let stats = state.stats[index].clone();
 
     loop {
+        stats.beat();
         let t0 = state.clock.now_ns();
-        match inner.scheduler.find(index, &deque) {
+        match inner.scheduler.find(index, deque) {
             Some((task, stolen)) => {
                 let t1 = state.clock.now_ns();
                 stats.record_overhead(t1.saturating_sub(t0));
-                execute_task(&inner, index, task, stolen);
+                // Injected stall sits between claiming the task and running
+                // it: `live > 0` for the whole sleep, so the watchdog has a
+                // guaranteed window to observe the frozen heartbeat.
+                if let Some(faults) = &inner.faults {
+                    if let Some(stall) = faults.inject_stall() {
+                        std::thread::sleep(stall);
+                    }
+                }
+                execute_task(inner, index, task, stolen);
+                // Injected worker kill fires only after the task completed:
+                // the unwind holds no task, so respawning loses nothing.
+                if let Some(faults) = &inner.faults {
+                    if faults.inject_worker_kill() {
+                        std::panic::panic_any(InjectedFault("worker-kill"));
+                    }
+                }
             }
             None => {
                 if inner.shutdown.load(Ordering::Acquire) {
@@ -111,22 +162,22 @@ pub(crate) fn worker_loop(inner: Arc<RuntimeInner>, index: usize) {
                 }
                 // Register before the final check so a push that races with
                 // us is guaranteed to either be seen now or unpark us.
-                inner.scheduler.register_sleeper(index, parker.unparker().clone());
-                if inner.scheduler.pending_tasks() > 0
-                    || inner.shutdown.load(Ordering::Acquire)
-                {
+                inner
+                    .scheduler
+                    .register_sleeper(index, parker.unparker().clone());
+                if inner.scheduler.pending_tasks() > 0 || inner.shutdown.load(Ordering::Acquire) {
                     inner.scheduler.deregister_sleeper(index);
                     continue;
                 }
                 parker.park_timeout(Duration::from_micros(500));
                 inner.scheduler.deregister_sleeper(index);
                 let t1 = state.clock.now_ns();
-                stats.idle_ns.fetch_add(t1.saturating_sub(t0), Ordering::Relaxed);
+                stats
+                    .idle_ns
+                    .fetch_add(t1.saturating_sub(t0), Ordering::Relaxed);
             }
         }
     }
-
-    CTX.with(|c| *c.borrow_mut() = None);
 }
 
 /// Work-helping wait: while `pred()` holds, execute other pending tasks on
@@ -144,6 +195,7 @@ pub(crate) fn help_while(pred: impl Fn() -> bool) {
     let stats = inner.state.stats[index].clone();
     let mut idle_spins: u32 = 0;
     while pred() {
+        stats.beat();
         let t0 = inner.state.clock.now_ns();
         match inner.scheduler.find(index, deque) {
             Some((task, stolen)) => {
@@ -162,7 +214,9 @@ pub(crate) fn help_while(pred: impl Fn() -> bool) {
                     std::thread::sleep(Duration::from_micros(20));
                 }
                 let t1 = inner.state.clock.now_ns();
-                stats.idle_ns.fetch_add(t1.saturating_sub(t0), Ordering::Relaxed);
+                stats
+                    .idle_ns
+                    .fetch_add(t1.saturating_sub(t0), Ordering::Relaxed);
             }
         }
     }

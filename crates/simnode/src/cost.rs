@@ -112,19 +112,29 @@ pub enum SimRuntimeKind {
 impl SimRuntimeKind {
     /// Default HPX-like runtime.
     pub fn hpx() -> Self {
-        SimRuntimeKind::Hpx { cost: HpxCostModel::default(), global_queue: false }
+        SimRuntimeKind::Hpx {
+            cost: HpxCostModel::default(),
+            global_queue: false,
+        }
     }
 
     /// Default thread-per-task runtime.
     pub fn std_async() -> Self {
-        SimRuntimeKind::ThreadPerTask { cost: StdCostModel::default() }
+        SimRuntimeKind::ThreadPerTask {
+            cost: StdCostModel::default(),
+        }
     }
 
     /// Short label for tables.
     pub fn label(&self) -> &'static str {
         match self {
-            SimRuntimeKind::Hpx { global_queue: false, .. } => "hpx",
-            SimRuntimeKind::Hpx { global_queue: true, .. } => "hpx-global-queue",
+            SimRuntimeKind::Hpx {
+                global_queue: false,
+                ..
+            } => "hpx",
+            SimRuntimeKind::Hpx {
+                global_queue: true, ..
+            } => "hpx-global-queue",
             SimRuntimeKind::ThreadPerTask { .. } => "std-async",
         }
     }
@@ -155,7 +165,10 @@ mod tests {
     fn labels() {
         assert_eq!(SimRuntimeKind::hpx().label(), "hpx");
         assert_eq!(SimRuntimeKind::std_async().label(), "std-async");
-        let g = SimRuntimeKind::Hpx { cost: HpxCostModel::default(), global_queue: true };
+        let g = SimRuntimeKind::Hpx {
+            cost: HpxCostModel::default(),
+            global_queue: true,
+        };
         assert_eq!(g.label(), "hpx-global-queue");
     }
 }

@@ -82,7 +82,10 @@ enum CoreState {
 
 enum Queues {
     /// Per-core LIFO deques (steals take the front) + global injector.
-    Local { locals: Vec<VecDeque<TaskId>>, injector: VecDeque<TaskId> },
+    Local {
+        locals: Vec<VecDeque<TaskId>>,
+        injector: VecDeque<TaskId>,
+    },
     /// One global FIFO.
     Global { queue: VecDeque<TaskId> },
 }
@@ -129,11 +132,16 @@ impl<'g> Engine<'g> {
     fn new(graph: &'g TaskGraph, config: &SimConfig) -> Self {
         let cores = config.cores.clamp(1, config.machine.hw_threads());
         let queues = match &config.runtime {
-            SimRuntimeKind::Hpx { global_queue: false, .. } => Queues::Local {
+            SimRuntimeKind::Hpx {
+                global_queue: false,
+                ..
+            } => Queues::Local {
                 locals: (0..cores).map(|_| VecDeque::new()).collect(),
                 injector: VecDeque::new(),
             },
-            _ => Queues::Global { queue: VecDeque::new() },
+            _ => Queues::Global {
+                queue: VecDeque::new(),
+            },
         };
         let cache = CacheModel {
             llc_bytes: config.machine.llc_bytes,
@@ -172,7 +180,10 @@ impl<'g> Engine<'g> {
             phys_busy: vec![0; config.machine.total_cores() as usize],
             live_threads: 0,
             collect_spans: config.collect_spans,
-            result: SimResult { cores, ..SimResult::default() },
+            result: SimResult {
+                cores,
+                ..SimResult::default()
+            },
             completed: 0,
             halted: false,
             last_time: 0,
@@ -181,7 +192,13 @@ impl<'g> Engine<'g> {
 
     fn push_ev(&mut self, time: u64, kind: EvKind, core: u32, task: TaskId) {
         self.seq += 1;
-        self.heap.push(Reverse(Ev { time, seq: self.seq, kind, core, task }));
+        self.heap.push(Reverse(Ev {
+            time,
+            seq: self.seq,
+            kind,
+            core,
+            task,
+        }));
     }
 
     fn spawn_cost(&self) -> u64 {
@@ -220,8 +237,7 @@ impl<'g> Engine<'g> {
         // Close out idle accounting for cores still idle at the end.
         for c in 0..self.cores as usize {
             if self.core_state[c] == CoreState::Idle {
-                self.result.total_idle_ns +=
-                    self.last_time.saturating_sub(self.idle_since[c]);
+                self.result.total_idle_ns += self.last_time.saturating_sub(self.idle_since[c]);
             }
         }
         self.result.makespan_ns = self.last_time;
@@ -342,9 +358,8 @@ impl<'g> Engine<'g> {
                 // 3. steal, nearest victims first
                 let my_socket = machine.socket_of_hw(core);
                 let mut victims: Vec<u32> = (0..self.cores).filter(|&c| c != core).collect();
-                victims.sort_by_key(|&c| {
-                    (machine.socket_of_hw(c) != my_socket, c.wrapping_sub(core))
-                });
+                victims
+                    .sort_by_key(|&c| (machine.socket_of_hw(c) != my_socket, c.wrapping_sub(core)));
                 for v in victims {
                     if let Some(task) = locals[v as usize].pop_front() {
                         let remote = machine.socket_of_hw(v) != my_socket;
@@ -352,8 +367,12 @@ impl<'g> Engine<'g> {
                         if remote {
                             self.result.remote_steals += 1;
                         }
-                        let cost =
-                            cost.steal_ns + if remote { cost.remote_steal_extra_ns } else { 0 };
+                        let cost = cost.steal_ns
+                            + if remote {
+                                cost.remote_steal_extra_ns
+                            } else {
+                                0
+                            };
                         return Some((task, cost));
                     }
                 }
@@ -381,8 +400,7 @@ impl<'g> Engine<'g> {
         };
         let start = t + dispatch_ns;
         self.result.total_overhead_ns += dispatch_ns;
-        self.result.total_wait_ns +=
-            start.saturating_sub(self.enq_time[task as usize]);
+        self.result.total_wait_ns += start.saturating_sub(self.enq_time[task as usize]);
 
         let socket = self.machine.socket_of_hw(core) as usize;
         let spec = &self.graph.tasks[task as usize];
@@ -426,8 +444,9 @@ impl<'g> Engine<'g> {
         // Oversubscription thrash (thread-per-task only) pollutes caches;
         // it stretches the memory component, not the compute component.
         // SMT sibling contention stretches the compute component.
-        let duration =
-            (spec.work_ns as f64 * smt_stretch + mem_ns * thrash).round().max(1.0) as u64;
+        let duration = (spec.work_ns as f64 * smt_stretch + mem_ns * thrash)
+            .round()
+            .max(1.0) as u64;
 
         self.result.offcore_requests += req.total();
         self.result.total_exec_ns += duration;
@@ -500,7 +519,10 @@ pub fn scaling_sweep(
     core_counts
         .iter()
         .map(|&c| {
-            let config = SimConfig { cores: c, ..base.clone() };
+            let config = SimConfig {
+                cores: c,
+                ..base.clone()
+            };
             (c, simulate(graph, &config))
         })
         .collect()
@@ -518,7 +540,11 @@ mod tests {
         assert!(r.completed());
         assert_eq!(r.tasks_executed, 1);
         assert!(r.makespan_ns >= 1_000);
-        assert!(r.makespan_ns < 10_000, "one 1µs task should not take {}ns", r.makespan_ns);
+        assert!(
+            r.makespan_ns < 10_000,
+            "one 1µs task should not take {}ns",
+            r.makespan_ns
+        );
     }
 
     #[test]
@@ -582,7 +608,10 @@ mod tests {
         let hpx = simulate(&g, &SimConfig::hpx(8));
         let std = simulate(&g, &SimConfig::std_async(8));
         let ratio = std.makespan_ns as f64 / hpx.makespan_ns as f64;
-        assert!(ratio < 1.2, "std/hpx ratio {ratio:.3} should be close to 1 for coarse tasks");
+        assert!(
+            ratio < 1.2,
+            "std/hpx ratio {ratio:.3} should be close to 1 for coarse tasks"
+        );
     }
 
     #[test]
@@ -605,7 +634,10 @@ mod tests {
         let g = uniform(1_000, 1_000);
         let r = simulate(&g, &SimConfig::hpx(4));
         assert!(r.completed());
-        assert_eq!(r.peak_live_threads, 0, "lightweight tasks are not OS threads");
+        assert_eq!(
+            r.peak_live_threads, 0,
+            "lightweight tasks are not OS threads"
+        );
     }
 
     #[test]
@@ -614,7 +646,10 @@ mod tests {
         let r = simulate(&g, &SimConfig::hpx(4));
         // Per-task overhead ≈ spawn + dispatch (plus steals).
         let per_task = r.total_overhead_ns as f64 / r.tasks_executed as f64;
-        assert!(per_task >= 500.0 && per_task <= 3_000.0, "per-task overhead {per_task}ns");
+        assert!(
+            (500.0..=3_000.0).contains(&per_task),
+            "per-task overhead {per_task}ns"
+        );
     }
 
     #[test]
@@ -632,7 +667,10 @@ mod tests {
         assert!(bw > 0.3 * cap, "expected near-saturation, got {bw:.1} GB/s");
         // Admission-based sharing allows a small transient overshoot while
         // the mem-active census catches up; it must stay near the cap.
-        assert!(bw <= cap * 1.15, "bandwidth {bw:.1} exceeds the socket cap {cap}");
+        assert!(
+            bw <= cap * 1.15,
+            "bandwidth {bw:.1} exceeds the socket cap {cap}"
+        );
     }
 
     #[test]
@@ -644,9 +682,18 @@ mod tests {
         }
         let base = SimConfig::hpx(1);
         let sweep = scaling_sweep(&g, &base, &[1, 4, 10]);
-        let bw: Vec<f64> = sweep.iter().map(|(_, r)| r.offcore_bandwidth_gbps()).collect();
-        assert!(bw[1] > bw[0] * 1.5, "bandwidth should grow with cores: {bw:?}");
-        assert!(bw[2] >= bw[1] * 0.9, "bandwidth should not collapse: {bw:?}");
+        let bw: Vec<f64> = sweep
+            .iter()
+            .map(|(_, r)| r.offcore_bandwidth_gbps())
+            .collect();
+        assert!(
+            bw[1] > bw[0] * 1.5,
+            "bandwidth should grow with cores: {bw:?}"
+        );
+        assert!(
+            bw[2] >= bw[1] * 0.9,
+            "bandwidth should not collapse: {bw:?}"
+        );
     }
 
     #[test]
@@ -713,7 +760,12 @@ mod tests {
         let m = MachineConfig::ivy_bridge_2s10c();
         let b = simulate(
             &g,
-            &SimConfig { machine: m, cores: 10, runtime: SimRuntimeKind::hpx(), collect_spans: false },
+            &SimConfig {
+                machine: m,
+                cores: 10,
+                runtime: SimRuntimeKind::hpx(),
+                collect_spans: false,
+            },
         );
         assert_eq!(a.makespan_ns, b.makespan_ns);
     }
@@ -728,7 +780,11 @@ mod tests {
         let tl = r.timeline(10);
         assert_eq!(tl.total_tasks(), 200);
         // Busy-core integral equals total exec time.
-        let busy: f64 = tl.bins.iter().map(|b| b.busy_cores * tl.bin_ns as f64).sum();
+        let busy: f64 = tl
+            .bins
+            .iter()
+            .map(|b| b.busy_cores * tl.bin_ns as f64)
+            .sum();
         assert!(
             (busy - r.total_exec_ns as f64).abs() / (r.total_exec_ns as f64) < 0.01,
             "timeline busy {} vs exec {}",

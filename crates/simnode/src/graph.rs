@@ -38,7 +38,10 @@ pub struct SimTask {
 impl SimTask {
     /// A compute-only task of `work_ns`.
     pub fn compute(work_ns: u64) -> Self {
-        SimTask { work_ns, ..SimTask::default() }
+        SimTask {
+            work_ns,
+            ..SimTask::default()
+        }
     }
 
     /// Attach a memory footprint.
@@ -104,8 +107,7 @@ impl TaskGraph {
         let n = self.tasks.len();
         let mut indeg: Vec<u32> = self.tasks.iter().map(|t| t.deps).collect();
         let mut dist: Vec<u64> = self.tasks.iter().map(|t| t.work_ns).collect();
-        let mut queue: Vec<usize> =
-            (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
         let mut best = 0;
         while let Some(i) = queue.pop() {
             best = best.max(dist[i]);
@@ -264,7 +266,12 @@ pub mod generators {
         b.build()
     }
 
-    fn build_tree(b: &mut GraphBuilder, depth: u32, leaf_ns: u64, node_ns: u64) -> (TaskId, TaskId) {
+    fn build_tree(
+        b: &mut GraphBuilder,
+        depth: u32,
+        leaf_ns: u64,
+        node_ns: u64,
+    ) -> (TaskId, TaskId) {
         if depth == 0 {
             let t = b.new_thread();
             let id = b.add(SimTask::compute(leaf_ns));

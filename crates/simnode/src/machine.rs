@@ -56,12 +56,19 @@ impl MachineConfig {
 
     /// The same node with hyper-threading enabled (2 threads/core).
     pub fn ivy_bridge_2s10c_ht() -> Self {
-        MachineConfig { smt: 2, ..MachineConfig::ivy_bridge_2s10c() }
+        MachineConfig {
+            smt: 2,
+            ..MachineConfig::ivy_bridge_2s10c()
+        }
     }
 
     /// A small two-socket machine for fast tests.
     pub fn small_2s2c() -> Self {
-        MachineConfig { sockets: 2, cores_per_socket: 2, ..MachineConfig::ivy_bridge_2s10c() }
+        MachineConfig {
+            sockets: 2,
+            cores_per_socket: 2,
+            ..MachineConfig::ivy_bridge_2s10c()
+        }
     }
 
     /// Total physical core count.

@@ -64,8 +64,9 @@ impl Timeline {
             loop {
                 let bin_start = b as u64 * bin_ns;
                 let bin_end = bin_start + bin_ns;
-                let overlap =
-                    end_ns.min(bin_end).saturating_sub(s.start_ns.max(bin_start)) as f64;
+                let overlap = end_ns
+                    .min(bin_end)
+                    .saturating_sub(s.start_ns.max(bin_start)) as f64;
                 if overlap > 0.0 {
                     busy[b] += overlap;
                     traffic[b] += overlap * bytes_per_ns;
@@ -102,9 +103,7 @@ impl Timeline {
 
     /// Render as an aligned text table.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "      t[ms]   busy cores     BW[GB/s]  tasks started\n",
-        );
+        let mut out = String::from("      t[ms]   busy cores     BW[GB/s]  tasks started\n");
         for b in &self.bins {
             out.push_str(&format!(
                 "{:>11.3} {:>12.2} {:>12.3} {:>14}\n",
@@ -123,14 +122,27 @@ mod tests {
     use super::*;
 
     fn span(start: u64, dur: u64, core: u32, req: u64) -> SimSpan {
-        SimSpan { start_ns: start, duration_ns: dur, core, offcore_requests: req }
+        SimSpan {
+            start_ns: start,
+            duration_ns: dur,
+            core,
+            offcore_requests: req,
+        }
     }
 
     #[test]
     fn busy_time_is_conserved() {
-        let spans = vec![span(0, 100, 0, 0), span(50, 200, 1, 0), span(900, 100, 0, 0)];
+        let spans = vec![
+            span(0, 100, 0, 0),
+            span(50, 200, 1, 0),
+            span(900, 100, 0, 0),
+        ];
         let tl = Timeline::from_spans(&spans, 1_000, 10);
-        let total_busy: f64 = tl.bins.iter().map(|b| b.busy_cores * tl.bin_ns as f64).sum();
+        let total_busy: f64 = tl
+            .bins
+            .iter()
+            .map(|b| b.busy_cores * tl.bin_ns as f64)
+            .sum();
         assert!((total_busy - 400.0).abs() < 1e-6, "busy time {total_busy}");
         assert_eq!(tl.total_tasks(), 3);
     }
@@ -140,14 +152,21 @@ mod tests {
         // One span of 64 requests = 4096 bytes, split across bins.
         let spans = vec![span(150, 300, 0, 64)];
         let tl = Timeline::from_spans(&spans, 600, 6);
-        let total_bytes: f64 =
-            tl.bins.iter().map(|b| b.bandwidth_gbps * tl.bin_ns as f64).sum();
+        let total_bytes: f64 = tl
+            .bins
+            .iter()
+            .map(|b| b.bandwidth_gbps * tl.bin_ns as f64)
+            .sum();
         assert!((total_bytes - 4096.0).abs() < 1.0, "traffic {total_bytes}");
     }
 
     #[test]
     fn concurrent_spans_raise_busy_cores() {
-        let spans = vec![span(0, 1_000, 0, 0), span(0, 1_000, 1, 0), span(0, 1_000, 2, 0)];
+        let spans = vec![
+            span(0, 1_000, 0, 0),
+            span(0, 1_000, 1, 0),
+            span(0, 1_000, 2, 0),
+        ];
         let tl = Timeline::from_spans(&spans, 1_000, 4);
         for b in &tl.bins {
             assert!((b.busy_cores - 3.0).abs() < 1e-9);

@@ -71,7 +71,10 @@ impl ToolOutcome {
     /// Table I cell text.
     pub fn cell(&self) -> String {
         match self {
-            ToolOutcome::Completed { time_ns, overhead_pct } => {
+            ToolOutcome::Completed {
+                time_ns,
+                overhead_pct,
+            } => {
                 format!("{:.0} ms ({overhead_pct:.0}%)", *time_ns as f64 / 1e6)
             }
             ToolOutcome::SegV { .. } => "SegV".into(),
@@ -164,7 +167,9 @@ impl ToolModel {
         if let Some(max) = self.max_threads {
             if run.tasks > max {
                 // The slot table overflows the moment thread #max+1 registers.
-                return ToolOutcome::SegV { at_threads: max + 1 };
+                return ToolOutcome::SegV {
+                    at_threads: max + 1,
+                };
             }
         }
         if run.tasks.saturating_mul(self.per_thread_bytes) > self.memory_budget_bytes {
@@ -179,10 +184,15 @@ impl ToolModel {
             .saturating_add(run.tasks.saturating_mul(self.per_task_ns));
         let projected = run.time_ns.saturating_add(added);
         if projected > self.timeout_ns {
-            return ToolOutcome::Timeout { projected_ns: projected };
+            return ToolOutcome::Timeout {
+                projected_ns: projected,
+            };
         }
         let overhead_pct = added as f64 / run.time_ns.max(1) as f64 * 100.0;
-        ToolOutcome::Completed { time_ns: projected, overhead_pct }
+        ToolOutcome::Completed {
+            time_ns: projected,
+            overhead_pct,
+        }
     }
 }
 
@@ -202,7 +212,12 @@ mod tests {
 
     fn coarse_run() -> RunSummary {
         // Alignment-like: 4 950 coarse tasks, ~1 s uninstrumented.
-        RunSummary { time_ns: 971_000_000, tasks: 4_950, peak_live_threads: 64, completed: true }
+        RunSummary {
+            time_ns: 971_000_000,
+            tasks: 4_950,
+            peak_live_threads: 64,
+            completed: true,
+        }
     }
 
     fn fine_run() -> RunSummary {
@@ -256,7 +271,10 @@ mod tests {
         let out = ToolModel::hpctoolkit().apply(&coarse_run());
         match out {
             ToolOutcome::Completed { overhead_pct, .. } => {
-                assert!(overhead_pct > 100.0, "per-thread files must hurt: {overhead_pct:.0}%");
+                assert!(
+                    overhead_pct > 100.0,
+                    "per-thread files must hurt: {overhead_pct:.0}%"
+                );
             }
             other => panic!("expected completion, got {other:?}"),
         }
@@ -264,9 +282,17 @@ mod tests {
 
     #[test]
     fn failing_baseline_yields_not_applicable() {
-        let run = RunSummary { time_ns: 0, tasks: 0, peak_live_threads: 97_000, completed: false };
+        let run = RunSummary {
+            time_ns: 0,
+            tasks: 0,
+            peak_live_threads: 97_000,
+            completed: false,
+        };
         assert_eq!(ToolModel::tau_64k().apply(&run), ToolOutcome::BaselineFails);
-        assert_eq!(ToolModel::hpctoolkit().apply(&run), ToolOutcome::BaselineFails);
+        assert_eq!(
+            ToolModel::hpctoolkit().apply(&run),
+            ToolOutcome::BaselineFails
+        );
         assert_eq!(ToolOutcome::BaselineFails.cell(), "n/a");
     }
 
@@ -295,7 +321,10 @@ mod tests {
 
     #[test]
     fn outcome_cells_format() {
-        let c = ToolOutcome::Completed { time_ns: 2_000_000_000, overhead_pct: 150.0 };
+        let c = ToolOutcome::Completed {
+            time_ns: 2_000_000_000,
+            overhead_pct: 150.0,
+        };
         assert_eq!(c.cell(), "2000 ms (150%)");
         assert!(c.usable());
         assert!(!ToolOutcome::Abort.usable());

@@ -26,19 +26,27 @@ fn busy_work(items: u64) -> u64 {
 fn main() {
     let rt = Runtime::new(RuntimeConfig::with_workers(4));
     let registry = rt.registry();
-    registry.add_active("/threads{locality#0/total}/time/average").unwrap();
-    registry.add_active("/threads{locality#0/total}/time/average-overhead").unwrap();
+    registry
+        .add_active("/threads{locality#0/total}/time/average")
+        .unwrap();
+    registry
+        .add_active("/threads{locality#0/total}/time/average-overhead")
+        .unwrap();
 
     const TOTAL_ITEMS: u64 = 4_000_000;
     let mut chunk: u64 = 500; // deliberately far too fine
-    println!("{:>5} {:>10} {:>14} {:>16} {:>10}", "wave", "chunk", "avg task ns", "avg overhead ns", "ratio");
+    println!(
+        "{:>5} {:>10} {:>14} {:>16} {:>10}",
+        "wave", "chunk", "avg task ns", "avg overhead ns", "ratio"
+    );
 
     for wave in 0..8 {
         registry.reset_active_counters();
 
         let tasks = TOTAL_ITEMS / chunk;
-        let futures: Vec<_> =
-            (0..tasks).map(|_| rt.spawn(move || busy_work(chunk))).collect();
+        let futures: Vec<_> = (0..tasks)
+            .map(|_| rt.spawn(move || busy_work(chunk)))
+            .collect();
         let mut sink = 0u64;
         for f in futures {
             sink ^= f.get();

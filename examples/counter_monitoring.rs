@@ -29,8 +29,8 @@ fn main() {
         Duration::from_millis(10),
     );
     config.reset_on_read = false;
-    let sampler = Sampler::start(&registry, config, Box::new(CsvSink::new(file)))
-        .expect("sampler start");
+    let sampler =
+        Sampler::start(&registry, config, Box::new(CsvSink::new(file))).expect("sampler start");
 
     // Three bursts of work separated by idle gaps — visible in the CSV as
     // utilization rising and falling.
@@ -56,7 +56,11 @@ fn main() {
     sampler.stop();
     let contents = std::fs::read_to_string(&csv_path).expect("read csv");
     let lines = contents.lines().count();
-    println!("\nwrote {} sample rows to {}", lines.saturating_sub(1), csv_path.display());
+    println!(
+        "\nwrote {} sample rows to {}",
+        lines.saturating_sub(1),
+        csv_path.display()
+    );
     println!("columns: {}", contents.lines().next().unwrap_or(""));
     // Show a taste of the data.
     for line in contents.lines().take(6) {

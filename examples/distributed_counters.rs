@@ -14,17 +14,27 @@ use rpx::runtime::{Runtime, RuntimeConfig};
 fn main() {
     // Two "localities", each its own runtime + registry. Locality ids are
     // baked into the counter instance names at construction.
-    let rt0 = Runtime::new(RuntimeConfig { workers: 2, locality: 0, ..Default::default() });
-    let rt1 = Runtime::new(RuntimeConfig { workers: 2, locality: 1, ..Default::default() });
+    let rt0 = Runtime::new(RuntimeConfig {
+        workers: 2,
+        locality: 0,
+        ..Default::default()
+    });
+    let rt1 = Runtime::new(RuntimeConfig {
+        workers: 2,
+        locality: 1,
+        ..Default::default()
+    });
     let cluster = DistributedRegistry::new(vec![rt0.registry(), rt1.registry()]);
 
     // Unbalanced work: locality 0 runs 100 tasks, locality 1 runs 400.
-    let spin = |n: u64| move || {
-        let mut acc = 0u64;
-        for i in 0..n {
-            acc = acc.wrapping_add(i).rotate_left(7);
+    let spin = |n: u64| {
+        move || {
+            let mut acc = 0u64;
+            for i in 0..n {
+                acc = acc.wrapping_add(i).rotate_left(7);
+            }
+            std::hint::black_box(acc);
         }
-        std::hint::black_box(acc);
     };
     let f0: Vec<_> = (0..100).map(|_| rt0.spawn(spin(20_000))).collect();
     let f1: Vec<_> = (0..400).map(|_| rt1.spawn(spin(20_000))).collect();
@@ -49,7 +59,10 @@ fn main() {
     // Per-worker drill-down on the remote locality.
     println!("\nper-worker tasks on locality 1:");
     for (name, v) in cluster
-        .evaluate("/threads{locality#1/worker-thread#*}/count/cumulative", false)
+        .evaluate(
+            "/threads{locality#1/worker-thread#*}/count/cumulative",
+            false,
+        )
         .unwrap()
     {
         println!("  {name} = {}", v.value);

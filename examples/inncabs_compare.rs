@@ -48,7 +48,10 @@ fn run_bench<S: Spawner>(name: &str, sp: &S) -> Option<(u64, std::time::Duration
 fn main() {
     let mut names: Vec<String> = std::env::args().skip(1).collect();
     if names.is_empty() {
-        names = ["fib", "sort", "nqueens", "intersim"].iter().map(|s| s.to_string()).collect();
+        names = ["fib", "sort", "nqueens", "intersim"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
     }
 
     println!(
@@ -66,15 +69,21 @@ fn main() {
         // Lightweight-task runtime with counters.
         let rt = Runtime::new(RuntimeConfig::with_workers(4));
         let reg = rt.registry();
-        reg.add_active("/threads{locality#0/total}/count/cumulative").unwrap();
-        reg.add_active("/threads{locality#0/total}/time/average").unwrap();
-        reg.add_active("/threads{locality#0/total}/time/average-overhead").unwrap();
+        reg.add_active("/threads{locality#0/total}/count/cumulative")
+            .unwrap();
+        reg.add_active("/threads{locality#0/total}/time/average")
+            .unwrap();
+        reg.add_active("/threads{locality#0/total}/time/average-overhead")
+            .unwrap();
         reg.reset_active_counters();
         let (hpx_sum, hpx_t) = run_bench(name, &RpxSpawner::new(rt.handle())).unwrap();
         rt.wait_idle();
         let counters = reg.evaluate_active_counters(false);
-        let (tasks, avg, ovh) =
-            (counters[0].1.value, counters[1].1.value, counters[2].1.value);
+        let (tasks, avg, ovh) = (
+            counters[0].1.value,
+            counters[1].1.value,
+            counters[2].1.value,
+        );
         rt.shutdown();
 
         // Thread-per-task baseline.

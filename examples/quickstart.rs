@@ -57,7 +57,10 @@ fn main() {
             false,
         )
         .unwrap();
-    println!("\nderived avg task duration: {} ns (via /arithmetics/divide)", derived.value);
+    println!(
+        "\nderived avg task duration: {} ns (via /arithmetics/divide)",
+        derived.value
+    );
 
     rt.shutdown();
 }

@@ -23,13 +23,22 @@ fn main() {
     tracer.disable();
 
     let spans = tracer.spans();
-    println!("nqueens(8) = {solutions} solutions, {} task spans captured", spans.len());
+    println!(
+        "nqueens(8) = {solutions} solutions, {} task spans captured",
+        spans.len()
+    );
     if tracer.dropped() > 0 {
-        println!("(ring buffer wrapped; {} oldest spans dropped)", tracer.dropped());
+        println!(
+            "(ring buffer wrapped; {} oldest spans dropped)",
+            tracer.dropped()
+        );
     }
 
     println!("\nper-worker profile:");
-    println!("{:>7} {:>12} {:>8} {:>12}", "worker", "busy µs", "tasks", "avg ns");
+    println!(
+        "{:>7} {:>12} {:>8} {:>12}",
+        "worker", "busy µs", "tasks", "avg ns"
+    );
     for (worker, busy_ns, tasks) in tracer.per_worker_profile() {
         println!(
             "{worker:>7} {:>12.1} {tasks:>8} {:>12.0}",
@@ -40,7 +49,10 @@ fn main() {
 
     let path = std::env::temp_dir().join("rpx_trace.json");
     std::fs::write(&path, tracer.to_chrome_trace()).expect("write trace");
-    println!("\nwrote {} — load it in chrome://tracing or ui.perfetto.dev", path.display());
+    println!(
+        "\nwrote {} — load it in chrome://tracing or ui.perfetto.dev",
+        path.display()
+    );
 
     // The wait-time distribution through a histogram counter, while we
     // are at it: histogram of task durations sampled from the spans.
@@ -50,7 +62,10 @@ fn main() {
     for d in &durations {
         buckets[((d * 9) / max.max(1)) as usize] += 1;
     }
-    println!("\ntask-duration histogram (0 .. {:.1} µs):", max as f64 / 1e3);
+    println!(
+        "\ntask-duration histogram (0 .. {:.1} µs):",
+        max as f64 / 1e3
+    );
     for (i, c) in buckets.iter().enumerate() {
         println!("  bucket {i}: {}", "#".repeat((*c as usize).min(60)));
     }

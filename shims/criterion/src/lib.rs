@@ -1,0 +1,167 @@
+//! In-tree shim for `criterion`: just enough of the API for the workspace
+//! benches to compile and run under `cargo bench` without network access.
+//!
+//! Timing is a plain mean over a fixed number of timed runs — no outlier
+//! analysis, no plots, no statistics. Results print one line per benchmark:
+//! `group/name: mean <t> (<n> runs of <k> iters)`.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.as_ref().to_string(),
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+
+    /// Single benchmark outside a group.
+    pub fn bench_function(&mut self, name: impl AsRef<str>, f: impl FnMut(&mut Bencher)) {
+        let mut g = self.benchmark_group("");
+        g.bench_function(name, f);
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total time budget for measurement.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up duration before measuring.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(&mut self, name: impl AsRef<str>, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Warm-up: run once to estimate per-iteration cost.
+        f(&mut bencher);
+        let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_deadline {
+            f(&mut bencher);
+        }
+
+        // Pick an iteration count filling the budget across samples.
+        let budget = self.measurement_time.max(Duration::from_millis(10));
+        let per_sample = budget / self.sample_size as u32;
+        let iters = (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000);
+
+        let mut total = Duration::ZERO;
+        let mut runs = 0usize;
+        let deadline = Instant::now() + budget;
+        for _ in 0..self.sample_size {
+            bencher.iters = iters as u64;
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            total += bencher.elapsed;
+            runs += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        let mean = total / (runs.max(1) as u32 * iters as u32);
+        let label = if self.name.is_empty() {
+            name.as_ref().to_string()
+        } else {
+            format!("{}/{}", self.name, name.as_ref())
+        };
+        println!("{label}: mean {mean:?} ({runs} runs of {iters} iters)");
+    }
+
+    /// End the group (printing happens per benchmark in the shim).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the benchmark closure; times the measured routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it the harness-chosen number of iterations.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Group benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(10));
+        let mut ran = 0u64;
+        g.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+            ran += 1;
+        });
+        g.finish();
+        assert!(ran >= 1);
+    }
+}

@@ -1,0 +1,459 @@
+//! In-tree shim for `proptest`: a deterministic property-testing subset.
+//!
+//! Supports the surface this workspace uses: the [`Strategy`] trait with
+//! `prop_map`, string strategies from simple character-class patterns
+//! (`"[a-z][a-z0-9-]{0,12}"`), numeric range strategies, tuple strategies,
+//! `proptest::option::of`, `proptest::collection::vec`, `ProptestConfig`,
+//! and the `proptest!` / `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! No shrinking: a failing case panics with the generated inputs visible in
+//! the assertion message. Generation is deterministic (fixed seed), so
+//! failures reproduce exactly across runs.
+
+pub mod test_runner {
+    /// Deterministic splitmix64 RNG driving all generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Fixed-seed RNG so every run generates the same cases.
+        pub fn deterministic() -> Self {
+            TestRng {
+                state: 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// RNG with an explicit seed.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Per-test configuration; only `cases` is meaningful in the shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` iterations.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of values for property tests.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Numeric ranges
+// ---------------------------------------------------------------------
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                assert!(span > 0, "empty range strategy");
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (*self.end() as u64)
+                    .wrapping_sub(*self.start() as u64)
+                    .wrapping_add(1);
+                if span == 0 {
+                    // Full-width range.
+                    return rng.next_u64() as $t;
+                }
+                self.start().wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                assert!(span > 0, "empty range strategy");
+                (self.start as i64).wrapping_add(rng.below(span) as i64) as $t
+            }
+        }
+    )*};
+}
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::RangeFrom<u64> {
+    type Value = u64;
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        let span = u64::MAX - self.start;
+        self.start + rng.below(span.max(1))
+    }
+}
+
+impl Strategy for std::ops::RangeFrom<u32> {
+    type Value = u32;
+    fn generate(&self, rng: &mut TestRng) -> u32 {
+        let span = u64::from(u32::MAX) - u64::from(self.start);
+        self.start + rng.below(span.max(1)) as u32
+    }
+}
+
+// ---------------------------------------------------------------------
+// String patterns
+// ---------------------------------------------------------------------
+
+struct ClassRepeat {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Parse a simple pattern: character classes `[a-z0-9,-]` and literal
+/// characters, each optionally followed by `{m}` or `{m,n}`.
+fn parse_pattern(pattern: &str) -> Vec<ClassRepeat> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set: Vec<char> = if chars[i] == '[' {
+            i += 1;
+            let mut set = Vec::new();
+            while i < chars.len() && chars[i] != ']' {
+                if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                    let (lo, hi) = (chars[i], chars[i + 2]);
+                    assert!(lo <= hi, "bad range in pattern `{pattern}`");
+                    set.extend((lo..=hi).filter(|c| c.is_ascii()));
+                    i += 3;
+                } else {
+                    set.push(chars[i]);
+                    i += 1;
+                }
+            }
+            assert!(i < chars.len(), "unterminated class in pattern `{pattern}`");
+            i += 1; // skip ']'
+            set
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        let (mut min, mut max) = (1usize, 1usize);
+        if i < chars.len() && chars[i] == '{' {
+            i += 1;
+            let mut m = String::new();
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                m.push(chars[i]);
+                i += 1;
+            }
+            min = m.parse().expect("bad repeat count");
+            max = min;
+            if i < chars.len() && chars[i] == ',' {
+                i += 1;
+                let mut n = String::new();
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    n.push(chars[i]);
+                    i += 1;
+                }
+                max = n.parse().expect("bad repeat count");
+            }
+            assert!(
+                i < chars.len() && chars[i] == '}',
+                "unterminated repeat in `{pattern}`"
+            );
+            i += 1;
+        }
+        assert!(
+            !set.is_empty(),
+            "empty character class in pattern `{pattern}`"
+        );
+        out.push(ClassRepeat {
+            chars: set,
+            min,
+            max,
+        });
+    }
+    out
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for part in parse_pattern(self) {
+            let count = part.min + rng.below((part.max - part.min + 1) as u64) as usize;
+            for _ in 0..count {
+                out.push(part.chars[rng.below(part.chars.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A: 0);
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+// ---------------------------------------------------------------------
+// option / collection combinators
+// ---------------------------------------------------------------------
+
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Option<T>`: `None` roughly a quarter of the time.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+
+    /// `Option` of the given strategy.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Vec<T>` with length drawn from a range.
+    pub struct VecStrategy<S> {
+        inner: S,
+        len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.inner.generate(rng)).collect()
+        }
+    }
+
+    /// Vector of values from `inner`, length in `len`.
+    pub fn vec<S: Strategy>(inner: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { inner, len }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------
+
+/// Assert inside a property; panics (no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Define deterministic property tests.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (
+        @with_config ($cfg:expr)
+        $(
+            #[test]
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::deterministic();
+                for __case in 0..__config.cases {
+                    let _ = __case;
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            #[test]
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default())
+            $(#[test] fn $name($($pat in $strat),+) $body)*);
+    };
+}
+
+pub mod prelude {
+    //! Glob-import surface: `use proptest::prelude::*`.
+    pub use crate::test_runner::TestRng;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::test_runner::TestRng;
+
+    #[test]
+    fn pattern_generation_respects_classes() {
+        let mut rng = TestRng::deterministic();
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z][a-z0-9-]{0,12}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 13);
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic();
+        for _ in 0..200 {
+            let v = Strategy::generate(&(3u32..7), &mut rng);
+            assert!((3..7).contains(&v));
+            let w = Strategy::generate(&(0i64..1_000_000), &mut rng);
+            assert!((0..1_000_000).contains(&w));
+            let s = Strategy::generate(&(1u64..), &mut rng);
+            assert!(s >= 1);
+        }
+    }
+
+    #[test]
+    fn option_and_vec_combinators() {
+        let mut rng = TestRng::deterministic();
+        let strat = crate::collection::vec(crate::option::of(0u32..4), 1..6);
+        let mut saw_none = false;
+        let mut saw_some = false;
+        for _ in 0..100 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!(!v.is_empty() && v.len() < 6);
+            for item in v {
+                match item {
+                    None => saw_none = true,
+                    Some(x) => {
+                        saw_some = true;
+                        assert!(x < 4);
+                    }
+                }
+            }
+        }
+        assert!(saw_none && saw_some);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_defines_properties(x in 0u64..100, y in 0u64..100) {
+            prop_assert!(x < 100 && y < 100);
+            prop_assert_eq!(x + y, y + x);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! In-tree shim for `rand`: the workspace declares the dependency but does
+//! not call into it (the benchmarks carry their own splitmix-style PRNGs
+//! for reproducibility). The shim exists only so the dependency resolves
+//! without network access; a tiny deterministic generator is provided in
+//! case future code needs one.
+
+/// A minimal splitmix64 generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded generator.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next pseudo-random 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SplitMix64::seed_from_u64(42);
+        let mut b = SplitMix64::seed_from_u64(42);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), a.next_u64());
+    }
+}

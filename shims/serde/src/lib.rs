@@ -1,0 +1,357 @@
+//! In-tree shim for `serde`: `Serialize`/`Deserialize` expressed over an
+//! explicit [`Content`] tree instead of visitor-based serializers.
+//!
+//! `serde_json` (the shim) converts `Content` to and from JSON text, and
+//! the `serde_derive` shim generates `Content`-producing/consuming impls
+//! for structs and enums. Only the data shapes used by this workspace are
+//! supported (named-field structs, unit enums, struct-variant enums,
+//! primitives, strings, tuples, `Vec`, `Option`, maps).
+
+use std::collections::BTreeMap;
+
+/// A self-describing serialized value — the shim's data model, isomorphic
+/// to a JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// Absent / null.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer above `i64::MAX`.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Content>),
+    /// Key-ordered map (insertion order preserved).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The entries if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Map lookup by key.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        self.as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// Deserialization error: a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// New error from any message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Look a key up in derive-generated map content.
+pub fn content_get<'a>(map: &'a [(String, Content)], key: &str) -> Option<&'a Content> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// A type that can render itself into [`Content`].
+pub trait Serialize {
+    /// Convert to the shim data model.
+    fn to_content(&self) -> Content;
+}
+
+/// A type that can be rebuilt from [`Content`].
+pub trait Deserialize: Sized {
+    /// Convert from the shim data model.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+/// Alias so `DeserializeOwned` bounds keep compiling against the shim.
+pub trait DeserializeOwned: Deserialize {}
+impl<T: Deserialize> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::I64(*self as i64) }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as u64;
+                if v <= i64::MAX as u64 { Content::I64(v as i64) } else { Content::U64(v) }
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+macro_rules! ser_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+    };
+}
+ser_tuple!(A: 0);
+ser_tuple!(A: 0, B: 1);
+ser_tuple!(A: 0, B: 1, C: 2);
+ser_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+// ---------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------
+
+fn as_i128(c: &Content) -> Result<i128, DeError> {
+    match c {
+        Content::I64(v) => Ok(*v as i128),
+        Content::U64(v) => Ok(*v as i128),
+        Content::F64(v) if v.fract() == 0.0 => Ok(*v as i128),
+        other => Err(DeError::new(format!("expected integer, found {other:?}"))),
+    }
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v = as_i128(c)?;
+                <$t>::try_from(v)
+                    .map_err(|_| DeError::new(format!("{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::F64(v) => Ok(*v),
+            Content::I64(v) => Ok(*v as f64),
+            Content::U64(v) => Ok(*v as f64),
+            other => Err(DeError::new(format!("expected number, found {other:?}"))),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        f64::from_content(c).map(|v| v as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError::new(format!("expected sequence, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+                .collect(),
+            other => Err(DeError::new(format!("expected map, found {other:?}"))),
+        }
+    }
+}
+
+macro_rules! de_tuple {
+    ($len:expr; $($name:ident : $idx:tt),+) => {
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::Seq(items) if items.len() == $len => {
+                        Ok(($($name::from_content(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::new(format!(
+                        "expected {}-tuple, found {other:?}", $len
+                    ))),
+                }
+            }
+        }
+    };
+}
+de_tuple!(1; A: 0);
+de_tuple!(2; A: 0, B: 1);
+de_tuple!(3; A: 0, B: 1, C: 2);
+de_tuple!(4; A: 0, B: 1, C: 2, D: 3);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_content(&42u64.to_content()).unwrap(), 42);
+        assert_eq!(i64::from_content(&(-3i64).to_content()).unwrap(), -3);
+        assert_eq!(f64::from_content(&2.5f64.to_content()).unwrap(), 2.5);
+        assert!(bool::from_content(&true.to_content()).unwrap());
+        assert_eq!(String::from_content(&"hi".to_content()).unwrap(), "hi");
+        let big = u64::MAX;
+        assert_eq!(u64::from_content(&big.to_content()).unwrap(), big);
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![(1u32, "a".to_string()), (2, "b".to_string())];
+        let c = v.to_content();
+        let back: Vec<(u32, String)> = Vec::from_content(&c).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(Option::<u32>::from_content(&Content::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u32>::from_content(&5u32.to_content()).unwrap(),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn type_mismatch_errors() {
+        assert!(u64::from_content(&Content::Str("x".into())).is_err());
+        assert!(bool::from_content(&Content::I64(1)).is_err());
+        assert!(u8::from_content(&Content::I64(300)).is_err());
+    }
+}

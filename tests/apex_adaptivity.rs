@@ -63,7 +63,10 @@ fn policy_engine_tunes_chunk_size_against_overhead_ratio() {
         last_chunk >= 800,
         "the policy should have coarsened the grain from 200, ended at {last_chunk}"
     );
-    assert!(chunk.changes() > 0, "the knob must actually have been adjusted");
+    assert!(
+        chunk.changes() > 0,
+        "the knob must actually have been adjusted"
+    );
 }
 
 #[test]
@@ -93,6 +96,10 @@ fn policy_engine_observes_runtime_counters_with_wildcards() {
         std::thread::sleep(Duration::from_millis(2));
     }
     engine.stop();
-    assert!(*seen.lock() >= 300, "policy saw only {} tasks", *seen.lock());
+    assert!(
+        *seen.lock() >= 300,
+        "policy saw only {} tasks",
+        *seen.lock()
+    );
     rt.shutdown();
 }

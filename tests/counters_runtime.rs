@@ -29,7 +29,8 @@ fn per_sample_protocol_measures_each_sample_independently() {
     // The paper: evaluate+reset around every sample; 20 samples, medians.
     let rt = Runtime::new(RuntimeConfig::with_workers(2));
     let reg = rt.registry();
-    reg.add_active("/threads{locality#0/total}/count/cumulative").unwrap();
+    reg.add_active("/threads{locality#0/total}/count/cumulative")
+        .unwrap();
 
     let mut counts = Vec::new();
     for sample in 0..5 {
@@ -49,8 +50,10 @@ fn cumulative_time_equals_sum_over_workers() {
     let reg = rt.registry();
     spawn_burst(&rt, 200, 2_000);
     rt.wait_idle();
-    let total =
-        reg.evaluate("/threads{locality#0/total}/time/cumulative", false).unwrap().value;
+    let total = reg
+        .evaluate("/threads{locality#0/total}/time/cumulative", false)
+        .unwrap()
+        .value;
     let per_worker: i64 = reg
         .get_counters("/threads{locality#0/worker-thread#*}/time/cumulative")
         .unwrap()
@@ -127,14 +130,23 @@ fn sampler_watches_a_live_runtime() {
     spawn_burst(&rt, 500, 10_000);
     rt.wait_idle();
     // Wait until a sample *after* completion has landed.
-    while batches.lock().last().map(|b| b.readings[0].1.value).unwrap_or(0) < 500 {
+    while batches
+        .lock()
+        .last()
+        .map(|b| b.readings[0].1.value)
+        .unwrap_or(0)
+        < 500
+    {
         std::thread::yield_now();
     }
     sampler.stop();
 
     let collected = batches.lock();
     let last = collected.last().unwrap().readings[0].1.value;
-    assert!(last >= 500, "sampler should have seen all 500 tasks, saw {last}");
+    assert!(
+        last >= 500,
+        "sampler should have seen all 500 tasks, saw {last}"
+    );
     // Monotone non-decreasing across batches.
     for w in collected.windows(2) {
         assert!(w[1].readings[0].1.value >= w[0].readings[0].1.value);
@@ -197,8 +209,14 @@ fn multiple_runtimes_have_independent_registries() {
     let b = Runtime::new(RuntimeConfig::with_workers(1));
     spawn_burst(&a, 10, 10);
     a.wait_idle();
-    let ca = a.registry().evaluate("/threads{locality#0/total}/count/cumulative", false).unwrap();
-    let cb = b.registry().evaluate("/threads{locality#0/total}/count/cumulative", false).unwrap();
+    let ca = a
+        .registry()
+        .evaluate("/threads{locality#0/total}/count/cumulative", false)
+        .unwrap();
+    let cb = b
+        .registry()
+        .evaluate("/threads{locality#0/total}/count/cumulative", false)
+        .unwrap();
     assert!(ca.value >= 10);
     assert_eq!(cb.value, 0, "runtime B executed nothing");
     a.shutdown();

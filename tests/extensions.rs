@@ -26,8 +26,9 @@ fn histogram_of_live_task_durations() {
     let hist = reg.get_counter(&name).unwrap();
 
     for round in 0..10 {
-        let futures: Vec<_> =
-            (0..20).map(|_| rt.spawn(move || std::hint::black_box(spin(1_000 * (round + 1))))).collect();
+        let futures: Vec<_> = (0..20)
+            .map(|_| rt.spawn(move || std::hint::black_box(spin(1_000 * (round + 1)))))
+            .collect();
         for f in futures {
             f.get();
         }
@@ -42,8 +43,16 @@ fn histogram_of_live_task_durations() {
 
 #[test]
 fn distributed_registry_over_two_runtimes() {
-    let rt0 = Runtime::new(RuntimeConfig { workers: 2, locality: 0, ..Default::default() });
-    let rt1 = Runtime::new(RuntimeConfig { workers: 2, locality: 1, ..Default::default() });
+    let rt0 = Runtime::new(RuntimeConfig {
+        workers: 2,
+        locality: 0,
+        ..Default::default()
+    });
+    let rt1 = Runtime::new(RuntimeConfig {
+        workers: 2,
+        locality: 1,
+        ..Default::default()
+    });
     let cluster = DistributedRegistry::new(vec![rt0.registry(), rt1.registry()]);
 
     let f0: Vec<_> = (0..50).map(|_| rt0.spawn(|| ())).collect();
@@ -68,7 +77,10 @@ fn distributed_registry_over_two_runtimes() {
 
     // Remote per-worker wildcard.
     let per_worker = cluster
-        .evaluate("/threads{locality#1/worker-thread#*}/count/cumulative", false)
+        .evaluate(
+            "/threads{locality#1/worker-thread#*}/count/cumulative",
+            false,
+        )
         .unwrap();
     assert_eq!(per_worker.len(), 2);
     let sum: f64 = per_worker.iter().map(|(_, v)| v.scaled()).sum();
@@ -83,7 +95,9 @@ fn tracer_profile_accounts_for_all_workers_used() {
     let rt = Runtime::new(RuntimeConfig::with_workers(3));
     let tracer = rt.tracer();
     tracer.enable();
-    let futures: Vec<_> = (0..600).map(|_| rt.spawn(|| std::hint::black_box(spin(2_000)))).collect();
+    let futures: Vec<_> = (0..600)
+        .map(|_| rt.spawn(|| std::hint::black_box(spin(2_000))))
+        .collect();
     for f in futures {
         f.get();
     }
@@ -93,7 +107,11 @@ fn tracer_profile_accounts_for_all_workers_used() {
     assert!(tasks >= 600);
     // With 600 tasks on 3 workers, stealing should spread work to several
     // workers (not a strict guarantee, but 600 tasks make it overwhelming).
-    assert!(profile.len() >= 2, "only {} workers ran tasks", profile.len());
+    assert!(
+        profile.len() >= 2,
+        "only {} workers ran tasks",
+        profile.len()
+    );
     rt.shutdown();
 }
 
@@ -101,13 +119,21 @@ fn tracer_profile_accounts_for_all_workers_used() {
 fn affinity_layouts_cover_the_paper_protocol() {
     // The paper pins fill-first over a 2×10 topology; compact is exactly
     // that, and every worker count the sweep uses gets a distinct core.
-    let topo = Topology { sockets: 2, cores_per_socket: 10, smt: 1 };
+    let topo = Topology {
+        sockets: 2,
+        cores_per_socket: 10,
+        smt: 1,
+    };
     for workers in [1u32, 2, 4, 10, 11, 20] {
         let placement = BindSpec::Compact.placement(&topo, workers);
         let mut hw: Vec<u32> = placement.iter().map(|p| p.unwrap()).collect();
         hw.sort_unstable();
         hw.dedup();
-        assert_eq!(hw.len(), workers as usize, "distinct cores for {workers} workers");
+        assert_eq!(
+            hw.len(),
+            workers as usize,
+            "distinct cores for {workers} workers"
+        );
         // Fill-first: worker w sits on hw thread w.
         assert_eq!(placement[0], Some(0));
         if workers >= 11 {
@@ -134,7 +160,9 @@ fn sync_counters_visible_through_runtime_registry() {
         f.get();
     }
     assert_eq!(*m.lock(), 100);
-    let acq = reg.evaluate("/synchronization/locks/acquisitions", false).unwrap();
+    let acq = reg
+        .evaluate("/synchronization/locks/acquisitions", false)
+        .unwrap();
     assert!(acq.value >= 100);
     rt.shutdown();
 }

@@ -1,0 +1,445 @@
+//! Chaos suite for the fault-tolerance layer: deterministic fault
+//! injection ([`rpx_runtime::FaultPlan`]) driving cancellation, worker
+//! respawn, stall detection, and sampler resilience — with *exact*
+//! agreement between what the injector says it injected and what the
+//! `/runtime/health/*` counters report.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Once};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use rpx_counters::registry::CounterRegistry;
+use rpx_counters::sampler::{CsvSink, Sampler, SamplerConfig};
+use rpx_inncabs::spawner::RpxSpawner;
+use rpx_inncabs::{fib, health};
+use rpx_runtime::faults::register_flaky_counter;
+use rpx_runtime::{CancelToken, FaultPlan, InjectedFault, Runtime, RuntimeConfig, TaskCancelled};
+
+/// Silence the default panic hook for *intentional* unwinds (injected
+/// faults); real panics still print.
+fn install_quiet_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            if payload.downcast_ref::<InjectedFault>().is_some()
+                || payload.downcast_ref::<TaskCancelled>().is_some()
+            {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+fn wait_until(mut cond: impl FnMut() -> bool, timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if cond() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return cond();
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn health_total(reg: &Arc<CounterRegistry>, which: &str) -> i64 {
+    reg.evaluate(
+        &format!("/runtime{{locality#0/total}}/health/{which}"),
+        false,
+    )
+    .expect("health counter evaluates")
+    .value
+}
+
+#[test]
+fn fib_is_correct_with_exact_health_counts_under_panics_and_kills() {
+    install_quiet_hook();
+    let rt = Runtime::new(RuntimeConfig {
+        workers: 4,
+        faults: Some(FaultPlan {
+            seed: 7,
+            task_panic_ppm: 30_000,
+            worker_kill_ppm: 50_000,
+            max_per_category: 25,
+            ..FaultPlan::default()
+        }),
+        ..RuntimeConfig::with_workers(4)
+    });
+    let injector = rt.fault_injector().expect("active plan yields an injector");
+    let reg = rt.registry();
+
+    let input = fib::FibInput { n: 17 };
+    let result = fib::run(&RpxSpawner::new(rt.handle()), input);
+    assert_eq!(
+        result,
+        fib::run_serial(input),
+        "injected faults must not corrupt results"
+    );
+
+    // Kill draws happen only at top-level dispatches (never mid-unwind of a
+    // task that work-helped others), and fib's recursion runs mostly inside
+    // helping waits — so follow with a flat burst of independent tasks,
+    // which all dispatch at the top level of the worker loop.
+    let burst: Vec<_> = (0..400u64).map(|i| rt.spawn(move || i)).collect();
+    for (i, f) in burst.into_iter().enumerate() {
+        assert_eq!(f.get(), i as u64);
+    }
+    rt.wait_idle();
+
+    // Enough dispatches (≈ 2·fib(17) spawns + the burst) that both
+    // categories fired.
+    assert!(
+        injector.task_panics() > 0,
+        "plan should have injected task panics"
+    );
+    assert!(
+        injector.worker_kills() > 0,
+        "plan should have injected worker kills"
+    );
+
+    // Recovered-task accounting is synchronous with dispatch: exact already.
+    assert_eq!(
+        health_total(&reg, "recovered-tasks") as u64,
+        injector.task_panics()
+    );
+    // Restart accounting happens in the supervisor a moment after the
+    // injected unwind; poll for the exact match.
+    assert!(
+        wait_until(
+            || health_total(&reg, "restarts") as u64 == injector.worker_kills(),
+            Duration::from_secs(5),
+        ),
+        "restarts {} never matched injected kills {}",
+        health_total(&reg, "restarts"),
+        injector.worker_kills()
+    );
+    // The respawned workers are live: the runtime still computes.
+    assert_eq!(rt.spawn(|| 2 + 2).get(), 4);
+    rt.shutdown();
+}
+
+#[test]
+fn watchdog_counts_each_injected_stall_exactly_once() {
+    install_quiet_hook();
+    let rt = Runtime::new(RuntimeConfig {
+        workers: 2,
+        faults: Some(FaultPlan {
+            stall_ppm: 1_000_000,
+            stall: Duration::from_millis(300),
+            max_per_category: 4,
+            ..FaultPlan::default()
+        }),
+        watchdog_interval: Duration::from_millis(15),
+        stall_threshold: Duration::from_millis(60),
+        ..RuntimeConfig::with_workers(2)
+    });
+    let injector = rt.fault_injector().unwrap();
+    let reg = rt.registry();
+
+    // One task at a time: each of the first 4 dispatches stalls its worker
+    // for 300ms (≫ threshold + watchdog interval), then the cap disarms
+    // the fault and the rest run clean.
+    for i in 0..12u64 {
+        assert_eq!(rt.spawn(move || i * 2).get(), i * 2);
+    }
+    assert_eq!(injector.stalls(), 4, "cap bounds the injected stalls");
+    assert!(
+        wait_until(
+            || health_total(&reg, "stalls") as u64 == injector.stalls(),
+            Duration::from_secs(5),
+        ),
+        "stall episodes {} never matched injected stalls {}",
+        health_total(&reg, "stalls"),
+        injector.stalls()
+    );
+    rt.shutdown();
+}
+
+#[test]
+fn cancelled_tasks_are_skipped_and_counted_exactly() {
+    install_quiet_hook();
+    const N: usize = 50;
+    let rt = Runtime::new(RuntimeConfig::with_workers(2));
+    let reg = rt.registry();
+
+    // Park both workers inside task bodies so nothing dispatches until we
+    // say so — the cancellable tasks below are guaranteed to still be
+    // queued when the token is cancelled.
+    let release = Arc::new(AtomicBool::new(false));
+    let started = Arc::new(AtomicU64::new(0));
+    let blockers: Vec<_> = (0..2)
+        .map(|_| {
+            let release = release.clone();
+            let started = started.clone();
+            rt.spawn(move || {
+                started.fetch_add(1, Ordering::SeqCst);
+                while !release.load(Ordering::Acquire) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            })
+        })
+        .collect();
+    assert!(wait_until(
+        || started.load(Ordering::SeqCst) == 2,
+        Duration::from_secs(5)
+    ));
+
+    let token = CancelToken::new();
+    let ran = Arc::new(AtomicU64::new(0));
+    let futures: Vec<_> = (0..N)
+        .map(|_| {
+            let ran = ran.clone();
+            rt.spawn_cancellable(&token, move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            })
+        })
+        .collect();
+    token.cancel();
+    release.store(true, Ordering::Release);
+    for b in blockers {
+        b.get();
+    }
+    rt.wait_idle();
+
+    assert_eq!(ran.load(Ordering::SeqCst), 0, "no cancelled body may run");
+    assert_eq!(health_total(&reg, "cancelled-tasks"), N as i64);
+    let mut futures = futures.into_iter();
+    let first = futures.next().unwrap();
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || first.get()))
+        .expect_err("get() on a cancelled future must raise");
+    assert!(err.downcast_ref::<TaskCancelled>().is_some());
+    for f in futures {
+        assert!(f.is_cancelled());
+    }
+    rt.shutdown();
+}
+
+#[test]
+fn deadline_cancels_task_not_dispatched_in_time() {
+    install_quiet_hook();
+    let rt = Runtime::new(RuntimeConfig::with_workers(1));
+    let reg = rt.registry();
+
+    // Keep the only worker busy past the deadline.
+    let blocker = rt.spawn(|| std::thread::sleep(Duration::from_millis(150)));
+    let started = Instant::now();
+    let (fut, token) = rt.spawn_with_deadline(Duration::from_millis(30), || 1);
+    assert!(token.deadline().is_some());
+
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || fut.get()))
+        .expect_err("deadline must cancel the queued task");
+    assert!(err.downcast_ref::<TaskCancelled>().is_some());
+    assert!(
+        started.elapsed() >= Duration::from_millis(30),
+        "cancellation happens at dispatch, after the deadline passed"
+    );
+    blocker.get();
+    rt.wait_idle();
+    assert_eq!(health_total(&reg, "cancelled-tasks"), 1);
+    rt.shutdown();
+}
+
+#[test]
+fn get_timeout_hands_the_future_back_then_completes() {
+    let rt = Runtime::new(RuntimeConfig::with_workers(2));
+    let fut = rt.spawn(|| {
+        std::thread::sleep(Duration::from_millis(120));
+        7
+    });
+    let fut = fut
+        .get_timeout(Duration::from_millis(15))
+        .expect_err("a 120ms task cannot finish in 15ms");
+    assert_eq!(fut.get_timeout(Duration::from_secs(5)).ok(), Some(7));
+    rt.shutdown();
+}
+
+#[test]
+fn panic_in_stolen_task_propagates_to_getter() {
+    install_quiet_hook();
+    let rt = Runtime::new(RuntimeConfig::with_workers(2));
+    let reg = rt.registry();
+    let handle = rt.handle();
+
+    // The outer task queues the panicking child on its own deque, then
+    // blocks (without helping), so the child must be *stolen* and executed
+    // by the other worker.
+    let outer = rt.spawn(move || {
+        let child = handle.spawn(|| -> i32 { panic!("stolen boom") });
+        std::thread::sleep(Duration::from_millis(100));
+        child
+    });
+    let child = outer.get();
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || child.get()))
+        .expect_err("the stolen task's panic must surface at get()");
+    assert_eq!(err.downcast_ref::<&str>().copied(), Some("stolen boom"));
+
+    let stolen = reg
+        .evaluate("/threads{locality#0/total}/count/stolen", false)
+        .unwrap()
+        .value;
+    assert!(
+        stolen >= 1,
+        "child should have been stolen, counter says {stolen}"
+    );
+    // The worker that ran the panicking task is unharmed.
+    assert_eq!(rt.spawn(|| 5).get(), 5);
+    rt.shutdown();
+}
+
+#[test]
+fn health_benchmark_matches_serial_oracle_under_faults() {
+    install_quiet_hook();
+    let rt = Runtime::new(RuntimeConfig {
+        workers: 4,
+        faults: Some(FaultPlan {
+            seed: 99,
+            task_panic_ppm: 60_000,
+            worker_kill_ppm: 20_000,
+            max_per_category: 20,
+            ..FaultPlan::default()
+        }),
+        ..RuntimeConfig::with_workers(4)
+    });
+    let injector = rt.fault_injector().unwrap();
+    let reg = rt.registry();
+
+    let input = health::HealthInput::test();
+    let outcome = health::run(&RpxSpawner::new(rt.handle()), input);
+    assert_eq!(outcome, health::run_serial(input));
+    rt.wait_idle();
+
+    assert!(injector.task_panics() > 0);
+    assert_eq!(
+        health_total(&reg, "recovered-tasks") as u64,
+        injector.task_panics()
+    );
+    assert!(wait_until(
+        || health_total(&reg, "restarts") as u64 == injector.worker_kills(),
+        Duration::from_secs(5),
+    ));
+    rt.shutdown();
+}
+
+/// `Write` adapter letting the test read back what the sampler's CSV sink
+/// wrote on its own thread.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn sampler_rows_stay_uninterrupted_under_counter_read_faults() {
+    install_quiet_hook();
+    let rt = Runtime::new(RuntimeConfig {
+        workers: 2,
+        faults: Some(FaultPlan {
+            counter_fail_ppm: 1_000_000,
+            max_per_category: 5,
+            ..FaultPlan::default()
+        }),
+        ..RuntimeConfig::with_workers(2)
+    });
+    let injector = rt.fault_injector().unwrap();
+    let reg = rt.registry();
+    register_flaky_counter(&reg, &injector, "/chaos/flaky");
+
+    let buf = SharedBuf::default();
+    let sampler = Sampler::start(
+        &reg,
+        SamplerConfig::new(
+            vec![
+                "/chaos/flaky".into(),
+                "/threads{locality#0/total}/count/cumulative".into(),
+            ],
+            Duration::from_millis(5),
+        ),
+        Box::new(CsvSink::new(buf.clone())),
+    )
+    .expect("sampler starts");
+    let sampler_health = sampler.health();
+
+    // Keep the runtime busy while the first 5 flaky reads fail (then the
+    // cap disarms the fault); backoff stretches those failures over many
+    // batches, so poll on the health accounting.
+    let stop_spawning = Arc::new(AtomicBool::new(false));
+    let spam = {
+        let stop = stop_spawning.clone();
+        let handle = rt.handle();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                handle.spawn(|| std::hint::black_box(1 + 1)).get();
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        })
+    };
+    assert!(
+        wait_until(
+            || sampler_health.read_errors() == 5,
+            Duration::from_secs(10)
+        ),
+        "sampler saw {} read errors, expected all 5 injected",
+        sampler_health.read_errors()
+    );
+    // Sit out the final backoff window (≤ 32 batches of placeholders) plus
+    // a few clean batches, so the flaky counter visibly recovers.
+    std::thread::sleep(Duration::from_millis(400));
+    stop_spawning.store(true, Ordering::Release);
+    spam.join().unwrap();
+    sampler.stop();
+
+    // Exact agreement: every injected counter failure was recorded as a
+    // sampler read error, and nothing else failed.
+    assert_eq!(injector.counter_fails(), 5);
+    assert_eq!(sampler_health.read_errors(), injector.counter_fails());
+    assert!(
+        sampler_health.backoffs() >= 1,
+        "repeated failures must back off"
+    );
+
+    let csv = String::from_utf8(buf.0.lock().clone()).unwrap();
+    let lines: Vec<&str> = csv.lines().collect();
+    assert!(
+        lines.len() >= 4,
+        "expected header + several rows, got:\n{csv}"
+    );
+    let width = lines[0].split(',').count();
+    assert_eq!(width, 4, "header is sequence,timestamp_ns,<2 counters>");
+    let mut saw_flaky_gap = false;
+    let mut saw_flaky_value = false;
+    for (i, row) in lines[1..].iter().enumerate() {
+        let fields: Vec<&str> = row.split(',').collect();
+        assert_eq!(fields.len(), width, "row {i} lost a column: {row}");
+        assert_eq!(
+            fields[0].parse::<u64>().unwrap(),
+            i as u64,
+            "sequence gap at row {i}"
+        );
+        // The healthy counter is present in every single row.
+        assert!(
+            fields[3].parse::<f64>().is_ok(),
+            "healthy counter missing in row {i}: {row}"
+        );
+        match fields[2] {
+            "" => saw_flaky_gap = true,
+            _ => saw_flaky_value = true,
+        }
+    }
+    assert!(saw_flaky_gap, "the failing counter should have empty cells");
+    assert!(saw_flaky_value, "the flaky counter recovers after the cap");
+    rt.shutdown();
+}

@@ -41,13 +41,21 @@ fn sort_on_rpx_matches_oracle() {
 
 #[test]
 fn sort_on_std_matches_oracle() {
-    let input = sort::SortInput { len: 2_048, cutoff: 256, seed: 5 };
+    let input = sort::SortInput {
+        len: 2_048,
+        cutoff: 256,
+        seed: 5,
+    };
     assert_eq!(with_std(|sp| sort::run(sp, input)), sort::run_serial(input));
 }
 
 #[test]
 fn strassen_on_rpx_matches_oracle() {
-    let input = strassen::StrassenInput { n: 32, cutoff: 8, seed: 2 };
+    let input = strassen::StrassenInput {
+        n: 32,
+        cutoff: 8,
+        seed: 2,
+    };
     let par = with_rpx(|sp| strassen::run(sp, input));
     assert!(par.max_diff(&strassen::run_serial(input)) < 1e-6);
 }
@@ -66,7 +74,10 @@ fn fft_on_rpx_matches_oracle() {
 #[test]
 fn nqueens_on_rpx_matches_oracle() {
     let input = nqueens::NQueensInput { n: 7 };
-    assert_eq!(with_rpx(|sp| nqueens::run(sp, input)), nqueens::run_serial(input));
+    assert_eq!(
+        with_rpx(|sp| nqueens::run(sp, input)),
+        nqueens::run_serial(input)
+    );
 }
 
 #[test]
@@ -78,7 +89,10 @@ fn uts_on_rpx_matches_oracle() {
 #[test]
 fn alignment_on_rpx_matches_oracle() {
     let input = alignment::AlignmentInput::test();
-    assert_eq!(with_rpx(|sp| alignment::run(sp, input)), alignment::run_serial(input));
+    assert_eq!(
+        with_rpx(|sp| alignment::run(sp, input)),
+        alignment::run_serial(input)
+    );
 }
 
 #[test]
@@ -87,14 +101,21 @@ fn sparselu_on_rpx_matches_oracle() {
     let par = with_rpx(|sp| sparselu::run(sp, input)).to_dense();
     let ser = sparselu::run_serial(input).to_dense();
     assert_eq!(par.len(), ser.len());
-    let max = par.iter().zip(&ser).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+    let max = par
+        .iter()
+        .zip(&ser)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
     assert!(max < 1e-9, "parallel LU diverged by {max}");
 }
 
 #[test]
 fn health_on_rpx_matches_oracle() {
     let input = health::HealthInput::test();
-    assert_eq!(with_rpx(|sp| health::run(sp, input)), health::run_serial(input));
+    assert_eq!(
+        with_rpx(|sp| health::run(sp, input)),
+        health::run_serial(input)
+    );
 }
 
 #[test]
@@ -125,19 +146,33 @@ fn qap_on_rpx_finds_the_optimal_cost() {
 #[test]
 fn intersim_on_rpx_matches_oracle() {
     let input = intersim::IntersimInput::test();
-    assert_eq!(with_rpx(|sp| intersim::run(sp, input)), intersim::run_serial(input));
+    assert_eq!(
+        with_rpx(|sp| intersim::run(sp, input)),
+        intersim::run_serial(input)
+    );
 }
 
 #[test]
 fn round_on_rpx_matches_oracle() {
     let input = round::RoundInput::test();
-    assert_eq!(with_rpx(|sp| round::run(sp, input)), round::run_serial(input));
+    assert_eq!(
+        with_rpx(|sp| round::run(sp, input)),
+        round::run_serial(input)
+    );
 }
 
 #[test]
 fn round_on_std_matches_oracle() {
-    let input = round::RoundInput { players: 4, rounds: 2, work: 500, seed: 3 };
-    assert_eq!(with_std(|sp| round::run(sp, input)), round::run_serial(input));
+    let input = round::RoundInput {
+        players: 4,
+        rounds: 2,
+        work: 500,
+        seed: 3,
+    };
+    assert_eq!(
+        with_std(|sp| round::run(sp, input)),
+        round::run_serial(input)
+    );
 }
 
 #[test]
@@ -149,9 +184,13 @@ fn counters_observe_an_inncabs_run() {
     let sp = RpxSpawner::new(rt.handle());
     let _ = nqueens::run(&sp, nqueens::NQueensInput { n: 7 });
     rt.wait_idle();
-    let tasks =
-        reg.evaluate("/threads{locality#0/total}/count/cumulative", false).unwrap().value;
-    let avg = reg.evaluate("/threads{locality#0/total}/time/average", false).unwrap();
+    let tasks = reg
+        .evaluate("/threads{locality#0/total}/count/cumulative", false)
+        .unwrap()
+        .value;
+    let avg = reg
+        .evaluate("/threads{locality#0/total}/time/average", false)
+        .unwrap();
     // nqueens(7) explores a few hundred placements — each one a task.
     assert!(tasks > 100, "expected >100 tasks, saw {tasks}");
     assert!(avg.status.is_ok() && avg.value > 0);

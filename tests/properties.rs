@@ -28,7 +28,10 @@ fn instance_part() -> impl Strategy<Value = InstancePart> {
 fn counter_name() -> impl Strategy<Value = CounterName> {
     (
         ident(),
-        proptest::option::of((instance_part(), proptest::collection::vec(instance_part(), 0..3))),
+        proptest::option::of((
+            instance_part(),
+            proptest::collection::vec(instance_part(), 0..3),
+        )),
         proptest::collection::vec(ident(), 1..4),
         proptest::option::of("[a-z0-9,/@.-]{1,20}"),
     )
@@ -255,7 +258,10 @@ fn tree_sum(h: &rpx::runtime::RuntimeHandle, shape: &TreeShape, depth: usize, id
             h.spawn(move || tree_sum(&h2, &shape2, depth + 1, child_id))
         })
         .collect();
-    id + futures.into_iter().map(|f| rpx::runtime::TaskFuture::get(f)).sum::<u64>()
+    id + futures
+        .into_iter()
+        .map(rpx::runtime::TaskFuture::get)
+        .sum::<u64>()
 }
 
 fn tree_sum_serial(shape: &TreeShape, depth: usize, id: u64) -> u64 {

@@ -9,7 +9,12 @@ use rpx_bench::{figure, measure_scaling, scaling_limit, table1, table5};
 fn fine_grained_hpx_dominates_std_across_the_suite() {
     // §VI: for every very-fine benchmark that the baseline completes at
     // all, the lightweight runtime is much faster at 8 cores.
-    for b in [Benchmark::Fib, Benchmark::Fft, Benchmark::Uts, Benchmark::Health] {
+    for b in [
+        Benchmark::Fib,
+        Benchmark::Fft,
+        Benchmark::Uts,
+        Benchmark::Health,
+    ] {
         let g = b.sim_graph(InputScale::Test);
         let hpx = simulate(&g, &SimConfig::hpx(8));
         let std = simulate(&g, &SimConfig::std_async(8));
@@ -49,7 +54,10 @@ fn task_overhead_is_sub_microsecond_like_the_paper() {
     let g = Benchmark::Fib.sim_graph(InputScale::Test);
     let r = simulate(&g, &SimConfig::hpx(1));
     let ovh = r.avg_overhead_ns();
-    assert!((400.0..1_500.0).contains(&ovh), "per-task overhead {ovh:.0}ns");
+    assert!(
+        (400.0..1_500.0).contains(&ovh),
+        "per-task overhead {ovh:.0}ns"
+    );
 }
 
 #[test]
@@ -57,36 +65,56 @@ fn very_fine_scaling_is_socket_limited() {
     // Figs. 5/6/11/12: very fine benchmarks stop scaling around the
     // socket boundary; coarse ones keep going.
     let fine = measure_scaling(Benchmark::Uts, InputScale::Paper, SimRuntimeKind::hpx());
-    let coarse =
-        measure_scaling(Benchmark::Alignment, InputScale::Paper, SimRuntimeKind::hpx());
+    let coarse = measure_scaling(
+        Benchmark::Alignment,
+        InputScale::Paper,
+        SimRuntimeKind::hpx(),
+    );
     let fine_limit = scaling_limit(&fine).unwrap();
     let coarse_limit = scaling_limit(&coarse).unwrap();
     assert!(
         coarse_limit >= fine_limit,
         "coarse ({coarse_limit}) should scale at least as far as very fine ({fine_limit})"
     );
-    assert!(coarse_limit >= 14, "alignment should scale near 20, got {coarse_limit}");
+    assert!(
+        coarse_limit >= 14,
+        "alignment should scale near 20, got {coarse_limit}"
+    );
 }
 
 #[test]
 fn alignment_speedup_matches_paper_factor() {
     // §VI: Alignment reaches speedup ≈17 on 20 cores.
-    let sweep =
-        measure_scaling(Benchmark::Alignment, InputScale::Paper, SimRuntimeKind::hpx());
+    let sweep = measure_scaling(
+        Benchmark::Alignment,
+        InputScale::Paper,
+        SimRuntimeKind::hpx(),
+    );
     let s = sweep.speedup_at(20).unwrap();
-    assert!((12.0..=20.0).contains(&s), "alignment speedup at 20 cores: {s:.1} (paper: 17)");
+    assert!(
+        (12.0..=20.0).contains(&s),
+        "alignment speedup at 20 cores: {s:.1} (paper: 17)"
+    );
 }
 
 #[test]
 fn overheads_track_execution_gap() {
     // Figs. 8–12: for coarse grain the exec time is almost all task time;
     // for very fine grain scheduling overhead is a significant share.
-    let coarse = simulate(&Benchmark::Alignment.sim_graph(InputScale::Test), &SimConfig::hpx(4));
-    let fine = simulate(&Benchmark::Fib.sim_graph(InputScale::Test), &SimConfig::hpx(4));
-    let coarse_share =
-        coarse.total_overhead_ns as f64 / coarse.total_exec_ns.max(1) as f64;
+    let coarse = simulate(
+        &Benchmark::Alignment.sim_graph(InputScale::Test),
+        &SimConfig::hpx(4),
+    );
+    let fine = simulate(
+        &Benchmark::Fib.sim_graph(InputScale::Test),
+        &SimConfig::hpx(4),
+    );
+    let coarse_share = coarse.total_overhead_ns as f64 / coarse.total_exec_ns.max(1) as f64;
     let fine_share = fine.total_overhead_ns as f64 / fine.total_exec_ns.max(1) as f64;
-    assert!(coarse_share < 0.01, "coarse overhead share {coarse_share:.4}");
+    assert!(
+        coarse_share < 0.01,
+        "coarse overhead share {coarse_share:.4}"
+    );
     assert!(fine_share > 0.2, "fine overhead share {fine_share:.4}");
 }
 
@@ -96,11 +124,23 @@ fn bandwidth_figures_saturate_at_the_socket_then_grow_across() {
     // per-socket controllers.
     let fig = figure(13, InputScale::Paper).unwrap();
     let bw = &fig.series[0];
-    let at = |c: u32| bw.points.iter().find(|p| p.0 == c).and_then(|p| p.1).unwrap();
+    let at = |c: u32| {
+        bw.points
+            .iter()
+            .find(|p| p.0 == c)
+            .and_then(|p| p.1)
+            .unwrap()
+    };
     assert!(at(10) > at(1), "bandwidth must grow to the socket boundary");
     let cap = rpx::simnode::MachineConfig::ivy_bridge_2s10c().mem_bw_per_socket_gbps;
-    assert!(at(10) <= cap * 1.2, "one socket cannot exceed its controllers");
-    assert!(at(20) >= at(10) * 0.8, "second socket must not collapse bandwidth");
+    assert!(
+        at(10) <= cap * 1.2,
+        "one socket cannot exceed its controllers"
+    );
+    assert!(
+        at(20) >= at(10) * 0.8,
+        "second socket must not collapse bandwidth"
+    );
 }
 
 #[test]
@@ -117,7 +157,10 @@ fn floorplan_ordering_anomaly_global_vs_local_queues() {
     }
     let global = simulate(&g, &cfg);
     assert!(local.completed() && global.completed());
-    assert_eq!(local.tasks_executed, global.tasks_executed, "budget fixes the task count");
+    assert_eq!(
+        local.tasks_executed, global.tasks_executed,
+        "budget fixes the task count"
+    );
     // Local queues avoid the contention of one shared queue.
     assert!(local.makespan_ns <= global.makespan_ns * 11 / 10);
 }
@@ -143,7 +186,9 @@ fn all_fourteen_figures_build_at_test_scale() {
         assert!(!fig.series.is_empty(), "figure {id} empty");
         // Every figure has at least one finite point.
         assert!(
-            fig.series.iter().any(|s| s.points.iter().any(|p| p.1.is_some())),
+            fig.series
+                .iter()
+                .any(|s| s.points.iter().any(|p| p.1.is_some())),
             "figure {id} has no data"
         );
     }
