@@ -1,0 +1,99 @@
+//! The spawn → schedule → complete → join hot path, isolated.
+//!
+//! Every case here stresses one leg of the path the paper's Task Overhead
+//! counter measures: the uncontended external spawn (no worker parked →
+//! the wake path must not serialize spawners), the worker-local spawn
+//! (push-local + help-wait join, the fork/join inner loop), and burst
+//! joins (completion must not broadcast to waiters that do not exist).
+//! Run before/after hot-path changes; EXPERIMENTS.md records the deltas.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rpx_runtime::{Runtime, RuntimeConfig, RuntimeHandle};
+
+/// External spawn + external join on a busy-free single-worker runtime:
+/// the uncontended spawn path (sleeper wake + future completion).
+fn bench_uncontended_spawn_join(c: &mut Criterion) {
+    let rt = Runtime::new(RuntimeConfig::with_workers(1));
+    let mut g = c.benchmark_group("spawn_overhead");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(20);
+    g.bench_function("external_spawn_join", |b| {
+        b.iter(|| rt.spawn(|| black_box(1u64)).get())
+    });
+    g.finish();
+    rt.shutdown();
+}
+
+/// Spawn from inside a task (push-local) and join with a helping wait:
+/// the fork/join inner loop of fib/nqueens/uts.
+fn bench_worker_local_spawn_join(c: &mut Criterion) {
+    let rt = Runtime::new(RuntimeConfig::with_workers(1));
+    let h = rt.handle();
+    let mut g = c.benchmark_group("spawn_overhead");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(20);
+    g.bench_function("worker_local_spawn_join", |b| {
+        b.iter(|| {
+            let h2 = h.clone();
+            rt.spawn(move || h2.spawn(|| black_box(1u64)).get()).get()
+        })
+    });
+    g.finish();
+    rt.shutdown();
+}
+
+/// A burst of tasks joined afterwards: completions almost never have a
+/// blocked waiter, so the complete path should stay condvar-free.
+fn bench_burst_spawn_then_join(c: &mut Criterion) {
+    let rt = Runtime::new(RuntimeConfig::with_workers(2));
+    let mut g = c.benchmark_group("spawn_overhead");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(15);
+    g.bench_function("burst_512_join", |b| {
+        b.iter(|| {
+            let futures: Vec<_> = (0..512).map(|_| rt.spawn(|| black_box(()))).collect();
+            for f in futures {
+                f.get();
+            }
+        })
+    });
+    g.finish();
+    rt.shutdown();
+}
+
+/// Recursive fork/join: the workload whose overhead counter EXPERIMENTS.md
+/// tracks at larger depth through the `overhead_probe` binary.
+fn bench_fib_recursive(c: &mut Criterion) {
+    let rt = Runtime::new(RuntimeConfig::with_workers(2));
+    let h = rt.handle();
+    fn fib(h: &RuntimeHandle, n: u64) -> u64 {
+        if n < 2 {
+            return n;
+        }
+        let h2 = h.clone();
+        let a = h.spawn(move || fib(&h2, n - 1));
+        let b = fib(h, n - 2);
+        a.get() + b
+    }
+    let mut g = c.benchmark_group("spawn_overhead");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
+    g.bench_function("fib_16", |b| b.iter(|| fib(&h, 16)));
+    g.finish();
+    rt.shutdown();
+}
+
+criterion_group!(
+    benches,
+    bench_uncontended_spawn_join,
+    bench_worker_local_spawn_join,
+    bench_burst_spawn_then_join,
+    bench_fib_recursive
+);
+criterion_main!(benches);

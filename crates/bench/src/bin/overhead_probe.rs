@@ -1,0 +1,72 @@
+//! Intrinsic spawn-overhead probe: runs recursive fib on the lightweight
+//! runtime and prints the paper's task-overhead counters for that run.
+//!
+//! This is the "measure the runtime with its own counters" companion of the
+//! `spawn_overhead` criterion bench: where the bench times the spawn/join
+//! path from outside, this probe reads `/threads/time/average-overhead`
+//! (Task Overhead, PAPER.md §IV) from inside the run that produced it.
+//!
+//! ```sh
+//! cargo run --release -p rpx-bench --bin overhead_probe            # fib(30)
+//! cargo run --release -p rpx-bench --bin overhead_probe -- 20 2   # fib(20), 2 workers
+//! ```
+
+use std::time::Instant;
+
+use rpx_runtime::{Runtime, RuntimeConfig, RuntimeHandle};
+
+fn fib(h: &RuntimeHandle, n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let h2 = h.clone();
+    let a = h.spawn(move || fib(&h2, n - 1));
+    let b = fib(h, n - 2);
+    a.get() + b
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(30);
+    let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    });
+
+    let rt = Runtime::new(RuntimeConfig::with_workers(workers));
+    let reg = rt.registry();
+    let h = rt.handle();
+
+    let t0 = Instant::now();
+    let result = fib(&h, n);
+    let wall = t0.elapsed();
+    rt.wait_idle();
+
+    let read = |name: &str| {
+        reg.evaluate(name, false)
+            .map(|v| v.value)
+            .unwrap_or_default()
+    };
+    let tasks = read("/threads{locality#0/total}/count/cumulative");
+    let avg_overhead = read("/threads{locality#0/total}/time/average-overhead");
+    let avg_exec = read("/threads{locality#0/total}/time/average");
+    let avg_wait = read("/threads{locality#0/total}/time/average-wait");
+    let cum_overhead = read("/threads{locality#0/total}/time/cumulative-overhead");
+    let idle_rate = read("/threads{locality#0/total}/idle-rate");
+    let underflows = read("/runtime{locality#0/total}/health/pending-underflows");
+
+    println!("fib({n}) = {result}  [{workers} workers]");
+    println!(
+        "wall-clock                                   {:>12.3} ms",
+        wall.as_secs_f64() * 1e3
+    );
+    println!("/threads/count/cumulative                    {tasks:>12}");
+    println!("/threads/time/average-overhead               {avg_overhead:>12} ns/task");
+    println!("/threads/time/average                        {avg_exec:>12} ns/task");
+    println!("/threads/time/average-wait                   {avg_wait:>12} ns/task");
+    println!("/threads/time/cumulative-overhead            {cum_overhead:>12} ns");
+    println!("/threads/idle-rate                           {idle_rate:>12} [0.01%]");
+    println!("/runtime/health/pending-underflows           {underflows:>12}");
+    rt.shutdown();
+}

@@ -195,6 +195,52 @@ fn register_total_raw(
     );
 }
 
+/// Register a total-only monotonically increasing counter.
+fn register_total_monotonic(
+    registry: &Arc<CounterRegistry>,
+    inner: &Arc<RuntimeInner>,
+    type_path: &'static str,
+    help: &'static str,
+    unit: &'static str,
+    read: fn(&RuntimeInner) -> i64,
+) {
+    let weak: Weak<RuntimeInner> = Arc::downgrade(inner);
+    let (object, counter) = split_type_path(type_path);
+    let locality = inner.config.locality;
+    let clock = registry.clock();
+    registry.register_type(
+        CounterInfo::new(type_path, CounterKind::MonotonicallyIncreasing, help, unit),
+        Arc::new(move |name, _reg| {
+            match &name.instance {
+                None => {}
+                Some(i) if i.is_total() => {}
+                Some(_) => {
+                    return Err(CounterError::UnknownInstance(format!(
+                        "`{name}` exists only as the total instance"
+                    )))
+                }
+            }
+            let weak = weak.clone();
+            let value: rpx_counters::counter::ValueFn =
+                Arc::new(move || weak.upgrade().map(|i| read(&i)).unwrap_or(0));
+            let info = CounterInfo::new(
+                name.canonical(),
+                CounterKind::MonotonicallyIncreasing,
+                help,
+                unit,
+            );
+            Ok(Arc::new(MonotonicCounter::new(info, clock.clone(), value))
+                as Arc<dyn rpx_counters::Counter>)
+        }),
+        Some({
+            let base = CounterName::new(object, counter);
+            Arc::new(move |f: &mut dyn FnMut(CounterName)| {
+                f(base.reinstantiate(CounterInstance::total(locality)));
+            })
+        }),
+    );
+}
+
 fn split_type_path(type_path: &'static str) -> (&'static str, &'static str) {
     let rest = type_path
         .strip_prefix('/')
@@ -375,6 +421,17 @@ pub(crate) fn register_runtime_counters(
         "tasks queued, not yet started",
         "1",
         |i| i.scheduler.pending_tasks(),
+    );
+    // Accounting drift detector: the pending counter's public view clamps
+    // at zero, so genuine underflows (a decrement without a matching push)
+    // would otherwise be invisible. Any nonzero value here is a bug.
+    register_total_monotonic(
+        registry,
+        inner,
+        "/runtime/health/pending-underflows",
+        "times the pending-task counter was decremented below zero (accounting drift)",
+        "1",
+        |i| i.scheduler.pending_underflows() as i64,
     );
     register_total_raw(
         registry,

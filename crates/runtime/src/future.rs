@@ -6,16 +6,25 @@
 //! block instead *helps* — it executes other pending tasks until the value
 //! arrives. This keeps every core busy during deeply recursive fork/join
 //! patterns (Fib, Sort, Strassen, …) without stackful coroutines, while
-//! external (non-worker) threads block on a condition variable.
+//! external (non-worker) threads block on a waiter-counted gate.
+//!
+//! Completion is lock-light: `complete*` publishes the result under the
+//! state lock (uncontended for scheduled tasks — nothing else touches the
+//! state before readiness), flips the `ready` flag, and wakes waiters
+//! through an [`EventGate`](crate::sync::EventGate) whose `notify` is a
+//! single atomic load when nobody blocks. Worker help-waits poll `ready`
+//! and never register with the gate, so the fork/join inner loop of
+//! spawn-heavy benchmarks never touches a condition variable.
 
 use std::any::Any;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 
 use crate::cancel::TaskCancelled;
+use crate::sync::EventGate;
 use crate::worker;
 
 type DeferredFn = Box<dyn FnOnce() + Send>;
@@ -37,17 +46,24 @@ enum State<T> {
 
 pub(crate) struct Shared<T> {
     state: Mutex<State<T>>,
-    cond: Condvar,
     ready: AtomicBool,
+    gate: EventGate,
 }
 
 impl<T> Shared<T> {
-    pub(crate) fn new() -> Arc<Self> {
-        Arc::new(Shared {
+    /// A fresh, pending shared state for embedding (see `runtime::TaskCell`
+    /// — the scheduled-task fast path allocates the state and the task body
+    /// in one `Arc`).
+    pub(crate) fn fresh() -> Self {
+        Shared {
             state: Mutex::new(State::Pending),
-            cond: Condvar::new(),
             ready: AtomicBool::new(false),
-        })
+            gate: EventGate::new(),
+        }
+    }
+
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Shared::fresh())
     }
 
     pub(crate) fn set_deferred(&self, f: DeferredFn) {
@@ -59,37 +75,45 @@ impl<T> Shared<T> {
         *s = State::Deferred(f);
     }
 
+    /// Publish a final state: install it, flip `ready`, wake external
+    /// waiters (an atomic load when there are none — the common case).
+    fn finish(&self, state: State<T>) {
+        {
+            let mut s = self.state.lock();
+            *s = state;
+        }
+        // SeqCst pairs with the gate's waiter registration; see EventGate.
+        self.ready.store(true, Ordering::SeqCst);
+        self.gate.notify();
+    }
+
     /// Install the result and wake every waiter.
     pub(crate) fn complete(&self, value: T) {
-        let mut s = self.state.lock();
-        *s = State::Ready(Some(value));
-        self.ready.store(true, Ordering::Release);
-        self.cond.notify_all();
+        self.finish(State::Ready(Some(value)));
     }
 
     /// Install a panic payload and wake every waiter.
     pub(crate) fn complete_panicked(&self, payload: Box<dyn Any + Send>) {
-        let mut s = self.state.lock();
-        *s = State::Panicked(Some(payload));
-        self.ready.store(true, Ordering::Release);
-        self.cond.notify_all();
+        self.finish(State::Panicked(Some(payload)));
     }
 
     /// Mark the future cancelled (task skipped at dispatch) and wake every
     /// waiter; `get` re-raises [`TaskCancelled`].
     pub(crate) fn complete_cancelled(&self) {
-        let mut s = self.state.lock();
-        *s = State::Cancelled;
-        self.ready.store(true, Ordering::Release);
-        self.cond.notify_all();
+        self.finish(State::Cancelled);
     }
 
     fn is_ready(&self) -> bool {
-        self.ready.load(Ordering::Acquire)
+        self.ready.load(Ordering::SeqCst)
     }
 
     fn is_cancelled(&self) -> bool {
         self.is_ready() && matches!(*self.state.lock(), State::Cancelled)
+    }
+
+    /// Whether the future still carries an unstarted deferred closure.
+    fn is_deferred(&self) -> bool {
+        matches!(*self.state.lock(), State::Deferred(_))
     }
 
     /// Run the deferred closure if this future carries one and nobody beat
@@ -128,38 +152,35 @@ impl<T> Shared<T> {
         if worker::on_worker_thread() {
             // Work-helping wait: execute other tasks instead of blocking
             // the worker (the scheduler equivalent of HPX suspending the
-            // waiting lightweight thread).
+            // waiting lightweight thread). Never registers with the gate.
             worker::help_while(|| !self.is_ready());
         } else {
-            let mut s = self.state.lock();
-            while !self.is_ready() {
-                self.cond.wait(&mut s);
-            }
+            self.gate.wait_until(|| self.is_ready());
         }
     }
 
     /// Bounded wait. Returns true when the future became ready in time.
+    ///
+    /// Never executes a deferred closure: a timed wait must complete in
+    /// bounded time, and the closure holds arbitrary user work.
     fn wait_timeout(&self, timeout: Duration) -> bool {
         if self.is_ready() {
             return true;
         }
-        if self.run_deferred_if_any() {
-            return true;
+        if self.is_deferred() {
+            // Hand the future back untouched; `get`/`wait` are the calls
+            // that trigger deferred execution. (If another thread already
+            // claimed the closure the state is `Running` and we fall
+            // through to a normal bounded wait.)
+            return false;
         }
         let deadline = Instant::now() + timeout;
         if worker::on_worker_thread() {
             worker::help_while(|| !self.is_ready() && Instant::now() < deadline);
+            self.is_ready()
         } else {
-            let mut s = self.state.lock();
-            while !self.is_ready() {
-                let now = Instant::now();
-                if now >= deadline {
-                    break;
-                }
-                self.cond.wait_for(&mut s, deadline - now);
-            }
+            self.gate.wait_deadline(deadline, || self.is_ready())
         }
-        self.is_ready()
     }
 
     fn take(&self) -> T {
@@ -174,27 +195,53 @@ impl<T> Shared<T> {
             _ => unreachable!("take() called before the future completed"),
         }
     }
+
+    /// Gate waiters currently registered (diagnostics/tests).
+    #[cfg(test)]
+    fn gate_waiters(&self) -> usize {
+        self.gate.waiters()
+    }
+}
+
+/// Type-erased access to a task's [`Shared`] state. Implemented by
+/// [`Shared`] itself (ready-made futures) and by `runtime::TaskCell` (the
+/// single-allocation cell holding state *and* task body), so a
+/// [`TaskFuture`] needs exactly one `Arc` regardless of how the task runs.
+pub(crate) trait FutureCore<T>: Send + Sync {
+    fn shared(&self) -> &Shared<T>;
+}
+
+impl<T: Send> FutureCore<T> for Shared<T> {
+    fn shared(&self) -> &Shared<T> {
+        self
+    }
 }
 
 /// Handle to the eventual result of a spawned task.
 pub struct TaskFuture<T> {
-    shared: Arc<Shared<T>>,
+    core: Arc<dyn FutureCore<T>>,
+}
+
+impl<T: Send + 'static> TaskFuture<T> {
+    pub(crate) fn new(shared: Arc<Shared<T>>) -> Self {
+        TaskFuture { core: shared }
+    }
 }
 
 impl<T> TaskFuture<T> {
-    pub(crate) fn new(shared: Arc<Shared<T>>) -> Self {
-        TaskFuture { shared }
+    pub(crate) fn from_core(core: Arc<dyn FutureCore<T>>) -> Self {
+        TaskFuture { core }
     }
 
     /// Whether the value (or a panic) is available without blocking.
     pub fn is_ready(&self) -> bool {
-        self.shared.is_ready()
+        self.core.shared().is_ready()
     }
 
     /// Block until the task finishes (helping with other work when called
     /// on a worker thread), without consuming the future.
     pub fn wait(&self) {
-        self.shared.wait();
+        self.core.shared().wait();
     }
 
     /// Wait for and return the task's result.
@@ -203,8 +250,9 @@ impl<T> TaskFuture<T> {
     ///
     /// Re-raises the task's panic if the task panicked.
     pub fn get(self) -> T {
-        self.shared.wait();
-        self.shared.take()
+        let shared = self.core.shared();
+        shared.wait();
+        shared.take()
     }
 
     /// The result if already available (consumes the future on success).
@@ -219,11 +267,17 @@ impl<T> TaskFuture<T> {
     /// Whether the task was cancelled before it ran. `get` on a cancelled
     /// future re-raises [`TaskCancelled`].
     pub fn is_cancelled(&self) -> bool {
-        self.shared.is_cancelled()
+        self.core.shared().is_cancelled()
     }
 
     /// Wait up to `timeout` for the result; on timeout the future is handed
     /// back so the caller can keep waiting or cancel.
+    ///
+    /// A timed wait never executes unbounded work on the calling thread:
+    /// if the future is deferred (`LaunchPolicy::Deferred`) and its closure
+    /// has not been started by another waiter, `get_timeout` returns
+    /// `Err(self)` immediately without running the closure — only `get` and
+    /// `wait` trigger deferred execution.
     ///
     /// On a worker thread the wait *helps* — it runs other pending tasks
     /// until the deadline, so the timeout is best-effort (a helped task can
@@ -233,8 +287,8 @@ impl<T> TaskFuture<T> {
     ///
     /// Re-raises the task's panic (or [`TaskCancelled`]) like `get`.
     pub fn get_timeout(self, timeout: Duration) -> Result<T, TaskFuture<T>> {
-        if self.shared.wait_timeout(timeout) {
-            Ok(self.shared.take())
+        if self.core.shared().wait_timeout(timeout) {
+            Ok(self.core.shared().take())
         } else {
             Err(self)
         }
@@ -250,7 +304,7 @@ impl<T> std::fmt::Debug for TaskFuture<T> {
 }
 
 /// A future that is ready immediately (`hpx::make_ready_future`).
-pub fn ready_future<T>(value: T) -> TaskFuture<T> {
+pub fn ready_future<T: Send + 'static>(value: T) -> TaskFuture<T> {
     let shared = Shared::new();
     shared.complete(value);
     TaskFuture::new(shared)
@@ -275,6 +329,18 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(5));
         shared.complete(99);
         assert_eq!(t.join().unwrap(), 99);
+        assert_eq!(shared.gate_waiters(), 0, "waiter must deregister");
+    }
+
+    #[test]
+    fn complete_without_waiters_skips_notification() {
+        let shared: Arc<Shared<i32>> = Shared::new();
+        assert_eq!(shared.gate_waiters(), 0);
+        shared.complete(1);
+        // No waiter was ever registered; a later get() must still succeed
+        // straight off the ready flag.
+        assert_eq!(shared.gate_waiters(), 0);
+        assert_eq!(TaskFuture::new(shared).get(), 1);
     }
 
     #[test]
@@ -300,6 +366,42 @@ mod tests {
     }
 
     #[test]
+    fn get_timeout_never_runs_deferred_closure() {
+        // Regression: `wait_timeout` used to call `run_deferred_if_any()`
+        // unconditionally, so `get_timeout(Duration::ZERO)` executed the
+        // entire deferred closure — unbounded work on a timed wait.
+        use std::sync::atomic::AtomicBool;
+        let shared: Arc<Shared<i32>> = Shared::new();
+        let ran = Arc::new(AtomicBool::new(false));
+        let (s2, r2) = (shared.clone(), ran.clone());
+        shared.set_deferred(Box::new(move || {
+            r2.store(true, Ordering::SeqCst);
+            s2.complete(7);
+        }));
+        let f = TaskFuture::new(shared);
+        let t0 = Instant::now();
+        let f = f
+            .get_timeout(Duration::ZERO)
+            .expect_err("timed wait must hand a deferred future back");
+        assert!(
+            !ran.load(Ordering::SeqCst),
+            "timed wait must not execute the deferred closure"
+        );
+        // Also with a non-zero timeout: still immediate, still unrun.
+        let f = f
+            .get_timeout(Duration::from_millis(50))
+            .expect_err("deferred future must come back untouched");
+        assert!(!ran.load(Ordering::SeqCst));
+        assert!(
+            t0.elapsed() < Duration::from_millis(40),
+            "deferred timed wait must return without waiting out the timeout"
+        );
+        // An unbounded wait still triggers the deferred run.
+        assert_eq!(f.get(), 7);
+        assert!(ran.load(Ordering::SeqCst));
+    }
+
+    #[test]
     fn panic_propagates_to_getter() {
         let shared: Arc<Shared<i32>> = Shared::new();
         shared.complete_panicked(Box::new("boom"));
@@ -316,6 +418,7 @@ mod tests {
         let f = f
             .get_timeout(Duration::from_millis(10))
             .expect_err("future must come back on timeout");
+        assert_eq!(shared.gate_waiters(), 0, "expired waiter must deregister");
         shared.complete(4);
         assert_eq!(f.get_timeout(Duration::from_secs(1)).ok(), Some(4));
     }

@@ -13,9 +13,9 @@ use rpx_papi::Pmu;
 
 use crate::cancel::CancelToken;
 use crate::faults::{FaultInjector, FaultPlan, InjectedFault};
-use crate::future::{Shared, TaskFuture};
+use crate::future::{FutureCore, Shared, TaskFuture};
 use crate::policy::LaunchPolicy;
-use crate::scheduler::{Scheduler, SchedulerMode, Task};
+use crate::scheduler::{Runnable, Scheduler, SchedulerMode, Task};
 use crate::stats::WorkerStats;
 use crate::trace::{TaskSpan, TaskTracer};
 use crate::{watchdog, worker};
@@ -309,7 +309,11 @@ impl Runtime {
     }
 
     fn stop_workers(&mut self) {
-        self.inner.shutdown.store(true, Ordering::Release);
+        // SeqCst so the store participates in the fence pairing of
+        // `wake_all` vs. worker sleeper registration: a worker that
+        // registered before our `wake_all` probe is unparked; one that
+        // registers after must observe the flag in its own probe.
+        self.inner.shutdown.store(true, Ordering::SeqCst);
         self.inner.scheduler.wake_all();
         for t in self.threads.drain(..) {
             let _ = t.join();
@@ -418,9 +422,11 @@ impl std::fmt::Debug for RuntimeHandle {
     }
 }
 
-/// Build the instrumented wrapper that runs `f`, records the execution
-/// into the executing worker's stats, completes `shared`, and maintains the
-/// live-task accounting (`track_live` for scheduled tasks).
+/// The single allocation behind a spawned task: the instrumented body
+/// (scheduler side, via [`Runnable`]) and the future's shared state
+/// (waiter side, via [`FutureCore`]) live in one `Arc`. Spawning used to
+/// allocate a boxed wrapper closure *plus* an `Arc<Shared<T>>`; the cell
+/// collapses both into one allocation and one refcount.
 ///
 /// All instrumentation happens *before* `complete()`, so a thread observing
 /// the future as ready is guaranteed to see the task in the counters —
@@ -428,37 +434,68 @@ impl std::fmt::Debug for RuntimeHandle {
 ///
 /// A `token` makes the dispatch cancellable: a task whose token is
 /// cancelled by dispatch time is skipped, its future completes cancelled.
-/// `faults` injects *recovered* task panics: the wrapper raises and catches
-/// an [`InjectedFault`] unwind, counts it, then runs the real body — the
+/// `faults` injects *recovered* task panics: the body raises and catches
+/// an [`InjectedFault`] unwind, counts it, then runs the real work — the
 /// result is still produced, which is what lets chaos tests assert both
 /// correct benchmark output and exact recovery counts.
-fn make_wrapper<T, F>(
-    shared: Arc<Shared<T>>,
+struct TaskCell<T, F> {
+    shared: Shared<T>,
+    /// The user closure, taken on first run (later runs are no-ops).
+    body: Mutex<Option<F>>,
     state: Arc<RuntimeState>,
-    task_id: u64,
-    f: F,
-    track_live: bool,
-    token: Option<CancelToken>,
     faults: Option<Arc<FaultInjector>>,
-) -> Box<dyn FnOnce() + Send>
+    token: Option<CancelToken>,
+    task_id: u64,
+    /// Spawn timestamp; start − spawn is the task's queue wait.
+    spawned_ns: u64,
+    /// Whether this task participates in the `live` count (scheduled
+    /// tasks; inline and deferred ones never enter a queue).
+    track_live: bool,
+}
+
+impl<T, F> TaskCell<T, F>
 where
     T: Send + 'static,
     F: FnOnce() -> T + Send + 'static,
 {
-    let spawned_ns = state.clock.now_ns();
-    Box::new(move || {
+    fn new(
+        inner: &Arc<RuntimeInner>,
+        task_id: u64,
+        f: F,
+        track_live: bool,
+        token: Option<CancelToken>,
+    ) -> Self {
+        TaskCell {
+            shared: Shared::fresh(),
+            body: Mutex::new(Some(f)),
+            state: inner.state.clone(),
+            faults: inner.faults.clone(),
+            token,
+            task_id,
+            spawned_ns: inner.state.clock.now_ns(),
+            track_live,
+        }
+    }
+
+    /// Run the task body with full instrumentation and complete the
+    /// embedded future. Idempotent: only the first caller gets the body.
+    fn run_body(&self) {
+        let Some(f) = self.body.lock().take() else {
+            return;
+        };
+        let state = &self.state;
         let idx = worker::current_worker_index().unwrap_or(0);
-        if let Some(token) = &token {
+        if let Some(token) = &self.token {
             if token.is_cancelled() {
                 state.stats[idx].cancelled.fetch_add(1, Ordering::Relaxed);
-                shared.complete_cancelled();
-                if track_live {
+                self.shared.complete_cancelled();
+                if self.track_live {
                     state.note_task_finished();
                 }
                 return;
             }
         }
-        if let Some(faults) = &faults {
+        if let Some(faults) = &self.faults {
             if faults.inject_task_panic() {
                 // Transient-fault-with-retry: exercise the unwind path,
                 // recover, and run the real body.
@@ -483,23 +520,43 @@ where
             .saturating_sub(nested_before);
         let net = gross.saturating_sub(nested_during);
         NESTED_EXEC_NS.with(|c| c.set(nested_before + gross));
-        let wait_ns = start.saturating_sub(spawned_ns);
+        let wait_ns = start.saturating_sub(self.spawned_ns);
         state.stats[idx].record_execution(net, wait_ns);
         state.tracer.record(TaskSpan {
-            task_id,
+            task_id: self.task_id,
             worker: idx as u32,
             start_ns: start,
             end_ns: end,
             wait_ns,
         });
         match result {
-            Ok(v) => shared.complete(v),
-            Err(p) => shared.complete_panicked(p),
+            Ok(v) => self.shared.complete(v),
+            Err(p) => self.shared.complete_panicked(p),
         }
-        if track_live {
+        if self.track_live {
             state.note_task_finished();
         }
-    })
+    }
+}
+
+impl<T, F> Runnable for TaskCell<T, F>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    fn run(&self) {
+        self.run_body();
+    }
+}
+
+impl<T, F> FutureCore<T> for TaskCell<T, F>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    fn shared(&self) -> &Shared<T> {
+        &self.shared
+    }
 }
 
 fn spawn_inner<T, F>(
@@ -512,86 +569,49 @@ where
     T: Send + 'static,
     F: FnOnce() -> T + Send + 'static,
 {
-    let shared = Shared::new();
-    let state = inner.state.clone();
-    let faults = inner.faults.clone();
     let task_id = inner.scheduler.next_task_id();
     let spawner = worker::current_worker_index();
     if let Some(idx) = spawner {
-        state.stats[idx].spawned.fetch_add(1, Ordering::Relaxed);
+        inner.state.stats[idx]
+            .spawned
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     match policy {
         LaunchPolicy::Sync => {
-            let wrapper = make_wrapper(
-                shared.clone(),
-                state.clone(),
-                task_id,
-                f,
-                false,
-                token,
-                faults,
-            );
-            run_inline(inner, wrapper);
+            let cell = Arc::new(TaskCell::new(inner, task_id, f, false, token));
+            cell.run_body();
+            TaskFuture::from_core(cell)
         }
         LaunchPolicy::Fork if spawner.is_some() => {
             // Continuation-stealing approximation: the child runs now, on
             // this worker, with no queue round-trip (see LaunchPolicy::Fork).
-            let wrapper = make_wrapper(
-                shared.clone(),
-                state.clone(),
-                task_id,
-                f,
-                false,
-                token,
-                faults,
-            );
-            run_inline(inner, wrapper);
+            let cell = Arc::new(TaskCell::new(inner, task_id, f, false, token));
+            cell.run_body();
+            TaskFuture::from_core(cell)
         }
         LaunchPolicy::Deferred => {
-            let inner2 = inner.clone();
-            let wrapper = make_wrapper(
-                shared.clone(),
-                state.clone(),
-                task_id,
-                f,
-                false,
-                token,
-                faults,
-            );
-            shared.set_deferred(Box::new(move || run_inline(&inner2, wrapper)));
+            let cell = Arc::new(TaskCell::new(inner, task_id, f, false, token));
+            let c2 = cell.clone();
+            cell.shared.set_deferred(Box::new(move || c2.run_body()));
+            TaskFuture::from_core(cell)
         }
         LaunchPolicy::Async | LaunchPolicy::Fork => {
-            state.live.fetch_add(1, Ordering::AcqRel);
-            let wrapper = make_wrapper(
-                shared.clone(),
-                state.clone(),
-                task_id,
-                f,
-                true,
-                token,
-                faults,
-            );
-            let t0 = state.clock.now_ns();
+            inner.state.live.fetch_add(1, Ordering::AcqRel);
+            let cell = Arc::new(TaskCell::new(inner, task_id, f, true, token));
+            let t0 = inner.state.clock.now_ns();
             let task = Task {
-                run: wrapper,
+                run: cell.clone(),
                 id: task_id,
             };
             let task = worker::push_local(inner, task).err();
             if let Some(task) = task {
                 inner.scheduler.push(task, None);
             }
-            let t1 = state.clock.now_ns();
+            let t1 = inner.state.clock.now_ns();
             let overhead_owner = spawner.unwrap_or(0);
-            state.stats[overhead_owner].record_overhead(t1.saturating_sub(t0));
+            inner.state.stats[overhead_owner].record_overhead(t1.saturating_sub(t0));
+            TaskFuture::from_core(cell)
         }
     }
-    TaskFuture::new(shared)
-}
-
-/// Execute a wrapper inline on the calling thread. The wrapper carries its
-/// own instrumentation, attributed to the calling worker (or worker 0 for
-/// external threads, documented in DESIGN.md §6).
-fn run_inline(_inner: &Arc<RuntimeInner>, wrapper: Box<dyn FnOnce() + Send>) {
-    wrapper();
 }

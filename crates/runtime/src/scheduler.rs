@@ -1,18 +1,35 @@
 //! The task scheduler: per-worker Chase–Lev deques with work stealing
 //! (default), or a single global FIFO queue (the `std::async` ordering used
 //! by the paper to explain the Floorplan anomaly).
+//!
+//! The spawn path is lock-light: `push` probes an atomic sleeper count and
+//! skips the `sleepers` mutex entirely when no worker is parked (the steady
+//! state of a saturated fork/join run). The count and the queues form a
+//! Dekker-style flag/flag protocol — see DESIGN.md §"hot path" for the
+//! memory-ordering argument.
 
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker as Deque};
 use crossbeam::sync::Unparker;
 use parking_lot::Mutex;
 
-/// A runnable task. Execution instrumentation (timing, queue wait) lives
-/// inside the wrapper closure, which captures its own spawn timestamp.
+/// A schedulable task body. Implemented by the runtime's single-allocation
+/// task cell (`runtime::TaskCell`), which carries the instrumented wrapper
+/// logic *and* the future's shared state behind one `Arc`.
+pub(crate) trait Runnable: Send + Sync {
+    /// Run the task body exactly once; later calls must be no-ops.
+    fn run(&self);
+}
+
+/// A runnable task. `run` is the same allocation the spawner's future
+/// points at — spawning allocates once, not once per wrapper plus once per
+/// shared state.
 pub(crate) struct Task {
-    /// Instrumented wrapper: runs the user closure and completes the future.
-    pub run: Box<dyn FnOnce() + Send>,
+    /// Instrumented task cell: runs the user closure and completes the
+    /// future it embeds.
+    pub run: Arc<dyn Runnable>,
     /// Monotonic task id (used by scheduler tests and diagnostics).
     #[cfg_attr(not(test), allow(dead_code))]
     pub id: u64,
@@ -46,13 +63,23 @@ pub(crate) struct Scheduler {
     /// Local deque of each worker, parked here until its thread claims it.
     pub deques: Vec<Mutex<Option<Deque<Task>>>>,
     pub stealers: Vec<Stealer<Task>>,
-    /// Tasks queued but not yet started.
+    /// Tasks queued but not yet started. Workers batch their decrements
+    /// (see `worker::PendingBatch`), so transient over-counts are expected;
+    /// negative drift is not, and is tracked by `underflows`.
     pub pending: AtomicI64,
+    /// Observed `pending` underflows (decrement beyond zero) — drift in the
+    /// spawn/start accounting. Exposed as
+    /// `/runtime/health/pending-underflows`.
+    pub underflows: AtomicU64,
     /// Monotonic id source.
     pub next_id: AtomicU64,
     /// Workers currently parked (worker index, unparker), waiting to be
     /// woken on new work.
     pub sleepers: Mutex<Vec<(usize, Unparker)>>,
+    /// Mirror of `sleepers.len()`, written under the `sleepers` lock and
+    /// probed lock-free by `wake_one`/`wake_all` so the spawn path skips
+    /// the mutex whenever no worker is parked.
+    sleeper_count: AtomicUsize,
 }
 
 impl Scheduler {
@@ -65,8 +92,10 @@ impl Scheduler {
             deques: deques.into_iter().map(|d| Mutex::new(Some(d))).collect(),
             stealers,
             pending: AtomicI64::new(0),
+            underflows: AtomicU64::new(0),
             next_id: AtomicU64::new(0),
             sleepers: Mutex::new(Vec::new()),
+            sleeper_count: AtomicUsize::new(0),
         }
     }
 
@@ -133,52 +162,123 @@ impl Scheduler {
         }
     }
 
-    /// Approximate number of queued tasks.
+    /// Whether any queue (injector or a worker deque) currently holds a
+    /// task. A racy snapshot — used as the park gate, where a false
+    /// positive costs one extra find pass and a false negative is covered
+    /// by the sleeper-registration protocol.
+    pub(crate) fn has_queued_work(&self) -> bool {
+        !self.injector.is_empty() || self.stealers.iter().any(|s| !s.is_empty())
+    }
+
+    /// Approximate number of queued tasks. Clamped at zero: workers batch
+    /// their decrements, so the raw value can transiently over-count, and
+    /// accounting bugs could push it negative — real drift is surfaced via
+    /// [`Scheduler::pending_underflows`] instead of silently hidden here.
     pub(crate) fn pending_tasks(&self) -> i64 {
         self.pending.load(Ordering::Relaxed).max(0)
     }
 
-    pub(crate) fn note_started(&self) {
-        self.pending.fetch_sub(1, Ordering::Relaxed);
+    /// Record `n` tasks leaving the queue (batched by workers). Underflow
+    /// means a decrement without a matching `push` — counted (and fatal
+    /// under debug assertions) rather than clamped away.
+    pub(crate) fn note_started_n(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let prev = self.pending.fetch_sub(n as i64, Ordering::Relaxed);
+        if prev < n as i64 {
+            self.underflows.fetch_add(1, Ordering::Relaxed);
+            debug_assert!(
+                prev >= n as i64,
+                "pending underflow: started {n} with only {prev} pending"
+            );
+        }
+    }
+
+    /// Times the `pending` counter was decremented below zero.
+    pub(crate) fn pending_underflows(&self) -> u64 {
+        self.underflows.load(Ordering::Relaxed)
     }
 
     /// Park registration: the worker registers its unparker *before* its
     /// final work check so a concurrent push cannot be lost. Re-registering
     /// the same worker is a no-op (the list stays bounded by worker count).
+    ///
+    /// The trailing `SeqCst` fence orders the registration before the
+    /// caller's queue re-probe; it pairs with the fence in
+    /// `wake_one`/`wake_all` (push before count probe). One of the two
+    /// always observes the other — see DESIGN.md §"hot path".
     pub(crate) fn register_sleeper(&self, index: usize, unparker: Unparker) {
-        let mut s = self.sleepers.lock();
-        if !s.iter().any(|(i, _)| *i == index) {
-            s.push((index, unparker));
+        {
+            let mut s = self.sleepers.lock();
+            if !s.iter().any(|(i, _)| *i == index) {
+                s.push((index, unparker));
+            }
+            self.sleeper_count.store(s.len(), Ordering::SeqCst);
         }
+        fence(Ordering::SeqCst);
     }
 
     /// Remove the worker's registration after it wakes (by token or timeout).
     pub(crate) fn deregister_sleeper(&self, index: usize) {
-        self.sleepers.lock().retain(|(i, _)| *i != index);
+        let mut s = self.sleepers.lock();
+        s.retain(|(i, _)| *i != index);
+        self.sleeper_count.store(s.len(), Ordering::SeqCst);
     }
 
+    /// Wake one parked worker, if any. When none is parked — the steady
+    /// state of a saturated run — this is a fence plus one atomic load; the
+    /// `sleepers` mutex is never touched.
     pub(crate) fn wake_one(&self) {
-        let u = self.sleepers.lock().pop();
+        fence(Ordering::SeqCst);
+        if self.sleeper_count.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let u = {
+            let mut s = self.sleepers.lock();
+            let u = s.pop();
+            self.sleeper_count.store(s.len(), Ordering::SeqCst);
+            u
+        };
         if let Some((_, u)) = u {
             u.unpark();
         }
     }
 
+    /// Wake every parked worker (shutdown, wait_idle). Same fast path as
+    /// [`Scheduler::wake_one`].
     pub(crate) fn wake_all(&self) {
+        fence(Ordering::SeqCst);
+        if self.sleeper_count.load(Ordering::Relaxed) == 0 {
+            return;
+        }
         let mut s = self.sleepers.lock();
         for (_, u) in s.drain(..) {
             u.unpark();
         }
+        self.sleeper_count.store(0, Ordering::SeqCst);
+    }
+
+    /// Sleepers currently registered (tests/diagnostics; immediately stale).
+    #[cfg(test)]
+    pub(crate) fn sleeper_count(&self) -> usize {
+        self.sleeper_count.load(Ordering::SeqCst)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crossbeam::sync::Parker;
+
+    struct Nop;
+    impl Runnable for Nop {
+        fn run(&self) {}
+    }
 
     fn task(id: u64) -> Task {
         Task {
-            run: Box::new(|| {}),
+            run: Arc::new(Nop),
             id,
         }
     }
@@ -237,8 +337,76 @@ mod tests {
         s.push(task(2), Some(&local));
         assert_eq!(s.pending_tasks(), 2);
         let _ = s.find(0, &local).unwrap();
-        s.note_started();
+        s.note_started_n(1);
         assert_eq!(s.pending_tasks(), 1);
+    }
+
+    #[test]
+    fn batched_starts_decrement_pending() {
+        let s = Scheduler::new(1, SchedulerMode::LocalQueues);
+        let local = s.deques[0].lock().take().unwrap();
+        for i in 0..5 {
+            s.push(task(i), Some(&local));
+        }
+        s.note_started_n(0); // no-op
+        assert_eq!(s.pending_tasks(), 5);
+        s.note_started_n(3);
+        assert_eq!(s.pending_tasks(), 2);
+        s.note_started_n(2);
+        assert_eq!(s.pending_tasks(), 0);
+        assert_eq!(s.pending_underflows(), 0);
+    }
+
+    #[test]
+    fn pending_underflow_is_counted_not_clamped_away() {
+        let s = Scheduler::new(1, SchedulerMode::LocalQueues);
+        assert_eq!(s.pending_underflows(), 0);
+        // A decrement with nothing pending is an accounting bug: fatal
+        // under debug assertions, counted (and still clamped in
+        // pending_tasks) in release.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| s.note_started_n(1)));
+        if cfg!(debug_assertions) {
+            assert!(r.is_err(), "underflow must trip the debug assertion");
+        } else {
+            assert!(r.is_ok());
+        }
+        assert_eq!(s.pending_underflows(), 1, "drift must be surfaced");
+        assert_eq!(s.pending_tasks(), 0, "public view stays clamped");
+    }
+
+    #[test]
+    fn sleeper_count_mirrors_registrations() {
+        let s = Scheduler::new(2, SchedulerMode::LocalQueues);
+        let p0 = Parker::new();
+        let p1 = Parker::new();
+        assert_eq!(s.sleeper_count(), 0);
+        s.register_sleeper(0, p0.unparker().clone());
+        s.register_sleeper(0, p0.unparker().clone()); // idempotent
+        assert_eq!(s.sleeper_count(), 1);
+        s.register_sleeper(1, p1.unparker().clone());
+        assert_eq!(s.sleeper_count(), 2);
+        s.wake_one();
+        assert_eq!(s.sleeper_count(), 1);
+        s.deregister_sleeper(0);
+        s.deregister_sleeper(1);
+        assert_eq!(s.sleeper_count(), 0);
+        // Fast path: waking with nobody parked must not underflow or hang.
+        s.wake_one();
+        s.wake_all();
+        assert_eq!(s.sleeper_count(), 0);
+    }
+
+    #[test]
+    fn queued_work_probe_sees_injector_and_deques() {
+        let s = Scheduler::new(2, SchedulerMode::LocalQueues);
+        let local = s.deques[0].lock().take().unwrap();
+        assert!(!s.has_queued_work());
+        s.push(task(1), None);
+        assert!(s.has_queued_work(), "probe must see the injector");
+        assert!(s.find(0, &local).is_some());
+        assert!(!s.has_queued_work());
+        s.push(task(2), Some(&local));
+        assert!(s.has_queued_work(), "probe must see worker deques");
     }
 
     #[test]

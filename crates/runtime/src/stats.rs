@@ -72,6 +72,13 @@ impl WorkerStats {
         self.overhead_ops.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record time spent looking for work unsuccessfully (including parked
+    /// time). Every find-miss window must land here so the per-worker time
+    /// balance (exec + overhead + idle ≈ wall) holds.
+    pub fn record_idle(&self, ns: u64) {
+        self.idle_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
     /// Snapshot of (executed, exec_ns) for average counters.
     pub fn exec_pair(&self) -> (u64, u64) {
         (

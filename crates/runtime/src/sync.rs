@@ -1,10 +1,13 @@
 //! Instrumented synchronization primitives (`hpx::lcos::local::mutex`
-//! analogue). Lock traffic is counted process-wide and can be exposed as
+//! analogue) and the waiter-counted [`EventGate`] used by the runtime's
+//! hot paths. Lock traffic is counted process-wide and can be exposed as
 //! `/synchronization/*` counters on any registry.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
+use parking_lot::Condvar;
 use rpx_counters::CounterRegistry;
 
 static LOCK_ACQUISITIONS: AtomicU64 = AtomicU64::new(0);
@@ -56,6 +59,101 @@ impl<T> Mutex<T> {
 impl<T: Default> Default for Mutex<T> {
     fn default() -> Self {
         Mutex::new(T::default())
+    }
+}
+
+/// A waiter-counted wakeup gate: `notify()` is a single atomic load when
+/// nobody is blocked, so producers that complete events nobody waits on
+/// (the common case on the spawn/complete hot path) never touch the lock
+/// or the condition variable.
+///
+/// Protocol: the *signaller* makes its condition observable with a
+/// `SeqCst` store and then calls [`EventGate::notify`]; a *waiter*
+/// registers (`SeqCst` RMW on the waiter count) before re-checking the
+/// condition. Both sides being `SeqCst` makes the classic flag/flag race
+/// decidable: either the signaller's `notify` sees the registration and
+/// takes the slow (lock + broadcast) path, or the waiter's re-check sees
+/// the condition already true and never blocks. See DESIGN.md §"hot path".
+pub struct EventGate {
+    waiters: AtomicUsize,
+    lock: parking_lot::Mutex<()>,
+    cv: Condvar,
+}
+
+impl Default for EventGate {
+    fn default() -> Self {
+        EventGate::new()
+    }
+}
+
+impl EventGate {
+    /// A gate with no registered waiters.
+    pub const fn new() -> Self {
+        EventGate {
+            waiters: AtomicUsize::new(0),
+            lock: parking_lot::Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Number of threads currently registered as blocked (or registering).
+    /// Diagnostic only — the value is immediately stale.
+    pub fn waiters(&self) -> usize {
+        self.waiters.load(Ordering::SeqCst)
+    }
+
+    /// Block the calling thread until `ready()` returns true. `ready` must
+    /// read state published with at least `SeqCst` stores by the thread
+    /// that calls [`EventGate::notify`].
+    pub fn wait_until(&self, ready: impl Fn() -> bool) {
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        let mut g = self.lock.lock();
+        while !ready() {
+            self.cv.wait(&mut g);
+        }
+        drop(g);
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Block until `ready()` returns true or `deadline` passes; returns the
+    /// final `ready()` observation.
+    pub fn wait_deadline(&self, deadline: Instant, ready: impl Fn() -> bool) -> bool {
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        let mut g = self.lock.lock();
+        let mut ok = ready();
+        while !ok {
+            let now = Instant::now();
+            let Some(remaining) = deadline.checked_duration_since(now) else {
+                break;
+            };
+            if remaining.is_zero() {
+                break;
+            }
+            self.cv.wait_for(&mut g, remaining);
+            ok = ready();
+        }
+        drop(g);
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+        ok
+    }
+
+    /// Convenience: bounded wait expressed as a timeout from now.
+    pub fn wait_timeout(&self, timeout: Duration, ready: impl Fn() -> bool) -> bool {
+        self.wait_deadline(Instant::now() + timeout, ready)
+    }
+
+    /// Wake every registered waiter. Costs one atomic load when no waiter
+    /// is registered; the caller must have published the wake condition
+    /// (`SeqCst`) *before* calling.
+    pub fn notify(&self) {
+        if self.waiters.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        // Taking the lock serializes with waiters between their
+        // registration and their first `ready()` check, so the broadcast
+        // cannot slip between check and sleep.
+        let _g = self.lock.lock();
+        self.cv.notify_all();
     }
 }
 
@@ -129,6 +227,39 @@ mod tests {
         assert_eq!(c0, c1);
         drop(g);
         assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn event_gate_wakes_blocked_waiter() {
+        use std::sync::atomic::AtomicBool;
+        let gate = Arc::new(EventGate::new());
+        let flag = Arc::new(AtomicBool::new(false));
+        let (g2, f2) = (gate.clone(), flag.clone());
+        let t = std::thread::spawn(move || g2.wait_until(|| f2.load(Ordering::SeqCst)));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        flag.store(true, Ordering::SeqCst);
+        gate.notify();
+        t.join().unwrap();
+        assert_eq!(gate.waiters(), 0, "waiter must deregister after waking");
+    }
+
+    #[test]
+    fn event_gate_timeout_expires_and_deregisters() {
+        let gate = EventGate::new();
+        let t0 = std::time::Instant::now();
+        let ok = gate.wait_timeout(std::time::Duration::from_millis(10), || false);
+        assert!(!ok);
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(8));
+        assert_eq!(gate.waiters(), 0);
+    }
+
+    #[test]
+    fn event_gate_notify_without_waiters_is_lock_free_noop() {
+        let gate = EventGate::new();
+        // Nothing to assert beyond "returns and stays consistent": the
+        // fast path is exercised, and a later waiter still works.
+        gate.notify();
+        assert!(gate.wait_timeout(std::time::Duration::from_millis(1), || true));
     }
 
     #[test]

@@ -1,17 +1,28 @@
 //! Worker threads: the scheduling loop, the thread-local worker context,
 //! and the work-helping wait used by futures.
+//!
+//! Dispatch accounting is batched: each scheduling loop folds its
+//! `pending`-counter decrements into a [`PendingBatch`] and publishes them
+//! every [`PendingBatch::FLUSH_EVERY`] tasks (and whenever the loop runs
+//! dry), so the fork/join inner loop does one shared-counter RMW per batch
+//! instead of per task. The park decision does not read `pending` at all —
+//! it probes the queues directly (`Scheduler::has_queued_work`), so batch
+//! staleness can never strand a worker.
 
-use std::cell::RefCell;
-use std::sync::atomic::Ordering;
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
 
 use crossbeam::deque::Worker as Deque;
 use crossbeam::sync::Parker;
 
+use rpx_counters::counter::Clock;
+
 use crate::faults::InjectedFault;
 use crate::runtime::RuntimeInner;
-use crate::scheduler::Task;
+use crate::scheduler::{Scheduler, Task};
+use crate::stats::WorkerStats;
 
 struct Ctx {
     index: usize,
@@ -70,17 +81,66 @@ pub(crate) fn push_local(inner: &Arc<RuntimeInner>, task: Task) -> Result<(), Ta
     }
 }
 
-/// Run one found task. Execution timing/accounting lives inside the task's
-/// wrapper (see `runtime::make_wrapper`) so it is ordered before the
+/// Thread-local accumulator for `pending`-counter decrements. A scheduling
+/// loop notes each claimed task here; the shared `pending` atomic is only
+/// touched on flush — every [`PendingBatch::FLUSH_EVERY`] claims, whenever
+/// the loop runs dry, and on drop (which also covers unwinds, so an
+/// injected worker kill cannot leak accounting).
+pub(crate) struct PendingBatch<'a> {
+    scheduler: &'a Scheduler,
+    count: Cell<u64>,
+}
+
+impl<'a> PendingBatch<'a> {
+    /// Claims folded into one shared-counter update. Chosen small enough
+    /// that `/threads/count/instantaneous/pending` stays useful (staleness
+    /// is bounded by `workers × FLUSH_EVERY`) and large enough to take the
+    /// shared RMW off the per-task path.
+    pub(crate) const FLUSH_EVERY: u64 = 32;
+
+    pub(crate) fn new(scheduler: &'a Scheduler) -> Self {
+        PendingBatch {
+            scheduler,
+            count: Cell::new(0),
+        }
+    }
+
+    /// Note one claimed task; publishes the batch at the flush threshold.
+    pub(crate) fn note_started(&self) {
+        let n = self.count.get() + 1;
+        if n >= Self::FLUSH_EVERY {
+            self.count.set(0);
+            self.scheduler.note_started_n(n);
+        } else {
+            self.count.set(n);
+        }
+    }
+
+    /// Publish any accumulated decrements now.
+    pub(crate) fn flush(&self) {
+        let n = self.count.replace(0);
+        self.scheduler.note_started_n(n);
+    }
+}
+
+impl Drop for PendingBatch<'_> {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Run one found task. Execution timing/accounting lives inside the task
+/// cell (see `runtime::TaskCell::run_body`) so it is ordered before the
 /// future's completion; here we only account the scheduler-side events.
+/// The `pending` decrement is the caller's job (batched via
+/// [`PendingBatch`]).
 pub(crate) fn execute_task(inner: &Arc<RuntimeInner>, index: usize, task: Task, stolen: bool) {
     if stolen {
         inner.state.stats[index]
             .stolen
             .fetch_add(1, Ordering::Relaxed);
     }
-    inner.scheduler.note_started();
-    (task.run)();
+    task.run.run();
 }
 
 /// Clears the worker context and re-parks the deque into its scheduler
@@ -127,16 +187,56 @@ pub(crate) fn worker_loop(inner: Arc<RuntimeInner>, index: usize) {
     run_loop(&inner, index, unsafe { &*local });
 }
 
+/// One find-miss step of the scheduling loop: register as a sleeper, park
+/// unless the queues are (now) non-empty or shutdown was requested,
+/// deregister, and attribute the *whole* window since `t0` — the failed
+/// find, the registration, and any park — to `idle_ns`. Returns false when
+/// the loop should exit (shutdown).
+///
+/// Extracted from `run_loop` so the accounting is unit-testable: the
+/// register-then-recheck path used to `continue` without accruing the
+/// elapsed time to either `idle_ns` or `overhead_ns`, silently dropping
+/// wall-clock from the counters' time balance.
+pub(crate) fn idle_step(
+    scheduler: &Scheduler,
+    shutdown: &AtomicBool,
+    parker: &Parker,
+    index: usize,
+    stats: &WorkerStats,
+    clock: &Clock,
+    t0: u64,
+) -> bool {
+    if shutdown.load(Ordering::Acquire) {
+        return false;
+    }
+    // Register before the final probe so a push that races with us is
+    // guaranteed to either be seen by the probe or unpark us (the fence
+    // pairing is documented on `Scheduler::register_sleeper`).
+    scheduler.register_sleeper(index, parker.unparker().clone());
+    // `SeqCst` so the shutdown store (also `SeqCst`) is covered by the same
+    // fence pairing as a task push: either `wake_all` sees our
+    // registration, or we see the flag here.
+    if !(scheduler.has_queued_work() || shutdown.load(Ordering::SeqCst)) {
+        parker.park_timeout(Duration::from_micros(500));
+    }
+    scheduler.deregister_sleeper(index);
+    let t1 = clock.now_ns();
+    stats.record_idle(t1.saturating_sub(t0));
+    !shutdown.load(Ordering::Acquire)
+}
+
 fn run_loop(inner: &Arc<RuntimeInner>, index: usize, deque: &Deque<Task>) {
     let parker = Parker::new();
     let state = inner.state.clone();
     let stats = state.stats[index].clone();
+    let batch = PendingBatch::new(&inner.scheduler);
 
     loop {
         stats.beat();
         let t0 = state.clock.now_ns();
         match inner.scheduler.find(index, deque) {
             Some((task, stolen)) => {
+                batch.note_started();
                 let t1 = state.clock.now_ns();
                 stats.record_overhead(t1.saturating_sub(t0));
                 // Injected stall sits between claiming the task and running
@@ -149,7 +249,8 @@ fn run_loop(inner: &Arc<RuntimeInner>, index: usize, deque: &Deque<Task>) {
                 }
                 execute_task(inner, index, task, stolen);
                 // Injected worker kill fires only after the task completed:
-                // the unwind holds no task, so respawning loses nothing.
+                // the unwind holds no task, so respawning loses nothing
+                // (`batch` flushes on drop during the unwind).
                 if let Some(faults) = &inner.faults {
                     if faults.inject_worker_kill() {
                         std::panic::panic_any(InjectedFault("worker-kill"));
@@ -157,24 +258,18 @@ fn run_loop(inner: &Arc<RuntimeInner>, index: usize, deque: &Deque<Task>) {
                 }
             }
             None => {
-                if inner.shutdown.load(Ordering::Acquire) {
+                batch.flush();
+                if !idle_step(
+                    &inner.scheduler,
+                    &inner.shutdown,
+                    &parker,
+                    index,
+                    &stats,
+                    &state.clock,
+                    t0,
+                ) {
                     break;
                 }
-                // Register before the final check so a push that races with
-                // us is guaranteed to either be seen now or unpark us.
-                inner
-                    .scheduler
-                    .register_sleeper(index, parker.unparker().clone());
-                if inner.scheduler.pending_tasks() > 0 || inner.shutdown.load(Ordering::Acquire) {
-                    inner.scheduler.deregister_sleeper(index);
-                    continue;
-                }
-                parker.park_timeout(Duration::from_micros(500));
-                inner.scheduler.deregister_sleeper(index);
-                let t1 = state.clock.now_ns();
-                stats
-                    .idle_ns
-                    .fetch_add(t1.saturating_sub(t0), Ordering::Relaxed);
             }
         }
     }
@@ -193,18 +288,21 @@ pub(crate) fn help_while(pred: impl Fn() -> bool) {
     // SAFETY: `local` is this thread's own deque; see `worker_loop`.
     let deque = unsafe { &*local };
     let stats = inner.state.stats[index].clone();
+    let batch = PendingBatch::new(&inner.scheduler);
     let mut idle_spins: u32 = 0;
     while pred() {
         stats.beat();
         let t0 = inner.state.clock.now_ns();
         match inner.scheduler.find(index, deque) {
             Some((task, stolen)) => {
+                batch.note_started();
                 let t1 = inner.state.clock.now_ns();
                 stats.record_overhead(t1.saturating_sub(t0));
                 execute_task(&inner, index, task, stolen);
                 idle_spins = 0;
             }
             None => {
+                batch.flush();
                 idle_spins = idle_spins.saturating_add(1);
                 if idle_spins < 16 {
                     std::hint::spin_loop();
@@ -214,10 +312,109 @@ pub(crate) fn help_while(pred: impl Fn() -> bool) {
                     std::thread::sleep(Duration::from_micros(20));
                 }
                 let t1 = inner.state.clock.now_ns();
-                stats
-                    .idle_ns
-                    .fetch_add(t1.saturating_sub(t0), Ordering::Relaxed);
+                stats.record_idle(t1.saturating_sub(t0));
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{Runnable, SchedulerMode};
+    use std::time::Instant;
+
+    struct Nop;
+    impl Runnable for Nop {
+        fn run(&self) {}
+    }
+
+    fn nop_task(id: u64) -> Task {
+        Task {
+            run: Arc::new(Nop),
+            id,
+        }
+    }
+
+    #[test]
+    fn pending_batch_flushes_at_threshold_and_on_drop() {
+        let s = Scheduler::new(1, SchedulerMode::LocalQueues);
+        let n = PendingBatch::FLUSH_EVERY + 3;
+        for i in 0..n {
+            s.push(nop_task(i), None);
+        }
+        {
+            let batch = PendingBatch::new(&s);
+            for _ in 0..PendingBatch::FLUSH_EVERY - 1 {
+                batch.note_started();
+            }
+            // Below threshold: nothing published yet.
+            assert_eq!(s.pending_tasks(), n as i64);
+            batch.note_started();
+            assert_eq!(s.pending_tasks(), 3, "threshold must publish the batch");
+            batch.note_started();
+            batch.note_started();
+            batch.note_started();
+            assert_eq!(s.pending_tasks(), 3, "decrements buffered again");
+        }
+        assert_eq!(s.pending_tasks(), 0, "drop must flush the remainder");
+        assert_eq!(s.pending_underflows(), 0);
+    }
+
+    /// Regression: the register-sleeper → recheck → continue path used to
+    /// attribute its elapsed time to neither `idle_ns` nor `overhead_ns`,
+    /// leaking wall-clock out of the counter time balance. Both exits of
+    /// `idle_step` must accrue the window since `t0` to `idle_ns`.
+    #[test]
+    fn idle_step_accrues_idle_time_even_when_work_is_queued() {
+        let s = Scheduler::new(1, SchedulerMode::LocalQueues);
+        let clock = Clock::new();
+        let stats = WorkerStats::new();
+        let parker = Parker::new();
+        let shutdown = AtomicBool::new(false);
+        // Queued work forces the no-park exit (the old `continue` branch).
+        s.push(nop_task(1), None);
+        let t0 = clock.now_ns();
+        std::thread::sleep(Duration::from_millis(2));
+        let t_entry = Instant::now();
+        assert!(idle_step(&s, &shutdown, &parker, 0, &stats, &clock, t0));
+        assert!(
+            t_entry.elapsed() < Duration::from_millis(400),
+            "queued work must skip the park"
+        );
+        let idle = stats.idle_ns.load(Ordering::Relaxed);
+        assert!(
+            idle >= 2_000_000,
+            "the whole window since t0 must be idle-accounted, got {idle}ns"
+        );
+        assert_eq!(s.sleeper_count(), 0, "sleeper must deregister");
+    }
+
+    #[test]
+    fn idle_step_parks_and_accrues_when_no_work() {
+        let s = Scheduler::new(1, SchedulerMode::LocalQueues);
+        let clock = Clock::new();
+        let stats = WorkerStats::new();
+        let parker = Parker::new();
+        let shutdown = AtomicBool::new(false);
+        let t0 = clock.now_ns();
+        assert!(idle_step(&s, &shutdown, &parker, 0, &stats, &clock, t0));
+        let idle = stats.idle_ns.load(Ordering::Relaxed);
+        assert!(
+            idle >= 300_000,
+            "park window must be idle-accounted, got {idle}ns"
+        );
+        assert_eq!(s.sleeper_count(), 0);
+    }
+
+    #[test]
+    fn idle_step_exits_on_shutdown() {
+        let s = Scheduler::new(1, SchedulerMode::LocalQueues);
+        let clock = Clock::new();
+        let stats = WorkerStats::new();
+        let parker = Parker::new();
+        let shutdown = AtomicBool::new(true);
+        let t0 = clock.now_ns();
+        assert!(!idle_step(&s, &shutdown, &parker, 0, &stats, &clock, t0));
     }
 }

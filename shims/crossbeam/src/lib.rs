@@ -92,6 +92,13 @@ pub mod deque {
     }
 
     impl<T> Stealer<T> {
+        /// Whether the source deque is currently empty (racy snapshot, as
+        /// with real crossbeam — used by park-gate probes, not decisions
+        /// that need exactness).
+        pub fn is_empty(&self) -> bool {
+            locked(&self.shared, |q| q.is_empty())
+        }
+
         /// Steal the oldest task.
         pub fn steal(&self) -> Steal<T> {
             match locked(&self.shared, |q| q.pop_front()) {

@@ -1,0 +1,152 @@
+//! Integration tests for the spawn/join hot path: lost-wakeup freedom
+//! under concurrent external spawning and parking workers, the timed-wait
+//! semantics of deferred futures, and the pending-accounting health
+//! counter.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rpx::runtime::{LaunchPolicy, Runtime, RuntimeConfig};
+
+/// Lost-wakeup stress: external threads spawn trivial tasks with gaps long
+/// enough for workers to park between bursts, exercising the racy edge of
+/// the lock-free sleeper probe (push → fence → count-load vs. register →
+/// fence → queue-probe). A lost wakeup shows up as a future that never
+/// completes within the deadline; with the 500µs park timeout as a safety
+/// net, a *systematic* loss would still blow the per-future deadline under
+/// this volume.
+#[test]
+fn external_spawn_storm_never_loses_wakeups() {
+    let rt = Runtime::new(RuntimeConfig::with_workers(2));
+    let executed = Arc::new(AtomicU64::new(0));
+    const THREADS: usize = 4;
+    const SPAWNS: usize = 500;
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let rt = &rt;
+            let executed = executed.clone();
+            s.spawn(move || {
+                for i in 0..SPAWNS {
+                    let executed = executed.clone();
+                    let f = rt.spawn(move || {
+                        executed.fetch_add(1, Ordering::Relaxed);
+                        i as u64
+                    });
+                    assert_eq!(
+                        f.get_timeout(Duration::from_secs(10))
+                            .unwrap_or_else(|_| panic!("spawn {i} of thread {t} lost")),
+                        i as u64
+                    );
+                    // Let workers drain and park so the next spawn races
+                    // against sleeper registration rather than a busy loop.
+                    if i % 16 == 0 {
+                        std::thread::sleep(Duration::from_micros(700));
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(executed.load(Ordering::Relaxed), (THREADS * SPAWNS) as u64);
+    let total = rt
+        .registry()
+        .evaluate("/threads{locality#0/total}/count/cumulative", false)
+        .unwrap();
+    assert!(total.value >= (THREADS * SPAWNS) as i64);
+    rt.shutdown();
+}
+
+/// Regression (public API): a timed wait on a deferred future must hand the
+/// future back without executing the deferred closure — previously
+/// `get_timeout(ZERO)` ran the whole closure on the calling thread.
+#[test]
+fn get_timeout_hands_back_deferred_future_unrun() {
+    let rt = Runtime::new(RuntimeConfig::with_workers(1));
+    let ran = Arc::new(AtomicBool::new(false));
+    let r2 = ran.clone();
+    let f = rt.spawn_with(LaunchPolicy::Deferred, move || {
+        r2.store(true, Ordering::SeqCst);
+        42u64
+    });
+    let f = f
+        .get_timeout(Duration::ZERO)
+        .expect_err("deferred future must not complete under a timed wait");
+    assert!(
+        !ran.load(Ordering::SeqCst),
+        "timed wait must not run the deferred closure"
+    );
+    assert_eq!(f.get(), 42, "an unbounded wait still runs it");
+    assert!(ran.load(Ordering::SeqCst));
+    rt.shutdown();
+}
+
+/// The pending-accounting drift counter exists, reads zero on a healthy
+/// run, and is discoverable as a total-only instance.
+#[test]
+fn pending_underflows_counter_reads_zero_on_healthy_run() {
+    let rt = Runtime::new(RuntimeConfig::with_workers(2));
+    let futures: Vec<_> = (0..200).map(|i| rt.spawn(move || i * 2)).collect();
+    for (i, f) in futures.into_iter().enumerate() {
+        assert_eq!(f.get(), i * 2);
+    }
+    rt.wait_idle();
+    let v = rt
+        .registry()
+        .evaluate(
+            "/runtime{locality#0/total}/health/pending-underflows",
+            false,
+        )
+        .unwrap();
+    assert_eq!(v.value, 0, "healthy runs must show zero accounting drift");
+    // After the run drains, the batched pending counter converges to zero:
+    // workers publish buffered decrements on their next find-miss, so give
+    // them a moment rather than racing the flush.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let pending = rt
+            .registry()
+            .evaluate(
+                "/threads{locality#0/total}/count/instantaneous/pending",
+                false,
+            )
+            .unwrap();
+        if pending.value == 0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "drained runtime still shows {} pending tasks",
+            pending.value
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    rt.shutdown();
+}
+
+/// Deep fork/join through the single-allocation task cells: results stay
+/// correct and the overhead counter stays well-formed while every join is
+/// a helping wait.
+#[test]
+fn recursive_fork_join_via_task_cells() {
+    let rt = Runtime::new(RuntimeConfig::with_workers(2));
+    let h = rt.handle();
+    fn fib(h: &rpx::runtime::RuntimeHandle, n: u64) -> u64 {
+        if n < 2 {
+            return n;
+        }
+        let h2 = h.clone();
+        let a = h.spawn(move || fib(&h2, n - 1));
+        let b = fib(h, n - 2);
+        a.get() + b
+    }
+    assert_eq!(fib(&h, 18), 2584);
+    rt.wait_idle();
+    let overhead = rt
+        .registry()
+        .evaluate("/threads{locality#0/total}/time/average-overhead", false)
+        .unwrap();
+    assert!(overhead.value >= 0);
+    rt.shutdown();
+}
