@@ -115,51 +115,63 @@ impl Scheduler {
         self.wake_one();
     }
 
-    /// Find work for worker `index`. Returns the task and whether it was
-    /// stolen from another worker's queue.
-    pub(crate) fn find(&self, index: usize, local: &Deque<Task>) -> Option<(Task, bool)> {
+    /// Bound on full find-work sweeps re-run after a `Steal::Retry`-only
+    /// pass. A lost CAS means *another* worker claimed the task, so giving
+    /// up after a few sweeps cannot strand work: the caller's park gate
+    /// re-probes the queues (`has_queued_work`) before sleeping, and the
+    /// elapsed spin is accounted to `idle_ns` by the caller instead of
+    /// vanishing into an unbounded in-`find` loop.
+    const RETRY_SWEEPS: usize = 4;
+
+    /// Find work for worker `index`. Returns the task and the number of
+    /// tasks newly taken from *other workers' queues* by this call: `0`
+    /// for a local pop or an injector claim, `1 + extras` when a batch
+    /// steal moved `extras` follow-up tasks into `local` along with the
+    /// returned task (so `/threads/count/stolen` counts every migrated
+    /// task, not one per steal call).
+    pub(crate) fn find(&self, index: usize, local: &Deque<Task>) -> Option<(Task, u64)> {
         if self.mode == SchedulerMode::GlobalQueue {
             // Single-task steals only: batching would strand tasks in the
             // local deque, which this mode never reads.
-            loop {
+            for _ in 0..Self::RETRY_SWEEPS {
                 match self.injector.steal() {
-                    Steal::Success(t) => return Some((t, false)),
-                    Steal::Retry => continue,
+                    Steal::Success(t) => return Some((t, 0)),
+                    Steal::Retry => std::hint::spin_loop(),
                     Steal::Empty => return None,
                 }
             }
+            return None;
         }
         // 1. Own deque (LIFO: most recently spawned child first — cache-hot).
         if let Some(t) = local.pop() {
-            return Some((t, false));
+            return Some((t, 0));
         }
-        // 2. Global injector (external spawns).
-        if let Some(t) = self.steal_from_injector(local) {
-            return Some((t, false));
-        }
-        // 3. Steal from siblings, starting after ourselves to spread load.
-        let n = self.stealers.len();
-        for off in 1..n {
-            let victim = (index + off) % n;
-            loop {
-                match self.stealers[victim].steal_batch_and_pop(local) {
-                    Steal::Success(t) => return Some((t, true)),
-                    Steal::Retry => continue,
-                    Steal::Empty => break,
+        for _ in 0..Self::RETRY_SWEEPS {
+            let mut contended = false;
+            // 2. Global injector (external spawns); batch-refills `local`.
+            match self.injector.steal_batch_and_pop_counted(local) {
+                Steal::Success((t, _moved)) => return Some((t, 0)),
+                Steal::Retry => contended = true,
+                Steal::Empty => {}
+            }
+            // 3. Steal from siblings, starting after ourselves to spread
+            // load. One batch per victim visit: the returned task plus up
+            // to half the victim's queue moved into `local`.
+            let n = self.stealers.len();
+            for off in 1..n {
+                let victim = (index + off) % n;
+                match self.stealers[victim].steal_batch_and_pop_counted(local) {
+                    Steal::Success((t, moved)) => return Some((t, moved as u64 + 1)),
+                    Steal::Retry => contended = true,
+                    Steal::Empty => {}
                 }
             }
+            if !contended {
+                return None;
+            }
+            std::hint::spin_loop();
         }
         None
-    }
-
-    fn steal_from_injector(&self, local: &Deque<Task>) -> Option<Task> {
-        loop {
-            match self.injector.steal_batch_and_pop(local) {
-                Steal::Success(t) => return Some(t),
-                Steal::Retry => continue,
-                Steal::Empty => return None,
-            }
-        }
     }
 
     /// Whether any queue (injector or a worker deque) currently holds a
@@ -291,7 +303,7 @@ mod tests {
         s.push(task(2), Some(&local));
         let (t, stolen) = s.find(0, &local).unwrap();
         assert_eq!(t.id, 2, "own deque must be LIFO");
-        assert!(!stolen);
+        assert_eq!(stolen, 0, "local pops are not steals");
         assert_eq!(s.find(0, &local).unwrap().0.id, 1);
         assert!(s.find(0, &local).is_none());
     }
@@ -314,8 +326,48 @@ mod tests {
         s.push(task(1), Some(&local0));
         s.push(task(2), Some(&local0));
         let (t, stolen) = s.find(1, &local1).unwrap();
-        assert!(stolen);
+        assert!(stolen >= 1, "victim tasks count as stolen");
         assert_eq!(t.id, 1, "steals take the oldest task");
+    }
+
+    #[test]
+    fn batch_steal_reports_every_moved_task() {
+        let s = Scheduler::new(2, SchedulerMode::LocalQueues);
+        let local0 = s.deques[0].lock().take().unwrap();
+        let local1 = s.deques[1].lock().take().unwrap();
+        for i in 0..8 {
+            s.push(task(i), Some(&local0));
+        }
+        let (t, stolen) = s.find(1, &local1).unwrap();
+        assert_eq!(t.id, 0, "the returned task is the victim's oldest");
+        assert_eq!(
+            stolen,
+            1 + local1.len() as u64,
+            "stolen must count the returned task plus every batched task"
+        );
+        assert_eq!(stolen, 5, "half of 8 ride along with the returned task");
+        // The batched tasks now come out of worker 1's own deque as local
+        // (non-stolen) finds.
+        let (_, restolen) = s.find(1, &local1).unwrap();
+        assert_eq!(restolen, 0, "batched tasks must not be double-counted");
+        // Worker 0 still owns the other three.
+        assert_eq!(local0.len(), 3);
+    }
+
+    #[test]
+    fn injector_batch_claims_are_not_stolen() {
+        let s = Scheduler::new(2, SchedulerMode::LocalQueues);
+        let local = s.deques[0].lock().take().unwrap();
+        for i in 0..6 {
+            s.push(task(i), None);
+        }
+        let (t, stolen) = s.find(0, &local).unwrap();
+        assert_eq!(t.id, 0, "injector is FIFO");
+        assert_eq!(stolen, 0, "injector claims are not steals");
+        assert!(
+            !local.is_empty(),
+            "the injector batch must refill the local deque"
+        );
     }
 
     #[test]

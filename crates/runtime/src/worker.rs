@@ -134,11 +134,17 @@ impl Drop for PendingBatch<'_> {
 /// future's completion; here we only account the scheduler-side events.
 /// The `pending` decrement is the caller's job (batched via
 /// [`PendingBatch`]).
-pub(crate) fn execute_task(inner: &Arc<RuntimeInner>, index: usize, task: Task, stolen: bool) {
-    if stolen {
+pub(crate) fn execute_task(inner: &Arc<RuntimeInner>, index: usize, task: Task, stolen: u64) {
+    if stolen > 0 {
+        // `stolen` counts every task the find moved off another worker's
+        // deque: the task we are about to run plus any batch-steal extras
+        // now parked in our local deque. Those extras come back out as
+        // local (stolen == 0) finds, so crediting them here keeps
+        // `/threads/count/stolen` equal to "tasks migrated between
+        // workers" without double counting.
         inner.state.stats[index]
             .stolen
-            .fetch_add(1, Ordering::Relaxed);
+            .fetch_add(stolen, Ordering::Relaxed);
     }
     task.run.run();
 }

@@ -1,328 +1,29 @@
-//! In-tree shim for `crossbeam`: the `deque` (Chase–Lev-style API) and
+//! In-tree shim for `crossbeam`: the `deque` (Chase–Lev work stealing) and
 //! `sync` (`Parker`/`Unparker`) subsets used by the runtime's scheduler.
 //!
-//! The implementation trades the lock-free algorithms for straightforward
-//! `Mutex<VecDeque>` structures with identical *semantics*: worker-local
-//! LIFO pop, FIFO steal from the opposite end, FIFO injector. Scheduler
-//! throughput is lower than real crossbeam, but behaviour (ordering,
-//! steal-visibility) is the same, which is what the runtime's tests and
-//! counter accounting rely on.
+//! Unlike the original locked shim, the deque layer is **lock-free**:
+//!
+//! - [`deque::Worker`]/[`deque::Stealer`] implement the Chase–Lev deque
+//!   per the C11 formulation of Lê et al. (PPoPP 2013) — a growable
+//!   circular buffer, owner-side `pop` racing stealer-side `steal` with a
+//!   `SeqCst` CAS on `top`, and `SeqCst` fences ordering the owner's
+//!   `bottom` decrement against stealer reads. Both LIFO and FIFO owner
+//!   flavors are real (FIFO owners pop through the steal-end claim
+//!   protocol, not an alias of LIFO).
+//! - [`deque::Injector`] is a lock-free segmented FIFO: a linked list of
+//!   31-slot blocks with CAS-claimed indices, freed by the consumer that
+//!   completes a block's last consume (no epoch machinery needed).
+//! - `steal_batch_and_pop` really batches: one call transfers up to half
+//!   of the victim's queue (capped at 32 tasks) into the destination
+//!   deque; the `*_counted` variants additionally report how many tasks
+//!   moved, which the runtime's `/threads/count/stolen` counter uses.
+//!
+//! Steal operations return [`deque::Steal::Retry`] when a CAS race is
+//! lost; callers must treat it as "someone else made progress, re-probe"
+//! (the runtime's find-work loops bound their retry sweeps and account
+//! the spin time as idle). Memory-ordering arguments and the buffer
+//! reclamation strategy live in DESIGN.md §"Lock-free scheduler queues".
 
-pub mod deque {
-    use std::collections::VecDeque;
-    use std::sync::{Arc, Mutex};
-
-    /// Outcome of a steal attempt.
-    #[derive(Debug, PartialEq, Eq)]
-    pub enum Steal<T> {
-        /// The source was empty.
-        Empty,
-        /// A task was stolen.
-        Success(T),
-        /// Lost a race; try again.
-        Retry,
-    }
-
-    fn locked<T, R>(q: &Mutex<VecDeque<T>>, f: impl FnOnce(&mut VecDeque<T>) -> R) -> R {
-        let mut g = match q.lock() {
-            Ok(g) => g,
-            Err(p) => p.into_inner(),
-        };
-        f(&mut g)
-    }
-
-    /// A worker-owned deque: LIFO for the owner, FIFO for stealers.
-    pub struct Worker<T> {
-        shared: Arc<Mutex<VecDeque<T>>>,
-    }
-
-    impl<T> Worker<T> {
-        /// New deque whose owner pops in LIFO order.
-        pub fn new_lifo() -> Self {
-            Worker {
-                shared: Arc::new(Mutex::new(VecDeque::new())),
-            }
-        }
-
-        /// New deque whose owner pops in FIFO order (owner pop takes the
-        /// same end stealers do; provided for API parity).
-        pub fn new_fifo() -> Self {
-            Worker::new_lifo()
-        }
-
-        /// Push onto the owner's end.
-        pub fn push(&self, task: T) {
-            locked(&self.shared, |q| q.push_back(task));
-        }
-
-        /// Pop from the owner's end (most recently pushed first).
-        pub fn pop(&self) -> Option<T> {
-            locked(&self.shared, |q| q.pop_back())
-        }
-
-        /// Whether the deque is currently empty.
-        pub fn is_empty(&self) -> bool {
-            locked(&self.shared, |q| q.is_empty())
-        }
-
-        /// Number of queued items.
-        pub fn len(&self) -> usize {
-            locked(&self.shared, |q| q.len())
-        }
-
-        /// A handle other threads use to steal from this deque.
-        pub fn stealer(&self) -> Stealer<T> {
-            Stealer {
-                shared: self.shared.clone(),
-            }
-        }
-    }
-
-    /// Stealing handle onto a [`Worker`]'s deque.
-    pub struct Stealer<T> {
-        shared: Arc<Mutex<VecDeque<T>>>,
-    }
-
-    impl<T> Clone for Stealer<T> {
-        fn clone(&self) -> Self {
-            Stealer {
-                shared: self.shared.clone(),
-            }
-        }
-    }
-
-    impl<T> Stealer<T> {
-        /// Whether the source deque is currently empty (racy snapshot, as
-        /// with real crossbeam — used by park-gate probes, not decisions
-        /// that need exactness).
-        pub fn is_empty(&self) -> bool {
-            locked(&self.shared, |q| q.is_empty())
-        }
-
-        /// Steal the oldest task.
-        pub fn steal(&self) -> Steal<T> {
-            match locked(&self.shared, |q| q.pop_front()) {
-                Some(t) => Steal::Success(t),
-                None => Steal::Empty,
-            }
-        }
-
-        /// Steal a batch into `dest`, returning one task directly.
-        ///
-        /// The shim steals exactly one task (batching is a throughput
-        /// optimisation the locked implementation does not need); the
-        /// returned task is the victim's oldest, as with real crossbeam.
-        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
-            let _ = dest;
-            self.steal()
-        }
-    }
-
-    /// A shared FIFO injector queue.
-    pub struct Injector<T> {
-        shared: Mutex<VecDeque<T>>,
-    }
-
-    impl<T> Default for Injector<T> {
-        fn default() -> Self {
-            Injector::new()
-        }
-    }
-
-    impl<T> Injector<T> {
-        /// New empty injector.
-        pub fn new() -> Self {
-            Injector {
-                shared: Mutex::new(VecDeque::new()),
-            }
-        }
-
-        /// Enqueue a task (FIFO).
-        pub fn push(&self, task: T) {
-            locked(&self.shared, |q| q.push_back(task));
-        }
-
-        /// Dequeue the oldest task.
-        pub fn steal(&self) -> Steal<T> {
-            match locked(&self.shared, |q| q.pop_front()) {
-                Some(t) => Steal::Success(t),
-                None => Steal::Empty,
-            }
-        }
-
-        /// Dequeue a batch into `dest`, returning one task directly (the
-        /// shim dequeues exactly one; see [`Stealer::steal_batch_and_pop`]).
-        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
-            let _ = dest;
-            self.steal()
-        }
-
-        /// Whether the injector is currently empty.
-        pub fn is_empty(&self) -> bool {
-            locked(&self.shared, |q| q.is_empty())
-        }
-
-        /// Number of queued items.
-        pub fn len(&self) -> usize {
-            locked(&self.shared, |q| q.len())
-        }
-    }
-}
-
-pub mod sync {
-    use std::sync::{Arc, Condvar, Mutex};
-    use std::time::Duration;
-
-    struct Inner {
-        token: Mutex<bool>,
-        cv: Condvar,
-    }
-
-    /// A thread parker: `park*` blocks until an [`Unparker`] posts a token.
-    pub struct Parker {
-        inner: Arc<Inner>,
-        unparker: Unparker,
-    }
-
-    impl Default for Parker {
-        fn default() -> Self {
-            Parker::new()
-        }
-    }
-
-    impl Parker {
-        /// New parker with no token posted.
-        pub fn new() -> Self {
-            let inner = Arc::new(Inner {
-                token: Mutex::new(false),
-                cv: Condvar::new(),
-            });
-            let unparker = Unparker {
-                inner: inner.clone(),
-            };
-            Parker { inner, unparker }
-        }
-
-        /// Block until a token is posted (consumes the token).
-        pub fn park(&self) {
-            let mut g = self.inner.token.lock().unwrap_or_else(|p| p.into_inner());
-            while !*g {
-                g = self.inner.cv.wait(g).unwrap_or_else(|p| p.into_inner());
-            }
-            *g = false;
-        }
-
-        /// Block until a token is posted or `timeout` elapses.
-        pub fn park_timeout(&self, timeout: Duration) {
-            let deadline = std::time::Instant::now() + timeout;
-            let mut g = self.inner.token.lock().unwrap_or_else(|p| p.into_inner());
-            while !*g {
-                let now = std::time::Instant::now();
-                let Some(remaining) = deadline
-                    .checked_duration_since(now)
-                    .filter(|d| !d.is_zero())
-                else {
-                    return;
-                };
-                let (guard, _r) = self
-                    .inner
-                    .cv
-                    .wait_timeout(g, remaining)
-                    .unwrap_or_else(|p| p.into_inner());
-                g = guard;
-            }
-            *g = false;
-        }
-
-        /// The unparker paired with this parker.
-        pub fn unparker(&self) -> &Unparker {
-            &self.unparker
-        }
-    }
-
-    /// Wakes the paired [`Parker`].
-    pub struct Unparker {
-        inner: Arc<Inner>,
-    }
-
-    impl Clone for Unparker {
-        fn clone(&self) -> Self {
-            Unparker {
-                inner: self.inner.clone(),
-            }
-        }
-    }
-
-    impl Unparker {
-        /// Post the token, waking a parked (or about-to-park) thread.
-        pub fn unpark(&self) {
-            let mut g = self.inner.token.lock().unwrap_or_else(|p| p.into_inner());
-            *g = true;
-            self.inner.cv.notify_one();
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::deque::{Injector, Steal, Worker};
-    use super::sync::Parker;
-    use std::time::{Duration, Instant};
-
-    #[test]
-    fn owner_is_lifo_stealer_is_fifo() {
-        let w = Worker::new_lifo();
-        w.push(1);
-        w.push(2);
-        w.push(3);
-        let s = w.stealer();
-        assert_eq!(s.steal(), Steal::Success(1), "stealers take the oldest");
-        assert_eq!(w.pop(), Some(3), "owner takes the newest");
-        assert_eq!(w.pop(), Some(2));
-        assert_eq!(w.pop(), None);
-        assert_eq!(s.steal(), Steal::Empty);
-    }
-
-    #[test]
-    fn injector_is_fifo() {
-        let inj = Injector::new();
-        inj.push(10);
-        inj.push(20);
-        let dest = Worker::new_lifo();
-        assert_eq!(inj.steal_batch_and_pop(&dest), Steal::Success(10));
-        assert_eq!(inj.steal(), Steal::Success(20));
-        assert!(inj.is_empty());
-    }
-
-    #[test]
-    fn parker_token_prevents_sleep() {
-        let p = Parker::new();
-        p.unparker().unpark();
-        let t0 = Instant::now();
-        p.park_timeout(Duration::from_secs(5));
-        assert!(
-            t0.elapsed() < Duration::from_secs(1),
-            "posted token must not block"
-        );
-    }
-
-    #[test]
-    fn park_timeout_elapses() {
-        let p = Parker::new();
-        let t0 = Instant::now();
-        p.park_timeout(Duration::from_millis(10));
-        assert!(t0.elapsed() >= Duration::from_millis(8));
-    }
-
-    #[test]
-    fn unpark_from_other_thread_wakes() {
-        let p = Parker::new();
-        let u = p.unparker().clone();
-        let t = std::thread::spawn(move || {
-            std::thread::sleep(Duration::from_millis(5));
-            u.unpark();
-        });
-        p.park();
-        t.join().unwrap();
-    }
-}
+pub mod deque;
+mod injector;
+pub mod sync;

@@ -1,0 +1,132 @@
+//! `Parker`/`Unparker`: a one-token thread parker (the `crossbeam::sync`
+//! subset used by the runtime's worker loops).
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+struct Inner {
+    token: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// A thread parker: `park*` blocks until an [`Unparker`] posts a token.
+pub struct Parker {
+    inner: Arc<Inner>,
+    unparker: Unparker,
+}
+
+impl Default for Parker {
+    fn default() -> Self {
+        Parker::new()
+    }
+}
+
+impl Parker {
+    /// New parker with no token posted.
+    pub fn new() -> Self {
+        let inner = Arc::new(Inner {
+            token: Mutex::new(false),
+            cv: Condvar::new(),
+        });
+        let unparker = Unparker {
+            inner: inner.clone(),
+        };
+        Parker { inner, unparker }
+    }
+
+    /// Block until a token is posted (consumes the token).
+    pub fn park(&self) {
+        let mut g = self.inner.token.lock().unwrap_or_else(|p| p.into_inner());
+        while !*g {
+            g = self.inner.cv.wait(g).unwrap_or_else(|p| p.into_inner());
+        }
+        *g = false;
+    }
+
+    /// Block until a token is posted or `timeout` elapses.
+    pub fn park_timeout(&self, timeout: Duration) {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut g = self.inner.token.lock().unwrap_or_else(|p| p.into_inner());
+        while !*g {
+            let now = std::time::Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return;
+            };
+            let (guard, _r) = self
+                .inner
+                .cv
+                .wait_timeout(g, remaining)
+                .unwrap_or_else(|p| p.into_inner());
+            g = guard;
+        }
+        *g = false;
+    }
+
+    /// The unparker paired with this parker.
+    pub fn unparker(&self) -> &Unparker {
+        &self.unparker
+    }
+}
+
+/// Wakes the paired [`Parker`].
+pub struct Unparker {
+    inner: Arc<Inner>,
+}
+
+impl Clone for Unparker {
+    fn clone(&self) -> Self {
+        Unparker {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl Unparker {
+    /// Post the token, waking a parked (or about-to-park) thread.
+    pub fn unpark(&self) {
+        let mut g = self.inner.token.lock().unwrap_or_else(|p| p.into_inner());
+        *g = true;
+        self.inner.cv.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Parker;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn parker_token_prevents_sleep() {
+        let p = Parker::new();
+        p.unparker().unpark();
+        let t0 = Instant::now();
+        p.park_timeout(Duration::from_secs(5));
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "posted token must not block"
+        );
+    }
+
+    #[test]
+    fn park_timeout_elapses() {
+        let p = Parker::new();
+        let t0 = Instant::now();
+        p.park_timeout(Duration::from_millis(10));
+        assert!(t0.elapsed() >= Duration::from_millis(8));
+    }
+
+    #[test]
+    fn unpark_from_other_thread_wakes() {
+        let p = Parker::new();
+        let u = p.unparker().clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            u.unpark();
+        });
+        p.park();
+        t.join().unwrap();
+    }
+}

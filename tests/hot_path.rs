@@ -125,6 +125,131 @@ fn pending_underflows_counter_reads_zero_on_healthy_run() {
     rt.shutdown();
 }
 
+/// Regression for the park gate under the lock-free deques: workers park
+/// between bursts while root tasks push children onto their *local* deques
+/// (the path where `Scheduler::has_queued_work` must observe a lock-free
+/// `is_empty` probe and the sleeper fences must still pair with the push).
+/// Each burst makes the other workers cycle through register → probe →
+/// park → unpark while steals (single and batched) race the owner's pops.
+/// A lost wakeup strands a root task's children and blows the deadline.
+#[test]
+fn steals_during_park_unpark_never_lose_wakeups() {
+    let rt = Runtime::new(RuntimeConfig::with_workers(4));
+    let executed = Arc::new(AtomicU64::new(0));
+    const ROUNDS: usize = 40;
+    const CHILDREN: u64 = 24;
+
+    for round in 0..ROUNDS {
+        let executed = executed.clone();
+        let h = rt.handle();
+        let root = rt.spawn(move || {
+            // Children land on the running worker's local deque; parked
+            // siblings must be woken to steal their share, and the owner's
+            // helping-wait pops race those steals on the same Chase–Lev
+            // buffer.
+            let futures: Vec<_> = (0..CHILDREN)
+                .map(|i| {
+                    let executed = executed.clone();
+                    h.spawn(move || {
+                        executed.fetch_add(1, Ordering::Relaxed);
+                        i
+                    })
+                })
+                .collect();
+            futures.into_iter().map(|f| f.get()).sum::<u64>()
+        });
+        assert_eq!(
+            root.get_timeout(Duration::from_secs(10))
+                .unwrap_or_else(|_| panic!("round {round}: children lost under park/unpark")),
+            CHILDREN * (CHILDREN - 1) / 2
+        );
+        // Longer than the 500µs park-timeout safety net: every worker
+        // parks for real before the next burst, so the next round's pushes
+        // race genuine sleeper registrations, not busy probes.
+        std::thread::sleep(Duration::from_micros(1500));
+    }
+
+    assert_eq!(
+        executed.load(Ordering::Relaxed),
+        ROUNDS as u64 * CHILDREN,
+        "every child must run exactly once"
+    );
+    let underflows = rt
+        .registry()
+        .evaluate(
+            "/runtime{locality#0/total}/health/pending-underflows",
+            false,
+        )
+        .unwrap();
+    assert_eq!(underflows.value, 0);
+    rt.shutdown();
+}
+
+/// Time-balance regression for the lock-free find loops: failed sweeps —
+/// including `Steal::Retry` spins that end a sweep without work — must
+/// accrue to `idle_ns`, so per-worker exec + overhead + idle still adds up
+/// to roughly the worker's wall-clock lifetime. If retry spins or probe
+/// misses leaked out of the accounting, the accounted sum would fall well
+/// short of `workers × wall`.
+///
+/// Uses flat (non-nested) tasks only: a helping wait inside a task would
+/// double-count the helped tasks' exec time inside the helper's own exec
+/// window and skew the balance upward.
+#[test]
+fn find_loop_time_accounting_balances_against_wall_clock() {
+    const WORKERS: usize = 2;
+    let rt = Runtime::new(RuntimeConfig::with_workers(WORKERS));
+    let start = std::time::Instant::now();
+
+    for _ in 0..30 {
+        let futures: Vec<_> = (0..16)
+            .map(|i: u64| {
+                rt.spawn(move || {
+                    // ~100µs of real work so exec_ns is meaningfully nonzero.
+                    let t = std::time::Instant::now();
+                    let mut acc = i;
+                    while t.elapsed() < Duration::from_micros(100) {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    }
+                    acc
+                })
+            })
+            .collect();
+        for f in futures {
+            f.get();
+        }
+        // Idle gap long enough for every worker to park.
+        std::thread::sleep(Duration::from_micros(1500));
+    }
+    rt.wait_idle();
+    let wall = start.elapsed().as_nanos() as i64;
+
+    let eval = |path: &str| rt.registry().evaluate(path, false).unwrap().value;
+    let exec = eval("/threads{locality#0/total}/time/cumulative");
+    let overhead = eval("/threads{locality#0/total}/time/cumulative-overhead");
+    // idle_ns is published as a rate (0.01% units of idle/(idle+busy));
+    // recover the cumulative figure from the busy total.
+    let rate = eval("/threads{locality#0/total}/idle-rate");
+    let busy = exec + overhead;
+    assert!(busy > 0, "tasks must have accrued exec/overhead time");
+    assert!(rate < 10_000, "workers cannot have been 100% idle");
+    let idle = busy * rate / (10_000 - rate);
+
+    let accounted = exec + overhead + idle;
+    let budget = WORKERS as i64 * wall;
+    assert!(
+        accounted >= budget / 2,
+        "accounted {accounted}ns < half of {budget}ns: find-miss/Retry time \
+         is leaking out of idle_ns"
+    );
+    assert!(
+        accounted <= budget * 3 / 2,
+        "accounted {accounted}ns > 1.5x {budget}ns: time is being \
+         double-counted somewhere"
+    );
+    rt.shutdown();
+}
+
 /// Deep fork/join through the single-allocation task cells: results stay
 /// correct and the overhead counter stays well-formed while every join is
 /// a helping wait.
