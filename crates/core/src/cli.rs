@@ -17,6 +17,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::error::CounterError;
+use crate::query::ResolvedQuery;
 use crate::registry::CounterRegistry;
 use crate::sampler::{CsvSink, JsonSink, SampleSink, Sampler, SamplerConfig};
 
@@ -179,14 +180,12 @@ impl CounterCli {
             return Ok(());
         }
         let mut sink = make_sink(&self.options)?;
-        let mut readings = Vec::new();
-        let mut names = Vec::new();
-        for spec in &self.options.print_counters {
-            for (n, c) in self.registry.get_counters(spec)? {
-                names.push(n.canonical());
-                readings.push((n.canonical(), c.get_value(false)));
-            }
-        }
+        // Resolve once through the handle-cached path; the final read is
+        // lock-free and accounted in the overhead counters like any other
+        // batch.
+        let query = ResolvedQuery::resolve(&self.registry, &self.options.print_counters)?;
+        let names = query.names();
+        let readings = query.evaluate(false);
         sink.begin(&names);
         sink.record(&crate::sampler::SampleBatch {
             sequence: 0,

@@ -40,13 +40,30 @@ impl HistogramSnapshot {
         self.buckets.iter().sum::<u64>() + self.underflow + self.overflow
     }
 
-    /// Width of one bucket.
+    /// Width of one bucket, or 0.0 for a degenerate histogram (no buckets
+    /// or an empty/inverted range). Registration rejects such parameters,
+    /// but the snapshot struct is publicly constructible and `0/0` or
+    /// `x/0` would otherwise surface as NaN/∞ and poison every downstream
+    /// aggregate.
     pub fn bucket_width(&self) -> f64 {
+        // `partial_cmp` (not `max > min`) so NaN bounds also fall into
+        // the degenerate case instead of slipping through a negation.
+        let range_ok = matches!(
+            self.max.partial_cmp(&self.min),
+            Some(std::cmp::Ordering::Greater)
+        );
+        if self.buckets.is_empty() || !range_ok {
+            return 0.0;
+        }
         (self.max - self.min) / self.buckets.len() as f64
     }
 
-    /// The (lower bound, count) of the fullest bucket.
+    /// The (lower bound, count) of the fullest bucket; `None` when the
+    /// histogram is degenerate or holds no samples.
     pub fn mode(&self) -> Option<(f64, u64)> {
+        if self.bucket_width() == 0.0 {
+            return None;
+        }
         let (i, &c) = self.buckets.iter().enumerate().max_by_key(|(_, &c)| c)?;
         if c == 0 {
             return None;
@@ -95,15 +112,19 @@ impl Counter for HistogramCounter {
         let mut s = self.state.lock();
         if sample.status.is_ok() && sample.count > 0 {
             let x = sample.scaled();
-            if x < self.min {
-                s.underflow += 1;
-            } else if x >= self.max {
-                s.overflow += 1;
-            } else {
-                let width = (self.max - self.min) / s.buckets.len() as f64;
-                let idx = ((x - self.min) / width) as usize;
-                let idx = idx.min(s.buckets.len() - 1);
-                s.buckets[idx] += 1;
+            // A non-finite sample compares false against both bounds and
+            // would land in bucket 0 via `NaN as usize`; drop it instead.
+            if x.is_finite() {
+                if x < self.min {
+                    s.underflow += 1;
+                } else if x >= self.max {
+                    s.overflow += 1;
+                } else {
+                    let width = (self.max - self.min) / s.buckets.len() as f64;
+                    let idx = ((x - self.min) / width) as usize;
+                    let idx = idx.min(s.buckets.len() - 1);
+                    s.buckets[idx] += 1;
+                }
             }
         }
         let total = s.buckets.iter().sum::<u64>() + s.underflow + s.overflow;
@@ -263,6 +284,59 @@ mod tests {
         ] {
             assert!(reg.evaluate(bad, false).is_err(), "`{bad}` should fail");
         }
+    }
+
+    #[test]
+    fn degenerate_snapshots_have_finite_width_and_no_mode() {
+        // Empty bucket vector: width must be 0.0, not NaN (0/0).
+        let empty = HistogramSnapshot {
+            min: 0.0,
+            max: 10.0,
+            buckets: Vec::new(),
+            underflow: 0,
+            overflow: 0,
+        };
+        assert_eq!(empty.bucket_width(), 0.0);
+        assert_eq!(empty.mode(), None);
+        assert_eq!(empty.total(), 0);
+
+        // min == max: width must be 0.0, not 0/n (fine) — and an inverted
+        // range must not produce a negative width.
+        for (min, max) in [(5.0, 5.0), (10.0, 5.0)] {
+            let flat = HistogramSnapshot {
+                min,
+                max,
+                buckets: vec![3, 1],
+                underflow: 0,
+                overflow: 0,
+            };
+            assert_eq!(flat.bucket_width(), 0.0, "min={min} max={max}");
+            assert_eq!(flat.mode(), None, "degenerate range has no mode");
+        }
+
+        // NaN bounds (a hand-built snapshot) stay finite too.
+        let nan = HistogramSnapshot {
+            min: f64::NAN,
+            max: f64::NAN,
+            buckets: vec![1],
+            underflow: 0,
+            overflow: 0,
+        };
+        assert_eq!(nan.bucket_width(), 0.0);
+        assert_eq!(nan.mode(), None);
+    }
+
+    #[test]
+    fn healthy_snapshot_still_reports_width_and_mode() {
+        let snap = HistogramSnapshot {
+            min: 0.0,
+            max: 100.0,
+            buckets: vec![0, 7, 2, 0],
+            underflow: 1,
+            overflow: 0,
+        };
+        assert_eq!(snap.bucket_width(), 25.0);
+        assert_eq!(snap.mode(), Some((25.0, 7)));
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub mod error;
 pub mod histogram;
 pub mod locality;
 pub mod name;
+pub mod query;
 pub mod registry;
 pub mod sampler;
 pub mod statistics;
@@ -70,5 +71,6 @@ pub use counter::{Clock, Counter};
 pub use error::CounterError;
 pub use locality::DistributedRegistry;
 pub use name::{CounterInstance, CounterName, InstanceIndex, InstancePart};
+pub use query::ResolvedQuery;
 pub use registry::CounterRegistry;
 pub use value::{CounterInfo, CounterKind, CounterStatus, CounterValue};

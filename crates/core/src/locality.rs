@@ -223,8 +223,14 @@ mod tests {
         let (d, _) = make(2);
         let names = d.discover_all();
         // The simple registration advertises only the bare type path, so
-        // discovery returns it once per locality.
-        assert_eq!(names.len(), 2);
+        // discovery returns it once per locality (builtin self-measurement
+        // counters are advertised too and are filtered out here).
+        let net: Vec<_> = names.iter().filter(|n| n.object == "net").collect();
+        assert_eq!(net.len(), 2);
+        // The overhead counters advertise a pinned locality#0/total instance
+        // which discovery re-pins per locality.
+        let overhead: Vec<_> = names.iter().filter(|n| n.object == "counters").collect();
+        assert_eq!(overhead.len(), 4);
     }
 
     #[test]

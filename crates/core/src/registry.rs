@@ -2,8 +2,28 @@
 //! a discovery function; counter *instances* are created (and cached) on
 //! demand when a name is resolved; an *active set* supports the paper's
 //! `evaluate_active_counters` / `reset_active_counters` protocol.
+//!
+//! # Snapshot-based query engine
+//!
+//! The active set is published as an immutable [`ActiveSnapshot`]: readers
+//! (`evaluate_active_counters`, the [`Sampler`](crate::sampler::Sampler)
+//! tick, `active_names`) clone one `Arc` and then call
+//! [`Counter::get_value`] with **no registry lock held**, so a counter may
+//! freely re-enter the registry — resolve children, list the active set,
+//! evaluate other counters — without self-deadlocking, and concurrent
+//! `add_active`/`remove_active` calls never serialize against a running
+//! evaluation. Writers rebuild and atomically publish a new snapshot.
+//!
+//! Wildcard queries are *live*: the snapshot stores the originating queries
+//! plus a registry **generation** stamp. Any topology change (a counter
+//! type registered or unregistered late, a worker respawned by the runtime
+//! watchdog — signalled through [`CounterRegistry::bump_generation`]) makes
+//! the published snapshot stale, and the next evaluation re-expands the
+//! queries against the current instance population. See DESIGN.md §12 for
+//! the full protocol and its memory-ordering argument.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
@@ -11,7 +31,7 @@ use parking_lot::{Mutex, RwLock};
 use crate::counter::{AverageCounter, ElapsedTimeCounter, MonotonicCounter, RawCounter};
 use crate::counter::{Clock, Counter, PairFn, ValueCell, ValueFn};
 use crate::error::CounterError;
-use crate::name::{CounterName, InstanceIndex};
+use crate::name::{CounterInstance, CounterName, InstanceIndex};
 use crate::value::{CounterInfo, CounterKind, CounterValue};
 
 /// Factory creating a counter instance for a concrete (non-wildcard) name.
@@ -36,9 +56,48 @@ struct CounterTypeEntry {
     discoverer: Option<CounterDiscoverer>,
 }
 
-struct ActiveEntry {
-    name: CounterName,
-    counter: Arc<dyn Counter>,
+/// One resolved entry of an [`ActiveSnapshot`]: a concrete name, its
+/// canonical string (cached — rendering a name allocates), and the live
+/// counter handle.
+pub struct ActiveHandle {
+    /// The concrete (wildcard-expanded) counter name.
+    pub name: CounterName,
+    /// `name.canonical()`, cached at snapshot build time.
+    pub canonical: String,
+    /// The resolved counter instance.
+    pub counter: Arc<dyn Counter>,
+}
+
+/// An immutable, atomically published view of the resolved active set.
+///
+/// Evaluation paths clone the `Arc<ActiveSnapshot>` and drop every registry
+/// lock before touching a counter; the `generation` stamp records which
+/// registry topology the wildcard expansion saw, so readers can detect
+/// staleness with one atomic load.
+pub struct ActiveSnapshot {
+    /// Registry generation the expansion was taken against.
+    pub generation: u64,
+    /// Resolved entries in query insertion order (deduplicated).
+    pub entries: Vec<ActiveHandle>,
+}
+
+impl ActiveSnapshot {
+    fn empty() -> Arc<Self> {
+        Arc::new(ActiveSnapshot {
+            generation: 0,
+            entries: Vec::new(),
+        })
+    }
+}
+
+/// Mutable active-set configuration: the originating queries (wildcards
+/// preserved) and concrete names explicitly removed from underneath a
+/// wildcard query. Guarded by one mutex that is **never** held across a
+/// `Counter::get_value` call; it only serializes snapshot rebuilds.
+#[derive(Default)]
+struct ActiveConfig {
+    queries: Vec<CounterName>,
+    excluded: HashSet<String>,
 }
 
 /// Central registry of counter types and live counter instances.
@@ -49,22 +108,42 @@ pub struct CounterRegistry {
     clock: Arc<Clock>,
     types: RwLock<BTreeMap<String, CounterTypeEntry>>,
     instances: RwLock<HashMap<String, Arc<dyn Counter>>>,
-    active: Mutex<Vec<ActiveEntry>>,
+    /// Active-set configuration (queries + exclusions); serializes rebuilds.
+    active: Mutex<ActiveConfig>,
+    /// The published resolved active set. The lock guards only the pointer
+    /// swap — readers clone the `Arc` and release immediately.
+    snapshot: RwLock<Arc<ActiveSnapshot>>,
+    /// Topology generation: bumped on type (un)registration and by the
+    /// runtime on worker respawn; a snapshot whose stamp lags this value is
+    /// re-expanded on the next evaluation.
+    generation: AtomicU64,
+    /// Self-measurement: cumulative wall time spent evaluating active /
+    /// sampled batches, exposed as `/counters/overhead/time`.
+    overhead_time_ns: AtomicU64,
+    /// Self-measurement: number of batches evaluated
+    /// (`/counters/overhead/count`).
+    overhead_batches: AtomicU64,
 }
 
 impl CounterRegistry {
     /// An empty registry with a fresh clock. Builtin derived counter types
-    /// (`/arithmetics/*`, `/statistics/*`) are registered automatically.
+    /// (`/arithmetics/*`, `/statistics/*`) and the self-measurement
+    /// counters (`/counters/overhead/*`) are registered automatically.
     pub fn new() -> Arc<Self> {
         let reg = Arc::new(CounterRegistry {
             clock: Arc::new(Clock::new()),
             types: RwLock::new(BTreeMap::new()),
             instances: RwLock::new(HashMap::new()),
-            active: Mutex::new(Vec::new()),
+            active: Mutex::new(ActiveConfig::default()),
+            snapshot: RwLock::new(ActiveSnapshot::empty()),
+            generation: AtomicU64::new(1),
+            overhead_time_ns: AtomicU64::new(0),
+            overhead_batches: AtomicU64::new(0),
         });
         crate::derived::register_arithmetics(&reg);
         crate::histogram::register_histogram(&reg);
         crate::statistics::register_statistics(&reg);
+        register_overhead_counters(&reg);
         reg
     }
 
@@ -79,6 +158,9 @@ impl CounterRegistry {
 
     /// Register a counter type. `info.name` must be the type path
     /// (`/object/countername`). Re-registration replaces the entry.
+    /// Registration bumps the topology [generation](Self::generation), so
+    /// live wildcard queries pick the new type's instances up on their
+    /// next evaluation.
     pub fn register_type(
         &self,
         info: CounterInfo,
@@ -94,9 +176,11 @@ impl CounterRegistry {
                 discoverer,
             },
         );
+        self.bump_generation();
     }
 
-    /// Remove a counter type and all cached instances of it.
+    /// Remove a counter type and all cached instances of it. Bumps the
+    /// topology [generation](Self::generation).
     pub fn unregister_type(&self, type_path: &str) {
         self.types.write().remove(type_path);
         let prefix_obj = type_path.to_owned();
@@ -105,6 +189,24 @@ impl CounterRegistry {
                 .map(|n| n.type_path() != prefix_obj)
                 .unwrap_or(true)
         });
+        self.bump_generation();
+    }
+
+    /// The current topology generation. Snapshots and
+    /// [`ResolvedQuery`](crate::query::ResolvedQuery) handles stamped with
+    /// an older value re-expand their wildcards before the next use.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Advance the topology generation, invalidating every published
+    /// snapshot and cached query resolution. Called internally on type
+    /// (un)registration; the runtime calls it when the instance population
+    /// behind a discoverer changes (e.g. a worker was respawned by the
+    /// watchdog supervisor) so running samplers re-expand `worker-thread#*`
+    /// wildcards.
+    pub fn bump_generation(&self) {
+        self.generation.fetch_add(1, Ordering::AcqRel);
     }
 
     /// Metadata of every registered counter type, sorted by type path.
@@ -242,65 +344,203 @@ impl CounterRegistry {
     // ------------------------------------------------------------------
 
     /// Add counters (wildcards allowed) to the active set and `start` them.
+    ///
+    /// Resolution errors surface eagerly (an unknown type or a wildcard
+    /// matching nothing is an error *now*), but the query itself stays
+    /// live afterwards: instances appearing later under the same wildcard
+    /// join the set on the evaluation after the next generation bump.
+    /// Returns the number of concrete counters the call added.
     pub fn add_active(self: &Arc<Self>, name: &str) -> Result<usize, CounterError> {
-        let resolved = self.get_counters(name)?;
-        let mut active = self.active.lock();
-        let mut added = 0;
-        for (n, c) in resolved {
-            if active.iter().any(|e| e.name == n) {
-                continue;
-            }
-            c.start();
-            active.push(ActiveEntry {
-                name: n,
-                counter: c,
-            });
-            added += 1;
+        let parsed: CounterName = name.parse()?;
+        // Validate eagerly, before mutating the configuration.
+        for n in self.expand(&parsed)? {
+            self.get_counter(&n)?;
         }
-        Ok(added)
-    }
-
-    /// Remove a counter (exact concrete name) from the active set.
-    pub fn remove_active(&self, name: &str) -> bool {
-        let mut active = self.active.lock();
-        let before = active.len();
-        active.retain(|e| {
-            if e.name.canonical() == name {
-                e.counter.stop();
-                false
-            } else {
-                true
-            }
-        });
-        active.len() != before
-    }
-
-    /// Names currently in the active set, in insertion order.
-    pub fn active_names(&self) -> Vec<String> {
-        self.active
-            .lock()
+        let mut config = self.active.lock();
+        let previous: HashSet<String> = self
+            .snapshot
+            .read()
+            .entries
             .iter()
-            .map(|e| e.name.canonical())
+            .map(|e| e.canonical.clone())
+            .collect();
+        // Re-adding un-excludes: the freshest intent wins.
+        if let Ok(names) = self.expand(&parsed) {
+            for n in &names {
+                config.excluded.remove(&n.canonical());
+            }
+        }
+        if !config.queries.contains(&parsed) {
+            config.queries.push(parsed);
+        }
+        let snap = self.rebuild_locked(&config);
+        Ok(snap
+            .entries
+            .iter()
+            .filter(|e| !previous.contains(&e.canonical))
+            .count())
+    }
+
+    /// Remove counters from the active set and `stop` them.
+    ///
+    /// The name is parsed and canonicalized before matching, so any
+    /// spelling that parses to the same structured name (`worker-thread#07`
+    /// vs `worker-thread#7`, …) removes the counter it added. A name that
+    /// matches a stored query (including a wildcard query) removes the
+    /// whole query; a concrete name that was expanded *from* a wildcard
+    /// query is excluded individually while the query stays live.
+    pub fn remove_active(self: &Arc<Self>, name: &str) -> bool {
+        // Unparseable input can still name a stored raw query string.
+        let canonical = name
+            .parse::<CounterName>()
+            .map(|p| p.canonical())
+            .unwrap_or_else(|_| name.to_owned());
+        let mut config = self.active.lock();
+        let before = config.queries.len();
+        config.queries.retain(|q| q.canonical() != canonical);
+        let mut removed = config.queries.len() != before;
+        if !removed {
+            // Not a stored query — maybe a concrete expansion of one.
+            let covered = self
+                .snapshot
+                .read()
+                .entries
+                .iter()
+                .any(|e| e.canonical == canonical);
+            if covered {
+                removed = config.excluded.insert(canonical);
+            }
+        }
+        if removed {
+            self.rebuild_locked(&config);
+        }
+        removed
+    }
+
+    /// Canonical names currently in the active set, in query insertion
+    /// order. Holds no lock while returning — safe to call from inside a
+    /// counter's `get_value`.
+    pub fn active_names(self: &Arc<Self>) -> Vec<String> {
+        self.active_snapshot()
+            .entries
+            .iter()
+            .map(|e| e.canonical.clone())
             .collect()
+    }
+
+    /// The current resolved active set, re-expanded first if the registry
+    /// topology moved since it was published. The returned snapshot is
+    /// immutable; callers iterate it without any registry lock.
+    pub fn active_snapshot(self: &Arc<Self>) -> Arc<ActiveSnapshot> {
+        let snap = self.snapshot.read().clone();
+        if snap.generation == self.generation() {
+            return snap;
+        }
+        let config = self.active.lock();
+        self.rebuild_locked(&config)
+    }
+
+    /// Re-expand the active queries and publish a fresh snapshot. The
+    /// `active` mutex (held by the caller) serializes rebuilds; expansion
+    /// and instantiation take only the short-lived `types`/`instances`
+    /// locks, never across a counter call. Queries that currently match
+    /// nothing stay stored and contribute no entries.
+    fn rebuild_locked(self: &Arc<Self>, config: &ActiveConfig) -> Arc<ActiveSnapshot> {
+        // Stamp before expanding: a concurrent bump mid-expansion leaves
+        // the published snapshot stale, so the next reader re-expands —
+        // changes are never lost, at worst re-observed once more.
+        let generation = self.generation();
+        let mut entries = Vec::new();
+        let mut seen: HashSet<String> = HashSet::new();
+        for query in &config.queries {
+            let Ok(names) = self.expand(query) else {
+                continue;
+            };
+            for name in names {
+                let canonical = name.canonical();
+                if config.excluded.contains(&canonical) || !seen.insert(canonical.clone()) {
+                    continue;
+                }
+                if let Ok(counter) = self.get_counter(&name) {
+                    entries.push(ActiveHandle {
+                        name,
+                        canonical,
+                        counter,
+                    });
+                }
+            }
+        }
+        let snap = Arc::new(ActiveSnapshot {
+            generation,
+            entries,
+        });
+        let previous = {
+            let mut w = self.snapshot.write();
+            std::mem::replace(&mut *w, snap.clone())
+        };
+        // Lifecycle diff: start counters entering the set, stop leavers.
+        let old: HashSet<&str> = previous
+            .entries
+            .iter()
+            .map(|e| e.canonical.as_str())
+            .collect();
+        let new: HashSet<&str> = snap.entries.iter().map(|e| e.canonical.as_str()).collect();
+        for e in snap
+            .entries
+            .iter()
+            .filter(|e| !old.contains(e.canonical.as_str()))
+        {
+            e.counter.start();
+        }
+        for e in previous
+            .entries
+            .iter()
+            .filter(|e| !new.contains(e.canonical.as_str()))
+        {
+            e.counter.stop();
+        }
+        snap
     }
 
     /// Evaluate every active counter (the paper's
     /// `hpx::evaluate_active_counters`). With `reset`, accumulation restarts
     /// atomically with the read.
-    pub fn evaluate_active_counters(&self, reset: bool) -> Vec<(String, CounterValue)> {
-        self.active
-            .lock()
+    ///
+    /// No registry lock is held across any `get_value` call: the resolved
+    /// set is an immutable snapshot, so counters may re-enter the registry
+    /// and concurrent `add_active`/`remove_active` calls never block the
+    /// evaluation (they publish a new snapshot for the *next* batch). The
+    /// batch's wall time is accumulated into `/counters/overhead/time`.
+    pub fn evaluate_active_counters(self: &Arc<Self>, reset: bool) -> Vec<(String, CounterValue)> {
+        let t0 = self.clock.now_ns();
+        let snap = self.active_snapshot();
+        let out: Vec<(String, CounterValue)> = snap
+            .entries
             .iter()
-            .map(|e| (e.name.canonical(), e.counter.get_value(reset)))
-            .collect()
+            .map(|e| (e.canonical.clone(), e.counter.get_value(reset)))
+            .collect();
+        self.record_query_overhead(self.clock.now_ns().saturating_sub(t0), 1);
+        out
     }
 
     /// Reset every active counter without reading
-    /// (`hpx::reset_active_counters`).
-    pub fn reset_active_counters(&self) {
-        for e in self.active.lock().iter() {
+    /// (`hpx::reset_active_counters`). Lock-free against evaluations, like
+    /// [`evaluate_active_counters`](Self::evaluate_active_counters).
+    pub fn reset_active_counters(self: &Arc<Self>) {
+        let snap = self.active_snapshot();
+        for e in snap.entries.iter() {
             e.counter.reset();
         }
+    }
+
+    /// Fold one evaluated batch into the self-measurement counters
+    /// (`/counters/overhead/time`, `/counters/overhead/count`). Called by
+    /// the active-set evaluation and by the [`Sampler`]
+    /// (crate::sampler::Sampler) tick.
+    pub fn record_query_overhead(&self, elapsed_ns: u64, batches: u64) {
+        self.overhead_time_ns
+            .fetch_add(elapsed_ns, Ordering::Relaxed);
+        self.overhead_batches.fetch_add(batches, Ordering::Relaxed);
     }
 
     // ------------------------------------------------------------------
@@ -420,8 +660,57 @@ impl std::fmt::Debug for CounterRegistry {
         f.debug_struct("CounterRegistry")
             .field("types", &self.types.read().len())
             .field("instances", &self.instances.read().len())
-            .field("active", &self.active.lock().len())
+            .field("active", &self.snapshot.read().entries.len())
+            .field("generation", &self.generation())
             .finish()
+    }
+}
+
+/// Register the self-measurement counters:
+/// `/counters{locality#0/total}/overhead/time` (cumulative evaluation wall
+/// time, ns) and `/counters{locality#0/total}/overhead/count` (batches
+/// evaluated). Factories hold only a `Weak` back-reference so the registry
+/// is not kept alive by its own counters.
+fn register_overhead_counters(reg: &Arc<CounterRegistry>) {
+    type OverheadRead = fn(&CounterRegistry) -> i64;
+    let specs: [(&str, &str, &str, OverheadRead); 2] = [
+        (
+            "/counters/overhead/time",
+            "cumulative wall time spent evaluating counter batches",
+            "ns",
+            |r| r.overhead_time_ns.load(Ordering::Relaxed) as i64,
+        ),
+        (
+            "/counters/overhead/count",
+            "number of counter batches evaluated",
+            "1",
+            |r| r.overhead_batches.load(Ordering::Relaxed) as i64,
+        ),
+    ];
+    for (path, help, unit, read) in specs {
+        let weak = Arc::downgrade(reg);
+        let value: ValueFn = Arc::new(move || weak.upgrade().map_or(0, |r| read(&r)));
+        let clock = reg.clock();
+        let info = CounterInfo::new(path, CounterKind::MonotonicallyIncreasing, help, unit);
+        let info2 = info.clone();
+        let advertised: CounterName = match path.parse::<CounterName>() {
+            Ok(n) => n.with_instance(CounterInstance::total(0)),
+            Err(_) => continue,
+        };
+        reg.register_type(
+            info,
+            Arc::new(move |name, _reg| {
+                let mut i = info2.clone();
+                i.name = name.canonical();
+                Ok(
+                    Arc::new(MonotonicCounter::new(i, clock.clone(), value.clone()))
+                        as Arc<dyn Counter>,
+                )
+            }),
+            Some(Arc::new(move |f: &mut dyn FnMut(CounterName)| {
+                f(advertised.clone())
+            })),
+        );
     }
 }
 
@@ -642,5 +931,198 @@ mod tests {
         assert_eq!(info.help, "the help");
         assert_eq!(info.unit, "µs");
         assert!(reg.type_info("/nope/x").is_none());
+    }
+
+    /// Register a worker-style type whose discoverer advertises however
+    /// many workers `count` currently says exist — a stand-in for the
+    /// runtime's live topology.
+    fn register_growable(reg: &Arc<CounterRegistry>, count: Arc<AtomicI64>) {
+        let info = CounterInfo::new("/threads/count", CounterKind::Raw, "h", "1");
+        let clock = reg.clock();
+        reg.register_type(
+            info,
+            Arc::new(move |name, _| {
+                let mut i = CounterInfo::new("/threads/count", CounterKind::Raw, "h", "1");
+                i.name = name.canonical();
+                Ok(Arc::new(RawCounter::new(i, clock.clone(), Arc::new(|| 1))) as Arc<dyn Counter>)
+            }),
+            Some(Arc::new(move |f: &mut dyn FnMut(CounterName)| {
+                for w in 0..count.load(Ordering::Relaxed) {
+                    f(CounterName::new("threads", "count")
+                        .with_instance(CounterInstance::worker(0, w as u32)));
+                }
+            })),
+        );
+    }
+
+    #[test]
+    fn wildcard_active_query_tracks_topology_changes() {
+        let reg = CounterRegistry::new();
+        let workers = Arc::new(AtomicI64::new(2));
+        register_growable(&reg, workers.clone());
+
+        let added = reg
+            .add_active("/threads{locality#0/worker-thread#*}/count")
+            .unwrap();
+        assert_eq!(added, 2);
+        assert_eq!(reg.evaluate_active_counters(false).len(), 2);
+
+        // Topology grows (e.g. a worker respawned with a new slot); the
+        // query is live, so one generation bump re-expands it.
+        workers.store(3, Ordering::Relaxed);
+        reg.bump_generation();
+        let vals = reg.evaluate_active_counters(false);
+        assert_eq!(vals.len(), 3, "new instance joins within one evaluation");
+        assert!(vals
+            .iter()
+            .any(|(n, _)| n == "/threads{locality#0/worker-thread#2}/count"));
+
+        workers.store(1, Ordering::Relaxed);
+        reg.bump_generation();
+        assert_eq!(reg.evaluate_active_counters(false).len(), 1);
+    }
+
+    #[test]
+    fn reentrant_counter_in_active_set_does_not_deadlock() {
+        let reg = CounterRegistry::new();
+        reg.register_raw("/src/child", "h", "1", Arc::new(|| 21));
+        // A derived counter whose read path re-enters the registry: it
+        // resolves and evaluates another counter *and* inspects the active
+        // set while itself being evaluated from the active set.
+        let weak = Arc::downgrade(&reg);
+        reg.register_raw(
+            "/derived/reentrant",
+            "h",
+            "1",
+            Arc::new(move || {
+                let Some(r) = weak.upgrade() else { return -1 };
+                let names = r.active_names();
+                assert!(names.iter().any(|n| n == "/derived/reentrant"));
+                r.evaluate("/src/child", false).map_or(-1, |v| v.value * 2)
+            }),
+        );
+        reg.add_active("/derived/reentrant").unwrap();
+        let vals = reg.evaluate_active_counters(false);
+        assert_eq!(vals.len(), 1);
+        assert_eq!(vals[0].1.value, 42);
+    }
+
+    #[test]
+    fn statistics_over_active_child_does_not_deadlock() {
+        let reg = CounterRegistry::new();
+        let v = Arc::new(AtomicI64::new(10));
+        let v2 = v.clone();
+        reg.register_raw(
+            "/src/child",
+            "h",
+            "1",
+            Arc::new(move || v2.load(Ordering::Relaxed)),
+        );
+        reg.add_active("/src/child").unwrap();
+        reg.add_active("/statistics/average@/src/child").unwrap();
+        let mut last = CounterValue::empty(0);
+        for x in [10, 20, 30] {
+            v.store(x, Ordering::Relaxed);
+            let vals = reg.evaluate_active_counters(false);
+            assert_eq!(vals.len(), 2);
+            last = vals
+                .iter()
+                .find(|(n, _)| n == "/statistics/average@/src/child")
+                .unwrap()
+                .1;
+        }
+        assert_eq!(last.scaled(), 20.0);
+    }
+
+    #[test]
+    fn remove_active_canonicalizes_spelling() {
+        let reg = CounterRegistry::new();
+        let workers = Arc::new(AtomicI64::new(3));
+        register_growable(&reg, workers);
+        assert_eq!(
+            reg.add_active("/threads{locality#0/worker-thread#2}/count")
+                .unwrap(),
+            1
+        );
+        // Leading-zero spelling parses to the same structured name.
+        assert!(reg.remove_active("/threads{locality#00/worker-thread#02}/count"));
+        assert!(reg.evaluate_active_counters(false).is_empty());
+        assert!(!reg.remove_active("/threads{locality#0/worker-thread#2}/count"));
+    }
+
+    #[test]
+    fn remove_one_expansion_keeps_wildcard_live() {
+        let reg = CounterRegistry::new();
+        let workers = Arc::new(AtomicI64::new(2));
+        register_growable(&reg, workers.clone());
+        reg.add_active("/threads{locality#0/worker-thread#*}/count")
+            .unwrap();
+        // Excluding one concrete expansion keeps the query itself live.
+        assert!(reg.remove_active("/threads{locality#0/worker-thread#1}/count"));
+        assert_eq!(
+            reg.active_names(),
+            vec!["/threads{locality#0/worker-thread#0}/count".to_string()]
+        );
+        // New instances still join; the exclusion sticks.
+        workers.store(3, Ordering::Relaxed);
+        reg.bump_generation();
+        let names = reg.active_names();
+        assert_eq!(names.len(), 2);
+        assert!(!names
+            .iter()
+            .any(|n| n == "/threads{locality#0/worker-thread#1}/count"));
+        // Re-adding clears the exclusion.
+        reg.add_active("/threads{locality#0/worker-thread#*}/count")
+            .unwrap();
+        assert_eq!(reg.active_names().len(), 3);
+    }
+
+    #[test]
+    fn overhead_counters_account_for_evaluations() {
+        let reg = CounterRegistry::new();
+        reg.register_raw("/test/value", "h", "1", Arc::new(|| 1));
+        reg.add_active("/test/value").unwrap();
+        for _ in 0..64 {
+            let _ = reg.evaluate_active_counters(false);
+        }
+        let count = reg
+            .evaluate("/counters{locality#0/total}/overhead/count", false)
+            .unwrap();
+        assert!(count.value >= 64, "batch count tracks evaluations");
+        let time = reg
+            .evaluate("/counters{locality#0/total}/overhead/time", false)
+            .unwrap();
+        assert!(time.value > 0, "evaluation wall time accumulates");
+        // The overhead counters are discoverable like any other type.
+        let names = reg.discover_all();
+        assert!(names
+            .iter()
+            .any(|n| n.canonical() == "/counters{locality#0/total}/overhead/time"));
+    }
+
+    #[test]
+    fn evaluation_holds_no_registry_lock() {
+        // A counter that mutates the registry *during* evaluation: with a
+        // lock held across get_value this would deadlock; with snapshots it
+        // must merely take effect on the next batch.
+        let reg = CounterRegistry::new();
+        let weak = Arc::downgrade(&reg);
+        reg.register_raw(
+            "/test/mutator",
+            "h",
+            "1",
+            Arc::new(move || {
+                if let Some(r) = weak.upgrade() {
+                    r.register_raw("/late/arrival", "h", "1", Arc::new(|| 9));
+                    let _ = r.add_active("/late/arrival");
+                }
+                1
+            }),
+        );
+        reg.add_active("/test/mutator").unwrap();
+        let vals = reg.evaluate_active_counters(false);
+        assert_eq!(vals.len(), 1, "current batch uses its own snapshot");
+        let vals = reg.evaluate_active_counters(false);
+        assert_eq!(vals.len(), 2, "mutation lands on the next batch");
     }
 }

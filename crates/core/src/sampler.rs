@@ -10,7 +10,16 @@
 //! are still sampled, and the failing counter is backed off exponentially
 //! (with jitter, capped at 32 intervals) so a persistently broken counter
 //! cannot dominate the sampling budget.
+//!
+//! Sampling is also *live*: names are resolved into counter handles once
+//! per topology [generation](CounterRegistry::generation) via
+//! [`ResolvedQuery`], not once per tick and not once per run. When the
+//! topology moves (a worker respawned, a type registered late), the next
+//! tick re-expands any wildcard specs, re-announces the schema to the sink,
+//! and keeps sampling — per-counter backoff state survives for counters
+//! present across the change.
 
+use std::collections::HashMap;
 use std::io::Write;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -21,7 +30,7 @@ use parking_lot::Mutex;
 
 use crate::counter::Counter;
 use crate::error::CounterError;
-use crate::name::CounterName;
+use crate::query::ResolvedQuery;
 use crate::registry::CounterRegistry;
 use crate::value::CounterValue;
 
@@ -60,11 +69,24 @@ impl<W: Write + Send> CsvSink<W> {
     }
 }
 
+/// RFC 4180 field escaping: a field containing a comma, quote or line
+/// break is wrapped in double quotes with inner quotes doubled. Counter
+/// names can contain commas (statistics window parameters) and arbitrary
+/// parameter text, so the header must escape them or every subsequent
+/// column shifts.
+fn csv_escape(field: &str) -> std::borrow::Cow<'_, str> {
+    if field.contains([',', '"', '\n', '\r']) {
+        std::borrow::Cow::Owned(format!("\"{}\"", field.replace('"', "\"\"")))
+    } else {
+        std::borrow::Cow::Borrowed(field)
+    }
+}
+
 impl<W: Write + Send> SampleSink for CsvSink<W> {
     fn begin(&mut self, names: &[String]) {
         let _ = write!(self.out, "sequence,timestamp_ns");
         for n in names {
-            let _ = write!(self.out, ",{n}");
+            let _ = write!(self.out, ",{}", csv_escape(n));
         }
         let _ = writeln!(self.out);
     }
@@ -219,17 +241,18 @@ struct ReadState {
 }
 
 impl Sampler {
-    /// Resolve the configured names and start the sampling thread.
+    /// Resolve the configured names (eagerly — unknown counters are an
+    /// error now) and start the sampling thread. The resolved handles are
+    /// cached per topology generation: each tick evaluates them with no
+    /// registry lock held, and only a generation bump triggers
+    /// re-resolution (see [`ResolvedQuery`]).
     pub fn start(
         registry: &Arc<CounterRegistry>,
         config: SamplerConfig,
         mut sink: Box<dyn SampleSink>,
     ) -> Result<Self, CounterError> {
-        let mut resolved: Vec<(CounterName, Arc<dyn Counter>)> = Vec::new();
-        for spec in &config.counters {
-            resolved.extend(registry.get_counters(spec)?);
-        }
-        let names: Vec<String> = resolved.iter().map(|(n, _)| n.canonical()).collect();
+        let mut query = ResolvedQuery::resolve(registry, &config.counters)?;
+        let registry = registry.clone();
         let clock = registry.clock();
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = stop.clone();
@@ -238,26 +261,39 @@ impl Sampler {
         let handle = std::thread::Builder::new()
             .name("rpx-counter-sampler".into())
             .spawn(move || {
-                sink.begin(&names);
+                sink.begin(&query.names());
                 let mut sequence: u64 = 0;
-                let mut states = vec![ReadState::default(); resolved.len()];
+                // Resilience state keyed by canonical name so it survives
+                // re-expansion for counters present across the change.
+                let mut states: HashMap<String, ReadState> = HashMap::new();
                 while !stop2.load(Ordering::Acquire) {
+                    if query.refresh() {
+                        // The resolved set changed: announce the new schema
+                        // (CSV emits a fresh header row) and drop state for
+                        // counters that left the set.
+                        sink.begin(&query.names());
+                        let names: std::collections::HashSet<String> =
+                            query.names().into_iter().collect();
+                        states.retain(|n, _| names.contains(n));
+                    }
                     let timestamp_ns = clock.now_ns();
-                    let readings = resolved
+                    let readings: Vec<(String, CounterValue)> = query
+                        .handles()
                         .iter()
-                        .zip(states.iter_mut())
-                        .map(|((n, c), st)| {
+                        .map(|h| {
+                            let st = states.entry(h.canonical.clone()).or_default();
                             let v = sample_one(
-                                c,
+                                &h.counter,
                                 config.reset_on_read,
                                 st,
                                 &health2,
                                 timestamp_ns,
                                 sequence,
                             );
-                            (n.canonical(), v)
+                            (h.canonical.clone(), v)
                         })
                         .collect();
+                    registry.record_query_overhead(clock.now_ns().saturating_sub(timestamp_ns), 1);
                     sink.record(&SampleBatch {
                         sequence,
                         timestamp_ns,
@@ -536,6 +572,138 @@ mod tests {
         let s = String::from_utf8(buf).unwrap();
         assert_eq!(s.lines().next().unwrap(), "sequence,timestamp_ns,/a/b");
         assert_eq!(s.lines().nth(1).unwrap(), "0,123,7");
+    }
+
+    #[test]
+    fn csv_header_escapes_names_with_commas_and_quotes() {
+        let mut buf = Vec::new();
+        {
+            let mut sink = CsvSink::new(&mut buf);
+            sink.begin(&[
+                "/statistics/median@/src/value,5".into(),
+                "/app/\"quoted\"".into(),
+                "/plain/name".into(),
+            ]);
+            sink.record(&SampleBatch {
+                sequence: 0,
+                timestamp_ns: 1,
+                readings: vec![
+                    ("a".into(), CounterValue::new(1, 1)),
+                    ("b".into(), CounterValue::new(2, 1)),
+                    ("c".into(), CounterValue::new(3, 1)),
+                ],
+            });
+            sink.finish();
+        }
+        let s = String::from_utf8(buf).unwrap();
+        let header = s.lines().next().unwrap();
+        assert_eq!(
+            header,
+            "sequence,timestamp_ns,\"/statistics/median@/src/value,5\",\
+             \"/app/\"\"quoted\"\"\",/plain/name"
+        );
+        // The data row keeps the same number of fields as the header.
+        let fields = |line: &str| {
+            let mut n = 0;
+            let mut in_quotes = false;
+            for c in line.chars() {
+                match c {
+                    '"' => in_quotes = !in_quotes,
+                    ',' if !in_quotes => n += 1,
+                    _ => {}
+                }
+            }
+            n + 1
+        };
+        assert_eq!(fields(header), fields(s.lines().nth(1).unwrap()));
+    }
+
+    #[test]
+    fn sampler_picks_up_topology_changes() {
+        use crate::name::{CounterInstance, CounterName};
+        use crate::value::{CounterInfo, CounterKind};
+
+        let reg = CounterRegistry::new();
+        let workers = Arc::new(AtomicI64::new(1));
+        let w2 = workers.clone();
+        let info = CounterInfo::new("/threads/count", CounterKind::Raw, "h", "1");
+        let clock = reg.clock();
+        reg.register_type(
+            info,
+            Arc::new(move |name, _| {
+                let mut i = CounterInfo::new("/threads/count", CounterKind::Raw, "h", "1");
+                i.name = name.canonical();
+                Ok(Arc::new(crate::counter::RawCounter::new(
+                    i,
+                    clock.clone(),
+                    Arc::new(|| 1),
+                )) as Arc<dyn Counter>)
+            }),
+            Some(Arc::new(move |f: &mut dyn FnMut(CounterName)| {
+                for w in 0..w2.load(Ordering::Relaxed) {
+                    f(CounterName::new("threads", "count")
+                        .with_instance(CounterInstance::worker(0, w as u32)));
+                }
+            })),
+        );
+
+        let sink = MemorySink::new();
+        let batches = sink.batches();
+        let sampler = Sampler::start(
+            &reg,
+            SamplerConfig::new(
+                vec!["/threads{locality#0/worker-thread#*}/count".into()],
+                Duration::from_millis(2),
+            ),
+            Box::new(sink),
+        )
+        .unwrap();
+
+        while batches.lock().len() < 2 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(batches.lock()[0].readings.len(), 1);
+
+        // Topology change mid-run: one generation bump, and the next tick
+        // re-expands the wildcard without restarting the sampler.
+        workers.store(3, Ordering::Relaxed);
+        reg.bump_generation();
+        let seen = batches.lock().len();
+        while batches.lock().last().map(|b| b.readings.len()).unwrap_or(0) < 3 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        sampler.stop();
+
+        let collected = batches.lock();
+        let wide = collected.iter().skip(seen).find(|b| b.readings.len() == 3);
+        let wide = wide.expect("a post-bump batch samples all three workers");
+        assert!(wide
+            .readings
+            .iter()
+            .any(|(n, _)| n == "/threads{locality#0/worker-thread#2}/count"));
+    }
+
+    #[test]
+    fn sampler_records_query_overhead() {
+        let reg = CounterRegistry::new();
+        reg.register_raw("/test/v", "h", "1", Arc::new(|| 1));
+        let sink = MemorySink::new();
+        let batches = sink.batches();
+        let sampler = Sampler::start(
+            &reg,
+            SamplerConfig::new(vec!["/test/v".into()], Duration::from_millis(1)),
+            Box::new(sink),
+        )
+        .unwrap();
+        while batches.lock().len() < 5 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        sampler.stop();
+        let n = batches.lock().len() as i64;
+        let count = reg
+            .evaluate("/counters{locality#0/total}/overhead/count", false)
+            .unwrap();
+        assert!(count.value >= n, "every tick is one accounted batch");
     }
 
     #[test]

@@ -103,13 +103,32 @@ impl Counter for StatisticsCounter {
             state.running.reset();
             state.window.reset();
         }
-        CounterValue::new(value.round() as i64, sample.timestamp_ns).with_count(n)
+        statistic_to_value(value, sample.timestamp_ns, n)
     }
 
     fn reset(&self) {
         let mut state = self.state.lock();
         state.running.reset();
         state.window.reset();
+    }
+}
+
+/// Convert a computed statistic into a transportable [`CounterValue`].
+///
+/// NaN/∞ (e.g. a degenerate window) must not masquerade as a valid 0 —
+/// `f64::round() as i64` saturates NaN to 0 — so non-finite statistics
+/// report "no data". Fractional statistics (sub-unit averages of rate-like
+/// children) are carried as milli-units through the value's scaling fields
+/// instead of being rounded away; integral statistics stay unscaled so raw
+/// `value` consumers see the exact integer.
+fn statistic_to_value(value: f64, timestamp_ns: u64, n: u64) -> CounterValue {
+    if !value.is_finite() {
+        return CounterValue::empty(timestamp_ns);
+    }
+    if value.fract() == 0.0 {
+        CounterValue::new(value as i64, timestamp_ns).with_count(n)
+    } else {
+        CounterValue::scaled_by((value * 1000.0).round() as i64, 1000, timestamp_ns).with_count(n)
     }
 }
 
@@ -296,6 +315,36 @@ mod tests {
             reg.evaluate("/statistics/average", false),
             Err(CounterError::InvalidParameters(_))
         ));
+    }
+
+    #[test]
+    fn fractional_statistics_keep_sub_unit_precision() {
+        let (reg, src) = reg_with_source();
+        let name: CounterName = "/statistics/average@/src/value".parse().unwrap();
+        let c = reg.get_counter(&name).unwrap();
+        src.store(10, Ordering::Relaxed);
+        let _ = c.get_value(false);
+        src.store(15, Ordering::Relaxed);
+        let v = c.get_value(false);
+        // Mean of {10, 15} is 12.5 — transported as 12500/1000, not
+        // rounded to 12 or 13.
+        assert_eq!(v.scaled(), 12.5);
+        assert_eq!(v.value, 12500);
+        assert_eq!(v.scaling, 1000);
+        assert_eq!(v.count, 2);
+    }
+
+    #[test]
+    fn non_finite_statistics_report_no_data() {
+        let nan = statistic_to_value(f64::NAN, 7, 3);
+        assert_eq!(nan.status, CounterStatus::NewData);
+        assert_eq!(nan.value, 0);
+        assert_eq!(nan.count, 0);
+        let inf = statistic_to_value(f64::INFINITY, 7, 3);
+        assert_eq!(inf.status, CounterStatus::NewData);
+        // Integral statistics stay raw; fractional ones scale.
+        assert_eq!(statistic_to_value(20.0, 0, 1).value, 20);
+        assert_eq!(statistic_to_value(20.0, 0, 1).scaling, 1);
     }
 
     #[test]

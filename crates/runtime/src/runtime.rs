@@ -182,6 +182,11 @@ impl Runtime {
                                 inner.state.stats[index]
                                     .restarts
                                     .fetch_add(1, Ordering::Relaxed);
+                                // Topology event: live wildcard queries
+                                // (`worker-thread#*`) re-expand on their
+                                // next evaluation and pick up the respawned
+                                // worker's counters.
+                                inner.registry.bump_generation();
                                 if inner.shutdown.load(Ordering::Acquire) {
                                     break;
                                 }

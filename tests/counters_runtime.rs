@@ -204,6 +204,61 @@ fn counter_overhead_is_small_for_moderate_tasks() {
 }
 
 #[test]
+fn overhead_counters_expose_sampler_cost() {
+    // The paper's intrinsic-overhead claim as a queryable counter: the
+    // time spent evaluating counter batches is itself measured and
+    // reported under /counters{locality#0/total}/overhead/*.
+    let rt = Runtime::new(RuntimeConfig::with_workers(2));
+    let reg = rt.registry();
+    let sink = MemorySink::new();
+    let batches = sink.batches();
+    let sampler = Sampler::start(
+        &reg,
+        SamplerConfig::new(
+            vec![
+                "/threads{locality#0/total}/count/cumulative".into(),
+                "/threads{locality#0/worker-thread#*}/time/cumulative".into(),
+            ],
+            std::time::Duration::from_millis(2),
+        ),
+        Box::new(sink),
+    )
+    .unwrap();
+
+    spawn_burst(&rt, 200, 2_000);
+    rt.wait_idle();
+    while batches.lock().len() < 10 {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    sampler.stop();
+    let ticks = batches.lock().len() as i64;
+
+    let count = reg
+        .evaluate("/counters{locality#0/total}/overhead/count", false)
+        .unwrap();
+    assert!(
+        count.value >= ticks,
+        "every sampler tick is an accounted batch ({} < {ticks})",
+        count.value
+    );
+    let time = reg
+        .evaluate("/counters{locality#0/total}/overhead/time", false)
+        .unwrap();
+    assert!(
+        time.value > 0,
+        "evaluation wall time must be nonzero after {ticks} ticks"
+    );
+    // Self-measurement stays intrinsic: far below a millisecond per batch
+    // on average for this tiny counter set.
+    let per_batch_ns = time.value / count.value.max(1);
+    assert!(
+        per_batch_ns < 5_000_000,
+        "overhead/time reports {per_batch_ns}ns per batch — implausible"
+    );
+    rt.shutdown();
+}
+
+#[test]
 fn multiple_runtimes_have_independent_registries() {
     let a = Runtime::new(RuntimeConfig::with_workers(1));
     let b = Runtime::new(RuntimeConfig::with_workers(1));

@@ -327,6 +327,103 @@ fn health_benchmark_matches_serial_oracle_under_faults() {
     rt.shutdown();
 }
 
+#[test]
+fn wildcard_active_set_survives_worker_respawn() {
+    install_quiet_hook();
+    const WORKERS: usize = 3;
+    let rt = Runtime::new(RuntimeConfig {
+        workers: WORKERS,
+        faults: Some(FaultPlan {
+            seed: 21,
+            worker_kill_ppm: 80_000,
+            max_per_category: 6,
+            ..FaultPlan::default()
+        }),
+        ..RuntimeConfig::with_workers(WORKERS)
+    });
+    let injector = rt.fault_injector().unwrap();
+    let reg = rt.registry();
+
+    // A live wildcard query over the per-worker task counters, plus a
+    // sampler over the same spec: both resolve through the snapshot /
+    // generation machinery.
+    reg.add_active("/threads{locality#0/worker-thread#*}/count/cumulative")
+        .unwrap();
+    let sink = rpx_counters::sampler::MemorySink::new();
+    let batches = sink.batches();
+    let sampler = Sampler::start(
+        &reg,
+        SamplerConfig::new(
+            vec!["/threads{locality#0/worker-thread#*}/count/cumulative".into()],
+            Duration::from_millis(3),
+        ),
+        Box::new(sink),
+    )
+    .unwrap();
+
+    let generation_before = reg.generation();
+
+    // Flat burst of top-level dispatches until the injector has killed at
+    // least one worker mid-sampling.
+    let mut killed = false;
+    for round in 0..40 {
+        let burst: Vec<_> = (0..100u64).map(|i| rt.spawn(move || i + round)).collect();
+        for f in burst {
+            f.get();
+        }
+        if injector.worker_kills() > 0 {
+            killed = true;
+            break;
+        }
+    }
+    assert!(killed, "plan should have injected a worker kill");
+    assert!(
+        wait_until(
+            || health_total(&reg, "restarts") as u64 == injector.worker_kills(),
+            Duration::from_secs(5),
+        ),
+        "supervisor never finished respawning"
+    );
+
+    // The respawn bumped the topology generation...
+    assert!(
+        reg.generation() > generation_before,
+        "worker respawn must be a topology event"
+    );
+    // ...and within one generation the active set re-expands to the full
+    // worker complement — the respawned worker's counters included — with
+    // every entry evaluating cleanly.
+    let vals = reg.evaluate_active_counters(false);
+    assert_eq!(
+        vals.len(),
+        WORKERS,
+        "active set lost a respawned worker's counter: {:?}",
+        vals.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>()
+    );
+    for (name, v) in &vals {
+        assert!(
+            v.status.is_ok(),
+            "`{name}` stopped evaluating after respawn"
+        );
+    }
+    // Work after the respawn is still attributed across all workers.
+    let total: i64 = vals.iter().map(|(_, v)| v.value).sum();
+    assert!(total >= 100, "per-worker counters lost task attribution");
+
+    // The sampler saw the respawn too: post-respawn batches keep sampling
+    // every worker, full width.
+    assert!(
+        wait_until(|| !batches.lock().is_empty(), Duration::from_secs(5)),
+        "sampler produced no batches"
+    );
+    sampler.stop();
+    let collected = batches.lock();
+    let last = collected.last().unwrap();
+    assert_eq!(last.readings.len(), WORKERS);
+    assert!(last.readings.iter().all(|(_, v)| v.status.is_ok()));
+    rt.shutdown();
+}
+
 /// `Write` adapter letting the test read back what the sampler's CSV sink
 /// wrote on its own thread.
 #[derive(Clone, Default)]
