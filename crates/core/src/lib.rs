@@ -59,7 +59,10 @@ pub mod derived;
 pub mod error;
 pub mod histogram;
 pub mod locality;
+#[cfg(all(test, rpx_model))]
+mod model_specs;
 pub mod name;
+mod prim;
 pub mod query;
 pub mod registry;
 pub mod sampler;

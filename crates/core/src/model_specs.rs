@@ -1,0 +1,114 @@
+//! Model-checked spec for the registry's snapshot-publication protocol
+//! (stamp-before-expand vs. concurrent generation bump), with a paired
+//! deliberately-broken mutant proving the checker catches the stale-
+//! snapshot bug.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg rpx_model"`; run with
+//! `RUSTFLAGS="--cfg rpx_model" cargo test -p rpx-counters model_`.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Arc, Mutex as StdMutex, MutexGuard, OnceLock};
+
+use rpx_model::{check, check_expect_failure, mutation, thread, Config};
+
+use crate::counter::{Counter, RawCounter};
+use crate::name::{CounterInstance, CounterName};
+use crate::registry::CounterRegistry;
+use crate::value::{CounterInfo, CounterKind};
+
+/// Serializes the specs in this file: mutants arm a process-global
+/// registry, so an armed mutation must never overlap another spec's
+/// exploration.
+fn serial() -> MutexGuard<'static, ()> {
+    static M: OnceLock<StdMutex<()>> = OnceLock::new();
+    M.get_or_init(|| StdMutex::new(()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+fn cfg() -> Config {
+    Config {
+        max_executions: 1500,
+        random_walks: 400,
+        ..Config::default()
+    }
+}
+
+/// `/threads/count` with a discoverer enumerating `workers` instances
+/// (the same growable-topology harness the registry unit tests use).
+fn register_growable(reg: &Arc<CounterRegistry>, count: Arc<AtomicI64>) {
+    let info = CounterInfo::new("/threads/count", CounterKind::Raw, "h", "1");
+    let clock = reg.clock();
+    reg.register_type(
+        info,
+        Arc::new(move |name, _| {
+            let mut i = CounterInfo::new("/threads/count", CounterKind::Raw, "h", "1");
+            i.name = name.canonical();
+            Ok(Arc::new(RawCounter::new(i, clock.clone(), Arc::new(|| 1))) as Arc<dyn Counter>)
+        }),
+        Some(Arc::new(move |f: &mut dyn FnMut(CounterName)| {
+            for w in 0..count.load(Ordering::Relaxed) {
+                f(CounterName::new("threads", "count")
+                    .with_instance(CounterInstance::worker(0, w as u32)));
+            }
+        })),
+    );
+}
+
+/// Protocol 5 — snapshot publish vs. topology-generation bump: a rebuild
+/// racing a concurrent instance change + `bump_generation` may publish a
+/// snapshot that misses the change, but only stamped with the *pre-bump*
+/// generation — so the next reader re-expands and the change is never
+/// lost. After joining the bumping thread, the active set must contain
+/// the new instance.
+fn registry_snapshot_vs_bump() {
+    let reg = CounterRegistry::new();
+    let workers = Arc::new(AtomicI64::new(1));
+    register_growable(&reg, workers.clone());
+    reg.add_active("/threads{locality#0/worker-thread#*}/count")
+        .unwrap();
+    // Force the racing `active_snapshot` below into a rebuild.
+    reg.bump_generation();
+    let (r2, w2) = (reg.clone(), workers.clone());
+    let bumper = thread::spawn(move || {
+        w2.store(2, Ordering::Relaxed);
+        r2.bump_generation();
+    });
+    // Racing rebuild: may expand before or after the topology change.
+    let _ = reg.active_snapshot();
+    bumper.join().unwrap();
+    let names = reg.active_names();
+    assert!(
+        names.iter().any(|n| n.contains("worker-thread#1")),
+        "topology change lost after bump: {names:?}"
+    );
+}
+
+#[test]
+fn model_registry_snapshot_vs_generation_bump() {
+    let _g = serial();
+    mutation::disarm_all();
+    check(
+        "model_registry_snapshot_vs_generation_bump",
+        cfg(),
+        registry_snapshot_vs_bump,
+    );
+}
+
+#[test]
+fn model_registry_stamp_after_expand_mutant_is_caught() {
+    let _g = serial();
+    mutation::disarm_all();
+    mutation::arm("registry-stamp-after-expand");
+    let failure = check_expect_failure(
+        "model_registry_stamp_after_expand_mutant_is_caught",
+        cfg(),
+        registry_snapshot_vs_bump,
+    );
+    mutation::disarm_all();
+    assert!(
+        failure.message.contains("topology change lost"),
+        "expected a lost topology change, got: {}",
+        failure.message
+    );
+}

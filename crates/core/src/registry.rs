@@ -23,10 +23,9 @@
 //! the full protocol and its memory-ordering argument.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use crate::prim::{mutation_armed, AtomicU64, Mutex, Ordering, RwLock};
 
 use crate::counter::{AverageCounter, ElapsedTimeCounter, MonotonicCounter, RawCounter};
 use crate::counter::{Clock, Counter, PairFn, ValueCell, ValueFn};
@@ -449,7 +448,7 @@ impl CounterRegistry {
         // Stamp before expanding: a concurrent bump mid-expansion leaves
         // the published snapshot stale, so the next reader re-expands —
         // changes are never lost, at worst re-observed once more.
-        let generation = self.generation();
+        let mut generation = self.generation();
         let mut entries = Vec::new();
         let mut seen: HashSet<String> = HashSet::new();
         for query in &config.queries {
@@ -469,6 +468,13 @@ impl CounterRegistry {
                     });
                 }
             }
+        }
+        if mutation_armed("registry-stamp-after-expand") {
+            // Mutant: stamping *after* expansion lets a concurrent bump
+            // land mid-expansion and mark a stale expansion as fresh —
+            // the lost-topology-change the model-checked registry spec
+            // must catch.
+            generation = self.generation();
         }
         let snap = Arc::new(ActiveSnapshot {
             generation,

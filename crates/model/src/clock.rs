@@ -1,0 +1,71 @@
+//! Views: the happens-before bookkeeping behind the engine's C11-style
+//! weak-memory model (see DESIGN.md §"model checker").
+//!
+//! A view maps a memory location (by address) to an index into that
+//! location's modification order. A thread's view is its visibility
+//! floor: it can never read a store older than `view[loc]`. Release
+//! stores attach the writer's view; acquire loads join the attached view
+//! into the reader's — exactly the view-based operational formulation of
+//! release/acquire used by C11 model checkers.
+
+use std::collections::HashMap;
+
+/// Per-location visibility floor. Missing locations are index 0 (the
+/// initial value is visible to everyone).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct View(HashMap<usize, usize>);
+
+impl View {
+    pub(crate) fn new() -> Self {
+        View(HashMap::new())
+    }
+
+    /// Modification-order floor for location `addr`.
+    pub(crate) fn get(&self, addr: usize) -> usize {
+        self.0.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Raise the floor of `addr` to at least `idx`.
+    pub(crate) fn set_max(&mut self, addr: usize, idx: usize) {
+        let e = self.0.entry(addr).or_insert(0);
+        *e = (*e).max(idx);
+    }
+
+    /// Pointwise maximum: afterwards `self` dominates both inputs.
+    pub(crate) fn join(&mut self, other: &View) {
+        for (&addr, &idx) in &other.0 {
+            self.set_max(addr, idx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::View;
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = View::new();
+        a.set_max(0x10, 2);
+        let mut b = View::new();
+        b.set_max(0x10, 1);
+        b.set_max(0x20, 3);
+        a.join(&b);
+        assert_eq!(a.get(0x10), 2);
+        assert_eq!(a.get(0x20), 3);
+    }
+
+    #[test]
+    fn missing_locations_read_zero() {
+        let v = View::new();
+        assert_eq!(v.get(0x30), 0);
+    }
+
+    #[test]
+    fn set_max_never_lowers() {
+        let mut v = View::new();
+        v.set_max(0x10, 5);
+        v.set_max(0x10, 2);
+        assert_eq!(v.get(0x10), 5);
+    }
+}

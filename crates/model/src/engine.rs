@@ -1,0 +1,1332 @@
+//! The exploration engine: serialized execution of real OS threads with a
+//! token-passing scheduler, a C11-style weak-memory model over
+//! per-location views, DFS + random-walk interleaving exploration with a
+//! CHESS-style preemption bound, and deadlock/livelock detection.
+//!
+//! Execution model: at most one model thread runs at any instant. Every
+//! instrumented operation (atomic access, fence, lock, condvar, spawn,
+//! join, spin hint) is a *yield point*: the thread performs the operation
+//! while holding the global token, then the scheduler chooses which thread
+//! runs next. All nondeterminism — schedule choices and which store a
+//! weak load reads — flows through a single `choose(n)` source, so an
+//! execution is fully determined by its choice trail (DFS mode) or its
+//! seed (random-walk mode).
+//!
+//! Memory model: each location keeps its full modification order; each
+//! thread keeps a *view* (per-location floor into those orders). A load
+//! picks any store at or above the floor; release stores attach the
+//! writer's view and acquire loads join it, which is exactly how
+//! release/acquire publication constrains what a reader may subsequently
+//! observe. Fences (acquire/release/SeqCst) and release sequences follow
+//! the standard view-based formulation.
+
+use std::cell::Cell;
+use std::collections::{HashMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::atomic::Ordering;
+use std::sync::{
+    Arc, Condvar as OsCondvar, Mutex as OsMutex, MutexGuard as OsMutexGuard, OnceLock,
+};
+use std::time::Duration;
+
+use crate::clock::View;
+
+/// Consecutive times a thread may re-read the same stale store of one
+/// location before the engine forces it to read the latest store. This is
+/// a deliberate under-approximation that keeps spin-wait loops finite; see
+/// DESIGN.md §"model checker".
+const STALE_STREAK_CAP: u32 = 2;
+
+/// Trace ring size (last events shown in a failure report).
+const TRACE_KEEP: usize = 48;
+
+// ---------------------------------------------------------------------
+// Public configuration and results
+// ---------------------------------------------------------------------
+
+/// Exploration budget and bounds for one spec.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// CHESS-style preemption bound: the number of times the scheduler may
+    /// switch away from a thread that could have continued. Non-preemptive
+    /// switches (blocking, finishing, voluntary spin yields) are free.
+    pub preemption_bound: u32,
+    /// DFS executions explored before falling back to random walks.
+    pub max_executions: u64,
+    /// Seeded random-walk executions run after the DFS budget.
+    pub random_walks: u64,
+    /// Per-execution step budget; exceeding it is reported as a livelock.
+    pub max_steps: u64,
+    /// Base seed for the random-walk phase (walk `k` uses a mix of this
+    /// and `k`). Overridden by `RPX_MODEL_SEED_BASE`.
+    pub base_seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            preemption_bound: 2,
+            max_executions: 4000,
+            random_walks: 400,
+            max_steps: 20_000,
+            base_seed: 0x5eed,
+        }
+    }
+}
+
+impl Config {
+    /// Apply environment overrides (`RPX_MODEL_SEED_BASE`,
+    /// `RPX_MODEL_WALKS`, `RPX_MODEL_EXECUTIONS`).
+    fn with_env(mut self) -> Self {
+        if let Some(v) = env_u64("RPX_MODEL_SEED_BASE") {
+            self.base_seed = v;
+        }
+        if let Some(v) = env_u64("RPX_MODEL_WALKS") {
+            self.random_walks = v;
+        }
+        if let Some(v) = env_u64("RPX_MODEL_EXECUTIONS") {
+            self.max_executions = v;
+        }
+        self
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    let raw = raw.trim();
+    if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        raw.parse().ok()
+    }
+}
+
+/// A property violation found by the checker, with everything needed to
+/// reproduce it.
+#[derive(Debug)]
+pub struct Failure {
+    /// The failed assertion / detected condition.
+    pub message: String,
+    /// Random-walk seed, when found in the random phase (replayable via
+    /// `RPX_TEST_SEED`). `None` for the deterministic DFS phase.
+    pub seed: Option<u64>,
+    /// Zero-based execution index within its phase.
+    pub execution: u64,
+    /// The choice trail of the failing execution (`chosen/arity` pairs).
+    pub trail: String,
+    /// The last few scheduler/memory events before the failure.
+    pub trace: Vec<String>,
+}
+
+impl Failure {
+    /// Multi-line human report with a one-line reproduction command.
+    pub fn render(&self, name: &str) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "rpx-model: spec `{name}` failed: {}", self.message);
+        match self.seed {
+            Some(seed) => {
+                let _ = writeln!(
+                    s,
+                    "found in random walk #{} — reproduce with: RPX_TEST_SEED={seed:#x} \
+                     RUSTFLAGS=\"--cfg rpx_model\" cargo test {name}",
+                    self.execution
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    s,
+                    "found in deterministic DFS execution #{} — rerunning the test reproduces it \
+                     (trail {})",
+                    self.execution, self.trail
+                );
+            }
+        }
+        let _ = writeln!(s, "last events before failure:");
+        for line in &self.trace {
+            let _ = writeln!(s, "  {line}");
+        }
+        s
+    }
+}
+
+/// Summary of a completed (no-failure) exploration.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Executions explored across both phases.
+    pub executions: u64,
+    /// Whether DFS exhausted the (preemption-bounded) schedule space.
+    pub dfs_complete: bool,
+}
+
+// ---------------------------------------------------------------------
+// Choice source
+// ---------------------------------------------------------------------
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+enum Chooser {
+    /// Replays a trail prefix, then extends it with first-choice (0)
+    /// entries. The driver advances the trail between executions.
+    Dfs {
+        trail: Vec<(u32, u32)>,
+        pos: usize,
+    },
+    Random {
+        state: u64,
+    },
+}
+
+impl Chooser {
+    fn choose(&mut self, n: usize) -> usize {
+        debug_assert!(n >= 1, "choose(0) has no valid outcome");
+        if n <= 1 {
+            return 0;
+        }
+        match self {
+            Chooser::Dfs { trail, pos } => {
+                let c = if *pos < trail.len() {
+                    trail[*pos].0
+                } else {
+                    trail.push((0, n as u32));
+                    0
+                };
+                *pos += 1;
+                (c as usize).min(n - 1)
+            }
+            Chooser::Random { state } => (splitmix64(state) % n as u64) as usize,
+        }
+    }
+}
+
+/// Advance a DFS trail to the next unexplored execution; `false` when the
+/// (bounded) space is exhausted.
+fn advance_trail(trail: &mut Vec<(u32, u32)>) -> bool {
+    while let Some((c, n)) = trail.last_mut() {
+        if *c + 1 < *n {
+            *c += 1;
+            return true;
+        }
+        trail.pop();
+    }
+    false
+}
+
+fn trail_string(trail: &[(u32, u32)]) -> String {
+    let mut s = String::new();
+    for (i, (c, n)) in trail.iter().enumerate() {
+        if i > 0 {
+            s.push('.');
+        }
+        let _ = write!(s, "{c}/{n}");
+    }
+    if s.is_empty() {
+        s.push('-');
+    }
+    s
+}
+
+// ---------------------------------------------------------------------
+// Execution state
+// ---------------------------------------------------------------------
+
+/// One store in a location's modification order.
+struct Store {
+    val: u64,
+    /// View transferred to acquire readers: the writer's full view for
+    /// release stores, its last release-fence view (plus this store) for
+    /// relaxed stores, additionally joined with the replaced store's view
+    /// for RMWs (which continue the release sequence).
+    rel: View,
+}
+
+#[derive(Default)]
+struct ReaderState {
+    /// Index this thread last read here (staleness detection only — the
+    /// coherence floor lives in the thread's view).
+    last_idx: usize,
+    streak: u32,
+}
+
+struct Loc {
+    history: Vec<Store>,
+    /// Index of the latest `SeqCst` store: `SeqCst` loads never read below
+    /// it — the single total order realized by this serialized engine.
+    sc_floor: usize,
+    readers: HashMap<usize, ReaderState>,
+}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Block {
+    Mutex(usize),
+    RwRead(usize),
+    RwWrite(usize),
+    Cv { cv: usize, timed: bool },
+    Join(usize),
+}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum ThState {
+    Runnable,
+    Blocked(Block),
+    Finished,
+}
+
+struct Th {
+    state: ThState,
+    /// Visibility floor (per-location) — everything this thread is
+    /// guaranteed to observe.
+    view: View,
+    /// Join of the `rel` views of every store this thread has read
+    /// (acquire *fences* sync with them retroactively).
+    read_view: View,
+    /// View at this thread's last release fence (attached to its
+    /// subsequent relaxed stores).
+    fence_rel: View,
+    /// Set by a voluntary spin yield; deprioritizes the thread until a
+    /// store (someone's progress) clears the flags.
+    yielded: bool,
+    /// Set when the scheduler wakes a timed wait via its timeout.
+    timeout_fired: bool,
+}
+
+impl Th {
+    fn new() -> Self {
+        Th {
+            state: ThState::Runnable,
+            view: View::new(),
+            read_view: View::new(),
+            fence_rel: View::new(),
+            yielded: false,
+            timeout_fired: false,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Mux {
+    owner: Option<usize>,
+    rel: View,
+}
+
+#[derive(Default)]
+struct Rw {
+    writer: Option<usize>,
+    /// One entry per live read guard (the same thread may hold several:
+    /// recursive reads must not self-deadlock).
+    readers: Vec<usize>,
+    rel: View,
+}
+
+struct Exec {
+    threads: Vec<Th>,
+    current: usize,
+    locs: HashMap<usize, Loc>,
+    muxes: HashMap<usize, Mux>,
+    rws: HashMap<usize, Rw>,
+    /// Join of every SC operation's view; only SC *fences* read it.
+    sc_view: View,
+    chooser: Chooser,
+    preemptions: u32,
+    preemption_bound: u32,
+    max_steps: u64,
+    steps: u64,
+    failure: Option<String>,
+    trace: VecDeque<String>,
+    done: bool,
+}
+
+impl Exec {
+    fn new(chooser: Chooser, cfg: &Config) -> Self {
+        Exec {
+            threads: vec![Th::new()],
+            current: 0,
+            locs: HashMap::new(),
+            muxes: HashMap::new(),
+            rws: HashMap::new(),
+            sc_view: View::new(),
+            chooser,
+            preemptions: 0,
+            preemption_bound: cfg.preemption_bound,
+            max_steps: cfg.max_steps,
+            steps: 0,
+            failure: None,
+            trace: VecDeque::new(),
+            done: false,
+        }
+    }
+
+    fn note(&mut self, line: String) {
+        if self.trace.len() == TRACE_KEEP {
+            self.trace.pop_front();
+        }
+        self.trace.push_back(line);
+    }
+
+    fn fail(&mut self, msg: String) {
+        if self.failure.is_none() {
+            self.failure = Some(msg);
+        }
+        self.done = true;
+    }
+
+    fn runnable(&self) -> Vec<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.state == ThState::Runnable)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Charge one step to the current thread; trips the livelock bound.
+    fn step(&mut self) {
+        self.steps += 1;
+        if self.steps > self.max_steps {
+            let state = self.describe_threads();
+            self.fail(format!(
+                "step budget ({}) exceeded — livelock or unbounded spin; threads: {state}",
+                self.max_steps
+            ));
+        }
+    }
+
+    fn describe_threads(&self) -> String {
+        let mut s = String::new();
+        for (i, t) in self.threads.iter().enumerate() {
+            let _ = write!(s, "t{i}={:?} ", t.state);
+        }
+        s
+    }
+
+    /// Pick the next thread to run after `self.current` completed an
+    /// operation (or blocked/finished). `voluntary` marks spin yields,
+    /// which never count as preemptions.
+    fn reschedule(&mut self, voluntary: bool) {
+        if self.done {
+            return;
+        }
+        let prev = self.current;
+        let runnable = self.runnable();
+        if runnable.is_empty() {
+            if self.threads.iter().all(|t| t.state == ThState::Finished) {
+                self.done = true;
+                return;
+            }
+            // Timed waits are woken lazily: only when nothing else can
+            // run does a timeout fire (this explores "timeout raced the
+            // wakeup" without branching on every timed wait).
+            let timed: Vec<usize> = self
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| matches!(t.state, ThState::Blocked(Block::Cv { timed: true, .. })))
+                .map(|(i, _)| i)
+                .collect();
+            if !timed.is_empty() {
+                let k = self.chooser.choose(timed.len());
+                let tid = timed[k];
+                self.threads[tid].timeout_fired = true;
+                self.threads[tid].state = ThState::Runnable;
+                self.current = tid;
+                self.note(format!("t{tid} woken by timeout"));
+                return;
+            }
+            let state = self.describe_threads();
+            self.fail(format!(
+                "deadlock: every live thread is blocked; threads: {state}"
+            ));
+            return;
+        }
+
+        let prev_runnable = self.threads[prev].state == ThState::Runnable;
+        let mut cands: Vec<usize>;
+        if prev_runnable && !voluntary && self.preemptions >= self.preemption_bound {
+            // Out of preemptions: the previous thread must continue.
+            cands = vec![prev];
+        } else {
+            let fresh: Vec<usize> = runnable
+                .iter()
+                .copied()
+                .filter(|&t| !self.threads[t].yielded)
+                .collect();
+            cands = if fresh.is_empty() {
+                for t in &mut self.threads {
+                    t.yielded = false;
+                }
+                runnable
+            } else {
+                fresh
+            };
+            if voluntary && cands.len() > 1 {
+                cands.retain(|&t| t != prev);
+            }
+        }
+        let k = self.chooser.choose(cands.len());
+        let next = cands[k];
+        if next != prev && prev_runnable && !voluntary {
+            self.preemptions += 1;
+        }
+        self.current = next;
+    }
+
+    fn loc_mut(&mut self, addr: usize, init: u64) -> &mut Loc {
+        self.locs.entry(addr).or_insert_with(|| Loc {
+            history: vec![Store {
+                val: init,
+                rel: View::new(),
+            }],
+            sc_floor: 0,
+            readers: HashMap::new(),
+        })
+    }
+
+    /// Stores are progress: clear voluntary-yield flags so spinners get
+    /// rescheduled and can observe the new value.
+    fn clear_yields(&mut self) {
+        for t in &mut self.threads {
+            t.yielded = false;
+        }
+    }
+
+    fn wake_blocked(&mut self, pred: impl Fn(&Block) -> bool) {
+        for t in &mut self.threads {
+            if let ThState::Blocked(b) = &t.state {
+                if pred(b) {
+                    t.state = ThState::Runnable;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Global engine: one execution at a time, shared by all model threads
+// ---------------------------------------------------------------------
+
+struct EngineInner {
+    exec: Option<Exec>,
+    epoch: u64,
+}
+
+struct Engine {
+    m: OsMutex<EngineInner>,
+    cv: OsCondvar,
+}
+
+fn engine() -> &'static Engine {
+    static ENGINE: OnceLock<Engine> = OnceLock::new();
+    ENGINE.get_or_init(|| Engine {
+        m: OsMutex::new(EngineInner {
+            exec: None,
+            epoch: 0,
+        }),
+        cv: OsCondvar::new(),
+    })
+}
+
+thread_local! {
+    /// `(tid, epoch)` of the model thread running on this OS thread.
+    static MODEL_TID: Cell<Option<(usize, u64)>> = const { Cell::new(None) };
+}
+
+/// Whether the calling OS thread is a model thread inside an execution.
+/// The adaptive facade primitives route through the engine exactly when
+/// this is true, and behave like plain `std` otherwise.
+pub fn in_model() -> bool {
+    MODEL_TID.with(|c| c.get().is_some())
+}
+
+fn lock_engine() -> OsMutexGuard<'static, EngineInner> {
+    engine().m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Park forever: this OS thread belongs to an abandoned execution (a
+/// failure was recorded, or the driver moved on). Its stack — including
+/// any user frames — is intentionally leaked; the thread is reclaimed at
+/// process exit. Bounded: explorations stop at the first failure.
+fn zombie_park(mut g: OsMutexGuard<'static, EngineInner>) -> ! {
+    loop {
+        g = engine().cv.wait(g).unwrap_or_else(|p| p.into_inner());
+    }
+}
+
+fn my_tid(g: &OsMutexGuard<'static, EngineInner>) -> (usize, u64) {
+    let (tid, epoch) = MODEL_TID
+        .with(|c| c.get())
+        .expect("engine entered from a non-model thread");
+    debug_assert!(g.epoch >= epoch);
+    (tid, epoch)
+}
+
+/// Block until this thread holds the run token (and the execution is still
+/// live). Never returns for abandoned executions.
+fn wait_for_token(
+    mut g: OsMutexGuard<'static, EngineInner>,
+) -> (OsMutexGuard<'static, EngineInner>, usize) {
+    loop {
+        let (tid, epoch) = my_tid(&g);
+        let stale = g.epoch != epoch
+            || match g.exec.as_ref() {
+                None => true,
+                Some(e) => e.failure.is_some() || e.done,
+            };
+        if stale {
+            zombie_park(g);
+        }
+        let e = g.exec.as_ref().expect("checked above");
+        if e.current == tid && e.threads[tid].state == ThState::Runnable {
+            return (g, tid);
+        }
+        g = engine().cv.wait(g).unwrap_or_else(|p| p.into_inner());
+    }
+}
+
+/// Run one instrumented operation: acquire the token, charge a step,
+/// perform `f`, reschedule, and (if the token moved) wait to get it back
+/// before returning to user code.
+fn op<R>(voluntary: bool, f: impl FnOnce(&mut Exec, usize) -> R) -> R {
+    let g = lock_engine();
+    let (mut g, tid) = wait_for_token(g);
+    let e = g.exec.as_mut().expect("token implies live execution");
+    e.step();
+    if e.done {
+        engine().cv.notify_all();
+        zombie_park(g);
+    }
+    let r = f(e, tid);
+    e.reschedule(voluntary);
+    engine().cv.notify_all();
+    if e.done {
+        zombie_park(g);
+    }
+    if e.current != tid {
+        let (g2, _) = wait_for_token(g);
+        g = g2;
+    }
+    drop(g);
+    r
+}
+
+// ---------------------------------------------------------------------
+// Ordering helpers
+// ---------------------------------------------------------------------
+
+fn is_acquire(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_sc(ord: Ordering) -> bool {
+    ord == Ordering::SeqCst
+}
+
+// ---------------------------------------------------------------------
+// Atomic operations (called from the facade types in `sync`)
+// ---------------------------------------------------------------------
+
+pub(crate) fn atomic_load(addr: usize, init: u64, ord: Ordering, name: &'static str) -> u64 {
+    op(false, |e, tid| {
+        let view_floor = e.threads[tid].view.get(addr);
+        let loc = e.loc_mut(addr, init);
+        let latest = loc.history.len() - 1;
+        let mut lo = view_floor.min(latest);
+        if is_sc(ord) {
+            lo = lo.max(loc.sc_floor);
+        }
+        let rs = loc.readers.entry(tid).or_default();
+        let prev_last = rs.last_idx;
+        let forced = rs.streak >= STALE_STREAK_CAP && lo < latest;
+        let choices: Vec<usize> = if forced {
+            vec![latest]
+        } else {
+            (lo..=latest).collect()
+        };
+        let k = e.chooser.choose(choices.len());
+        let idx = choices[k];
+        let loc = e.locs.get_mut(&addr).expect("just inserted");
+        let rs = loc.readers.entry(tid).or_default();
+        rs.streak = if idx == prev_last && idx != latest {
+            rs.streak + 1
+        } else {
+            0
+        };
+        rs.last_idx = idx;
+        let (val, rel) = {
+            let s = &loc.history[idx];
+            (s.val, s.rel.clone())
+        };
+        if is_sc(ord) {
+            loc.sc_floor = loc.sc_floor.max(idx);
+        }
+        let th = &mut e.threads[tid];
+        th.view.set_max(addr, idx);
+        th.read_view.join(&rel);
+        if is_acquire(ord) {
+            th.view.join(&rel);
+        }
+        if is_sc(ord) {
+            let v = e.threads[tid].view.clone();
+            e.sc_view.join(&v);
+        }
+        e.note(format!("t{tid} load {name} -> {val} ({ord:?})"));
+        val
+    })
+}
+
+pub(crate) fn atomic_store(
+    addr: usize,
+    init: u64,
+    val: u64,
+    ord: Ordering,
+    name: &'static str,
+    mirror: &dyn Fn(u64),
+) {
+    op(false, |e, tid| {
+        let idx = e.loc_mut(addr, init).history.len();
+        let th = &mut e.threads[tid];
+        th.view.set_max(addr, idx);
+        let rel = if is_release(ord) {
+            th.view.clone()
+        } else {
+            let mut r = th.fence_rel.clone();
+            r.set_max(addr, idx);
+            r
+        };
+        if is_sc(ord) {
+            let v = e.threads[tid].view.clone();
+            e.sc_view.join(&v);
+        }
+        let sc = is_sc(ord);
+        let loc = e.locs.get_mut(&addr).expect("created above");
+        loc.history.push(Store { val, rel });
+        if sc {
+            loc.sc_floor = idx;
+        }
+        let rs = loc.readers.entry(tid).or_default();
+        rs.last_idx = idx;
+        rs.streak = 0;
+        mirror(val);
+        e.clear_yields();
+        e.note(format!("t{tid} store {name} <- {val} ({ord:?})"));
+    })
+}
+
+/// Read-modify-write: always reads the latest store (RMW atomicity).
+/// `compute` returns `Some(new)` to commit a store (swap/fetch-op or a
+/// successful CAS) or `None` for a failed CAS (which degrades to a load of
+/// the latest value with `fail_ord`).
+pub(crate) fn atomic_rmw(
+    addr: usize,
+    init: u64,
+    ord: Ordering,
+    fail_ord: Ordering,
+    name: &'static str,
+    compute: &mut dyn FnMut(u64) -> Option<u64>,
+    mirror: &dyn Fn(u64),
+) -> (u64, bool) {
+    op(false, |e, tid| {
+        let (old, prev_rel, latest) = {
+            let loc = e.loc_mut(addr, init);
+            let latest = loc.history.len() - 1;
+            let s = &loc.history[latest];
+            (s.val, s.rel.clone(), latest)
+        };
+        match compute(old) {
+            Some(new) => {
+                let idx = latest + 1;
+                {
+                    let th = &mut e.threads[tid];
+                    th.read_view.join(&prev_rel);
+                    if is_acquire(ord) {
+                        th.view.join(&prev_rel);
+                    }
+                    th.view.set_max(addr, idx);
+                }
+                let th = &e.threads[tid];
+                let mut rel = if is_release(ord) {
+                    th.view.clone()
+                } else {
+                    let mut r = th.fence_rel.clone();
+                    r.set_max(addr, idx);
+                    r
+                };
+                // RMWs continue the release sequence of the store they
+                // replace: acquire readers of `new` also sync with the
+                // previous release.
+                rel.join(&prev_rel);
+                if is_sc(ord) {
+                    let v = e.threads[tid].view.clone();
+                    e.sc_view.join(&v);
+                }
+                let sc = is_sc(ord);
+                let loc = e.locs.get_mut(&addr).expect("present");
+                loc.history.push(Store { val: new, rel });
+                if sc {
+                    loc.sc_floor = idx;
+                }
+                let rs = loc.readers.entry(tid).or_default();
+                rs.last_idx = idx;
+                rs.streak = 0;
+                mirror(new);
+                e.clear_yields();
+                e.note(format!("t{tid} rmw {name}: {old} -> {new} ({ord:?})"));
+                (old, true)
+            }
+            None => {
+                let loc = e.locs.get_mut(&addr).expect("present");
+                if is_sc(fail_ord) {
+                    loc.sc_floor = loc.sc_floor.max(latest);
+                }
+                let rs = loc.readers.entry(tid).or_default();
+                rs.last_idx = latest;
+                rs.streak = 0;
+                let th = &mut e.threads[tid];
+                th.view.set_max(addr, latest);
+                th.read_view.join(&prev_rel);
+                if is_acquire(fail_ord) {
+                    th.view.join(&prev_rel);
+                }
+                if is_sc(fail_ord) {
+                    let v = e.threads[tid].view.clone();
+                    e.sc_view.join(&v);
+                }
+                e.note(format!("t{tid} rmw-fail {name}: read {old}"));
+                (old, false)
+            }
+        }
+    })
+}
+
+pub(crate) fn fence(ord: Ordering) {
+    op(false, |e, tid| {
+        {
+            let th = &mut e.threads[tid];
+            if is_acquire(ord) {
+                let rv = th.read_view.clone();
+                th.view.join(&rv);
+            }
+        }
+        if is_sc(ord) {
+            // SC fences are the only readers of sc_view: an SC operation
+            // elsewhere does NOT by itself pull in the SC order (matching
+            // C11, where mixing SC ops with weaker accesses on other
+            // locations provides no cross-location guarantee without a
+            // fence).
+            let mut v = e.threads[tid].view.clone();
+            v.join(&e.sc_view);
+            e.sc_view.join(&v);
+            e.threads[tid].view = v;
+        }
+        let th = &mut e.threads[tid];
+        if is_release(ord) {
+            th.fence_rel = th.view.clone();
+        }
+        e.note(format!("t{tid} fence({ord:?})"));
+    })
+}
+
+// ---------------------------------------------------------------------
+// Locks and condition variables
+// ---------------------------------------------------------------------
+
+pub(crate) fn mutex_lock(addr: usize) {
+    loop {
+        let acquired = op(false, |e, tid| {
+            let m = e.muxes.entry(addr).or_default();
+            if m.owner.is_none() {
+                m.owner = Some(tid);
+                let rel = m.rel.clone();
+                e.threads[tid].view.join(&rel);
+                e.note(format!("t{tid} mutex-lock {addr:#x}"));
+                true
+            } else {
+                e.threads[tid].state = ThState::Blocked(Block::Mutex(addr));
+                e.note(format!("t{tid} mutex-block {addr:#x}"));
+                false
+            }
+        });
+        if acquired {
+            return;
+        }
+        // Blocked: op() returned only after the scheduler made us
+        // runnable again (the owner unlocked); retry the acquisition.
+    }
+}
+
+pub(crate) fn mutex_try_lock(addr: usize) -> bool {
+    op(false, |e, tid| {
+        let m = e.muxes.entry(addr).or_default();
+        if m.owner.is_none() {
+            m.owner = Some(tid);
+            let rel = m.rel.clone();
+            e.threads[tid].view.join(&rel);
+            true
+        } else {
+            false
+        }
+    })
+}
+
+pub(crate) fn mutex_unlock(addr: usize) {
+    op(false, |e, tid| {
+        let view = e.threads[tid].view.clone();
+        let m = e.muxes.entry(addr).or_default();
+        debug_assert_eq!(m.owner, Some(tid), "unlock by non-owner");
+        m.owner = None;
+        m.rel.join(&view);
+        e.wake_blocked(|b| *b == Block::Mutex(addr));
+        e.note(format!("t{tid} mutex-unlock {addr:#x}"));
+    })
+}
+
+pub(crate) fn rw_read_lock(addr: usize) {
+    loop {
+        let acquired = op(false, |e, tid| {
+            let rw = e.rws.entry(addr).or_default();
+            if rw.writer.is_none() {
+                rw.readers.push(tid);
+                let rel = rw.rel.clone();
+                e.threads[tid].view.join(&rel);
+                true
+            } else {
+                e.threads[tid].state = ThState::Blocked(Block::RwRead(addr));
+                false
+            }
+        });
+        if acquired {
+            return;
+        }
+    }
+}
+
+pub(crate) fn rw_read_unlock(addr: usize) {
+    op(false, |e, tid| {
+        let view = e.threads[tid].view.clone();
+        let rw = e.rws.entry(addr).or_default();
+        if let Some(pos) = rw.readers.iter().position(|&t| t == tid) {
+            rw.readers.swap_remove(pos);
+        }
+        rw.rel.join(&view);
+        if rw.readers.is_empty() {
+            e.wake_blocked(|b| *b == Block::RwWrite(addr));
+        }
+    })
+}
+
+pub(crate) fn rw_write_lock(addr: usize) {
+    loop {
+        let acquired = op(false, |e, tid| {
+            let rw = e.rws.entry(addr).or_default();
+            if rw.writer.is_none() && rw.readers.is_empty() {
+                rw.writer = Some(tid);
+                let rel = rw.rel.clone();
+                e.threads[tid].view.join(&rel);
+                true
+            } else {
+                e.threads[tid].state = ThState::Blocked(Block::RwWrite(addr));
+                false
+            }
+        });
+        if acquired {
+            return;
+        }
+    }
+}
+
+pub(crate) fn rw_write_unlock(addr: usize) {
+    op(false, |e, tid| {
+        let view = e.threads[tid].view.clone();
+        let rw = e.rws.entry(addr).or_default();
+        debug_assert_eq!(rw.writer, Some(tid));
+        rw.writer = None;
+        rw.rel.join(&view);
+        e.wake_blocked(|b| matches!(b, Block::RwRead(a) | Block::RwWrite(a) if *a == addr));
+    })
+}
+
+/// Condvar wait: release `mutex_addr`, block on `cv_addr`, then reacquire
+/// the mutex. Returns whether the wait ended via timeout (timed waits are
+/// woken lazily — only when nothing else can run).
+pub(crate) fn condvar_wait(cv_addr: usize, mutex_addr: usize, timed: bool) -> bool {
+    op(false, |e, tid| {
+        let view = e.threads[tid].view.clone();
+        let m = e.muxes.entry(mutex_addr).or_default();
+        debug_assert_eq!(m.owner, Some(tid), "condvar wait without the lock");
+        m.owner = None;
+        m.rel.join(&view);
+        e.wake_blocked(|b| *b == Block::Mutex(mutex_addr));
+        e.threads[tid].state = ThState::Blocked(Block::Cv { cv: cv_addr, timed });
+        e.note(format!("t{tid} cv-wait {cv_addr:#x} (timed={timed})"));
+    });
+    // op() returned: we were woken (notify or lazy timeout).
+    let timed_out = op(false, |e, tid| {
+        std::mem::take(&mut e.threads[tid].timeout_fired)
+    });
+    mutex_lock(mutex_addr);
+    timed_out
+}
+
+pub(crate) fn condvar_notify(cv_addr: usize, all: bool) {
+    op(false, |e, tid| {
+        let waiting: Vec<usize> = e
+            .threads
+            .iter()
+            .enumerate()
+            .filter(
+                |(_, t)| matches!(&t.state, ThState::Blocked(Block::Cv { cv, .. }) if *cv == cv_addr),
+            )
+            .map(|(i, _)| i)
+            .collect();
+        if waiting.is_empty() {
+            return;
+        }
+        if all {
+            for t in waiting {
+                e.threads[t].state = ThState::Runnable;
+            }
+        } else {
+            let k = e.chooser.choose(waiting.len());
+            e.threads[waiting[k]].state = ThState::Runnable;
+        }
+        e.note(format!("t{tid} cv-notify {cv_addr:#x} (all={all})"));
+    })
+}
+
+// ---------------------------------------------------------------------
+// Threads
+// ---------------------------------------------------------------------
+
+/// Register a new model thread (runnable, view seeded from the spawner)
+/// and return its `(tid, epoch)` for the OS thread to adopt.
+///
+/// Deliberately NOT a yield point: the spawner keeps the token until the
+/// OS thread backing the new model thread exists (`spawn_yield`), or the
+/// scheduler could grant the token to a thread no one will ever run.
+pub(crate) fn thread_spawn() -> (usize, u64) {
+    let epoch = MODEL_TID
+        .with(|c| c.get())
+        .expect("thread_spawn outside a model execution")
+        .1;
+    let g = lock_engine();
+    let (mut g, tid) = wait_for_token(g);
+    let e = g.exec.as_mut().expect("token implies live execution");
+    e.step();
+    if e.done {
+        engine().cv.notify_all();
+        zombie_park(g);
+    }
+    let mut th = Th::new();
+    // Spawn is a synchronization edge: the child starts seeing everything
+    // the spawner saw.
+    th.view.join(&e.threads[tid].view);
+    th.read_view.join(&e.threads[tid].read_view);
+    e.threads.push(th);
+    let new_tid = e.threads.len() - 1;
+    e.note(format!("t{tid} spawned t{new_tid}"));
+    drop(g);
+    (new_tid, epoch)
+}
+
+/// The yield point paired with `thread_spawn`, called once the new OS
+/// thread exists and can accept the token.
+pub(crate) fn spawn_yield() {
+    op(false, |_, _| ());
+}
+
+/// Adopt `tid` on this OS thread and wait for the first token grant.
+pub(crate) fn enter_thread(tid: usize, epoch: u64) {
+    MODEL_TID.with(|c| c.set(Some((tid, epoch))));
+    let g = lock_engine();
+    let (g, _) = wait_for_token(g);
+    drop(g);
+}
+
+/// Mark the current model thread finished (or record its panic as the
+/// execution failure) and hand the token on. The OS thread then exits.
+pub(crate) fn thread_end(fail_msg: Option<String>) {
+    let g = lock_engine();
+    let (tid, epoch) = my_tid(&g);
+    let mut g = g;
+    if g.epoch != epoch || g.exec.is_none() {
+        drop(g);
+        return;
+    }
+    let e = g.exec.as_mut().expect("checked");
+    if let Some(msg) = fail_msg {
+        e.fail(format!("thread t{tid} panicked: {msg}"));
+        engine().cv.notify_all();
+        drop(g);
+        return;
+    }
+    if e.failure.is_some() || e.done {
+        drop(g);
+        return;
+    }
+    debug_assert_eq!(e.current, tid, "finishing thread must hold the token");
+    e.threads[tid].state = ThState::Finished;
+    e.wake_blocked(|b| *b == Block::Join(tid));
+    e.reschedule(false);
+    engine().cv.notify_all();
+    drop(g);
+    MODEL_TID.with(|c| c.set(None));
+}
+
+/// Block until model thread `target` finishes; joins its final view (so
+/// asserts after a join read the joined thread's writes).
+pub(crate) fn join_wait(target: usize) {
+    loop {
+        let finished = op(false, |e, tid| {
+            if e.threads[target].state == ThState::Finished {
+                let final_view = e.threads[target].view.clone();
+                e.threads[tid].view.join(&final_view);
+                true
+            } else {
+                e.threads[tid].state = ThState::Blocked(Block::Join(target));
+                false
+            }
+        });
+        if finished {
+            return;
+        }
+    }
+}
+
+/// Voluntary yield (`spin_loop` hint): deprioritize this thread until
+/// someone else stores. Never counts as a preemption.
+pub(crate) fn yield_op() {
+    op(true, |e, tid| {
+        e.threads[tid].yielded = true;
+    })
+}
+
+// ---------------------------------------------------------------------
+// Exploration driver
+// ---------------------------------------------------------------------
+
+/// Serializes whole explorations: the engine is a process-wide singleton,
+/// and `cargo test` runs tests on several threads.
+fn checker_lock() -> OsMutexGuard<'static, ()> {
+    static CHECK: OnceLock<OsMutex<()>> = OnceLock::new();
+    CHECK
+        .get_or_init(|| OsMutex::new(()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+struct RunOutcome {
+    failure: Option<String>,
+    trail: Vec<(u32, u32)>,
+    trace: Vec<String>,
+}
+
+fn run_once(cfg: &Config, chooser: Chooser, f: &Arc<dyn Fn() + Send + Sync>) -> RunOutcome {
+    {
+        let mut g = lock_engine();
+        g.epoch += 1;
+        let epoch = g.epoch;
+        g.exec = Some(Exec::new(chooser, cfg));
+        engine().cv.notify_all();
+        let body = f.clone();
+        std::thread::Builder::new()
+            .name("rpx-model-root".into())
+            .spawn(move || {
+                MODEL_TID.with(|c| c.set(Some((0, epoch))));
+                {
+                    let g = lock_engine();
+                    let (g, _) = wait_for_token(g);
+                    drop(g);
+                }
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body()));
+                match r {
+                    Ok(()) => thread_end(None),
+                    Err(p) => thread_end(Some(panic_message(&*p))),
+                }
+            })
+            .expect("spawn model root thread");
+        drop(g);
+    }
+
+    // Wait for the execution to finish (or fail). The generous timeout
+    // only guards against engine bugs, not spec behavior.
+    let deadline = std::time::Instant::now() + Duration::from_secs(120);
+    let mut g = lock_engine();
+    loop {
+        let finished = match g.exec.as_ref() {
+            Some(e) => e.done || e.failure.is_some(),
+            None => true,
+        };
+        if finished {
+            break;
+        }
+        if std::time::Instant::now() > deadline {
+            let diag = match g.exec.as_ref() {
+                Some(e) => format!(
+                    "current=t{} steps={} threads: {} trace:\n  {}",
+                    e.current,
+                    e.steps,
+                    e.describe_threads(),
+                    e.trace.iter().cloned().collect::<Vec<_>>().join("\n  ")
+                ),
+                None => "exec missing".to_string(),
+            };
+            panic!("rpx-model: engine stalled (driver timeout); this is a checker bug\n{diag}");
+        }
+        let (g2, _) = engine()
+            .cv
+            .wait_timeout(g, Duration::from_millis(200))
+            .unwrap_or_else(|p| p.into_inner());
+        g = g2;
+    }
+    let exec = g.exec.take().expect("execution present at completion");
+    // Epoch bump turns any still-parked threads of this execution into
+    // zombies the moment they next wake.
+    g.epoch += 1;
+    engine().cv.notify_all();
+    drop(g);
+
+    let trail = match exec.chooser {
+        Chooser::Dfs { trail, .. } => trail,
+        Chooser::Random { .. } => Vec::new(),
+    };
+    RunOutcome {
+        failure: exec.failure,
+        trail,
+        trace: exec.trace.into_iter().collect(),
+    }
+}
+
+pub(crate) fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Explore interleavings of `f` under `cfg`: a DFS phase over the
+/// preemption-bounded schedule space, then seeded random walks. Honors
+/// `RPX_TEST_SEED` (replay exactly one random-walk seed) and
+/// `RPX_MODEL_SEED_BASE`/`RPX_MODEL_WALKS`/`RPX_MODEL_EXECUTIONS`.
+pub fn explore(cfg: Config, f: impl Fn() + Send + Sync + 'static) -> Result<Report, Failure> {
+    let _serial = checker_lock();
+    let cfg = cfg.with_env();
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+
+    if let Some(seed) = env_u64("RPX_TEST_SEED") {
+        let out = run_once(&cfg, Chooser::Random { state: seed }, &f);
+        return match out.failure {
+            Some(message) => Err(Failure {
+                message,
+                seed: Some(seed),
+                execution: 0,
+                trail: String::from("-"),
+                trace: out.trace,
+            }),
+            None => Ok(Report {
+                executions: 1,
+                dfs_complete: false,
+            }),
+        };
+    }
+
+    let mut executions = 0u64;
+    let mut dfs_complete = false;
+    let mut trail: Vec<(u32, u32)> = Vec::new();
+    for i in 0..cfg.max_executions {
+        let out = run_once(
+            &cfg,
+            Chooser::Dfs {
+                trail: std::mem::take(&mut trail),
+                pos: 0,
+            },
+            &f,
+        );
+        executions += 1;
+        if let Some(message) = out.failure {
+            return Err(Failure {
+                message,
+                seed: None,
+                execution: i,
+                trail: trail_string(&out.trail),
+                trace: out.trace,
+            });
+        }
+        trail = out.trail;
+        if !advance_trail(&mut trail) {
+            dfs_complete = true;
+            break;
+        }
+    }
+
+    if !dfs_complete {
+        for k in 0..cfg.random_walks {
+            let mut s = cfg.base_seed ^ 0x6a09_e667_f3bc_c909u64.wrapping_mul(k + 1);
+            let seed = splitmix64(&mut s);
+            let out = run_once(&cfg, Chooser::Random { state: seed }, &f);
+            executions += 1;
+            if let Some(message) = out.failure {
+                return Err(Failure {
+                    message,
+                    seed: Some(seed),
+                    execution: k,
+                    trail: String::from("-"),
+                    trace: out.trace,
+                });
+            }
+        }
+    }
+
+    Ok(Report {
+        executions,
+        dfs_complete,
+    })
+}
+
+/// Run a spec: panics with a replayable report if any explored
+/// interleaving violates it.
+pub fn check(name: &str, cfg: Config, f: impl Fn() + Send + Sync + 'static) {
+    match explore(cfg, f) {
+        Ok(report) => {
+            eprintln!(
+                "rpx-model: spec `{name}` held over {} executions (dfs_complete={})",
+                report.executions, report.dfs_complete
+            );
+        }
+        Err(failure) => panic!("{}", failure.render(name)),
+    }
+}
+
+/// Run a spec that is *expected* to fail (a deliberately-broken mutant):
+/// panics if the checker does NOT find a violation, proving the checker
+/// can catch the bug class the paired spec guards against.
+pub fn check_expect_failure(
+    name: &str,
+    cfg: Config,
+    f: impl Fn() + Send + Sync + 'static,
+) -> Failure {
+    match explore(cfg, f) {
+        Ok(report) => panic!(
+            "rpx-model: mutant spec `{name}` was NOT caught after {} executions — \
+             the checker would miss this bug class",
+            report.executions
+        ),
+        Err(failure) => {
+            eprintln!(
+                "rpx-model: mutant `{name}` caught as expected:\n{}",
+                failure.render(name)
+            );
+            failure
+        }
+    }
+}

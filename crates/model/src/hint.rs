@@ -1,0 +1,13 @@
+//! Model-aware spin hint: inside an execution a spin is a *voluntary*
+//! yield (free under the preemption bound) that deprioritizes the spinner
+//! until another thread stores — keeping spin-wait loops finite to explore.
+
+use crate::engine;
+
+pub fn spin_loop() {
+    if engine::in_model() {
+        engine::yield_op();
+    } else {
+        std::hint::spin_loop();
+    }
+}

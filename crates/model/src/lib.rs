@@ -1,0 +1,44 @@
+//! `rpx-model` — a deterministic concurrency model-checker in the spirit
+//! of loom/shuttle, built for this workspace's lock-free core (the
+//! Chase-Lev deque and segmented injector in `shims/crossbeam`, the
+//! scheduler's sleeper/park gate and `EventGate` in `crates/runtime`, and
+//! the counter-registry snapshot protocol in `crates/core`).
+//!
+//! # How it works
+//!
+//! A spec is a closure passed to [`check`]. The engine runs it repeatedly,
+//! each time serializing all threads it spawns (via [`thread::spawn`])
+//! onto a single run token: every operation on the primitives in [`sync`]
+//! is a yield point where a scheduler decides who runs next and which
+//! store a weak load observes. Interleavings are explored by depth-first
+//! search over those decisions (complete up to the configured preemption
+//! bound), then by seeded random walks. A violated assertion, deadlock, or
+//! step-budget livelock is reported with the exact seed / choice trail to
+//! replay it (`RPX_TEST_SEED=<seed>` reruns exactly that interleaving).
+//!
+//! # Wiring code under the checker
+//!
+//! Production crates route `std::sync::atomic`, `parking_lot` locks, spin
+//! hints, and thread spawns through a thin local `sync` facade that
+//! re-exports the real primitives normally and these instrumented ones
+//! under `--cfg rpx_model`. The instrumented types are *adaptive*: outside
+//! an execution they behave exactly like the real ones, so an
+//! `rpx_model`-cfg'd build still runs its ordinary unit tests.
+//!
+//! What is explored: schedule interleavings (bounded preemptions +
+//! unlimited voluntary switches) and C11-style weak-memory effects
+//! (store buffering, independent-reads reordering, release/acquire
+//! synchronization, release sequences, fences including SeqCst).
+//! What is not: unbounded stale reads (a thread re-reading the same stale
+//! value is eventually forced to the latest store), spurious CAS failures,
+//! and interleavings beyond the preemption bound in the DFS phase.
+
+mod clock;
+mod engine;
+
+pub mod hint;
+pub mod mutation;
+pub mod sync;
+pub mod thread;
+
+pub use engine::{check, check_expect_failure, explore, in_model, Config, Failure, Report};

@@ -1,0 +1,37 @@
+//! Mutation registry: lets mutant specs arm a named, deliberately-broken
+//! code path (e.g. "skip this fence") to prove the checker catches the bug
+//! class the paired spec guards against.
+//!
+//! Deliberately NOT a model yield point: arming happens before an
+//! exploration starts, and probing from production code must stay free.
+
+use std::collections::HashSet;
+use std::sync::{Mutex, OnceLock};
+
+fn set() -> &'static Mutex<HashSet<String>> {
+    static SET: OnceLock<Mutex<HashSet<String>>> = OnceLock::new();
+    SET.get_or_init(|| Mutex::new(HashSet::new()))
+}
+
+/// Arm the named mutation. Instrumented code probes it with
+/// `armed(name)` (via each crate's facade `mutation_armed` helper, which
+/// compiles to a constant `false` outside `cfg(rpx_model)`).
+pub fn arm(name: &str) {
+    set()
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .insert(name.to_string());
+}
+
+pub fn armed(name: &str) -> bool {
+    set()
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .contains(name)
+}
+
+/// Disarm everything. Call after a mutant exploration so later specs in
+/// the same test process see pristine code.
+pub fn disarm_all() {
+    set().lock().unwrap_or_else(|p| p.into_inner()).clear();
+}

@@ -1,0 +1,787 @@
+//! Adaptive synchronization primitives.
+//!
+//! Every type in this module checks, per operation, whether the calling OS
+//! thread is a *model thread* (spawned by the exploration engine inside a
+//! `check()` run). Inside the model, operations route through the engine —
+//! becoming yield points with weak-memory semantics; outside it they behave
+//! exactly like their `std`/`parking_lot` counterparts, so code compiled
+//! with `--cfg rpx_model` still works in ordinary unit tests and build
+//! scripts.
+//!
+//! Atomics keep their value mirrored in a real `std::sync::atomic` cell
+//! (written inside the engine lock), so `get_mut`/`into_inner` and the
+//! initial value observed at a location's first model access are always
+//! coherent.
+//!
+//! Limitation (documented, asserted nowhere): a single lock/condvar
+//! *instance* must not be contended by model and non-model threads at the
+//! same time — the two paths use disjoint blocking mechanisms.
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Condvar as OsCondvar, Mutex as OsMutex};
+use std::time::{Duration, Instant};
+
+pub use std::sync::atomic::Ordering;
+
+use crate::engine;
+
+/// An `atomic::fence` that is a model yield point inside an execution.
+pub fn fence(ord: Ordering) {
+    if engine::in_model() {
+        engine::fence(ord);
+    } else {
+        std::sync::atomic::fence(ord);
+    }
+}
+
+macro_rules! int_atomic {
+    ($name:ident, $std:ident, $ty:ty) => {
+        /// Model-aware drop-in for `std::sync::atomic` of the same name.
+        #[derive(Default)]
+        pub struct $name {
+            inner: std::sync::atomic::$std,
+        }
+
+        impl $name {
+            pub const fn new(v: $ty) -> Self {
+                Self {
+                    inner: std::sync::atomic::$std::new(v),
+                }
+            }
+
+            #[inline]
+            fn addr(&self) -> usize {
+                self as *const Self as usize
+            }
+
+            /// Pre-execution value for the location's first model access;
+            /// ignored once the engine has a store history for it.
+            #[inline]
+            fn init(&self) -> u64 {
+                self.inner.load(Ordering::Relaxed) as u64
+            }
+
+            pub fn load(&self, ord: Ordering) -> $ty {
+                if engine::in_model() {
+                    engine::atomic_load(self.addr(), self.init(), ord, stringify!($name)) as $ty
+                } else {
+                    self.inner.load(ord)
+                }
+            }
+
+            pub fn store(&self, v: $ty, ord: Ordering) {
+                if engine::in_model() {
+                    engine::atomic_store(
+                        self.addr(),
+                        self.init(),
+                        v as u64,
+                        ord,
+                        stringify!($name),
+                        &|x| self.inner.store(x as $ty, Ordering::Relaxed),
+                    );
+                } else {
+                    self.inner.store(v, ord);
+                }
+            }
+
+            fn model_rmw(
+                &self,
+                ord: Ordering,
+                fail: Ordering,
+                compute: &mut dyn FnMut(u64) -> Option<u64>,
+            ) -> (u64, bool) {
+                engine::atomic_rmw(
+                    self.addr(),
+                    self.init(),
+                    ord,
+                    fail,
+                    stringify!($name),
+                    compute,
+                    &|x| self.inner.store(x as $ty, Ordering::Relaxed),
+                )
+            }
+
+            pub fn swap(&self, v: $ty, ord: Ordering) -> $ty {
+                if engine::in_model() {
+                    self.model_rmw(ord, Ordering::Relaxed, &mut |_| Some(v as u64))
+                        .0 as $ty
+                } else {
+                    self.inner.swap(v, ord)
+                }
+            }
+
+            pub fn fetch_add(&self, v: $ty, ord: Ordering) -> $ty {
+                if engine::in_model() {
+                    self.model_rmw(ord, Ordering::Relaxed, &mut |old| {
+                        Some((old as $ty).wrapping_add(v) as u64)
+                    })
+                    .0 as $ty
+                } else {
+                    self.inner.fetch_add(v, ord)
+                }
+            }
+
+            pub fn fetch_sub(&self, v: $ty, ord: Ordering) -> $ty {
+                if engine::in_model() {
+                    self.model_rmw(ord, Ordering::Relaxed, &mut |old| {
+                        Some((old as $ty).wrapping_sub(v) as u64)
+                    })
+                    .0 as $ty
+                } else {
+                    self.inner.fetch_sub(v, ord)
+                }
+            }
+
+            pub fn fetch_max(&self, v: $ty, ord: Ordering) -> $ty {
+                if engine::in_model() {
+                    self.model_rmw(ord, Ordering::Relaxed, &mut |old| {
+                        Some((old as $ty).max(v) as u64)
+                    })
+                    .0 as $ty
+                } else {
+                    self.inner.fetch_max(v, ord)
+                }
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                if engine::in_model() {
+                    let (old, ok) = self.model_rmw(success, failure, &mut |old| {
+                        if old as $ty == current {
+                            Some(new as u64)
+                        } else {
+                            None
+                        }
+                    });
+                    if ok {
+                        Ok(old as $ty)
+                    } else {
+                        Err(old as $ty)
+                    }
+                } else {
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+            }
+
+            /// Modeled identically to the strong variant: spurious failures
+            /// add retries correct code must already tolerate; not exploring
+            /// them cannot produce a false positive.
+            pub fn compare_exchange_weak(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            pub fn get_mut(&mut self) -> &mut $ty {
+                self.inner.get_mut()
+            }
+
+            pub fn into_inner(self) -> $ty {
+                self.inner.into_inner()
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_tuple(stringify!($name))
+                    .field(&self.inner.load(Ordering::Relaxed))
+                    .finish()
+            }
+        }
+    };
+}
+
+int_atomic!(AtomicU8, AtomicU8, u8);
+int_atomic!(AtomicU32, AtomicU32, u32);
+int_atomic!(AtomicU64, AtomicU64, u64);
+int_atomic!(AtomicUsize, AtomicUsize, usize);
+int_atomic!(AtomicI64, AtomicI64, i64);
+int_atomic!(AtomicIsize, AtomicIsize, isize);
+
+/// Model-aware drop-in for `std::sync::atomic::AtomicBool`.
+#[derive(Default)]
+pub struct AtomicBool {
+    inner: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    pub const fn new(v: bool) -> Self {
+        Self {
+            inner: std::sync::atomic::AtomicBool::new(v),
+        }
+    }
+
+    #[inline]
+    fn addr(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    #[inline]
+    fn init(&self) -> u64 {
+        self.inner.load(Ordering::Relaxed) as u64
+    }
+
+    pub fn load(&self, ord: Ordering) -> bool {
+        if engine::in_model() {
+            engine::atomic_load(self.addr(), self.init(), ord, "AtomicBool") != 0
+        } else {
+            self.inner.load(ord)
+        }
+    }
+
+    pub fn store(&self, v: bool, ord: Ordering) {
+        if engine::in_model() {
+            engine::atomic_store(
+                self.addr(),
+                self.init(),
+                v as u64,
+                ord,
+                "AtomicBool",
+                &|x| self.inner.store(x != 0, Ordering::Relaxed),
+            );
+        } else {
+            self.inner.store(v, ord);
+        }
+    }
+
+    pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+        if engine::in_model() {
+            engine::atomic_rmw(
+                self.addr(),
+                self.init(),
+                ord,
+                Ordering::Relaxed,
+                "AtomicBool",
+                &mut |_| Some(v as u64),
+                &|x| self.inner.store(x != 0, Ordering::Relaxed),
+            )
+            .0 != 0
+        } else {
+            self.inner.swap(v, ord)
+        }
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        if engine::in_model() {
+            let (old, ok) = engine::atomic_rmw(
+                self.addr(),
+                self.init(),
+                success,
+                failure,
+                "AtomicBool",
+                &mut |old| {
+                    if (old != 0) == current {
+                        Some(new as u64)
+                    } else {
+                        None
+                    }
+                },
+                &|x| self.inner.store(x != 0, Ordering::Relaxed),
+            );
+            if ok {
+                Ok(old != 0)
+            } else {
+                Err(old != 0)
+            }
+        } else {
+            self.inner.compare_exchange(current, new, success, failure)
+        }
+    }
+
+    pub fn compare_exchange_weak(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        self.compare_exchange(current, new, success, failure)
+    }
+
+    pub fn get_mut(&mut self) -> &mut bool {
+        self.inner.get_mut()
+    }
+
+    pub fn into_inner(self) -> bool {
+        self.inner.into_inner()
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AtomicBool")
+            .field(&self.inner.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Model-aware drop-in for `std::sync::atomic::AtomicPtr`.
+pub struct AtomicPtr<T> {
+    inner: std::sync::atomic::AtomicPtr<T>,
+}
+
+impl<T> AtomicPtr<T> {
+    pub const fn new(p: *mut T) -> Self {
+        Self {
+            inner: std::sync::atomic::AtomicPtr::new(p),
+        }
+    }
+
+    #[inline]
+    fn addr(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    #[inline]
+    fn init(&self) -> u64 {
+        self.inner.load(Ordering::Relaxed) as usize as u64
+    }
+
+    pub fn load(&self, ord: Ordering) -> *mut T {
+        if engine::in_model() {
+            engine::atomic_load(self.addr(), self.init(), ord, "AtomicPtr") as usize as *mut T
+        } else {
+            self.inner.load(ord)
+        }
+    }
+
+    pub fn store(&self, p: *mut T, ord: Ordering) {
+        if engine::in_model() {
+            engine::atomic_store(
+                self.addr(),
+                self.init(),
+                p as usize as u64,
+                ord,
+                "AtomicPtr",
+                &|x| self.inner.store(x as usize as *mut T, Ordering::Relaxed),
+            );
+        } else {
+            self.inner.store(p, ord);
+        }
+    }
+
+    pub fn swap(&self, p: *mut T, ord: Ordering) -> *mut T {
+        if engine::in_model() {
+            engine::atomic_rmw(
+                self.addr(),
+                self.init(),
+                ord,
+                Ordering::Relaxed,
+                "AtomicPtr",
+                &mut |_| Some(p as usize as u64),
+                &|x| self.inner.store(x as usize as *mut T, Ordering::Relaxed),
+            )
+            .0 as usize as *mut T
+        } else {
+            self.inner.swap(p, ord)
+        }
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        if engine::in_model() {
+            let (old, ok) = engine::atomic_rmw(
+                self.addr(),
+                self.init(),
+                success,
+                failure,
+                "AtomicPtr",
+                &mut |old| {
+                    if old as usize == current as usize {
+                        Some(new as usize as u64)
+                    } else {
+                        None
+                    }
+                },
+                &|x| self.inner.store(x as usize as *mut T, Ordering::Relaxed),
+            );
+            if ok {
+                Ok(old as usize as *mut T)
+            } else {
+                Err(old as usize as *mut T)
+            }
+        } else {
+            self.inner.compare_exchange(current, new, success, failure)
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut *mut T {
+        self.inner.get_mut()
+    }
+
+    pub fn into_inner(self) -> *mut T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T> std::fmt::Debug for AtomicPtr<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AtomicPtr")
+            .field(&self.inner.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mutex / Condvar / RwLock (parking_lot-shim-compatible surface)
+// ---------------------------------------------------------------------
+
+/// Model-aware mutex with the same (non-poisoning) API as the workspace
+/// `parking_lot` shim.
+pub struct Mutex<T> {
+    locked: OsMutex<bool>,
+    cv: OsCondvar,
+    data: UnsafeCell<T>,
+}
+
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    model: bool,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            locked: OsMutex::new(false),
+            cv: OsCondvar::new(),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    #[inline]
+    fn addr(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    fn raw_lock_os(&self) {
+        let mut g = self.locked.lock().unwrap_or_else(|p| p.into_inner());
+        while *g {
+            g = self.cv.wait(g).unwrap_or_else(|p| p.into_inner());
+        }
+        *g = true;
+    }
+
+    fn raw_unlock(&self, model: bool) {
+        if model {
+            engine::mutex_unlock(self.addr());
+        } else {
+            let mut g = self.locked.lock().unwrap_or_else(|p| p.into_inner());
+            *g = false;
+            self.cv.notify_one();
+        }
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let model = engine::in_model();
+        if model {
+            engine::mutex_lock(self.addr());
+        } else {
+            self.raw_lock_os();
+        }
+        MutexGuard { lock: self, model }
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let model = engine::in_model();
+        let ok = if model {
+            engine::mutex_try_lock(self.addr())
+        } else {
+            let mut g = self.locked.lock().unwrap_or_else(|p| p.into_inner());
+            if *g {
+                false
+            } else {
+                *g = true;
+                true
+            }
+        };
+        ok.then_some(MutexGuard { lock: self, model })
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: the guard witnesses exclusive ownership of the lock on
+        // whichever path (engine or OS) acquired it.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.raw_unlock(self.model);
+    }
+}
+
+/// Result of a timed condvar wait (parking_lot-shim-compatible).
+#[derive(Clone, Copy, Debug)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Model-aware condition variable. The non-model path uses a generation
+/// counter so a notification between "release the user mutex" and "block"
+/// is never lost; spurious wakeups are possible (as the API allows).
+pub struct Condvar {
+    generation: OsMutex<u64>,
+    cv: OsCondvar,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar {
+            generation: OsMutex::new(0),
+            cv: OsCondvar::new(),
+        }
+    }
+
+    #[inline]
+    fn addr(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        if guard.model {
+            engine::condvar_wait(self.addr(), guard.lock.addr(), false);
+            return;
+        }
+        let mut generation = self.generation.lock().unwrap_or_else(|p| p.into_inner());
+        let target = *generation;
+        guard.lock.raw_unlock(false);
+        while *generation == target {
+            generation = self.cv.wait(generation).unwrap_or_else(|p| p.into_inner());
+        }
+        drop(generation);
+        guard.lock.raw_lock_os();
+    }
+
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        if guard.model {
+            let timed_out = engine::condvar_wait(self.addr(), guard.lock.addr(), true);
+            return WaitTimeoutResult { timed_out };
+        }
+        let deadline = Instant::now() + timeout;
+        let mut generation = self.generation.lock().unwrap_or_else(|p| p.into_inner());
+        let target = *generation;
+        guard.lock.raw_unlock(false);
+        let timed_out = loop {
+            if *generation != target {
+                break false;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break true;
+            }
+            let (g, _) = self
+                .cv
+                .wait_timeout(generation, deadline - now)
+                .unwrap_or_else(|p| p.into_inner());
+            generation = g;
+        };
+        drop(generation);
+        guard.lock.raw_lock_os();
+        WaitTimeoutResult { timed_out }
+    }
+
+    pub fn notify_one(&self) {
+        if engine::in_model() {
+            engine::condvar_notify(self.addr(), false);
+            return;
+        }
+        let mut generation = self.generation.lock().unwrap_or_else(|p| p.into_inner());
+        *generation += 1;
+        self.cv.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        if engine::in_model() {
+            engine::condvar_notify(self.addr(), true);
+            return;
+        }
+        let mut generation = self.generation.lock().unwrap_or_else(|p| p.into_inner());
+        *generation += 1;
+        self.cv.notify_all();
+    }
+}
+
+#[derive(Default)]
+struct RwCtrl {
+    writer: bool,
+    readers: usize,
+}
+
+/// Model-aware reader-writer lock (no writer preference; recursive reads
+/// are allowed on both paths — the registry's counter callbacks re-enter
+/// read locks).
+pub struct RwLock<T> {
+    ctrl: OsMutex<RwCtrl>,
+    cv: OsCondvar,
+    data: UnsafeCell<T>,
+}
+
+unsafe impl<T: Send> Send for RwLock<T> {}
+unsafe impl<T: Send + Sync> Sync for RwLock<T> {}
+
+pub struct RwLockReadGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    model: bool,
+}
+
+pub struct RwLockWriteGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    model: bool,
+}
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            ctrl: OsMutex::new(RwCtrl {
+                writer: false,
+                readers: 0,
+            }),
+            cv: OsCondvar::new(),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    #[inline]
+    fn addr(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let model = engine::in_model();
+        if model {
+            engine::rw_read_lock(self.addr());
+        } else {
+            let mut g = self.ctrl.lock().unwrap_or_else(|p| p.into_inner());
+            while g.writer {
+                g = self.cv.wait(g).unwrap_or_else(|p| p.into_inner());
+            }
+            g.readers += 1;
+        }
+        RwLockReadGuard { lock: self, model }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let model = engine::in_model();
+        if model {
+            engine::rw_write_lock(self.addr());
+        } else {
+            let mut g = self.ctrl.lock().unwrap_or_else(|p| p.into_inner());
+            while g.writer || g.readers > 0 {
+                g = self.cv.wait(g).unwrap_or_else(|p| p.into_inner());
+            }
+            g.writer = true;
+        }
+        RwLockWriteGuard { lock: self, model }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.model {
+            engine::rw_read_unlock(self.lock.addr());
+        } else {
+            let mut g = self.lock.ctrl.lock().unwrap_or_else(|p| p.into_inner());
+            g.readers -= 1;
+            if g.readers == 0 {
+                self.lock.cv.notify_all();
+            }
+        }
+    }
+}
+
+impl<T> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.model {
+            engine::rw_write_unlock(self.lock.addr());
+        } else {
+            let mut g = self.lock.ctrl.lock().unwrap_or_else(|p| p.into_inner());
+            g.writer = false;
+            self.lock.cv.notify_all();
+        }
+    }
+}

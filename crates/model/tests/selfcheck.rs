@@ -1,0 +1,254 @@
+//! Engine self-checks: litmus tests proving the checker finds the bug
+//! classes it exists to catch (store buffering, missing release/acquire,
+//! lost wakeups, deadlock) and does NOT flag correctly-synchronized code.
+//!
+//! These run in ordinary `cargo test` — the model primitives are adaptive,
+//! so no `--cfg rpx_model` is needed for the checker's own tests.
+
+use std::sync::Arc;
+
+use rpx_model::sync::{AtomicUsize, Condvar, Mutex, Ordering};
+use rpx_model::{check, check_expect_failure, explore, thread, Config};
+
+fn small() -> Config {
+    Config {
+        max_executions: 2000,
+        random_walks: 200,
+        ..Config::default()
+    }
+}
+
+/// Classic store buffering: with only Relaxed accesses both threads may
+/// read 0 — the checker must find that outcome.
+#[test]
+fn store_buffering_relaxed_is_caught() {
+    let failure = check_expect_failure("sb_relaxed", small(), || {
+        let x = Arc::new(AtomicUsize::new(0));
+        let y = Arc::new(AtomicUsize::new(0));
+        let (x2, y2) = (x.clone(), y.clone());
+        let t0 = thread::spawn(move || {
+            x2.store(1, Ordering::Relaxed);
+            y2.load(Ordering::Relaxed)
+        });
+        let (x3, y3) = (x.clone(), y.clone());
+        let t1 = thread::spawn(move || {
+            y3.store(1, Ordering::Relaxed);
+            x3.load(Ordering::Relaxed)
+        });
+        let r0 = t0.join().unwrap();
+        let r1 = t1.join().unwrap();
+        assert!(!(r0 == 0 && r1 == 0), "store buffering observed");
+    });
+    assert!(failure.message.contains("store buffering"));
+}
+
+/// The same litmus with SeqCst fences between store and load is forbidden:
+/// the spec must hold over every explored interleaving.
+#[test]
+fn store_buffering_with_sc_fences_is_forbidden() {
+    check("sb_sc_fences", small(), || {
+        let x = Arc::new(AtomicUsize::new(0));
+        let y = Arc::new(AtomicUsize::new(0));
+        let (x2, y2) = (x.clone(), y.clone());
+        let t0 = thread::spawn(move || {
+            x2.store(1, Ordering::Relaxed);
+            rpx_model::sync::fence(Ordering::SeqCst);
+            y2.load(Ordering::Relaxed)
+        });
+        let (x3, y3) = (x.clone(), y.clone());
+        let t1 = thread::spawn(move || {
+            y3.store(1, Ordering::Relaxed);
+            rpx_model::sync::fence(Ordering::SeqCst);
+            x3.load(Ordering::Relaxed)
+        });
+        let r0 = t0.join().unwrap();
+        let r1 = t1.join().unwrap();
+        assert!(
+            !(r0 == 0 && r1 == 0),
+            "store buffering through SeqCst fences"
+        );
+    });
+}
+
+/// Message passing with a Release flag store and Acquire flag load always
+/// delivers the payload.
+#[test]
+fn message_passing_release_acquire_holds() {
+    check("mp_rel_acq", small(), || {
+        let data = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (d2, f2) = (data.clone(), flag.clone());
+        let producer = thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(1, Ordering::Release);
+        });
+        let (d3, f3) = (data.clone(), flag.clone());
+        let consumer = thread::spawn(move || {
+            let mut seen = false;
+            for _ in 0..64 {
+                if f3.load(Ordering::Acquire) == 1 {
+                    seen = true;
+                    break;
+                }
+                rpx_model::hint::spin_loop();
+            }
+            if seen {
+                assert_eq!(d3.load(Ordering::Relaxed), 42, "payload lost");
+            }
+        });
+        producer.join().unwrap();
+        consumer.join().unwrap();
+    });
+}
+
+/// Same shape with a Relaxed flag store: the payload can be missed, and
+/// the checker must demonstrate it.
+#[test]
+fn message_passing_relaxed_flag_is_caught() {
+    let failure = check_expect_failure("mp_relaxed", small(), || {
+        let data = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (d2, f2) = (data.clone(), flag.clone());
+        let producer = thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(1, Ordering::Relaxed);
+        });
+        let (d3, f3) = (data.clone(), flag.clone());
+        let consumer = thread::spawn(move || {
+            let mut seen = false;
+            for _ in 0..64 {
+                if f3.load(Ordering::Acquire) == 1 {
+                    seen = true;
+                    break;
+                }
+                rpx_model::hint::spin_loop();
+            }
+            if seen {
+                assert_eq!(d3.load(Ordering::Relaxed), 42, "payload lost");
+            }
+        });
+        producer.join().unwrap();
+        consumer.join().unwrap();
+    });
+    assert!(failure.message.contains("payload lost"));
+}
+
+/// Two RMW incrementers never lose an update (RMWs read the latest store).
+#[test]
+fn fetch_add_never_loses_updates() {
+    check("rmw_exact", small(), || {
+        let n = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = n.clone();
+                thread::spawn(move || {
+                    n.fetch_add(1, Ordering::Relaxed);
+                    n.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(n.load(Ordering::Relaxed), 4);
+    });
+}
+
+/// AB/BA lock ordering: the checker must report the deadlock.
+#[test]
+fn lock_order_inversion_deadlocks() {
+    let failure = check_expect_failure("ab_ba_deadlock", small(), || {
+        let a = Arc::new(Mutex::new(0u32));
+        let b = Arc::new(Mutex::new(0u32));
+        let (a2, b2) = (a.clone(), b.clone());
+        let t0 = thread::spawn(move || {
+            let ga = a2.lock();
+            let gb = b2.lock();
+            let _ = (*ga, *gb);
+        });
+        let (a3, b3) = (a.clone(), b.clone());
+        let t1 = thread::spawn(move || {
+            let gb = b3.lock();
+            let ga = a3.lock();
+            let _ = (*ga, *gb);
+        });
+        let _ = t0.join();
+        let _ = t1.join();
+    });
+    assert!(
+        failure.message.contains("deadlock"),
+        "got: {}",
+        failure.message
+    );
+}
+
+/// A timed condvar wait with no notifier must end via its (lazy) timeout,
+/// not a deadlock report.
+#[test]
+fn timed_wait_fires_lazily_instead_of_deadlocking() {
+    check("timed_wait", small(), || {
+        let m = Mutex::new(false);
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_for(&mut g, std::time::Duration::from_millis(1));
+        assert!(r.timed_out(), "no notifier exists, wait must time out");
+    });
+}
+
+/// Condvar wakeups are not lost: with the generation protocol the waiter
+/// always observes the flag flip.
+#[test]
+fn condvar_handoff_holds() {
+    check("cv_handoff", small(), || {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        let setter = thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut g = m.lock();
+            *g = true;
+            drop(g);
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut g = m.lock();
+        let mut spins = 0;
+        while !*g {
+            let r = cv.wait_for(&mut g, std::time::Duration::from_millis(1));
+            let _ = r;
+            spins += 1;
+            assert!(spins < 16, "flag flip never observed");
+        }
+        drop(g);
+        setter.join().unwrap();
+    });
+}
+
+/// The DFS phase is deterministic: the same failing spec reports the same
+/// choice trail on every run.
+#[test]
+fn dfs_replay_is_deterministic() {
+    let spec = || {
+        let x = Arc::new(AtomicUsize::new(0));
+        let x2 = x.clone();
+        let t = thread::spawn(move || x2.store(1, Ordering::Relaxed));
+        let seen = x.load(Ordering::Relaxed);
+        t.join().unwrap();
+        assert_eq!(seen, 0, "deliberately racy assertion");
+    };
+    let f1 = explore(small(), spec).expect_err("race must be found");
+    let f2 = explore(small(), spec).expect_err("race must be found");
+    assert_eq!(f1.execution, f2.execution);
+    assert_eq!(f1.trail, f2.trail);
+    assert_eq!(f1.seed, f2.seed);
+}
+
+#[test]
+fn mutation_registry_arms_and_disarms() {
+    rpx_model::mutation::disarm_all();
+    assert!(!rpx_model::mutation::armed("x"));
+    rpx_model::mutation::arm("x");
+    assert!(rpx_model::mutation::armed("x"));
+    assert!(!rpx_model::mutation::armed("y"));
+    rpx_model::mutation::disarm_all();
+    assert!(!rpx_model::mutation::armed("x"));
+}

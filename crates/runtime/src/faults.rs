@@ -65,10 +65,30 @@ pub struct FaultPlan {
     pub max_per_category: u64,
 }
 
+/// Seed used when no explicit seed is given: `RPX_TEST_SEED` if set (the
+/// workspace-wide deterministic-test knob, shared with the proptest shim
+/// and the model checker), else a fixed constant.
+fn default_seed() -> u64 {
+    parse_u64_var("RPX_TEST_SEED").unwrap_or(0x5eed)
+}
+
+fn parse_u64_var(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    let v = raw.trim();
+    let parsed = v
+        .strip_prefix("0x")
+        .map(|h| u64::from_str_radix(h, 16).ok())
+        .unwrap_or_else(|| v.parse().ok());
+    if parsed.is_none() {
+        eprintln!("rpx: ignoring unparseable {name}={raw:?} (want decimal or 0x-hex)");
+    }
+    parsed
+}
+
 impl Default for FaultPlan {
     fn default() -> Self {
         FaultPlan {
-            seed: 0x5eed,
+            seed: default_seed(),
             task_panic_ppm: 0,
             worker_kill_ppm: 0,
             stall_ppm: 0,
@@ -85,7 +105,7 @@ impl FaultPlan {
     ///
     /// | Variable | Meaning | Default |
     /// |---|---|---|
-    /// | `RPX_FAULT_SEED` | draw-stream seed | `0x5eed` |
+    /// | `RPX_FAULT_SEED` | draw-stream seed | `RPX_TEST_SEED`, else `0x5eed` |
     /// | `RPX_FAULT_TASK_PANIC_PPM` | recovered task panics (ppm) | 0 |
     /// | `RPX_FAULT_WORKER_KILL_PPM` | worker-loop kills (ppm) | 0 |
     /// | `RPX_FAULT_STALL_PPM` | worker stalls (ppm) | 0 |
@@ -93,18 +113,7 @@ impl FaultPlan {
     /// | `RPX_FAULT_COUNTER_FAIL_PPM` | counter-read failures (ppm) | 0 |
     /// | `RPX_FAULT_MAX` | cap per category | unlimited |
     pub fn from_env() -> Option<Self> {
-        fn var(name: &str) -> Option<u64> {
-            let raw = std::env::var(name).ok()?;
-            let v = raw.trim();
-            let parsed = v
-                .strip_prefix("0x")
-                .map(|h| u64::from_str_radix(h, 16).ok())
-                .unwrap_or_else(|| v.parse().ok());
-            if parsed.is_none() {
-                eprintln!("rpx: ignoring unparseable {name}={raw:?} (want decimal or 0x-hex)");
-            }
-            parsed
-        }
+        let var = parse_u64_var;
         let seed = var("RPX_FAULT_SEED");
         let task_panic = var("RPX_FAULT_TASK_PANIC_PPM");
         let worker_kill = var("RPX_FAULT_WORKER_KILL_PPM");
@@ -179,17 +188,31 @@ fn splitmix64(x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Seed of the most recently constructed *active* injector, for the
+/// panic-hook repro line. `u64::MAX` doubles as "none recorded" — plans
+/// never draw from that seed in practice (the default is `0x5eed`).
+static ACTIVE_SEED: AtomicU64 = AtomicU64::new(u64::MAX);
+
 /// Wrap the current panic hook with a filter that swallows [`InjectedFault`]
 /// payloads. Injected faults unwind through `panic_any` thousands of times in
 /// a chaos run; without the filter the default hook floods stderr with a
 /// backtrace per injection (~1M lines for a fib(23) run at 8% ppm). Real
-/// panics still reach the previous hook untouched.
+/// panics still reach the previous hook untouched, prefixed with a one-line
+/// reproduction command naming the injection seed — a chaos-test failure is
+/// only replayable if the seed that produced the fault schedule is known.
 fn silence_injected_panics() {
     static ONCE: std::sync::Once = std::sync::Once::new();
     ONCE.call_once(|| {
         let previous = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
             if info.payload().downcast_ref::<InjectedFault>().is_none() {
+                let seed = ACTIVE_SEED.load(Ordering::Relaxed);
+                if seed != u64::MAX {
+                    eprintln!(
+                        "rpx: fault injection active (seed {seed:#x}) — reproduce with: \
+                         RPX_TEST_SEED={seed:#x} cargo test <failing test>"
+                    );
+                }
                 previous(info);
             }
         }));
@@ -201,6 +224,9 @@ impl FaultInjector {
     /// filter (once) so injected unwinds don't spam stderr.
     pub fn new(plan: FaultPlan) -> Arc<Self> {
         silence_injected_panics();
+        if plan.is_active() {
+            ACTIVE_SEED.store(plan.seed, Ordering::Relaxed);
+        }
         Arc::new(FaultInjector {
             plan,
             task_panics: Category::default(),
@@ -358,12 +384,26 @@ mod tests {
 
     #[test]
     fn env_plan_round_trips() {
-        // Serialized access: env vars are process-global.
+        // Serialized access: env vars are process-global, so every
+        // RPX_FAULT_*/RPX_TEST_SEED assertion lives in this one test.
         std::env::set_var("RPX_FAULT_TASK_PANIC_PPM", "1234");
         std::env::set_var("RPX_FAULT_STALL_MS", "77");
         let plan = FaultPlan::from_env().expect("plan when vars set");
         assert_eq!(plan.task_panic_ppm, 1234);
         assert_eq!(plan.stall, Duration::from_millis(77));
+
+        // RPX_TEST_SEED seeds the draw stream unless RPX_FAULT_SEED
+        // overrides it.
+        std::env::set_var("RPX_TEST_SEED", "0xabc123");
+        assert_eq!(FaultPlan::default().seed, 0xabc123);
+        let plan = FaultPlan::from_env().expect("plan when vars set");
+        assert_eq!(plan.seed, 0xabc123);
+        std::env::set_var("RPX_FAULT_SEED", "0x77");
+        let plan = FaultPlan::from_env().expect("plan when vars set");
+        assert_eq!(plan.seed, 0x77);
+        std::env::remove_var("RPX_FAULT_SEED");
+        std::env::remove_var("RPX_TEST_SEED");
+
         std::env::remove_var("RPX_FAULT_TASK_PANIC_PPM");
         std::env::remove_var("RPX_FAULT_STALL_MS");
     }

@@ -56,7 +56,10 @@ pub mod cancel;
 mod counters;
 pub mod faults;
 pub mod future;
+#[cfg(all(test, rpx_model))]
+mod model_specs;
 pub mod policy;
+mod prim;
 mod scheduler;
 pub mod stats;
 pub mod sync;

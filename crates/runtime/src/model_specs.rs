@@ -1,0 +1,154 @@
+//! Model-checked specs for the scheduler's sleeper/park-gate protocol and
+//! the [`crate::sync::EventGate`], with paired deliberately-broken mutants
+//! proving the checker catches each lost-wakeup class.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg rpx_model"`; run with
+//! `RUSTFLAGS="--cfg rpx_model" cargo test -p rpx-runtime model_`.
+
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex as StdMutex, MutexGuard, OnceLock};
+
+use crossbeam::sync::Parker;
+use rpx_model::sync::AtomicBool;
+use rpx_model::{check, check_expect_failure, mutation, thread, Config};
+
+use crate::scheduler::{Runnable, Scheduler, SchedulerMode, Task};
+use crate::sync::EventGate;
+
+/// Serializes the specs in this file: mutants arm a process-global
+/// registry, so an armed mutation must never overlap another spec's
+/// exploration.
+fn serial() -> MutexGuard<'static, ()> {
+    static M: OnceLock<StdMutex<()>> = OnceLock::new();
+    M.get_or_init(|| StdMutex::new(()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+fn cfg() -> Config {
+    Config {
+        max_executions: 1500,
+        random_walks: 400,
+        ..Config::default()
+    }
+}
+
+struct Nop;
+impl Runnable for Nop {
+    fn run(&self) {}
+}
+
+/// Protocol 3 — sleeper-count/park-gate lost-wakeup pairing: a worker
+/// registers its unparker, re-probes the queues, and parks; a concurrent
+/// external push probes the sleeper count and unparks. The Dekker-style
+/// `SeqCst` fence pairing guarantees one side observes the other, so the
+/// pushed task is always picked up (a lost wakeup deadlocks: the worker
+/// parks forever while the pusher waits in `join`).
+fn sched_park_gate() {
+    let sched = Arc::new(Scheduler::new(1, SchedulerMode::LocalQueues));
+    let s2 = sched.clone();
+    let worker = thread::spawn(move || {
+        let parker = Parker::new();
+        let local = s2.deques[0].lock().take().expect("deque unclaimed");
+        loop {
+            if let Some((t, _)) = s2.find(0, &local) {
+                break t.id;
+            }
+            // Register *before* the final queue re-probe: a push that
+            // lands between the probe and the park must see the
+            // registration and unpark us.
+            s2.register_sleeper(0, parker.unparker().clone());
+            if s2.has_queued_work() {
+                s2.deregister_sleeper(0);
+                continue;
+            }
+            parker.park();
+            s2.deregister_sleeper(0);
+        }
+    });
+    let id = sched.next_task_id();
+    sched.push(
+        Task {
+            run: Arc::new(Nop),
+            id,
+        },
+        None,
+    );
+    let got = worker.join().unwrap();
+    assert_eq!(got, id, "worker must pick up the pushed task");
+}
+
+#[test]
+fn model_sched_park_gate_no_lost_wakeup() {
+    let _g = serial();
+    mutation::disarm_all();
+    check(
+        "model_sched_park_gate_no_lost_wakeup",
+        cfg(),
+        sched_park_gate,
+    );
+}
+
+#[test]
+fn model_sched_wake_fence_mutant_is_caught() {
+    let _g = serial();
+    mutation::disarm_all();
+    mutation::arm("sched-wake-fence");
+    let failure = check_expect_failure(
+        "model_sched_wake_fence_mutant_is_caught",
+        cfg(),
+        sched_park_gate,
+    );
+    mutation::disarm_all();
+    assert!(
+        failure.message.contains("deadlock") || failure.message.contains("step budget"),
+        "expected a lost wakeup, got: {}",
+        failure.message
+    );
+}
+
+/// Protocol 4 — EventGate complete-vs-wait: the signaller publishes its
+/// condition with a `SeqCst` store and calls `notify`; the waiter
+/// registers (`SeqCst` RMW) before re-checking. Either `notify` sees the
+/// registration and broadcasts, or the waiter's re-check sees the
+/// condition and never blocks.
+fn gate_complete_vs_wait() {
+    let gate = Arc::new(EventGate::new());
+    let flag = Arc::new(AtomicBool::new(false));
+    let (g2, f2) = (gate.clone(), flag.clone());
+    let signaller = thread::spawn(move || {
+        f2.store(true, Ordering::SeqCst);
+        g2.notify();
+    });
+    gate.wait_until(|| flag.load(Ordering::SeqCst));
+    signaller.join().unwrap();
+}
+
+#[test]
+fn model_event_gate_complete_vs_wait() {
+    let _g = serial();
+    mutation::disarm_all();
+    check(
+        "model_event_gate_complete_vs_wait",
+        cfg(),
+        gate_complete_vs_wait,
+    );
+}
+
+#[test]
+fn model_gate_probe_relaxed_mutant_is_caught() {
+    let _g = serial();
+    mutation::disarm_all();
+    mutation::arm("gate-probe-relaxed");
+    let failure = check_expect_failure(
+        "model_gate_probe_relaxed_mutant_is_caught",
+        cfg(),
+        gate_complete_vs_wait,
+    );
+    mutation::disarm_all();
+    assert!(
+        failure.message.contains("deadlock") || failure.message.contains("step budget"),
+        "expected a missed broadcast, got: {}",
+        failure.message
+    );
+}

@@ -1,0 +1,35 @@
+//! `cfg(rpx_model)` indirection for the synchronization primitives behind
+//! the scheduler's sleeper protocol and the [`crate::sync::EventGate`].
+//!
+//! Production builds re-export `std::sync::atomic` and the workspace
+//! `parking_lot` shim — pure renaming, zero overhead. Under
+//! `RUSTFLAGS="--cfg rpx_model"` the same names resolve to
+//! `rpx_model::sync`, whose adaptive types route operations through the
+//! model-checker engine when the calling thread is part of an exploration
+//! (and behave like `std` otherwise, so ordinary unit tests still pass in
+//! a model build).
+//!
+//! `mutation_armed(name)` guards deliberately-broken code paths used by
+//! mutant specs; outside model builds it is a constant `false` and the
+//! broken arm is dead-code-eliminated.
+
+#[cfg(not(rpx_model))]
+mod imp {
+    pub use parking_lot::{Condvar, Mutex};
+    pub use std::hint::spin_loop;
+    pub use std::sync::atomic::{fence, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+
+    #[inline(always)]
+    pub fn mutation_armed(_name: &str) -> bool {
+        false
+    }
+}
+
+#[cfg(rpx_model)]
+mod imp {
+    pub use rpx_model::hint::spin_loop;
+    pub use rpx_model::mutation::armed as mutation_armed;
+    pub use rpx_model::sync::{fence, AtomicI64, AtomicU64, AtomicUsize, Condvar, Mutex, Ordering};
+}
+
+pub(crate) use imp::*;

@@ -8,12 +8,14 @@
 //! Dekker-style flag/flag protocol — see DESIGN.md §"hot path" for the
 //! memory-ordering argument.
 
-use std::sync::atomic::{fence, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker as Deque};
 use crossbeam::sync::Unparker;
-use parking_lot::Mutex;
+
+use crate::prim::{
+    fence, mutation_armed, spin_loop, AtomicI64, AtomicU64, AtomicUsize, Mutex, Ordering,
+};
 
 /// A schedulable task body. Implemented by the runtime's single-allocation
 /// task cell (`runtime::TaskCell`), which carries the instrumented wrapper
@@ -169,7 +171,7 @@ impl Scheduler {
             if !contended {
                 return None;
             }
-            std::hint::spin_loop();
+            spin_loop();
         }
         None
     }
@@ -242,7 +244,15 @@ impl Scheduler {
     /// state of a saturated run — this is a fence plus one atomic load; the
     /// `sleepers` mutex is never touched.
     pub(crate) fn wake_one(&self) {
-        fence(Ordering::SeqCst);
+        if mutation_armed("sched-wake-fence") {
+            // Mutant: an acquire fence does not participate in the SC
+            // order, so this probe and a sleeper's queue re-check can
+            // both read stale values — the lost wakeup the model-checked
+            // park-gate spec must catch.
+            fence(Ordering::Acquire);
+        } else {
+            fence(Ordering::SeqCst);
+        }
         if self.sleeper_count.load(Ordering::Relaxed) == 0 {
             return;
         }

@@ -3,12 +3,17 @@
 //! hot paths. Lock traffic is counted process-wide and can be exposed as
 //! `/synchronization/*` counters on any registry.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::Condvar;
 use rpx_counters::CounterRegistry;
+
+// The instrumented `Mutex<T>` stays on the plain `parking_lot` shim (its
+// guard type is part of the public API); only the `EventGate` internals go
+// through the model facade, since the gate's flag/flag protocol is what
+// the model-checked specs exercise.
+use crate::prim;
 
 static LOCK_ACQUISITIONS: AtomicU64 = AtomicU64::new(0);
 static LOCK_CONTENTIONS: AtomicU64 = AtomicU64::new(0);
@@ -75,9 +80,9 @@ impl<T: Default> Default for Mutex<T> {
 /// takes the slow (lock + broadcast) path, or the waiter's re-check sees
 /// the condition already true and never blocks. See DESIGN.md §"hot path".
 pub struct EventGate {
-    waiters: AtomicUsize,
-    lock: parking_lot::Mutex<()>,
-    cv: Condvar,
+    waiters: prim::AtomicUsize,
+    lock: prim::Mutex<()>,
+    cv: prim::Condvar,
 }
 
 impl Default for EventGate {
@@ -90,9 +95,9 @@ impl EventGate {
     /// A gate with no registered waiters.
     pub const fn new() -> Self {
         EventGate {
-            waiters: AtomicUsize::new(0),
-            lock: parking_lot::Mutex::new(()),
-            cv: Condvar::new(),
+            waiters: prim::AtomicUsize::new(0),
+            lock: prim::Mutex::new(()),
+            cv: prim::Condvar::new(),
         }
     }
 
@@ -146,7 +151,15 @@ impl EventGate {
     /// is registered; the caller must have published the wake condition
     /// (`SeqCst`) *before* calling.
     pub fn notify(&self) {
-        if self.waiters.load(Ordering::SeqCst) == 0 {
+        let probe_ord = if prim::mutation_armed("gate-probe-relaxed") {
+            // Mutant: a relaxed probe can miss a waiter's SeqCst
+            // registration, skipping the broadcast — the lost wakeup the
+            // model-checked gate spec must catch.
+            Ordering::Relaxed
+        } else {
+            Ordering::SeqCst
+        };
+        if self.waiters.load(probe_ord) == 0 {
             return;
         }
         // Taking the lock serializes with waiters between their

@@ -20,8 +20,12 @@ use std::fmt;
 use std::marker::PhantomData;
 use std::mem::MaybeUninit;
 use std::ptr;
-use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+// The retired-buffer list stays on a plain `std` mutex even in model
+// builds: its critical sections contain no model yield points, so it can
+// never block a thread that holds the scheduler token.
 use std::sync::{Arc, Mutex};
+
+use crate::primitives::{fence, mutation_armed, spin_loop, AtomicIsize, AtomicPtr, Ordering};
 
 pub use crate::injector::Injector;
 
@@ -160,13 +164,16 @@ impl<T> Inner<T> {
 impl<T> Drop for Inner<T> {
     fn drop(&mut self) {
         // Exclusive access: drop any queued values, then free the live
-        // buffer and everything `grow` retired.
+        // buffer and everything `grow` retired. Length-based rather than
+        // `i != b` so a corrupted deque (bottom < top, reachable when a
+        // model-checked mutant breaks the claim protocol) drops nothing
+        // instead of wrapping through the whole index space.
         let b = *self.bottom.get_mut();
         let t = *self.top.get_mut();
         let buf = *self.buffer.get_mut();
         unsafe {
             let mut i = t;
-            while i != b {
+            for _ in 0..b.wrapping_sub(t).max(0) {
                 (*(*buf).slot(i)).assume_init_drop();
                 i = i.wrapping_add(1);
             }
@@ -293,7 +300,7 @@ impl<T> Worker<T> {
                     Steal::Empty => return None,
                     // A lost race means a stealer succeeded; the queue
                     // shrank, so retrying is finite.
-                    Steal::Retry => std::hint::spin_loop(),
+                    Steal::Retry => spin_loop(),
                 }
             }
         }
@@ -303,7 +310,14 @@ impl<T> Worker<T> {
         // stealer sees the decremented `bottom` (and reports Empty), or we
         // see its `top` advance (and take the CAS path below).
         self.inner.bottom.store(b, Ordering::Relaxed);
-        fence(Ordering::SeqCst);
+        if mutation_armed("deque-pop-fence") {
+            // Mutant spec `deque-pop-fence`: an acquire fence does not
+            // order the `bottom` store against the `top` load, so the
+            // owner and a stealer can both claim the last element.
+            fence(Ordering::Acquire);
+        } else {
+            fence(Ordering::SeqCst);
+        }
         let t = self.inner.top.load(Ordering::Relaxed);
         let len = b.wrapping_sub(t);
         if len < 0 {

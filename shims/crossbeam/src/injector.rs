@@ -21,14 +21,22 @@ use std::cell::UnsafeCell;
 use std::fmt;
 use std::mem::MaybeUninit;
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, AtomicU8, AtomicUsize, Ordering};
 
 use crate::deque::{Steal, Worker, MAX_BATCH};
+use crate::primitives::{mutation_armed, spin_loop, AtomicPtr, AtomicU8, AtomicUsize, Ordering};
 
-/// Real slots per block.
+/// Real slots per block. Model builds shrink the block so a spec crossing
+/// a lap boundary (block install, done-counter free) needs only a handful
+/// of pushes instead of 32.
+#[cfg(not(rpx_model))]
 const BLOCK_CAP: usize = 31;
+#[cfg(rpx_model)]
+const BLOCK_CAP: usize = 3;
 /// Indices per lap (block capacity + one reserved index).
+#[cfg(not(rpx_model))]
 const LAP: usize = 32;
+#[cfg(rpx_model)]
+const LAP: usize = 4;
 
 /// Number of real slots addressed by indices `< i`.
 fn slots_before(i: usize) -> usize {
@@ -108,7 +116,7 @@ impl<T> Injector<T> {
             if offset == BLOCK_CAP {
                 // Another producer claimed the lap's last slot and is
                 // installing the next block; wait for the index to move.
-                std::hint::spin_loop();
+                spin_loop();
                 tail = self.tail.index.load(Ordering::Acquire);
                 continue;
             }
@@ -130,12 +138,21 @@ impl<T> Injector<T> {
                         // this precedes our WRITTEN flag, so the consumer
                         // of this slot (and therefore the block's free)
                         // cannot outrun it.
+                        //
+                        // Mutant spec `injector-lap-advance-relaxed`: with
+                        // relaxed stores the index can enter the new lap
+                        // before the new block pointer is visible, so a
+                        // producer claims a new-lap index against the old
+                        // block and the value is stranded.
+                        let lap_ord = if mutation_armed("injector-lap-advance-relaxed") {
+                            Ordering::Relaxed
+                        } else {
+                            Ordering::Release
+                        };
                         let next = Block::<T>::alloc();
-                        (*block).next.store(next, Ordering::Release);
-                        self.tail.block.store(next, Ordering::Release);
-                        self.tail
-                            .index
-                            .store((tail / LAP + 1) * LAP, Ordering::Release);
+                        (*block).next.store(next, lap_ord);
+                        self.tail.block.store(next, lap_ord);
+                        self.tail.index.store((tail / LAP + 1) * LAP, lap_ord);
                     }
                     let slot = &(*block).slots[offset];
                     (*slot.value.get()).write(value);
@@ -181,7 +198,7 @@ impl<T> Injector<T> {
                     if !n.is_null() {
                         break n;
                     }
-                    std::hint::spin_loop();
+                    spin_loop();
                 };
                 self.head.block.store(next, Ordering::Release);
                 self.head
@@ -193,7 +210,7 @@ impl<T> Injector<T> {
             // precedes ours (tail CAS before head could pass it), so the
             // wait is bounded by one in-flight write.
             while slot.state.load(Ordering::Acquire) == 0 {
-                std::hint::spin_loop();
+                spin_loop();
             }
             let value = (*slot.value.get()).assume_init_read();
             self.finish_consume(block);
@@ -209,7 +226,17 @@ impl<T> Injector<T> {
     /// not touch the block afterwards.
     unsafe fn finish_consume(&self, block: *mut Block<T>) {
         if (*block).done.fetch_add(1, Ordering::AcqRel) + 1 == BLOCK_CAP {
+            // Model builds leak the block instead of freeing it: an armed
+            // mutant can break the claim protocol badly enough that a
+            // racing producer still writes through a stale block pointer,
+            // and the checker must surface the *logical* failure (stranded
+            // or duplicated values), not corrupt the allocator. The
+            // decision to free — the done-counter protocol — is still
+            // fully explored; only the reclamation is deferred.
+            #[cfg(not(rpx_model))]
             drop(Box::from_raw(block));
+            #[cfg(rpx_model)]
+            let _ = block;
         }
     }
 

@@ -26,4 +26,7 @@
 
 pub mod deque;
 mod injector;
+#[cfg(all(test, rpx_model))]
+mod model_specs;
+mod primitives;
 pub mod sync;

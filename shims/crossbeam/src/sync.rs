@@ -1,8 +1,15 @@
 //! `Parker`/`Unparker`: a one-token thread parker (the `crossbeam::sync`
 //! subset used by the runtime's worker loops).
+//!
+//! Built on the crate's primitive facade, so model builds explore park/
+//! unpark interleavings (a lost token shows up as a deadlock in the
+//! scheduler's park-gate spec) while production builds use the plain
+//! `parking_lot`-shim mutex and condvar.
 
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
+
+use crate::primitives::{Condvar, Mutex};
 
 struct Inner {
     token: Mutex<bool>,
@@ -36,31 +43,29 @@ impl Parker {
 
     /// Block until a token is posted (consumes the token).
     pub fn park(&self) {
-        let mut g = self.inner.token.lock().unwrap_or_else(|p| p.into_inner());
+        let mut g = self.inner.token.lock();
         while !*g {
-            g = self.inner.cv.wait(g).unwrap_or_else(|p| p.into_inner());
+            self.inner.cv.wait(&mut g);
         }
         *g = false;
     }
 
     /// Block until a token is posted or `timeout` elapses.
     pub fn park_timeout(&self, timeout: Duration) {
-        let deadline = std::time::Instant::now() + timeout;
-        let mut g = self.inner.token.lock().unwrap_or_else(|p| p.into_inner());
+        let mut g = self.inner.token.lock();
+        let mut remaining = timeout;
+        let start = std::time::Instant::now();
         while !*g {
-            let now = std::time::Instant::now();
-            let Some(remaining) = deadline
-                .checked_duration_since(now)
+            if self.inner.cv.wait_for(&mut g, remaining).timed_out() {
+                return;
+            }
+            let Some(left) = timeout
+                .checked_sub(start.elapsed())
                 .filter(|d| !d.is_zero())
             else {
                 return;
             };
-            let (guard, _r) = self
-                .inner
-                .cv
-                .wait_timeout(g, remaining)
-                .unwrap_or_else(|p| p.into_inner());
-            g = guard;
+            remaining = left;
         }
         *g = false;
     }
@@ -87,7 +92,7 @@ impl Clone for Unparker {
 impl Unparker {
     /// Post the token, waking a parked (or about-to-park) thread.
     pub fn unpark(&self) {
-        let mut g = self.inner.token.lock().unwrap_or_else(|p| p.into_inner());
+        let mut g = self.inner.token.lock();
         *g = true;
         self.inner.cv.notify_one();
     }

@@ -6,9 +6,14 @@
 //! `proptest::option::of`, `proptest::collection::vec`, `ProptestConfig`,
 //! and the `proptest!` / `prop_assert!` / `prop_assert_eq!` macros.
 //!
-//! No shrinking: a failing case panics with the generated inputs visible in
-//! the assertion message. Generation is deterministic (fixed seed), so
-//! failures reproduce exactly across runs.
+//! Every case draws from its own seed, derived from a fixed base (or from
+//! `RPX_TEST_SEED` when set, which replays exactly that one case). A
+//! failing case is shrunk — numeric values toward their range start,
+//! vectors by removing and shrinking elements, tuples component-wise —
+//! and the final panic reports the minimal input plus a one-line
+//! `RPX_TEST_SEED=... cargo test <name>` reproduction command.
+//! `prop_map` outputs don't shrink (the map is not invertible); they
+//! still replay by seed.
 
 pub mod test_runner {
     /// Deterministic splitmix64 RNG driving all generation.
@@ -76,6 +81,14 @@ pub trait Strategy {
     /// Generate one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Candidate simplifications of a failing value, simplest first. The
+    /// runner adopts the first candidate that still fails and repeats, so
+    /// implementations must only produce values the strategy itself could
+    /// have generated. The default (no candidates) disables shrinking.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
     /// Transform generated values.
     fn prop_map<U, F>(self, f: F) -> Map<Self, F>
     where
@@ -86,7 +99,9 @@ pub trait Strategy {
     }
 }
 
-/// Strategy produced by [`Strategy::prop_map`].
+/// Strategy produced by [`Strategy::prop_map`]. Does not shrink: the
+/// mapping is not invertible, so there is no way back from a failing
+/// output to a source value to simplify.
 pub struct Map<S, F> {
     inner: S,
     f: F,
@@ -105,8 +120,133 @@ where
 }
 
 // ---------------------------------------------------------------------
+// Seeding and the property runner
+// ---------------------------------------------------------------------
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// `RPX_TEST_SEED` parsed as decimal or `0x`-hex, if set and parseable.
+fn env_seed() -> Option<u64> {
+    let raw = std::env::var("RPX_TEST_SEED").ok()?;
+    let v = raw.trim();
+    let parsed = v
+        .strip_prefix("0x")
+        .map(|h| u64::from_str_radix(h, 16).ok())
+        .unwrap_or_else(|| v.parse().ok());
+    if parsed.is_none() {
+        eprintln!("proptest (shim): ignoring unparseable RPX_TEST_SEED={raw:?}");
+    }
+    parsed
+}
+
+/// Greedily shrink `failing` with `strat`'s candidates: adopt the first
+/// candidate `fails` accepts and restart, until no candidate fails or the
+/// evaluation budget runs out. Returns the last (smallest) failing value.
+pub fn shrink_to_minimal<S: Strategy>(
+    strat: &S,
+    mut failing: S::Value,
+    fails: &dyn Fn(&S::Value) -> bool,
+) -> S::Value {
+    let mut budget = 10_000usize;
+    loop {
+        let mut advanced = false;
+        for candidate in strat.shrink(&failing) {
+            if budget == 0 {
+                return failing;
+            }
+            budget -= 1;
+            if fails(&candidate) {
+                failing = candidate;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            return failing;
+        }
+    }
+}
+
+fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Drive one property: generate `config.cases` seeded cases (or exactly
+/// one when `RPX_TEST_SEED` is set), and on failure shrink to a minimal
+/// input and panic with the value, the original assertion message, and a
+/// one-line reproduction command. Used by the [`proptest!`] macro.
+pub fn run_property<S, T>(name: &str, config: &ProptestConfig, strat: &S, test: T)
+where
+    S: Strategy,
+    S::Value: Clone + std::fmt::Debug,
+    T: Fn(S::Value),
+{
+    const BASE: u64 = 0x9E37_79B9_7F4A_7C15;
+    let replay = env_seed();
+    let cases = if replay.is_some() { 1 } else { config.cases };
+    for case in 0..cases {
+        let seed = replay.unwrap_or_else(|| splitmix64(BASE ^ u64::from(case)));
+        let value = strat.generate(&mut TestRng::from_seed(seed));
+        let run = |v: &S::Value| {
+            let v = v.clone();
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(v)))
+        };
+        let Err(payload) = run(&value) else {
+            continue;
+        };
+        // Shrink with panic output silenced: the search deliberately
+        // re-fails the property many times.
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let minimal = shrink_to_minimal(strat, value.clone(), &|v| run(v).is_err());
+        let message = run(&minimal)
+            .err()
+            .map(payload_message)
+            .unwrap_or_else(|| payload_message(payload));
+        std::panic::set_hook(prev_hook);
+        panic!(
+            "property {name} failed.\n\
+             minimal failing input: {minimal:?}\n\
+             original failing input: {value:?}\n\
+             assertion: {message}\n\
+             reproduce with: RPX_TEST_SEED={seed:#x} cargo test {name}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
 // Numeric ranges
 // ---------------------------------------------------------------------
+
+// Candidates toward the range start: the start itself, the midpoint, and
+// the predecessor — enough for the greedy runner to binary-search to the
+// boundary value of a threshold predicate.
+macro_rules! numeric_shrink {
+    ($v:expr, $start:expr) => {{
+        let (v, start) = ($v, $start);
+        let mut out = Vec::new();
+        if v > start {
+            out.push(start);
+            let mid = start + (v - start) / 2;
+            if mid != start && mid != v {
+                out.push(mid);
+            }
+            out.push(v - 1);
+        }
+        out
+    }};
+}
 
 macro_rules! range_strategy {
     ($($t:ty),*) => {$(
@@ -116,6 +256,9 @@ macro_rules! range_strategy {
                 let span = (self.end as u64).wrapping_sub(self.start as u64);
                 assert!(span > 0, "empty range strategy");
                 self.start.wrapping_add(rng.below(span) as $t)
+            }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                numeric_shrink!(*v, self.start)
             }
         }
 
@@ -131,6 +274,9 @@ macro_rules! range_strategy {
                 }
                 self.start().wrapping_add(rng.below(span) as $t)
             }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                numeric_shrink!(*v, *self.start())
+            }
         }
     )*};
 }
@@ -145,6 +291,9 @@ macro_rules! signed_range_strategy {
                 assert!(span > 0, "empty range strategy");
                 (self.start as i64).wrapping_add(rng.below(span) as i64) as $t
             }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                numeric_shrink!(*v, self.start)
+            }
         }
     )*};
 }
@@ -156,6 +305,9 @@ impl Strategy for std::ops::RangeFrom<u64> {
         let span = u64::MAX - self.start;
         self.start + rng.below(span.max(1))
     }
+    fn shrink(&self, v: &u64) -> Vec<u64> {
+        numeric_shrink!(*v, self.start)
+    }
 }
 
 impl Strategy for std::ops::RangeFrom<u32> {
@@ -163,6 +315,9 @@ impl Strategy for std::ops::RangeFrom<u32> {
     fn generate(&self, rng: &mut TestRng) -> u32 {
         let span = u64::from(u32::MAX) - u64::from(self.start);
         self.start + rng.below(span.max(1)) as u32
+    }
+    fn shrink(&self, v: &u32) -> Vec<u32> {
+        numeric_shrink!(*v, self.start)
     }
 }
 
@@ -264,10 +419,26 @@ impl Strategy for &'static str {
 
 macro_rules! tuple_strategy {
     ($($name:ident : $idx:tt),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone),+
+        {
             type Value = ($($name::Value,)+);
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+                // Component-wise: shrink one coordinate at a time, holding
+                // the others fixed.
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&v.$idx) {
+                        let mut c = v.clone();
+                        c.$idx = candidate;
+                        out.push(c);
+                    }
+                )+
+                out
             }
         }
     };
@@ -298,6 +469,14 @@ pub mod option {
                 Some(self.inner.generate(rng))
             }
         }
+        fn shrink(&self, v: &Option<S::Value>) -> Vec<Option<S::Value>> {
+            match v {
+                None => Vec::new(),
+                Some(x) => std::iter::once(None)
+                    .chain(self.inner.shrink(x).into_iter().map(Some))
+                    .collect(),
+            }
+        }
     }
 
     /// `Option` of the given strategy.
@@ -315,12 +494,43 @@ pub mod collection {
         len: std::ops::Range<usize>,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.len.end - self.len.start).max(1) as u64;
             let n = self.len.start + rng.below(span) as usize;
             (0..n).map(|_| self.inner.generate(rng)).collect()
+        }
+        fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let min_len = self.len.start;
+            let n = v.len();
+            // Structural first: halve toward the minimum length, then drop
+            // single elements (scanning from the back keeps prefixes, which
+            // most properties index into).
+            if n > min_len {
+                let keep = min_len.max(n / 2);
+                if keep < n {
+                    out.push(v[..keep].to_vec());
+                }
+                for i in (0..n).rev() {
+                    let mut c = v.clone();
+                    c.remove(i);
+                    out.push(c);
+                }
+            }
+            // Then element-wise via the inner strategy.
+            for i in 0..n {
+                for candidate in self.inner.shrink(&v[i]) {
+                    let mut c = v.clone();
+                    c[i] = candidate;
+                    out.push(c);
+                }
+            }
+            out
         }
     }
 
@@ -334,7 +544,7 @@ pub mod collection {
 // Macros
 // ---------------------------------------------------------------------
 
-/// Assert inside a property; panics (no shrinking in the shim).
+/// Assert inside a property; panics (the runner catches it and shrinks).
 #[macro_export]
 macro_rules! prop_assert {
     ($cond:expr) => { assert!($cond) };
@@ -368,12 +578,16 @@ macro_rules! proptest {
             #[test]
             fn $name() {
                 let __config: $crate::ProptestConfig = $cfg;
-                let mut __rng = $crate::test_runner::TestRng::deterministic();
-                for __case in 0..__config.cases {
-                    let _ = __case;
-                    $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)+
-                    $body
-                }
+                let __strat = ($($strat,)+);
+                $crate::run_property(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &__config,
+                    &__strat,
+                    |__value| {
+                        let ($($pat,)+) = __value;
+                        $body
+                    },
+                );
             }
         )*
     };
@@ -445,6 +659,56 @@ mod tests {
             }
         }
         assert!(saw_none && saw_some);
+    }
+
+    #[test]
+    fn numeric_shrink_candidates_stay_in_range() {
+        let strat = 3u32..100;
+        for v in [4u32, 57, 99] {
+            for c in Strategy::shrink(&strat, &v) {
+                assert!((3..100).contains(&c) && c < v, "candidate {c} for {v}");
+            }
+        }
+        assert!(Strategy::shrink(&strat, &3).is_empty());
+    }
+
+    #[test]
+    fn seeded_failure_shrinks_to_minimal() {
+        // Property violated whenever the vector has >= 3 elements and the
+        // scalar is >= 10; the canonical minimal counterexample is
+        // ([0, 0, 0], 10).
+        let strat = (crate::collection::vec(0u32..1000, 0..20), 0u32..100);
+        let fails = |(v, x): &(Vec<u32>, u32)| v.len() >= 3 && *x >= 10;
+        let mut rng = TestRng::from_seed(0xDEAD_BEEF);
+        let mut case = Strategy::generate(&strat, &mut rng);
+        while !fails(&case) {
+            case = Strategy::generate(&strat, &mut rng);
+        }
+        let minimal = crate::shrink_to_minimal(&strat, case, &|v| fails(v));
+        assert_eq!(minimal, (vec![0, 0, 0], 10));
+    }
+
+    #[test]
+    fn failing_property_reports_minimal_input_and_repro_seed() {
+        let err = std::panic::catch_unwind(|| {
+            crate::run_property(
+                "shim_self_test",
+                &ProptestConfig::with_cases(64),
+                &(crate::collection::vec(0u32..1000, 0..20), 0u32..100),
+                |(v, x): (Vec<u32>, u32)| {
+                    prop_assert!(v.len() < 3 || x < 10, "len {} with x {}", v.len(), x);
+                },
+            );
+        })
+        .expect_err("the property must fail within 64 cases");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("shim failure panics with a String");
+        assert!(
+            msg.contains("minimal failing input: ([0, 0, 0], 10)"),
+            "unshrunk report: {msg}"
+        );
+        assert!(msg.contains("RPX_TEST_SEED="), "no repro line: {msg}");
     }
 
     proptest! {

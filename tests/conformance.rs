@@ -1,0 +1,207 @@
+//! Counter-semantics conformance: benchmark runs whose counter values are
+//! known in *closed form*, so the assertions are exact equalities rather
+//! than "looks plausible" bounds.
+//!
+//! The task-count oracles follow from the spawn structure of the Inncabs
+//! kernels:
+//!
+//! - `fib(n)` spawns both recursive calls, so the call tree has
+//!   `C(n) = 2*fib(n+1) - 1` nodes and every node except the root arrives
+//!   via `spawn` — exactly `2*fib(n+1) - 2` tasks.
+//! - `nqueens(n)` spawns one task per *valid* partial placement, so the
+//!   task count equals the size of the pruned search tree minus the root,
+//!   enumerable sequentially.
+//!
+//! The time-balance test checks the accounting identity the paper's
+//! idle-rate counter rests on: every nanosecond of a worker's life is
+//! attributed to exactly one of {exec, overhead, idle}.
+
+use rpx::inncabs::spawner::RpxSpawner;
+use rpx::inncabs::{fib, nqueens};
+use rpx::runtime::{Runtime, RuntimeConfig};
+
+const TOTAL_COUNT: &str = "/threads{locality#0/total}/count/cumulative";
+
+fn fib_u64(n: u64) -> u64 {
+    (0..n).fold((0u64, 1u64), |(a, b), _| (b, a + b)).0
+}
+
+/// Number of tasks a parallel `fib(n)` run spawns: every call with
+/// `n >= 2` spawns two children; only the root is not itself a task.
+fn fib_task_oracle(n: u64) -> i64 {
+    (2 * fib_u64(n + 1) - 2) as i64
+}
+
+/// Number of tasks a parallel `nqueens(n)` run spawns: one per valid
+/// partial placement (the pruned search tree minus its root).
+fn nqueens_task_oracle(n: usize) -> i64 {
+    fn safe(placed: &[usize], col: usize) -> bool {
+        let row = placed.len();
+        placed
+            .iter()
+            .enumerate()
+            .all(|(r, &c)| c != col && c + row != col + r && c + r != col + row)
+    }
+    fn count(n: usize, placed: &mut Vec<usize>) -> i64 {
+        if placed.len() == n {
+            return 0;
+        }
+        let mut total = 0;
+        for c in 0..n {
+            if safe(placed, c) {
+                placed.push(c);
+                total += 1 + count(n, placed);
+                placed.pop();
+            }
+        }
+        total
+    }
+    count(n, &mut Vec::new())
+}
+
+#[test]
+fn fib_task_count_matches_closed_form() {
+    let rt = Runtime::new(RuntimeConfig::with_workers(2));
+    let reg = rt.registry();
+    let sp = RpxSpawner::new(rt.handle());
+
+    let input = fib::FibInput { n: 12 };
+    let result = fib::run(&sp, input);
+    rt.wait_idle();
+
+    assert_eq!(result, fib::run_serial(input));
+    // fib(13) = 233, so the run must have executed exactly 464 tasks.
+    let expected = fib_task_oracle(12);
+    assert_eq!(expected, 464);
+    let tasks = reg.evaluate(TOTAL_COUNT, false).unwrap().value;
+    assert_eq!(
+        tasks, expected,
+        "fib(12) must execute exactly 2*fib(13)-2 tasks"
+    );
+    rt.shutdown();
+}
+
+#[test]
+fn nqueens_task_count_matches_search_tree_oracle() {
+    let rt = Runtime::new(RuntimeConfig::with_workers(2));
+    let reg = rt.registry();
+    let sp = RpxSpawner::new(rt.handle());
+
+    let input = nqueens::NQueensInput { n: 6 };
+    let solutions = nqueens::run(&sp, input);
+    rt.wait_idle();
+
+    assert_eq!(solutions, 4, "6-queens has exactly 4 solutions");
+    let expected = nqueens_task_oracle(6);
+    let tasks = reg.evaluate(TOTAL_COUNT, false).unwrap().value;
+    assert_eq!(
+        tasks, expected,
+        "nqueens(6) must spawn one task per valid partial placement"
+    );
+    rt.shutdown();
+}
+
+#[test]
+fn exec_overhead_idle_account_for_worker_wall_time() {
+    const WORKERS: usize = 2;
+    let t0 = std::time::Instant::now();
+    let rt = Runtime::new(RuntimeConfig::with_workers(WORKERS));
+    let reg = rt.registry();
+
+    // Spin tasks long enough that the window dwarfs startup slack, then
+    // wait for idle *before* collecting futures so the main thread never
+    // help-executes (helper execution is attributed to worker 0 and would
+    // inflate the accounted total past the workers' own wall time).
+    let futures: Vec<_> = (0..400)
+        .map(|_| {
+            rt.spawn(|| {
+                let mut acc = 0u64;
+                for i in 0..20_000u64 {
+                    acc = acc.wrapping_add(i).rotate_left(3);
+                }
+                std::hint::black_box(acc);
+            })
+        })
+        .collect();
+    rt.wait_idle();
+    for f in futures {
+        f.get();
+    }
+
+    let exec = reg
+        .evaluate("/threads{locality#0/total}/time/cumulative", false)
+        .unwrap()
+        .value;
+    let overhead = reg
+        .evaluate("/threads{locality#0/total}/time/cumulative-overhead", false)
+        .unwrap()
+        .value;
+    // Idle time is exposed as a rate in 0.01% units (HPX convention):
+    // rate = idle / (idle + busy) * 10_000. Invert it to recover idle.
+    let rate = reg
+        .evaluate("/threads{locality#0/total}/idle-rate", false)
+        .unwrap()
+        .value;
+    let wall = t0.elapsed().as_nanos() as i64;
+    rt.shutdown();
+
+    assert!(exec > 0, "spin tasks must accrue execution time");
+    assert!((0..10_000).contains(&rate), "idle-rate {rate} out of range");
+    let busy = exec + overhead;
+    let idle = (busy as f64 * rate as f64 / (10_000.0 - rate as f64)) as i64;
+    let accounted = busy + idle;
+
+    // Every worker accounts (exec + overhead + idle) against its own wall
+    // clock, so the total must come out near workers × elapsed. The bounds
+    // are generous: startup slack lowers it, and spawn-path overhead from
+    // the (non-worker) main thread lands in worker 0's ledger and raises
+    // it slightly.
+    let expected = WORKERS as i64 * wall;
+    assert!(
+        accounted > expected / 3,
+        "accounted {accounted}ns ≪ {WORKERS}×wall {expected}ns: time is leaking \
+         (exec={exec} overhead={overhead} idle≈{idle})"
+    );
+    assert!(
+        accounted < expected * 5 / 4,
+        "accounted {accounted}ns ≫ {WORKERS}×wall {expected}ns: time is double-counted \
+         (exec={exec} overhead={overhead} idle≈{idle})"
+    );
+}
+
+#[test]
+fn cumulative_count_is_monotone_and_resets_exactly() {
+    let rt = Runtime::new(RuntimeConfig::with_workers(2));
+    let reg = rt.registry();
+    let sp = RpxSpawner::new(rt.handle());
+    reg.add_active(TOTAL_COUNT).unwrap();
+    reg.reset_active_counters();
+
+    let per_run = fib_task_oracle(10); // 2*fib(11)-2 = 176
+    assert_eq!(per_run, 176);
+
+    let run = || {
+        let _ = fib::run(&sp, fib::FibInput { n: 10 });
+        rt.wait_idle();
+    };
+
+    run();
+    let v1 = reg.evaluate(TOTAL_COUNT, false).unwrap().value;
+    assert_eq!(v1, per_run);
+
+    // Cumulative: a second identical run adds exactly, never rewinds.
+    run();
+    let v2 = reg.evaluate(TOTAL_COUNT, false).unwrap().value;
+    assert!(v2 >= v1, "cumulative counter went backwards: {v1} -> {v2}");
+    assert_eq!(v2, 2 * per_run);
+
+    // Evaluate-with-reset returns the pre-reset value (the paper's
+    // per-sample protocol), and the next run counts only its own tasks.
+    let v3 = reg.evaluate(TOTAL_COUNT, true).unwrap().value;
+    assert_eq!(v3, 2 * per_run);
+    run();
+    let v4 = reg.evaluate(TOTAL_COUNT, false).unwrap().value;
+    assert_eq!(v4, per_run, "reset must rebase the cumulative count");
+
+    rt.shutdown();
+}
