@@ -1,0 +1,169 @@
+//! Saturation A/B: drive the runtime past its capacity — recursive fib as
+//! the steady workload, then flat bursts at 2–8× the core count — with
+//! admission control off and under each [`OverloadPolicy`], and report
+//! what the intrinsic counters saw (peak pending depth, gate closes,
+//! shed/degraded/blocked spawns, the overload verdict).
+//!
+//! ```sh
+//! cargo run --release -p rpx-bench --bin saturate            # all policies
+//! cargo run --release -p rpx-bench --bin saturate -- 22 4    # fib(22), 4 workers
+//! ```
+
+use std::time::Instant;
+
+use rpx_runtime::{OverloadPolicy, Runtime, RuntimeConfig, RuntimeHandle, SpawnError};
+
+fn fib(h: &RuntimeHandle, n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let h2 = h.clone();
+    let a = h.spawn(move || fib(&h2, n - 1));
+    let b = fib(h, n - 2);
+    a.get() + b
+}
+
+/// ~0.3 ms of pure arithmetic per call at 500k iterations.
+fn busy(iters: u64) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..iters {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    acc
+}
+
+const BURST_MULTS: [usize; 3] = [2, 4, 8];
+const BURST_ROUNDS: usize = 8;
+const BURST_ITERS: u64 = 500_000;
+
+struct Row {
+    label: &'static str,
+    fib_ms: f64,
+    burst_ms: f64,
+    peak_pending: i64,
+    closes: i64,
+    admitted: i64,
+    shed: i64,
+    degraded: i64,
+    blocked: i64,
+    overload_state: i64,
+}
+
+fn run_one(policy: Option<OverloadPolicy>, label: &'static str, workers: usize, n: u64) -> Row {
+    let mut config = RuntimeConfig::with_workers(workers);
+    if let Some(p) = policy {
+        config.max_pending = Some(workers * 4);
+        config.resume_pending = Some(workers * 2);
+        config.overload_policy = p;
+    }
+    let rt = Runtime::new(config);
+    let reg = rt.registry();
+    let h = rt.handle();
+
+    let t0 = Instant::now();
+    let result = fib(&h, n);
+    let fib_ms = t0.elapsed().as_secs_f64() * 1e3;
+    rt.wait_idle();
+    assert!(result > 0);
+
+    // Burst phase: every policy processes the same task population — shed
+    // spawns are executed inline by the submitter, so the work is
+    // conserved and the wall clocks stay comparable.
+    let t0 = Instant::now();
+    let mut sink = 0u64;
+    for mult in BURST_MULTS {
+        for _ in 0..BURST_ROUNDS {
+            let futures: Vec<_> = (0..mult * workers)
+                .map(|_| {
+                    let work = move || busy(BURST_ITERS);
+                    match policy {
+                        Some(OverloadPolicy::Shed) => match rt.try_spawn(work) {
+                            Ok(f) => Some(f),
+                            Err(SpawnError::Overloaded(w)) | Err(SpawnError::Draining(w)) => {
+                                sink ^= w();
+                                None
+                            }
+                        },
+                        _ => Some(rt.spawn(work)),
+                    }
+                })
+                .collect();
+            for f in futures.into_iter().flatten() {
+                sink ^= f.get();
+            }
+        }
+    }
+    let burst_ms = t0.elapsed().as_secs_f64() * 1e3;
+    std::hint::black_box(sink);
+    rt.wait_idle();
+
+    let read = |name: &str| {
+        reg.evaluate(name, false)
+            .map(|v| v.value)
+            .unwrap_or_default()
+    };
+    let row = Row {
+        label,
+        fib_ms,
+        burst_ms,
+        peak_pending: read("/runtime{locality#0/total}/tasks/peak-pending"),
+        closes: read("/runtime{locality#0/total}/health/gate-closes"),
+        admitted: read("/runtime{locality#0/total}/tasks/admitted"),
+        shed: read("/runtime{locality#0/total}/health/shed"),
+        degraded: read("/runtime{locality#0/total}/health/degraded-spawns"),
+        blocked: read("/runtime{locality#0/total}/health/blocked-spawns"),
+        overload_state: read("/runtime{locality#0/total}/health/overload-state"),
+    };
+    rt.shutdown();
+    row
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(24);
+    let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    });
+
+    println!(
+        "# saturation A/B: fib({n}) + bursts at {:?}x {workers} workers, \
+         max_pending = 4x workers where gated",
+        BURST_MULTS
+    );
+    println!(
+        "{:<10} {:>9} {:>9} {:>12} {:>7} {:>9} {:>7} {:>9} {:>8} {:>9}",
+        "policy",
+        "fib_ms",
+        "burst_ms",
+        "peak_pending",
+        "closes",
+        "admitted",
+        "shed",
+        "degraded",
+        "blocked",
+        "overload"
+    );
+    for (policy, label) in [
+        (None, "off"),
+        (Some(OverloadPolicy::Block), "block"),
+        (Some(OverloadPolicy::Shed), "shed"),
+        (Some(OverloadPolicy::Degrade), "degrade"),
+    ] {
+        let r = run_one(policy, label, workers, n);
+        println!(
+            "{:<10} {:>9.1} {:>9.1} {:>12} {:>7} {:>9} {:>7} {:>9} {:>8} {:>9}",
+            r.label,
+            r.fib_ms,
+            r.burst_ms,
+            r.peak_pending,
+            r.closes,
+            r.admitted,
+            r.shed,
+            r.degraded,
+            r.blocked,
+            r.overload_state
+        );
+    }
+}

@@ -229,7 +229,20 @@ fn splitmix64(x: u64) -> u64 {
 pub struct Sampler {
     stop: Arc<AtomicBool>,
     health: Arc<SamplerHealth>,
+    flush: Arc<FlushShared>,
     handle: Option<JoinHandle<()>>,
+}
+
+/// Rendezvous between [`Sampler::flush_now`] callers and the sampling
+/// thread: a request/completion sequence pair. `flush_now` bumps
+/// `requests`; the loop reads `requests` *before* sampling a batch and
+/// copies that value into `completed` *after* the batch reached the sink,
+/// so `completed >= r` proves a complete batch was taken entirely after
+/// request `r` was made.
+#[derive(Default)]
+struct FlushShared {
+    requests: AtomicU64,
+    completed: AtomicU64,
 }
 
 /// Per-counter resilience state inside the sampling loop.
@@ -258,6 +271,8 @@ impl Sampler {
         let stop2 = stop.clone();
         let health = Arc::new(SamplerHealth::default());
         let health2 = health.clone();
+        let flush = Arc::new(FlushShared::default());
+        let flush2 = flush.clone();
         let handle = std::thread::Builder::new()
             .name("rpx-counter-sampler".into())
             .spawn(move || {
@@ -267,6 +282,9 @@ impl Sampler {
                 // re-expansion for counters present across the change.
                 let mut states: HashMap<String, ReadState> = HashMap::new();
                 while !stop2.load(Ordering::Acquire) {
+                    // Flush requests made before this point are satisfied
+                    // by the batch this iteration records.
+                    let flush_req = flush2.requests.load(Ordering::Acquire);
                     if query.refresh() {
                         // The resolved set changed: announce the new schema
                         // (CSV emits a fresh header row) and drop state for
@@ -300,10 +318,16 @@ impl Sampler {
                         readings,
                     });
                     sequence += 1;
-                    // Sleep in short slices so stop() is prompt.
+                    flush2.completed.store(flush_req, Ordering::Release);
+                    // Sleep in short slices so stop() and flush_now() are
+                    // prompt: a flush request arriving mid-sleep cuts the
+                    // interval short and starts the next batch immediately.
                     let mut remaining = config.interval;
                     let slice = Duration::from_millis(5);
-                    while remaining > Duration::ZERO && !stop2.load(Ordering::Acquire) {
+                    while remaining > Duration::ZERO
+                        && !stop2.load(Ordering::Acquire)
+                        && flush2.requests.load(Ordering::Acquire) <= flush_req
+                    {
                         let d = remaining.min(slice);
                         std::thread::sleep(d);
                         remaining = remaining.saturating_sub(d);
@@ -315,8 +339,30 @@ impl Sampler {
         Ok(Sampler {
             stop,
             health,
+            flush,
             handle: Some(handle),
         })
+    }
+
+    /// Force an immediate out-of-cycle sample and block until one
+    /// *complete* batch — started entirely after this call — has been
+    /// handed to the sink. This is the drain hook's tool: a runtime
+    /// quiescing mid-interval flushes a final consistent row instead of
+    /// truncating the series up to an interval early. Returns `false` if
+    /// the flush did not complete within ~5 s (e.g. the sampler was
+    /// stopped concurrently).
+    pub fn flush_now(&self) -> bool {
+        let target = self.flush.requests.fetch_add(1, Ordering::AcqRel) + 1;
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            if self.flush.completed.load(Ordering::Acquire) >= target {
+                return true;
+            }
+            if self.stop.load(Ordering::Acquire) || std::time::Instant::now() >= deadline {
+                return self.flush.completed.load(Ordering::Acquire) >= target;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
     }
 
     /// Failure accounting of this sampling run (live; shared with the
@@ -681,6 +727,47 @@ mod tests {
             .readings
             .iter()
             .any(|(n, _)| n == "/threads{locality#0/worker-thread#2}/count"));
+    }
+
+    #[test]
+    fn flush_now_forces_an_out_of_cycle_batch() {
+        let reg = CounterRegistry::new();
+        let v = Arc::new(AtomicI64::new(0));
+        let v2 = v.clone();
+        reg.register_raw(
+            "/test/v",
+            "h",
+            "1",
+            Arc::new(move || v2.load(Ordering::Relaxed)),
+        );
+        let sink = MemorySink::new();
+        let batches = sink.batches();
+        // Interval far longer than the test: every batch past the first
+        // exists only because flush_now forced it.
+        let sampler = Sampler::start(
+            &reg,
+            SamplerConfig::new(vec!["/test/v".into()], Duration::from_secs(60)),
+            Box::new(sink),
+        )
+        .unwrap();
+
+        v.store(7, Ordering::Relaxed);
+        let t0 = std::time::Instant::now();
+        assert!(sampler.flush_now(), "flush must complete");
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "flush must not wait out the 60s interval"
+        );
+        // The flushed batch started after the store above, so it must see
+        // the new value — a pre-request in-flight batch doesn't count.
+        let last = batches.lock().last().cloned().expect("flushed batch");
+        assert_eq!(last.readings[0].1.value, 7);
+
+        v.store(9, Ordering::Relaxed);
+        assert!(sampler.flush_now());
+        let last = batches.lock().last().cloned().unwrap();
+        assert_eq!(last.readings[0].1.value, 9, "each flush yields a fresh row");
+        sampler.stop();
     }
 
     #[test]

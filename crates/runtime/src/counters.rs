@@ -445,5 +445,104 @@ pub(crate) fn register_runtime_counters(
         },
     );
 
+    // Overload-protection counters (DESIGN.md §14). `/runtime/tasks/*`
+    // reads the admission gate when one is configured — exact, CAS-guarded
+    // accounting — and falls back to the scheduler's batched (approximate)
+    // view otherwise.
+    register_total_raw(
+        registry,
+        inner,
+        "/runtime/tasks/pending",
+        "tasks holding admission slots (queued, not yet started)",
+        "1",
+        |i| match &i.gate {
+            Some(gate) => gate.pending(),
+            None => i.scheduler.pending_tasks(),
+        },
+    );
+    register_total_raw(
+        registry,
+        inner,
+        "/runtime/tasks/peak-pending",
+        "lifetime high-water mark of the pending-task count",
+        "1",
+        |i| match &i.gate {
+            Some(gate) => gate.peak(),
+            None => 0,
+        },
+    );
+    register_total_monotonic(
+        registry,
+        inner,
+        "/runtime/tasks/admitted",
+        "spawns admitted through the task-budget gate",
+        "1",
+        |i| i.gate.as_ref().map_or(0, |g| g.admitted() as i64),
+    );
+    register_total_monotonic(
+        registry,
+        inner,
+        "/runtime/health/shed",
+        "spawns rejected by the admission gate (Shed policy / try_spawn)",
+        "1",
+        |i| i.gate.as_ref().map_or(0, |g| g.shed() as i64),
+    );
+    register_total_monotonic(
+        registry,
+        inner,
+        "/runtime/health/degraded-spawns",
+        "spawns run inline in the caller because the gate was closed",
+        "1",
+        |i| i.gate.as_ref().map_or(0, |g| g.degraded() as i64),
+    );
+    register_total_monotonic(
+        registry,
+        inner,
+        "/runtime/health/blocked-spawns",
+        "spawners that parked at least once waiting for admission",
+        "1",
+        |i| i.gate.as_ref().map_or(0, |g| g.blocked() as i64),
+    );
+    register_total_monotonic(
+        registry,
+        inner,
+        "/runtime/health/gate-closes",
+        "open-to-closed transitions of the admission gate",
+        "1",
+        |i| i.gate.as_ref().map_or(0, |g| g.closes() as i64),
+    );
+    register_total_raw(
+        registry,
+        inner,
+        "/runtime/health/overload-state",
+        "overload detector verdict (0 normal, 1 elevated, 2 overloaded)",
+        "1",
+        |i| i.state.overload_state.load(Ordering::Acquire),
+    );
+    register_total_raw(
+        registry,
+        inner,
+        "/runtime/health/live-workers",
+        "workers not retired by a tripped restart breaker",
+        "1",
+        |i| i.state.live_workers.load(Ordering::Acquire) as i64,
+    );
+    register_worker_monotonic(
+        registry,
+        inner,
+        "/runtime/health/restart-backoff",
+        "time the supervisor spent backing off between worker respawns",
+        "ns",
+        |s| s.backoff_ns.load(Ordering::Relaxed),
+    );
+    register_worker_monotonic(
+        registry,
+        inner,
+        "/runtime/health/breaker-trips",
+        "restart budgets exhausted (worker retired by the circuit breaker)",
+        "1",
+        |s| s.breaker_trips.load(Ordering::Relaxed),
+    );
+
     registry.register_elapsed("/runtime/uptime", "time since the runtime started");
 }

@@ -47,7 +47,7 @@ impl std::fmt::Display for InjectedFault {
 /// (one opportunity = one task dispatch, task completion, or counter
 /// read); `max_per_category` bounds every category so chaos runs stay
 /// finite and assertable.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultPlan {
     /// Seed of the deterministic draw stream.
     pub seed: u64,
@@ -99,9 +99,44 @@ impl Default for FaultPlan {
     }
 }
 
+/// The complete set of recognized `RPX_FAULT_*` variables. Anything else
+/// with that prefix is a misspelling and gets rejected, not ignored.
+pub const KNOWN_FAULT_VARS: [&str; 7] = [
+    "RPX_FAULT_SEED",
+    "RPX_FAULT_TASK_PANIC_PPM",
+    "RPX_FAULT_WORKER_KILL_PPM",
+    "RPX_FAULT_STALL_PPM",
+    "RPX_FAULT_STALL_MS",
+    "RPX_FAULT_COUNTER_FAIL_PPM",
+    "RPX_FAULT_MAX",
+];
+
+/// `RPX_FAULT_*`-prefixed environment variables that are not recognized
+/// knobs. A silently-ignored misspelling (`RPX_FAULT_TASK_PANICS_PPM`)
+/// would run the chaos suite with injection quietly disabled — the error
+/// names every offender and lists the valid knobs so the fix is obvious.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownFaultVars(pub Vec<String>);
+
+impl std::fmt::Display for UnknownFaultVars {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown fault-injection variable(s): {}; valid knobs are: {}",
+            self.0.join(", "),
+            KNOWN_FAULT_VARS.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownFaultVars {}
+
 impl FaultPlan {
-    /// Read a plan from `RPX_FAULT_*` environment variables; `None` when no
-    /// fault variable is set (the common case — injection fully disabled).
+    /// Read a plan from `RPX_FAULT_*` environment variables; `Ok(None)`
+    /// when no fault variable is set (the common case — injection fully
+    /// disabled). Any `RPX_FAULT_`-prefixed variable outside the table
+    /// below is an error, so a misspelled knob fails loudly instead of
+    /// silently running the chaos suite with that fault disabled.
     ///
     /// | Variable | Meaning | Default |
     /// |---|---|---|
@@ -112,7 +147,18 @@ impl FaultPlan {
     /// | `RPX_FAULT_STALL_MS` | stall duration (ms) | 200 |
     /// | `RPX_FAULT_COUNTER_FAIL_PPM` | counter-read failures (ppm) | 0 |
     /// | `RPX_FAULT_MAX` | cap per category | unlimited |
-    pub fn from_env() -> Option<Self> {
+    pub fn from_env() -> Result<Option<Self>, UnknownFaultVars> {
+        let mut unknown: Vec<String> = std::env::vars_os()
+            .filter_map(|(name, _)| {
+                let name = name.to_string_lossy().into_owned();
+                (name.starts_with("RPX_FAULT_") && !KNOWN_FAULT_VARS.contains(&name.as_str()))
+                    .then_some(name)
+            })
+            .collect();
+        if !unknown.is_empty() {
+            unknown.sort();
+            return Err(UnknownFaultVars(unknown));
+        }
         let var = parse_u64_var;
         let seed = var("RPX_FAULT_SEED");
         let task_panic = var("RPX_FAULT_TASK_PANIC_PPM");
@@ -133,10 +179,10 @@ impl FaultPlan {
         .iter()
         .all(|v| v.is_none())
         {
-            return None;
+            return Ok(None);
         }
         let defaults = FaultPlan::default();
-        Some(FaultPlan {
+        Ok(Some(FaultPlan {
             seed: seed.unwrap_or(defaults.seed),
             task_panic_ppm: task_panic.unwrap_or(0) as u32,
             worker_kill_ppm: worker_kill.unwrap_or(0) as u32,
@@ -146,7 +192,7 @@ impl FaultPlan {
                 .unwrap_or(defaults.stall),
             counter_fail_ppm: counter_fail.unwrap_or(0) as u32,
             max_per_category: max.unwrap_or(u64::MAX),
-        })
+        }))
     }
 
     /// Whether any category can fire at all.
@@ -386,9 +432,11 @@ mod tests {
     fn env_plan_round_trips() {
         // Serialized access: env vars are process-global, so every
         // RPX_FAULT_*/RPX_TEST_SEED assertion lives in this one test.
+        assert_eq!(FaultPlan::from_env().unwrap(), None, "no vars → no plan");
+
         std::env::set_var("RPX_FAULT_TASK_PANIC_PPM", "1234");
         std::env::set_var("RPX_FAULT_STALL_MS", "77");
-        let plan = FaultPlan::from_env().expect("plan when vars set");
+        let plan = FaultPlan::from_env().unwrap().expect("plan when vars set");
         assert_eq!(plan.task_panic_ppm, 1234);
         assert_eq!(plan.stall, Duration::from_millis(77));
 
@@ -396,13 +444,42 @@ mod tests {
         // overrides it.
         std::env::set_var("RPX_TEST_SEED", "0xabc123");
         assert_eq!(FaultPlan::default().seed, 0xabc123);
-        let plan = FaultPlan::from_env().expect("plan when vars set");
+        let plan = FaultPlan::from_env().unwrap().expect("plan when vars set");
         assert_eq!(plan.seed, 0xabc123);
         std::env::set_var("RPX_FAULT_SEED", "0x77");
-        let plan = FaultPlan::from_env().expect("plan when vars set");
+        let plan = FaultPlan::from_env().unwrap().expect("plan when vars set");
         assert_eq!(plan.seed, 0x77);
         std::env::remove_var("RPX_FAULT_SEED");
         std::env::remove_var("RPX_TEST_SEED");
+
+        // Unknown RPX_FAULT_* keys are rejected, not ignored: a misspelled
+        // knob silently disabling injection is exactly the failure mode a
+        // chaos suite cannot afford.
+        std::env::set_var("RPX_FAULT_TASK_PANICS_PPM", "5"); // misspelled
+        std::env::set_var("RPX_FAULT_WORKER_KILLS", "1"); // misspelled
+        let err = FaultPlan::from_env().expect_err("unknown keys must error");
+        assert_eq!(
+            err.0,
+            vec![
+                "RPX_FAULT_TASK_PANICS_PPM".to_string(),
+                "RPX_FAULT_WORKER_KILLS".to_string(),
+            ],
+            "error must name every offender, sorted"
+        );
+        let msg = err.to_string();
+        assert!(
+            msg.contains("RPX_FAULT_TASK_PANICS_PPM"),
+            "names offender: {msg}"
+        );
+        for knob in KNOWN_FAULT_VARS {
+            assert!(msg.contains(knob), "lists valid knob {knob}: {msg}");
+        }
+        std::env::remove_var("RPX_FAULT_WORKER_KILLS");
+        // One unknown key rejects even with valid keys also present.
+        let err = FaultPlan::from_env().expect_err("mixed valid+unknown must error");
+        assert_eq!(err.0, vec!["RPX_FAULT_TASK_PANICS_PPM".to_string()]);
+        std::env::remove_var("RPX_FAULT_TASK_PANICS_PPM");
+        assert!(FaultPlan::from_env().is_ok(), "valid-only env parses again");
 
         std::env::remove_var("RPX_FAULT_TASK_PANIC_PPM");
         std::env::remove_var("RPX_FAULT_STALL_MS");

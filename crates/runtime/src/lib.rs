@@ -51,6 +51,7 @@
 //! rt.shutdown();
 //! ```
 
+pub mod admission;
 pub mod affinity;
 pub mod cancel;
 mod counters;
@@ -58,6 +59,7 @@ pub mod faults;
 pub mod future;
 #[cfg(all(test, rpx_model))]
 mod model_specs;
+pub mod overload;
 pub mod policy;
 mod prim;
 mod scheduler;
@@ -69,12 +71,14 @@ mod worker;
 
 pub mod runtime;
 
+pub use admission::AdmissionControl;
 pub use affinity::{BindSpec, Topology};
 pub use cancel::{CancelToken, TaskCancelled};
-pub use faults::{FaultInjector, FaultPlan, InjectedFault};
+pub use faults::{FaultInjector, FaultPlan, InjectedFault, UnknownFaultVars, KNOWN_FAULT_VARS};
 pub use future::{ready_future, TaskFuture};
-pub use policy::LaunchPolicy;
-pub use runtime::{Runtime, RuntimeConfig, RuntimeHandle};
+pub use overload::OverloadState;
+pub use policy::{LaunchPolicy, OverloadPolicy};
+pub use runtime::{QuiesceReport, Runtime, RuntimeConfig, RuntimeHandle, SpawnError};
 pub use scheduler::SchedulerMode;
 pub use trace::{TaskSpan, TaskTracer};
 

@@ -12,6 +12,7 @@ use crossbeam::sync::Parker;
 use rpx_model::sync::AtomicBool;
 use rpx_model::{check, check_expect_failure, mutation, thread, Config};
 
+use crate::admission::AdmissionGate;
 use crate::scheduler::{Runnable, Scheduler, SchedulerMode, Task};
 use crate::sync::EventGate;
 
@@ -132,6 +133,60 @@ fn model_event_gate_complete_vs_wait() {
         "model_event_gate_complete_vs_wait",
         cfg(),
         gate_complete_vs_wait,
+    );
+}
+
+/// Protocol 5 — admission-gate watermark reopen vs. blocked spawner: the
+/// gate is saturated (high = 1, closed), one spawner parks in
+/// `admit_blocking`, and a concurrent `note_started` drains pending to the
+/// low watermark and reopens. The waiter advertises itself in
+/// `waiter_count` (SeqCst store + fence) before its final gate probe; the
+/// reopener stores `closed = false` (SeqCst) + fence before probing
+/// `waiter_count` — in the SC total order one side must see the other, so
+/// the spawner is always admitted (a lost wakeup parks it forever while
+/// the main thread waits in `join`).
+fn admission_reopen_vs_blocked_spawner() {
+    let gate = AdmissionGate::new(1, 0);
+    assert!(gate.try_admit(), "saturate: the gate closes at high = 1");
+    let g2 = gate.clone();
+    let spawner = thread::spawn(move || g2.admit_blocking());
+    let g3 = gate.clone();
+    let finisher = thread::spawn(move || g3.note_started());
+    assert!(
+        spawner.join().unwrap(),
+        "blocked spawner must admit once pending drains to the low watermark"
+    );
+    finisher.join().unwrap();
+    assert_eq!(gate.pending(), 1, "the spawner's slot is held");
+    assert!(gate.peak() <= 1, "watermark never overshoots");
+}
+
+#[test]
+fn model_admission_reopen_no_lost_wakeup() {
+    let _g = serial();
+    mutation::disarm_all();
+    check(
+        "model_admission_reopen_no_lost_wakeup",
+        cfg(),
+        admission_reopen_vs_blocked_spawner,
+    );
+}
+
+#[test]
+fn model_admission_reopen_relaxed_mutant_is_caught() {
+    let _g = serial();
+    mutation::disarm_all();
+    mutation::arm("gate-reopen-relaxed");
+    let failure = check_expect_failure(
+        "model_admission_reopen_relaxed_mutant_is_caught",
+        cfg(),
+        admission_reopen_vs_blocked_spawner,
+    );
+    mutation::disarm_all();
+    assert!(
+        failure.message.contains("deadlock") || failure.message.contains("step budget"),
+        "expected the weakened reopen to lose the wakeup, got: {}",
+        failure.message
     );
 }
 

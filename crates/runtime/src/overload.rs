@@ -1,0 +1,281 @@
+//! Overload detection on the intrinsic counter stream.
+//!
+//! The paper's position is that runtime health should be *visible* through
+//! intrinsic counters; Drebes et al. push further — the counter stream can
+//! *detect* anomalies. This module closes the loop for saturation: every
+//! watchdog tick, the detector folds three signals the runtime already
+//! measures into an [`OverloadState`]:
+//!
+//! - **pending-depth pressure**: queue depth at (or racing towards) the
+//!   admission capacity — the spawn rate exceeds the drain rate;
+//! - **idle-rate collapse**: workers report (almost) no idle time while a
+//!   backlog exists — no headroom left anywhere;
+//! - **steal storm**: the steal/execution ratio spikes far above its EWMA
+//!   baseline — workers are fighting over scraps instead of executing.
+//!
+//! The verdict is published as `/runtime/health/overload-state` (0/1/2), so
+//! an rpx-apex policy can widen or narrow admission adaptively, and exposed
+//! via [`Runtime::overload_state`](crate::Runtime::overload_state).
+//! Downgrades are hysteretic (two consecutive calm ticks per step) so a
+//! single quiet interval does not flap the state.
+
+/// The detector's verdict, least to most severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum OverloadState {
+    /// Headroom everywhere: admission open, queues draining.
+    #[default]
+    Normal = 0,
+    /// One pressure signal active — worth widening the sampling lens.
+    Elevated = 1,
+    /// Multiple signals (or hard saturation): shed/degrade territory.
+    Overloaded = 2,
+}
+
+impl OverloadState {
+    /// Counter encoding (`/runtime/health/overload-state` raw value).
+    pub fn as_i64(self) -> i64 {
+        self as i64
+    }
+
+    /// Decode a counter value (unknown values clamp to `Overloaded`).
+    pub fn from_i64(v: i64) -> Self {
+        match v {
+            0 => OverloadState::Normal,
+            1 => OverloadState::Elevated,
+            _ => OverloadState::Overloaded,
+        }
+    }
+
+    fn step_down(self) -> Self {
+        match self {
+            OverloadState::Overloaded => OverloadState::Elevated,
+            _ => OverloadState::Normal,
+        }
+    }
+}
+
+/// One tick's worth of raw counter readings (cumulative where noted; the
+/// detector differences them itself).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct OverloadSignals {
+    /// Current queued-but-not-started depth.
+    pub pending: i64,
+    /// Admission capacity (`max_pending`), or a heuristic bound when
+    /// admission control is off.
+    pub capacity: i64,
+    /// Cumulative stolen-task count across workers.
+    pub steals: u64,
+    /// Cumulative executed-task count across workers.
+    pub executed: u64,
+    /// Cumulative idle nanoseconds across workers.
+    pub idle_ns: u64,
+    /// Wall nanoseconds covered by this tick × worker count (the idle
+    /// budget: `idle_ns` delta ≈ this when everyone is parked).
+    pub tick_budget_ns: u64,
+}
+
+/// EWMA-baselined saturation detector; pure state-machine logic so it unit
+/// tests without a runtime.
+pub(crate) struct OverloadDetector {
+    /// EWMA of pending depth (growth-rate baseline).
+    ewma_pending: f64,
+    /// EWMA of the per-tick steal/execution ratio (storm baseline).
+    ewma_steal_ratio: f64,
+    last: OverloadSignals,
+    primed: bool,
+    calm_ticks: u32,
+    state: OverloadState,
+}
+
+/// EWMA smoothing factor: ~5-tick memory at the watchdog cadence.
+const ALPHA: f64 = 0.2;
+/// A steal ratio this many times its baseline (and above 1 steal per
+/// execution) is a storm.
+const STORM_FACTOR: f64 = 4.0;
+/// Idle fraction below this while a backlog exists is a collapse.
+const IDLE_COLLAPSE: f64 = 0.02;
+/// Consecutive calm ticks required per downgrade step.
+const CALM_TICKS: u32 = 2;
+
+impl OverloadDetector {
+    pub fn new() -> Self {
+        OverloadDetector {
+            ewma_pending: 0.0,
+            ewma_steal_ratio: 0.0,
+            last: OverloadSignals::default(),
+            primed: false,
+            calm_ticks: 0,
+            state: OverloadState::Normal,
+        }
+    }
+
+    /// Fold one tick of signals and return the (possibly unchanged)
+    /// verdict.
+    pub fn tick(&mut self, s: OverloadSignals) -> OverloadState {
+        if !self.primed {
+            // First tick only primes the deltas and baselines.
+            self.primed = true;
+            self.last = s;
+            self.ewma_pending = s.pending as f64;
+            return self.state;
+        }
+        let d_steals = s.steals.saturating_sub(self.last.steals) as f64;
+        let d_exec = s.executed.saturating_sub(self.last.executed) as f64;
+        let d_idle = s.idle_ns.saturating_sub(self.last.idle_ns) as f64;
+        self.last = s;
+
+        let mut score = 0u32;
+        // Depth pressure: hard saturation scores double — it alone means
+        // the spawn rate beat the drain rate all the way to the cap.
+        if s.capacity > 0 && s.pending >= s.capacity {
+            score += 2;
+        } else if s.capacity > 0
+            && s.pending * 2 >= s.capacity
+            && (s.pending as f64) > self.ewma_pending * 1.25
+        {
+            score += 1;
+        }
+        self.ewma_pending += ALPHA * (s.pending as f64 - self.ewma_pending);
+
+        // Steal storm vs. EWMA baseline.
+        let ratio = if d_exec > 0.0 { d_steals / d_exec } else { 0.0 };
+        if ratio > 1.0 && ratio > self.ewma_steal_ratio * STORM_FACTOR {
+            score += 1;
+        }
+        self.ewma_steal_ratio += ALPHA * (ratio - self.ewma_steal_ratio);
+
+        // Idle collapse: a backlog with (almost) zero idle time anywhere.
+        if s.pending > 0 && s.tick_budget_ns > 0 && d_idle < IDLE_COLLAPSE * s.tick_budget_ns as f64
+        {
+            score += 1;
+        }
+
+        let observed = match score {
+            0 => OverloadState::Normal,
+            1 => OverloadState::Elevated,
+            _ => OverloadState::Overloaded,
+        };
+        if observed >= self.state {
+            // Upgrades (and confirmations) apply immediately.
+            self.state = observed;
+            self.calm_ticks = 0;
+        } else {
+            // Downgrades need sustained calm: one step per CALM_TICKS.
+            self.calm_ticks += 1;
+            if self.calm_ticks >= CALM_TICKS {
+                self.state = self.state.step_down();
+                self.calm_ticks = 0;
+            }
+        }
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn calm(prev: &OverloadSignals) -> OverloadSignals {
+        OverloadSignals {
+            pending: 0,
+            capacity: 100,
+            steals: prev.steals + 1,
+            executed: prev.executed + 100,
+            // Mostly idle: well above the collapse threshold.
+            idle_ns: prev.idle_ns + 800_000,
+            tick_budget_ns: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn stays_normal_when_calm() {
+        let mut d = OverloadDetector::new();
+        let mut s = OverloadSignals::default();
+        s.tick_budget_ns = 1_000_000;
+        for _ in 0..10 {
+            s = calm(&s);
+            assert_eq!(d.tick(s), OverloadState::Normal);
+        }
+    }
+
+    #[test]
+    fn saturated_pending_is_overloaded_immediately() {
+        let mut d = OverloadDetector::new();
+        let mut s = OverloadSignals::default();
+        s.capacity = 100;
+        s.tick_budget_ns = 1_000_000;
+        d.tick(s); // prime
+        s.pending = 100; // at capacity
+        s.idle_ns += 900_000; // idle is fine — depth alone must suffice
+        assert_eq!(d.tick(s), OverloadState::Overloaded);
+    }
+
+    #[test]
+    fn growth_toward_capacity_elevates() {
+        let mut d = OverloadDetector::new();
+        let mut s = OverloadSignals {
+            capacity: 100,
+            tick_budget_ns: 1_000_000,
+            ..OverloadSignals::default()
+        };
+        d.tick(s); // prime: ewma_pending = 0
+        s.pending = 60; // ≥ capacity/2 and far above the baseline
+        s.idle_ns += 500_000; // no idle collapse
+        s.executed += 10;
+        assert_eq!(d.tick(s), OverloadState::Elevated);
+    }
+
+    #[test]
+    fn steal_storm_plus_idle_collapse_is_overloaded() {
+        let mut d = OverloadDetector::new();
+        let mut s = OverloadSignals {
+            capacity: 0, // admission off: depth scoring disabled
+            tick_budget_ns: 1_000_000,
+            ..OverloadSignals::default()
+        };
+        d.tick(s);
+        // Workers execute little, steal a lot, and report no idle time
+        // while a backlog exists.
+        s.pending = 10;
+        s.steals += 50;
+        s.executed += 10;
+        s.idle_ns += 1_000; // < 2% of the budget
+        assert_eq!(d.tick(s), OverloadState::Overloaded);
+    }
+
+    #[test]
+    fn downgrade_needs_sustained_calm() {
+        let mut d = OverloadDetector::new();
+        let mut s = OverloadSignals {
+            capacity: 100,
+            tick_budget_ns: 1_000_000,
+            ..OverloadSignals::default()
+        };
+        d.tick(s);
+        s.pending = 100;
+        assert_eq!(d.tick(s), OverloadState::Overloaded);
+        // One calm tick: still Overloaded (hysteresis).
+        s = calm(&s);
+        assert_eq!(d.tick(s), OverloadState::Overloaded);
+        // Second calm tick: one step down.
+        s = calm(&s);
+        assert_eq!(d.tick(s), OverloadState::Elevated);
+        // Two more: back to Normal.
+        s = calm(&s);
+        assert_eq!(d.tick(s), OverloadState::Elevated);
+        s = calm(&s);
+        assert_eq!(d.tick(s), OverloadState::Normal);
+    }
+
+    #[test]
+    fn encoding_round_trips() {
+        for st in [
+            OverloadState::Normal,
+            OverloadState::Elevated,
+            OverloadState::Overloaded,
+        ] {
+            assert_eq!(OverloadState::from_i64(st.as_i64()), st);
+        }
+        assert_eq!(OverloadState::from_i64(99), OverloadState::Overloaded);
+    }
+}

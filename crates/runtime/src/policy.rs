@@ -46,6 +46,56 @@ impl LaunchPolicy {
     }
 }
 
+/// What the runtime does when a spawn arrives while the admission gate is
+/// closed (pending tasks ≥ `RuntimeConfig::max_pending`).
+///
+/// The gate uses hysteresis: it closes at the high watermark
+/// (`max_pending`) and reopens only once pending work drains to the low
+/// watermark (`resume_pending`), so a saturated runtime does not thrash
+/// admission decisions at the boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OverloadPolicy {
+    /// Park the spawning thread until the gate reopens (caller
+    /// backpressure). Waiters are served in FIFO ticket order, so no
+    /// spawner is starved by late arrivals. Spawns issued *from worker
+    /// threads* degrade to inline execution instead of blocking — a worker
+    /// waiting on admission would deadlock the very drain that reopens the
+    /// gate.
+    #[default]
+    Block,
+    /// Reject the spawn. The fallible `try_spawn` API returns
+    /// [`SpawnError::Overloaded`](crate::SpawnError) with the closure
+    /// handed back; the infallible `spawn` API degrades to inline
+    /// execution (shedding cannot lose work on an API with no error path).
+    Shed,
+    /// Run the task inline in the spawning thread, bounding queue growth
+    /// by converting producers into consumers.
+    Degrade,
+}
+
+impl OverloadPolicy {
+    /// All policies, for exhaustive experiments.
+    pub const ALL: [OverloadPolicy; 3] = [
+        OverloadPolicy::Block,
+        OverloadPolicy::Shed,
+        OverloadPolicy::Degrade,
+    ];
+
+    /// The command-line name of the policy (`--overload=shed`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            OverloadPolicy::Block => "block",
+            OverloadPolicy::Shed => "shed",
+            OverloadPolicy::Degrade => "degrade",
+        }
+    }
+
+    /// Parse a policy name.
+    pub fn from_name(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|p| p.name() == s)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -61,5 +111,18 @@ mod tests {
     #[test]
     fn default_is_async() {
         assert_eq!(LaunchPolicy::default(), LaunchPolicy::Async);
+    }
+
+    #[test]
+    fn overload_names_round_trip() {
+        for p in OverloadPolicy::ALL {
+            assert_eq!(OverloadPolicy::from_name(p.name()), Some(p));
+        }
+        assert_eq!(OverloadPolicy::from_name("panic"), None);
+    }
+
+    #[test]
+    fn overload_default_is_block() {
+        assert_eq!(OverloadPolicy::default(), OverloadPolicy::Block);
     }
 }

@@ -1,9 +1,9 @@
 //! The runtime facade: configuration, worker lifecycle, and the spawn API.
 
-use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
@@ -11,13 +11,16 @@ use rpx_counters::counter::Clock;
 use rpx_counters::CounterRegistry;
 use rpx_papi::Pmu;
 
+use crate::admission::{AdmissionControl, AdmissionGate};
 use crate::cancel::CancelToken;
 use crate::faults::{FaultInjector, FaultPlan, InjectedFault};
 use crate::future::{FutureCore, Shared, TaskFuture};
-use crate::policy::LaunchPolicy;
+use crate::overload::OverloadState;
+use crate::policy::{LaunchPolicy, OverloadPolicy};
 use crate::scheduler::{Runnable, Scheduler, SchedulerMode, Task};
 use crate::stats::WorkerStats;
 use crate::trace::{TaskSpan, TaskTracer};
+use crate::watchdog::{RestartPolicy, RestartState, RestartVerdict};
 use crate::{watchdog, worker};
 
 /// Runtime configuration (the knobs of Table IV).
@@ -42,6 +45,30 @@ pub struct RuntimeConfig {
     /// How long a heartbeat may stay static (while work is live or
     /// pending) before the watchdog counts a stall episode.
     pub stall_threshold: Duration,
+    /// Admission high watermark: maximum queued-but-not-started tasks
+    /// before the admission gate closes and [`overload_policy`]
+    /// (`RuntimeConfig::overload_policy`) decides each spawn's fate.
+    /// `None` (the default) disables admission control entirely.
+    pub max_pending: Option<usize>,
+    /// Admission low watermark: a closed gate reopens once pending work
+    /// drains to this level (hysteresis). Defaults to `max_pending / 2`
+    /// when `None`.
+    pub resume_pending: Option<usize>,
+    /// What happens to a spawn while the admission gate is closed.
+    pub overload_policy: OverloadPolicy,
+    /// Restart budget per worker: maximum supervisor respawns within
+    /// `restart_window` before the circuit breaker trips and the worker is
+    /// retired (its queued tasks re-parent into the global injector). The
+    /// token bucket refills continuously at `budget / window`.
+    pub restart_budget: u32,
+    /// Token-bucket refill window for `restart_budget`; also the calm
+    /// period after which the consecutive-crash backoff resets.
+    pub restart_window: Duration,
+    /// Minimum backoff before a crashed worker is respawned; doubles per
+    /// consecutive crash up to `restart_backoff_max`.
+    pub restart_backoff: Duration,
+    /// Upper bound for the exponential restart backoff.
+    pub restart_backoff_max: Duration,
 }
 
 impl Default for RuntimeConfig {
@@ -53,9 +80,21 @@ impl Default for RuntimeConfig {
             mode: SchedulerMode::LocalQueues,
             locality: 0,
             stack_size: 8 << 20,
-            faults: FaultPlan::from_env(),
+            // Fail fast on misspelled RPX_FAULT_* knobs: silently running a
+            // chaos suite with injection disabled is worse than aborting.
+            faults: FaultPlan::from_env().unwrap_or_else(|e| panic!("rpx: {e}")),
             watchdog_interval: Duration::from_millis(20),
             stall_threshold: Duration::from_millis(500),
+            max_pending: None,
+            resume_pending: None,
+            overload_policy: OverloadPolicy::default(),
+            // Generous enough that transient fault-injection storms (tens
+            // of kills) never trip in ordinary chaos runs; a genuine crash
+            // loop exhausts it within a window.
+            restart_budget: 64,
+            restart_window: Duration::from_secs(10),
+            restart_backoff: Duration::from_millis(1),
+            restart_backoff_max: Duration::from_millis(100),
         }
     }
 }
@@ -82,6 +121,15 @@ pub(crate) struct RuntimeState {
     pub idle_cv: Condvar,
     /// Optional task-lifetime tracing (off by default; see [`TaskTracer`]).
     pub tracer: Arc<TaskTracer>,
+    /// Set by [`Runtime::quiesce`] once the drain deadline passes: queued
+    /// tasks are cancelled at dispatch instead of executed.
+    pub quiesce_cancel: AtomicBool,
+    /// Workers not retired by a tripped restart breaker (effective
+    /// parallelism; feeds `/runtime/health/live-workers`).
+    pub live_workers: AtomicUsize,
+    /// Latest [`OverloadState`] the watchdog's detector published
+    /// (feeds `/runtime/health/overload-state`).
+    pub overload_state: AtomicI64,
 }
 
 impl RuntimeState {
@@ -102,6 +150,64 @@ pub(crate) struct RuntimeInner {
     pub config: RuntimeConfig,
     /// Active fault injector (None when the configured plan is inactive).
     pub faults: Option<Arc<FaultInjector>>,
+    /// Admission gate (Some iff `config.max_pending` is set).
+    pub gate: Option<Arc<AdmissionGate>>,
+    /// Set by [`Runtime::quiesce`]: no new task enters a queue (spawns run
+    /// inline, `try_spawn` fails).
+    pub draining: AtomicBool,
+    /// Callbacks run at the end of a quiesce, after queues drain — the
+    /// sampler registers a final-flush here so shutdown under load loses
+    /// no counter data.
+    pub drain_hooks: Mutex<Vec<Box<dyn Fn() + Send>>>,
+}
+
+/// Why a fallible spawn was refused. The closure is handed back so no
+/// work is silently lost — the caller decides to retry, defer, or drop.
+pub enum SpawnError<F> {
+    /// The admission gate is closed (pending ≥ `max_pending`).
+    Overloaded(F),
+    /// The runtime is quiescing; it will not queue new work again.
+    Draining(F),
+}
+
+impl<F> SpawnError<F> {
+    /// Recover the rejected closure.
+    pub fn into_inner(self) -> F {
+        match self {
+            SpawnError::Overloaded(f) | SpawnError::Draining(f) => f,
+        }
+    }
+}
+
+impl<F> std::fmt::Debug for SpawnError<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SpawnError::Overloaded(_) => "SpawnError::Overloaded",
+            SpawnError::Draining(_) => "SpawnError::Draining",
+        })
+    }
+}
+
+impl<F> std::fmt::Display for SpawnError<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SpawnError::Overloaded(_) => "spawn rejected: runtime overloaded",
+            SpawnError::Draining(_) => "spawn rejected: runtime draining",
+        })
+    }
+}
+
+/// What [`Runtime::quiesce`] accomplished by its deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuiesceReport {
+    /// All outstanding work finished within the deadline without any task
+    /// being cancelled.
+    pub drained: bool,
+    /// Queued tasks cancelled at dispatch after the deadline passed.
+    pub cancelled: u64,
+    /// Tasks still live (executing or queued behind a wedged worker) when
+    /// the quiesce returned.
+    pub remaining: u64,
 }
 
 /// A lightweight-task runtime: `N` worker threads, per-worker work-stealing
@@ -141,12 +247,19 @@ impl Runtime {
             idle_lock: Mutex::new(()),
             idle_cv: Condvar::new(),
             tracer: TaskTracer::new(64 * 1024),
+            quiesce_cancel: AtomicBool::new(false),
+            live_workers: AtomicUsize::new(workers),
+            overload_state: AtomicI64::new(0),
         });
         let faults = config
             .faults
             .clone()
             .filter(FaultPlan::is_active)
             .map(FaultInjector::new);
+        let gate = config.max_pending.map(|high| {
+            let low = config.resume_pending.unwrap_or(high / 2);
+            AdmissionGate::new(high, low)
+        });
         let inner = Arc::new(RuntimeInner {
             scheduler: Scheduler::new(workers, config.mode),
             state,
@@ -155,14 +268,19 @@ impl Runtime {
             shutdown: AtomicBool::new(false),
             config: config.clone(),
             faults,
+            gate,
+            draining: AtomicBool::new(false),
+            drain_hooks: Mutex::new(Vec::new()),
         });
 
         crate::counters::register_runtime_counters(&registry, &inner);
         rpx_papi::register_papi_counters(&registry, &pmu, config.locality);
 
+        let restart_policy = RestartPolicy::from_config(&config);
         let threads = (0..workers)
             .map(|index| {
                 let inner = inner.clone();
+                let policy = restart_policy;
                 std::thread::Builder::new()
                     .name(format!("rpx-worker-{index}"))
                     .stack_size(config.stack_size)
@@ -170,25 +288,32 @@ impl Runtime {
                     // injected worker kill, or a real bug outside a task
                     // wrapper) is caught here; the loop is re-entered on the
                     // same thread and reclaims its re-parked deque, so
-                    // queued tasks survive. Counted in /runtime/health/
-                    // restarts.
-                    .spawn(move || loop {
-                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            worker::worker_loop(inner.clone(), index)
-                        }));
-                        match result {
-                            Ok(()) => break,
-                            Err(_) => {
-                                inner.state.stats[index]
-                                    .restarts
-                                    .fetch_add(1, Ordering::Relaxed);
-                                // Topology event: live wildcard queries
-                                // (`worker-thread#*`) re-expand on their
-                                // next evaluation and pick up the respawned
-                                // worker's counters.
-                                inner.registry.bump_generation();
-                                if inner.shutdown.load(Ordering::Acquire) {
-                                    break;
+                    // queued tasks survive. Respawns are counted in
+                    // /runtime/health/restarts, spaced by an exponential
+                    // backoff, and budgeted: an exhausted token bucket trips
+                    // the circuit breaker (see `supervise_crash`).
+                    .spawn(move || {
+                        let mut restart = RestartState::new(policy);
+                        loop {
+                            let result =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    worker::worker_loop(inner.clone(), index)
+                                }));
+                            match result {
+                                Ok(()) => break,
+                                Err(_) => {
+                                    // Topology event: live wildcard queries
+                                    // (`worker-thread#*`) re-expand on their
+                                    // next evaluation and pick up the
+                                    // respawned (or retired) worker's
+                                    // counters.
+                                    inner.registry.bump_generation();
+                                    if inner.shutdown.load(Ordering::Acquire) {
+                                        break;
+                                    }
+                                    if !supervise_crash(&inner, index, &mut restart) {
+                                        break;
+                                    }
                                 }
                             }
                         }
@@ -226,6 +351,19 @@ impl Runtime {
         F: FnOnce() -> T + Send + 'static,
     {
         spawn_inner(&self.inner, policy, f, None)
+    }
+
+    /// Fallible spawn (`Async` policy): fails fast — never blocks, never
+    /// degrades to inline — when the admission gate is closed
+    /// ([`SpawnError::Overloaded`]) or the runtime is quiescing
+    /// ([`SpawnError::Draining`]). The closure is handed back inside the
+    /// error, so no work is silently lost.
+    pub fn try_spawn<T, F>(&self, f: F) -> Result<TaskFuture<T>, SpawnError<F>>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        try_spawn_inner(&self.inner, f, None)
     }
 
     /// Spawn a task bound to `token`: if the token is cancelled before the
@@ -307,6 +445,89 @@ impl Runtime {
         }
     }
 
+    /// Like [`wait_idle`](Self::wait_idle) with a timeout; returns whether
+    /// the runtime went idle.
+    fn wait_idle_for(&self, timeout: Duration) -> bool {
+        let state = &self.inner.state;
+        let t0 = Instant::now();
+        let mut guard = state.idle_lock.lock();
+        while state.live.load(Ordering::Acquire) > 0 {
+            let remaining = timeout.saturating_sub(t0.elapsed());
+            if remaining.is_zero() {
+                return false;
+            }
+            let _ = state.idle_cv.wait_for(&mut guard, remaining);
+        }
+        true
+    }
+
+    /// Gracefully drain the runtime. The protocol:
+    ///
+    /// 1. **Stop admission**: infallible spawns run inline from here on,
+    ///    [`try_spawn`](Self::try_spawn) fails with
+    ///    [`SpawnError::Draining`], and parked `Block`-policy spawners are
+    ///    released without queueing.
+    /// 2. **Drain**: wait up to `deadline` for outstanding work.
+    /// 3. **Cancel stragglers**: if work remains, still-queued tasks are
+    ///    cancelled at dispatch (their futures complete cancelled, counted
+    ///    in `/runtime/health/cancelled-tasks`) and the drain waits up to
+    ///    `deadline` once more for tasks already executing.
+    /// 4. **Flush**: run the registered drain hooks (e.g. a final sampler
+    ///    flush via [`add_drain_hook`](Self::add_drain_hook)), so shutdown
+    ///    under load loses no counter data.
+    ///
+    /// Workers stay up (counters remain readable); call
+    /// [`shutdown`](Self::shutdown) afterwards to stop them.
+    pub fn quiesce(&self, deadline: Duration) -> QuiesceReport {
+        let inner = &self.inner;
+        inner.draining.store(true, Ordering::SeqCst);
+        if let Some(gate) = &inner.gate {
+            gate.drain();
+        }
+        let drained = self.wait_idle_for(deadline);
+        let mut cancelled = 0;
+        if !drained {
+            let before =
+                crate::stats::total(&inner.state.stats, |s| s.cancelled.load(Ordering::Relaxed));
+            inner.state.quiesce_cancel.store(true, Ordering::SeqCst);
+            inner.scheduler.wake_all();
+            let _ = self.wait_idle_for(deadline);
+            cancelled =
+                crate::stats::total(&inner.state.stats, |s| s.cancelled.load(Ordering::Relaxed))
+                    .saturating_sub(before);
+        }
+        for hook in inner.drain_hooks.lock().iter() {
+            hook();
+        }
+        QuiesceReport {
+            drained,
+            cancelled,
+            remaining: inner.state.live.load(Ordering::Acquire).max(0) as u64,
+        }
+    }
+
+    /// Register a callback to run at the end of a [`quiesce`](Self::quiesce)
+    /// (after queues drain, before it returns). The sampler's final flush
+    /// belongs here.
+    pub fn add_drain_hook(&self, hook: impl Fn() + Send + 'static) {
+        self.inner.drain_hooks.lock().push(Box::new(hook));
+    }
+
+    /// Handle to the admission gate (Some iff `max_pending` was
+    /// configured), for adaptive policies and monitoring.
+    pub fn admission(&self) -> Option<AdmissionControl> {
+        self.inner
+            .gate
+            .as_ref()
+            .map(|gate| AdmissionControl { gate: gate.clone() })
+    }
+
+    /// The overload detector's latest verdict (also exposed as the
+    /// `/runtime/health/overload-state` counter).
+    pub fn overload_state(&self) -> OverloadState {
+        OverloadState::from_i64(self.inner.state.overload_state.load(Ordering::Acquire))
+    }
+
     /// Drain outstanding work, stop the workers, and join them.
     pub fn shutdown(mut self) {
         self.wait_idle();
@@ -386,6 +607,23 @@ impl RuntimeHandle {
         spawn_inner(&inner, policy, f, None)
     }
 
+    /// Fallible spawn; see [`Runtime::try_spawn`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runtime has been dropped.
+    pub fn try_spawn<T, F>(&self, f: F) -> Result<TaskFuture<T>, SpawnError<F>>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let inner = self
+            .inner
+            .upgrade()
+            .expect("RuntimeHandle used after Runtime was dropped");
+        try_spawn_inner(&inner, f, None)
+    }
+
     /// Spawn a task bound to `token`; see [`Runtime::spawn_cancellable`].
     pub fn spawn_cancellable<T, F>(&self, token: &CancelToken, f: F) -> TaskFuture<T>
     where
@@ -450,6 +688,9 @@ struct TaskCell<T, F> {
     state: Arc<RuntimeState>,
     faults: Option<Arc<FaultInjector>>,
     token: Option<CancelToken>,
+    /// The admission slot this task holds (queued tasks under admission
+    /// control only); returned via `note_started` when the body is taken.
+    gate: Option<Arc<AdmissionGate>>,
     task_id: u64,
     /// Spawn timestamp; start − spawn is the task's queue wait.
     spawned_ns: u64,
@@ -469,6 +710,7 @@ where
         f: F,
         track_live: bool,
         token: Option<CancelToken>,
+        gate: Option<Arc<AdmissionGate>>,
     ) -> Self {
         TaskCell {
             shared: Shared::fresh(),
@@ -476,6 +718,7 @@ where
             state: inner.state.clone(),
             faults: inner.faults.clone(),
             token,
+            gate,
             task_id,
             spawned_ns: inner.state.clock.now_ns(),
             track_live,
@@ -489,16 +732,21 @@ where
             return;
         };
         let state = &self.state;
+        // The task left the queue (it either runs now or is cancelled):
+        // return its admission slot so backpressured spawners proceed.
+        if let Some(gate) = &self.gate {
+            gate.note_started();
+        }
         let idx = worker::current_worker_index().unwrap_or(0);
-        if let Some(token) = &self.token {
-            if token.is_cancelled() {
-                state.stats[idx].cancelled.fetch_add(1, Ordering::Relaxed);
-                self.shared.complete_cancelled();
-                if self.track_live {
-                    state.note_task_finished();
-                }
-                return;
+        let cancelled = self.token.as_ref().is_some_and(CancelToken::is_cancelled)
+            || (self.track_live && state.quiesce_cancel.load(Ordering::Acquire));
+        if cancelled {
+            state.stats[idx].cancelled.fetch_add(1, Ordering::Relaxed);
+            self.shared.complete_cancelled();
+            if self.track_live {
+                state.note_task_finished();
             }
+            return;
         }
         if let Some(faults) = &self.faults {
             if faults.inject_task_panic() {
@@ -564,6 +812,125 @@ where
     }
 }
 
+/// Handle one worker crash in the supervisor loop: consume a restart token
+/// and back off, or trip the breaker and retire the worker. Returns `false`
+/// when the worker must not be respawned.
+fn supervise_crash(inner: &Arc<RuntimeInner>, index: usize, restart: &mut RestartState) -> bool {
+    let stats = &inner.state.stats[index];
+    match restart.on_crash(Instant::now()) {
+        RestartVerdict::Respawn { backoff } => {
+            stats.restarts.fetch_add(1, Ordering::Relaxed);
+            backoff_sleep(inner, stats, backoff);
+            true
+        }
+        RestartVerdict::Trip => {
+            // Claim a retirement slot atomically: the last live worker can
+            // never trip, or queued tasks would strand with no executor.
+            let claimed = inner
+                .state
+                .live_workers
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                    (n > 1).then_some(n - 1)
+                })
+                .is_ok();
+            if !claimed {
+                // Sole survivor: keep respawning, at the maximum backoff.
+                stats.restarts.fetch_add(1, Ordering::Relaxed);
+                backoff_sleep(inner, stats, inner.config.restart_backoff_max);
+                return true;
+            }
+            stats.breaker_trips.fetch_add(1, Ordering::Relaxed);
+            stats.retired.store(true, Ordering::Release);
+            // Re-parent the dead worker's queued tasks into the global
+            // injector so the surviving workers drain them — shrinking
+            // parallelism loses no task.
+            inner.scheduler.reparent_to_injector(index);
+            inner.scheduler.wake_all();
+            false
+        }
+    }
+}
+
+/// Sleep out a restart backoff (sliced, so shutdown stays responsive) and
+/// account it into `/runtime/health/restart-backoff`.
+fn backoff_sleep(inner: &Arc<RuntimeInner>, stats: &WorkerStats, backoff: Duration) {
+    let t0 = Instant::now();
+    while t0.elapsed() < backoff && !inner.shutdown.load(Ordering::Acquire) {
+        let remaining = backoff.saturating_sub(t0.elapsed());
+        std::thread::sleep(remaining.min(Duration::from_millis(1)));
+    }
+    stats
+        .backoff_ns
+        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+}
+
+/// How an `Async`-policy spawn may proceed past the admission gate.
+enum Admit {
+    /// Queue the task; `Some` means it holds an admission slot.
+    Queue(Option<Arc<AdmissionGate>>),
+    /// Run inline in the caller (gate closed and the policy degrades, or
+    /// the runtime is draining).
+    Inline,
+}
+
+fn admit_for_queue(inner: &Arc<RuntimeInner>, spawner: Option<usize>) -> Admit {
+    if inner.draining.load(Ordering::SeqCst) {
+        return Admit::Inline;
+    }
+    let Some(gate) = &inner.gate else {
+        return Admit::Queue(None);
+    };
+    if gate.try_admit() {
+        return Admit::Queue(Some(gate.clone()));
+    }
+    match inner.config.overload_policy {
+        // Backpressure — but only external threads may park: a *worker*
+        // blocking on admission would deadlock the very drain that reopens
+        // the gate, so worker spawns degrade to inline instead.
+        OverloadPolicy::Block if spawner.is_none() => {
+            if gate.admit_blocking() {
+                Admit::Queue(Some(gate.clone()))
+            } else {
+                Admit::Inline // the gate drained while we were parked
+            }
+        }
+        _ => {
+            gate.note_degraded();
+            Admit::Inline
+        }
+    }
+}
+
+/// Enqueue an admitted task (the `Async` hot path).
+fn queue_task<T, F>(
+    inner: &Arc<RuntimeInner>,
+    task_id: u64,
+    f: F,
+    token: Option<CancelToken>,
+    spawner: Option<usize>,
+    gate: Option<Arc<AdmissionGate>>,
+) -> TaskFuture<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    inner.state.live.fetch_add(1, Ordering::AcqRel);
+    let cell = Arc::new(TaskCell::new(inner, task_id, f, true, token, gate));
+    let t0 = inner.state.clock.now_ns();
+    let task = Task {
+        run: cell.clone(),
+        id: task_id,
+    };
+    let task = worker::push_local(inner, task).err();
+    if let Some(task) = task {
+        inner.scheduler.push(task, None);
+    }
+    let t1 = inner.state.clock.now_ns();
+    let overhead_owner = spawner.unwrap_or(0);
+    inner.state.stats[overhead_owner].record_overhead(t1.saturating_sub(t0));
+    TaskFuture::from_core(cell)
+}
+
 fn spawn_inner<T, F>(
     inner: &Arc<RuntimeInner>,
     policy: LaunchPolicy,
@@ -584,39 +951,64 @@ where
 
     match policy {
         LaunchPolicy::Sync => {
-            let cell = Arc::new(TaskCell::new(inner, task_id, f, false, token));
+            let cell = Arc::new(TaskCell::new(inner, task_id, f, false, token, None));
             cell.run_body();
             TaskFuture::from_core(cell)
         }
         LaunchPolicy::Fork if spawner.is_some() => {
             // Continuation-stealing approximation: the child runs now, on
             // this worker, with no queue round-trip (see LaunchPolicy::Fork).
-            let cell = Arc::new(TaskCell::new(inner, task_id, f, false, token));
+            let cell = Arc::new(TaskCell::new(inner, task_id, f, false, token, None));
             cell.run_body();
             TaskFuture::from_core(cell)
         }
         LaunchPolicy::Deferred => {
-            let cell = Arc::new(TaskCell::new(inner, task_id, f, false, token));
+            let cell = Arc::new(TaskCell::new(inner, task_id, f, false, token, None));
             let c2 = cell.clone();
             cell.shared.set_deferred(Box::new(move || c2.run_body()));
             TaskFuture::from_core(cell)
         }
-        LaunchPolicy::Async | LaunchPolicy::Fork => {
-            inner.state.live.fetch_add(1, Ordering::AcqRel);
-            let cell = Arc::new(TaskCell::new(inner, task_id, f, true, token));
-            let t0 = inner.state.clock.now_ns();
-            let task = Task {
-                run: cell.clone(),
-                id: task_id,
-            };
-            let task = worker::push_local(inner, task).err();
-            if let Some(task) = task {
-                inner.scheduler.push(task, None);
+        LaunchPolicy::Async | LaunchPolicy::Fork => match admit_for_queue(inner, spawner) {
+            Admit::Queue(gate) => queue_task(inner, task_id, f, token, spawner, gate),
+            Admit::Inline => {
+                let cell = Arc::new(TaskCell::new(inner, task_id, f, false, token, None));
+                cell.run_body();
+                TaskFuture::from_core(cell)
             }
-            let t1 = inner.state.clock.now_ns();
-            let overhead_owner = spawner.unwrap_or(0);
-            inner.state.stats[overhead_owner].record_overhead(t1.saturating_sub(t0));
-            TaskFuture::from_core(cell)
-        }
+        },
     }
+}
+
+/// The fallible spawn path: admission failure is the caller's problem —
+/// the closure comes back inside the error.
+fn try_spawn_inner<T, F>(
+    inner: &Arc<RuntimeInner>,
+    f: F,
+    token: Option<CancelToken>,
+) -> Result<TaskFuture<T>, SpawnError<F>>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    if inner.draining.load(Ordering::SeqCst) {
+        return Err(SpawnError::Draining(f));
+    }
+    let gate = match &inner.gate {
+        Some(gate) => {
+            if !gate.try_admit() {
+                gate.note_shed();
+                return Err(SpawnError::Overloaded(f));
+            }
+            Some(gate.clone())
+        }
+        None => None,
+    };
+    let task_id = inner.scheduler.next_task_id();
+    let spawner = worker::current_worker_index();
+    if let Some(idx) = spawner {
+        inner.state.stats[idx]
+            .spawned
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    Ok(queue_task(inner, task_id, f, token, spawner, gate))
 }

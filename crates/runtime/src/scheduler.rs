@@ -286,6 +286,23 @@ impl Scheduler {
     pub(crate) fn sleeper_count(&self) -> usize {
         self.sleeper_count.load(Ordering::SeqCst)
     }
+
+    /// Move every task parked in worker `index`'s deque into the global
+    /// injector. Used by the restart circuit breaker: a retired worker's
+    /// queued tasks must drain through the survivors. `pending` is
+    /// untouched — the tasks are still queued, just somewhere reachable.
+    /// Returns the number of tasks moved.
+    pub(crate) fn reparent_to_injector(&self, index: usize) -> u64 {
+        let guard = self.deques[index].lock();
+        let mut moved = 0;
+        if let Some(deque) = guard.as_ref() {
+            while let Some(task) = deque.pop() {
+                self.injector.push(task);
+                moved += 1;
+            }
+        }
+        moved
+    }
 }
 
 #[cfg(test)]
@@ -469,6 +486,31 @@ mod tests {
         assert!(!s.has_queued_work());
         s.push(task(2), Some(&local));
         assert!(s.has_queued_work(), "probe must see worker deques");
+    }
+
+    #[test]
+    fn reparenting_moves_deque_tasks_to_injector() {
+        let s = Scheduler::new(2, SchedulerMode::LocalQueues);
+        {
+            // Queue three tasks on worker 0's (parked) deque, then re-park.
+            let local = s.deques[0].lock().take().unwrap();
+            for i in 0..3 {
+                s.push(task(i), Some(&local));
+            }
+            *s.deques[0].lock() = Some(local);
+        }
+        assert_eq!(s.reparent_to_injector(0), 3);
+        assert_eq!(s.pending_tasks(), 3, "reparenting keeps tasks pending");
+        // Worker 1 drains them from the injector in FIFO order... the
+        // batch refill puts extras in its own deque, all still findable.
+        let local1 = s.deques[1].lock().take().unwrap();
+        let mut ids = Vec::new();
+        while let Some((t, _)) = s.find(1, &local1) {
+            ids.push(t.id);
+        }
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2], "no task lost in re-parenting");
+        assert_eq!(s.reparent_to_injector(0), 0, "second pass finds nothing");
     }
 
     #[test]

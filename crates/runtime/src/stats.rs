@@ -5,7 +5,7 @@
 //! any thread — the low-overhead introspection pattern the paper's
 //! framework is built on.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Instrumentation accumulators for one worker thread.
 #[derive(Debug, Default)]
@@ -45,6 +45,16 @@ pub struct WorkerStats {
     /// Injected task panics caught and retried at dispatch
     /// (feeds `/runtime/health/recovered-tasks`).
     pub recovered: AtomicU64,
+    /// Nanoseconds the supervisor spent backing off between respawns of
+    /// this worker (feeds `/runtime/health/restart-backoff`).
+    pub backoff_ns: AtomicU64,
+    /// Times this worker's restart budget was exhausted and the breaker
+    /// tripped (feeds `/runtime/health/breaker-trips`; 0 or 1 per worker).
+    pub breaker_trips: AtomicU64,
+    /// Set once the breaker trips: the worker thread has exited for good,
+    /// its deque was re-parented into the injector, and the watchdog must
+    /// stop stall-checking its frozen heartbeat.
+    pub retired: AtomicBool,
 }
 
 impl WorkerStats {

@@ -1,5 +1,6 @@
-//! Worker watchdog: a supervisor thread that heartbeats the workers and
-//! records stall episodes into the `/runtime/health/stalls` counter.
+//! Worker watchdog: a supervisor thread that heartbeats the workers,
+//! records stall episodes into the `/runtime/health/stalls` counter, and
+//! runs the overload detector over the counter stream.
 //!
 //! Every worker bumps [`WorkerStats::heartbeat`](crate::stats::WorkerStats)
 //! once per scheduling-loop iteration and once per work-helping iteration —
@@ -9,20 +10,113 @@
 //! worker is wedged inside a task (a stall). Each episode is counted once
 //! (the flag clears when the heartbeat moves again), and the watchdog wakes
 //! the sleeping workers so the stalled worker's queued tasks get stolen
-//! rather than waiting it out.
+//! rather than waiting it out. Retired workers (tripped restart breaker)
+//! are skipped — their heartbeat is frozen by design.
 //!
 //! Worker *panics* are handled one level up: the thread-level supervisor
 //! loop in [`Runtime::new`](crate::Runtime::new) catches a panic escaping
-//! the worker loop, increments `/runtime/health/restarts`, and re-enters
-//! the loop on the same thread — the worker's deque was re-parked during
-//! the unwind, so no queued task is lost.
+//! the worker loop and consults the [`RestartPolicy`] token bucket defined
+//! here: within budget, the worker backs off exponentially and re-enters
+//! the loop on the same thread (the deque was re-parked during the unwind,
+//! so no queued task is lost); an exhausted budget trips the circuit
+//! breaker — the worker retires, its deque re-parents into the injector,
+//! and effective parallelism shrinks instead of crash-looping.
 
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use crate::runtime::RuntimeInner;
+use crate::overload::{OverloadDetector, OverloadSignals};
+use crate::runtime::{RuntimeConfig, RuntimeInner};
+use crate::stats;
+
+/// Token-bucket restart budget + exponential backoff parameters (derived
+/// from [`RuntimeConfig`]; one copy per worker supervisor).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RestartPolicy {
+    /// Maximum respawns per `window` (bucket capacity and refill amount).
+    pub budget: u32,
+    /// Refill window; also the calm period that resets the consecutive-
+    /// crash backoff.
+    pub window: Duration,
+    /// Backoff before the first respawn of a crash streak.
+    pub backoff: Duration,
+    /// Backoff ceiling (the exponential doubling stops here).
+    pub backoff_max: Duration,
+}
+
+impl RestartPolicy {
+    pub fn from_config(config: &RuntimeConfig) -> Self {
+        RestartPolicy {
+            budget: config.restart_budget.max(1),
+            window: config.restart_window.max(Duration::from_millis(1)),
+            backoff: config.restart_backoff,
+            backoff_max: config.restart_backoff_max.max(config.restart_backoff),
+        }
+    }
+}
+
+/// What the supervisor must do about a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RestartVerdict {
+    /// Respawn after `backoff` (a token was available).
+    Respawn { backoff: Duration },
+    /// Budget exhausted: trip the breaker and retire the worker.
+    Trip,
+}
+
+/// Per-worker restart accounting: a continuously-refilling token bucket
+/// plus a consecutive-crash counter driving the exponential backoff. Pure
+/// logic (the caller supplies `now`), so it unit tests deterministically.
+pub(crate) struct RestartState {
+    policy: RestartPolicy,
+    /// Fractional tokens available; starts full.
+    tokens: f64,
+    /// Crashes since the last calm period (> window without a crash).
+    consecutive: u32,
+    /// Instant of the previous crash (None before the first).
+    last_crash: Option<Instant>,
+}
+
+impl RestartState {
+    pub fn new(policy: RestartPolicy) -> Self {
+        RestartState {
+            policy,
+            tokens: policy.budget as f64,
+            consecutive: 0,
+            last_crash: None,
+        }
+    }
+
+    /// Account one crash at `now` and decide the worker's fate.
+    pub fn on_crash(&mut self, now: Instant) -> RestartVerdict {
+        let budget = self.policy.budget as f64;
+        if let Some(last) = self.last_crash {
+            let elapsed = now.saturating_duration_since(last);
+            // Continuous refill at budget/window, capped at the budget.
+            let refill = budget * elapsed.as_secs_f64() / self.policy.window.as_secs_f64();
+            self.tokens = (self.tokens + refill).min(budget);
+            if elapsed > self.policy.window {
+                // A full calm window resets the crash streak.
+                self.consecutive = 0;
+            }
+        }
+        self.last_crash = Some(now);
+        if self.tokens < 1.0 {
+            return RestartVerdict::Trip;
+        }
+        self.tokens -= 1.0;
+        self.consecutive = self.consecutive.saturating_add(1);
+        let doubled = self
+            .policy
+            .backoff
+            .saturating_mul(1u32 << (self.consecutive - 1).min(16));
+        RestartVerdict::Respawn {
+            backoff: doubled.min(self.policy.backoff_max),
+        }
+    }
+}
 
 /// Per-worker observation state.
 struct Watch {
@@ -45,12 +139,14 @@ pub(crate) fn spawn(inner: &Arc<RuntimeInner>) -> JoinHandle<()> {
         .name("rpx-watchdog".into())
         .spawn(move || {
             let mut watches: Vec<Watch> = Vec::new();
+            let mut detector = OverloadDetector::new();
             loop {
                 std::thread::sleep(interval);
                 let Some(inner) = weak.upgrade() else { return };
                 if inner.shutdown.load(Ordering::Acquire) {
                     return;
                 }
+                overload_tick(&inner, &mut detector, interval);
                 let now = Instant::now();
                 let stats = &inner.state.stats;
                 if watches.len() != stats.len() {
@@ -70,6 +166,11 @@ pub(crate) fn spawn(inner: &Arc<RuntimeInner>) -> JoinHandle<()> {
                 let busy = inner.state.live.load(Ordering::Acquire) > 0
                     || inner.scheduler.pending_tasks() > 0;
                 for (watch, s) in watches.iter_mut().zip(stats.iter()) {
+                    if s.retired.load(Ordering::Acquire) {
+                        // Tripped breaker: the heartbeat is frozen forever;
+                        // not a stall.
+                        continue;
+                    }
                     let heartbeat = s.heartbeat.load(Ordering::Relaxed);
                     if heartbeat != watch.heartbeat {
                         watch.heartbeat = heartbeat;
@@ -89,4 +190,132 @@ pub(crate) fn spawn(inner: &Arc<RuntimeInner>) -> JoinHandle<()> {
             }
         })
         .expect("failed to spawn watchdog thread")
+}
+
+/// Feed one watchdog tick of counter readings to the overload detector
+/// and publish the verdict (`/runtime/health/overload-state`).
+fn overload_tick(inner: &Arc<RuntimeInner>, detector: &mut OverloadDetector, interval: Duration) {
+    let stats = &inner.state.stats;
+    let (pending, capacity) = match &inner.gate {
+        Some(gate) => (gate.pending(), gate.limits().0 as i64),
+        // Admission off: depth scoring is disabled (capacity 0); the
+        // detector still sees steal storms and idle collapse.
+        None => (inner.scheduler.pending_tasks(), 0),
+    };
+    let live_workers = inner.state.live_workers.load(Ordering::Acquire) as u64;
+    let state = detector.tick(OverloadSignals {
+        pending,
+        capacity,
+        steals: stats::total(stats, |s| s.stolen.load(Ordering::Relaxed)),
+        executed: stats::total(stats, |s| s.executed.load(Ordering::Relaxed)),
+        idle_ns: stats::total(stats, |s| s.idle_ns.load(Ordering::Relaxed)),
+        tick_budget_ns: interval.as_nanos() as u64 * live_workers.max(1),
+    });
+    inner
+        .state
+        .overload_state
+        .store(state.as_i64(), Ordering::Release);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(budget: u32, window_ms: u64, backoff_ms: u64, max_ms: u64) -> RestartPolicy {
+        RestartPolicy {
+            budget,
+            window: Duration::from_millis(window_ms),
+            backoff: Duration::from_millis(backoff_ms),
+            backoff_max: Duration::from_millis(max_ms),
+        }
+    }
+
+    #[test]
+    fn budget_allows_exactly_budget_respawns_then_trips() {
+        let mut st = RestartState::new(policy(3, 60_000, 1, 8));
+        let t0 = Instant::now();
+        for i in 0..3 {
+            let v = st.on_crash(t0 + Duration::from_millis(i));
+            assert!(
+                matches!(v, RestartVerdict::Respawn { .. }),
+                "crash {i} within budget must respawn"
+            );
+        }
+        assert_eq!(
+            st.on_crash(t0 + Duration::from_millis(3)),
+            RestartVerdict::Trip,
+            "crash budget+1 must trip the breaker"
+        );
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut st = RestartState::new(policy(100, 60_000, 2, 10));
+        let t0 = Instant::now();
+        let expected_ms = [2, 4, 8, 10, 10];
+        for (i, want) in expected_ms.iter().enumerate() {
+            match st.on_crash(t0 + Duration::from_millis(i as u64)) {
+                RestartVerdict::Respawn { backoff } => {
+                    assert_eq!(backoff, Duration::from_millis(*want), "crash {i}");
+                }
+                RestartVerdict::Trip => panic!("budget 100 must not trip"),
+            }
+        }
+    }
+
+    #[test]
+    fn calm_window_resets_consecutive_backoff() {
+        let mut st = RestartState::new(policy(100, 100, 2, 64));
+        let t0 = Instant::now();
+        st.on_crash(t0);
+        st.on_crash(t0 + Duration::from_millis(1));
+        st.on_crash(t0 + Duration::from_millis(2)); // backoff now 8ms
+        let v = st.on_crash(t0 + Duration::from_millis(200)); // > window later
+        assert_eq!(
+            v,
+            RestartVerdict::Respawn {
+                backoff: Duration::from_millis(2)
+            },
+            "a calm window must reset the exponential backoff"
+        );
+    }
+
+    #[test]
+    fn tokens_refill_over_time() {
+        let mut st = RestartState::new(policy(2, 100, 1, 1));
+        let t0 = Instant::now();
+        assert!(matches!(st.on_crash(t0), RestartVerdict::Respawn { .. }));
+        assert!(matches!(
+            st.on_crash(t0 + Duration::from_millis(1)),
+            RestartVerdict::Respawn { .. }
+        ));
+        // Bucket empty; 1ms later it has refilled only 0.02 tokens.
+        assert_eq!(
+            st.on_crash(t0 + Duration::from_millis(2)),
+            RestartVerdict::Trip
+        );
+        // After a full window the bucket is full again (sustained slow
+        // crash rates below budget/window respawn forever).
+        assert!(matches!(
+            st.on_crash(t0 + Duration::from_millis(200)),
+            RestartVerdict::Respawn { .. }
+        ));
+    }
+
+    #[test]
+    fn backoff_shift_saturates_on_long_streaks() {
+        let mut st = RestartState::new(policy(u32::MAX, 60_000, 1, 5));
+        let t0 = Instant::now();
+        for i in 0..40u64 {
+            match st.on_crash(t0 + Duration::from_millis(i)) {
+                RestartVerdict::Respawn { backoff } => {
+                    assert!(
+                        backoff <= Duration::from_millis(5),
+                        "crash {i}: {backoff:?}"
+                    )
+                }
+                RestartVerdict::Trip => panic!("unbounded budget must not trip"),
+            }
+        }
+    }
 }

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use rpx::apex::{rules, Policy, PolicyEngine, Tunable};
-use rpx::runtime::{Runtime, RuntimeConfig};
+use rpx::runtime::{OverloadPolicy, Runtime, RuntimeConfig, SpawnError};
 
 fn busy(iters: u64) -> u64 {
     let mut acc = 0u64;
@@ -101,5 +101,109 @@ fn policy_engine_observes_runtime_counters_with_wildcards() {
         "policy saw only {} tasks",
         *seen.lock()
     );
+    rt.shutdown();
+}
+
+#[test]
+fn policy_widens_admission_when_the_overload_detector_trips() {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    let rt = Runtime::new(RuntimeConfig {
+        workers: 2,
+        max_pending: Some(8),
+        resume_pending: Some(4),
+        overload_policy: OverloadPolicy::Shed,
+        watchdog_interval: Duration::from_millis(10),
+        ..RuntimeConfig::with_workers(2)
+    });
+    let reg = rt.registry();
+    let admission = rt.admission().expect("admission gate configured");
+
+    // Park both workers inside task bodies so pending work cannot drain:
+    // the gate saturates at 8 and the detector sees a full queue.
+    let release = Arc::new(AtomicBool::new(false));
+    let started = Arc::new(AtomicU64::new(0));
+    let blockers: Vec<_> = (0..2)
+        .map(|_| {
+            let release = release.clone();
+            let started = started.clone();
+            rt.spawn(move || {
+                started.fetch_add(1, Ordering::SeqCst);
+                while !release.load(Ordering::Acquire) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            })
+        })
+        .collect();
+    let t0 = std::time::Instant::now();
+    while started.load(Ordering::SeqCst) < 2 && t0.elapsed() < Duration::from_secs(5) {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    while admission.pending() > 0 && t0.elapsed() < Duration::from_secs(5) {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // Closed loop: counter stream → policy → admission knob. When the
+    // overload verdict reaches Overloaded (2), double the watermarks.
+    let knob = admission.clone();
+    let policy = Policy::new(
+        "admission-widen",
+        vec!["/runtime{locality#0/total}/health/overload-state".into()],
+    )
+    .with_period(Duration::from_millis(5))
+    .with_reset(false)
+    .with_rule(move |ctx| {
+        if ctx.value("/runtime").unwrap_or(0.0) >= 2.0 {
+            let (high, low) = knob.limits();
+            if high < 32 {
+                knob.set_limits(high * 2, low * 2);
+            }
+        }
+    });
+    let engine = PolicyEngine::start(&reg, vec![policy]).unwrap();
+
+    // Saturate: exactly 8 admissions, then shedding starts.
+    let mut queued = Vec::new();
+    while queued.len() < 8 {
+        match rt.try_spawn(|| ()) {
+            Ok(f) => queued.push(f),
+            Err(SpawnError::Overloaded(_)) => std::thread::sleep(Duration::from_millis(1)),
+            Err(e) => panic!("unexpected: {e}"),
+        }
+    }
+    assert!(matches!(
+        rt.try_spawn(|| ()),
+        Err(SpawnError::Overloaded(_))
+    ));
+
+    // Watchdog tick marks Overloaded → policy fires → gate widens → the
+    // very spawns that were shed now admit.
+    let t0 = std::time::Instant::now();
+    while admission.limits().0 <= 8 && t0.elapsed() < Duration::from_secs(5) {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let (high, low) = admission.limits();
+    assert!(
+        high >= 16,
+        "policy should have widened max_pending from 8, got {high}"
+    );
+    assert_eq!(low, high / 2, "low watermark scales with high");
+    let extra = rt.try_spawn(|| ()).ok();
+    assert!(
+        extra.is_some(),
+        "spawns must admit again after the gate widened"
+    );
+
+    release.store(true, Ordering::Release);
+    for b in blockers {
+        b.get();
+    }
+    for f in queued {
+        f.get();
+    }
+    if let Some(f) = extra {
+        f.get();
+    }
+    engine.stop();
     rt.shutdown();
 }

@@ -16,7 +16,10 @@ use rpx_counters::sampler::{CsvSink, Sampler, SamplerConfig};
 use rpx_inncabs::spawner::RpxSpawner;
 use rpx_inncabs::{fib, health};
 use rpx_runtime::faults::register_flaky_counter;
-use rpx_runtime::{CancelToken, FaultPlan, InjectedFault, Runtime, RuntimeConfig, TaskCancelled};
+use rpx_runtime::{
+    CancelToken, FaultPlan, InjectedFault, OverloadPolicy, Runtime, RuntimeConfig, SpawnError,
+    TaskCancelled,
+};
 
 /// Silence the default panic hook for *intentional* unwinds (injected
 /// faults); real panics still print.
@@ -56,6 +59,55 @@ fn health_total(reg: &Arc<CounterRegistry>, which: &str) -> i64 {
     )
     .expect("health counter evaluates")
     .value
+}
+
+fn health_worker(reg: &Arc<CounterRegistry>, which: &str, worker: usize) -> i64 {
+    reg.evaluate(
+        &format!("/runtime{{locality#0/worker-thread#{worker}}}/health/{which}"),
+        false,
+    )
+    .expect("per-worker health counter evaluates")
+    .value
+}
+
+fn tasks_total(reg: &Arc<CounterRegistry>, which: &str) -> i64 {
+    reg.evaluate(
+        &format!("/runtime{{locality#0/total}}/tasks/{which}"),
+        false,
+    )
+    .expect("tasks counter evaluates")
+    .value
+}
+
+/// Park `n` workers inside task bodies until `release` flips; returns the
+/// blocker futures once all `n` are actually executing (so everything
+/// spawned afterwards is guaranteed to stay queued).
+fn park_workers(
+    rt: &Runtime,
+    n: usize,
+    release: &Arc<AtomicBool>,
+) -> Vec<rpx_runtime::TaskFuture<()>> {
+    let started = Arc::new(AtomicU64::new(0));
+    let blockers: Vec<_> = (0..n)
+        .map(|_| {
+            let release = release.clone();
+            let started = started.clone();
+            rt.spawn(move || {
+                started.fetch_add(1, Ordering::SeqCst);
+                while !release.load(Ordering::Acquire) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            })
+        })
+        .collect();
+    assert!(
+        wait_until(
+            || started.load(Ordering::SeqCst) == n as u64,
+            Duration::from_secs(5)
+        ),
+        "blockers never started"
+    );
+    blockers
 }
 
 #[test]
@@ -538,5 +590,321 @@ fn sampler_rows_stay_uninterrupted_under_counter_read_faults() {
     }
     assert!(saw_flaky_gap, "the failing counter should have empty cells");
     assert!(saw_flaky_value, "the flaky counter recovers after the cap");
+    rt.shutdown();
+}
+
+#[test]
+fn restart_storm_trips_breaker_shrinks_parallelism_loses_no_task() {
+    install_quiet_hook();
+    const KILLS: u64 = 20;
+    let rt = Runtime::new(RuntimeConfig {
+        workers: 2,
+        faults: Some(FaultPlan {
+            seed: 11,
+            worker_kill_ppm: 1_000_000, // every completion kills, until the cap
+            max_per_category: KILLS,
+            ..FaultPlan::default()
+        }),
+        restart_budget: 3,
+        // No meaningful token refill or streak reset within the test.
+        restart_window: Duration::from_secs(60),
+        restart_backoff: Duration::from_millis(1),
+        restart_backoff_max: Duration::from_millis(4),
+        ..RuntimeConfig::with_workers(2)
+    });
+    let injector = rt.fault_injector().unwrap();
+    let reg = rt.registry();
+
+    // A burst large enough that all KILLS kills fire (kills happen after a
+    // task completes, so every future still resolves). 20 kills over 2
+    // workers put at least 10 crashes on one of them — past its budget of
+    // 3, so exactly one breaker trip is guaranteed; the survivor can never
+    // trip (the last live worker is always force-respawned).
+    let burst: Vec<_> = (0..40u64).map(|i| rt.spawn(move || i * 3)).collect();
+    for (i, f) in burst.into_iter().enumerate() {
+        assert_eq!(f.get(), i as u64 * 3, "no task may be lost in the storm");
+    }
+    rt.wait_idle();
+    assert_eq!(injector.worker_kills(), KILLS, "the cap bounds the storm");
+
+    // Every kill is either a respawn or the one trip: exact accounting.
+    assert!(
+        wait_until(
+            || {
+                health_total(&reg, "restarts") as u64 + health_total(&reg, "breaker-trips") as u64
+                    == KILLS
+            },
+            Duration::from_secs(5),
+        ),
+        "restarts {} + trips {} never matched injected kills {}",
+        health_total(&reg, "restarts"),
+        health_total(&reg, "breaker-trips"),
+        KILLS
+    );
+    assert_eq!(health_total(&reg, "breaker-trips"), 1, "exactly one trip");
+    assert_eq!(health_total(&reg, "restarts") as u64, KILLS - 1);
+    assert_eq!(
+        health_total(&reg, "live-workers"),
+        1,
+        "parallelism shrank by the tripped worker"
+    );
+
+    // The tripped worker burned its whole budget first: exactly `budget`
+    // respawns, then retirement. The survivor absorbed the rest.
+    let tripped: Vec<usize> = (0..2)
+        .filter(|&w| health_worker(&reg, "breaker-trips", w) == 1)
+        .collect();
+    assert_eq!(tripped.len(), 1, "exactly one worker tripped");
+    assert_eq!(
+        health_worker(&reg, "restarts", tripped[0]),
+        3,
+        "at most `restart_budget` respawns per window before the trip"
+    );
+    assert_eq!(
+        health_worker(&reg, "restarts", 1 - tripped[0]) as u64,
+        KILLS - 1 - 3
+    );
+    assert!(
+        health_worker(&reg, "restart-backoff", tripped[0]) >= 1_000_000,
+        "backoff time (ns) is accounted"
+    );
+
+    // The shrunken runtime still computes.
+    assert_eq!(rt.spawn(|| 21 * 2).get(), 42);
+    rt.shutdown();
+}
+
+#[test]
+fn shed_policy_bounds_pending_exactly_and_returns_the_closure() {
+    const MAX: usize = 8;
+    const SPAWNS: u64 = 50;
+    install_quiet_hook();
+    let rt = Runtime::new(RuntimeConfig {
+        workers: 2,
+        max_pending: Some(MAX),
+        resume_pending: Some(4),
+        overload_policy: OverloadPolicy::Shed,
+        ..RuntimeConfig::with_workers(2)
+    });
+    let reg = rt.registry();
+    let admission = rt.admission().expect("max_pending configures a gate");
+
+    // Park both workers so everything spawned below stays pending.
+    let release = Arc::new(AtomicBool::new(false));
+    let blockers = park_workers(&rt, 2, &release);
+    assert!(
+        wait_until(|| admission.pending() == 0, Duration::from_secs(5)),
+        "blockers must return their admission slots once running"
+    );
+
+    // Sequential spawns from one thread: the first MAX admit, every one
+    // after that is shed — admitted + shed == spawned, exactly.
+    let mut admitted = Vec::new();
+    let mut shed = Vec::new();
+    for i in 0..SPAWNS {
+        match rt.try_spawn(move || i * 10) {
+            Ok(f) => admitted.push((i, f)),
+            Err(SpawnError::Overloaded(f)) => shed.push((i, f)),
+            Err(e) => panic!("unexpected spawn error: {e}"),
+        }
+    }
+    assert_eq!(admitted.len(), MAX, "exactly max_pending admissions");
+    assert_eq!(shed.len() as u64, SPAWNS - MAX as u64);
+    assert_eq!(
+        admitted.len() + shed.len(),
+        SPAWNS as usize,
+        "admitted + shed == spawned"
+    );
+    assert_eq!(tasks_total(&reg, "pending"), MAX as i64);
+    assert_eq!(
+        tasks_total(&reg, "peak-pending"),
+        MAX as i64,
+        "pending never exceeded max_pending, even transiently"
+    );
+    assert_eq!(health_total(&reg, "shed") as usize, shed.len());
+    assert_eq!(health_total(&reg, "gate-closes"), 1, "one close episode");
+    assert!(admission.is_closed());
+
+    // Shedding hands the closure back intact: the caller can run it.
+    let (i, f) = shed.pop().unwrap();
+    assert_eq!(f(), i * 10, "shed closure must be returned to the caller");
+
+    release.store(true, Ordering::Release);
+    for b in blockers {
+        b.get();
+    }
+    for (i, f) in admitted {
+        assert_eq!(f.get(), i * 10, "admitted spawns complete after release");
+    }
+    rt.wait_idle();
+    assert_eq!(tasks_total(&reg, "pending"), 0);
+    assert!(!admission.is_closed(), "gate reopened at the low watermark");
+    // 2 blockers + MAX admitted; every overflow spawn was shed, none ran.
+    assert_eq!(admission.totals(), (2 + MAX as u64, SPAWNS - MAX as u64, 0));
+    rt.shutdown();
+}
+
+#[test]
+fn degrade_policy_runs_overflow_inline_and_bounds_pending() {
+    const MAX: usize = 8;
+    const SPAWNS: u64 = 50;
+    install_quiet_hook();
+    let rt = Runtime::new(RuntimeConfig {
+        workers: 2,
+        max_pending: Some(MAX),
+        resume_pending: Some(4),
+        overload_policy: OverloadPolicy::Degrade,
+        ..RuntimeConfig::with_workers(2)
+    });
+    let reg = rt.registry();
+    let admission = rt.admission().unwrap();
+
+    let release = Arc::new(AtomicBool::new(false));
+    let blockers = park_workers(&rt, 2, &release);
+    assert!(wait_until(
+        || admission.pending() == 0,
+        Duration::from_secs(5)
+    ));
+
+    // Infallible spawns under Degrade: the first MAX queue, the overflow
+    // runs inline in this caller — so the loop itself makes progress while
+    // both workers are parked, and pending stays bounded.
+    let inline_ran = Arc::new(AtomicU64::new(0));
+    let futures: Vec<_> = (0..SPAWNS)
+        .map(|i| {
+            let inline_ran = inline_ran.clone();
+            rt.spawn(move || {
+                inline_ran.fetch_add(1, Ordering::SeqCst);
+                i * 7
+            })
+        })
+        .collect();
+    assert_eq!(
+        inline_ran.load(Ordering::SeqCst),
+        SPAWNS - MAX as u64,
+        "overflow spawns ran inline while the workers were parked"
+    );
+    assert_eq!(tasks_total(&reg, "pending"), MAX as i64);
+    assert_eq!(
+        tasks_total(&reg, "peak-pending"),
+        MAX as i64,
+        "Degrade keeps peak pending at max_pending"
+    );
+    assert_eq!(
+        health_total(&reg, "degraded-spawns") as u64,
+        SPAWNS - MAX as u64
+    );
+
+    release.store(true, Ordering::Release);
+    for b in blockers {
+        b.get();
+    }
+    for (i, f) in futures.into_iter().enumerate() {
+        assert_eq!(f.get(), i as u64 * 7);
+    }
+    rt.wait_idle();
+    assert_eq!(admission.totals(), (2 + MAX as u64, 0, SPAWNS - MAX as u64));
+    rt.shutdown();
+}
+
+#[test]
+fn quiesce_cancels_stragglers_exactly_and_flushes_a_final_sampler_row() {
+    const QUEUED: u64 = 20;
+    install_quiet_hook();
+    let rt = Runtime::new(RuntimeConfig::with_workers(2));
+    let reg = rt.registry();
+
+    // Sampler on a 10s interval: any row beyond the first exists only
+    // because the drain hook's flush_now forced it.
+    let buf = SharedBuf::default();
+    let sampler = Arc::new(
+        Sampler::start(
+            &reg,
+            SamplerConfig::new(
+                vec![
+                    "/runtime{locality#0/total}/tasks/pending".into(),
+                    "/runtime{locality#0/total}/health/cancelled-tasks".into(),
+                ],
+                Duration::from_secs(10),
+            ),
+            Box::new(CsvSink::new(buf.clone())),
+        )
+        .expect("sampler starts"),
+    );
+    let flusher = sampler.clone();
+    rt.add_drain_hook(move || {
+        assert!(flusher.flush_now(), "drain hook flush must complete");
+    });
+
+    // Both workers parked; QUEUED tasks stay queued behind them. The
+    // blockers release only *after* quiesce's first drain deadline passes,
+    // so the queued tasks are dispatched under quiesce-cancel and every one
+    // of them — exactly — is cancelled rather than run.
+    let release = Arc::new(AtomicBool::new(false));
+    let blockers = park_workers(&rt, 2, &release);
+    let ran = Arc::new(AtomicU64::new(0));
+    let queued: Vec<_> = (0..QUEUED)
+        .map(|_| {
+            let ran = ran.clone();
+            rt.spawn(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            })
+        })
+        .collect();
+
+    let releaser = {
+        let release = release.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(200));
+            release.store(true, Ordering::Release);
+        })
+    };
+    let report = rt.quiesce(Duration::from_millis(150));
+    releaser.join().unwrap();
+    for b in blockers {
+        b.get();
+    }
+
+    assert!(
+        !report.drained,
+        "blockers held the first drain past deadline"
+    );
+    assert_eq!(report.cancelled, QUEUED, "every straggler cancelled, once");
+    assert_eq!(report.remaining, 0, "nothing left running after quiesce");
+    assert_eq!(ran.load(Ordering::SeqCst), 0, "no cancelled body may run");
+    assert_eq!(health_total(&reg, "cancelled-tasks"), QUEUED as i64);
+    for f in queued {
+        assert!(f.is_cancelled());
+    }
+
+    // After quiesce: fallible spawns refuse, infallible spawns run inline.
+    match rt.try_spawn(|| 1) {
+        Err(SpawnError::Draining(f)) => assert_eq!(f(), 1),
+        Err(e) => panic!("wrong error from a draining runtime: {e}"),
+        Ok(_) => panic!("try_spawn must refuse on a draining runtime"),
+    }
+    assert_eq!(rt.spawn(|| 5).get(), 5, "inline fallback still computes");
+
+    // The flushed row is complete and reflects the post-drain state.
+    let csv = String::from_utf8(buf.0.lock().clone()).unwrap();
+    let lines: Vec<&str> = csv.lines().collect();
+    assert!(
+        lines.len() >= 3,
+        "expected header + startup row + flushed row, got:\n{csv}"
+    );
+    let width = lines[0].split(',').count();
+    assert_eq!(width, 4, "header is sequence,timestamp_ns,<2 counters>");
+    let last: Vec<&str> = lines.last().unwrap().split(',').collect();
+    assert_eq!(last.len(), width, "the final row must be complete");
+    assert_eq!(
+        last[2].parse::<f64>().unwrap(),
+        0.0,
+        "final row: pending drained to zero"
+    );
+    assert_eq!(
+        last[3].parse::<f64>().unwrap(),
+        QUEUED as f64,
+        "final row: the cancellations are visible"
+    );
     rt.shutdown();
 }
