@@ -6,7 +6,23 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use parking_lot::Mutex;
+
 use crate::value::{CounterInfo, CounterKind, CounterValue};
+
+/// Times any [`AverageCounter`] observed its (sum, count) source *below*
+/// the stored baseline — impossible while sources are non-decreasing and
+/// rebasing is serialized, so any nonzero value means a broken source (or
+/// a regression in the rebase protocol). Process-global because averages
+/// are constructed per registry instance; exposed as the
+/// `/counters/health/average-underflows` counter and via
+/// [`average_underflows`].
+static AVERAGE_UNDERFLOWS: AtomicU64 = AtomicU64::new(0);
+
+/// Total average-counter underflow observations in this process.
+pub fn average_underflows() -> u64 {
+    AVERAGE_UNDERFLOWS.load(Ordering::Relaxed)
+}
 
 /// Monotonic time source shared by a registry and all its counters.
 ///
@@ -154,8 +170,14 @@ pub struct AverageCounter {
     info: CounterInfo,
     clock: Arc<Clock>,
     read: PairFn,
-    base_sum: AtomicU64,
-    base_count: AtomicU64,
+    /// Baseline (sum, count) of the last reset, read and replaced as one
+    /// unit. A lock (not a pair of atomics): with independent swaps, two
+    /// concurrent reset-reads could interleave source read A → read B →
+    /// swap B → swap A, re-installing A's *older* baseline so the
+    /// increments between A's and B's reads are counted twice by one
+    /// caller and never again by anyone — and a mismatched (sum from A,
+    /// count from B) pair corrupts the quotient besides.
+    base: Mutex<(u64, u64)>,
 }
 
 impl AverageCounter {
@@ -165,24 +187,28 @@ impl AverageCounter {
             info,
             clock,
             read,
-            base_sum: AtomicU64::new(0),
-            base_count: AtomicU64::new(0),
+            base: Mutex::new((0, 0)),
         }
     }
 
     fn snapshot(&self, reset: bool) -> (u64, u64) {
+        // The source must be read *under* the lock: serialized read-and-
+        // rebase is what guarantees every stored baseline was actually
+        // observed at a point no later than the next caller's read, so
+        // deltas partition the source's growth exactly (no increment is
+        // lost or double-counted across resets).
+        let mut base = self.base.lock();
         let (sum, count) = (self.read)();
-        let (bs, bc) = if reset {
-            (
-                self.base_sum.swap(sum, Ordering::AcqRel),
-                self.base_count.swap(count, Ordering::AcqRel),
-            )
-        } else {
-            (
-                self.base_sum.load(Ordering::Acquire),
-                self.base_count.load(Ordering::Acquire),
-            )
-        };
+        let (bs, bc) = *base;
+        if sum < bs || count < bc {
+            // A non-decreasing source read under the same lock that stored
+            // the baseline cannot go backwards; don't let saturating_sub
+            // silently mask a broken source.
+            AVERAGE_UNDERFLOWS.fetch_add(1, Ordering::Relaxed);
+        }
+        if reset {
+            *base = (sum, count);
+        }
         (sum.saturating_sub(bs), count.saturating_sub(bc))
     }
 }
@@ -202,9 +228,8 @@ impl Counter for AverageCounter {
     }
 
     fn reset(&self) {
-        let (sum, count) = (self.read)();
-        self.base_sum.store(sum, Ordering::Release);
-        self.base_count.store(count, Ordering::Release);
+        let mut base = self.base.lock();
+        *base = (self.read)();
     }
 }
 
@@ -374,6 +399,86 @@ mod tests {
         let v = c.get_value(false);
         assert_eq!(v.value, 30); // (160-100)/(6-4)
         assert_eq!(v.count, 2);
+    }
+
+    #[test]
+    fn average_counter_concurrent_resets_conserve_counts() {
+        // Regression for the lost-increment race: with the baseline held
+        // as two independent atomics, resets racing each other (and the
+        // source) could re-install a stale baseline, so the per-interval
+        // count deltas summed across readers drifted from the true total.
+        // With the serialized rebase protocol the reset-read deltas must
+        // partition the source exactly: Σ deltas + final remainder ==
+        // total increments, on every run.
+        let sum = Arc::new(AtomicU64::new(0));
+        let count = Arc::new(AtomicU64::new(0));
+        let (s2, c2) = (sum.clone(), count.clone());
+        let counter = Arc::new(AverageCounter::new(
+            test_info("/t/avg"),
+            clock(),
+            Arc::new(move || (s2.load(Ordering::Relaxed), c2.load(Ordering::Relaxed))),
+        ));
+        let underflows_before = average_underflows();
+
+        const INCREMENTS: u64 = 100_000;
+        let writer = {
+            let (sum, count) = (sum.clone(), count.clone());
+            std::thread::spawn(move || {
+                for _ in 0..INCREMENTS {
+                    // sum grows by 3 per event, count by 1 — and sum is
+                    // bumped first, so a torn read sees sum ahead of
+                    // count, never behind (the average stays ≥ 0).
+                    sum.fetch_add(3, Ordering::Relaxed);
+                    count.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        };
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let counter = counter.clone();
+                std::thread::spawn(move || {
+                    let mut harvested = 0u64;
+                    for _ in 0..2_000 {
+                        harvested += counter.get_value(true).count;
+                    }
+                    harvested
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        let harvested: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+        let remainder = counter.get_value(false).count;
+        assert_eq!(
+            harvested + remainder,
+            INCREMENTS,
+            "reset-read deltas must partition the source exactly"
+        );
+        // The underflow checks live in this same test because the detector
+        // is process-global: a sibling test tripping it on purpose would
+        // race these assertions.
+        assert_eq!(
+            average_underflows(),
+            underflows_before,
+            "a monotonic source must never trip the underflow detector"
+        );
+        // A *broken* (decreasing) source must be surfaced in the health
+        // counter instead of being silently clamped by saturating_sub.
+        let src = Arc::new(AtomicU64::new(100));
+        let s2 = src.clone();
+        let broken = AverageCounter::new(
+            test_info("/t/avg-broken"),
+            clock(),
+            Arc::new(move || (s2.load(Ordering::Relaxed), 1)),
+        );
+        let _ = broken.get_value(true); // baseline (100, 1)
+        src.store(40, Ordering::Relaxed); // source goes backwards
+        let v = broken.get_value(false);
+        assert_eq!(v.count, 0, "clamped, not wrapped");
+        assert_eq!(
+            average_underflows(),
+            underflows_before + 1,
+            "underflow recorded"
+        );
     }
 
     #[test]

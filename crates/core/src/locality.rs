@@ -227,10 +227,11 @@ mod tests {
         // counters are advertised too and are filtered out here).
         let net: Vec<_> = names.iter().filter(|n| n.object == "net").collect();
         assert_eq!(net.len(), 2);
-        // The overhead counters advertise a pinned locality#0/total instance
-        // which discovery re-pins per locality.
+        // The self-measurement counters (overhead/time, overhead/count,
+        // health/average-underflows) advertise a pinned locality#0/total
+        // instance which discovery re-pins per locality.
         let overhead: Vec<_> = names.iter().filter(|n| n.object == "counters").collect();
-        assert_eq!(overhead.len(), 4);
+        assert_eq!(overhead.len(), 6);
     }
 
     #[test]

@@ -674,12 +674,14 @@ impl std::fmt::Debug for CounterRegistry {
 
 /// Register the self-measurement counters:
 /// `/counters{locality#0/total}/overhead/time` (cumulative evaluation wall
-/// time, ns) and `/counters{locality#0/total}/overhead/count` (batches
-/// evaluated). Factories hold only a `Weak` back-reference so the registry
-/// is not kept alive by its own counters.
+/// time, ns), `/counters{locality#0/total}/overhead/count` (batches
+/// evaluated), and `/counters{locality#0/total}/health/average-underflows`
+/// (average-counter sources observed going backwards). Factories hold only
+/// a `Weak` back-reference so the registry is not kept alive by its own
+/// counters.
 fn register_overhead_counters(reg: &Arc<CounterRegistry>) {
     type OverheadRead = fn(&CounterRegistry) -> i64;
-    let specs: [(&str, &str, &str, OverheadRead); 2] = [
+    let specs: [(&str, &str, &str, OverheadRead); 3] = [
         (
             "/counters/overhead/time",
             "cumulative wall time spent evaluating counter batches",
@@ -691,6 +693,13 @@ fn register_overhead_counters(reg: &Arc<CounterRegistry>) {
             "number of counter batches evaluated",
             "1",
             |r| r.overhead_batches.load(Ordering::Relaxed) as i64,
+        ),
+        (
+            "/counters/health/average-underflows",
+            "times an average counter's (sum, count) source went backwards \
+             past its baseline (nonzero means a broken source)",
+            "1",
+            |_| crate::counter::average_underflows() as i64,
         ),
     ];
     for (path, help, unit, read) in specs {

@@ -1,0 +1,444 @@
+//! Performance-anomaly detection on the intrinsic counter stream.
+//!
+//! Where [`overload`](crate::overload) answers "is the runtime saturated
+//! *right now*?", this module answers the diagnostic question Drebes et
+//! al. pose: *something changed* — workers started fighting over scraps, a
+//! workload's grain collapsed, or cores went idle while a backlog exists.
+//! Every watchdog tick the detector differences the same cumulative
+//! counters the overload detector reads and compares each signal against
+//! its own EWMA baseline (same α and storm factor as `overload.rs`):
+//!
+//! - **steal storm** — the per-tick steal count spikes far above both the
+//!   execution rate and the steal baseline: tasks are too coarse or too
+//!   few, and workers burn cycles in each other's deques;
+//! - **granularity collapse** — mean net task duration drops by
+//!   [`COLLAPSE_FACTOR`]× below its baseline: the workload degenerated
+//!   into microtasks and per-task overhead now dominates;
+//! - **idle spike** — the idle fraction jumps above both an absolute floor
+//!   and [`SPIKE_FACTOR`]× its baseline *while work is pending*: cores are
+//!   starved despite a backlog (lost wakeups, a wedged worker, one long
+//!   serial task).
+//!
+//! Detection is *episodic*: a condition that holds for N consecutive ticks
+//! is one anomaly, recorded once when it starts and re-armed only after
+//! the condition clears ([`AnomalyLog`] keeps the most recent events).
+//! Baselines freeze while their condition is active so a long episode
+//! cannot normalize itself away. Episode counts are exported as
+//! `/runtime/anomaly/*` counters, which an rpx-apex policy can watch —
+//! closing the paper's measure → diagnose → adapt loop.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// What kind of anomaly an event describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnomalyKind {
+    /// Steal/execution ratio spiked far above its EWMA baseline.
+    StealStorm,
+    /// Mean net task grain dropped far below its EWMA baseline.
+    GranularityCollapse,
+    /// Idle fraction spiked while a backlog existed.
+    IdleSpike,
+}
+
+impl AnomalyKind {
+    fn index(self) -> usize {
+        match self {
+            AnomalyKind::StealStorm => 0,
+            AnomalyKind::GranularityCollapse => 1,
+            AnomalyKind::IdleSpike => 2,
+        }
+    }
+}
+
+/// One detected anomaly episode (recorded at episode start).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnomalyEvent {
+    /// What happened.
+    pub kind: AnomalyKind,
+    /// Runtime-clock timestamp of the tick that opened the episode.
+    pub at_ns: u64,
+    /// The observed signal value that tripped the detector (ratio, mean
+    /// grain in ns, or idle fraction — per kind).
+    pub value: f64,
+    /// The EWMA baseline the value was compared against.
+    pub baseline: f64,
+}
+
+/// Bounded, thread-safe record of anomaly episodes plus per-kind episode
+/// counters (the backing store of the `/runtime/anomaly/*` counters).
+pub struct AnomalyLog {
+    events: Mutex<VecDeque<AnomalyEvent>>,
+    counts: [AtomicU64; 3],
+    capacity: usize,
+}
+
+impl AnomalyLog {
+    pub(crate) fn new(capacity: usize) -> Self {
+        AnomalyLog {
+            events: Mutex::new(VecDeque::new()),
+            counts: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+            capacity: capacity.max(1),
+        }
+    }
+
+    pub(crate) fn push(&self, event: AnomalyEvent) {
+        self.counts[event.kind.index()].fetch_add(1, Ordering::Relaxed);
+        let mut events = self.events.lock();
+        if events.len() == self.capacity {
+            events.pop_front();
+        }
+        events.push_back(event);
+    }
+
+    /// Episodes of `kind` recorded so far.
+    pub fn count(&self, kind: AnomalyKind) -> u64 {
+        self.counts[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total episodes across all kinds.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The most recent episodes, oldest first.
+    pub fn events(&self) -> Vec<AnomalyEvent> {
+        self.events.lock().iter().copied().collect()
+    }
+}
+
+/// One watchdog tick's raw readings (cumulative where noted; the detector
+/// differences them itself).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct AnomalySignals {
+    /// Cumulative stolen-task count across workers (plus any injected
+    /// steal-storm synthetic steals).
+    pub steals: u64,
+    /// Cumulative executed-task count across workers.
+    pub executed: u64,
+    /// Cumulative net task-execution nanoseconds across workers.
+    pub exec_ns: u64,
+    /// Cumulative idle nanoseconds across workers.
+    pub idle_ns: u64,
+    /// Wall nanoseconds this tick × live workers (the idle budget).
+    pub tick_budget_ns: u64,
+    /// Queued-but-not-started tasks right now.
+    pub pending: i64,
+    /// Runtime-clock timestamp of this tick.
+    pub now_ns: u64,
+}
+
+/// EWMA smoothing factor (same ~5-tick memory as `overload.rs`).
+const ALPHA: f64 = 0.2;
+/// A steal ratio this many times its baseline (and above 1 steal per
+/// execution) opens a steal-storm episode — same factor as `overload.rs`.
+const STORM_FACTOR: f64 = 4.0;
+/// Steals below this per tick are noise, never a storm.
+const STORM_MIN_STEALS: f64 = 64.0;
+/// Mean net grain below `baseline / COLLAPSE_FACTOR` is a collapse.
+const COLLAPSE_FACTOR: f64 = 8.0;
+/// Ticks with fewer executed tasks than this don't update or test the
+/// grain baseline (a mean over 3 tasks is noise).
+const GRAIN_MIN_TASKS: u64 = 32;
+/// Ticks the grain baseline must have seen before collapse can fire.
+const GRAIN_WARMUP_TICKS: u32 = 3;
+/// Idle fraction must exceed this absolute floor for a spike.
+const SPIKE_MIN_IDLE: f64 = 0.5;
+/// ... and this many times its EWMA baseline.
+const SPIKE_FACTOR: f64 = 4.0;
+
+/// Per-signal episode latch + frozen-while-active baseline.
+#[derive(Debug, Default)]
+struct Episode {
+    active: bool,
+}
+
+impl Episode {
+    /// Latch transition: returns true exactly once per episode, on the
+    /// tick the condition first holds.
+    fn observe(&mut self, condition: bool) -> bool {
+        let opened = condition && !self.active;
+        self.active = condition;
+        opened
+    }
+}
+
+/// EWMA-baselined anomaly detector; pure state-machine logic (the watchdog
+/// feeds it), so it unit tests without a runtime.
+pub(crate) struct AnomalyDetector {
+    ewma_steal_ratio: f64,
+    ewma_grain_ns: f64,
+    grain_ticks: u32,
+    ewma_idle_frac: f64,
+    last: AnomalySignals,
+    primed: bool,
+    storm: Episode,
+    collapse: Episode,
+    idle: Episode,
+}
+
+impl AnomalyDetector {
+    pub fn new() -> Self {
+        AnomalyDetector {
+            ewma_steal_ratio: 0.0,
+            ewma_grain_ns: 0.0,
+            grain_ticks: 0,
+            ewma_idle_frac: 0.0,
+            last: AnomalySignals::default(),
+            primed: false,
+            storm: Episode::default(),
+            collapse: Episode::default(),
+            idle: Episode::default(),
+        }
+    }
+
+    /// Fold one tick of signals into `log` (new episodes only).
+    pub fn tick(&mut self, s: AnomalySignals, log: &AnomalyLog) {
+        if !self.primed {
+            self.primed = true;
+            self.last = s;
+            return;
+        }
+        let d_steals = s.steals.saturating_sub(self.last.steals) as f64;
+        let d_exec = s.executed.saturating_sub(self.last.executed);
+        let d_exec_ns = s.exec_ns.saturating_sub(self.last.exec_ns) as f64;
+        let d_idle = s.idle_ns.saturating_sub(self.last.idle_ns) as f64;
+        self.last = s;
+
+        // Steal storm: absolute volume AND ratio AND baseline breach.
+        let ratio = if d_exec > 0 {
+            d_steals / d_exec as f64
+        } else if d_steals > 0.0 {
+            d_steals // nothing executed at all: the ratio is unbounded
+        } else {
+            0.0
+        };
+        let storming = d_steals >= STORM_MIN_STEALS
+            && ratio > 1.0
+            && ratio > (self.ewma_steal_ratio * STORM_FACTOR).max(1.0);
+        if self.storm.observe(storming) {
+            log.push(AnomalyEvent {
+                kind: AnomalyKind::StealStorm,
+                at_ns: s.now_ns,
+                value: ratio,
+                baseline: self.ewma_steal_ratio,
+            });
+        }
+        if !storming {
+            // Baselines learn only from calm ticks, so an episode cannot
+            // normalize itself into the baseline and self-clear.
+            self.ewma_steal_ratio += ALPHA * (ratio - self.ewma_steal_ratio);
+        }
+
+        // Granularity collapse: mean net grain far below its baseline.
+        if d_exec >= GRAIN_MIN_TASKS {
+            let mean = d_exec_ns / d_exec as f64;
+            let warmed = self.grain_ticks >= GRAIN_WARMUP_TICKS;
+            let collapsed = warmed && mean * COLLAPSE_FACTOR < self.ewma_grain_ns;
+            if self.collapse.observe(collapsed) {
+                log.push(AnomalyEvent {
+                    kind: AnomalyKind::GranularityCollapse,
+                    at_ns: s.now_ns,
+                    value: mean,
+                    baseline: self.ewma_grain_ns,
+                });
+            }
+            if !collapsed {
+                self.ewma_grain_ns += ALPHA * (mean - self.ewma_grain_ns);
+                self.grain_ticks = self.grain_ticks.saturating_add(1);
+            }
+        } else {
+            // Too few tasks to judge; a quiet tick also ends any episode.
+            self.collapse.observe(false);
+        }
+
+        // Idle spike: starved cores while a backlog exists.
+        let idle_frac = if s.tick_budget_ns > 0 {
+            (d_idle / s.tick_budget_ns as f64).min(1.0)
+        } else {
+            0.0
+        };
+        let spiking = s.pending > 0
+            && idle_frac > SPIKE_MIN_IDLE
+            && idle_frac > self.ewma_idle_frac * SPIKE_FACTOR;
+        if self.idle.observe(spiking) {
+            log.push(AnomalyEvent {
+                kind: AnomalyKind::IdleSpike,
+                at_ns: s.now_ns,
+                value: idle_frac,
+                baseline: self.ewma_idle_frac,
+            });
+        }
+        // The baseline is "idle fraction *while working*": a quiet runtime
+        // (no backlog, nothing executed) is legitimately idle, and letting
+        // those ticks teach the baseline would mask real starvation later.
+        if !spiking && (s.pending > 0 || d_exec > 0) {
+            self.ewma_idle_frac += ALPHA * (idle_frac - self.ewma_idle_frac);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A calm tick: busy executing, few steals, moderate idle.
+    fn calm(prev: &AnomalySignals) -> AnomalySignals {
+        AnomalySignals {
+            steals: prev.steals + 2,
+            executed: prev.executed + 200,
+            exec_ns: prev.exec_ns + 200 * 10_000, // 10µs grain
+            idle_ns: prev.idle_ns + 100_000,      // 10% idle
+            tick_budget_ns: 1_000_000,
+            pending: 4,
+            now_ns: prev.now_ns + 1_000_000,
+        }
+    }
+
+    fn warm_up(d: &mut AnomalyDetector, log: &AnomalyLog, ticks: u32) -> AnomalySignals {
+        let mut s = AnomalySignals::default();
+        for _ in 0..ticks {
+            s = calm(&s);
+            d.tick(s, log);
+        }
+        s
+    }
+
+    #[test]
+    fn calm_stream_raises_nothing() {
+        let mut d = AnomalyDetector::new();
+        let log = AnomalyLog::new(16);
+        warm_up(&mut d, &log, 20);
+        assert_eq!(log.total(), 0);
+    }
+
+    #[test]
+    fn sustained_steal_storm_is_one_episode() {
+        let mut d = AnomalyDetector::new();
+        let log = AnomalyLog::new(16);
+        let mut s = warm_up(&mut d, &log, 10);
+        // 5 consecutive storm ticks: steals ≫ executions.
+        for _ in 0..5 {
+            s.steals += 10_000;
+            s.executed += 100;
+            s.exec_ns += 100 * 10_000;
+            s.idle_ns += 100_000;
+            s.now_ns += 1_000_000;
+            d.tick(s, &log);
+        }
+        assert_eq!(log.count(AnomalyKind::StealStorm), 1, "one episode");
+        assert_eq!(log.total(), 1);
+        let ev = log.events()[0];
+        assert_eq!(ev.kind, AnomalyKind::StealStorm);
+        assert!(ev.value > ev.baseline * STORM_FACTOR);
+        // After the storm clears, a second storm is a second episode.
+        for _ in 0..4 {
+            s = calm(&s);
+            d.tick(s, &log);
+        }
+        s.steals += 10_000;
+        s.executed += 100;
+        s.exec_ns += 100 * 10_000;
+        s.now_ns += 1_000_000;
+        d.tick(s, &log);
+        assert_eq!(log.count(AnomalyKind::StealStorm), 2);
+    }
+
+    #[test]
+    fn grain_collapse_fires_once_per_episode() {
+        let mut d = AnomalyDetector::new();
+        let log = AnomalyLog::new(16);
+        let mut s = warm_up(&mut d, &log, 10); // baseline grain 10µs
+        for _ in 0..4 {
+            // Grain collapses to 200ns — 50× below baseline.
+            s.steals += 2;
+            s.executed += 5_000;
+            s.exec_ns += 5_000 * 200;
+            s.idle_ns += 100_000;
+            s.now_ns += 1_000_000;
+            d.tick(s, &log);
+        }
+        assert_eq!(log.count(AnomalyKind::GranularityCollapse), 1);
+        let ev = log.events()[0];
+        assert!(ev.value * COLLAPSE_FACTOR < ev.baseline);
+    }
+
+    #[test]
+    fn collapse_needs_warmed_baseline() {
+        let mut d = AnomalyDetector::new();
+        let log = AnomalyLog::new(16);
+        let mut s = AnomalySignals::default();
+        // Fine-grained from the first tick: no baseline to collapse from.
+        for _ in 0..10 {
+            s.executed += 5_000;
+            s.exec_ns += 5_000 * 200;
+            s.idle_ns += 100_000;
+            s.tick_budget_ns = 1_000_000;
+            s.now_ns += 1_000_000;
+            d.tick(s, &log);
+        }
+        assert_eq!(log.count(AnomalyKind::GranularityCollapse), 0);
+    }
+
+    #[test]
+    fn idle_spike_requires_backlog() {
+        let mut d = AnomalyDetector::new();
+        let log = AnomalyLog::new(16);
+        let mut s = warm_up(&mut d, &log, 10); // baseline idle 10%
+                                               // Near-total idleness with no pending work: not an anomaly (the
+                                               // runtime is simply quiet).
+        for _ in 0..3 {
+            s.idle_ns += 990_000;
+            s.pending = 0;
+            s.now_ns += 1_000_000;
+            d.tick(s, &log);
+        }
+        assert_eq!(log.count(AnomalyKind::IdleSpike), 0);
+        // The same idleness with a backlog is starvation.
+        s.idle_ns += 990_000;
+        s.pending = 50;
+        s.now_ns += 1_000_000;
+        d.tick(s, &log);
+        assert_eq!(log.count(AnomalyKind::IdleSpike), 1);
+    }
+
+    #[test]
+    fn baseline_freezes_during_episode() {
+        let mut d = AnomalyDetector::new();
+        let log = AnomalyLog::new(16);
+        let mut s = warm_up(&mut d, &log, 10);
+        let baseline_before = d.ewma_steal_ratio;
+        for _ in 0..50 {
+            s.steals += 10_000;
+            s.executed += 100;
+            s.exec_ns += 100 * 10_000;
+            s.idle_ns += 100_000;
+            s.now_ns += 1_000_000;
+            d.tick(s, &log);
+        }
+        assert_eq!(
+            d.ewma_steal_ratio, baseline_before,
+            "a 50-tick storm must not teach the baseline that storms are normal"
+        );
+        assert_eq!(log.count(AnomalyKind::StealStorm), 1);
+    }
+
+    #[test]
+    fn log_is_bounded() {
+        let log = AnomalyLog::new(3);
+        for i in 0..10 {
+            log.push(AnomalyEvent {
+                kind: AnomalyKind::IdleSpike,
+                at_ns: i,
+                value: 1.0,
+                baseline: 0.0,
+            });
+        }
+        let events = log.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].at_ns, 7, "oldest evicted first");
+        assert_eq!(log.count(AnomalyKind::IdleSpike), 10, "counts are exact");
+    }
+}

@@ -544,5 +544,81 @@ pub(crate) fn register_runtime_counters(
         |s| s.breaker_trips.load(Ordering::Relaxed),
     );
 
+    // Anomaly-detector episode counts (DESIGN.md §15). Counters expose
+    // *episodes*, not ticks: a storm that holds for 50 watchdog ticks is
+    // one increment, so a policy thresholding on these reacts to events,
+    // not durations.
+    register_total_monotonic(
+        registry,
+        inner,
+        "/runtime/anomaly/steal-storms",
+        "steal-storm episodes (steal/exec ratio spiked over its EWMA baseline)",
+        "1",
+        |i| {
+            i.state
+                .anomalies
+                .count(crate::anomaly::AnomalyKind::StealStorm) as i64
+        },
+    );
+    register_total_monotonic(
+        registry,
+        inner,
+        "/runtime/anomaly/granularity-collapses",
+        "granularity-collapse episodes (mean task grain fell far below baseline)",
+        "1",
+        |i| {
+            i.state
+                .anomalies
+                .count(crate::anomaly::AnomalyKind::GranularityCollapse) as i64
+        },
+    );
+    register_total_monotonic(
+        registry,
+        inner,
+        "/runtime/anomaly/idle-spikes",
+        "idle-spike episodes (cores starved while a backlog existed)",
+        "1",
+        |i| {
+            i.state
+                .anomalies
+                .count(crate::anomaly::AnomalyKind::IdleSpike) as i64
+        },
+    );
+    register_total_monotonic(
+        registry,
+        inner,
+        "/runtime/anomaly/events",
+        "anomaly episodes of any kind (what an adaptive policy thresholds on)",
+        "1",
+        |i| i.state.anomalies.total() as i64,
+    );
+
+    // Tracer self-measurement (the paper's ≤10% overhead envelope is
+    // checked against exactly these).
+    register_total_monotonic(
+        registry,
+        inner,
+        "/runtime/trace/overhead-time",
+        "time spent inside TaskTracer::record (tracing self-measurement)",
+        "ns",
+        |i| i.state.tracer.overhead_ns() as i64,
+    );
+    register_total_monotonic(
+        registry,
+        inner,
+        "/runtime/trace/records",
+        "task spans recorded by the tracer (including overwritten ones)",
+        "1",
+        |i| i.state.tracer.records() as i64,
+    );
+    register_total_monotonic(
+        registry,
+        inner,
+        "/runtime/trace/dropped",
+        "task spans overwritten by ring-buffer wraparound",
+        "1",
+        |i| i.state.tracer.dropped() as i64,
+    );
+
     registry.register_elapsed("/runtime/uptime", "time since the runtime started");
 }

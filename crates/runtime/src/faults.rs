@@ -32,6 +32,11 @@ use std::time::Duration;
 
 use rpx_counters::CounterRegistry;
 
+/// Synthetic steals added per storming watchdog tick by an injected steal
+/// storm — far above any plausible per-tick steal rate, so the anomaly
+/// detector's ratio test trips regardless of real workload activity.
+pub const STEAL_STORM_PER_TICK: u64 = 10_000;
+
 /// Panic payload used by every injected fault, so tests and panic hooks
 /// can tell injected unwinds from real bugs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +66,12 @@ pub struct FaultPlan {
     pub stall: Duration,
     /// Probability (ppm) a flaky counter read fails.
     pub counter_fail_ppm: u32,
+    /// Inject a synthetic steal storm for this many initial watchdog
+    /// ticks: the watchdog adds a large fake steal count to the anomaly
+    /// detector's signals each of those ticks, which must open exactly one
+    /// steal-storm episode (`/runtime/anomaly/steal-storms`). Deterministic
+    /// — no ppm draw — so chaos tests can assert the episode count exactly.
+    pub steal_storm_ticks: u32,
     /// Hard cap on injections per category.
     pub max_per_category: u64,
 }
@@ -94,6 +105,7 @@ impl Default for FaultPlan {
             stall_ppm: 0,
             stall: Duration::from_millis(200),
             counter_fail_ppm: 0,
+            steal_storm_ticks: 0,
             max_per_category: u64::MAX,
         }
     }
@@ -101,13 +113,14 @@ impl Default for FaultPlan {
 
 /// The complete set of recognized `RPX_FAULT_*` variables. Anything else
 /// with that prefix is a misspelling and gets rejected, not ignored.
-pub const KNOWN_FAULT_VARS: [&str; 7] = [
+pub const KNOWN_FAULT_VARS: [&str; 8] = [
     "RPX_FAULT_SEED",
     "RPX_FAULT_TASK_PANIC_PPM",
     "RPX_FAULT_WORKER_KILL_PPM",
     "RPX_FAULT_STALL_PPM",
     "RPX_FAULT_STALL_MS",
     "RPX_FAULT_COUNTER_FAIL_PPM",
+    "RPX_FAULT_STEAL_STORM_TICKS",
     "RPX_FAULT_MAX",
 ];
 
@@ -146,6 +159,7 @@ impl FaultPlan {
     /// | `RPX_FAULT_STALL_PPM` | worker stalls (ppm) | 0 |
     /// | `RPX_FAULT_STALL_MS` | stall duration (ms) | 200 |
     /// | `RPX_FAULT_COUNTER_FAIL_PPM` | counter-read failures (ppm) | 0 |
+    /// | `RPX_FAULT_STEAL_STORM_TICKS` | synthetic steal-storm watchdog ticks | 0 |
     /// | `RPX_FAULT_MAX` | cap per category | unlimited |
     pub fn from_env() -> Result<Option<Self>, UnknownFaultVars> {
         let mut unknown: Vec<String> = std::env::vars_os()
@@ -166,6 +180,7 @@ impl FaultPlan {
         let stall = var("RPX_FAULT_STALL_PPM");
         let stall_ms = var("RPX_FAULT_STALL_MS");
         let counter_fail = var("RPX_FAULT_COUNTER_FAIL_PPM");
+        let steal_storm = var("RPX_FAULT_STEAL_STORM_TICKS");
         let max = var("RPX_FAULT_MAX");
         if [
             &seed,
@@ -174,6 +189,7 @@ impl FaultPlan {
             &stall,
             &stall_ms,
             &counter_fail,
+            &steal_storm,
             &max,
         ]
         .iter()
@@ -191,13 +207,19 @@ impl FaultPlan {
                 .map(Duration::from_millis)
                 .unwrap_or(defaults.stall),
             counter_fail_ppm: counter_fail.unwrap_or(0) as u32,
+            steal_storm_ticks: steal_storm.unwrap_or(0) as u32,
             max_per_category: max.unwrap_or(u64::MAX),
         }))
     }
 
     /// Whether any category can fire at all.
     pub fn is_active(&self) -> bool {
-        (self.task_panic_ppm | self.worker_kill_ppm | self.stall_ppm | self.counter_fail_ppm) != 0
+        ((self.task_panic_ppm
+            | self.worker_kill_ppm
+            | self.stall_ppm
+            | self.counter_fail_ppm
+            | self.steal_storm_ticks)
+            != 0)
             && self.max_per_category > 0
     }
 }
@@ -324,6 +346,16 @@ impl FaultInjector {
     /// Should this flaky-counter read fail?
     pub fn inject_counter_fail(&self) -> bool {
         self.roll(self.plan.counter_fail_ppm, &self.counter_fails, 4)
+    }
+
+    /// Cumulative *synthetic* steals the watchdog folds into the anomaly
+    /// detector's steal signal as of its `tick`-th sample (0-based): each
+    /// of the first `steal_storm_ticks` ticks contributes
+    /// [`STEAL_STORM_PER_TICK`] fake steals, so the per-tick delta is a
+    /// storm for exactly that many consecutive ticks and zero afterwards —
+    /// one episode, deterministically.
+    pub fn steal_storm_steals(&self, tick: u64) -> u64 {
+        u64::from(self.plan.steal_storm_ticks).min(tick) * STEAL_STORM_PER_TICK
     }
 
     /// Recovered task panics injected so far.

@@ -18,8 +18,8 @@
 //! - Counters: `/threads/time/average`, `/threads/time/average-overhead`,
 //!   `/threads/time/cumulative`, `/threads/time/cumulative-overhead`,
 //!   `/threads/count/*`, `/threads/idle-rate`, `/scheduler/*`,
-//!   `/runtime/uptime`, `/runtime/health/*`, `/papi/*`,
-//!   `/synchronization/*`.
+//!   `/runtime/uptime`, `/runtime/health/*`, `/runtime/anomaly/*`,
+//!   `/runtime/trace/*`, `/papi/*`, `/synchronization/*`.
 //! - Fault tolerance: [`CancelToken`] cancellation/deadlines, a worker
 //!   watchdog + supervisor (stall and restart health counters), and a
 //!   deterministic fault-injection harness ([`FaultPlan`]) for chaos tests.
@@ -53,6 +53,7 @@
 
 pub mod admission;
 pub mod affinity;
+pub mod anomaly;
 pub mod cancel;
 mod counters;
 pub mod faults;
@@ -73,6 +74,7 @@ pub mod runtime;
 
 pub use admission::AdmissionControl;
 pub use affinity::{BindSpec, Topology};
+pub use anomaly::{AnomalyEvent, AnomalyKind};
 pub use cancel::{CancelToken, TaskCancelled};
 pub use faults::{FaultInjector, FaultPlan, InjectedFault, UnknownFaultVars, KNOWN_FAULT_VARS};
 pub use future::{ready_future, TaskFuture};
@@ -80,7 +82,7 @@ pub use overload::OverloadState;
 pub use policy::{LaunchPolicy, OverloadPolicy};
 pub use runtime::{QuiesceReport, Runtime, RuntimeConfig, RuntimeHandle, SpawnError};
 pub use scheduler::SchedulerMode;
-pub use trace::{TaskSpan, TaskTracer};
+pub use trace::{site_name, TaskSpan, TaskTracer, UNKNOWN_SITE};
 
 #[cfg(test)]
 mod tests {

@@ -12,6 +12,7 @@ use rpx_counters::CounterRegistry;
 use rpx_papi::Pmu;
 
 use crate::admission::{AdmissionControl, AdmissionGate};
+use crate::anomaly::{AnomalyEvent, AnomalyLog};
 use crate::cancel::CancelToken;
 use crate::faults::{FaultInjector, FaultPlan, InjectedFault};
 use crate::future::{FutureCore, Shared, TaskFuture};
@@ -130,6 +131,9 @@ pub(crate) struct RuntimeState {
     /// Latest [`OverloadState`] the watchdog's detector published
     /// (feeds `/runtime/health/overload-state`).
     pub overload_state: AtomicI64,
+    /// Anomaly episodes the watchdog's detector recorded
+    /// (feeds `/runtime/anomaly/*`; see [`crate::anomaly`]).
+    pub anomalies: Arc<AnomalyLog>,
 }
 
 impl RuntimeState {
@@ -250,6 +254,7 @@ impl Runtime {
             quiesce_cancel: AtomicBool::new(false),
             live_workers: AtomicUsize::new(workers),
             overload_state: AtomicI64::new(0),
+            anomalies: Arc::new(AnomalyLog::new(256)),
         });
         let faults = config
             .faults
@@ -336,6 +341,7 @@ impl Runtime {
     }
 
     /// Spawn with the default (`Async`) policy.
+    #[track_caller]
     pub fn spawn<T, F>(&self, f: F) -> TaskFuture<T>
     where
         T: Send + 'static,
@@ -345,12 +351,14 @@ impl Runtime {
     }
 
     /// Spawn with an explicit launch policy.
+    #[track_caller]
     pub fn spawn_with<T, F>(&self, policy: LaunchPolicy, f: F) -> TaskFuture<T>
     where
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
-        spawn_inner(&self.inner, policy, f, None)
+        let site = crate::trace::site_id(std::panic::Location::caller());
+        spawn_inner(&self.inner, policy, site, f, None)
     }
 
     /// Fallible spawn (`Async` policy): fails fast — never blocks, never
@@ -358,12 +366,14 @@ impl Runtime {
     /// ([`SpawnError::Overloaded`]) or the runtime is quiescing
     /// ([`SpawnError::Draining`]). The closure is handed back inside the
     /// error, so no work is silently lost.
+    #[track_caller]
     pub fn try_spawn<T, F>(&self, f: F) -> Result<TaskFuture<T>, SpawnError<F>>
     where
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
-        try_spawn_inner(&self.inner, f, None)
+        let site = crate::trace::site_id(std::panic::Location::caller());
+        try_spawn_inner(&self.inner, site, f, None)
     }
 
     /// Spawn a task bound to `token`: if the token is cancelled before the
@@ -371,17 +381,26 @@ impl Runtime {
     /// cancelled state ([`TaskFuture::get`] re-raises
     /// [`TaskCancelled`](crate::TaskCancelled)), and the worker's
     /// `/runtime/health/cancelled-tasks` counter increments.
+    #[track_caller]
     pub fn spawn_cancellable<T, F>(&self, token: &CancelToken, f: F) -> TaskFuture<T>
     where
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
-        spawn_inner(&self.inner, LaunchPolicy::Async, f, Some(token.clone()))
+        let site = crate::trace::site_id(std::panic::Location::caller());
+        spawn_inner(
+            &self.inner,
+            LaunchPolicy::Async,
+            site,
+            f,
+            Some(token.clone()),
+        )
     }
 
     /// Spawn a task that auto-cancels if not dispatched within `deadline`.
     /// Returns the future and the deadline token (for explicit earlier
     /// cancellation or body-side polling).
+    #[track_caller]
     pub fn spawn_with_deadline<T, F>(
         &self,
         deadline: Duration,
@@ -391,8 +410,15 @@ impl Runtime {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
+        let site = crate::trace::site_id(std::panic::Location::caller());
         let token = CancelToken::with_deadline(deadline);
-        let fut = spawn_inner(&self.inner, LaunchPolicy::Async, f, Some(token.clone()));
+        let fut = spawn_inner(
+            &self.inner,
+            LaunchPolicy::Async,
+            site,
+            f,
+            Some(token.clone()),
+        );
         (fut, token)
     }
 
@@ -528,6 +554,13 @@ impl Runtime {
         OverloadState::from_i64(self.inner.state.overload_state.load(Ordering::Acquire))
     }
 
+    /// Anomaly episodes the watchdog's detector has recorded so far,
+    /// oldest first (episode *counts* are also exposed as the
+    /// `/runtime/anomaly/*` counters; see [`crate::anomaly`]).
+    pub fn anomalies(&self) -> Vec<AnomalyEvent> {
+        self.inner.state.anomalies.events()
+    }
+
     /// Drain outstanding work, stop the workers, and join them.
     pub fn shutdown(mut self) {
         self.wait_idle();
@@ -572,6 +605,17 @@ thread_local! {
     /// Gross execution time of tasks completed on this thread; used to
     /// compute net (exclusive) task durations under work-helping waits.
     static NESTED_EXEC_NS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    /// Id of the task whose body is currently running on this thread
+    /// (`u64::MAX` = none). Saved/restored around each body so spans can
+    /// record their causal parent even under nested help-execution.
+    static CURRENT_TASK: std::cell::Cell<u64> = const { std::cell::Cell::new(u64::MAX) };
+}
+
+/// The task id currently executing on this thread, if any — the causal
+/// parent of any task spawned right now.
+pub(crate) fn current_task_id() -> Option<u64> {
+    let id = CURRENT_TASK.with(|c| c.get());
+    (id != u64::MAX).then_some(id)
 }
 
 /// Weak, cloneable handle to a [`Runtime`], usable from inside tasks.
@@ -586,6 +630,7 @@ impl RuntimeHandle {
     /// # Panics
     ///
     /// Panics if the runtime has been dropped.
+    #[track_caller]
     pub fn spawn<T, F>(&self, f: F) -> TaskFuture<T>
     where
         T: Send + 'static,
@@ -595,16 +640,18 @@ impl RuntimeHandle {
     }
 
     /// Spawn with an explicit launch policy.
+    #[track_caller]
     pub fn spawn_with<T, F>(&self, policy: LaunchPolicy, f: F) -> TaskFuture<T>
     where
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
+        let site = crate::trace::site_id(std::panic::Location::caller());
         let inner = self
             .inner
             .upgrade()
             .expect("RuntimeHandle used after Runtime was dropped");
-        spawn_inner(&inner, policy, f, None)
+        spawn_inner(&inner, policy, site, f, None)
     }
 
     /// Fallible spawn; see [`Runtime::try_spawn`].
@@ -612,32 +659,37 @@ impl RuntimeHandle {
     /// # Panics
     ///
     /// Panics if the runtime has been dropped.
+    #[track_caller]
     pub fn try_spawn<T, F>(&self, f: F) -> Result<TaskFuture<T>, SpawnError<F>>
     where
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
+        let site = crate::trace::site_id(std::panic::Location::caller());
         let inner = self
             .inner
             .upgrade()
             .expect("RuntimeHandle used after Runtime was dropped");
-        try_spawn_inner(&inner, f, None)
+        try_spawn_inner(&inner, site, f, None)
     }
 
     /// Spawn a task bound to `token`; see [`Runtime::spawn_cancellable`].
+    #[track_caller]
     pub fn spawn_cancellable<T, F>(&self, token: &CancelToken, f: F) -> TaskFuture<T>
     where
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
+        let site = crate::trace::site_id(std::panic::Location::caller());
         let inner = self
             .inner
             .upgrade()
             .expect("RuntimeHandle used after Runtime was dropped");
-        spawn_inner(&inner, LaunchPolicy::Async, f, Some(token.clone()))
+        spawn_inner(&inner, LaunchPolicy::Async, site, f, Some(token.clone()))
     }
 
     /// Spawn with a dispatch deadline; see [`Runtime::spawn_with_deadline`].
+    #[track_caller]
     pub fn spawn_with_deadline<T, F>(
         &self,
         deadline: Duration,
@@ -647,12 +699,13 @@ impl RuntimeHandle {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
+        let site = crate::trace::site_id(std::panic::Location::caller());
         let inner = self
             .inner
             .upgrade()
             .expect("RuntimeHandle used after Runtime was dropped");
         let token = CancelToken::with_deadline(deadline);
-        let fut = spawn_inner(&inner, LaunchPolicy::Async, f, Some(token.clone()));
+        let fut = spawn_inner(&inner, LaunchPolicy::Async, site, f, Some(token.clone()));
         (fut, token)
     }
 }
@@ -692,6 +745,11 @@ struct TaskCell<T, F> {
     /// control only); returned via `note_started` when the body is taken.
     gate: Option<Arc<AdmissionGate>>,
     task_id: u64,
+    /// Causal parent: the task whose body issued this spawn (None when
+    /// spawned from outside any task).
+    parent: Option<u64>,
+    /// Interned spawn-site id (see [`crate::trace::site_name`]).
+    site: u32,
     /// Spawn timestamp; start − spawn is the task's queue wait.
     spawned_ns: u64,
     /// Whether this task participates in the `live` count (scheduled
@@ -707,6 +765,7 @@ where
     fn new(
         inner: &Arc<RuntimeInner>,
         task_id: u64,
+        site: u32,
         f: F,
         track_live: bool,
         token: Option<CancelToken>,
@@ -720,6 +779,8 @@ where
             token,
             gate,
             task_id,
+            parent: current_task_id(),
+            site,
             spawned_ns: inner.state.clock.now_ns(),
             track_live,
         }
@@ -759,9 +820,13 @@ where
         }
         state.active.fetch_add(1, Ordering::Relaxed);
         let nested_before = NESTED_EXEC_NS.with(|c| c.get());
+        // Mark this task as the causal parent of anything its body spawns
+        // (restored below — help-execution nests bodies on one thread).
+        let prev_task = CURRENT_TASK.with(|c| c.replace(self.task_id));
         let start = state.clock.now_ns();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
         let end = state.clock.now_ns();
+        CURRENT_TASK.with(|c| c.set(prev_task));
         state.active.fetch_sub(1, Ordering::Relaxed);
         // Net execution time: subtract time spent executing *other* tasks
         // while helping inside this task's waits, so `/threads/time/*`
@@ -775,12 +840,18 @@ where
         NESTED_EXEC_NS.with(|c| c.set(nested_before + gross));
         let wait_ns = start.saturating_sub(self.spawned_ns);
         state.stats[idx].record_execution(net, wait_ns);
+        // The span records gross start..end plus `nested_ns`, so readers
+        // can reconstruct both views; net (gross − nested) is what the
+        // profile and the causal analyzer sum — matching the stats above.
         state.tracer.record(TaskSpan {
             task_id: self.task_id,
+            parent: self.parent,
+            site: self.site,
             worker: idx as u32,
             start_ns: start,
             end_ns: end,
             wait_ns,
+            nested_ns: nested_during,
         });
         match result {
             Ok(v) => self.shared.complete(v),
@@ -905,6 +976,7 @@ fn admit_for_queue(inner: &Arc<RuntimeInner>, spawner: Option<usize>) -> Admit {
 fn queue_task<T, F>(
     inner: &Arc<RuntimeInner>,
     task_id: u64,
+    site: u32,
     f: F,
     token: Option<CancelToken>,
     spawner: Option<usize>,
@@ -915,7 +987,7 @@ where
     F: FnOnce() -> T + Send + 'static,
 {
     inner.state.live.fetch_add(1, Ordering::AcqRel);
-    let cell = Arc::new(TaskCell::new(inner, task_id, f, true, token, gate));
+    let cell = Arc::new(TaskCell::new(inner, task_id, site, f, true, token, gate));
     let t0 = inner.state.clock.now_ns();
     let task = Task {
         run: cell.clone(),
@@ -934,6 +1006,7 @@ where
 fn spawn_inner<T, F>(
     inner: &Arc<RuntimeInner>,
     policy: LaunchPolicy,
+    site: u32,
     f: F,
     token: Option<CancelToken>,
 ) -> TaskFuture<T>
@@ -951,27 +1024,27 @@ where
 
     match policy {
         LaunchPolicy::Sync => {
-            let cell = Arc::new(TaskCell::new(inner, task_id, f, false, token, None));
+            let cell = Arc::new(TaskCell::new(inner, task_id, site, f, false, token, None));
             cell.run_body();
             TaskFuture::from_core(cell)
         }
         LaunchPolicy::Fork if spawner.is_some() => {
             // Continuation-stealing approximation: the child runs now, on
             // this worker, with no queue round-trip (see LaunchPolicy::Fork).
-            let cell = Arc::new(TaskCell::new(inner, task_id, f, false, token, None));
+            let cell = Arc::new(TaskCell::new(inner, task_id, site, f, false, token, None));
             cell.run_body();
             TaskFuture::from_core(cell)
         }
         LaunchPolicy::Deferred => {
-            let cell = Arc::new(TaskCell::new(inner, task_id, f, false, token, None));
+            let cell = Arc::new(TaskCell::new(inner, task_id, site, f, false, token, None));
             let c2 = cell.clone();
             cell.shared.set_deferred(Box::new(move || c2.run_body()));
             TaskFuture::from_core(cell)
         }
         LaunchPolicy::Async | LaunchPolicy::Fork => match admit_for_queue(inner, spawner) {
-            Admit::Queue(gate) => queue_task(inner, task_id, f, token, spawner, gate),
+            Admit::Queue(gate) => queue_task(inner, task_id, site, f, token, spawner, gate),
             Admit::Inline => {
-                let cell = Arc::new(TaskCell::new(inner, task_id, f, false, token, None));
+                let cell = Arc::new(TaskCell::new(inner, task_id, site, f, false, token, None));
                 cell.run_body();
                 TaskFuture::from_core(cell)
             }
@@ -983,6 +1056,7 @@ where
 /// the closure comes back inside the error.
 fn try_spawn_inner<T, F>(
     inner: &Arc<RuntimeInner>,
+    site: u32,
     f: F,
     token: Option<CancelToken>,
 ) -> Result<TaskFuture<T>, SpawnError<F>>
@@ -1010,5 +1084,5 @@ where
             .spawned
             .fetch_add(1, Ordering::Relaxed);
     }
-    Ok(queue_task(inner, task_id, f, token, spawner, gate))
+    Ok(queue_task(inner, task_id, site, f, token, spawner, gate))
 }

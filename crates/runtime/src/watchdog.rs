@@ -27,6 +27,7 @@ use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crate::anomaly::{AnomalyDetector, AnomalySignals};
 use crate::overload::{OverloadDetector, OverloadSignals};
 use crate::runtime::{RuntimeConfig, RuntimeInner};
 use crate::stats;
@@ -140,6 +141,8 @@ pub(crate) fn spawn(inner: &Arc<RuntimeInner>) -> JoinHandle<()> {
         .spawn(move || {
             let mut watches: Vec<Watch> = Vec::new();
             let mut detector = OverloadDetector::new();
+            let mut anomaly = AnomalyDetector::new();
+            let mut tick: u64 = 0;
             loop {
                 std::thread::sleep(interval);
                 let Some(inner) = weak.upgrade() else { return };
@@ -147,6 +150,8 @@ pub(crate) fn spawn(inner: &Arc<RuntimeInner>) -> JoinHandle<()> {
                     return;
                 }
                 overload_tick(&inner, &mut detector, interval);
+                anomaly_tick(&inner, &mut anomaly, interval, tick);
+                tick += 1;
                 let now = Instant::now();
                 let stats = &inner.state.stats;
                 if watches.len() != stats.len() {
@@ -215,6 +220,41 @@ fn overload_tick(inner: &Arc<RuntimeInner>, detector: &mut OverloadDetector, int
         .state
         .overload_state
         .store(state.as_i64(), Ordering::Release);
+}
+
+/// Feed one watchdog tick of counter readings to the anomaly detector;
+/// new episodes land in `state.anomalies` (the `/runtime/anomaly/*`
+/// counters). An injected steal storm ([`FaultPlan::steal_storm_ticks`]
+/// (crate::faults::FaultPlan)) adds synthetic steals here — and only here,
+/// so the scheduler's real steal counters stay truthful.
+fn anomaly_tick(
+    inner: &Arc<RuntimeInner>,
+    detector: &mut AnomalyDetector,
+    interval: Duration,
+    tick: u64,
+) {
+    let stats = &inner.state.stats;
+    let injected_steals = inner
+        .faults
+        .as_ref()
+        .map_or(0, |f| f.steal_storm_steals(tick));
+    let pending = match &inner.gate {
+        Some(gate) => gate.pending(),
+        None => inner.scheduler.pending_tasks(),
+    };
+    let live_workers = inner.state.live_workers.load(Ordering::Acquire) as u64;
+    detector.tick(
+        AnomalySignals {
+            steals: stats::total(stats, |s| s.stolen.load(Ordering::Relaxed)) + injected_steals,
+            executed: stats::total(stats, |s| s.executed.load(Ordering::Relaxed)),
+            exec_ns: stats::total(stats, |s| s.exec_ns.load(Ordering::Relaxed)),
+            idle_ns: stats::total(stats, |s| s.idle_ns.load(Ordering::Relaxed)),
+            tick_budget_ns: interval.as_nanos() as u64 * live_workers.max(1),
+            pending,
+            now_ns: inner.state.clock.now_ns(),
+        },
+        &inner.state.anomalies,
+    );
 }
 
 #[cfg(test)]

@@ -64,14 +64,18 @@ impl Timeline {
             loop {
                 let bin_start = b as u64 * bin_ns;
                 let bin_end = bin_start + bin_ns;
-                let overlap = end_ns
-                    .min(bin_end)
-                    .saturating_sub(s.start_ns.max(bin_start)) as f64;
+                let last = b + 1 >= bins;
+                // The final bin absorbs everything past its end — spans can
+                // outlive `makespan_ns` (callers pass estimates, and
+                // `bins * bin_ns` rounds up anyway), and clipping there
+                // would silently break the conservation contract above.
+                let hi = if last { end_ns } else { end_ns.min(bin_end) };
+                let overlap = hi.saturating_sub(s.start_ns.max(bin_start)) as f64;
                 if overlap > 0.0 {
                     busy[b] += overlap;
                     traffic[b] += overlap * bytes_per_ns;
                 }
-                if bin_end >= end_ns || b + 1 >= bins {
+                if last || bin_end >= end_ns {
                     break;
                 }
                 b += 1;
@@ -176,12 +180,30 @@ mod tests {
 
     #[test]
     fn spans_past_the_last_bin_clamp() {
-        let spans = vec![span(990, 100, 0, 0)];
+        let spans = vec![span(990, 100, 0, 64)];
         let tl = Timeline::from_spans(&spans, 1_000, 10);
-        // Starts in the last bin; overlap beyond the makespan is clipped to
-        // the final bin's extent.
+        // Starts in the last bin; the 90ns running past the makespan fold
+        // into the final bin rather than vanishing.
         assert_eq!(tl.bins[9].tasks_started, 1);
-        assert!(tl.bins[9].busy_cores > 0.0);
+        let last_busy = tl.bins[9].busy_cores * tl.bin_ns as f64;
+        assert!((last_busy - 100.0).abs() < 1e-6, "busy {last_busy}");
+        let total_bytes: f64 = tl
+            .bins
+            .iter()
+            .map(|b| b.bandwidth_gbps * tl.bin_ns as f64)
+            .sum();
+        assert!((total_bytes - 4096.0).abs() < 1e-6, "traffic {total_bytes}");
+    }
+
+    #[test]
+    fn span_starting_after_the_makespan_is_fully_counted() {
+        // Callers pass estimated makespans; a span lying wholly past the
+        // last bin still lands (entirely) in the final bin.
+        let spans = vec![span(2_000, 50, 0, 0)];
+        let tl = Timeline::from_spans(&spans, 1_000, 10);
+        assert_eq!(tl.bins[9].tasks_started, 1);
+        let last_busy = tl.bins[9].busy_cores * tl.bin_ns as f64;
+        assert!((last_busy - 50.0).abs() < 1e-6, "busy {last_busy}");
     }
 
     #[test]
@@ -196,5 +218,58 @@ mod tests {
     fn render_has_a_row_per_bin() {
         let tl = Timeline::from_spans(&[span(0, 10, 0, 0)], 100, 4);
         assert_eq!(tl.render().lines().count(), 5);
+    }
+
+    mod conservation {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_span() -> impl Strategy<Value = SimSpan> {
+            // Starts and durations deliberately straddle the makespan used
+            // below (1_000) so overhang and fully-out-of-range spans are
+            // generated, not just in-range ones.
+            (0u64..2_000, 0u64..1_500, 0u32..4, 0u64..256)
+                .prop_map(|(start, dur, core, req)| span(start, dur, core, req))
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            // The doc-comment's conservation contract, for arbitrary
+            // spans, makespans, and bin counts: per-bin totals sum to the
+            // span totals exactly (to float tolerance) — busy time,
+            // off-core bytes, and task starts.
+            #[test]
+            fn per_bin_totals_sum_to_span_totals(
+                spans in proptest::collection::vec(arb_span(), 0..40),
+                makespan in 1u64..3_000,
+                bins in 1usize..20,
+            ) {
+                let tl = Timeline::from_spans(&spans, makespan, bins);
+
+                let want_busy: f64 = spans.iter().map(|s| s.duration_ns as f64).sum();
+                let got_busy: f64 = tl.bins.iter()
+                    .map(|b| b.busy_cores * tl.bin_ns as f64)
+                    .sum();
+                prop_assert!(
+                    (got_busy - want_busy).abs() < 1e-6 * want_busy.max(1.0),
+                    "busy: got {got_busy}, want {want_busy}"
+                );
+
+                let want_bytes: f64 = spans.iter()
+                    .filter(|s| s.duration_ns > 0)
+                    .map(|s| (s.offcore_requests * 64) as f64)
+                    .sum();
+                let got_bytes: f64 = tl.bins.iter()
+                    .map(|b| b.bandwidth_gbps * tl.bin_ns as f64)
+                    .sum();
+                prop_assert!(
+                    (got_bytes - want_bytes).abs() < 1e-6 * want_bytes.max(1.0),
+                    "bytes: got {got_bytes}, want {want_bytes}"
+                );
+
+                prop_assert_eq!(tl.total_tasks(), spans.len() as u64);
+            }
+        }
     }
 }

@@ -20,6 +20,9 @@
 //! - [`tools`] — TAU/HPCToolkit cost models (Table I).
 //! - [`apex`] — the APEX-style policy engine (§VII): counter-driven
 //!   runtime adaptation.
+//! - [`causal`] — the on-line work/span causal profiler over the task-span
+//!   stream: per-spawn-site aggregation, critical paths, what-if
+//!   projections (DESIGN.md §15).
 //!
 //! ## Quickstart
 //!
@@ -41,6 +44,7 @@
 
 pub use rpx_apex as apex;
 pub use rpx_baseline as baseline;
+pub use rpx_causal as causal;
 pub use rpx_counters as counters;
 pub use rpx_inncabs as inncabs;
 pub use rpx_papi as papi;

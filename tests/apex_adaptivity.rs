@@ -5,7 +5,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use rpx::apex::{rules, Policy, PolicyEngine, Tunable};
-use rpx::runtime::{OverloadPolicy, Runtime, RuntimeConfig, SpawnError};
+use rpx::runtime::{FaultPlan, OverloadPolicy, Runtime, RuntimeConfig, SpawnError};
 
 fn busy(iters: u64) -> u64 {
     let mut acc = 0u64;
@@ -205,5 +205,63 @@ fn policy_widens_admission_when_the_overload_detector_trips() {
         f.get();
     }
     engine.stop();
+    rt.shutdown();
+}
+
+#[test]
+fn policy_reacts_to_anomaly_events() {
+    // Closing the measure → diagnose → adapt loop for the *anomaly*
+    // detector: an injected steal storm raises a `/runtime/anomaly/*`
+    // event, a policy thresholding the event counter sees it and narrows a
+    // granularity knob (the canonical response to stealing overhead:
+    // coarsen the tasks being stolen).
+    let rt = Runtime::new(RuntimeConfig {
+        workers: 2,
+        faults: Some(FaultPlan {
+            steal_storm_ticks: 6,
+            ..FaultPlan::default()
+        }),
+        watchdog_interval: Duration::from_millis(10),
+        ..RuntimeConfig::with_workers(2)
+    });
+    let reg = rt.registry();
+
+    // Knob: notional grain multiplier. The rule doubles it when any
+    // anomaly event has been recorded.
+    let grain = Tunable::new(1, 1, 64);
+    let knob = grain.clone();
+    let policy = Policy::new(
+        "anomaly-response",
+        vec!["/runtime{locality#0/total}/anomaly/events".into()],
+    )
+    .with_period(Duration::from_millis(5))
+    .with_reset(false)
+    .with_rule(move |ctx| {
+        if ctx.value("/runtime").unwrap_or(0.0) >= 1.0 && knob.get() < 2 {
+            knob.scale(2.0);
+        }
+    });
+    let engine = PolicyEngine::start(&reg, vec![policy]).unwrap();
+
+    // Trickle real work so the detector sees executions alongside the
+    // injected steal deltas.
+    let t0 = std::time::Instant::now();
+    while grain.get() < 2 && t0.elapsed() < Duration::from_secs(5) {
+        rt.spawn(|| busy(100)).get();
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    engine.stop();
+
+    assert_eq!(
+        grain.get(),
+        2,
+        "the policy should have doubled the grain when the steal-storm \
+         event was raised"
+    );
+    assert!(grain.changes() > 0, "the knob must actually have moved");
+    assert!(
+        !rt.anomalies().is_empty(),
+        "the event log backs the counter the policy observed"
+    );
     rt.shutdown();
 }

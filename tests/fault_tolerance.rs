@@ -908,3 +908,67 @@ fn quiesce_cancels_stragglers_exactly_and_flushes_a_final_sampler_row() {
     );
     rt.shutdown();
 }
+
+#[test]
+fn injected_steal_storm_raises_exactly_one_anomaly_event() {
+    install_quiet_hook();
+    // A synthetic steal storm spanning the first 6 watchdog ticks: the
+    // anomaly detector must open exactly ONE steal-storm episode (the
+    // condition holds tick after tick — an episode, not an event per
+    // tick), and close it when the storm ends without ever re-arming.
+    let rt = Runtime::new(RuntimeConfig {
+        workers: 2,
+        faults: Some(FaultPlan {
+            steal_storm_ticks: 6,
+            ..FaultPlan::default()
+        }),
+        watchdog_interval: Duration::from_millis(10),
+        ..RuntimeConfig::with_workers(2)
+    });
+    let reg = rt.registry();
+    let anomaly_total = |which: &str| {
+        reg.evaluate(
+            &format!("/runtime{{locality#0/total}}/anomaly/{which}"),
+            false,
+        )
+        .expect("anomaly counter evaluates")
+        .value
+    };
+
+    // Keep a trickle of real work flowing so the detector sees executions.
+    for i in 0..20u64 {
+        assert_eq!(rt.spawn(move || i + 1).get(), i + 1);
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(
+        wait_until(
+            || anomaly_total("steal-storms") == 1,
+            Duration::from_secs(5)
+        ),
+        "steal-storm episode never detected: {}",
+        anomaly_total("steal-storms")
+    );
+    // Outlast the storm (6 ticks × 10ms, plus slack): the count must hold
+    // at exactly one — neither re-armed mid-storm nor after it cleared.
+    std::thread::sleep(Duration::from_millis(200));
+    assert_eq!(anomaly_total("steal-storms"), 1, "exactly one episode");
+    assert_eq!(
+        anomaly_total("events"),
+        anomaly_total("steal-storms")
+            + anomaly_total("granularity-collapses")
+            + anomaly_total("idle-spikes"),
+        "total is the sum of the kinds"
+    );
+
+    let events = rt.anomalies();
+    let storms: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind == rpx_runtime::AnomalyKind::StealStorm)
+        .collect();
+    assert_eq!(storms.len(), 1, "event log agrees with the counter");
+    assert!(
+        storms[0].value > storms[0].baseline,
+        "the recorded episode captures the breach"
+    );
+    rt.shutdown();
+}
