@@ -6,14 +6,20 @@
 //! path from outside, this probe reads `/threads/time/average-overhead`
 //! (Task Overhead, PAPER.md §IV) from inside the run that produced it.
 //!
+//! With `--pin` the workers are placed compactly (sockets filled first,
+//! the paper's §V-D protocol) and the report adds a per-socket breakdown
+//! of executions and local/remote steals, so NUMA placement effects show
+//! up in the same run that measured the overhead.
+//!
 //! ```sh
 //! cargo run --release -p rpx-bench --bin overhead_probe            # fib(30)
 //! cargo run --release -p rpx-bench --bin overhead_probe -- 20 2   # fib(20), 2 workers
+//! cargo run --release -p rpx-bench --bin overhead_probe -- 30 8 --pin
 //! ```
 
 use std::time::Instant;
 
-use rpx_runtime::{Runtime, RuntimeConfig, RuntimeHandle};
+use rpx_runtime::{BindSpec, Runtime, RuntimeConfig, RuntimeHandle, Topology};
 
 fn fib(h: &RuntimeHandle, n: u64) -> u64 {
     if n < 2 {
@@ -26,15 +32,36 @@ fn fib(h: &RuntimeHandle, n: u64) -> u64 {
 }
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let n: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(30);
-    let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-    });
+    let mut positional: Vec<String> = Vec::new();
+    let mut pin = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--pin" => pin = true,
+            _ => positional.push(arg),
+        }
+    }
+    let n: u64 = positional
+        .first()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(30);
+    let workers: usize = positional
+        .get(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        });
 
-    let rt = Runtime::new(RuntimeConfig::with_workers(workers));
+    let bind = if pin {
+        BindSpec::Compact
+    } else {
+        BindSpec::None
+    };
+    let rt = Runtime::new(RuntimeConfig {
+        bind,
+        ..RuntimeConfig::with_workers(workers)
+    });
     let reg = rt.registry();
     let h = rt.handle();
 
@@ -55,8 +82,18 @@ fn main() {
     let cum_overhead = read("/threads{locality#0/total}/time/cumulative-overhead");
     let idle_rate = read("/threads{locality#0/total}/idle-rate");
     let underflows = read("/runtime{locality#0/total}/health/pending-underflows");
+    let steals_local = read("/threads{locality#0/total}/count/steals-local");
+    let steals_remote = read("/threads{locality#0/total}/count/steals-remote");
+    let remote_probe = read("/threads{locality#0/total}/time/steal-probe-remote");
+    let slab_allocs = read("/runtime{locality#0/total}/slab/allocs");
+    let slab_remote_frees = read("/runtime{locality#0/total}/slab/remote-frees");
+    let slab_exhausted = read("/runtime{locality#0/total}/slab/exhausted");
+    let fallback = read("/runtime{locality#0/total}/slab/fallback-allocs");
 
-    println!("fib({n}) = {result}  [{workers} workers]");
+    println!(
+        "fib({n}) = {result}  [{workers} workers, bind={}]",
+        if pin { "compact" } else { "none" }
+    );
     println!(
         "wall-clock                                   {:>12.3} ms",
         wall.as_secs_f64() * 1e3
@@ -67,6 +104,52 @@ fn main() {
     println!("/threads/time/average-wait                   {avg_wait:>12} ns/task");
     println!("/threads/time/cumulative-overhead            {cum_overhead:>12} ns");
     println!("/threads/idle-rate                           {idle_rate:>12} [0.01%]");
+    println!("/threads/count/steals-local                  {steals_local:>12}");
+    println!("/threads/count/steals-remote                 {steals_remote:>12}");
+    println!("/threads/time/steal-probe-remote             {remote_probe:>12} ns");
+    println!("/runtime/slab/allocs                         {slab_allocs:>12}");
+    println!("/runtime/slab/remote-frees                   {slab_remote_frees:>12}");
+    println!("/runtime/slab/exhausted                      {slab_exhausted:>12}");
+    println!("/runtime/slab/fallback-allocs                {fallback:>12}");
     println!("/runtime/health/pending-underflows           {underflows:>12}");
+
+    // Per-socket breakdown: group workers by the socket their placement
+    // pins them to (every worker lands on socket 0 when unpinned).
+    let topo = Topology::discover();
+    let placement = bind.placement(&topo, workers as u32);
+    let socket_of = |w: usize| {
+        placement
+            .get(w)
+            .copied()
+            .flatten()
+            .map_or(0, |hw| topo.socket_of_hw(hw))
+    };
+    let sockets_in_use = (0..workers).map(socket_of).max().unwrap_or(0) + 1;
+    if sockets_in_use > 1 {
+        println!(
+            "per-socket breakdown ({} sockets, {} cores/socket):",
+            topo.sockets, topo.cores_per_socket
+        );
+        for socket in 0..sockets_in_use {
+            let members: Vec<usize> = (0..workers).filter(|&w| socket_of(w) == socket).collect();
+            let sum = |counter: &str| -> i64 {
+                members
+                    .iter()
+                    .map(|w| {
+                        read(&format!(
+                            "/threads{{locality#0/worker-thread#{w}}}/{counter}"
+                        ))
+                    })
+                    .sum()
+            };
+            println!(
+                "  socket#{socket}  workers={:<3} executed={:<10} steals-local={:<8} steals-remote={:<8}",
+                members.len(),
+                sum("count/cumulative"),
+                sum("count/steals-local"),
+                sum("count/steals-remote"),
+            );
+        }
+    }
     rt.shutdown();
 }

@@ -2,7 +2,7 @@
 //! stream
 //!
 //! TASKPROF-style analysis (Yoga & Nagarakatte; see PAPERS.md): the
-//! runtime's [`TaskTracer`] emits one [`TaskSpan`] per finished task
+//! runtime's [`TaskTracer`](rpx_runtime::TaskTracer) emits one [`TaskSpan`] per finished task
 //! carrying its parent task id, spawn-site id, and *net* duration (gross
 //! minus nested help-execution). From that stream this crate maintains the
 //! logical task DAG and answers the paper's diagnostic questions:

@@ -28,22 +28,120 @@ pub fn average_underflows() -> u64 {
 ///
 /// Timestamps in [`CounterValue`] are nanoseconds since this clock's epoch,
 /// so values from different counters of the same registry are comparable.
+///
+/// On x86-64 hosts with an invariant TSC the clock reads `rdtsc` and
+/// scales ticks to nanoseconds with a multiplier calibrated at
+/// construction — roughly half the cost of `Instant::now()`, which
+/// matters because the runtime's overhead windows bracket sub-100 ns
+/// code paths with two reads each (the instrument must be cheaper than
+/// the thing it measures). Everywhere else (other architectures, miri,
+/// hosts without `constant_tsc`) it falls back to `Instant`.
 #[derive(Debug)]
 pub struct Clock {
     epoch: Instant,
+    tsc: Option<tsc::TscClock>,
 }
 
 impl Clock {
-    /// A clock whose epoch is "now".
+    /// A clock whose epoch is "now". Calibration of the TSC fast path
+    /// busy-waits ~500µs once per clock; registries share one clock.
     pub fn new() -> Self {
-        Clock {
-            epoch: Instant::now(),
-        }
+        let epoch = Instant::now();
+        let tsc = tsc::TscClock::calibrate(epoch);
+        Clock { epoch, tsc }
     }
 
     /// Nanoseconds elapsed since the epoch.
+    #[inline]
     pub fn now_ns(&self) -> u64 {
-        self.epoch.elapsed().as_nanos() as u64
+        match &self.tsc {
+            Some(t) => t.now_ns(),
+            None => self.epoch.elapsed().as_nanos() as u64,
+        }
+    }
+}
+
+#[cfg(all(target_arch = "x86_64", not(miri)))]
+mod tsc {
+    use std::time::{Duration, Instant};
+
+    /// Calibrated TSC reader: `ns = (ticks - base) * mult >> 32`.
+    #[derive(Debug, Clone, Copy)]
+    pub(super) struct TscClock {
+        base: u64,
+        /// Nanoseconds per tick as a 32.32 fixed-point value.
+        mult: u64,
+    }
+
+    #[inline]
+    fn rdtsc() -> u64 {
+        // SAFETY: rdtsc is always available on x86-64.
+        unsafe { std::arch::x86_64::_rdtsc() }
+    }
+
+    /// CPUID leaf 0x8000_0007, EDX bit 8: the TSC runs at a constant
+    /// rate and never stops (constant_tsc + nonstop_tsc). Without it,
+    /// frequency scaling would silently warp every duration.
+    fn invariant_tsc() -> bool {
+        if std::arch::x86_64::__cpuid(0x8000_0000).eax < 0x8000_0007 {
+            return false;
+        }
+        std::arch::x86_64::__cpuid(0x8000_0007).edx & (1 << 8) != 0
+    }
+
+    impl TscClock {
+        pub(super) fn calibrate(epoch: Instant) -> Option<TscClock> {
+            if !invariant_tsc() {
+                return None;
+            }
+            let base = rdtsc();
+            // Busy-wait, not sleep: a sleeping calibrator can be
+            // descheduled for milliseconds, and the spin keeps the
+            // window — and thus the relative calibration error
+            // (~clock-read noise / window) — tightly bounded.
+            let spin = Instant::now();
+            while spin.elapsed() < Duration::from_micros(500) {
+                std::hint::spin_loop();
+            }
+            let ticks = rdtsc().saturating_sub(base);
+            let ns = epoch.elapsed().as_nanos() as u64;
+            if ticks == 0 || ns == 0 {
+                return None;
+            }
+            let mult = ((ns as u128) << 32) / ticks as u128;
+            if mult == 0 || mult > u64::MAX as u128 {
+                return None;
+            }
+            Some(TscClock {
+                base,
+                mult: mult as u64,
+            })
+        }
+
+        #[inline]
+        pub(super) fn now_ns(&self) -> u64 {
+            let ticks = rdtsc().saturating_sub(self.base);
+            ((ticks as u128 * self.mult as u128) >> 32) as u64
+        }
+    }
+}
+
+#[cfg(not(all(target_arch = "x86_64", not(miri))))]
+mod tsc {
+    use std::time::Instant;
+
+    /// TSC fast path is unavailable; [`super::Clock`] uses `Instant`.
+    #[derive(Debug, Clone, Copy)]
+    pub(super) enum TscClock {}
+
+    impl TscClock {
+        pub(super) fn calibrate(_epoch: Instant) -> Option<TscClock> {
+            None
+        }
+
+        pub(super) fn now_ns(&self) -> u64 {
+            match *self {}
+        }
     }
 }
 

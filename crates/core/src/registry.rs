@@ -541,8 +541,8 @@ impl CounterRegistry {
 
     /// Fold one evaluated batch into the self-measurement counters
     /// (`/counters/overhead/time`, `/counters/overhead/count`). Called by
-    /// the active-set evaluation and by the [`Sampler`]
-    /// (crate::sampler::Sampler) tick.
+    /// the active-set evaluation and by the
+    /// [`Sampler`](crate::sampler::Sampler) tick.
     pub fn record_query_overhead(&self, elapsed_ns: u64, batches: u64) {
         self.overhead_time_ns
             .fetch_add(elapsed_ns, Ordering::Relaxed);

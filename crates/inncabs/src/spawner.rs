@@ -50,7 +50,7 @@ impl RpxSpawner {
     }
 }
 
-impl<T> BenchFuture<T> for TaskFuture<T> {
+impl<T: Send + 'static> BenchFuture<T> for TaskFuture<T> {
     fn get(self) -> T {
         TaskFuture::get(self)
     }

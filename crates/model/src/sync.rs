@@ -133,6 +133,17 @@ macro_rules! int_atomic {
                 }
             }
 
+            pub fn fetch_or(&self, v: $ty, ord: Ordering) -> $ty {
+                if engine::in_model() {
+                    self.model_rmw(ord, Ordering::Relaxed, &mut |old| {
+                        Some(((old as $ty) | v) as u64)
+                    })
+                    .0 as $ty
+                } else {
+                    self.inner.fetch_or(v, ord)
+                }
+            }
+
             pub fn fetch_max(&self, v: $ty, ord: Ordering) -> $ty {
                 if engine::in_model() {
                     self.model_rmw(ord, Ordering::Relaxed, &mut |old| {

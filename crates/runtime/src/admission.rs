@@ -5,7 +5,7 @@
 //! one slot via a CAS loop — the count never overshoots the high watermark,
 //! even transiently, so `/runtime/tasks/peak-pending ≤ max_pending` is an
 //! exact invariant, not a statistical one. Dispatch returns the slot in
-//! [`AdmissionGate::note_started`].
+//! `AdmissionGate::note_started`.
 //!
 //! Hysteresis: reaching the high watermark closes the gate; it reopens only
 //! once pending drains to the low watermark (`resume_pending`). In between,

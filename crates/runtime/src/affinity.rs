@@ -22,9 +22,41 @@ pub struct Topology {
 }
 
 impl Topology {
+    /// A single-socket topology covering `hw` hardware threads (no SMT
+    /// structure assumed). The fallback when discovery is unavailable.
+    pub fn flat(hw: u32) -> Topology {
+        Topology {
+            sockets: 1,
+            cores_per_socket: hw.max(1),
+            smt: 1,
+        }
+    }
+
+    /// Discover the host topology from sysfs (Linux), falling back to a
+    /// flat single-socket layout sized by `available_parallelism`.
+    ///
+    /// The result is cached for the process: topology does not change at
+    /// runtime, and `Runtime::new` calls this on every construction.
+    pub fn discover() -> Topology {
+        static CACHED: std::sync::OnceLock<Topology> = std::sync::OnceLock::new();
+        *CACHED.get_or_init(|| {
+            let hw = std::thread::available_parallelism().map_or(1, |n| n.get() as u32);
+            discover_sysfs().unwrap_or_else(|| Topology::flat(hw))
+        })
+    }
+
     /// Total hardware threads.
     pub fn hw_threads(&self) -> u32 {
         self.sockets * self.cores_per_socket * self.smt.max(1)
+    }
+
+    /// The socket a hardware thread belongs to under this topology's
+    /// enumeration (the inverse of [`Topology::hw_id`]). Out-of-range ids
+    /// clamp to the last socket rather than panic.
+    pub fn socket_of_hw(&self, hw: u32) -> u32 {
+        let cores = (self.sockets * self.cores_per_socket).max(1);
+        let physical = hw % cores;
+        (physical / self.cores_per_socket.max(1)).min(self.sockets.saturating_sub(1))
     }
 
     /// Hardware-thread id for (socket, core-in-socket, sibling), using the
@@ -34,6 +66,92 @@ impl Topology {
         let physical = socket * self.cores_per_socket + core;
         sibling * (self.sockets * self.cores_per_socket) + physical
     }
+}
+
+/// Read the socket/core structure from `/sys/devices/system/cpu`. Returns
+/// `None` off Linux, under miri, or when sysfs is missing/irregular (e.g.
+/// asymmetric sockets — the flat fallback is safer than a wrong model).
+#[cfg(all(target_os = "linux", not(miri)))]
+fn discover_sysfs() -> Option<Topology> {
+    use std::collections::{BTreeMap, BTreeSet};
+
+    let mut packages: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+    let mut cpus = 0u32;
+    for entry in std::fs::read_dir("/sys/devices/system/cpu").ok()? {
+        let entry = entry.ok()?;
+        let name = entry.file_name();
+        let name = name.to_str()?;
+        let Some(idx) = name.strip_prefix("cpu") else {
+            continue;
+        };
+        if idx.parse::<u32>().is_err() {
+            continue;
+        }
+        let topo = entry.path().join("topology");
+        let read_id = |f: &str| -> Option<u32> {
+            std::fs::read_to_string(topo.join(f))
+                .ok()?
+                .trim()
+                .parse()
+                .ok()
+        };
+        // Offline CPUs have no topology directory; skip them.
+        let (Some(pkg), Some(core)) = (read_id("physical_package_id"), read_id("core_id")) else {
+            continue;
+        };
+        packages.entry(pkg).or_default().insert(core);
+        cpus += 1;
+    }
+    if packages.is_empty() || cpus == 0 {
+        return None;
+    }
+    let sockets = packages.len() as u32;
+    let cores_per_socket = packages.values().next()?.len() as u32;
+    // Reject irregular layouts the (sockets, cores, smt) model can't express.
+    if cores_per_socket == 0
+        || packages
+            .values()
+            .any(|c| c.len() as u32 != cores_per_socket)
+        || !cpus.is_multiple_of(sockets * cores_per_socket)
+    {
+        return None;
+    }
+    Some(Topology {
+        sockets,
+        cores_per_socket,
+        smt: cpus / (sockets * cores_per_socket),
+    })
+}
+
+#[cfg(not(all(target_os = "linux", not(miri))))]
+fn discover_sysfs() -> Option<Topology> {
+    None
+}
+
+/// Pin the calling thread to hardware thread `hw`. Returns whether the
+/// kernel accepted the mask; callers treat failure as "run unpinned".
+#[cfg(all(target_os = "linux", not(miri), not(rpx_model)))]
+pub(crate) fn pin_current_thread(hw: u32) -> bool {
+    // Mirrors glibc's cpu_set_t: 1024 bits. No libc dependency needed for
+    // one syscall wrapper.
+    #[repr(C)]
+    struct CpuSet {
+        bits: [u64; 16],
+    }
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const CpuSet) -> i32;
+    }
+    if hw >= 1024 {
+        return false;
+    }
+    let mut set = CpuSet { bits: [0; 16] };
+    set.bits[(hw / 64) as usize] |= 1u64 << (hw % 64);
+    unsafe { sched_setaffinity(0, std::mem::size_of::<CpuSet>(), &set) == 0 }
+}
+
+#[cfg(not(all(target_os = "linux", not(miri), not(rpx_model))))]
+pub(crate) fn pin_current_thread(_hw: u32) -> bool {
+    false
 }
 
 /// Placement policies, mirroring `--hpx:bind`.
@@ -178,6 +296,31 @@ mod tests {
         assert_eq!(p[19], Some(19));
         assert_eq!(p[20], Some(20), "21st worker lands on core 0's sibling");
         assert_eq!(p[21], Some(21));
+    }
+
+    #[test]
+    fn socket_of_hw_inverts_hw_id() {
+        for topo in [IVY, IVY_HT] {
+            for socket in 0..topo.sockets {
+                for core in 0..topo.cores_per_socket {
+                    for sib in 0..topo.smt {
+                        let hw = topo.hw_id(socket, core, sib);
+                        assert_eq!(topo.socket_of_hw(hw), socket, "hw {hw}");
+                    }
+                }
+            }
+        }
+        // Out-of-range clamps instead of panicking.
+        assert_eq!(IVY.socket_of_hw(9999), 1);
+        assert_eq!(Topology::flat(4).socket_of_hw(17), 0);
+    }
+
+    #[test]
+    fn discover_is_sane_and_cached() {
+        let t = Topology::discover();
+        assert!(t.sockets >= 1);
+        assert!(t.hw_threads() >= 1);
+        assert_eq!(Topology::discover(), t);
     }
 
     #[test]

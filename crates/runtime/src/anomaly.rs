@@ -12,10 +12,10 @@
 //!   execution rate and the steal baseline: tasks are too coarse or too
 //!   few, and workers burn cycles in each other's deques;
 //! - **granularity collapse** — mean net task duration drops by
-//!   [`COLLAPSE_FACTOR`]× below its baseline: the workload degenerated
+//!   `COLLAPSE_FACTOR`× below its baseline: the workload degenerated
 //!   into microtasks and per-task overhead now dominates;
 //! - **idle spike** — the idle fraction jumps above both an absolute floor
-//!   and [`SPIKE_FACTOR`]× its baseline *while work is pending*: cores are
+//!   and `SPIKE_FACTOR`× its baseline *while work is pending*: cores are
 //!   starved despite a backlog (lost wakeups, a wedged worker, one long
 //!   serial task).
 //!

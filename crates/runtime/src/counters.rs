@@ -114,6 +114,47 @@ fn register_worker_monotonic(
     );
 }
 
+/// Register a monotonic per-worker counter read from that worker's task
+/// slab (the allocation-free spawn path) rather than its `WorkerStats`.
+fn register_slab_monotonic(
+    registry: &Arc<CounterRegistry>,
+    inner: &Arc<RuntimeInner>,
+    type_path: &'static str,
+    help: &'static str,
+    read: fn(&crate::slab::Slab) -> u64,
+) {
+    let weak: Weak<RuntimeInner> = Arc::downgrade(inner);
+    let (object, counter) = split_type_path(type_path);
+    let workers = inner.config.workers;
+    let locality = inner.config.locality;
+    let clock = registry.clock();
+    registry.register_type(
+        CounterInfo::new(type_path, CounterKind::MonotonicallyIncreasing, help, "1"),
+        Arc::new(move |name, _reg| {
+            let sel = selector(name, workers)?;
+            let weak = weak.clone();
+            let value: rpx_counters::counter::ValueFn = Arc::new(move || {
+                let Some(inner) = weak.upgrade() else {
+                    return 0;
+                };
+                (match sel {
+                    Sel::Total => inner.slabs.iter().map(|s| read(s)).sum::<u64>(),
+                    Sel::One(w) => read(&inner.slabs[w]),
+                }) as i64
+            });
+            let info = CounterInfo::new(
+                name.canonical(),
+                CounterKind::MonotonicallyIncreasing,
+                help,
+                "1",
+            );
+            Ok(Arc::new(MonotonicCounter::new(info, clock.clone(), value))
+                as Arc<dyn rpx_counters::Counter>)
+        }),
+        Some(worker_discoverer(object, counter, locality, workers)),
+    );
+}
+
 /// Register an average (sum, count) per-worker counter.
 fn register_worker_average(
     registry: &Arc<CounterRegistry>,
@@ -286,6 +327,30 @@ pub(crate) fn register_runtime_counters(
         "tasks stolen from other workers' queues",
         "1",
         |s| s.stolen.load(Ordering::Relaxed),
+    );
+    register_worker_monotonic(
+        registry,
+        inner,
+        "/threads/count/steals-local",
+        "steals from victims on this worker's own socket segment",
+        "1",
+        |s| s.stolen_local.load(Ordering::Relaxed),
+    );
+    register_worker_monotonic(
+        registry,
+        inner,
+        "/threads/count/steals-remote",
+        "steals from victims on a remote socket segment",
+        "1",
+        |s| s.stolen_remote.load(Ordering::Relaxed),
+    );
+    register_worker_monotonic(
+        registry,
+        inner,
+        "/threads/time/steal-probe-remote",
+        "time spent probing remote-socket queues, hit or miss (idle sub-attribution)",
+        "ns",
+        |s| s.steal_probe_remote_ns.load(Ordering::Relaxed),
     );
     register_worker_monotonic(
         registry,
@@ -591,6 +656,47 @@ pub(crate) fn register_runtime_counters(
         "anomaly episodes of any kind (what an adaptive policy thresholds on)",
         "1",
         |i| i.state.anomalies.total() as i64,
+    );
+
+    // Slab health (DESIGN.md §16). An allocation-free steady state shows
+    // growing `allocs`/`*-frees` with `exhausted` and `fallback-allocs`
+    // flat at zero; anything else means the slab is undersized or spawns
+    // are arriving from non-worker threads.
+    register_slab_monotonic(
+        registry,
+        inner,
+        "/runtime/slab/allocs",
+        "task slots claimed from this worker's slab",
+        crate::slab::Slab::allocs,
+    );
+    register_slab_monotonic(
+        registry,
+        inner,
+        "/runtime/slab/local-frees",
+        "slots returned to the owning worker's free list directly",
+        crate::slab::Slab::local_frees,
+    );
+    register_slab_monotonic(
+        registry,
+        inner,
+        "/runtime/slab/remote-frees",
+        "slots returned through the cross-worker return stack",
+        crate::slab::Slab::remote_frees,
+    );
+    register_slab_monotonic(
+        registry,
+        inner,
+        "/runtime/slab/exhausted",
+        "slab allocation attempts that found no free slot (heap fallback taken)",
+        crate::slab::Slab::exhausted,
+    );
+    register_total_monotonic(
+        registry,
+        inner,
+        "/runtime/slab/fallback-allocs",
+        "spawns that took the heap path (oversized closure, external spawner, or slab exhaustion)",
+        "1",
+        |i| i.fallback_allocs.load(Ordering::Relaxed) as i64,
     );
 
     // Tracer self-measurement (the paper's ≤10% overhead envelope is

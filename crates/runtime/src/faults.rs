@@ -22,8 +22,8 @@
 //!   [`register_flaky_counter`] panics on evaluation; the sampler must
 //!   recover and keep sampling the remaining counters.
 //!
-//! Plans come from the builder API ([`RuntimeConfig::faults`]
-//! (crate::RuntimeConfig)) or from `RPX_FAULT_*` environment variables
+//! Plans come from the builder API (`faults` on
+//! [`RuntimeConfig`](crate::RuntimeConfig)) or from `RPX_FAULT_*` environment variables
 //! (see [`FaultPlan::from_env`]).
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -380,8 +380,8 @@ impl FaultInjector {
 }
 
 /// Register a raw counter at `type_path` that panics on evaluation whenever
-/// the injector says so — the chaos suite points the [`Sampler`]
-/// (rpx_counters::sampler::Sampler) at it to prove sampling survives
+/// the injector says so — the chaos suite points the counter
+/// sampler (`rpx_counters::sampler::Sampler`) at it to prove sampling survives
 /// counter-read failures.
 pub fn register_flaky_counter(
     registry: &Arc<CounterRegistry>,

@@ -11,7 +11,7 @@
 //! Completion is lock-light: `complete*` publishes the result under the
 //! state lock (uncontended for scheduled tasks — nothing else touches the
 //! state before readiness), flips the `ready` flag, and wakes waiters
-//! through an [`EventGate`](crate::sync::EventGate) whose `notify` is a
+//! through an [`EventGate`] whose `notify` is a
 //! single atomic load when nobody blocks. Worker help-waits poll `ready`
 //! and never register with the gate, so the fork/join inner loop of
 //! spawn-heavy benchmarks never touches a condition variable.
@@ -217,31 +217,63 @@ impl<T: Send> FutureCore<T> for Shared<T> {
     }
 }
 
+/// How a future reaches its task's completion state.
+enum Repr<T> {
+    /// One `Arc` shared with the task body (heap `TaskCell`, inline
+    /// tasks, ready-made futures).
+    Heap(Arc<dyn FutureCore<T>>),
+    /// A generation-checked handle into a worker slab slot (the
+    /// allocation-free spawn path; see [`crate::slab`]).
+    Slab(crate::slab::SlabJoin<T>),
+}
+
 /// Handle to the eventual result of a spawned task.
 pub struct TaskFuture<T> {
-    core: Arc<dyn FutureCore<T>>,
+    repr: Repr<T>,
 }
 
 impl<T: Send + 'static> TaskFuture<T> {
     pub(crate) fn new(shared: Arc<Shared<T>>) -> Self {
-        TaskFuture { core: shared }
+        TaskFuture {
+            repr: Repr::Heap(shared),
+        }
     }
-}
 
-impl<T> TaskFuture<T> {
     pub(crate) fn from_core(core: Arc<dyn FutureCore<T>>) -> Self {
-        TaskFuture { core }
+        TaskFuture {
+            repr: Repr::Heap(core),
+        }
+    }
+
+    pub(crate) fn from_slab(join: crate::slab::SlabJoin<T>) -> Self {
+        TaskFuture {
+            repr: Repr::Slab(join),
+        }
     }
 
     /// Whether the value (or a panic) is available without blocking.
     pub fn is_ready(&self) -> bool {
-        self.core.shared().is_ready()
+        match &self.repr {
+            Repr::Heap(core) => core.shared().is_ready(),
+            Repr::Slab(join) => join.is_ready(),
+        }
     }
 
     /// Block until the task finishes (helping with other work when called
     /// on a worker thread), without consuming the future.
     pub fn wait(&self) {
-        self.core.shared().wait();
+        match &self.repr {
+            Repr::Heap(core) => core.shared().wait(),
+            Repr::Slab(join) => join.wait(),
+        }
+    }
+
+    /// Consume the (ready) result. Both arms re-raise panics/cancellation.
+    fn take_now(mut self) -> T {
+        match &mut self.repr {
+            Repr::Heap(core) => core.shared().take(),
+            Repr::Slab(join) => join.take(),
+        }
     }
 
     /// Wait for and return the task's result.
@@ -250,9 +282,8 @@ impl<T> TaskFuture<T> {
     ///
     /// Re-raises the task's panic if the task panicked.
     pub fn get(self) -> T {
-        let shared = self.core.shared();
-        shared.wait();
-        shared.take()
+        self.wait();
+        self.take_now()
     }
 
     /// The result if already available (consumes the future on success).
@@ -267,7 +298,10 @@ impl<T> TaskFuture<T> {
     /// Whether the task was cancelled before it ran. `get` on a cancelled
     /// future re-raises [`TaskCancelled`].
     pub fn is_cancelled(&self) -> bool {
-        self.core.shared().is_cancelled()
+        match &self.repr {
+            Repr::Heap(core) => core.shared().is_cancelled(),
+            Repr::Slab(join) => join.is_cancelled(),
+        }
     }
 
     /// Wait up to `timeout` for the result; on timeout the future is handed
@@ -287,15 +321,19 @@ impl<T> TaskFuture<T> {
     ///
     /// Re-raises the task's panic (or [`TaskCancelled`]) like `get`.
     pub fn get_timeout(self, timeout: Duration) -> Result<T, TaskFuture<T>> {
-        if self.core.shared().wait_timeout(timeout) {
-            Ok(self.core.shared().take())
+        let ready = match &self.repr {
+            Repr::Heap(core) => core.shared().wait_timeout(timeout),
+            Repr::Slab(join) => join.wait_timeout(timeout),
+        };
+        if ready {
+            Ok(self.take_now())
         } else {
             Err(self)
         }
     }
 }
 
-impl<T> std::fmt::Debug for TaskFuture<T> {
+impl<T: Send + 'static> std::fmt::Debug for TaskFuture<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TaskFuture")
             .field("ready", &self.is_ready())

@@ -64,6 +64,7 @@ pub mod overload;
 pub mod policy;
 mod prim;
 mod scheduler;
+pub(crate) mod slab;
 pub mod stats;
 pub mod sync;
 pub mod trace;

@@ -13,7 +13,8 @@ use rpx_model::sync::AtomicBool;
 use rpx_model::{check, check_expect_failure, mutation, thread, Config};
 
 use crate::admission::AdmissionGate;
-use crate::scheduler::{Runnable, Scheduler, SchedulerMode, Task};
+use crate::scheduler::{Runnable, Scheduler, SchedulerMode, Task, TaskRepr};
+use crate::slab::Slab;
 use crate::sync::EventGate;
 
 /// Serializes the specs in this file: mutants arm a process-global
@@ -52,7 +53,7 @@ fn sched_park_gate() {
         let parker = Parker::new();
         let local = s2.deques[0].lock().take().expect("deque unclaimed");
         loop {
-            if let Some((t, _)) = s2.find(0, &local) {
+            if let Some(t) = s2.find(0, &local).task {
                 break t.id;
             }
             // Register *before* the final queue re-probe: a push that
@@ -70,7 +71,7 @@ fn sched_park_gate() {
     let id = sched.next_task_id();
     sched.push(
         Task {
-            run: Arc::new(Nop),
+            repr: TaskRepr::Heap(Arc::new(Nop)),
             id,
         },
         None,
@@ -186,6 +187,124 @@ fn model_admission_reopen_relaxed_mutant_is_caught() {
     assert!(
         failure.message.contains("deadlock") || failure.message.contains("step budget"),
         "expected the weakened reopen to lose the wakeup, got: {}",
+        failure.message
+    );
+}
+
+/// Protocol 6 — slab reclamation generation ordering: `free_slot` must
+/// bump the slot's generation *before* pushing it onto a free list.
+/// Once the push lands, the owner can recycle the slot; if the old
+/// generation were still visible at that point, a stale
+/// `SlabSlotRef`/`SlabJoin` handle would validate against the recycled
+/// slot and read the *next* task's state. The owner's drain
+/// (`swap(Acquire)`) pairs with the freer's `Release` push, so a
+/// successful alloc must already observe the bumped generation.
+fn slab_reclaim_generation() {
+    let slab = Arc::new(Slab::new(0, 1));
+    let idx = slab.alloc().expect("fresh slab has a free slot");
+    let gen0 = slab.slot(idx).generation();
+    let s2 = slab.clone();
+    let freer = thread::spawn(move || s2.free_slot(idx, false));
+    // Owner: recycle the slot as soon as the remote return lands.
+    loop {
+        if let Some(again) = slab.alloc() {
+            assert_eq!(again, idx);
+            assert_ne!(
+                slab.slot(idx).generation(),
+                gen0,
+                "slot recycled while still carrying the old generation"
+            );
+            break;
+        }
+        thread::yield_now();
+    }
+    freer.join().unwrap();
+}
+
+#[test]
+fn model_slab_generation_bumps_before_reuse() {
+    let _g = serial();
+    mutation::disarm_all();
+    check(
+        "model_slab_generation_bumps_before_reuse",
+        cfg(),
+        slab_reclaim_generation,
+    );
+}
+
+#[test]
+fn model_slab_gen_bump_after_push_mutant_is_caught() {
+    let _g = serial();
+    mutation::disarm_all();
+    mutation::arm("slab-gen-bump-after-push");
+    let failure = check_expect_failure(
+        "model_slab_gen_bump_after_push_mutant_is_caught",
+        cfg(),
+        slab_reclaim_generation,
+    );
+    mutation::disarm_all();
+    assert!(
+        failure.message.contains("old generation"),
+        "expected a stale-generation recycle, got: {}",
+        failure.message
+    );
+}
+
+/// Protocol 7 — cross-worker return path: a thief freeing a slot links it
+/// into the Treiber stack (`next_free` store, then `Release` CAS on
+/// `remote_head`); the owner drains the whole chain with one
+/// `swap(Acquire)`. The Release/Acquire pairing is what publishes the
+/// chain linkage — with a relaxed push the owner can read a stale
+/// `next_free` on a drained node, losing the rest of the chain (here:
+/// slot `b` becomes unreachable and the recovery loop never finishes).
+fn slab_remote_return_publishes_chain() {
+    let slab = Arc::new(Slab::new(0, 2));
+    let a = slab.alloc().expect("slot a");
+    let b = slab.alloc().expect("slot b");
+    assert!(slab.alloc().is_none(), "slab drained");
+    let s2 = slab.clone();
+    let freer = thread::spawn(move || {
+        // Push b then a, so the drained chain is a → b and the owner
+        // must follow a's freer-written `next_free` link to recover b.
+        s2.free_slot(b, false);
+        s2.free_slot(a, false);
+    });
+    let mut recovered = 0;
+    while recovered < 2 {
+        if slab.alloc().is_some() {
+            recovered += 1;
+        } else {
+            thread::yield_now();
+        }
+    }
+    freer.join().unwrap();
+}
+
+#[test]
+fn model_slab_remote_return_loses_no_slot() {
+    let _g = serial();
+    mutation::disarm_all();
+    check(
+        "model_slab_remote_return_loses_no_slot",
+        cfg(),
+        slab_remote_return_publishes_chain,
+    );
+}
+
+#[test]
+fn model_slab_remote_push_relaxed_mutant_is_caught() {
+    let _g = serial();
+    mutation::disarm_all();
+    mutation::arm("slab-remote-push-relaxed");
+    let failure = check_expect_failure(
+        "model_slab_remote_push_relaxed_mutant_is_caught",
+        cfg(),
+        slab_remote_return_publishes_chain,
+    );
+    mutation::disarm_all();
+    assert!(
+        failure.message.contains("deadlock") || failure.message.contains("step budget"),
+        "expected the unpublished chain to strand a slot, got: {}",
         failure.message
     );
 }

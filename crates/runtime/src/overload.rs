@@ -190,8 +190,10 @@ mod tests {
     #[test]
     fn stays_normal_when_calm() {
         let mut d = OverloadDetector::new();
-        let mut s = OverloadSignals::default();
-        s.tick_budget_ns = 1_000_000;
+        let mut s = OverloadSignals {
+            tick_budget_ns: 1_000_000,
+            ..Default::default()
+        };
         for _ in 0..10 {
             s = calm(&s);
             assert_eq!(d.tick(s), OverloadState::Normal);
@@ -201,9 +203,11 @@ mod tests {
     #[test]
     fn saturated_pending_is_overloaded_immediately() {
         let mut d = OverloadDetector::new();
-        let mut s = OverloadSignals::default();
-        s.capacity = 100;
-        s.tick_budget_ns = 1_000_000;
+        let mut s = OverloadSignals {
+            capacity: 100,
+            tick_budget_ns: 1_000_000,
+            ..Default::default()
+        };
         d.tick(s); // prime
         s.pending = 100; // at capacity
         s.idle_ns += 900_000; // idle is fine — depth alone must suffice

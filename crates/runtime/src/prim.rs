@@ -17,7 +17,9 @@
 mod imp {
     pub use parking_lot::{Condvar, Mutex};
     pub use std::hint::spin_loop;
-    pub use std::sync::atomic::{fence, AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+    pub use std::sync::atomic::{
+        fence, AtomicBool, AtomicI64, AtomicU64, AtomicU8, AtomicUsize, Ordering,
+    };
 
     #[inline(always)]
     pub fn mutation_armed(_name: &str) -> bool {
@@ -30,7 +32,7 @@ mod imp {
     pub use rpx_model::hint::spin_loop;
     pub use rpx_model::mutation::armed as mutation_armed;
     pub use rpx_model::sync::{
-        fence, AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Condvar, Mutex, Ordering,
+        fence, AtomicBool, AtomicI64, AtomicU64, AtomicU8, AtomicUsize, Condvar, Mutex, Ordering,
     };
 }
 

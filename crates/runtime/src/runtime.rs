@@ -1,6 +1,6 @@
 //! The runtime facade: configuration, worker lifecycle, and the spawn API.
 
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -12,13 +12,15 @@ use rpx_counters::CounterRegistry;
 use rpx_papi::Pmu;
 
 use crate::admission::{AdmissionControl, AdmissionGate};
+use crate::affinity::{BindSpec, Topology};
 use crate::anomaly::{AnomalyEvent, AnomalyLog};
 use crate::cancel::CancelToken;
 use crate::faults::{FaultInjector, FaultPlan, InjectedFault};
 use crate::future::{FutureCore, Shared, TaskFuture};
 use crate::overload::OverloadState;
 use crate::policy::{LaunchPolicy, OverloadPolicy};
-use crate::scheduler::{Runnable, Scheduler, SchedulerMode, Task};
+use crate::scheduler::{Runnable, Scheduler, SchedulerMode, Task, TaskRepr};
+use crate::slab::{Slab, SlabJoin, SlabSlotRef, SpawnMeta};
 use crate::stats::WorkerStats;
 use crate::trace::{TaskSpan, TaskTracer};
 use crate::watchdog::{RestartPolicy, RestartState, RestartVerdict};
@@ -47,8 +49,7 @@ pub struct RuntimeConfig {
     /// pending) before the watchdog counts a stall episode.
     pub stall_threshold: Duration,
     /// Admission high watermark: maximum queued-but-not-started tasks
-    /// before the admission gate closes and [`overload_policy`]
-    /// (`RuntimeConfig::overload_policy`) decides each spawn's fate.
+    /// before the admission gate closes and [`overload_policy`](RuntimeConfig::overload_policy) decides each spawn's fate.
     /// `None` (the default) disables admission control entirely.
     pub max_pending: Option<usize>,
     /// Admission low watermark: a closed gate reopens once pending work
@@ -70,6 +71,21 @@ pub struct RuntimeConfig {
     pub restart_backoff: Duration,
     /// Upper bound for the exponential restart backoff.
     pub restart_backoff_max: Duration,
+    /// Machine topology to schedule against. `None` (default) discovers
+    /// it from sysfs ([`Topology::discover`]); tests and simulations pass
+    /// an explicit shape.
+    pub topology: Option<Topology>,
+    /// Worker→hardware-thread placement policy. [`BindSpec::None`]
+    /// (default) neither pins threads nor segments the scheduler; any
+    /// other value pins each worker via `sched_setaffinity` and derives
+    /// per-socket injector segments and hierarchical victim order from
+    /// the placement.
+    pub bind: BindSpec,
+    /// Task slots per worker slab (the allocation-free spawn path).
+    /// `0` disables slabs (every spawn takes the heap fallback). Slots
+    /// are 128-byte-aligned cells of a few hundred bytes, so the default
+    /// costs on the order of 1–2 MiB per worker.
+    pub slab_slots: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -96,6 +112,9 @@ impl Default for RuntimeConfig {
             restart_window: Duration::from_secs(10),
             restart_backoff: Duration::from_millis(1),
             restart_backoff_max: Duration::from_millis(100),
+            topology: None,
+            bind: BindSpec::None,
+            slab_slots: 4096,
         }
     }
 }
@@ -146,7 +165,19 @@ impl RuntimeState {
 }
 
 pub(crate) struct RuntimeInner {
+    // Field order is load-bearing: `scheduler` (and its queues, which may
+    // hold `SlabSlotRef`s) must drop before `slabs` does.
     pub scheduler: Scheduler,
+    /// Per-worker task slabs (the allocation-free spawn path). Indexed by
+    /// worker; sized by `config.slab_slots` (possibly 0 slots).
+    pub slabs: Vec<Arc<Slab>>,
+    /// Worker→hardware-thread placement (all `None` under
+    /// [`BindSpec::None`]); workers pin themselves on loop entry.
+    pub placement: Vec<Option<u32>>,
+    /// Spawns that took the heap `Arc<TaskCell>` path instead of a slab
+    /// slot (external spawn, oversized closure, or slab exhaustion).
+    /// Feeds `/runtime/slab/fallback-allocs`.
+    pub fallback_allocs: AtomicU64,
     pub state: Arc<RuntimeState>,
     pub registry: Arc<CounterRegistry>,
     pub pmu: Arc<Pmu>,
@@ -265,8 +296,24 @@ impl Runtime {
             let low = config.resume_pending.unwrap_or(high / 2);
             AdmissionGate::new(high, low)
         });
+        // Placement: resolve the topology (explicit or discovered), map
+        // workers to hardware threads per the bind policy, and derive the
+        // socket of each worker for the scheduler's injector segments and
+        // victim ordering. `BindSpec::None` keeps everything on one
+        // segment — identical scheduling to a topology-blind build.
+        let topo = config.topology.unwrap_or_else(Topology::discover);
+        let placement: Vec<Option<u32>> = config.bind.placement(&topo, workers as u32);
+        let worker_sockets: Vec<u32> = placement
+            .iter()
+            .map(|hw| hw.map_or(0, |h| topo.socket_of_hw(h)))
+            .collect();
         let inner = Arc::new(RuntimeInner {
-            scheduler: Scheduler::new(workers, config.mode),
+            scheduler: Scheduler::with_topology(workers, config.mode, &worker_sockets),
+            slabs: (0..workers)
+                .map(|i| Arc::new(Slab::new(i, config.slab_slots)))
+                .collect(),
+            placement,
+            fallback_allocs: AtomicU64::new(0),
             state,
             registry: registry.clone(),
             pmu: pmu.clone(),
@@ -277,6 +324,9 @@ impl Runtime {
             draining: AtomicBool::new(false),
             drain_hooks: Mutex::new(Vec::new()),
         });
+        for slab in &inner.slabs {
+            slab.attach_runtime(Arc::downgrade(&inner));
+        }
 
         crate::counters::register_runtime_counters(&registry, &inner);
         rpx_papi::register_papi_counters(&registry, &pmu, config.locality);
@@ -944,7 +994,7 @@ enum Admit {
     Inline,
 }
 
-fn admit_for_queue(inner: &Arc<RuntimeInner>, spawner: Option<usize>) -> Admit {
+fn admit_for_queue(inner: &Arc<RuntimeInner>, _spawner: Option<worker::WorkerRef>) -> Admit {
     if inner.draining.load(Ordering::SeqCst) {
         return Admit::Inline;
     }
@@ -957,8 +1007,10 @@ fn admit_for_queue(inner: &Arc<RuntimeInner>, spawner: Option<usize>) -> Admit {
     match inner.config.overload_policy {
         // Backpressure — but only external threads may park: a *worker*
         // blocking on admission would deadlock the very drain that reopens
-        // the gate, so worker spawns degrade to inline instead.
-        OverloadPolicy::Block if spawner.is_none() => {
+        // the gate, so worker spawns degrade to inline instead. Keyed on
+        // "any worker thread", not "worker of this runtime": parking a
+        // foreign runtime's worker would stall that runtime too.
+        OverloadPolicy::Block if !worker::on_worker_thread() => {
             if gate.admit_blocking() {
                 Admit::Queue(Some(gate.clone()))
             } else {
@@ -973,34 +1025,159 @@ fn admit_for_queue(inner: &Arc<RuntimeInner>, spawner: Option<usize>) -> Admit {
 }
 
 /// Enqueue an admitted task (the `Async` hot path).
+///
+/// Fast path: a worker of this runtime spawning a task whose closure and
+/// output fit a slab slot takes one off its own free list and publishes a
+/// generation-checked slot reference — no allocation, no refcounts. The
+/// heap `Arc<TaskCell>` remains for external spawns, oversized closures,
+/// and slab exhaustion, counted in `/runtime/slab/fallback-allocs`.
+///
+/// The overhead window `t0..t1` now opens *before* task-cell creation
+/// (it used to open after the `Arc` allocation), so the measured ns/task
+/// includes slot/cell setup — a strictly wider, more honest window than
+/// the pre-slab numbers in EXPERIMENTS.md.
 fn queue_task<T, F>(
     inner: &Arc<RuntimeInner>,
     task_id: u64,
     site: u32,
     f: F,
     token: Option<CancelToken>,
-    spawner: Option<usize>,
+    spawner: Option<worker::WorkerRef>,
     gate: Option<Arc<AdmissionGate>>,
 ) -> TaskFuture<T>
 where
     T: Send + 'static,
     F: FnOnce() -> T + Send + 'static,
 {
-    inner.state.live.fetch_add(1, Ordering::AcqRel);
-    let cell = Arc::new(TaskCell::new(inner, task_id, site, f, true, token, gate));
     let t0 = inner.state.clock.now_ns();
+    inner.state.live.fetch_add(1, Ordering::AcqRel);
+    if crate::slab::task_fits::<T, F>() {
+        if let Some(w) = spawner {
+            let slab = &inner.slabs[w.index];
+            if let Some(idx) = slab.alloc() {
+                let spawn = SpawnMeta {
+                    task_id,
+                    parent: current_task_id().unwrap_or(u64::MAX),
+                    site,
+                    spawned_ns: t0,
+                    token,
+                    holds_gate: gate.is_some(),
+                };
+                // SAFETY: `idx` was just allocated on this (owner) thread.
+                let gen = unsafe { slab.init_task::<T, F>(idx, spawn, f) };
+                let task = Task {
+                    repr: TaskRepr::Slab(SlabSlotRef {
+                        slab: Arc::as_ptr(slab),
+                        idx,
+                        gen,
+                    }),
+                    id: task_id,
+                };
+                // SAFETY: `w.local` is the calling worker's own deque
+                // (see `WorkerRef`); this is the spawning thread.
+                inner.scheduler.push(task, Some(unsafe { &*w.local }));
+                let t1 = inner.state.clock.now_ns();
+                inner.state.stats[w.index].record_overhead(t1.saturating_sub(t0));
+                return TaskFuture::from_slab(SlabJoin::new(slab.clone(), idx, gen));
+            }
+        }
+    }
+    inner.fallback_allocs.fetch_add(1, Ordering::Relaxed);
+    let cell = Arc::new(TaskCell::new(inner, task_id, site, f, true, token, gate));
     let task = Task {
-        run: cell.clone(),
+        repr: TaskRepr::Heap(cell.clone()),
         id: task_id,
     };
-    let task = worker::push_local(inner, task).err();
-    if let Some(task) = task {
-        inner.scheduler.push(task, None);
+    match spawner {
+        // SAFETY: as above — the worker's own deque, on its own thread.
+        Some(w) => inner.scheduler.push(task, Some(unsafe { &*w.local })),
+        None => inner.scheduler.push(task, None),
     }
     let t1 = inner.state.clock.now_ns();
-    let overhead_owner = spawner.unwrap_or(0);
+    let overhead_owner = spawner.map_or(0, |w| w.index);
     inner.state.stats[overhead_owner].record_overhead(t1.saturating_sub(t0));
     TaskFuture::from_core(cell)
+}
+
+/// Run a slab-resident task: the mirror of [`TaskCell::run_body`] with
+/// identical instrumentation order (gate return, cancellation check,
+/// fault injection, net/nested timing, span record — all *before* the
+/// completion publish, so a thread observing the future ready sees the
+/// task in the counters). Slab tasks are always queued, so they always
+/// track `live`.
+pub(crate) fn run_slab_task(inner: &Arc<RuntimeInner>, slot_ref: &SlabSlotRef) {
+    let slab = slot_ref.slab();
+    let idx = slot_ref.idx;
+    if !slab.claim(idx) {
+        return;
+    }
+    let state = &inner.state;
+    // SAFETY: we won the claim; meta/payload are ours until runner_done.
+    let (task_id, parent, site, spawned_ns, cancelled, holds_gate) = unsafe {
+        let meta = slab.meta(idx);
+        (
+            meta.spawn.task_id,
+            meta.spawn.parent,
+            meta.spawn.site,
+            meta.spawn.spawned_ns,
+            meta.spawn
+                .token
+                .as_ref()
+                .is_some_and(CancelToken::is_cancelled)
+                || state.quiesce_cancel.load(Ordering::Acquire),
+            meta.spawn.holds_gate,
+        )
+    };
+    if holds_gate {
+        if let Some(gate) = &inner.gate {
+            gate.note_started();
+        }
+    }
+    let widx = worker::current_worker_index().unwrap_or(0);
+    if cancelled {
+        state.stats[widx].cancelled.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: claimant; drops the un-run closure, publishes cancelled.
+        unsafe { slab.cancel_claimed(idx) };
+        state.note_task_finished();
+        slab.runner_done(idx);
+        return;
+    }
+    if let Some(faults) = &inner.faults {
+        if faults.inject_task_panic() {
+            let _ = std::panic::catch_unwind(|| std::panic::panic_any(InjectedFault("task-panic")));
+            state.stats[widx].recovered.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    state.active.fetch_add(1, Ordering::Relaxed);
+    let nested_before = NESTED_EXEC_NS.with(|c| c.get());
+    let prev_task = CURRENT_TASK.with(|c| c.replace(task_id));
+    let start = state.clock.now_ns();
+    // SAFETY: claimant; consumes the closure (catches panics internally).
+    let outcome = unsafe { slab.run_claimed(idx) };
+    let end = state.clock.now_ns();
+    CURRENT_TASK.with(|c| c.set(prev_task));
+    state.active.fetch_sub(1, Ordering::Relaxed);
+    let gross = end.saturating_sub(start);
+    let nested_during = NESTED_EXEC_NS
+        .with(|c| c.get())
+        .saturating_sub(nested_before);
+    let net = gross.saturating_sub(nested_during);
+    NESTED_EXEC_NS.with(|c| c.set(nested_before + gross));
+    let wait_ns = start.saturating_sub(spawned_ns);
+    state.stats[widx].record_execution(net, wait_ns);
+    state.tracer.record(TaskSpan {
+        task_id,
+        parent: (parent != u64::MAX).then_some(parent),
+        site,
+        worker: widx as u32,
+        start_ns: start,
+        end_ns: end,
+        wait_ns,
+        nested_ns: nested_during,
+    });
+    slab.publish(idx, outcome);
+    state.note_task_finished();
+    slab.runner_done(idx);
 }
 
 fn spawn_inner<T, F>(
@@ -1015,9 +1192,11 @@ where
     F: FnOnce() -> T + Send + 'static,
 {
     let task_id = inner.scheduler.next_task_id();
-    let spawner = worker::current_worker_index();
-    if let Some(idx) = spawner {
-        inner.state.stats[idx]
+    // Per-runtime worker identity: a worker of runtime A spawning into
+    // runtime B must not index B's stats/slabs with A's worker index.
+    let spawner = worker::context_for(inner);
+    if let Some(w) = spawner {
+        inner.state.stats[w.index]
             .spawned
             .fetch_add(1, Ordering::Relaxed);
     }
@@ -1078,9 +1257,9 @@ where
         None => None,
     };
     let task_id = inner.scheduler.next_task_id();
-    let spawner = worker::current_worker_index();
-    if let Some(idx) = spawner {
-        inner.state.stats[idx]
+    let spawner = worker::context_for(inner);
+    if let Some(w) = spawner {
+        inner.state.stats[w.index]
             .spawned
             .fetch_add(1, Ordering::Relaxed);
     }

@@ -1,14 +1,25 @@
-//! The task scheduler: per-worker Chase–Lev deques with work stealing
-//! (default), or a single global FIFO queue (the `std::async` ordering used
-//! by the paper to explain the Floorplan anomaly).
+//! The task scheduler: per-worker Chase–Lev deques with hierarchical
+//! (socket-aware) work stealing (default), or a single global FIFO queue
+//! (the `std::async` ordering used by the paper to explain the Floorplan
+//! anomaly).
 //!
 //! The spawn path is lock-light: `push` probes an atomic sleeper count and
 //! skips the `sleepers` mutex entirely when no worker is parked (the steady
 //! state of a saturated fork/join run). The count and the queues form a
 //! Dekker-style flag/flag protocol — see DESIGN.md §"hot path" for the
 //! memory-ordering argument.
+//!
+//! # Topology-aware stealing
+//!
+//! Workers are grouped into *segments* (one per socket, from
+//! `affinity::Topology`). External spawns round-robin across one injector
+//! per segment, and `find` works outward: own deque, own-socket injector,
+//! own-socket victims, and only then — timed, so the causal profiler can
+//! attribute it — remote injectors and remote victims, always in batches
+//! so a cross-socket miss is amortized over up to half the victim's queue.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker as Deque};
 use crossbeam::sync::Unparker;
@@ -16,22 +27,31 @@ use crossbeam::sync::Unparker;
 use crate::prim::{
     fence, mutation_armed, spin_loop, AtomicI64, AtomicU64, AtomicUsize, Mutex, Ordering,
 };
+use crate::slab::SlabSlotRef;
 
-/// A schedulable task body. Implemented by the runtime's single-allocation
-/// task cell (`runtime::TaskCell`), which carries the instrumented wrapper
-/// logic *and* the future's shared state behind one `Arc`.
+/// A schedulable task body. Implemented by the runtime's heap task cell
+/// (`runtime::TaskCell`), which carries the instrumented wrapper logic
+/// *and* the future's shared state behind one `Arc`.
 pub(crate) trait Runnable: Send + Sync {
     /// Run the task body exactly once; later calls must be no-ops.
     fn run(&self);
 }
 
-/// A runnable task. `run` is the same allocation the spawner's future
-/// points at — spawning allocates once, not once per wrapper plus once per
-/// shared state.
+/// How a queued task's body is stored.
+pub(crate) enum TaskRepr {
+    /// Slow path: one `Arc<TaskCell>` per spawn (external spawns,
+    /// oversized closures, slab exhaustion).
+    Heap(Arc<dyn Runnable>),
+    /// Fast path: a generation-checked reference into the spawning
+    /// worker's slab — no allocation, no refcounts.
+    Slab(SlabSlotRef),
+}
+
+/// A runnable task. Dropping it without running it tears the body down
+/// (the heap cell via `Arc`, the slab slot via its claim protocol), so
+/// queue destruction cannot leak closures or strand joiners.
 pub(crate) struct Task {
-    /// Instrumented task cell: runs the user closure and completes the
-    /// future it embeds.
-    pub run: Arc<dyn Runnable>,
+    pub repr: TaskRepr,
     /// Monotonic task id (used by scheduler tests and diagnostics).
     #[cfg_attr(not(test), allow(dead_code))]
     pub id: u64,
@@ -59,9 +79,58 @@ impl SchedulerMode {
     }
 }
 
+/// Result of one [`Scheduler::find`] call. The steal counts follow the
+/// PR 3 convention (every migrated task counts, batches included), split
+/// by whether the victim shares the finder's socket; `remote_probe_ns`
+/// is wall time spent probing remote sockets *whether or not* anything
+/// was found there, so idle-time attribution can separate placement
+/// misses from granularity (see DESIGN.md §16).
+pub(crate) struct FindOutcome {
+    pub task: Option<Task>,
+    pub stolen_local: u64,
+    pub stolen_remote: u64,
+    pub remote_probe_ns: u64,
+}
+
+impl FindOutcome {
+    fn empty() -> Self {
+        FindOutcome {
+            task: None,
+            stolen_local: 0,
+            stolen_remote: 0,
+            remote_probe_ns: 0,
+        }
+    }
+
+    fn with_task(mut self, task: Task) -> Self {
+        self.task = Some(task);
+        self
+    }
+
+    /// Total migrated-task count (the legacy `/threads/count/stolen`).
+    #[cfg(test)]
+    pub fn stolen(&self) -> u64 {
+        self.stolen_local + self.stolen_remote
+    }
+}
+
 pub(crate) struct Scheduler {
     pub mode: SchedulerMode,
-    pub injector: Injector<Task>,
+    /// One injector segment per socket in use (always exactly one under
+    /// `GlobalQueue`). External spawns round-robin across segments;
+    /// workers claim from their own segment before probing others.
+    pub injectors: Vec<Injector<Task>>,
+    /// Injector segment each worker belongs to.
+    segment_of: Vec<usize>,
+    /// Same-socket victims per worker, in rotation order starting after
+    /// the worker itself.
+    victims_local: Vec<Vec<usize>>,
+    /// Cross-socket victims per worker, same rotation order.
+    victims_remote: Vec<Vec<usize>>,
+    /// Other segments' injectors per worker, rotation order.
+    remote_segments: Vec<Vec<usize>>,
+    /// Round-robin cursor for external pushes.
+    next_segment: AtomicUsize,
     /// Local deque of each worker, parked here until its thread claims it.
     pub deques: Vec<Mutex<Option<Deque<Task>>>>,
     pub stealers: Vec<Stealer<Task>>,
@@ -85,12 +154,64 @@ pub(crate) struct Scheduler {
 }
 
 impl Scheduler {
+    /// Single-segment scheduler (every worker on one socket).
+    #[cfg(test)]
     pub(crate) fn new(workers: usize, mode: SchedulerMode) -> Self {
+        Self::with_topology(workers, mode, &vec![0; workers])
+    }
+
+    /// Scheduler with one injector segment per distinct socket id in
+    /// `sockets` (the socket each worker is placed on). `GlobalQueue`
+    /// collapses to a single segment regardless of topology.
+    pub(crate) fn with_topology(workers: usize, mode: SchedulerMode, sockets: &[u32]) -> Self {
+        assert_eq!(sockets.len(), workers);
+        let mut distinct: Vec<u32> = sockets.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let segments = if mode == SchedulerMode::GlobalQueue {
+            1
+        } else {
+            distinct.len().max(1)
+        };
+        let segment_of: Vec<usize> = if segments == 1 {
+            vec![0; workers]
+        } else {
+            sockets
+                .iter()
+                .map(|s| distinct.binary_search(s).unwrap())
+                .collect()
+        };
+        let rotation = |i: usize| (1..workers).map(move |off| (i + off) % workers);
+        let victims_local: Vec<Vec<usize>> = (0..workers)
+            .map(|i| {
+                rotation(i)
+                    .filter(|&v| segment_of[v] == segment_of[i])
+                    .collect()
+            })
+            .collect();
+        let victims_remote: Vec<Vec<usize>> = (0..workers)
+            .map(|i| {
+                rotation(i)
+                    .filter(|&v| segment_of[v] != segment_of[i])
+                    .collect()
+            })
+            .collect();
+        let remote_segments: Vec<Vec<usize>> = (0..workers)
+            .map(|i| {
+                let own = segment_of[i];
+                (1..segments).map(|off| (own + off) % segments).collect()
+            })
+            .collect();
         let deques: Vec<Deque<Task>> = (0..workers).map(|_| Deque::new_lifo()).collect();
         let stealers = deques.iter().map(|d| d.stealer()).collect();
         Scheduler {
             mode,
-            injector: Injector::new(),
+            injectors: (0..segments).map(|_| Injector::new()).collect(),
+            segment_of,
+            victims_local,
+            victims_remote,
+            remote_segments,
+            next_segment: AtomicUsize::new(0),
             deques: deques.into_iter().map(|d| Mutex::new(Some(d))).collect(),
             stealers,
             pending: AtomicI64::new(0),
@@ -105,14 +226,28 @@ impl Scheduler {
         self.next_id.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// Injector segments in use (1 unless NUMA placement is active).
+    #[cfg(test)]
+    pub(crate) fn segments(&self) -> usize {
+        self.injectors.len()
+    }
+
     /// Enqueue a task. `local` is the spawning worker's own deque when the
     /// spawn happens on a worker thread (push-local for locality), `None`
-    /// for external spawns (which go through the global injector).
+    /// for external spawns (which round-robin across the per-socket
+    /// injector segments).
     pub(crate) fn push(&self, task: Task, local: Option<&Deque<Task>>) {
         self.pending.fetch_add(1, Ordering::Relaxed);
         match (self.mode, local) {
             (SchedulerMode::LocalQueues, Some(deque)) => deque.push(task),
-            _ => self.injector.push(task),
+            _ => {
+                let seg = if self.injectors.len() == 1 {
+                    0
+                } else {
+                    self.next_segment.fetch_add(1, Ordering::Relaxed) % self.injectors.len()
+                };
+                self.injectors[seg].push(task);
+            }
         }
         self.wake_one();
     }
@@ -125,63 +260,103 @@ impl Scheduler {
     /// vanishing into an unbounded in-`find` loop.
     const RETRY_SWEEPS: usize = 4;
 
-    /// Find work for worker `index`. Returns the task and the number of
-    /// tasks newly taken from *other workers' queues* by this call: `0`
-    /// for a local pop or an injector claim, `1 + extras` when a batch
-    /// steal moved `extras` follow-up tasks into `local` along with the
-    /// returned task (so `/threads/count/stolen` counts every migrated
-    /// task, not one per steal call).
-    pub(crate) fn find(&self, index: usize, local: &Deque<Task>) -> Option<(Task, u64)> {
+    /// Find work for worker `index`, working outward: own deque (LIFO),
+    /// own-segment injector, same-socket victims, then — timed — remote
+    /// injectors and remote victims. Steal counts cover every migrated
+    /// task (batches included), split local/remote by victim socket;
+    /// injector claims are not steals. `remote_probe_ns` accrues whenever
+    /// the remote phase runs, found or not.
+    pub(crate) fn find(&self, index: usize, local: &Deque<Task>) -> FindOutcome {
+        let mut out = FindOutcome::empty();
         if self.mode == SchedulerMode::GlobalQueue {
             // Single-task steals only: batching would strand tasks in the
             // local deque, which this mode never reads.
             for _ in 0..Self::RETRY_SWEEPS {
-                match self.injector.steal() {
-                    Steal::Success(t) => return Some((t, 0)),
+                match self.injectors[0].steal() {
+                    Steal::Success(t) => return out.with_task(t),
                     Steal::Retry => std::hint::spin_loop(),
-                    Steal::Empty => return None,
+                    Steal::Empty => return out,
                 }
             }
-            return None;
+            return out;
         }
         // 1. Own deque (LIFO: most recently spawned child first — cache-hot).
         if let Some(t) = local.pop() {
-            return Some((t, 0));
+            return out.with_task(t);
         }
+        let seg = self.segment_of[index];
+        let has_remote =
+            !self.victims_remote[index].is_empty() || !self.remote_segments[index].is_empty();
         for _ in 0..Self::RETRY_SWEEPS {
             let mut contended = false;
-            // 2. Global injector (external spawns); batch-refills `local`.
-            match self.injector.steal_batch_and_pop_counted(local) {
-                Steal::Success((t, _moved)) => return Some((t, 0)),
+            // 2. Own-segment injector (external spawns); batch-refills
+            // `local`. Claims are not steals.
+            match self.injectors[seg].steal_batch_and_pop_counted(local) {
+                Steal::Success((t, _moved)) => return out.with_task(t),
                 Steal::Retry => contended = true,
                 Steal::Empty => {}
             }
-            // 3. Steal from siblings, starting after ourselves to spread
+            // 3. Same-socket victims, starting after ourselves to spread
             // load. One batch per victim visit: the returned task plus up
             // to half the victim's queue moved into `local`.
-            let n = self.stealers.len();
-            for off in 1..n {
-                let victim = (index + off) % n;
+            for &victim in &self.victims_local[index] {
                 match self.stealers[victim].steal_batch_and_pop_counted(local) {
-                    Steal::Success((t, moved)) => return Some((t, moved as u64 + 1)),
+                    Steal::Success((t, moved)) => {
+                        out.stolen_local = moved as u64 + 1;
+                        return out.with_task(t);
+                    }
                     Steal::Retry => contended = true,
                     Steal::Empty => {}
                 }
             }
+            // 4. Remote phase, entered only with the whole local socket
+            // dry. Timed so placement misses are attributable separately
+            // from granularity in idle-time accounting.
+            if has_remote {
+                let probe_start = Instant::now();
+                let mut found: Option<(Task, u64)> = None;
+                'remote: {
+                    for &rseg in &self.remote_segments[index] {
+                        match self.injectors[rseg].steal_batch_and_pop_counted(local) {
+                            Steal::Success((t, _moved)) => {
+                                found = Some((t, 0));
+                                break 'remote;
+                            }
+                            Steal::Retry => contended = true,
+                            Steal::Empty => {}
+                        }
+                    }
+                    for &victim in &self.victims_remote[index] {
+                        match self.stealers[victim].steal_batch_and_pop_counted(local) {
+                            Steal::Success((t, moved)) => {
+                                found = Some((t, moved as u64 + 1));
+                                break 'remote;
+                            }
+                            Steal::Retry => contended = true,
+                            Steal::Empty => {}
+                        }
+                    }
+                }
+                out.remote_probe_ns += probe_start.elapsed().as_nanos() as u64;
+                if let Some((t, stolen)) = found {
+                    out.stolen_remote = stolen;
+                    return out.with_task(t);
+                }
+            }
             if !contended {
-                return None;
+                return out;
             }
             spin_loop();
         }
-        None
+        out
     }
 
-    /// Whether any queue (injector or a worker deque) currently holds a
-    /// task. A racy snapshot — used as the park gate, where a false
+    /// Whether any queue (an injector segment or a worker deque) currently
+    /// holds a task. A racy snapshot — used as the park gate, where a false
     /// positive costs one extra find pass and a false negative is covered
     /// by the sleeper-registration protocol.
     pub(crate) fn has_queued_work(&self) -> bool {
-        !self.injector.is_empty() || self.stealers.iter().any(|s| !s.is_empty())
+        self.injectors.iter().any(|i| !i.is_empty()) || self.stealers.iter().any(|s| !s.is_empty())
     }
 
     /// Approximate number of queued tasks. Clamped at zero: workers batch
@@ -287,17 +462,18 @@ impl Scheduler {
         self.sleeper_count.load(Ordering::SeqCst)
     }
 
-    /// Move every task parked in worker `index`'s deque into the global
-    /// injector. Used by the restart circuit breaker: a retired worker's
-    /// queued tasks must drain through the survivors. `pending` is
-    /// untouched — the tasks are still queued, just somewhere reachable.
-    /// Returns the number of tasks moved.
+    /// Move every task parked in worker `index`'s deque into the worker's
+    /// own injector segment. Used by the restart circuit breaker: a
+    /// retired worker's queued tasks must drain through the survivors.
+    /// `pending` is untouched — the tasks are still queued, just somewhere
+    /// reachable. Returns the number of tasks moved.
     pub(crate) fn reparent_to_injector(&self, index: usize) -> u64 {
         let guard = self.deques[index].lock();
         let mut moved = 0;
         if let Some(deque) = guard.as_ref() {
+            let seg = self.segment_of[index];
             while let Some(task) = deque.pop() {
-                self.injector.push(task);
+                self.injectors[seg].push(task);
                 moved += 1;
             }
         }
@@ -317,9 +493,15 @@ mod tests {
 
     fn task(id: u64) -> Task {
         Task {
-            run: Arc::new(Nop),
+            repr: TaskRepr::Heap(Arc::new(Nop)),
             id,
         }
+    }
+
+    fn take(s: &Scheduler, index: usize, local: &Deque<Task>) -> Option<(Task, u64)> {
+        let out = s.find(index, local);
+        let stolen = out.stolen();
+        out.task.map(|t| (t, stolen))
     }
 
     #[test]
@@ -328,11 +510,11 @@ mod tests {
         let local = s.deques[0].lock().take().unwrap();
         s.push(task(1), Some(&local));
         s.push(task(2), Some(&local));
-        let (t, stolen) = s.find(0, &local).unwrap();
+        let (t, stolen) = take(&s, 0, &local).unwrap();
         assert_eq!(t.id, 2, "own deque must be LIFO");
         assert_eq!(stolen, 0, "local pops are not steals");
-        assert_eq!(s.find(0, &local).unwrap().0.id, 1);
-        assert!(s.find(0, &local).is_none());
+        assert_eq!(take(&s, 0, &local).unwrap().0.id, 1);
+        assert!(take(&s, 0, &local).is_none());
     }
 
     #[test]
@@ -341,7 +523,7 @@ mod tests {
         let local = s.deques[0].lock().take().unwrap();
         s.push(task(1), None);
         s.push(task(2), None);
-        let got = s.find(0, &local).unwrap().0.id;
+        let got = take(&s, 0, &local).unwrap().0.id;
         assert_eq!(got, 1, "injector must be FIFO");
     }
 
@@ -352,7 +534,7 @@ mod tests {
         let local1 = s.deques[1].lock().take().unwrap();
         s.push(task(1), Some(&local0));
         s.push(task(2), Some(&local0));
-        let (t, stolen) = s.find(1, &local1).unwrap();
+        let (t, stolen) = take(&s, 1, &local1).unwrap();
         assert!(stolen >= 1, "victim tasks count as stolen");
         assert_eq!(t.id, 1, "steals take the oldest task");
     }
@@ -365,17 +547,22 @@ mod tests {
         for i in 0..8 {
             s.push(task(i), Some(&local0));
         }
-        let (t, stolen) = s.find(1, &local1).unwrap();
+        let out = s.find(1, &local1);
+        let t = out.task.unwrap();
         assert_eq!(t.id, 0, "the returned task is the victim's oldest");
         assert_eq!(
-            stolen,
+            out.stolen_local,
             1 + local1.len() as u64,
             "stolen must count the returned task plus every batched task"
         );
-        assert_eq!(stolen, 5, "half of 8 ride along with the returned task");
+        assert_eq!(
+            out.stolen_local, 5,
+            "half of 8 ride along with the returned task"
+        );
+        assert_eq!(out.stolen_remote, 0, "same-socket steals are local");
         // The batched tasks now come out of worker 1's own deque as local
         // (non-stolen) finds.
-        let (_, restolen) = s.find(1, &local1).unwrap();
+        let (_, restolen) = take(&s, 1, &local1).unwrap();
         assert_eq!(restolen, 0, "batched tasks must not be double-counted");
         // Worker 0 still owns the other three.
         assert_eq!(local0.len(), 3);
@@ -388,7 +575,7 @@ mod tests {
         for i in 0..6 {
             s.push(task(i), None);
         }
-        let (t, stolen) = s.find(0, &local).unwrap();
+        let (t, stolen) = take(&s, 0, &local).unwrap();
         assert_eq!(t.id, 0, "injector is FIFO");
         assert_eq!(stolen, 0, "injector claims are not steals");
         assert!(
@@ -404,7 +591,72 @@ mod tests {
         s.push(task(7), Some(&local));
         // Task must be findable by the *other* worker too.
         let local1 = s.deques[1].lock().take().unwrap();
-        assert_eq!(s.find(1, &local1).unwrap().0.id, 7);
+        assert_eq!(take(&s, 1, &local1).unwrap().0.id, 7);
+    }
+
+    #[test]
+    fn hierarchical_find_prefers_socket_local_victims() {
+        // Workers 0,1 on socket 0; workers 2,3 on socket 1.
+        let s = Scheduler::with_topology(4, SchedulerMode::LocalQueues, &[0, 0, 1, 1]);
+        let local0 = s.deques[0].lock().take().unwrap();
+        let local1 = s.deques[1].lock().take().unwrap();
+        let local2 = s.deques[2].lock().take().unwrap();
+        s.push(task(10), Some(&local1)); // same-socket victim
+        s.push(task(20), Some(&local2)); // remote victim
+        let out = s.find(0, &local0);
+        assert_eq!(out.task.unwrap().id, 10, "socket-local victim wins");
+        assert_eq!(out.stolen_local, 1);
+        assert_eq!(out.stolen_remote, 0);
+        assert_eq!(
+            out.remote_probe_ns, 0,
+            "remote phase must not run while the local socket has work"
+        );
+    }
+
+    #[test]
+    fn remote_steals_are_counted_and_timed_separately() {
+        let s = Scheduler::with_topology(4, SchedulerMode::LocalQueues, &[0, 0, 1, 1]);
+        let local0 = s.deques[0].lock().take().unwrap();
+        let local2 = s.deques[2].lock().take().unwrap();
+        s.push(task(20), Some(&local2));
+        s.push(task(21), Some(&local2));
+        let out = s.find(0, &local0);
+        assert_eq!(out.task.unwrap().id, 20);
+        assert_eq!(out.stolen_local, 0);
+        assert!(out.stolen_remote >= 1, "cross-socket tasks count as remote");
+        // A miss must still report the remote probe window.
+        let local1 = s.deques[1].lock().take().unwrap();
+        let drained: Vec<u64> = std::iter::from_fn(|| take(&s, 0, &local0).map(|(t, _)| t.id))
+            .chain(std::iter::from_fn(|| {
+                take(&s, 1, &local1).map(|(t, _)| t.id)
+            }))
+            .collect();
+        assert!(drained.contains(&21));
+        let miss = s.find(2, &local2);
+        assert!(miss.task.is_none());
+    }
+
+    #[test]
+    fn external_pushes_round_robin_across_segments() {
+        let s = Scheduler::with_topology(2, SchedulerMode::LocalQueues, &[0, 1]);
+        assert_eq!(s.segments(), 2);
+        for i in 0..4 {
+            s.push(task(i), None);
+        }
+        assert!(!s.injectors[0].is_empty(), "segment 0 got external work");
+        assert!(!s.injectors[1].is_empty(), "segment 1 got external work");
+        // Every task remains findable from one worker (remote phase).
+        let local0 = s.deques[0].lock().take().unwrap();
+        let mut ids: Vec<u64> =
+            std::iter::from_fn(|| take(&s, 0, &local0).map(|(t, _)| t.id)).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn global_mode_forces_single_segment() {
+        let s = Scheduler::with_topology(4, SchedulerMode::GlobalQueue, &[0, 0, 1, 1]);
+        assert_eq!(s.segments(), 1, "global FIFO must stay a single queue");
     }
 
     #[test]
@@ -415,7 +667,7 @@ mod tests {
         s.push(task(1), Some(&local));
         s.push(task(2), Some(&local));
         assert_eq!(s.pending_tasks(), 2);
-        let _ = s.find(0, &local).unwrap();
+        let _ = take(&s, 0, &local).unwrap();
         s.note_started_n(1);
         assert_eq!(s.pending_tasks(), 1);
     }
@@ -482,7 +734,7 @@ mod tests {
         assert!(!s.has_queued_work());
         s.push(task(1), None);
         assert!(s.has_queued_work(), "probe must see the injector");
-        assert!(s.find(0, &local).is_some());
+        assert!(take(&s, 0, &local).is_some());
         assert!(!s.has_queued_work());
         s.push(task(2), Some(&local));
         assert!(s.has_queued_work(), "probe must see worker deques");
@@ -505,7 +757,7 @@ mod tests {
         // batch refill puts extras in its own deque, all still findable.
         let local1 = s.deques[1].lock().take().unwrap();
         let mut ids = Vec::new();
-        while let Some((t, _)) = s.find(1, &local1) {
+        while let Some((t, _)) = take(&s, 1, &local1) {
             ids.push(t.id);
         }
         ids.sort_unstable();

@@ -25,6 +25,16 @@ pub struct WorkerStats {
     pub wait_ns: AtomicU64,
     /// Tasks this worker stole from another worker's queue.
     pub stolen: AtomicU64,
+    /// Steals from victims on this worker's own socket segment
+    /// (feeds `/threads/steals-local`).
+    pub stolen_local: AtomicU64,
+    /// Steals from victims on a remote socket segment
+    /// (feeds `/threads/steals-remote`).
+    pub stolen_remote: AtomicU64,
+    /// Nanoseconds spent probing remote-socket queues (hit or miss).
+    /// Sub-attribution of `idle_ns`-adjacent time: the causal profiler
+    /// reads this so placement misses aren't blamed on task granularity.
+    pub steal_probe_remote_ns: AtomicU64,
     /// Tasks this worker spawned.
     pub spawned: AtomicU64,
     /// Nanoseconds spent looking for work unsuccessfully (idle).

@@ -30,6 +30,9 @@ struct Ctx {
     /// Pointer to the worker's own deque, valid for the lifetime of the
     /// worker loop; only ever dereferenced from this thread.
     local: *const Deque<Task>,
+    /// Pointer to the worker's own slab (kept alive by `RuntimeInner`,
+    /// which this thread holds an `Arc` to for the loop's lifetime).
+    slab: *const crate::slab::Slab,
 }
 
 thread_local! {
@@ -47,6 +50,44 @@ pub(crate) fn current_worker_index() -> Option<usize> {
     CTX.with(|c| c.borrow().as_ref().map(|ctx| ctx.index))
 }
 
+/// A worker's identity within one specific runtime: its index plus its
+/// own deque. `local` is only valid on the worker's thread (which is the
+/// only thread that can obtain a `WorkerRef` for it) while the worker
+/// loop below it on the stack is alive.
+#[derive(Clone, Copy)]
+pub(crate) struct WorkerRef {
+    pub index: usize,
+    pub local: *const Deque<Task>,
+}
+
+/// The calling worker's identity, but only when it belongs to *this*
+/// runtime. Spawn paths must use this instead of
+/// [`current_worker_index`]: a worker of runtime A spawning into runtime
+/// B must not index B's per-worker state with A's index. The identity
+/// check compares pointers (`Weak::as_ptr`), so the spawn hot path pays
+/// no refcount RMW.
+pub(crate) fn context_for(inner: &Arc<RuntimeInner>) -> Option<WorkerRef> {
+    CTX.with(|c| {
+        c.borrow().as_ref().and_then(|ctx| {
+            if std::ptr::eq(ctx.inner.as_ptr(), Arc::as_ptr(inner)) {
+                Some(WorkerRef {
+                    index: ctx.index,
+                    local: ctx.local,
+                })
+            } else {
+                None
+            }
+        })
+    })
+}
+
+/// The calling worker's slab, or null when not on a worker thread. Used
+/// by `Slab::cleanup` to decide between the owner-local free list and
+/// the cross-worker return path.
+pub(crate) fn current_slab_ptr() -> *const crate::slab::Slab {
+    CTX.with(|c| c.borrow().as_ref().map_or(std::ptr::null(), |ctx| ctx.slab))
+}
+
 fn current() -> Option<(usize, Arc<RuntimeInner>, *const Deque<Task>)> {
     CTX.with(|c| {
         c.borrow().as_ref().and_then(|ctx| {
@@ -55,30 +96,6 @@ fn current() -> Option<(usize, Arc<RuntimeInner>, *const Deque<Task>)> {
                 .map(|inner| (ctx.index, inner, ctx.local))
         })
     })
-}
-
-/// Push a task onto the calling worker's local deque if the caller is a
-/// worker of `inner`; returns the task back otherwise.
-pub(crate) fn push_local(inner: &Arc<RuntimeInner>, task: Task) -> Result<(), Task> {
-    let ptr = CTX.with(|c| {
-        c.borrow().as_ref().and_then(|ctx| {
-            // Only route to the local deque when it belongs to the same
-            // runtime (a thread can only serve one runtime, but be safe).
-            match ctx.inner.upgrade() {
-                Some(i) if Arc::ptr_eq(&i, inner) => Some(ctx.local),
-                _ => None,
-            }
-        })
-    });
-    match ptr {
-        Some(p) => {
-            // SAFETY: `p` points to the deque owned by this thread's worker
-            // loop, which is alive for as long as CTX is set.
-            inner.scheduler.push(task, Some(unsafe { &*p }));
-            Ok(())
-        }
-        None => Err(task),
-    }
 }
 
 /// Thread-local accumulator for `pending`-counter decrements. A scheduling
@@ -134,19 +151,45 @@ impl Drop for PendingBatch<'_> {
 /// future's completion; here we only account the scheduler-side events.
 /// The `pending` decrement is the caller's job (batched via
 /// [`PendingBatch`]).
-pub(crate) fn execute_task(inner: &Arc<RuntimeInner>, index: usize, task: Task, stolen: u64) {
+pub(crate) fn execute_task(
+    inner: &Arc<RuntimeInner>,
+    index: usize,
+    task: Task,
+    stolen_local: u64,
+    stolen_remote: u64,
+) {
+    let stolen = stolen_local + stolen_remote;
     if stolen > 0 {
         // `stolen` counts every task the find moved off another worker's
         // deque: the task we are about to run plus any batch-steal extras
         // now parked in our local deque. Those extras come back out as
         // local (stolen == 0) finds, so crediting them here keeps
         // `/threads/count/stolen` equal to "tasks migrated between
-        // workers" without double counting.
-        inner.state.stats[index]
-            .stolen
-            .fetch_add(stolen, Ordering::Relaxed);
+        // workers" without double counting. The local/remote split drives
+        // `/threads/count/steals-{local,remote}`.
+        let stats = &inner.state.stats[index];
+        stats.stolen.fetch_add(stolen, Ordering::Relaxed);
+        if stolen_local > 0 {
+            stats
+                .stolen_local
+                .fetch_add(stolen_local, Ordering::Relaxed);
+        }
+        if stolen_remote > 0 {
+            stats
+                .stolen_remote
+                .fetch_add(stolen_remote, Ordering::Relaxed);
+        }
     }
-    task.run.run();
+    let Task { repr, id: _ } = task;
+    match repr {
+        crate::scheduler::TaskRepr::Heap(run) => run.run(),
+        crate::scheduler::TaskRepr::Slab(slot_ref) => {
+            crate::runtime::run_slab_task(inner, &slot_ref);
+            // The run claimed the slot; forgetting the ref skips the
+            // teardown claim its Drop would otherwise attempt.
+            std::mem::forget(slot_ref);
+        }
+    }
 }
 
 /// Clears the worker context and re-parks the deque into its scheduler
@@ -179,12 +222,19 @@ pub(crate) fn worker_loop(inner: Arc<RuntimeInner>, index: usize) {
         index,
         deque: Some(deque),
     };
+    // Bind to the placed hardware thread when a bind policy is active; a
+    // failed pin is tolerated (the socket assignment used for victim
+    // ordering still stands, it is just advisory then).
+    if let Some(hw) = inner.placement.get(index).copied().flatten() {
+        let _ = crate::affinity::pin_current_thread(hw);
+    }
     let local: *const Deque<Task> = guard.deque.as_ref().expect("deque just parked") as *const _;
     CTX.with(|c| {
         *c.borrow_mut() = Some(Ctx {
             index,
             inner: Arc::downgrade(&inner),
             local,
+            slab: Arc::as_ptr(&inner.slabs[index]),
         });
     });
 
@@ -240,8 +290,19 @@ fn run_loop(inner: &Arc<RuntimeInner>, index: usize, deque: &Deque<Task>) {
     loop {
         stats.beat();
         let t0 = state.clock.now_ns();
-        match inner.scheduler.find(index, deque) {
-            Some((task, stolen)) => {
+        let found = inner.scheduler.find(index, deque);
+        if found.remote_probe_ns > 0 {
+            // Sub-attribution of the find window: time spent probing
+            // remote sockets, successful or not. The overall balance is
+            // untouched (the window still lands in overhead/idle below);
+            // this lets the causal profiler separate placement misses
+            // from granularity.
+            stats
+                .steal_probe_remote_ns
+                .fetch_add(found.remote_probe_ns, Ordering::Relaxed);
+        }
+        match found.task {
+            Some(task) => {
                 batch.note_started();
                 let t1 = state.clock.now_ns();
                 stats.record_overhead(t1.saturating_sub(t0));
@@ -253,7 +314,7 @@ fn run_loop(inner: &Arc<RuntimeInner>, index: usize, deque: &Deque<Task>) {
                         std::thread::sleep(stall);
                     }
                 }
-                execute_task(inner, index, task, stolen);
+                execute_task(inner, index, task, found.stolen_local, found.stolen_remote);
                 // Injected worker kill fires only after the task completed:
                 // the unwind holds no task, so respawning loses nothing
                 // (`batch` flushes on drop during the unwind).
@@ -299,12 +360,18 @@ pub(crate) fn help_while(pred: impl Fn() -> bool) {
     while pred() {
         stats.beat();
         let t0 = inner.state.clock.now_ns();
-        match inner.scheduler.find(index, deque) {
-            Some((task, stolen)) => {
+        let found = inner.scheduler.find(index, deque);
+        if found.remote_probe_ns > 0 {
+            stats
+                .steal_probe_remote_ns
+                .fetch_add(found.remote_probe_ns, Ordering::Relaxed);
+        }
+        match found.task {
+            Some(task) => {
                 batch.note_started();
                 let t1 = inner.state.clock.now_ns();
                 stats.record_overhead(t1.saturating_sub(t0));
-                execute_task(&inner, index, task, stolen);
+                execute_task(&inner, index, task, found.stolen_local, found.stolen_remote);
                 idle_spins = 0;
             }
             None => {
@@ -337,7 +404,7 @@ mod tests {
 
     fn nop_task(id: u64) -> Task {
         Task {
-            run: Arc::new(Nop),
+            repr: crate::scheduler::TaskRepr::Heap(Arc::new(Nop)),
             id,
         }
     }

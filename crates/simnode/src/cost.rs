@@ -28,6 +28,14 @@ pub struct HpxCostModel {
     /// use (cross-socket cache-line ping-pong on the shared structures):
     /// `service = spawn_serial_ns × (1 + factor × (sockets_used − 1))`.
     pub cross_socket_serial_factor: f64,
+    /// Disable hierarchical victim selection: thieves visit victims in
+    /// flat core order instead of exhausting their own socket first.
+    /// The A/B against the default (hierarchical) run isolates how much
+    /// of the placement win comes from the victim *order* alone —
+    /// remote steals stop being a last resort and their
+    /// `remote_steal_extra_ns` surcharge lands on far more steals.
+    #[serde(default)]
+    pub topology_blind_steal: bool,
 }
 
 impl Default for HpxCostModel {
@@ -41,6 +49,7 @@ impl Default for HpxCostModel {
             remote_steal_extra_ns: 900,
             spawn_serial_ns: 50,
             cross_socket_serial_factor: 1.5,
+            topology_blind_steal: false,
         }
     }
 }

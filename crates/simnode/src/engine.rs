@@ -355,11 +355,18 @@ impl<'g> Engine<'g> {
                 if let Some(task) = injector.pop_front() {
                     return Some((task, 0));
                 }
-                // 3. steal, nearest victims first
+                // 3. steal — nearest victims first unless the model is
+                // topology-blind, in which case flat core order (the
+                // pre-hierarchical baseline for the placement A/B).
                 let my_socket = machine.socket_of_hw(core);
                 let mut victims: Vec<u32> = (0..self.cores).filter(|&c| c != core).collect();
-                victims
-                    .sort_by_key(|&c| (machine.socket_of_hw(c) != my_socket, c.wrapping_sub(core)));
+                if cost.topology_blind_steal {
+                    victims.sort_by_key(|&c| c.wrapping_sub(core));
+                } else {
+                    victims.sort_by_key(|&c| {
+                        (machine.socket_of_hw(c) != my_socket, c.wrapping_sub(core))
+                    });
+                }
                 for v in victims {
                     if let Some(task) = locals[v as usize].pop_front() {
                         let remote = machine.socket_of_hw(v) != my_socket;

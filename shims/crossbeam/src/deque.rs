@@ -422,7 +422,7 @@ impl<T> Stealer<T> {
     /// Shim extension: like [`Stealer::steal_batch_and_pop`], but also
     /// reports how many *extra* tasks were moved into `dest` (the returned
     /// task is not counted). One call transfers up to half of the victim's
-    /// announced queue, capped at [`MAX_BATCH`]; each transfer is a
+    /// announced queue, capped at `MAX_BATCH`; each transfer is a
     /// canonical single-task claim, so a concurrent owner pop or competing
     /// stealer simply ends the batch early — tasks are never lost or
     /// duplicated. The runtime uses the count to keep `/threads/count/

@@ -253,7 +253,7 @@ impl<T> Injector<T> {
     /// Shim extension: like [`Injector::steal_batch_and_pop`], but also
     /// reports how many *extra* tasks were moved into `dest`. One call
     /// transfers up to half of the announced queue, capped at
-    /// [`MAX_BATCH`]; a competing consumer ends the batch early.
+    /// `MAX_BATCH`; a competing consumer ends the batch early.
     pub fn steal_batch_and_pop_counted(&self, dest: &Worker<T>) -> Steal<(T, usize)> {
         let announced = self.len();
         let first = match self.steal() {

@@ -193,3 +193,46 @@ fn all_fourteen_figures_build_at_test_scale() {
         );
     }
 }
+
+#[test]
+fn hierarchical_stealing_wins_placement_on_two_sockets() {
+    // DESIGN.md §16: with 12 cores spanning both sockets of the Ivy
+    // Bridge node (fill-first: 10 + 2), exhausting the local socket
+    // before probing remote victims must (a) keep cross-socket steals a
+    // minority of all steals and (b) beat the topology-blind victim
+    // order, which pays `remote_steal_extra_ns` on steals a local
+    // victim could have served. Health at paper scale steals often
+    // enough for the placement effect to dominate ordering noise.
+    let g = Benchmark::Health.sim_graph(InputScale::Paper);
+    let hier = simulate(&g, &SimConfig::hpx(12));
+
+    let mut blind_cfg = SimConfig::hpx(12);
+    if let SimRuntimeKind::Hpx { cost, .. } = &mut blind_cfg.runtime {
+        cost.topology_blind_steal = true;
+    }
+    let blind = simulate(&g, &blind_cfg);
+
+    assert!(hier.completed() && blind.completed());
+    assert!(hier.steals > 0, "12-core health must steal");
+    assert!(
+        hier.remote_steals * 2 < hier.steals,
+        "hierarchical: remote steals {}/{} should be the minority",
+        hier.remote_steals,
+        hier.steals
+    );
+    // Blind order pays the cross-socket surcharge far more often...
+    let hier_share = hier.remote_steals as f64 / hier.steals as f64;
+    let blind_share = blind.remote_steals as f64 / blind.steals.max(1) as f64;
+    assert!(
+        hier_share < blind_share,
+        "hierarchical remote share {hier_share:.3} vs blind {blind_share:.3}"
+    );
+    // ...and the simulator is deterministic, so the placement win shows
+    // up as a strictly shorter makespan.
+    assert!(
+        hier.makespan_ns < blind.makespan_ns,
+        "hierarchical {} should beat blind {}",
+        hier.makespan_ns,
+        blind.makespan_ns
+    );
+}
