@@ -70,7 +70,7 @@ pub mod statistics;
 pub mod stats;
 pub mod value;
 
-pub use counter::{Clock, Counter};
+pub use counter::{Clock, ClockDrift, Counter};
 pub use error::CounterError;
 pub use locality::DistributedRegistry;
 pub use name::{CounterInstance, CounterName, InstanceIndex, InstancePart};

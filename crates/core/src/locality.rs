@@ -228,10 +228,11 @@ mod tests {
         let net: Vec<_> = names.iter().filter(|n| n.object == "net").collect();
         assert_eq!(net.len(), 2);
         // The self-measurement counters (overhead/time, overhead/count,
-        // health/average-underflows) advertise a pinned locality#0/total
-        // instance which discovery re-pins per locality.
+        // health/average-underflows, clock/recalibrations, clock/drift-ppm)
+        // advertise a pinned locality#0/total instance which discovery
+        // re-pins per locality.
         let overhead: Vec<_> = names.iter().filter(|n| n.object == "counters").collect();
-        assert_eq!(overhead.len(), 6);
+        assert_eq!(overhead.len(), 10);
     }
 
     #[test]

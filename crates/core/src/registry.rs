@@ -681,7 +681,7 @@ impl std::fmt::Debug for CounterRegistry {
 /// counters.
 fn register_overhead_counters(reg: &Arc<CounterRegistry>) {
     type OverheadRead = fn(&CounterRegistry) -> i64;
-    let specs: [(&str, &str, &str, OverheadRead); 3] = [
+    let specs: [(&str, &str, &str, OverheadRead); 4] = [
         (
             "/counters/overhead/time",
             "cumulative wall time spent evaluating counter batches",
@@ -700,6 +700,13 @@ fn register_overhead_counters(reg: &Arc<CounterRegistry>) {
              past its baseline (nonzero means a broken source)",
             "1",
             |_| crate::counter::average_underflows() as i64,
+        ),
+        (
+            "/counters/clock/recalibrations",
+            "times the TSC clock multiplier was re-derived by the periodic \
+             drift cross-check against Instant",
+            "1",
+            |r| r.clock.recalibrations() as i64,
         ),
     ];
     for (path, help, unit, read) in specs {
@@ -727,6 +734,16 @@ fn register_overhead_counters(reg: &Arc<CounterRegistry>) {
             })),
         );
     }
+    // Signed gauge: the last TSC−Instant error a completed drift check
+    // observed (ppm). Raw, not monotonic — it moves both ways.
+    let weak = Arc::downgrade(reg);
+    reg.register_raw(
+        "/counters/clock/drift-ppm",
+        "last signed TSC-vs-Instant relative error observed by the drift \
+         cross-check (ppm; 0 on Instant-backed clocks)",
+        "ppm",
+        Arc::new(move || weak.upgrade().map_or(0, |r| r.clock.last_drift_ppm())),
+    );
 }
 
 /// Discoverer advertising exactly the bare type path as the only instance.

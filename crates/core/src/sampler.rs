@@ -55,17 +55,31 @@ pub trait SampleSink: Send {
     fn record(&mut self, batch: &SampleBatch);
     /// Called when sampling stops.
     fn finish(&mut self) {}
+    /// Cumulative number of records this sink failed to deliver (write
+    /// errors, capacity evictions, …). Sinks that can lose data MUST
+    /// count every loss here — silent drops corrupt downstream rate
+    /// computations invisibly. Mirrored into
+    /// [`SamplerHealth::sink_dropped`] and the
+    /// `/counters/sampler/dropped` counter by the sampling loop.
+    fn dropped(&self) -> u64 {
+        0
+    }
 }
 
 /// Sink writing one CSV row per batch: `sequence,timestamp_ns,<value...>`.
+///
+/// A row whose write fails (full disk, closed pipe) is counted in
+/// [`dropped`](SampleSink::dropped) — once per row, however many of its
+/// field writes failed — instead of being silently swallowed.
 pub struct CsvSink<W: Write + Send> {
     out: W,
+    dropped: u64,
 }
 
 impl<W: Write + Send> CsvSink<W> {
     /// Wrap a writer.
     pub fn new(out: W) -> Self {
-        CsvSink { out }
+        CsvSink { out, dropped: 0 }
     }
 }
 
@@ -73,8 +87,8 @@ impl<W: Write + Send> CsvSink<W> {
 /// break is wrapped in double quotes with inner quotes doubled. Counter
 /// names can contain commas (statistics window parameters) and arbitrary
 /// parameter text, so the header must escape them or every subsequent
-/// column shifts.
-fn csv_escape(field: &str) -> std::borrow::Cow<'_, str> {
+/// column shifts. Shared with the serve-layer CSV merge (`rpx-collect`).
+pub fn csv_escape(field: &str) -> std::borrow::Cow<'_, str> {
     if field.contains([',', '"', '\n', '\r']) {
         std::borrow::Cow::Owned(format!("\"{}\"", field.replace('"', "\"\"")))
     } else {
@@ -92,31 +106,41 @@ impl<W: Write + Send> SampleSink for CsvSink<W> {
     }
 
     fn record(&mut self, batch: &SampleBatch) {
-        let _ = write!(self.out, "{},{}", batch.sequence, batch.timestamp_ns);
+        let mut ok = write!(self.out, "{},{}", batch.sequence, batch.timestamp_ns).is_ok();
         for (_, v) in &batch.readings {
-            if v.status.is_ok() {
-                let _ = write!(self.out, ",{}", v.scaled());
+            ok &= if v.status.is_ok() {
+                write!(self.out, ",{}", v.scaled()).is_ok()
             } else {
-                let _ = write!(self.out, ",");
-            }
+                write!(self.out, ",").is_ok()
+            };
         }
-        let _ = writeln!(self.out);
+        ok &= writeln!(self.out).is_ok();
+        if !ok {
+            self.dropped += 1;
+        }
     }
 
     fn finish(&mut self) {
         let _ = self.out.flush();
     }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
 }
 
-/// Sink writing one JSON object per line (JSONL) per batch.
+/// Sink writing one JSON object per line (JSONL) per batch. Rows lost to
+/// serialization or write failure are counted in
+/// [`dropped`](SampleSink::dropped).
 pub struct JsonSink<W: Write + Send> {
     out: W,
+    dropped: u64,
 }
 
 impl<W: Write + Send> JsonSink<W> {
     /// Wrap a writer.
     pub fn new(out: W) -> Self {
-        JsonSink { out }
+        JsonSink { out, dropped: 0 }
     }
 }
 
@@ -137,37 +161,79 @@ impl<W: Write + Send> SampleSink for JsonSink<W> {
                 .map(|(n, v)| (n.as_str(), v))
                 .collect(),
         };
-        if let Ok(s) = serde_json::to_string(&row) {
-            let _ = writeln!(self.out, "{s}");
+        let ok = match serde_json::to_string(&row) {
+            Ok(s) => writeln!(self.out, "{s}").is_ok(),
+            Err(_) => false,
+        };
+        if !ok {
+            self.dropped += 1;
         }
     }
 
     fn finish(&mut self) {
         let _ = self.out.flush();
     }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
 }
 
 /// Sink collecting batches in memory (for tests and harnesses).
+///
+/// [`bounded`](Self::bounded) turns it into a fixed-capacity ring: the
+/// newest batches are kept, each evicted oldest batch counts as exactly
+/// one drop — the ring-buffer drop-accounting rule every lossy sink in
+/// the pipeline follows (tracer ring, serve history ring).
 #[derive(Default)]
 pub struct MemorySink {
     batches: Arc<Mutex<Vec<SampleBatch>>>,
+    /// `Some(cap)` bounds the buffer to the `cap` most recent batches.
+    capacity: Option<usize>,
+    dropped: Arc<AtomicU64>,
 }
 
 impl MemorySink {
-    /// An empty in-memory sink.
+    /// An empty in-memory sink with unbounded capacity.
     pub fn new() -> Self {
         MemorySink::default()
+    }
+
+    /// An empty in-memory sink keeping only the `capacity` most recent
+    /// batches; evictions are counted exactly in [`dropped_handle`]
+    /// (Self::dropped_handle).
+    pub fn bounded(capacity: usize) -> Self {
+        MemorySink {
+            capacity: Some(capacity.max(1)),
+            ..MemorySink::default()
+        }
     }
 
     /// Shared handle to the collected batches.
     pub fn batches(&self) -> Arc<Mutex<Vec<SampleBatch>>> {
         self.batches.clone()
     }
+
+    /// Shared handle to the eviction count (live; one per evicted batch).
+    pub fn dropped_handle(&self) -> Arc<AtomicU64> {
+        self.dropped.clone()
+    }
 }
 
 impl SampleSink for MemorySink {
     fn record(&mut self, batch: &SampleBatch) {
-        self.batches.lock().push(batch.clone());
+        let mut batches = self.batches.lock();
+        if let Some(cap) = self.capacity {
+            while batches.len() >= cap {
+                batches.remove(0);
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        batches.push(batch.clone());
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 }
 
@@ -200,6 +266,9 @@ pub struct SamplerHealth {
     read_errors: AtomicU64,
     /// Times a repeatedly failing counter was put into (a longer) backoff.
     backoffs: AtomicU64,
+    /// Records the sink reported dropped (mirror of
+    /// [`SampleSink::dropped`], refreshed after every batch).
+    sink_dropped: AtomicU64,
 }
 
 impl SamplerHealth {
@@ -211,6 +280,12 @@ impl SamplerHealth {
     /// Backoff episodes entered so far.
     pub fn backoffs(&self) -> u64 {
         self.backoffs.load(Ordering::Relaxed)
+    }
+
+    /// Records the sink failed to deliver so far (write errors, capacity
+    /// evictions); also exported as `/counters/sampler/dropped`.
+    pub fn sink_dropped(&self) -> u64 {
+        self.sink_dropped.load(Ordering::Relaxed)
     }
 }
 
@@ -264,13 +339,25 @@ impl Sampler {
         config: SamplerConfig,
         mut sink: Box<dyn SampleSink>,
     ) -> Result<Self, CounterError> {
+        let health = Arc::new(SamplerHealth::default());
+        // Export the sink-drop mirror before resolving, so the sampler can
+        // watch its own drops. Unregister first: re-registration replaces
+        // the type entry but not a cached instance, and a fresh sampler
+        // run must not report a predecessor's drops.
+        registry.unregister_type("/counters/sampler/dropped");
+        let h = health.clone();
+        registry.register_monotonic(
+            "/counters/sampler/dropped",
+            "records the sampler sink failed to deliver (write errors, capacity evictions)",
+            "1",
+            Arc::new(move || h.sink_dropped() as i64),
+        );
         let mut query = ResolvedQuery::resolve(registry, &config.counters)?;
-        let registry = registry.clone();
         let clock = registry.clock();
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = stop.clone();
-        let health = Arc::new(SamplerHealth::default());
         let health2 = health.clone();
+        let registry = registry.clone();
         let flush = Arc::new(FlushShared::default());
         let flush2 = flush.clone();
         let handle = std::thread::Builder::new()
@@ -317,6 +404,9 @@ impl Sampler {
                         timestamp_ns,
                         readings,
                     });
+                    health2
+                        .sink_dropped
+                        .store(sink.dropped(), Ordering::Relaxed);
                     sequence += 1;
                     flush2.completed.store(flush_req, Ordering::Release);
                     // Sleep in short slices so stop() and flush_now() are
@@ -334,6 +424,9 @@ impl Sampler {
                     }
                 }
                 sink.finish();
+                health2
+                    .sink_dropped
+                    .store(sink.dropped(), Ordering::Relaxed);
             })
             .map_err(|e| CounterError::SpawnFailed(format!("sampler thread: {e}")))?;
         Ok(Sampler {
@@ -791,6 +884,98 @@ mod tests {
             .evaluate("/counters{locality#0/total}/overhead/count", false)
             .unwrap();
         assert!(count.value >= n, "every tick is one accounted batch");
+    }
+
+    fn batch(sequence: u64) -> SampleBatch {
+        SampleBatch {
+            sequence,
+            timestamp_ns: sequence,
+            readings: vec![("/a/b".into(), CounterValue::new(sequence as i64, sequence))],
+        }
+    }
+
+    #[test]
+    fn bounded_memory_sink_counts_every_eviction_exactly() {
+        let mut sink = MemorySink::bounded(4);
+        let batches = sink.batches();
+        for s in 0..10 {
+            sink.record(&batch(s));
+        }
+        // Forced wrap: 10 records into capacity 4 evicts exactly 6, and
+        // the survivors are the 4 most recent.
+        assert_eq!(sink.dropped(), 6);
+        let kept: Vec<u64> = batches.lock().iter().map(|b| b.sequence).collect();
+        assert_eq!(kept, vec![6, 7, 8, 9]);
+    }
+
+    /// Writer that starts failing after `ok_rows` newline-terminated
+    /// writes, like a pipe whose reader went away mid-run.
+    struct FailingWriter {
+        ok_writes: usize,
+    }
+
+    impl Write for FailingWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.ok_writes == 0 {
+                return Err(std::io::Error::other("injected write failure"));
+            }
+            self.ok_writes -= 1;
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn csv_sink_counts_failed_rows_exactly_once() {
+        // A healthy writer records without drops…
+        let mut sink = CsvSink::new(FailingWriter { ok_writes: 100 });
+        sink.begin(&["/a/b".into()]);
+        sink.record(&batch(0));
+        assert_eq!(SampleSink::dropped(&sink), 0, "healthy rows are not drops");
+        // …a dead writer drops one per row, however many of the row's
+        // individual field writes failed.
+        let mut sink = CsvSink::new(FailingWriter { ok_writes: 0 });
+        sink.begin(&["/a/b".into()]);
+        for s in 0..5 {
+            sink.record(&batch(s));
+        }
+        assert_eq!(
+            SampleSink::dropped(&sink),
+            5,
+            "one drop per lost row, not per failed write"
+        );
+    }
+
+    #[test]
+    fn sampler_exports_sink_drop_counter() {
+        let reg = CounterRegistry::new();
+        reg.register_raw("/test/v", "h", "1", Arc::new(|| 1));
+        let sink = MemorySink::bounded(2);
+        let batches = sink.batches();
+        let sampler = Sampler::start(
+            &reg,
+            SamplerConfig::new(vec!["/test/v".into()], Duration::from_millis(1)),
+            Box::new(sink),
+        )
+        .unwrap();
+        // Run long enough to wrap the 2-slot ring several times.
+        while batches.lock().len() < 2 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        for _ in 0..200 {
+            if sampler.health().sink_dropped() >= 3 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let health = sampler.health();
+        sampler.stop();
+        let mirrored = health.sink_dropped();
+        assert!(mirrored >= 3, "ring wrap must surface as sink drops");
+        let exported = reg.evaluate("/counters/sampler/dropped", false).unwrap();
+        assert_eq!(exported.value as u64, mirrored);
     }
 
     #[test]

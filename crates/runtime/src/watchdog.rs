@@ -136,6 +136,9 @@ pub(crate) fn spawn(inner: &Arc<RuntimeInner>) -> JoinHandle<()> {
     let weak: Weak<RuntimeInner> = Arc::downgrade(inner);
     let interval = inner.config.watchdog_interval;
     let threshold = inner.config.stall_threshold;
+    // The registry clock's TSC drift cross-check rides the watchdog tick
+    // (the Clock holds no back-reference, so this keeps nothing alive).
+    let clock = inner.registry.clock();
     std::thread::Builder::new()
         .name("rpx-watchdog".into())
         .spawn(move || {
@@ -151,6 +154,12 @@ pub(crate) fn spawn(inner: &Arc<RuntimeInner>) -> JoinHandle<()> {
                 }
                 overload_tick(&inner, &mut detector, interval);
                 anomaly_tick(&inner, &mut anomaly, interval, tick);
+                // Clock hygiene: cross-check the TSC fast path against
+                // Instant and re-derive its multiplier on drift, so long
+                // runs don't accumulate skew in every duration counter
+                // (counter.rs documents the policy; cheap no-op while the
+                // run is younger than the minimum observation window).
+                clock.check_drift();
                 tick += 1;
                 let now = Instant::now();
                 let stats = &inner.state.stats;

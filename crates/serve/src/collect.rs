@@ -1,0 +1,174 @@
+//! The multi-process collector: scrape N `rpx-serve` endpoints and merge
+//! the expositions into one table keyed by `(source, metric)` — the
+//! separate-process monitor architecture from ROADMAP item 1. CSV output
+//! follows RFC 4180 (shared escaping with the in-process sampler's
+//! [`CsvSink`](rpx_counters::sampler::CsvSink)).
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use rpx_counters::sampler::csv_escape;
+use serde::Serialize;
+
+/// One merged reading.
+#[derive(Debug, Clone, Serialize)]
+pub struct MergedRow {
+    /// The endpoint the reading came from.
+    pub source: String,
+    /// Prometheus metric line head (`family{labels}`).
+    pub metric: String,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// Scrapes merged across processes.
+#[derive(Debug, Default, Serialize)]
+pub struct Merged {
+    /// All rows, source-major in scrape order.
+    pub rows: Vec<MergedRow>,
+}
+
+impl Merged {
+    /// RFC-4180 CSV: `source,metric,value` with a header row.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("source,metric,value\n");
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{},{},{}\n",
+                csv_escape(&row.source),
+                csv_escape(&row.metric),
+                row.value
+            ));
+        }
+        out
+    }
+
+    /// JSON array of `{source, metric, value}` objects.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.rows).unwrap_or_else(|_| "[]".into())
+    }
+
+    /// Endpoints that contributed at least one row.
+    pub fn sources(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for row in &self.rows {
+            if out.last() != Some(&row.source.as_str()) && !out.contains(&row.source.as_str()) {
+                out.push(&row.source);
+            }
+        }
+        out
+    }
+}
+
+/// Minimal HTTP/1.1 GET returning the response body.
+pub fn http_get(addr: &str, path: &str) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed HTTP response"))?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains("200") {
+        return Err(io::Error::other(format!("scrape failed: {status}")));
+    }
+    Ok(body.to_string())
+}
+
+/// Parse a Prometheus text exposition into `(metric line head, value)`
+/// pairs, skipping comments and malformed lines.
+pub fn parse_exposition(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // The value is the last whitespace-separated token; label values
+        // may contain spaces, so split from the right.
+        if let Some((metric, value)) = line.rsplit_once(char::is_whitespace) {
+            if let Ok(v) = value.parse::<f64>() {
+                out.push((metric.trim_end().to_string(), v));
+            }
+        }
+    }
+    out
+}
+
+/// Scrape every endpoint's `/metrics` and merge the results. An endpoint
+/// that fails to scrape is reported as an error — a collector that
+/// silently omits a process produces misleading aggregates.
+pub fn scrape_and_merge(endpoints: &[String]) -> io::Result<Merged> {
+    let mut merged = Merged::default();
+    for endpoint in endpoints {
+        let body = http_get(endpoint, "/metrics")?;
+        for (metric, value) in parse_exposition(&body) {
+            merged.rows.push(MergedRow {
+                source: endpoint.clone(),
+                metric,
+                value,
+            });
+        }
+    }
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_parsing_skips_comments_and_keeps_labels() {
+        let text = "# HELP rpx_a_b help\n# TYPE rpx_a_b counter\n\
+                    rpx_a_b{instance=\"locality#0/worker-thread#1\"} 42\n\
+                    rpx_a_b 7.5\nmalformed\n";
+        let parsed = parse_exposition(text);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(
+            parsed[0].0,
+            "rpx_a_b{instance=\"locality#0/worker-thread#1\"}"
+        );
+        assert_eq!(parsed[0].1, 42.0);
+        assert_eq!(parsed[1].1, 7.5);
+    }
+
+    #[test]
+    fn merged_csv_escapes_fields() {
+        let merged = Merged {
+            rows: vec![MergedRow {
+                source: "127.0.0.1:9100".into(),
+                metric: "rpx_x{params=\"w,5\"}".into(),
+                value: 1.0,
+            }],
+        };
+        let csv = merged.to_csv();
+        assert_eq!(csv.lines().next().unwrap(), "source,metric,value");
+        // The metric contains a comma and quotes: RFC 4180 requires the
+        // field quoted with inner quotes doubled.
+        assert_eq!(
+            csv.lines().nth(1).unwrap(),
+            "127.0.0.1:9100,\"rpx_x{params=\"\"w,5\"\"}\",1"
+        );
+    }
+
+    #[test]
+    fn merged_json_is_parseable() {
+        let merged = Merged {
+            rows: vec![MergedRow {
+                source: "a".into(),
+                metric: "m".into(),
+                value: 2.5,
+            }],
+        };
+        let parsed: serde_json::Value = serde_json::from_str(&merged.to_json()).unwrap();
+        assert_eq!(parsed[0]["source"], "a");
+        assert_eq!(parsed[0]["value"], 2.5);
+    }
+}

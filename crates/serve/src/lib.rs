@@ -1,0 +1,59 @@
+//! # rpx-serve — wire-level live telemetry for rpx counters
+//!
+//! The paper's premise is that intrinsic counters are cheap enough to stay
+//! on in production; this crate is the consumer that premise earns. It
+//! exposes a running registry to *other processes* — a Prometheus-style
+//! text exposition endpoint and a compact length-prefixed binary stream —
+//! without ever taking a registry lock on the scrape path.
+//!
+//! ## Architecture
+//!
+//! - [`engine::ScrapeEngine`] — the sharded scrape front-end. Counter
+//!   handles are resolved once per topology
+//!   [generation](rpx_counters::CounterRegistry::generation) and cached in
+//!   per-shard lists; a scrape clones each shard's `Arc` list and
+//!   evaluates handles with no registry lock held. Every exported counter
+//!   carries a fixed-capacity [`engine::HistoryRing`] so late binary
+//!   subscribers can backfill; ring evictions are counted, never silent.
+//! - [`text`] — Prometheus text exposition (name mangling, label
+//!   escaping, HELP/TYPE metadata).
+//! - [`proto`] — the binary framing: `u32` little-endian length prefix,
+//!   then DICT / SAMPLE / BACKFILL / STATS frames. A client opens with the
+//!   magic `RPXB`, which the listener sniffs to tell binary subscribers
+//!   from HTTP scrapers on one port.
+//! - [`server::Server`] — the dependency-free HTTP/1.1 + TCP listener, a
+//!   1 Hz publisher thread feeding rings and subscribers, self-measurement
+//!   counters (`/counters/serve/{scrape-time,scrape-count,bytes,dropped}`),
+//!   and a quiesce-time final scrape via
+//!   [`server::attach_runtime`].
+//! - [`collect`] — `rpx-collect`'s library: scrape N endpoints, parse the
+//!   exposition, merge into one CSV/JSON table keyed by (source, metric).
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use rpx_counters::CounterRegistry;
+//! use rpx_serve::server::{ServeConfig, Server};
+//!
+//! let registry = CounterRegistry::new();
+//! registry.register_raw("/app/requests", "requests served", "1",
+//!     std::sync::Arc::new(|| 42));
+//! let server = Server::start(
+//!     &registry,
+//!     ServeConfig {
+//!         specs: vec!["/app/requests".into()],
+//!         ..ServeConfig::default()
+//!     },
+//! )
+//! .unwrap();
+//! println!("scrape me at http://{}/metrics", server.addr());
+//! ```
+
+pub mod collect;
+pub mod engine;
+pub mod proto;
+pub mod server;
+pub mod text;
+
+pub use engine::{ExportEntry, HistoryRing, Sample, ScrapeEngine, ServeStats};
+pub use server::{attach_runtime, ServeConfig, Server};

@@ -1,0 +1,185 @@
+//! Prometheus text exposition (format version 0.0.4) for counter batches.
+//!
+//! Counter names are mangled deterministically: the wildcard-free *type
+//! path* becomes the metric family (`/threads/time/cumulative` →
+//! `rpx_threads_time_cumulative`), the instance and parameter text become
+//! `instance`/`params` labels with Prometheus escaping (`\\`, `\"`,
+//! `\n`). Two different canonical counter names can never collide into
+//! the same (family, labels) pair because the mangling is injective on
+//! `(type path, instance, params)` and those three reconstruct the
+//! canonical name.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use rpx_counters::value::CounterKind;
+
+use crate::engine::{ExportEntry, Sample};
+
+/// Split a canonical counter name into (type path, instance, parameters):
+/// `/threads{locality#0/worker-thread#1}/time/cumulative@w,5` →
+/// `("/threads/time/cumulative", "locality#0/worker-thread#1", "w,5")`.
+pub fn split_canonical(canonical: &str) -> (String, String, String) {
+    let (body, params) = match canonical.split_once('@') {
+        Some((b, p)) => (b, p),
+        None => (canonical, ""),
+    };
+    let (type_path, instance) = match (body.find('{'), body.find('}')) {
+        (Some(open), Some(close)) if close > open => {
+            let mut t = body[..open].to_string();
+            t.push_str(&body[close + 1..]);
+            (t, body[open + 1..close].to_string())
+        }
+        _ => (body.to_string(), String::new()),
+    };
+    (type_path, instance, params.to_string())
+}
+
+/// Mangle a counter type path into a Prometheus metric family name:
+/// `rpx` + the path with every non-alphanumeric byte as `_`.
+pub fn metric_name(type_path: &str) -> String {
+    let mut out = String::with_capacity(type_path.len() + 4);
+    out.push_str("rpx");
+    for c in type_path.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+pub fn label_escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// HELP-text escaping: backslash and newline (quotes are legal there).
+fn help_escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// The label set of one entry (without braces), e.g.
+/// `instance="locality#0/worker-thread#1",params="w,5"`. Empty for a bare
+/// type-path counter.
+pub fn labels_of(entry: &ExportEntry) -> String {
+    let (_, instance, params) = split_canonical(&entry.canonical);
+    let mut labels = Vec::new();
+    if !instance.is_empty() {
+        labels.push(format!("instance=\"{}\"", label_escape(&instance)));
+    }
+    if !params.is_empty() {
+        labels.push(format!("params=\"{}\"", label_escape(&params)));
+    }
+    labels.join(",")
+}
+
+fn prom_type(kind: CounterKind) -> &'static str {
+    match kind {
+        CounterKind::MonotonicallyIncreasing | CounterKind::ElapsedTime => "counter",
+        _ => "gauge",
+    }
+}
+
+/// Render a scrape batch as one exposition payload. Samples are grouped
+/// by metric family (HELP/TYPE emitted once per family); entries whose
+/// evaluation failed are omitted from the payload — Prometheus has no
+/// "unavailable" value — but still counted in the family's sample lines
+/// absence, which scrapers detect as a disappearing series.
+pub fn render(batch: &[(Arc<ExportEntry>, Sample)]) -> String {
+    // family -> (help, type, lines), sorted for a stable payload.
+    let mut families: BTreeMap<String, (String, &'static str, Vec<String>)> = BTreeMap::new();
+    for (entry, sample) in batch {
+        let (type_path, _, _) = split_canonical(&entry.canonical);
+        let family = metric_name(&type_path);
+        let slot = families.entry(family.clone()).or_insert_with(|| {
+            (
+                help_escape(&entry.info.help),
+                prom_type(entry.info.kind),
+                Vec::new(),
+            )
+        });
+        if !sample.ok {
+            continue;
+        }
+        let labels = labels_of(entry);
+        let rendered = if labels.is_empty() {
+            format!("{family} {}", fmt_value(sample.value))
+        } else {
+            format!("{family}{{{labels}}} {}", fmt_value(sample.value))
+        };
+        slot.2.push(rendered);
+    }
+    let mut out = String::new();
+    for (family, (help, ty, lines)) in families {
+        out.push_str(&format!("# HELP {family} {help}\n# TYPE {family} {ty}\n"));
+        for line in lines {
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Prometheus floats: integral values render without a fraction so text
+/// diffs and tests stay exact.
+fn fmt_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_canonical_extracts_all_parts() {
+        assert_eq!(
+            split_canonical("/threads{locality#0/worker-thread#1}/time/cumulative@w,5"),
+            (
+                "/threads/time/cumulative".to_string(),
+                "locality#0/worker-thread#1".to_string(),
+                "w,5".to_string()
+            )
+        );
+        assert_eq!(
+            split_canonical("/app/requests"),
+            ("/app/requests".to_string(), String::new(), String::new())
+        );
+    }
+
+    #[test]
+    fn metric_names_are_mangled_deterministically() {
+        assert_eq!(
+            metric_name("/threads/time/cumulative"),
+            "rpx_threads_time_cumulative"
+        );
+        assert_eq!(metric_name("/app/idle-rate"), "rpx_app_idle_rate");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(label_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}
