@@ -51,6 +51,22 @@ impl<T> ThreadFuture<T> {
         }
     }
 
+    /// Detach the task: the future is consumed without joining, the OS
+    /// thread keeps running, and its completion is observed through
+    /// [`BaselineRuntime::wait_idle`] / [`BaselineRuntime::quiesce`]
+    /// instead of this handle. The runtime parity point of the real
+    /// scheduler's fire-and-forget spawns (whose `TaskFuture` may be
+    /// dropped while the task still runs); a detached task's panic is
+    /// counted in `/os-threads/count/panicked` rather than silently lost.
+    ///
+    /// [`BaselineRuntime::wait_idle`]: crate::runtime::BaselineRuntime::wait_idle
+    /// [`BaselineRuntime::quiesce`]: crate::runtime::BaselineRuntime::quiesce
+    pub fn detach(mut self) {
+        // Dropping a std JoinHandle detaches; our Drop impl joins, so take
+        // the handle out first.
+        drop(self.handle.take());
+    }
+
     /// Wait for the value, join the backing OS thread, and return it.
     ///
     /// # Panics

@@ -18,4 +18,6 @@ pub mod future;
 pub mod runtime;
 
 pub use future::ThreadFuture;
-pub use runtime::{BaselineConfig, BaselineRuntime, BaselineStats, SpawnError};
+pub use runtime::{
+    BaselineConfig, BaselineQuiesceReport, BaselineRuntime, BaselineStats, SpawnError,
+};

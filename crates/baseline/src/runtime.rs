@@ -10,9 +10,11 @@
 //! budgets, so Table I/V "Abort" rows are reproduced deterministically
 //! without actually taking the host down.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
+use parking_lot::{Condvar, Mutex};
 use rpx_counters::CounterRegistry;
 
 use crate::future::{Slot, ThreadFuture};
@@ -29,6 +31,10 @@ pub enum SpawnError {
     },
     /// The operating system refused to create the thread.
     Os(String),
+    /// The runtime is draining ([`BaselineRuntime::quiesce`] was called)
+    /// and admits no new tasks — the parity twin of the real runtime's
+    /// `SpawnError::Draining`.
+    Draining,
 }
 
 impl std::fmt::Display for SpawnError {
@@ -43,6 +49,7 @@ impl std::fmt::Display for SpawnError {
                  {committed_stack} bytes of stack committed"
             ),
             SpawnError::Os(e) => write!(f, "OS thread creation failed: {e}"),
+            SpawnError::Draining => write!(f, "runtime is draining; spawn rejected"),
         }
     }
 }
@@ -103,6 +110,30 @@ pub struct BaselineStats {
     pub spawn_ns: AtomicU64,
     /// Spawns rejected by the resource model.
     pub failed_spawns: AtomicU64,
+    /// Tasks that panicked. A panic still propagates through
+    /// [`ThreadFuture::get`]; for detached tasks this count (and the
+    /// `/os-threads/count/panicked` counter) is the only trace, mirroring
+    /// the real runtime's recovered-panic health accounting.
+    pub panicked: AtomicU64,
+}
+
+/// The idle rendezvous: task threads notify on completion, so
+/// [`BaselineRuntime::wait_idle`] / [`BaselineRuntime::quiesce`] can block
+/// without polling. Kept outside [`BaselineStats`] so the stats block stays
+/// a plain bundle of atomics.
+#[derive(Default)]
+struct IdleSignal {
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl IdleSignal {
+    fn notify(&self) {
+        // Take the lock so the notification cannot race between a waiter's
+        // predicate check and its park (classic lost-wakeup window).
+        let _g = self.lock.lock();
+        self.cv.notify_all();
+    }
 }
 
 impl BaselineStats {
@@ -129,11 +160,28 @@ impl BaselineStats {
     }
 }
 
+/// Outcome of a [`BaselineRuntime::quiesce`] drain, mirroring the real
+/// runtime's `QuiesceReport`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineQuiesceReport {
+    /// Whether every live task thread finished within the deadline.
+    pub drained: bool,
+    /// Task threads still live when the drain gave up.
+    pub remaining: u64,
+    /// Total tasks completed over the runtime's lifetime.
+    pub completed: u64,
+    /// Total task panics over the runtime's lifetime (see
+    /// [`BaselineStats::panicked`]).
+    pub panicked: u64,
+}
+
 /// The `std::async`-style runtime: one OS thread per spawned task.
 pub struct BaselineRuntime {
     config: BaselineConfig,
     stats: Arc<BaselineStats>,
     registry: Arc<CounterRegistry>,
+    idle: Arc<IdleSignal>,
+    draining: AtomicBool,
 }
 
 impl BaselineRuntime {
@@ -146,6 +194,8 @@ impl BaselineRuntime {
             config,
             stats,
             registry,
+            idle: Arc::new(IdleSignal::default()),
+            draining: AtomicBool::new(false),
         }
     }
 
@@ -160,6 +210,10 @@ impl BaselineRuntime {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
+        if self.draining.load(Ordering::Acquire) {
+            self.stats.failed_spawns.fetch_add(1, Ordering::Relaxed);
+            return Err(SpawnError::Draining);
+        }
         let live = self.stats.live.load(Ordering::Acquire);
         let committed = live * self.config.stack_bytes;
         if live >= self.config.max_live_threads
@@ -175,14 +229,19 @@ impl BaselineRuntime {
         let slot = Slot::new();
         let slot2 = slot.clone();
         let stats = self.stats.clone();
+        let idle = self.idle.clone();
         self.stats.reserve_live();
         let t0 = std::time::Instant::now();
         let handle = std::thread::Builder::new()
             .stack_size(self.config.real_stack_bytes)
             .spawn(move || {
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+                if result.is_err() {
+                    stats.panicked.fetch_add(1, Ordering::Relaxed);
+                }
                 slot2.fill(result);
                 stats.note_finish();
+                idle.notify();
             })
             .map_err(|e| {
                 self.stats.release_live();
@@ -200,6 +259,48 @@ impl BaselineRuntime {
     /// The accounting block (live threads, spawn cost, failures).
     pub fn stats(&self) -> Arc<BaselineStats> {
         self.stats.clone()
+    }
+
+    /// Block until no task thread is live — the parity twin of the real
+    /// runtime's `wait_idle`, needed because [`ThreadFuture::detach`]ed
+    /// tasks have no handle left to join.
+    pub fn wait_idle(&self) {
+        let mut guard = self.idle.lock.lock();
+        while self.stats.live.load(Ordering::Acquire) > 0 {
+            self.idle.cv.wait(&mut guard);
+        }
+    }
+
+    /// Like [`wait_idle`](Self::wait_idle) with a timeout; returns whether
+    /// the runtime went idle.
+    fn wait_idle_for(&self, timeout: Duration) -> bool {
+        let t0 = Instant::now();
+        let mut guard = self.idle.lock.lock();
+        while self.stats.live.load(Ordering::Acquire) > 0 {
+            let remaining = timeout.saturating_sub(t0.elapsed());
+            if remaining.is_zero() {
+                return false;
+            }
+            let _ = self.idle.cv.wait_for(&mut guard, remaining);
+        }
+        true
+    }
+
+    /// Gracefully drain, mirroring the real runtime's quiesce protocol as
+    /// far as OS threads allow: stop admission (spawns now fail with
+    /// [`SpawnError::Draining`]), then wait up to `deadline` for live task
+    /// threads to finish. There is no cancel step — a `pthread` cannot be
+    /// cancelled at dispatch — so stragglers are reported in `remaining`
+    /// instead. Panics absorbed by detached tasks surface in `panicked`.
+    pub fn quiesce(&self, deadline: Duration) -> BaselineQuiesceReport {
+        self.draining.store(true, Ordering::SeqCst);
+        let drained = self.wait_idle_for(deadline);
+        BaselineQuiesceReport {
+            drained,
+            remaining: self.stats.live.load(Ordering::Acquire) as u64,
+            completed: self.stats.completed.load(Ordering::Relaxed),
+            panicked: self.stats.panicked.load(Ordering::Relaxed),
+        }
     }
 
     /// The baseline's (much smaller) counter registry. The point of the
@@ -262,6 +363,13 @@ fn register_baseline_counters(registry: &Arc<CounterRegistry>, stats: &Arc<Basel
         "spawns rejected by the resource model",
         "1",
         Arc::new(move || s.failed_spawns.load(Ordering::Relaxed) as i64),
+    );
+    let s = stats.clone();
+    registry.register_monotonic(
+        "/os-threads/count/panicked",
+        "task panics (propagated by get(), otherwise only visible here)",
+        "1",
+        Arc::new(move || s.panicked.load(Ordering::Relaxed) as i64),
     );
 }
 
@@ -382,5 +490,69 @@ mod tests {
         while rt.stats().live.load(Ordering::Acquire) > 0 {
             std::thread::yield_now();
         }
+        assert_eq!(rt.stats().panicked.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn wait_idle_observes_detached_tasks() {
+        // Regression (Backend-trait parity): fire-and-forget spawns used to
+        // be impossible — dropping the future joined the thread inline.
+        let rt = BaselineRuntime::with_defaults();
+        let done = Arc::new(AtomicU64::new(0));
+        for _ in 0..10 {
+            let d = done.clone();
+            rt.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                d.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap()
+            .detach();
+        }
+        rt.wait_idle();
+        assert_eq!(done.load(Ordering::Relaxed), 10);
+        assert_eq!(rt.stats().live.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn detached_panic_is_counted_not_lost() {
+        // Regression: a detached task's panic used to vanish into the
+        // dropped result slot with no trace anywhere.
+        let rt = BaselineRuntime::with_defaults();
+        rt.spawn(|| panic!("detached boom")).unwrap().detach();
+        rt.spawn(|| ()).unwrap().detach();
+        rt.wait_idle();
+        assert_eq!(rt.stats().panicked.load(Ordering::Relaxed), 1);
+        let v = rt
+            .registry()
+            .evaluate("/os-threads/count/panicked", false)
+            .unwrap();
+        assert_eq!(v.value, 1);
+        // The runtime survives, like the real scheduler after a recovered
+        // task panic.
+        assert_eq!(rt.spawn(|| 3).unwrap().get(), 3);
+    }
+
+    #[test]
+    fn quiesce_drains_and_closes_admission() {
+        let rt = BaselineRuntime::with_defaults();
+        let gate = Arc::new(parking_lot::Mutex::new(()));
+        let held = gate.lock();
+        let g = gate.clone();
+        rt.spawn(move || drop(g.lock())).unwrap().detach();
+        while rt.stats().live.load(Ordering::Acquire) < 1 {
+            std::thread::yield_now();
+        }
+        // Deadline elapses while the task blocks on the gate.
+        let stuck = rt.quiesce(std::time::Duration::from_millis(10));
+        assert!(!stuck.drained);
+        assert_eq!(stuck.remaining, 1);
+        // Admission is closed from the first quiesce call on.
+        assert!(matches!(rt.spawn(|| ()), Err(SpawnError::Draining)));
+        drop(held);
+        let report = rt.quiesce(std::time::Duration::from_secs(5));
+        assert!(report.drained, "gate released; drain must finish");
+        assert_eq!(report.remaining, 0);
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.panicked, 0);
     }
 }

@@ -1,0 +1,222 @@
+//! `metg` — sweep task grain downward and report the minimum effective
+//! task granularity per (shape × workers × backend) cell.
+//!
+//! ```text
+//! cargo run -p rpx-taskbench --bin metg -- \
+//!     --shape stencil --workers 1,2 --min-grain-us 1
+//! ```
+//!
+//! Emits a human table on stdout; `--csv PATH` / `--json PATH` write the
+//! full curves. Grain is swept over a log-spaced ladder, visited
+//! round-robin `--runs` times (the interleaved drift protocol from
+//! EXPERIMENTS.md), median per grain.
+
+use std::process::ExitCode;
+
+use rpx_taskbench::{
+    csv_rows, grain_ladder, metg::CSV_HEADER, parse_backends, sweep_cell, Cell, GrainCalibration,
+    Shape, SweepConfig,
+};
+
+struct Args {
+    shapes: Vec<Shape>,
+    backends: String,
+    workers: Vec<usize>,
+    min_grain_us: f64,
+    max_grain_us: f64,
+    points: usize,
+    runs: usize,
+    seed: u64,
+    floor: f64,
+    csv: Option<String>,
+    json: Option<String>,
+}
+
+const USAGE: &str = "usage: metg [--shape trivial,stencil,butterfly,tree,random]
+            [--backends rpx,baseline,sim-hpx,sim-std] [--workers 1,2,4]
+            [--min-grain-us F] [--max-grain-us F] [--points N] [--runs N]
+            [--seed N] [--floor F] [--csv PATH] [--json PATH]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        shapes: vec![Shape::with_defaults("stencil").unwrap()],
+        backends: "rpx".to_string(),
+        workers: vec![1, 2],
+        min_grain_us: 1.0,
+        max_grain_us: 100.0,
+        points: 6,
+        runs: 3,
+        seed: 0x5eed,
+        floor: 0.5,
+        csv: None,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            return Err(USAGE.to_string());
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))?;
+        let num = |v: &str| -> Result<f64, String> {
+            v.parse().map_err(|_| format!("bad number for {flag}: {v}"))
+        };
+        match flag.as_str() {
+            "--shape" | "--shapes" => {
+                args.shapes = value
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|f| Shape::with_defaults(f).ok_or_else(|| format!("unknown shape `{f}`")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--backends" | "--backend" => args.backends = value,
+            "--workers" => {
+                args.workers = value
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|w| w.parse().map_err(|_| format!("bad worker count `{w}`")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--min-grain-us" => args.min_grain_us = num(&value)?,
+            "--max-grain-us" => args.max_grain_us = num(&value)?,
+            "--points" => args.points = num(&value)? as usize,
+            "--runs" => args.runs = num(&value)? as usize,
+            "--seed" => args.seed = num(&value)? as u64,
+            "--floor" => args.floor = num(&value)?,
+            "--csv" => args.csv = Some(value),
+            "--json" => args.json = Some(value),
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    if args.shapes.is_empty() || args.workers.is_empty() {
+        return Err("need at least one shape and one worker count".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let backends = match parse_backends(&args.backends) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = SweepConfig {
+        grains_ns: grain_ladder(
+            (args.min_grain_us * 1_000.0) as u64,
+            (args.max_grain_us * 1_000.0) as u64,
+            args.points,
+        ),
+        runs: args.runs,
+        seed: args.seed,
+        floor: args.floor,
+    };
+
+    let needs_real = backends.iter().any(|b| !b.name().starts_with("sim"));
+    let cal = if needs_real {
+        eprintln!("calibrating spin kernel...");
+        let cal = GrainCalibration::shared();
+        eprintln!("  {:.1} iters/us", cal.iters_per_us());
+        cal
+    } else {
+        GrainCalibration::fixed(100.0)
+    };
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &shape in &args.shapes {
+        for backend in &backends {
+            for &workers in &args.workers {
+                match sweep_cell(backend.as_ref(), shape, workers, &cfg, &cal) {
+                    Ok(cell) => {
+                        print_cell(&cell);
+                        cells.push(cell);
+                    }
+                    Err(e) => {
+                        eprintln!(
+                            "cell {} x {} x {workers}w failed: {e}",
+                            shape.name(),
+                            backend.name()
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        }
+    }
+
+    println!(
+        "\n== METG summary (efficiency floor {:.0}%) ==",
+        cfg.floor * 100.0
+    );
+    for c in &cells {
+        println!(
+            "  {:<10} {:<9} {:>3}w  METG {}",
+            c.shape.name(),
+            c.backend,
+            c.workers,
+            c.metg
+        );
+    }
+
+    if let Some(path) = &args.csv {
+        let mut out = String::from(CSV_HEADER);
+        out.push('\n');
+        for c in &cells {
+            out.push_str(&csv_rows(c));
+        }
+        if let Err(e) = std::fs::write(path, out) {
+            eprintln!("writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &args.json {
+        match serde_json::to_string(&cells) {
+            Ok(s) => {
+                if let Err(e) = std::fs::write(path, s) {
+                    eprintln!("writing {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote {path}");
+            }
+            Err(e) => {
+                eprintln!("serializing cells: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_cell(cell: &Cell) {
+    println!(
+        "\n-- {} x {} x {} worker(s): {} tasks --",
+        cell.shape.name(),
+        cell.backend,
+        cell.workers,
+        cell.shape.task_count()
+    );
+    println!(
+        "  {:>10}  {:>12}  {:>6}  {:>6}",
+        "grain_ns", "wall_ns", "eff", "env"
+    );
+    for p in &cell.points {
+        println!(
+            "  {:>10}  {:>12}  {:>5.1}%  {:>5.1}%",
+            p.grain_ns,
+            p.wall_ns,
+            p.efficiency * 100.0,
+            p.efficiency_env * 100.0
+        );
+    }
+    println!("  METG: {}", cell.metg);
+}

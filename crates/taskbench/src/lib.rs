@@ -1,0 +1,47 @@
+//! # rpx-taskbench — parameterized task-graph workloads with closed-form oracles
+//!
+//! A Task Bench-style workload generator for the runtime-efficiency
+//! experiments: deterministic, seed-driven task graphs over a small set of
+//! knobs (shape family, task count, per-task grain, dependence width),
+//! runnable unchanged on three backends —
+//!
+//! 1. the real `rpx-runtime` work-stealing scheduler,
+//! 2. the thread-per-task `rpx-baseline` (`std::async` model),
+//! 3. the `rpx-simnode` discrete-event simulator.
+//!
+//! Every deterministic shape ships its closed forms — exact task count,
+//! edge count, and critical-path length — so tests assert *equality*
+//! against the graph and against what each backend actually executed,
+//! not "looks plausible" bounds.
+//!
+//! The `metg` binary sweeps grain downward per (shape × workers ×
+//! backend) cell until parallel efficiency drops below 50%, reporting the
+//! minimum effective task granularity (METG) with the interleaved drift
+//! protocol from EXPERIMENTS.md.
+//!
+//! ```
+//! use rpx_taskbench::{Backend, GrainCalibration, Shape, SimBackend, WorkloadSpec};
+//!
+//! let spec = WorkloadSpec::new(Shape::Tree { arity: 2, depth: 3 }, 1_000, 42);
+//! let graph = spec.build();
+//! assert_eq!(graph.len() as u64, spec.shape.task_count());
+//!
+//! let stats = SimBackend::hpx()
+//!     .run(&graph, 4, &GrainCalibration::fixed(50.0))
+//!     .unwrap();
+//! assert_eq!(stats.completed, spec.shape.task_count());
+//! ```
+
+pub mod backend;
+pub mod gen;
+pub mod grain;
+pub mod metg;
+pub mod shape;
+
+pub use backend::{
+    parse_backends, Backend, BackendError, BaselineBackend, RunStats, RuntimeBackend, SimBackend,
+};
+pub use gen::{edge_count, graph_hash, WorkloadSpec};
+pub use grain::{spin_iters, GrainCalibration};
+pub use metg::{csv_rows, grain_ladder, sweep_cell, Cell, CurvePoint, MetgBound, SweepConfig};
+pub use shape::Shape;

@@ -1,0 +1,363 @@
+//! METG sweeps: minimum effective task granularity.
+//!
+//! Task Bench's standard overhead metric, computed the way EXPERIMENTS.md
+//! computes every cross-run comparison in this repo: **interleaved
+//! sampling**. A sweep does not finish one grain before starting the next
+//! — each pass visits the whole grain ladder round-robin, so slow host
+//! drift (thermal ramps, background load) lands on every grain equally
+//! instead of biasing one end of the curve. The per-grain wall time is the
+//! median across passes.
+//!
+//! Efficiency of a cell at grain *g* is `T_ideal / T_meas` with
+//! `T_ideal = max(W/P, T∞)` (Brent's bound); METG is the smallest grain at
+//! which efficiency still reaches the floor (50% by convention). Because a
+//! finite ladder can only bracket the crossing, the result is a
+//! [`MetgBound`]: an interpolated crossing, or a one-sided bound when the
+//! whole ladder sits on one side of the floor.
+
+use serde::{Deserialize, Serialize};
+
+use crate::backend::{Backend, BackendError, RunStats};
+use crate::gen::WorkloadSpec;
+use crate::grain::GrainCalibration;
+use crate::shape::Shape;
+
+/// The METG verdict for one (shape × backend × workers) cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MetgBound {
+    /// The 50%-efficiency crossing fell inside the ladder; `ns` is the
+    /// log-interpolated grain.
+    Crossing {
+        /// Interpolated METG, ns.
+        ns: f64,
+    },
+    /// Efficiency stayed at or above the floor down to the finest grain
+    /// tested — METG is at most `ns`.
+    AtMost {
+        /// Finest grain tested, ns.
+        ns: u64,
+    },
+    /// Efficiency was below the floor even at the coarsest grain tested —
+    /// METG is above `ns` (or the cell is span-bound).
+    Above {
+        /// Coarsest grain tested, ns.
+        ns: u64,
+    },
+}
+
+impl MetgBound {
+    /// METG in ns when the sweep pinned it down.
+    pub fn value_ns(&self) -> Option<f64> {
+        match self {
+            MetgBound::Crossing { ns } => Some(*ns),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for MetgBound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetgBound::Crossing { ns } => write!(f, "{ns:.0} ns"),
+            MetgBound::AtMost { ns } => write!(f, "<= {ns} ns"),
+            MetgBound::Above { ns } => write!(f, "> {ns} ns"),
+        }
+    }
+}
+
+/// One grain on a cell's efficiency curve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Requested per-task grain, ns.
+    pub grain_ns: u64,
+    /// Median wall time across interleaved passes, ns.
+    pub wall_ns: u64,
+    /// All per-pass wall times, ns (diagnosis; drift shows up here).
+    pub samples_ns: Vec<u64>,
+    /// Raw efficiency at the median wall time.
+    pub efficiency: f64,
+    /// Monotone (non-increasing toward finer grain) envelope of the raw
+    /// efficiencies — what the METG crossing is read from.
+    pub efficiency_env: f64,
+    /// Stats of the median run (counters, steals, overhead).
+    pub stats: RunStats,
+}
+
+/// The full sweep result for one (shape × backend × workers) cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cell {
+    /// Shape family + knobs.
+    pub shape: Shape,
+    /// Backend name.
+    pub backend: String,
+    /// Worker count.
+    pub workers: usize,
+    /// Efficiency floor the METG is read at (0.5 by convention).
+    pub floor: f64,
+    /// Curve points, coarsest grain first.
+    pub points: Vec<CurvePoint>,
+    /// The METG verdict.
+    pub metg: MetgBound,
+}
+
+/// Sweep parameters: the grain ladder plus the drift protocol knobs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Grains to visit, ns. Sorted descending internally.
+    pub grains_ns: Vec<u64>,
+    /// Interleaved passes over the ladder; per-grain wall is the median.
+    pub runs: usize,
+    /// Seed forwarded to sampled shapes.
+    pub seed: u64,
+    /// Efficiency floor defining METG.
+    pub floor: f64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            grains_ns: grain_ladder(1_000, 100_000, 6),
+            runs: 3,
+            seed: 0x5eed,
+            floor: 0.5,
+        }
+    }
+}
+
+/// Log-spaced grain ladder from `max_ns` down to `min_ns` (inclusive).
+pub fn grain_ladder(min_ns: u64, max_ns: u64, points: usize) -> Vec<u64> {
+    let (min_ns, max_ns) = (min_ns.max(1), max_ns.max(min_ns.max(1)));
+    if points <= 1 || min_ns == max_ns {
+        return vec![max_ns];
+    }
+    let (lo, hi) = ((min_ns as f64).ln(), (max_ns as f64).ln());
+    let mut out: Vec<u64> = (0..points)
+        .map(|i| {
+            let f = i as f64 / (points - 1) as f64;
+            (hi - f * (hi - lo)).exp().round() as u64
+        })
+        .collect();
+    out.dedup();
+    out
+}
+
+/// Run the interleaved sweep for one cell.
+///
+/// Pass order is grain-major within a pass (`pass 0: g0 g1 g2…, pass 1:
+/// g0 g1 g2…`), so every grain sees every epoch of host drift.
+pub fn sweep_cell(
+    backend: &dyn Backend,
+    shape: Shape,
+    workers: usize,
+    cfg: &SweepConfig,
+    cal: &GrainCalibration,
+) -> Result<Cell, BackendError> {
+    let mut grains = cfg.grains_ns.clone();
+    grains.sort_unstable_by(|a, b| b.cmp(a));
+    grains.dedup();
+    let runs = cfg.runs.max(1);
+
+    // samples[i][r] = wall of grain i in pass r; stats kept per sample so
+    // the median run's counters can be reported.
+    let mut samples: Vec<Vec<(u64, RunStats)>> = vec![Vec::with_capacity(runs); grains.len()];
+    for _pass in 0..runs {
+        for (i, &grain_ns) in grains.iter().enumerate() {
+            let graph = WorkloadSpec::new(shape, grain_ns, cfg.seed).build();
+            let stats = backend.run(&graph, workers, cal)?;
+            samples[i].push((stats.wall_ns, stats));
+        }
+    }
+
+    let mut points = Vec::with_capacity(grains.len());
+    let mut env = f64::INFINITY;
+    for (i, &grain_ns) in grains.iter().enumerate() {
+        let mut cell = std::mem::take(&mut samples[i]);
+        cell.sort_unstable_by_key(|(w, _)| *w);
+        let samples_ns: Vec<u64> = cell.iter().map(|(w, _)| *w).collect();
+        let (wall_ns, stats) = cell.swap_remove(cell.len() / 2);
+        let efficiency = stats.efficiency();
+        env = env.min(efficiency);
+        points.push(CurvePoint {
+            grain_ns,
+            wall_ns,
+            samples_ns,
+            efficiency,
+            efficiency_env: env,
+            stats,
+        });
+    }
+
+    let metg = read_metg(&points, cfg.floor);
+    Ok(Cell {
+        shape,
+        backend: backend.name().to_string(),
+        workers,
+        floor: cfg.floor,
+        points,
+        metg,
+    })
+}
+
+/// Read the METG crossing off a monotone envelope (points coarsest-first).
+fn read_metg(points: &[CurvePoint], floor: f64) -> MetgBound {
+    let Some(first) = points.first() else {
+        return MetgBound::Above { ns: 0 };
+    };
+    if first.efficiency_env < floor {
+        return MetgBound::Above { ns: first.grain_ns };
+    }
+    for w in points.windows(2) {
+        let (a, b) = (&w[0], &w[1]);
+        if b.efficiency_env < floor {
+            // Log-interpolate the grain where the envelope hits the floor.
+            let (ga, gb) = ((a.grain_ns as f64).ln(), (b.grain_ns as f64).ln());
+            let (ea, eb) = (a.efficiency_env, b.efficiency_env);
+            let f = if (ea - eb).abs() < f64::EPSILON {
+                0.0
+            } else {
+                (ea - floor) / (ea - eb)
+            };
+            return MetgBound::Crossing {
+                ns: (ga + f * (gb - ga)).exp(),
+            };
+        }
+    }
+    MetgBound::AtMost {
+        ns: points.last().map_or(first.grain_ns, |p| p.grain_ns),
+    }
+}
+
+/// CSV header for [`csv_rows`].
+pub const CSV_HEADER: &str =
+    "shape,backend,workers,grain_ns,wall_ns,efficiency,efficiency_env,spawned,completed,\
+     counter_spawned,counter_completed,avg_overhead_ns,steals,metg";
+
+/// Render a cell as CSV rows (no header), one row per curve point.
+pub fn csv_rows(cell: &Cell) -> String {
+    let mut out = String::new();
+    for p in &cell.points {
+        let opt_u = |v: Option<u64>| v.map_or(String::new(), |v| v.to_string());
+        out.push_str(&format!(
+            "{},{},{},{},{},{:.4},{:.4},{},{},{},{},{},{},{}\n",
+            cell.shape.name(),
+            cell.backend,
+            cell.workers,
+            p.grain_ns,
+            p.wall_ns,
+            p.efficiency,
+            p.efficiency_env,
+            p.stats.spawned,
+            p.stats.completed,
+            opt_u(p.stats.counter_spawned),
+            opt_u(p.stats.counter_completed),
+            p.stats
+                .avg_overhead_ns
+                .map_or(String::new(), |v| format!("{v:.1}")),
+            opt_u(p.stats.steals),
+            cell.metg,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_log_spaced_descending() {
+        let l = grain_ladder(1_000, 1_000_000, 4);
+        assert_eq!(l.first(), Some(&1_000_000));
+        assert_eq!(l.last(), Some(&1_000));
+        assert!(l.windows(2).all(|w| w[0] > w[1]));
+        // Log-spacing: successive ratios are equal (10× here).
+        assert_eq!(l, vec![1_000_000, 100_000, 10_000, 1_000]);
+        assert_eq!(grain_ladder(5, 5, 3), vec![5]);
+    }
+
+    fn point(grain_ns: u64, eff: f64, env: f64) -> CurvePoint {
+        CurvePoint {
+            grain_ns,
+            wall_ns: 1,
+            samples_ns: vec![1],
+            efficiency: eff,
+            efficiency_env: env,
+            stats: RunStats {
+                backend: "t".into(),
+                workers: 1,
+                wall_ns: 1,
+                spawned: 1,
+                completed: 1,
+                total_work_ns: 1,
+                span_ns: 1,
+                counter_spawned: None,
+                counter_completed: None,
+                avg_overhead_ns: None,
+                steals: None,
+            },
+        }
+    }
+
+    #[test]
+    fn metg_bounds_cover_all_three_cases() {
+        let above = vec![point(1_000, 0.3, 0.3)];
+        assert_eq!(read_metg(&above, 0.5), MetgBound::Above { ns: 1_000 });
+
+        let at_most = vec![point(1_000, 0.9, 0.9), point(100, 0.6, 0.6)];
+        assert_eq!(read_metg(&at_most, 0.5), MetgBound::AtMost { ns: 100 });
+
+        let crossing = vec![point(1_000, 0.9, 0.9), point(100, 0.25, 0.25)];
+        match read_metg(&crossing, 0.5) {
+            MetgBound::Crossing { ns } => {
+                assert!(ns > 100.0 && ns < 1_000.0, "interpolated inside: {ns}");
+            }
+            other => panic!("expected crossing, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metg_interpolation_is_exact_at_midpoint() {
+        // Envelope falls linearly in log-grain: floor halfway between the
+        // efficiencies lands halfway between the log-grains.
+        let pts = vec![point(10_000, 0.8, 0.8), point(100, 0.2, 0.2)];
+        match read_metg(&pts, 0.5) {
+            MetgBound::Crossing { ns } => assert!((ns - 1_000.0).abs() < 1.0, "{ns}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_on_simulator_yields_monotone_envelope() {
+        let cfg = SweepConfig {
+            grains_ns: grain_ladder(500, 50_000, 4),
+            runs: 2,
+            seed: 1,
+            floor: 0.5,
+        };
+        let cal = GrainCalibration::fixed(100.0);
+        let backend = crate::backend::SimBackend::hpx();
+        let cell = sweep_cell(
+            &backend,
+            Shape::Stencil {
+                width: 16,
+                steps: 8,
+            },
+            4,
+            &cfg,
+            &cal,
+        )
+        .unwrap();
+        assert_eq!(cell.points.len(), 4);
+        assert!(cell
+            .points
+            .windows(2)
+            .all(|w| w[0].efficiency_env >= w[1].efficiency_env));
+        // The simulator is deterministic: both passes identical.
+        for p in &cell.points {
+            assert_eq!(p.samples_ns[0], p.samples_ns[1]);
+        }
+        let csv = csv_rows(&cell);
+        assert_eq!(csv.lines().count(), 4);
+        assert!(csv.starts_with("stencil,sim-hpx,4,50000,"));
+    }
+}
